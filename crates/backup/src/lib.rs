@@ -1,0 +1,23 @@
+//! # spotcheck-backup
+//!
+//! Backup-server substrate for the SpotCheck reproduction: the servers
+//! that hold nested-VM memory checkpoints for bounded-time migration
+//! (paper §3.2, §5). Provides:
+//!
+//! - [`server`] — a backup server with full-duplex NIC and disk channels,
+//!   checkpoint stores, fadvise-dependent read bandwidth, and the
+//!   $0.28/hr-amortized-over-40-VMs economics of §6.1;
+//! - [`cache`] — write-storm absorption by the page cache (the
+//!   `dirty_ratio` tuning of §5);
+//! - [`pool`] — the round-robin, provision-on-full backup pool of §4.2.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod pool;
+pub mod server;
+
+pub use cache::PageCache;
+pub use pool::{BackupPool, BackupServerId};
+pub use server::{BackupError, BackupLinks, BackupServer, BackupServerConfig, CheckpointStore};

@@ -1,0 +1,257 @@
+//! The backup-server pool.
+//!
+//! SpotCheck "employs a simple round-robin policy to map nested VMs within
+//! each pool across the set of backup servers. Once every backup server
+//! becomes fully utilized, SpotCheck provisions a native VM from the IaaS
+//! platform to serve as a new backup server" (§4.2). The pool here
+//! implements that policy mechanically; the risk-aware spreading of VMs
+//! *from the same spot pool* across distinct backup servers lives in the
+//! controller, which passes placement constraints via `avoid`.
+
+use std::collections::BTreeMap;
+
+use spotcheck_nestedvm::vm::NestedVmId;
+
+use crate::server::{BackupError, BackupServer, BackupServerConfig};
+
+/// Identifies a backup server within the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BackupServerId(pub u64);
+
+impl std::fmt::Display for BackupServerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bkp-{:04}", self.0)
+    }
+}
+
+/// A growable pool of backup servers with round-robin VM assignment.
+#[derive(Debug, Clone)]
+pub struct BackupPool {
+    config: BackupServerConfig,
+    servers: BTreeMap<BackupServerId, BackupServer>,
+    assignment: BTreeMap<NestedVmId, BackupServerId>,
+    next_id: u64,
+    cursor: u64,
+    provisioned: u64,
+}
+
+impl BackupPool {
+    /// Creates an empty pool; servers are provisioned on demand.
+    pub fn new(config: BackupServerConfig) -> Self {
+        BackupPool {
+            config,
+            servers: BTreeMap::new(),
+            assignment: BTreeMap::new(),
+            next_id: 0,
+            cursor: 0,
+            provisioned: 0,
+        }
+    }
+
+    /// Number of servers currently provisioned.
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Total servers ever provisioned (for cost accounting).
+    pub fn provisioned_total(&self) -> u64 {
+        self.provisioned
+    }
+
+    /// Number of VMs currently protected across the pool.
+    pub fn protected_count(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Returns the server protecting `vm`, if any.
+    pub fn server_of(&self, vm: NestedVmId) -> Option<BackupServerId> {
+        self.assignment.get(&vm).copied()
+    }
+
+    /// Returns a server by id.
+    pub fn server(&self, id: BackupServerId) -> Option<&BackupServer> {
+        self.servers.get(&id)
+    }
+
+    /// Returns a server by id, mutably.
+    pub fn server_mut(&mut self, id: BackupServerId) -> Option<&mut BackupServer> {
+        self.servers.get_mut(&id)
+    }
+
+    /// Iterates over (id, server) pairs.
+    pub fn servers(&self) -> impl Iterator<Item = (BackupServerId, &BackupServer)> {
+        self.servers.iter().map(|(id, s)| (*id, s))
+    }
+
+    fn provision(&mut self) -> BackupServerId {
+        let id = BackupServerId(self.next_id);
+        self.next_id += 1;
+        self.provisioned += 1;
+        self.servers.insert(id, BackupServer::new(self.config.clone()));
+        id
+    }
+
+    /// Assigns a VM of `total_pages` to a backup server, round-robin among
+    /// servers with free capacity while avoiding servers in `avoid` (the
+    /// controller passes the servers already protecting VMs of the same
+    /// spot pool, to spread revocation-storm load). Provisions a new server
+    /// when none qualifies.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the VM is already protected.
+    pub fn assign(
+        &mut self,
+        vm: NestedVmId,
+        total_pages: usize,
+        avoid: &[BackupServerId],
+    ) -> Result<BackupServerId, BackupError> {
+        if self.assignment.contains_key(&vm) {
+            return Err(BackupError::AlreadyAssigned(vm));
+        }
+        // Round-robin scan from the cursor over eligible servers.
+        let ids: Vec<BackupServerId> = self.servers.keys().copied().collect();
+        let n = ids.len();
+        let mut chosen = None;
+        for k in 0..n {
+            let id = ids[(self.cursor as usize + k) % n.max(1)];
+            if avoid.contains(&id) {
+                continue;
+            }
+            if self.servers[&id].free_slots() > 0 {
+                chosen = Some(id);
+                self.cursor = self.cursor.wrapping_add(k as u64 + 1);
+                break;
+            }
+        }
+        // Fall back to an avoided server with space rather than wasting a
+        // whole new server when avoidance cannot be satisfied... no: the
+        // paper provisions new servers once existing ones are fully
+        // utilized; avoidance is a soft preference we honor by provisioning.
+        let id = match chosen {
+            Some(id) => id,
+            None => self.provision(),
+        };
+        self.servers
+            .get_mut(&id)
+            .expect("server exists")
+            .assign(vm, total_pages)?;
+        self.assignment.insert(vm, id);
+        Ok(id)
+    }
+
+    /// Releases a VM's protection.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the VM is not protected.
+    pub fn release(&mut self, vm: NestedVmId) -> Result<BackupServerId, BackupError> {
+        let id = self
+            .assignment
+            .remove(&vm)
+            .ok_or(BackupError::UnknownVm(vm))?;
+        self.servers
+            .get_mut(&id)
+            .expect("assigned server exists")
+            .release(vm)?;
+        Ok(id)
+    }
+
+    /// The pool's current total $/hr cost.
+    pub fn hourly_cost(&self) -> f64 {
+        self.servers.len() as f64 * self.config.hourly_price
+    }
+
+    /// The amortized backup cost per protected VM, $/hr; the full pool cost
+    /// if nothing is protected.
+    pub fn amortized_cost_per_vm(&self) -> f64 {
+        if self.assignment.is_empty() {
+            self.hourly_cost()
+        } else {
+            self.hourly_cost() / self.assignment.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> BackupPool {
+        BackupPool::new(BackupServerConfig {
+            max_vms: 4,
+            ..BackupServerConfig::default()
+        })
+    }
+
+    #[test]
+    fn provisions_on_demand_and_round_robins() {
+        let mut p = pool();
+        assert_eq!(p.server_count(), 0);
+        let s1 = p.assign(NestedVmId(0), 100, &[]).unwrap();
+        assert_eq!(p.server_count(), 1);
+        // Fill the first server.
+        for i in 1..4 {
+            assert_eq!(p.assign(NestedVmId(i), 100, &[]).unwrap(), s1);
+        }
+        // The fifth VM forces a new server.
+        let s2 = p.assign(NestedVmId(4), 100, &[]).unwrap();
+        assert_ne!(s1, s2);
+        assert_eq!(p.server_count(), 2);
+        assert_eq!(p.protected_count(), 5);
+        assert_eq!(p.provisioned_total(), 2);
+    }
+
+    #[test]
+    fn avoid_spreads_same_pool_vms() {
+        let mut p = pool();
+        let s1 = p.assign(NestedVmId(0), 100, &[]).unwrap();
+        // Same-spot-pool sibling avoids s1 -> new server despite free slots.
+        let s2 = p.assign(NestedVmId(1), 100, &[s1]).unwrap();
+        assert_ne!(s1, s2);
+        // A third VM with no constraint reuses capacity round-robin.
+        let s3 = p.assign(NestedVmId(2), 100, &[]).unwrap();
+        assert!(s3 == s1 || s3 == s2);
+    }
+
+    #[test]
+    fn release_frees_capacity() {
+        let mut p = pool();
+        let s1 = p.assign(NestedVmId(0), 100, &[]).unwrap();
+        assert_eq!(p.release(NestedVmId(0)).unwrap(), s1);
+        assert_eq!(p.protected_count(), 0);
+        assert!(p.release(NestedVmId(0)).is_err());
+        assert_eq!(p.server(s1).unwrap().vm_count(), 0);
+    }
+
+    #[test]
+    fn duplicate_assignment_rejected() {
+        let mut p = pool();
+        p.assign(NestedVmId(0), 100, &[]).unwrap();
+        assert_eq!(
+            p.assign(NestedVmId(0), 100, &[]).unwrap_err(),
+            BackupError::AlreadyAssigned(NestedVmId(0))
+        );
+    }
+
+    #[test]
+    fn cost_amortizes_over_protected_vms() {
+        let mut p = pool();
+        for i in 0..4 {
+            p.assign(NestedVmId(i), 100, &[]).unwrap();
+        }
+        assert!((p.hourly_cost() - 0.28).abs() < 1e-12);
+        assert!((p.amortized_cost_per_vm() - 0.07).abs() < 1e-12);
+    }
+
+    #[test]
+    fn server_lookup_roundtrip() {
+        let mut p = pool();
+        let s = p.assign(NestedVmId(0), 100, &[]).unwrap();
+        assert_eq!(p.server_of(NestedVmId(0)), Some(s));
+        assert_eq!(p.server_of(NestedVmId(9)), None);
+        assert!(p.server(s).is_some());
+        assert_eq!(p.servers().count(), 1);
+        assert_eq!(s.to_string(), "bkp-0000");
+    }
+}

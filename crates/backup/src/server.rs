@@ -1,0 +1,379 @@
+//! The backup server.
+//!
+//! A backup server (the paper uses `m3.xlarge`, $0.28/hr) stores the
+//! checkpointed memory images of the nested VMs assigned to it, receives
+//! their continuous dirty-page streams, and serves reads during
+//! restorations. Its economics drive SpotCheck's overhead: at 40 VMs per
+//! backup server the amortized cost is $0.007/VM-hr — "less than one cent
+//! per VM" (§6.1).
+
+use std::collections::BTreeMap;
+
+use spotcheck_simcore::bitset::BitSet;
+use spotcheck_simcore::fluid::{LinkId, Network};
+use spotcheck_nestedvm::vm::NestedVmId;
+
+use crate::cache::PageCache;
+
+/// Errors from backup-server management.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackupError {
+    /// The server already protects its maximum number of VMs.
+    CapacityFull {
+        /// The admission limit.
+        max_vms: usize,
+    },
+    /// The VM is not assigned to this server.
+    UnknownVm(NestedVmId),
+    /// The VM is already assigned to this server.
+    AlreadyAssigned(NestedVmId),
+}
+
+impl std::fmt::Display for BackupError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackupError::CapacityFull { max_vms } => {
+                write!(f, "backup server full ({max_vms} VMs)")
+            }
+            BackupError::UnknownVm(id) => write!(f, "{id} is not backed up by this server"),
+            BackupError::AlreadyAssigned(id) => write!(f, "{id} is already assigned"),
+        }
+    }
+}
+
+impl std::error::Error for BackupError {}
+
+/// Hardware/OS parameters of a backup server.
+#[derive(Debug, Clone)]
+pub struct BackupServerConfig {
+    /// NIC bandwidth, each direction, bytes/sec. (m3.xlarge: ~1 Gbit/s
+    /// sustained = 125 MB/s.)
+    pub nic_bps: f64,
+    /// Disk write bandwidth, bytes/sec (SSD + EBS mix, writeback mode).
+    pub disk_write_bps: f64,
+    /// Sequential disk read bandwidth (stop-and-copy restores).
+    pub disk_read_seq_bps: f64,
+    /// Random disk read bandwidth *without* the fadvise hints (the
+    /// unoptimized lazy restore of Figure 8b).
+    pub disk_read_rand_bps: f64,
+    /// Random disk read bandwidth *with* `fadvise(WILLNEED | RANDOM)`
+    /// prefetch hints (SpotCheck's optimized lazy restore, §5-§6.1).
+    pub disk_read_rand_fadvise_bps: f64,
+    /// Page-cache capacity for absorbing write storms, bytes.
+    pub cache_bytes: f64,
+    /// Admission limit: SpotCheck assigns at most 35-40 VMs per backup
+    /// server to keep checkpointing off the saturation knee (§6.1).
+    pub max_vms: usize,
+    /// $/hr of the backing instance (m3.xlarge: $0.28 in us-east-1).
+    pub hourly_price: f64,
+}
+
+impl Default for BackupServerConfig {
+    fn default() -> Self {
+        BackupServerConfig {
+            nic_bps: 125e6,
+            disk_write_bps: 180e6,
+            disk_read_seq_bps: 180e6,
+            disk_read_rand_bps: 35e6,
+            disk_read_rand_fadvise_bps: 140e6,
+            cache_bytes: 8e9,
+            max_vms: 40,
+            hourly_price: 0.28,
+        }
+    }
+}
+
+impl BackupServerConfig {
+    /// Effective read bandwidth for a restore, depending on access pattern
+    /// and whether the fadvise optimization is enabled.
+    pub fn read_bps(&self, sequential: bool, fadvise: bool) -> f64 {
+        if sequential {
+            self.disk_read_seq_bps
+        } else if fadvise {
+            self.disk_read_rand_fadvise_bps
+        } else {
+            self.disk_read_rand_bps
+        }
+    }
+}
+
+/// The checkpointed state of one VM held on a backup server.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    /// The protected VM.
+    pub vm: NestedVmId,
+    /// Total pages in the VM's image.
+    pub total_pages: usize,
+    /// Pages present (committed at least once) on the backup server.
+    pub present: BitSet,
+    /// Bytes received from this VM's checkpoint stream, lifetime.
+    pub bytes_received: u64,
+    /// Number of checkpoint commits (epochs) applied.
+    pub commits: u64,
+}
+
+impl CheckpointStore {
+    fn new(vm: NestedVmId, total_pages: usize) -> Self {
+        CheckpointStore {
+            vm,
+            total_pages,
+            present: BitSet::new(total_pages),
+            bytes_received: 0,
+            commits: 0,
+        }
+    }
+
+    /// Applies a committed checkpoint epoch of `pages` pages.
+    pub fn commit_pages(&mut self, pages: &BitSet) {
+        self.present.union_with(pages);
+        self.bytes_received += pages.count_ones() as u64 * spotcheck_nestedvm::memory::PAGE_SIZE;
+        self.commits += 1;
+    }
+
+    /// Applies a committed epoch described only by a page count (fluid
+    /// model; assumes commits cover not-yet-present pages first).
+    pub fn commit_count(&mut self, pages: usize) {
+        let mut remaining = pages;
+        let mut idx = 0;
+        while remaining > 0 {
+            match self.present.next_zero(idx) {
+                Some(i) => {
+                    self.present.set(i);
+                    idx = i + 1;
+                    remaining -= 1;
+                }
+                None => break,
+            }
+        }
+        self.bytes_received += pages as u64 * spotcheck_nestedvm::memory::PAGE_SIZE;
+        self.commits += 1;
+    }
+
+    /// True when every page of the image is present.
+    pub fn is_complete(&self) -> bool {
+        self.present.count_ones() == self.total_pages
+    }
+
+    /// Fraction of the image present.
+    pub fn completeness(&self) -> f64 {
+        if self.total_pages == 0 {
+            1.0
+        } else {
+            self.present.count_ones() as f64 / self.total_pages as f64
+        }
+    }
+}
+
+/// Link handles into a backup server's [`Network`].
+#[derive(Debug, Clone, Copy)]
+pub struct BackupLinks {
+    /// NIC receive direction (checkpoint ingest).
+    pub nic_rx: LinkId,
+    /// NIC transmit direction (restore egress).
+    pub nic_tx: LinkId,
+    /// Disk write channel.
+    pub disk_write: LinkId,
+    /// Disk read channel (capacity depends on access pattern; set by the
+    /// scenario via [`Network::set_capacity`]).
+    pub disk_read: LinkId,
+}
+
+/// A backup server instance.
+#[derive(Debug, Clone)]
+pub struct BackupServer {
+    config: BackupServerConfig,
+    stores: BTreeMap<NestedVmId, CheckpointStore>,
+    cache: PageCache,
+}
+
+impl BackupServer {
+    /// Creates a backup server.
+    pub fn new(config: BackupServerConfig) -> Self {
+        let cache = PageCache::new(config.cache_bytes, config.disk_write_bps);
+        BackupServer {
+            config,
+            stores: BTreeMap::new(),
+            cache,
+        }
+    }
+
+    /// Returns the configuration.
+    pub fn config(&self) -> &BackupServerConfig {
+        &self.config
+    }
+
+    /// Returns the write-absorption cache.
+    pub fn cache_mut(&mut self) -> &mut PageCache {
+        &mut self.cache
+    }
+
+    /// Number of VMs currently protected.
+    pub fn vm_count(&self) -> usize {
+        self.stores.len()
+    }
+
+    /// Free protection slots.
+    pub fn free_slots(&self) -> usize {
+        self.config.max_vms - self.vm_count()
+    }
+
+    /// Assigns a VM with `total_pages` of image to this server.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the server is full or the VM is already assigned.
+    pub fn assign(&mut self, vm: NestedVmId, total_pages: usize) -> Result<(), BackupError> {
+        if self.stores.contains_key(&vm) {
+            return Err(BackupError::AlreadyAssigned(vm));
+        }
+        if self.vm_count() >= self.config.max_vms {
+            return Err(BackupError::CapacityFull {
+                max_vms: self.config.max_vms,
+            });
+        }
+        self.stores.insert(vm, CheckpointStore::new(vm, total_pages));
+        Ok(())
+    }
+
+    /// Releases a VM's protection, returning its store (e.g. after it
+    /// migrated to an on-demand server that needs no backup).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the VM is not assigned.
+    pub fn release(&mut self, vm: NestedVmId) -> Result<CheckpointStore, BackupError> {
+        self.stores.remove(&vm).ok_or(BackupError::UnknownVm(vm))
+    }
+
+    /// Returns a VM's checkpoint store.
+    pub fn store(&self, vm: NestedVmId) -> Result<&CheckpointStore, BackupError> {
+        self.stores.get(&vm).ok_or(BackupError::UnknownVm(vm))
+    }
+
+    /// Returns a VM's checkpoint store mutably.
+    pub fn store_mut(&mut self, vm: NestedVmId) -> Result<&mut CheckpointStore, BackupError> {
+        self.stores.get_mut(&vm).ok_or(BackupError::UnknownVm(vm))
+    }
+
+    /// Iterates over protected VMs.
+    pub fn protected_vms(&self) -> impl Iterator<Item = NestedVmId> + '_ {
+        self.stores.keys().copied()
+    }
+
+    /// Builds the fluid-model network of this server: full-duplex NIC plus
+    /// independent disk read/write channels. The disk-read capacity is
+    /// initialized to the sequential rate; restore scenarios adjust it for
+    /// access pattern via [`BackupLinks::disk_read`].
+    pub fn build_network(&self) -> (Network, BackupLinks) {
+        let mut net = Network::new();
+        let nic_rx = net.add_link(self.config.nic_bps);
+        let nic_tx = net.add_link(self.config.nic_bps);
+        let disk_write = net.add_link(self.config.disk_write_bps);
+        let disk_read = net.add_link(self.config.disk_read_seq_bps);
+        (
+            net,
+            BackupLinks {
+                nic_rx,
+                nic_tx,
+                disk_write,
+                disk_read,
+            },
+        )
+    }
+
+    /// The amortized $/hr cost of protection per VM at current occupancy,
+    /// or the full price if empty.
+    pub fn amortized_cost_per_vm(&self) -> f64 {
+        if self.stores.is_empty() {
+            self.config.hourly_price
+        } else {
+            self.config.hourly_price / self.stores.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amortized_cost_matches_paper_at_forty_vms() {
+        let mut s = BackupServer::new(BackupServerConfig::default());
+        for i in 0..40 {
+            s.assign(NestedVmId(i), 1_000).unwrap();
+        }
+        // $0.28 / 40 = $0.007 — "less than one cent per VM".
+        assert!((s.amortized_cost_per_vm() - 0.007).abs() < 1e-12);
+        assert_eq!(s.free_slots(), 0);
+        assert_eq!(
+            s.assign(NestedVmId(99), 1_000).unwrap_err(),
+            BackupError::CapacityFull { max_vms: 40 }
+        );
+    }
+
+    #[test]
+    fn assign_release_roundtrip() {
+        let mut s = BackupServer::new(BackupServerConfig::default());
+        s.assign(NestedVmId(1), 100).unwrap();
+        assert_eq!(
+            s.assign(NestedVmId(1), 100).unwrap_err(),
+            BackupError::AlreadyAssigned(NestedVmId(1))
+        );
+        let store = s.release(NestedVmId(1)).unwrap();
+        assert_eq!(store.total_pages, 100);
+        assert!(s.release(NestedVmId(1)).is_err());
+        assert!(s.store(NestedVmId(1)).is_err());
+    }
+
+    #[test]
+    fn checkpoint_store_tracks_completeness() {
+        let mut s = BackupServer::new(BackupServerConfig::default());
+        s.assign(NestedVmId(1), 100).unwrap();
+        let store = s.store_mut(NestedVmId(1)).unwrap();
+        assert_eq!(store.completeness(), 0.0);
+        store.commit_count(60);
+        assert_eq!(store.completeness(), 0.6);
+        assert!(!store.is_complete());
+        store.commit_count(40);
+        assert!(store.is_complete());
+        assert_eq!(store.commits, 2);
+        // Further commits (re-dirtied pages) don't overflow presence.
+        store.commit_count(10);
+        assert!(store.is_complete());
+    }
+
+    #[test]
+    fn commit_pages_by_bitset() {
+        let mut s = BackupServer::new(BackupServerConfig::default());
+        s.assign(NestedVmId(1), 64).unwrap();
+        let mut pages = BitSet::new(64);
+        pages.set(0);
+        pages.set(63);
+        let store = s.store_mut(NestedVmId(1)).unwrap();
+        store.commit_pages(&pages);
+        assert_eq!(store.present.count_ones(), 2);
+        assert_eq!(
+            store.bytes_received,
+            2 * spotcheck_nestedvm::memory::PAGE_SIZE
+        );
+    }
+
+    #[test]
+    fn read_bandwidth_depends_on_pattern_and_fadvise() {
+        let c = BackupServerConfig::default();
+        // The Figure 8 phenomenon: random reads without hints are much
+        // slower than sequential; fadvise recovers most of it.
+        assert!(c.read_bps(false, false) < c.read_bps(true, false) / 3.0);
+        assert!(c.read_bps(false, true) > 3.0 * c.read_bps(false, false));
+        assert!(c.read_bps(false, true) <= c.read_bps(true, true));
+    }
+
+    #[test]
+    fn network_has_four_links() {
+        let s = BackupServer::new(BackupServerConfig::default());
+        let (net, links) = s.build_network();
+        assert_eq!(net.len(), 4);
+        assert_eq!(net.capacity(links.nic_rx), 125e6);
+        assert_eq!(net.capacity(links.disk_read), 180e6);
+    }
+}

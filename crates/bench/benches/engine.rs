@@ -1,0 +1,63 @@
+//! Criterion benchmarks of the simulation core: event-queue throughput and
+//! the fluid max-min-fair solver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spotcheck_simcore::fluid::{max_min_rates, FlowSpec, FluidSim, Network};
+use spotcheck_simcore::queue::EventQueue;
+use spotcheck_simcore::time::{SimDuration, SimTime};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue_push_pop");
+    for n in [1_000usize, 100_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                for i in 0..n {
+                    q.push(SimTime::from_micros(((i * 7919) % n) as u64), i);
+                }
+                let mut acc = 0usize;
+                while let Some((_, e)) = q.pop() {
+                    acc = acc.wrapping_add(e);
+                }
+                acc
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_max_min(c: &mut Criterion) {
+    let mut g = c.benchmark_group("max_min_rates");
+    for n in [10usize, 100, 500] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut net = Network::new();
+            let l1 = net.add_link(125e6);
+            let l2 = net.add_link(110e6);
+            let flows: Vec<FlowSpec> = (0..n)
+                .map(|i| {
+                    FlowSpec::new(vec![l1, l2], 1e9).with_cap(1e6 + (i as f64) * 1e5)
+                })
+                .collect();
+            b.iter(|| max_min_rates(&net, &flows));
+        });
+    }
+    g.finish();
+}
+
+fn bench_fluid_drain(c: &mut Criterion) {
+    c.bench_function("fluid_drain_100_flows", |b| {
+        b.iter(|| {
+            let mut net = Network::new();
+            let l = net.add_link(125e6);
+            let mut sim = FluidSim::new(net);
+            for i in 0..100 {
+                sim.add_flow(FlowSpec::new(vec![l], 1e6 * (i + 1) as f64));
+            }
+            sim.advance(SimDuration::from_secs(3_600));
+            sim.active_flows()
+        });
+    });
+}
+
+criterion_group!(benches, bench_event_queue, bench_max_min, bench_fluid_drain);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion benchmarks of the spot-market substrate: trace generation and
+//! the Figure 6 statistics.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spotcheck_simcore::rng::SimRng;
+use spotcheck_simcore::time::{SimDuration, SimTime};
+use spotcheck_spotmarket::generator::TraceGenerator;
+use spotcheck_spotmarket::market::MarketId;
+use spotcheck_spotmarket::profiles::profile_for;
+use spotcheck_spotmarket::stats::{availability_curve, correlation_matrix, hourly_jumps};
+
+fn bench_generation(c: &mut Criterion) {
+    let profile = profile_for("m3.large").unwrap().profile;
+    let mut g = c.benchmark_group("trace_generation");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    for days in [7u64, 30, 183] {
+        g.bench_with_input(BenchmarkId::from_parameter(days), &days, |b, &days| {
+            b.iter(|| {
+                let mut rng = SimRng::seed(1);
+                TraceGenerator::new(profile.clone()).generate(
+                    MarketId::new("m3.large", "z"),
+                    SimDuration::from_days(days),
+                    &mut rng,
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let profile = profile_for("m3.large").unwrap().profile;
+    let mut rng = SimRng::seed(2);
+    let trace = TraceGenerator::new(profile.clone()).generate(
+        MarketId::new("m3.large", "z"),
+        SimDuration::from_days(183),
+        &mut rng,
+    );
+    let end = SimTime::from_days(183);
+    let ratios: Vec<f64> = (0..=20).map(|i| i as f64 / 20.0).collect();
+    c.bench_function("availability_curve_183d", |b| {
+        b.iter(|| availability_curve(&trace, &ratios, SimTime::ZERO, end));
+    });
+    c.bench_function("hourly_jumps_183d", |b| {
+        b.iter(|| hourly_jumps(&trace, SimTime::ZERO, end));
+    });
+
+    // Correlation over a smaller fleet (dominated by resampling).
+    let traces: Vec<_> = (0..6)
+        .map(|i| {
+            let mut rng = SimRng::seed(100 + i);
+            TraceGenerator::new(profile.clone()).generate(
+                MarketId::new("m3.large", &format!("z{i}")),
+                SimDuration::from_days(30),
+                &mut rng,
+            )
+        })
+        .collect();
+    c.bench_function("correlation_6x6_30d", |b| {
+        let refs: Vec<_> = traces.iter().collect();
+        b.iter(|| {
+            correlation_matrix(
+                &refs,
+                SimTime::ZERO,
+                SimTime::from_days(30),
+                SimDuration::from_hours(1),
+            )
+        });
+    });
+}
+
+criterion_group!(benches, bench_generation, bench_stats);
+criterion_main!(benches);

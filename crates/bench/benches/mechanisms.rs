@@ -1,0 +1,94 @@
+//! Criterion microbenchmarks of the migration mechanisms: the hot inner
+//! loops behind Figures 7-9 (pre-copy simulation, bounded-time final
+//! commits, restore contention, checkpoint-stream fair sharing).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spotcheck_backup::server::BackupServerConfig;
+use spotcheck_migrate::bounded::{simulate_final_commit, BoundedTimeConfig, RampPolicy};
+use spotcheck_migrate::precopy::{simulate_precopy, PreCopyConfig};
+use spotcheck_migrate::restore::{simulate_concurrent_restores, ReadPath, RestoreMode};
+use spotcheck_migrate::scenario::checkpoint_contention;
+use spotcheck_nestedvm::memory::DirtyModel;
+use spotcheck_nestedvm::vm::NestedVmSpec;
+
+fn bench_precopy(c: &mut Criterion) {
+    let dirty = DirtyModel::new(50_000, 700.0, 0.01);
+    let mut g = c.benchmark_group("precopy");
+    for gib in [1u64, 4, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(gib), &gib, |b, &gib| {
+            b.iter(|| simulate_precopy(gib << 30, &dirty, &PreCopyConfig::default()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_final_commit(c: &mut Criterion) {
+    let dirty = DirtyModel::new(50_000, 700.0, 0.01);
+    let mut g = c.benchmark_group("final_commit");
+    for (name, ramp) in [
+        ("yank", RampPolicy::None),
+        ("spotcheck_ramp", RampPolicy::spotcheck_default()),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                simulate_final_commit(
+                    96e6,
+                    &dirty,
+                    786_432,
+                    32e6,
+                    &BoundedTimeConfig {
+                        ramp,
+                        ..BoundedTimeConfig::default()
+                    },
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_restores(c: &mut Criterion) {
+    let spec = NestedVmSpec::medium();
+    let cfg = BackupServerConfig::default();
+    let mut g = c.benchmark_group("concurrent_restores");
+    g.sample_size(20).measurement_time(Duration::from_secs(5));
+    for n in [1usize, 10, 40] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                simulate_concurrent_restores(
+                    n,
+                    spec.mem_bytes,
+                    spec.skeleton_bytes(),
+                    RestoreMode::Lazy,
+                    ReadPath::Optimized,
+                    &cfg,
+                    None,
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_checkpoint_contention(c: &mut Criterion) {
+    let cfg = BackupServerConfig::default();
+    let mut g = c.benchmark_group("checkpoint_contention");
+    for n in [10usize, 40, 100] {
+        let demands = vec![3.2e6; n];
+        g.bench_with_input(BenchmarkId::from_parameter(n), &demands, |b, demands| {
+            b.iter(|| checkpoint_contention(demands, &cfg, None));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_precopy,
+    bench_final_commit,
+    bench_restores,
+    bench_checkpoint_contention
+);
+criterion_main!(benches);

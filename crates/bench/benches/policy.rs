@@ -1,0 +1,58 @@
+//! Criterion benchmarks of the policy layer: the trace-driven policy
+//! simulator (one Figure 10/11/12 cell) and the end-to-end event-driven
+//! controller.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spotcheck_core::config::SpotCheckConfig;
+use spotcheck_core::driver::SpotCheckSim;
+use spotcheck_core::policy::MappingPolicy;
+use spotcheck_core::sim::{run_policy, standard_traces, PolicyExperiment};
+use spotcheck_migrate::mechanisms::MechanismKind;
+use spotcheck_simcore::time::{SimDuration, SimTime};
+use spotcheck_workloads::WorkloadKind;
+
+fn bench_policy_cell(c: &mut Criterion) {
+    let days = 30;
+    let traces = standard_traces("us-east-1a", SimDuration::from_days(days), 5);
+    let mut g = c.benchmark_group("policy_cell_30d");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    for mapping in [MappingPolicy::OneM, MappingPolicy::FourEd] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(mapping.label()),
+            &mapping,
+            |b, &mapping| {
+                b.iter(|| {
+                    let mut exp = PolicyExperiment::paper_default(
+                        mapping,
+                        MechanismKind::SpotCheckLazy,
+                        5,
+                    );
+                    exp.horizon = SimDuration::from_days(days);
+                    run_policy(&traces, &exp)
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_controller_week(c: &mut Criterion) {
+    let mut g = c.benchmark_group("controller");
+    g.sample_size(10).measurement_time(Duration::from_secs(10));
+    g.bench_function("controller_e2e_1vm_7d", |b| {
+        b.iter(|| {
+            let traces = standard_traces("us-east-1a", SimDuration::from_days(7), 9);
+            let mut sim = SpotCheckSim::new(traces, SpotCheckConfig::default());
+            let cust = sim.create_customer();
+            let _vm = sim.request_server(cust, WorkloadKind::TpcW);
+            sim.run_until(SimTime::from_days(7));
+            sim.availability_report()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_policy_cell, bench_controller_week);
+criterion_main!(benches);

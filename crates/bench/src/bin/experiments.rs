@@ -1,0 +1,45 @@
+//! CLI that regenerates every table and figure of the paper.
+//!
+//! ```text
+//! experiments [--quick] [--list] [id ...]
+//! ```
+
+use std::process::ExitCode;
+
+use spotcheck_bench::{all_ids, run, Scale};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let list = args.iter().any(|a| a == "--list");
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let ids: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+
+    if list {
+        for id in all_ids() {
+            println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let selected: Vec<&str> = if ids.is_empty() { all_ids() } else { ids };
+    for id in &selected {
+        match run(id, scale) {
+            Some(result) => {
+                println!("==============================================================");
+                println!("[{}] {}", result.id, result.title);
+                println!("==============================================================");
+                println!("{}", result.output);
+            }
+            None => {
+                eprintln!("unknown experiment id: {id} (try --list)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

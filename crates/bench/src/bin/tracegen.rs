@@ -1,0 +1,171 @@
+//! Spot-price trace tooling.
+//!
+//! ```text
+//! tracegen generate --days 183 --seed 42 --out traces/     # write CSVs
+//! tracegen stats traces/m3.medium@us-east-1a.csv           # inspect one
+//! tracegen policy traces/                                  # run the Table-2
+//!                                                          # policies on CSVs
+//! ```
+//!
+//! The CSV format is the library's own (`PriceTrace::to_csv`): a
+//! `# market=<type>@<zone> od=<price>` header plus `time_secs,price`
+//! lines. Real archives (e.g. scraped EC2 history) can be converted to
+//! this format and fed straight into the policy simulator.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use spotcheck_core::policy::MappingPolicy;
+use spotcheck_core::sim::{run_policy, standard_traces, PolicyExperiment};
+use spotcheck_migrate::mechanisms::MechanismKind;
+use spotcheck_simcore::time::{SimDuration, SimTime};
+use spotcheck_spotmarket::trace::PriceTrace;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("generate") => generate(&args[1..]),
+        Some("stats") => stats(&args[1..]),
+        Some("policy") => policy(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: tracegen generate [--days N] [--seed N] [--out DIR]\n\
+                 |      tracegen stats FILE.csv\n\
+                 |      tracegen policy DIR"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn generate(args: &[String]) -> ExitCode {
+    let days: u64 = flag(args, "--days").and_then(|s| s.parse().ok()).unwrap_or(183);
+    let seed: u64 = flag(args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+    let out = PathBuf::from(flag(args, "--out").unwrap_or_else(|| "traces".to_string()));
+    if let Err(e) = std::fs::create_dir_all(&out) {
+        eprintln!("cannot create {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    let traces = standard_traces("us-east-1a", SimDuration::from_days(days), seed);
+    for t in &traces {
+        let path = out.join(format!("{}.csv", t.market));
+        if let Err(e) = std::fs::write(&path, t.to_csv()) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "{}: {} change points over {days} days",
+            path.display(),
+            t.prices.len()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn load(path: &Path) -> Result<PriceTrace, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    PriceTrace::from_csv(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn stats(args: &[String]) -> ExitCode {
+    let Some(file) = args.first() else {
+        eprintln!("usage: tracegen stats FILE.csv");
+        return ExitCode::FAILURE;
+    };
+    let trace = match load(Path::new(file)) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let end = trace.end().unwrap_or(SimTime::ZERO);
+    println!("market:        {}", trace.market);
+    println!("on-demand:     ${:.4}/hr", trace.on_demand_price);
+    println!("change points: {}", trace.prices.len());
+    println!("span:          {}", end);
+    if let Some(mean) = trace.mean_price(SimTime::ZERO, end) {
+        println!("mean price:    ${mean:.4}/hr ({:.2}x od)", mean / trace.on_demand_price);
+    }
+    if let Some(avail) = trace.availability_at_bid(trace.on_demand_price, SimTime::ZERO, end) {
+        println!("avail @ bid=od: {:.4}%", avail * 100.0);
+    }
+    println!(
+        "revocations @ bid=od: {}",
+        trace.revocations_at_bid(trace.on_demand_price, SimTime::ZERO, end)
+    );
+    ExitCode::SUCCESS
+}
+
+fn policy(args: &[String]) -> ExitCode {
+    let dir = PathBuf::from(args.first().cloned().unwrap_or_else(|| "traces".to_string()));
+    let mut traces = Vec::new();
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().map(|e| e == "csv").unwrap_or(false) {
+            match load(&path) {
+                Ok(t) => traces.push(t),
+                Err(e) => {
+                    eprintln!("skipping {e}");
+                }
+            }
+        }
+    }
+    if traces.is_empty() {
+        eprintln!("no traces loaded from {}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    let horizon = traces
+        .iter()
+        .filter_map(|t| t.end())
+        .max()
+        .unwrap_or(SimTime::ZERO)
+        .saturating_since(SimTime::ZERO);
+    println!(
+        "loaded {} markets; horizon {}\n",
+        traces.len(),
+        horizon
+    );
+    println!(
+        "{:<8} {:>10} {:>12} {:>10}",
+        "policy", "$/VM-hr", "avail (%)", "revs/VM"
+    );
+    for mapping in MappingPolicy::ALL {
+        // Skip policies whose markets are not all present.
+        let zone = traces[0].market.zone.as_str();
+        let have_all = mapping
+            .markets(zone)
+            .iter()
+            .all(|m| traces.iter().any(|t| &t.market == m));
+        if !have_all {
+            println!("{:<8} (markets missing)", mapping.label());
+            continue;
+        }
+        let mut exp =
+            PolicyExperiment::paper_default(mapping, MechanismKind::SpotCheckLazy, 0);
+        exp.horizon = horizon;
+        let r = run_policy(&traces, &exp);
+        println!(
+            "{:<8} {:>10.4} {:>12.4} {:>10.1}",
+            mapping.label(),
+            r.avg_cost_per_vm_hr,
+            r.availability_pct,
+            r.revocations_per_vm
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,137 @@
+//! Figure 7: nested-VM performance as the number of VMs continuously
+//! checkpointing to one backup server grows (0, 1, 10, 20, 30, 40, 50).
+//!
+//! The "0" column is no checkpointing; "1" is checkpointing to a dedicated
+//! backup. TPC-W pays ~15% response time for turning checkpointing on;
+//! SPECjbb pays nothing. Past the saturation knee (~35-40 VMs) both
+//! degrade by roughly 30%.
+
+use spotcheck_backup::server::BackupServerConfig;
+use spotcheck_migrate::bounded::BoundedTimeConfig;
+use spotcheck_migrate::scenario::checkpoint_contention;
+use spotcheck_nestedvm::memory::PAGE_SIZE;
+use spotcheck_simcore::time::SimDuration;
+use spotcheck_workloads::{PerfContext, WorkloadKind};
+
+use super::Scale;
+use crate::table::{f, TextTable};
+
+const COUNTS: [usize; 7] = [0, 1, 10, 20, 30, 40, 50];
+
+/// Per-VM steady checkpoint stream demand of a workload, bytes/sec.
+pub fn stream_demand_bps(kind: WorkloadKind) -> f64 {
+    let dirty = kind.dirty_model();
+    let epoch = BoundedTimeConfig::default()
+        .steady_epoch(&dirty, spotcheck_nestedvm::vm::NestedVmSpec::medium().pages());
+    dirty.distinct_dirty_rate(
+        spotcheck_nestedvm::vm::NestedVmSpec::medium().pages(),
+        epoch.min(SimDuration::from_secs(1)),
+    ) * PAGE_SIZE as f64
+}
+
+/// Computes a workload's Figure 7 series: `(n_vms, metric)`.
+pub fn series(kind: WorkloadKind, cfg: &BackupServerConfig) -> Vec<(usize, f64)> {
+    let model = kind.model();
+    let demand = stream_demand_bps(kind);
+    COUNTS
+        .iter()
+        .map(|&n| {
+            let metric = if n == 0 {
+                model.perf(&PerfContext::baseline())
+            } else {
+                let demands = vec![demand; n];
+                let contention = checkpoint_contention(&demands, cfg, None);
+                model.perf(&PerfContext::protected_with_health(contention.health[0]))
+            };
+            (n, metric)
+        })
+        .collect()
+}
+
+/// Runs the experiment.
+pub fn run(_scale: Scale) -> String {
+    let cfg = BackupServerConfig::default();
+    let jbb = series(WorkloadKind::SpecJbb, &cfg);
+    let tpcw = series(WorkloadKind::TpcW, &cfg);
+    let mut t = TextTable::new(&[
+        "VMs/backup",
+        "SpecJBB throughput (bops)",
+        "TPC-W response time (ms)",
+    ]);
+    for i in 0..COUNTS.len() {
+        t.row(vec![
+            COUNTS[i].to_string(),
+            f(jbb[i].1, 0),
+            f(tpcw[i].1, 1),
+        ]);
+    }
+    let mut out = t.render();
+    out.push_str(&format!(
+        "\nstream demand: TPC-W {:.2} MB/s, SpecJBB {:.2} MB/s per VM; backup NIC {:.0} MB/s\n",
+        stream_demand_bps(WorkloadKind::TpcW) / 1e6,
+        stream_demand_bps(WorkloadKind::SpecJbb) / 1e6,
+        cfg.nic_bps / 1e6
+    ));
+    out.push_str(
+        "paper shape: TPC-W 29 ms baseline, +15% with checkpointing, ~+30% more at 50 VMs;\n\
+         SpecJBB ~12000 bops flat until ~35-40 VMs, then down ~25-30%\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure7_shape_holds() {
+        let cfg = BackupServerConfig::default();
+        let tpcw = series(WorkloadKind::TpcW, &cfg);
+        let jbb = series(WorkloadKind::SpecJbb, &cfg);
+        // Baselines.
+        assert_eq!(tpcw[0].1, 29.0);
+        assert_eq!(jbb[0].1, 12_000.0);
+        // Turning checkpointing on: +15% TPC-W, no SpecJBB change.
+        assert!((tpcw[1].1 / 29.0 - 1.15).abs() < 0.01);
+        assert_eq!(jbb[1].1, 12_000.0);
+        // Flat through 30 VMs.
+        assert!((tpcw[3].1 - tpcw[1].1).abs() < 0.5);
+        assert!((jbb[4].1 - jbb[1].1).abs() < 1.0, "flat at 30 VMs");
+        // Degradation at 50 VMs: both significant.
+        let tpcw_inc = tpcw[6].1 / tpcw[1].1 - 1.0;
+        let jbb_drop = 1.0 - jbb[6].1 / jbb[1].1;
+        assert!(
+            (0.15..0.60).contains(&tpcw_inc),
+            "TPC-W increase at 50 VMs: {tpcw_inc}"
+        );
+        assert!(
+            (0.15..0.45).contains(&jbb_drop),
+            "SpecJBB drop at 50 VMs: {jbb_drop}"
+        );
+    }
+
+    #[test]
+    fn knee_is_past_30_vms() {
+        let cfg = BackupServerConfig::default();
+        for kind in WorkloadKind::ALL {
+            let s = series(kind, &cfg);
+            // At 30 VMs, performance is still at the protected baseline.
+            let p30 = s[4].1;
+            let p1 = s[1].1;
+            assert!(
+                (p30 - p1).abs() / p1 < 0.02,
+                "{kind:?} already degraded at 30 VMs"
+            );
+            // At 50, it is not.
+            let p50 = s[6].1;
+            assert!((p50 - p1).abs() / p1 > 0.10, "{kind:?} flat at 50 VMs");
+        }
+    }
+
+    #[test]
+    fn output_mentions_demands() {
+        let out = run(Scale::Quick);
+        assert!(out.contains("stream demand"));
+        assert!(out.contains("VMs/backup"));
+    }
+}

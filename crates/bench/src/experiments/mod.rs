@@ -1,0 +1,196 @@
+//! Experiment registry: one entry per paper table/figure plus ablations.
+
+pub mod ablations;
+pub mod fig1;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod policy;
+pub mod table1;
+pub mod table2;
+
+/// Experiment fidelity: `Full` reproduces the paper's scales (six-month
+/// traces); `Quick` shrinks horizons for smoke tests and criterion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-scale horizons and repetitions.
+    Full,
+    /// Reduced horizons for fast runs.
+    Quick,
+}
+
+impl Scale {
+    /// Trace horizon in days.
+    pub fn horizon_days(self) -> u64 {
+        match self {
+            Scale::Full => 183,
+            Scale::Quick => 14,
+        }
+    }
+}
+
+/// A completed experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Registry id, e.g. `fig10`.
+    pub id: &'static str,
+    /// Title matching the paper artifact.
+    pub title: &'static str,
+    /// The formatted output (tables/series).
+    pub output: String,
+}
+
+type Runner = fn(Scale) -> String;
+
+/// The registry, in the paper's presentation order.
+const REGISTRY: &[(&str, &str, Runner)] = &[
+    ("fig1", "Figure 1: m1.small spot price over time", fig1::run),
+    (
+        "fig6a",
+        "Figure 6a: availability CDF vs bid ratio (m3 family)",
+        fig6::run_a,
+    ),
+    (
+        "fig6b",
+        "Figure 6b: CDF of hourly percentage price jumps",
+        fig6::run_b,
+    ),
+    (
+        "fig6c",
+        "Figure 6c: price correlation across 18 zones",
+        fig6::run_c,
+    ),
+    (
+        "fig6d",
+        "Figure 6d: price correlation across 15 instance types",
+        fig6::run_d,
+    ),
+    (
+        "table1",
+        "Table 1: latency of EC2 control-plane operations",
+        table1::run,
+    ),
+    (
+        "table2",
+        "Table 2: customer-to-pool mapping policies and their weights",
+        table2::run,
+    ),
+    (
+        "fig7",
+        "Figure 7: performance vs VMs per backup server",
+        fig7::run,
+    ),
+    (
+        "fig8",
+        "Figure 8: restore downtime / degraded duration vs concurrency",
+        fig8::run,
+    ),
+    (
+        "fig9",
+        "Figure 9: TPC-W response time during concurrent lazy restores",
+        fig9::run,
+    ),
+    (
+        "fig10",
+        "Figure 10: average cost per VM under each policy",
+        policy::run_fig10,
+    ),
+    (
+        "fig11",
+        "Figure 11: unavailability under each policy",
+        policy::run_fig11,
+    ),
+    (
+        "fig12",
+        "Figure 12: performance degradation under each policy",
+        policy::run_fig12,
+    ),
+    (
+        "table3",
+        "Table 3: probability of mass concurrent revocations",
+        policy::run_table3,
+    ),
+    (
+        "headline",
+        "Headline: cost savings and availability (1P-M, lazy restore)",
+        policy::run_headline,
+    ),
+    (
+        "ablation_ramp",
+        "Ablation: ramped final checkpoint (SpotCheck) vs fixed (Yank)",
+        ablations::run_ramp,
+    ),
+    (
+        "ablation_fadvise",
+        "Ablation: fadvise read-path optimization on lazy restores",
+        ablations::run_fadvise,
+    ),
+    (
+        "ablation_slicing",
+        "Ablation: slicing arbitrage on the placement cost",
+        ablations::run_slicing,
+    ),
+    (
+        "ablation_spares",
+        "Ablation: hot spares vs lazy on-demand acquisition",
+        ablations::run_spares,
+    ),
+    (
+        "ablation_bid",
+        "Ablation: bid level k x on-demand vs revocations and cost",
+        ablations::run_bid,
+    ),
+    (
+        "ablation_bound",
+        "Ablation: bounded-time migration bound vs overhead",
+        ablations::run_bound,
+    ),
+    (
+        "ablation_billing",
+        "Ablation: continuous vs 2014-hourly billing",
+        ablations::run_billing,
+    ),
+    (
+        "ablation_predictor",
+        "Ablation: revocation prediction precision vs recall",
+        ablations::run_predictor,
+    ),
+];
+
+/// All experiment ids in order.
+pub fn all_ids() -> Vec<&'static str> {
+    REGISTRY.iter().map(|(id, _, _)| *id).collect()
+}
+
+/// Runs one experiment by id.
+pub fn run(id: &str, scale: Scale) -> Option<ExperimentResult> {
+    REGISTRY
+        .iter()
+        .find(|(rid, _, _)| *rid == id)
+        .map(|(rid, title, runner)| ExperimentResult {
+            id: rid,
+            title,
+            output: runner(scale),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique() {
+        let mut ids = all_ids();
+        let n = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+        assert!(n >= 14, "all paper artifacts plus ablations registered");
+    }
+
+    #[test]
+    fn unknown_id_is_none() {
+        assert!(run("fig99", Scale::Quick).is_none());
+    }
+}

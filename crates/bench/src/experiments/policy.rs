@@ -1,0 +1,256 @@
+//! Figures 10-12, Table 3, and the headline numbers: the six-month
+//! trace-driven policy evaluation.
+//!
+//! Each cell runs the policy simulator (`spotcheck_core::sim`) over the
+//! same generated six-month m3-family traces, exactly one run per
+//! (mapping policy x mechanism) pair.
+
+use std::sync::OnceLock;
+
+use spotcheck_core::policy::MappingPolicy;
+use spotcheck_core::sim::{run_policy, standard_traces, PolicyExperiment, PolicyReport};
+use spotcheck_migrate::mechanisms::MechanismKind;
+use spotcheck_simcore::time::SimDuration;
+use spotcheck_spotmarket::trace::PriceTrace;
+
+use super::Scale;
+use crate::table::{f, sci, TextTable};
+
+const SEED: u64 = 0x5EED_2015;
+
+fn traces(scale: Scale) -> &'static Vec<PriceTrace> {
+    static FULL: OnceLock<Vec<PriceTrace>> = OnceLock::new();
+    static QUICK: OnceLock<Vec<PriceTrace>> = OnceLock::new();
+    let cell = match scale {
+        Scale::Full => &FULL,
+        Scale::Quick => &QUICK,
+    };
+    cell.get_or_init(|| {
+        standard_traces(
+            "us-east-1a",
+            SimDuration::from_days(scale.horizon_days()),
+            SEED,
+        )
+    })
+}
+
+/// Runs (and caches per scale) the full policy x mechanism grid.
+pub fn grid(scale: Scale) -> &'static Vec<PolicyReport> {
+    static FULL: OnceLock<Vec<PolicyReport>> = OnceLock::new();
+    static QUICK: OnceLock<Vec<PolicyReport>> = OnceLock::new();
+    let cell = match scale {
+        Scale::Full => &FULL,
+        Scale::Quick => &QUICK,
+    };
+    cell.get_or_init(|| {
+        let ts = traces(scale);
+        let mut out = Vec::new();
+        for mapping in MappingPolicy::ALL {
+            for mechanism in MechanismKind::FIGURE_GRID {
+                let mut exp = PolicyExperiment::paper_default(mapping, mechanism, SEED);
+                exp.horizon = SimDuration::from_days(scale.horizon_days());
+                out.push(run_policy(ts, &exp));
+            }
+        }
+        out
+    })
+}
+
+fn cell<'a>(
+    grid: &'a [PolicyReport],
+    mapping: MappingPolicy,
+    mech: MechanismKind,
+) -> &'a PolicyReport {
+    grid.iter()
+        .find(|r| r.mapping == mapping && r.mechanism == mech)
+        .expect("grid covers all cells")
+}
+
+fn grid_table(scale: Scale, value: impl Fn(&PolicyReport) -> String, unit: &str) -> String {
+    let g = grid(scale);
+    let mut header = vec!["policy".to_string()];
+    header.extend(MechanismKind::FIGURE_GRID.iter().map(|m| m.label().to_string()));
+    let hdr: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = TextTable::new(&hdr);
+    for mapping in MappingPolicy::ALL {
+        let mut row = vec![mapping.label().to_string()];
+        for mech in MechanismKind::FIGURE_GRID {
+            row.push(value(cell(g, mapping, mech)));
+        }
+        t.row(row);
+    }
+    format!("{} ({unit})\n{}", "policy x mechanism", t.render())
+}
+
+/// Figure 10.
+pub fn run_fig10(scale: Scale) -> String {
+    let mut out = grid_table(scale, |r| f(r.avg_cost_per_vm_hr, 4), "average $/VM-hr");
+    let g = grid(scale);
+    let lazy_1pm = cell(g, MappingPolicy::OneM, MechanismKind::SpotCheckLazy);
+    out.push_str(&format!(
+        "\n1P-M SpotCheck-lazy cost: ${:.4}/hr vs m3.medium on-demand $0.0700/hr -> {:.1}x savings\n\
+         paper shape: ~$0.015/hr for the m3.medium-equivalent, ~5x cheaper than on-demand;\n\
+         live migration cheapest (no backup servers); pool spreading adds marginal cost\n",
+        lazy_1pm.avg_cost_per_vm_hr,
+        0.07 / lazy_1pm.avg_cost_per_vm_hr
+    ));
+    out
+}
+
+/// Figure 11.
+pub fn run_fig11(scale: Scale) -> String {
+    let mut out = grid_table(scale, |r| f(r.unavailability_pct, 4), "unavailability %");
+    let g = grid(scale);
+    let lazy_1pm = cell(g, MappingPolicy::OneM, MechanismKind::SpotCheckLazy);
+    out.push_str(&format!(
+        "\n1P-M SpotCheck-lazy availability: {:.4}%\n\
+         paper shape: live < lazy < optimized-full < unoptimized-full unavailability;\n\
+         1P-M highest availability (~99.999%), 4P-ED lowest (~99.8%); all <= 0.25%\n",
+        lazy_1pm.availability_pct
+    ));
+    out
+}
+
+/// Figure 12.
+pub fn run_fig12(scale: Scale) -> String {
+    let mut out = grid_table(scale, |r| f(r.degradation_pct, 4), "time degraded %");
+    out.push_str(
+        "\npaper shape: lazy restore trades its availability win for the longest degraded\n\
+         windows; 1P-M ~0.02%, worst (4P-ED) ~0.25%\n",
+    );
+    out
+}
+
+/// Table 3.
+pub fn run_table3(scale: Scale) -> String {
+    let g = grid(scale);
+    let mut t = TextTable::new(&["policy", "N/4", "N/2", "3N/4", "N"]);
+    for (mapping, label) in [
+        (MappingPolicy::OneM, "1-Pool"),
+        (MappingPolicy::TwoML, "2-Pool"),
+        (MappingPolicy::FourEd, "4-Pool"),
+    ] {
+        let r = cell(g, mapping, MechanismKind::SpotCheckLazy);
+        let mut row = vec![label.to_string()];
+        for (_, p) in &r.storms.buckets {
+            row.push(sci(*p));
+        }
+        t.row(row);
+    }
+    let mut out = t.render();
+    out.push_str(
+        "\nprobabilities are per 1-minute interval over the horizon; N = 40 VMs per backup server\n\
+         paper shape: 1-Pool concentrates all mass at N (full storms); 2-Pool mostly N/2 with\n\
+         rare coincident N; 4-Pool mostly N/4 with full storms (N) never observed\n",
+    );
+    out
+}
+
+/// Headline numbers.
+pub fn run_headline(scale: Scale) -> String {
+    let g = grid(scale);
+    let r = cell(g, MappingPolicy::OneM, MechanismKind::SpotCheckLazy);
+    let mut t = TextTable::new(&["metric", "measured", "paper"]);
+    t.row(vec![
+        "cost ($/VM-hr)".into(),
+        f(r.avg_cost_per_vm_hr, 4),
+        "~0.015".into(),
+    ]);
+    t.row(vec![
+        "savings vs on-demand".into(),
+        format!("{:.1}x", 0.07 / r.avg_cost_per_vm_hr),
+        "~5x".into(),
+    ]);
+    t.row(vec![
+        "availability (%)".into(),
+        f(r.availability_pct, 4),
+        "99.9989".into(),
+    ]);
+    t.row(vec![
+        "degraded time (%)".into(),
+        f(r.degradation_pct, 4),
+        "~0.02".into(),
+    ]);
+    t.row(vec![
+        "revocations per VM (6 mo)".into(),
+        f(r.revocations_per_vm, 1),
+        "(rare; m3.medium highly stable)".into(),
+    ]);
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig10_cost_savings_hold() {
+        let g = grid(Scale::Quick);
+        let r = cell(g, MappingPolicy::OneM, MechanismKind::SpotCheckLazy);
+        // Quick scale still shows the headline economics: several-fold
+        // cheaper than the $0.07 on-demand price.
+        assert!(
+            r.avg_cost_per_vm_hr < 0.03,
+            "cost {}",
+            r.avg_cost_per_vm_hr
+        );
+        // Live is cheapest (no backup).
+        let live = cell(g, MappingPolicy::OneM, MechanismKind::XenLive);
+        assert!(live.avg_cost_per_vm_hr < r.avg_cost_per_vm_hr);
+    }
+
+    #[test]
+    fn fig11_availability_ordering() {
+        let g = grid(Scale::Quick);
+        for mapping in MappingPolicy::ALL {
+            let live = cell(g, mapping, MechanismKind::XenLive);
+            let lazy = cell(g, mapping, MechanismKind::SpotCheckLazy);
+            let full = cell(g, mapping, MechanismKind::SpotCheckFull);
+            let yank = cell(g, mapping, MechanismKind::UnoptimizedFull);
+            assert!(live.unavailability_pct <= lazy.unavailability_pct);
+            assert!(lazy.unavailability_pct <= full.unavailability_pct);
+            assert!(full.unavailability_pct <= yank.unavailability_pct);
+        }
+    }
+
+    #[test]
+    fn fig11_one_pool_most_available() {
+        let g = grid(Scale::Quick);
+        let one = cell(g, MappingPolicy::OneM, MechanismKind::SpotCheckLazy);
+        let four = cell(g, MappingPolicy::FourEd, MechanismKind::SpotCheckLazy);
+        assert!(one.unavailability_pct < four.unavailability_pct);
+        assert!(one.availability_pct > 99.9);
+    }
+
+    #[test]
+    fn fig12_lazy_degrades_longest() {
+        let g = grid(Scale::Quick);
+        let lazy = cell(g, MappingPolicy::FourEd, MechanismKind::SpotCheckLazy);
+        let full = cell(g, MappingPolicy::FourEd, MechanismKind::SpotCheckFull);
+        assert!(lazy.degradation_pct > full.degradation_pct);
+    }
+
+    #[test]
+    fn table3_spreading_eliminates_full_storms() {
+        let g = grid(Scale::Quick);
+        let one = cell(g, MappingPolicy::OneM, MechanismKind::SpotCheckLazy);
+        let four = cell(g, MappingPolicy::FourEd, MechanismKind::SpotCheckLazy);
+        // 1-Pool: every storm is full-N.
+        if one.revocations_per_vm > 0.0 {
+            assert!(one.storms.p_full() > 0.0);
+        }
+        // 4-Pool: full storms require 4 simultaneous independent spikes —
+        // never observed.
+        assert_eq!(four.storms.p_full(), 0.0);
+        // But 4-Pool sees (many) quarter storms.
+        assert!(four.storms.buckets[0].1 > 0.0);
+    }
+
+    #[test]
+    fn output_renders() {
+        for id in ["fig10", "fig11", "fig12", "table3", "headline"] {
+            let r = super::super::run(id, Scale::Quick).unwrap();
+            assert!(!r.output.is_empty());
+        }
+    }
+}

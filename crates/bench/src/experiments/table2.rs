@@ -1,0 +1,70 @@
+//! Table 2: the customer-to-pool mapping policies — definitions plus the
+//! concrete VM-distribution weights each policy computes over the
+//! generated six-month history (the paper's table lists only the
+//! definitions; the weights make the two probabilistic policies concrete).
+
+use spotcheck_core::policy::MappingPolicy;
+use spotcheck_core::sim::standard_traces;
+use spotcheck_simcore::time::{SimDuration, SimTime};
+use spotcheck_spotmarket::trace::PriceTrace;
+
+use super::Scale;
+use crate::table::{f, TextTable};
+
+fn description(p: MappingPolicy) -> &'static str {
+    match p {
+        MappingPolicy::OneM => "VMs mapped to a single m3.medium pool",
+        MappingPolicy::TwoML => "VMs equally distributed between m3.medium and m3.large",
+        MappingPolicy::FourEd => "VMs equally distributed across the four m3 types",
+        MappingPolicy::FourCost => {
+            "VMs distributed by past prices (cheaper pool => higher probability)"
+        }
+        MappingPolicy::FourSt => {
+            "VMs distributed by past migrations (fewer => higher probability)"
+        }
+    }
+}
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> String {
+    let horizon = SimDuration::from_days(scale.horizon_days());
+    let traces = standard_traces("us-east-1a", horizon, 0x7AB2);
+    let end = SimTime::ZERO + horizon;
+    let mut t = TextTable::new(&[
+        "Policy",
+        "Description",
+        "weights (medium/large/xlarge/2xlarge)",
+    ]);
+    for p in MappingPolicy::ALL {
+        let markets = p.markets("us-east-1a");
+        let refs: Vec<&PriceTrace> = markets
+            .iter()
+            .map(|m| traces.iter().find(|t| &t.market == m).expect("trace"))
+            .collect();
+        let weights = p.weights(&refs, SimTime::ZERO, end);
+        let mut cells: Vec<String> = weights.iter().map(|w| f(*w, 3)).collect();
+        while cells.len() < 4 {
+            cells.push("-".to_string());
+        }
+        t.row(vec![
+            p.label().to_string(),
+            description(p).to_string(),
+            cells.join(" / "),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_lists_all_policies() {
+        let out = run(Scale::Quick);
+        for p in MappingPolicy::ALL {
+            assert!(out.contains(p.label()), "{} missing", p.label());
+        }
+        assert!(out.contains("0.500 / 0.500"));
+    }
+}

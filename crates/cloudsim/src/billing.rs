@@ -1,0 +1,169 @@
+//! Billing: what an instance costs over a usage interval.
+//!
+//! Two modes:
+//!
+//! - [`BillingMode::Continuous`] — integrate the price over wall time. This
+//!   is the model the paper's §4.4 analysis and Figure 10 cost numbers use.
+//! - [`BillingMode::HourlySpot2014`] — 2014-era EC2 rules: each started
+//!   instance-hour is charged at the price in effect at the start of that
+//!   hour; the final partial hour is *free* if the platform revoked the
+//!   instance and charged in full if the user terminated it. SpotCheck's
+//!   economics still hold under these rules; an ablation bench compares the
+//!   two.
+
+use spotcheck_simcore::time::SimTime;
+use spotcheck_spotmarket::trace::PriceTrace;
+
+/// How usage converts to dollars.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BillingMode {
+    /// Integrate $/hr price over exact usage time.
+    #[default]
+    Continuous,
+    /// 2014 EC2 rules: per started hour, hour-start price, revoked final
+    /// partial hour free.
+    HourlySpot2014,
+}
+
+/// Computes the cost of an on-demand instance running `[start, end)`.
+pub fn on_demand_cost(price_per_hr: f64, start: SimTime, end: SimTime, mode: BillingMode) -> f64 {
+    let hours = end.saturating_since(start).as_hours_f64();
+    match mode {
+        BillingMode::Continuous => price_per_hr * hours,
+        BillingMode::HourlySpot2014 => price_per_hr * hours.ceil().max(if hours > 0.0 { 1.0 } else { 0.0 }),
+    }
+}
+
+/// Computes the cost of a spot instance running `[start, end)` against its
+/// market trace.
+///
+/// The charged price is capped at `bid`: a spot instance is never billed
+/// above its bid (the platform revokes it instead; the brief warning
+/// window bills at the bid). `revoked` controls the 2014 rule that a
+/// platform-revoked final partial hour is free. Returns 0.0 for an empty
+/// interval.
+pub fn spot_cost(
+    trace: &PriceTrace,
+    start: SimTime,
+    end: SimTime,
+    bid: f64,
+    revoked: bool,
+    mode: BillingMode,
+) -> f64 {
+    if end <= start {
+        return 0.0;
+    }
+    match mode {
+        BillingMode::Continuous => {
+            let hours = end.since(start).as_hours_f64();
+            trace.mean_capped_price(bid, start, end).unwrap_or(0.0) * hours
+        }
+        BillingMode::HourlySpot2014 => {
+            let mut cost = 0.0;
+            let mut hour_start = start;
+            loop {
+                let hour_end = hour_start + spotcheck_simcore::time::SimDuration::from_hours(1);
+                let price = trace.price_at(hour_start).unwrap_or(0.0).min(bid);
+                if hour_end <= end {
+                    // Full hour used.
+                    cost += price;
+                    hour_start = hour_end;
+                    if hour_start == end {
+                        break;
+                    }
+                } else {
+                    // Final partial hour.
+                    if !revoked {
+                        cost += price;
+                    }
+                    break;
+                }
+            }
+            cost
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spotcheck_simcore::series::StepSeries;
+    use spotcheck_simcore::time::SimDuration;
+    use spotcheck_spotmarket::market::MarketId;
+
+    fn trace() -> PriceTrace {
+        // 0.02 for the first hour, 0.04 afterward.
+        let s = StepSeries::from_points(vec![
+            (SimTime::ZERO, 0.02),
+            (SimTime::from_hours(1), 0.04),
+        ]);
+        PriceTrace::new(MarketId::new("m3.medium", "z"), 0.07, s)
+    }
+
+    #[test]
+    fn on_demand_continuous_vs_hourly() {
+        let start = SimTime::ZERO;
+        let end = SimTime::from_secs(90 * 60); // 1.5 h
+        assert!((on_demand_cost(0.07, start, end, BillingMode::Continuous) - 0.105).abs() < 1e-12);
+        assert!(
+            (on_demand_cost(0.07, start, end, BillingMode::HourlySpot2014) - 0.14).abs() < 1e-12
+        );
+        // Zero-length usage costs nothing in either mode.
+        assert_eq!(on_demand_cost(0.07, start, start, BillingMode::Continuous), 0.0);
+        assert_eq!(
+            on_demand_cost(0.07, start, start, BillingMode::HourlySpot2014),
+            0.0
+        );
+    }
+
+    #[test]
+    fn spot_continuous_integrates_price() {
+        let t = trace();
+        // 2 hours spanning the price change: 0.02 + 0.04.
+        let c = spot_cost(
+            &t,
+            SimTime::ZERO,
+            SimTime::from_hours(2),
+            f64::INFINITY,
+            false,
+            BillingMode::Continuous,
+        );
+        assert!((c - 0.06).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spot_hourly_charges_hour_start_price() {
+        let t = trace();
+        // 2.5 hours, user-terminated: hours at 0.02, 0.04, and the partial
+        // third hour at 0.04.
+        let end = SimTime::from_hours(2) + SimDuration::from_secs(1_800);
+        let c = spot_cost(&t, SimTime::ZERO, end, f64::INFINITY, false, BillingMode::HourlySpot2014);
+        assert!((c - 0.10).abs() < 1e-12, "c={c}");
+        // Same interval but revoked: the partial hour is free.
+        let c = spot_cost(&t, SimTime::ZERO, end, f64::INFINITY, true, BillingMode::HourlySpot2014);
+        assert!((c - 0.06).abs() < 1e-12, "c={c}");
+    }
+
+    #[test]
+    fn spot_exact_hours_have_no_partial_hour() {
+        let t = trace();
+        let c = spot_cost(
+            &t,
+            SimTime::ZERO,
+            SimTime::from_hours(1),
+            f64::INFINITY,
+            true,
+            BillingMode::HourlySpot2014,
+        );
+        assert!((c - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_interval_is_free() {
+        let t = trace();
+        assert_eq!(
+            spot_cost(&t, SimTime::from_hours(1), SimTime::from_hours(1), f64::INFINITY, false, BillingMode::Continuous),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! Cloud API errors.
+
+use std::fmt;
+
+use crate::ids::{EniId, InstanceId, OpId, VolumeId};
+
+/// Errors returned by the cloud API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CloudError {
+    /// The requested instance type does not exist in the catalog.
+    UnknownType(String),
+    /// No price trace is loaded for the requested spot market.
+    UnknownMarket(String),
+    /// The spot bid is below the current market price, so the request
+    /// cannot be fulfilled.
+    BidBelowPrice {
+        /// The submitted bid, $/hr.
+        bid: f64,
+        /// The current market price, $/hr.
+        price: f64,
+    },
+    /// The platform has no on-demand capacity of this type right now (rare;
+    /// see paper §4.3 on on-demand stockouts).
+    CapacityUnavailable,
+    /// The instance id is unknown.
+    UnknownInstance(InstanceId),
+    /// The volume id is unknown.
+    UnknownVolume(VolumeId),
+    /// The ENI id is unknown.
+    UnknownEni(EniId),
+    /// The operation id is unknown or already completed.
+    UnknownOp(OpId),
+    /// An operation was attempted in an incompatible state.
+    InvalidState(String),
+}
+
+impl fmt::Display for CloudError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CloudError::UnknownType(t) => write!(f, "unknown instance type: {t}"),
+            CloudError::UnknownMarket(m) => write!(f, "no price trace for market: {m}"),
+            CloudError::BidBelowPrice { bid, price } => {
+                write!(f, "bid ${bid}/hr is below current spot price ${price}/hr")
+            }
+            CloudError::CapacityUnavailable => write!(f, "on-demand capacity unavailable"),
+            CloudError::UnknownInstance(i) => write!(f, "unknown instance: {i}"),
+            CloudError::UnknownVolume(v) => write!(f, "unknown volume: {v}"),
+            CloudError::UnknownEni(e) => write!(f, "unknown ENI: {e}"),
+            CloudError::UnknownOp(o) => write!(f, "unknown or completed operation: {o}"),
+            CloudError::InvalidState(msg) => write!(f, "invalid state: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CloudError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        assert!(CloudError::UnknownType("x9.mega".into())
+            .to_string()
+            .contains("x9.mega"));
+        let e = CloudError::BidBelowPrice {
+            bid: 0.05,
+            price: 0.09,
+        };
+        assert!(e.to_string().contains("0.05") && e.to_string().contains("0.09"));
+        assert!(CloudError::UnknownInstance(InstanceId(7))
+            .to_string()
+            .contains("i-00000007"));
+    }
+}

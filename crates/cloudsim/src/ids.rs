@@ -1,0 +1,63 @@
+//! Opaque identifiers for cloud resources.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u64);
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "-{:08x}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a native VM instance.
+    InstanceId,
+    "i"
+);
+id_type!(
+    /// Identifies an EBS volume.
+    VolumeId,
+    "vol"
+);
+id_type!(
+    /// Identifies an elastic network interface.
+    EniId,
+    "eni"
+);
+id_type!(
+    /// Identifies an asynchronous control-plane operation.
+    OpId,
+    "op"
+);
+
+/// A private IPv4 address within the VPC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PrivateIp(pub u32);
+
+impl fmt::Display for PrivateIp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let [a, b, c, d] = self.0.to_be_bytes();
+        write!(f, "{a}.{b}.{c}.{d}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(InstanceId(0xab).to_string(), "i-000000ab");
+        assert_eq!(VolumeId(1).to_string(), "vol-00000001");
+        assert_eq!(EniId(2).to_string(), "eni-00000002");
+        assert_eq!(OpId(3).to_string(), "op-00000003");
+        assert_eq!(PrivateIp(0x0A00_0105).to_string(), "10.0.1.5");
+    }
+}

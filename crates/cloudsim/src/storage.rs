@@ -1,0 +1,160 @@
+//! Network-attached storage (EBS) and elastic network interfaces (ENI).
+//!
+//! SpotCheck's migration transparency rests on two EC2 facilities (paper
+//! §3.4-§3.5): EBS volumes that can be detached from a revoked host and
+//! reattached at the destination, and VPC private IPs carried by ENIs that
+//! can likewise be moved. Both are modeled here as simple attachment state
+//! machines; their (slow) control-plane latencies come from
+//! [`crate::latency`].
+
+use crate::ids::{EniId, InstanceId, PrivateIp, VolumeId};
+
+/// Attachment state shared by volumes and ENIs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttachState {
+    /// Not attached to any instance.
+    Available,
+    /// Attach operation in flight toward the instance.
+    Attaching(InstanceId),
+    /// Attached to the instance.
+    Attached(InstanceId),
+    /// Detach operation in flight from the instance.
+    Detaching(InstanceId),
+}
+
+impl AttachState {
+    /// Returns the instance the resource is (becoming) attached to, if any.
+    pub fn instance(&self) -> Option<InstanceId> {
+        match self {
+            AttachState::Available => None,
+            AttachState::Attaching(i) | AttachState::Attached(i) | AttachState::Detaching(i) => {
+                Some(*i)
+            }
+        }
+    }
+}
+
+/// A network-attached disk volume.
+#[derive(Debug, Clone)]
+pub struct Volume {
+    /// Volume id.
+    pub id: VolumeId,
+    /// Size in GiB.
+    pub size_gib: f64,
+    /// Attachment state.
+    pub state: AttachState,
+}
+
+/// An elastic network interface carrying a private IP.
+#[derive(Debug, Clone)]
+pub struct Eni {
+    /// Interface id.
+    pub id: EniId,
+    /// The private IP currently assigned, if any.
+    pub ip: Option<PrivateIp>,
+    /// Attachment state.
+    pub state: AttachState,
+}
+
+/// Allocates private IPs within the derivative cloud's VPC.
+///
+/// The paper: "SpotCheck creates a VPC and places all of its spot and
+/// on-demand servers into it … and is able to create a private IP address
+/// for each nested VM" (§3.4). Each customer gets a `/24`-style subnet
+/// inside `10.0.0.0/8`.
+#[derive(Debug, Clone, Default)]
+pub struct Vpc {
+    subnets: Vec<SubnetAlloc>,
+}
+
+#[derive(Debug, Clone)]
+struct SubnetAlloc {
+    base: u32,
+    next_host: u32,
+}
+
+/// Identifies a customer subnet within the VPC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SubnetId(pub usize);
+
+impl Vpc {
+    /// Creates an empty VPC.
+    pub fn new() -> Self {
+        Vpc::default()
+    }
+
+    /// Carves a new customer subnet (`10.0.<n>.0/24`) and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics after 65 536 subnets (the 10.0.0.0/8 space is exhausted —
+    /// far beyond any realistic customer count).
+    pub fn create_subnet(&mut self) -> SubnetId {
+        let n = self.subnets.len() as u32;
+        assert!(n < 65_536, "VPC subnet space exhausted");
+        let base = 0x0A00_0000 | (n << 8);
+        self.subnets.push(SubnetAlloc { base, next_host: 1 });
+        SubnetId(self.subnets.len() - 1)
+    }
+
+    /// Allocates the next free private IP in `subnet`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the subnet id is unknown or the subnet's 254 host
+    /// addresses are exhausted.
+    pub fn allocate_ip(&mut self, subnet: SubnetId) -> PrivateIp {
+        let s = self
+            .subnets
+            .get_mut(subnet.0)
+            .expect("unknown subnet id");
+        assert!(s.next_host < 255, "subnet host space exhausted");
+        let ip = PrivateIp(s.base | s.next_host);
+        s.next_host += 1;
+        ip
+    }
+
+    /// Returns the number of subnets created.
+    pub fn subnet_count(&self) -> usize {
+        self.subnets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attach_state_instance_extraction() {
+        let i = InstanceId(9);
+        assert_eq!(AttachState::Available.instance(), None);
+        assert_eq!(AttachState::Attaching(i).instance(), Some(i));
+        assert_eq!(AttachState::Attached(i).instance(), Some(i));
+        assert_eq!(AttachState::Detaching(i).instance(), Some(i));
+    }
+
+    #[test]
+    fn vpc_allocates_disjoint_subnets() {
+        let mut vpc = Vpc::new();
+        let s1 = vpc.create_subnet();
+        let s2 = vpc.create_subnet();
+        let a = vpc.allocate_ip(s1);
+        let b = vpc.allocate_ip(s1);
+        let c = vpc.allocate_ip(s2);
+        assert_eq!(a.to_string(), "10.0.0.1");
+        assert_eq!(b.to_string(), "10.0.0.2");
+        assert_eq!(c.to_string(), "10.0.1.1");
+        assert_ne!(a, b);
+        assert_eq!(vpc.subnet_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "host space exhausted")]
+    fn subnet_exhaustion_panics() {
+        let mut vpc = Vpc::new();
+        let s = vpc.create_subnet();
+        for _ in 0..255 {
+            vpc.allocate_ip(s);
+        }
+    }
+}

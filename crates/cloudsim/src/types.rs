@@ -1,0 +1,95 @@
+//! Instance-type catalog.
+//!
+//! Mirrors the slice of the 2014 EC2 catalog the paper uses: the HVM-capable
+//! m3 family (the only family XenBlanket can run on, §6), plus the c3/r3
+//! families and `m1.small` for the market-statistics figures.
+
+use spotcheck_spotmarket::market::TypeName;
+use spotcheck_spotmarket::profiles;
+
+/// Static description of an instance type.
+#[derive(Debug, Clone)]
+pub struct InstanceSpec {
+    /// The type name, e.g. `m3.medium`.
+    pub type_name: TypeName,
+    /// Virtual CPUs.
+    pub vcpus: u32,
+    /// Memory in GiB.
+    pub mem_gib: f64,
+    /// Capacity in `m3.medium`-equivalent nested-VM slots.
+    pub medium_slots: u32,
+    /// On-demand $/hr.
+    pub on_demand_price: f64,
+    /// Whether the type supports hardware virtual machines (HVM). The
+    /// XenBlanket nested hypervisor requires HVM (paper §5), so SpotCheck
+    /// can only host nested VMs on HVM types.
+    pub hvm: bool,
+    /// NIC bandwidth available to the instance, bytes/second.
+    pub network_bps: f64,
+}
+
+/// Returns the full instance-type catalog.
+pub fn instance_catalog() -> Vec<InstanceSpec> {
+    profiles::catalog()
+        .into_iter()
+        .map(|e| {
+            let name = e.type_name.as_str().to_string();
+            let slots = e.medium_slots;
+            // m1.small predates HVM; everything else in the catalog is HVM.
+            let hvm = name != "m1.small";
+            // 2014-era EC2: "moderate" network for small types (~125 MB/s
+            // shared Gbit), "high" for xlarge and up (~250 MB/s).
+            let network_bps = if slots >= 4 { 250e6 } else { 125e6 };
+            InstanceSpec {
+                type_name: e.type_name,
+                vcpus: slots.max(1),
+                mem_gib: 3.75 * slots as f64,
+                medium_slots: slots,
+                on_demand_price: e.profile.on_demand_price,
+                hvm,
+                network_bps,
+            }
+        })
+        .collect()
+}
+
+/// Looks up a spec by type name.
+pub fn spec_for(type_name: &str) -> Option<InstanceSpec> {
+    instance_catalog()
+        .into_iter()
+        .find(|s| s.type_name.as_str() == type_name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_matches_profiles() {
+        let specs = instance_catalog();
+        assert_eq!(specs.len(), profiles::catalog().len());
+    }
+
+    #[test]
+    fn m3_medium_is_hvm_m1_small_is_not() {
+        assert!(spec_for("m3.medium").unwrap().hvm);
+        assert!(!spec_for("m1.small").unwrap().hvm);
+    }
+
+    #[test]
+    fn slots_scale_memory() {
+        let m = spec_for("m3.medium").unwrap();
+        let l = spec_for("m3.large").unwrap();
+        assert_eq!(m.medium_slots, 1);
+        assert_eq!(l.medium_slots, 2);
+        assert!((l.mem_gib / m.mem_gib - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backup_server_type_has_high_network() {
+        // The paper uses m3.xlarge backup servers for their
+        // price/performance; the model gives xlarge+ the "high" NIC tier.
+        assert_eq!(spec_for("m3.xlarge").unwrap().network_bps, 250e6);
+        assert_eq!(spec_for("m3.medium").unwrap().network_bps, 125e6);
+    }
+}

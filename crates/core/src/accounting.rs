@@ -1,0 +1,254 @@
+//! Per-VM availability, degradation, and event accounting.
+//!
+//! Tracks each nested VM's downtime and degraded-performance windows as
+//! time-weighted condition clocks, plus migration/revocation counters —
+//! the raw material for the paper's availability (Figure 11) and
+//! degradation (Figure 12) metrics.
+
+use std::collections::BTreeMap;
+
+use spotcheck_nestedvm::vm::NestedVmId;
+use spotcheck_simcore::stats::ConditionClock;
+use spotcheck_simcore::time::{SimDuration, SimTime};
+
+/// Counters and clocks for one VM.
+#[derive(Debug, Clone)]
+pub struct VmStats {
+    /// When tracking started (the VM's first availability).
+    pub since: SimTime,
+    downtime: ConditionClock,
+    degraded: ConditionClock,
+    /// Revocation warnings that hit this VM.
+    pub revocations: u32,
+    /// Completed migrations (revocation, proactive, or return).
+    pub migrations: u32,
+    /// Proactive live migrations.
+    pub proactive_migrations: u32,
+}
+
+impl VmStats {
+    fn new(now: SimTime) -> Self {
+        VmStats {
+            since: now,
+            downtime: ConditionClock::starting_at(now),
+            degraded: ConditionClock::starting_at(now),
+            revocations: 0,
+            migrations: 0,
+            proactive_migrations: 0,
+        }
+    }
+}
+
+/// Aggregate availability/degradation report for a set of VMs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AvailabilityReport {
+    /// Number of VMs aggregated.
+    pub vms: usize,
+    /// Mean fraction of tracked time the VMs were down.
+    pub unavailability: f64,
+    /// Mean fraction of tracked time the VMs were degraded.
+    pub degradation: f64,
+    /// Total downtime across VMs.
+    pub total_downtime: SimDuration,
+    /// Total degraded time across VMs.
+    pub total_degraded: SimDuration,
+    /// Total revocations across VMs.
+    pub revocations: u64,
+    /// Total migrations across VMs.
+    pub migrations: u64,
+    /// Total proactive live migrations across VMs (subset of migrations).
+    pub proactive_migrations: u64,
+}
+
+impl AvailabilityReport {
+    /// Availability in percent.
+    pub fn availability_pct(&self) -> f64 {
+        (1.0 - self.unavailability) * 100.0
+    }
+}
+
+/// The accounting ledger across all VMs.
+#[derive(Debug, Clone, Default)]
+pub struct Accounting {
+    per_vm: BTreeMap<NestedVmId, VmStats>,
+}
+
+impl Accounting {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Accounting::default()
+    }
+
+    /// Starts tracking a VM from `now` (its first availability).
+    pub fn track(&mut self, vm: NestedVmId, now: SimTime) {
+        self.per_vm.entry(vm).or_insert_with(|| VmStats::new(now));
+    }
+
+    /// Returns a VM's stats, if tracked.
+    pub fn stats(&self, vm: NestedVmId) -> Option<&VmStats> {
+        self.per_vm.get(&vm)
+    }
+
+    fn stats_mut(&mut self, vm: NestedVmId) -> &mut VmStats {
+        self.per_vm
+            .get_mut(&vm)
+            .expect("accounting: VM must be tracked before events are recorded")
+    }
+
+    /// Records that the VM went down at `now`.
+    pub fn mark_down(&mut self, vm: NestedVmId, now: SimTime) {
+        self.stats_mut(vm).downtime.set(now, true);
+    }
+
+    /// Records that the VM came back up at `now`.
+    pub fn mark_up(&mut self, vm: NestedVmId, now: SimTime) {
+        self.stats_mut(vm).downtime.set(now, false);
+    }
+
+    /// Records the start of a degraded-performance window.
+    pub fn mark_degraded(&mut self, vm: NestedVmId, now: SimTime) {
+        self.stats_mut(vm).degraded.set(now, true);
+    }
+
+    /// Records the end of a degraded-performance window.
+    pub fn mark_normal(&mut self, vm: NestedVmId, now: SimTime) {
+        self.stats_mut(vm).degraded.set(now, false);
+    }
+
+    /// Counts a revocation warning against the VM.
+    pub fn count_revocation(&mut self, vm: NestedVmId) {
+        self.stats_mut(vm).revocations += 1;
+    }
+
+    /// Counts a completed migration.
+    pub fn count_migration(&mut self, vm: NestedVmId) {
+        self.stats_mut(vm).migrations += 1;
+    }
+
+    /// Counts a proactive live migration.
+    pub fn count_proactive(&mut self, vm: NestedVmId) {
+        let s = self.stats_mut(vm);
+        s.proactive_migrations += 1;
+        s.migrations += 1;
+    }
+
+    /// Closes every clock at `now` and aggregates.
+    pub fn report(&mut self, now: SimTime) -> AvailabilityReport {
+        let mut unavail_sum = 0.0;
+        let mut degr_sum = 0.0;
+        let mut total_down = SimDuration::ZERO;
+        let mut total_degraded = SimDuration::ZERO;
+        let mut revocations = 0u64;
+        let mut migrations = 0u64;
+        let mut proactive = 0u64;
+        let n = self.per_vm.len();
+        for s in self.per_vm.values_mut() {
+            s.downtime.finish(now);
+            s.degraded.finish(now);
+            unavail_sum += s.downtime.fraction_on().unwrap_or(0.0);
+            degr_sum += s.degraded.fraction_on().unwrap_or(0.0);
+            total_down = total_down.saturating_add(s.downtime.total_on());
+            total_degraded = total_degraded.saturating_add(s.degraded.total_on());
+            revocations += u64::from(s.revocations);
+            migrations += u64::from(s.migrations);
+            proactive += u64::from(s.proactive_migrations);
+        }
+        AvailabilityReport {
+            vms: n,
+            unavailability: if n == 0 { 0.0 } else { unavail_sum / n as f64 },
+            degradation: if n == 0 { 0.0 } else { degr_sum / n as f64 },
+            total_downtime: total_down,
+            total_degraded,
+            revocations,
+            migrations,
+            proactive_migrations: proactive,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn tracks_downtime_fraction() {
+        let mut a = Accounting::new();
+        let vm = NestedVmId(1);
+        a.track(vm, t(0));
+        a.mark_down(vm, t(100));
+        a.mark_up(vm, t(123));
+        let r = a.report(t(1_000));
+        assert_eq!(r.vms, 1);
+        assert!((r.unavailability - 0.023).abs() < 1e-9);
+        assert!((r.availability_pct() - 97.7).abs() < 1e-9);
+        assert_eq!(r.total_downtime, SimDuration::from_secs(23));
+    }
+
+    #[test]
+    fn degradation_is_separate_from_downtime() {
+        let mut a = Accounting::new();
+        let vm = NestedVmId(1);
+        a.track(vm, t(0));
+        a.mark_degraded(vm, t(10));
+        a.mark_normal(vm, t(110));
+        let r = a.report(t(1_000));
+        assert_eq!(r.unavailability, 0.0);
+        assert!((r.degradation - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut a = Accounting::new();
+        let vm = NestedVmId(1);
+        a.track(vm, t(0));
+        a.count_revocation(vm);
+        a.count_migration(vm);
+        a.count_proactive(vm);
+        let r = a.report(t(10));
+        assert_eq!(r.revocations, 1);
+        assert_eq!(r.migrations, 2);
+        assert_eq!(a.stats(vm).unwrap().proactive_migrations, 1);
+    }
+
+    #[test]
+    fn aggregates_across_vms() {
+        let mut a = Accounting::new();
+        a.track(NestedVmId(1), t(0));
+        a.track(NestedVmId(2), t(0));
+        a.mark_down(NestedVmId(1), t(0));
+        a.mark_up(NestedVmId(1), t(100));
+        let r = a.report(t(1_000));
+        // VM1 down 10% of the time, VM2 never: mean 5%.
+        assert!((r.unavailability - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vms_tracked_from_different_starts() {
+        let mut a = Accounting::new();
+        a.track(NestedVmId(1), t(500));
+        a.mark_down(NestedVmId(1), t(500));
+        a.mark_up(NestedVmId(1), t(550));
+        let r = a.report(t(1_000));
+        // Down 50 s of its own 500 s of tracked life.
+        assert!((r.unavailability - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_ledger_reports_zeroes() {
+        let mut a = Accounting::new();
+        let r = a.report(t(100));
+        assert_eq!(r.vms, 0);
+        assert_eq!(r.unavailability, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be tracked")]
+    fn untracked_vm_panics() {
+        let mut a = Accounting::new();
+        a.mark_down(NestedVmId(9), t(0));
+    }
+}

@@ -1,0 +1,182 @@
+//! The cost and availability analysis of paper §4.4.
+//!
+//! The paper models a nested VM's expected cost as
+//! `E(c) = (1 - p) * E(c_spot(t)) + p * c_od`, where `p` is the
+//! probability the spot price exceeds the bid; with prices changing every
+//! `T` time units the revocation rate is `R = p / T`, and each revocation
+//! costs `D` seconds of downtime, so the downtime fraction is `D * p / T`.
+//! This module implements those closed forms plus the empirical estimation
+//! of `p` and `T` from a price trace, and cross-checks them against the
+//! trace-driven simulator in the tests.
+
+use spotcheck_simcore::time::{SimDuration, SimTime};
+use spotcheck_spotmarket::trace::PriceTrace;
+
+/// Inputs to the §4.4 closed-form model, estimated from a trace.
+#[derive(Debug, Clone, Copy)]
+pub struct MarketModel {
+    /// `P(c_spot(t) > bid)`.
+    pub p_revoke: f64,
+    /// Expected spot price while at or below the bid, $/hr.
+    pub e_spot_below_bid: f64,
+    /// The equivalent on-demand price, $/hr.
+    pub c_od: f64,
+    /// Mean time between price changes, seconds.
+    pub t_secs: f64,
+}
+
+impl MarketModel {
+    /// Estimates the model from `trace` at `bid` over `[from, to)`.
+    ///
+    /// Returns `None` if the window is invalid for the trace.
+    pub fn from_trace(
+        trace: &PriceTrace,
+        bid: f64,
+        from: SimTime,
+        to: SimTime,
+    ) -> Option<MarketModel> {
+        let availability = trace.availability_at_bid(bid, from, to)?;
+        let p_revoke = 1.0 - availability;
+        // E[spot | spot <= bid]: integrate min(spot, bid) and subtract the
+        // above-bid mass, normalizing by the below-bid time.
+        let mean_all = trace.mean_capped_price(bid, from, to)?;
+        let e_spot_below_bid = if availability > 0.0 {
+            (mean_all - p_revoke * bid) / availability
+        } else {
+            bid
+        };
+        // Mean time between price changes within the window.
+        let mut changes = 0usize;
+        let mut cursor = from;
+        while let Some((t, _)) = trace.prices.next_change_after(cursor) {
+            if t >= to {
+                break;
+            }
+            changes += 1;
+            cursor = t;
+        }
+        let window = to.since(from).as_secs_f64();
+        let t_secs = if changes == 0 {
+            window
+        } else {
+            window / changes as f64
+        };
+        Some(MarketModel {
+            p_revoke,
+            e_spot_below_bid,
+            c_od: trace.on_demand_price,
+            t_secs,
+        })
+    }
+
+    /// `E(c) = (1 - p) * E(c_spot) + p * c_od`, $/hr (excluding backup).
+    pub fn expected_cost(&self) -> f64 {
+        (1.0 - self.p_revoke) * self.e_spot_below_bid + self.p_revoke * self.c_od
+    }
+
+    /// Revocation rate `R = p / T`, events per second.
+    pub fn revocation_rate_per_sec(&self) -> f64 {
+        self.p_revoke / self.t_secs
+    }
+
+    /// Expected downtime fraction `D * p / T` for per-revocation downtime
+    /// `d`.
+    pub fn downtime_fraction(&self, d: SimDuration) -> f64 {
+        d.as_secs_f64() * self.revocation_rate_per_sec()
+    }
+
+    /// Availability as a percentage, given per-revocation downtime `d`.
+    pub fn availability_pct(&self, d: SimDuration) -> f64 {
+        (1.0 - self.downtime_fraction(d).min(1.0)) * 100.0
+    }
+}
+
+/// The savings multiple vs. always-on-demand: `c_od / (E(c) + backup)`.
+pub fn savings_factor(model: &MarketModel, backup_cost_per_hr: f64) -> f64 {
+    model.c_od / (model.expected_cost() + backup_cost_per_hr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spotcheck_simcore::series::StepSeries;
+    use spotcheck_spotmarket::market::MarketId;
+
+    /// od = 0.07; price 0.014 except above-bid spikes 10% of the time.
+    fn trace() -> PriceTrace {
+        let mut s = StepSeries::new();
+        // 10 cycles of 1000 s: 900 s at 0.014, 100 s at 0.50.
+        for i in 0..10u64 {
+            s.push(SimTime::from_secs(i * 1_000), 0.014);
+            s.push(SimTime::from_secs(i * 1_000 + 900), 0.50);
+        }
+        s.push(SimTime::from_secs(10_000), 0.014);
+        PriceTrace::new(MarketId::new("m3.medium", "z"), 0.07, s)
+    }
+
+    fn model() -> MarketModel {
+        MarketModel::from_trace(&trace(), 0.07, SimTime::ZERO, SimTime::from_secs(10_000))
+            .unwrap()
+    }
+
+    #[test]
+    fn p_and_e_spot_are_estimated() {
+        let m = model();
+        assert!((m.p_revoke - 0.1).abs() < 1e-9, "p={}", m.p_revoke);
+        assert!((m.e_spot_below_bid - 0.014).abs() < 1e-9);
+        assert_eq!(m.c_od, 0.07);
+    }
+
+    #[test]
+    fn expected_cost_formula() {
+        let m = model();
+        // (0.9 * 0.014) + (0.1 * 0.07) = 0.0196.
+        assert!((m.expected_cost() - 0.0196).abs() < 1e-9);
+    }
+
+    #[test]
+    fn revocation_rate_and_downtime_fraction() {
+        let m = model();
+        // ~19 changes strictly inside the 10000 s window -> T ~ 526 s.
+        assert!((450.0..600.0).contains(&m.t_secs), "T={}", m.t_secs);
+        let r = m.revocation_rate_per_sec();
+        assert!((r - m.p_revoke / m.t_secs).abs() < 1e-12);
+        // 23 s downtime per revocation: fraction = 23 * p / T.
+        let f = m.downtime_fraction(SimDuration::from_secs(23));
+        assert!((f - 23.0 * r).abs() < 1e-12);
+        let a = m.availability_pct(SimDuration::from_secs(23));
+        assert!((a - (1.0 - f) * 100.0).abs() < 1e-9);
+        assert!((99.0..100.0).contains(&a), "availability={a}");
+    }
+
+    #[test]
+    fn savings_factor_near_5x_with_paper_numbers() {
+        // The headline: E(c) ~ 0.008, backup 0.007 -> ~0.015 vs od 0.07.
+        let m = MarketModel {
+            p_revoke: 0.0005,
+            e_spot_below_bid: 0.008,
+            c_od: 0.07,
+            t_secs: 300.0,
+        };
+        let s = savings_factor(&m, 0.007);
+        assert!((4.2..5.2).contains(&s), "savings={s}");
+    }
+
+    #[test]
+    fn closed_form_matches_trace_integration() {
+        // The model's E(c) must equal the trace's capped mean (bid = od,
+        // so revoked time is charged at od).
+        let t = trace();
+        let m = model();
+        let capped = t
+            .mean_capped_price(0.07, SimTime::ZERO, SimTime::from_secs(10_000))
+            .unwrap();
+        assert!((m.expected_cost() - capped).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_windows_return_none() {
+        let t = trace();
+        assert!(MarketModel::from_trace(&t, 0.07, SimTime::from_secs(5), SimTime::from_secs(5)).is_none());
+    }
+}

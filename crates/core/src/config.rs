@@ -1,0 +1,51 @@
+//! SpotCheck controller configuration.
+
+use spotcheck_backup::server::BackupServerConfig;
+use spotcheck_migrate::bounded::BoundedTimeConfig;
+use spotcheck_migrate::mechanisms::MechanismKind;
+
+use crate::policy::{BiddingPolicy, MappingPolicy, PlacementPolicy};
+
+/// Configuration of a SpotCheck deployment.
+#[derive(Debug, Clone)]
+pub struct SpotCheckConfig {
+    /// The availability zone this deployment operates in.
+    pub zone: String,
+    /// Customer-to-pool mapping policy (Table 2).
+    pub mapping: MappingPolicy,
+    /// Native-server selection policy (§4.2).
+    pub placement: PlacementPolicy,
+    /// Bid policy for spot pools (§4.3).
+    pub bidding: BiddingPolicy,
+    /// Migration mechanism variant.
+    pub mechanism: MechanismKind,
+    /// Hot spares: on-demand servers kept running to receive revoked VMs
+    /// instantly instead of waiting ~60 s for a fresh boot (§4.3).
+    pub hot_spares: usize,
+    /// Migrate VMs back to their home spot pool when the price spike
+    /// abates (the "allocation dynamics" of §4.3).
+    pub return_to_spot: bool,
+    /// Backup-server hardware parameters.
+    pub backup: BackupServerConfig,
+    /// Continuous-checkpointing parameters (30 s bound by default).
+    pub bounded: BoundedTimeConfig,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SpotCheckConfig {
+    fn default() -> Self {
+        SpotCheckConfig {
+            zone: "us-east-1a".to_string(),
+            mapping: MappingPolicy::OneM,
+            placement: PlacementPolicy::GreedyCheapest,
+            bidding: BiddingPolicy::OnDemandPrice,
+            mechanism: MechanismKind::SpotCheckLazy,
+            hot_spares: 0,
+            return_to_spot: true,
+            backup: BackupServerConfig::default(),
+            bounded: BoundedTimeConfig::default(),
+            seed: 0,
+        }
+    }
+}

@@ -1,0 +1,1603 @@
+//! The SpotCheck controller (paper §5).
+//!
+//! The controller interfaces between customers and the native IaaS
+//! platform: it provisions nested VMs on the cheapest suitable spot
+//! servers (slicing larger servers when per-slot prices favor it), assigns
+//! backup servers, reacts to revocation warnings by orchestrating
+//! bounded-time migrations to on-demand servers (using hot spares when
+//! configured), moves each VM's private IP and EBS volume to the
+//! destination, and migrates VMs back to their home spot pool when spikes
+//! abate.
+//!
+//! The controller is a passive state machine driven by [`Event`]s: every
+//! handler takes the current time and returns follow-up events for the
+//! driver to schedule. This mirrors the paper's centralized controller
+//! design ("maintains a global and consistent view of SpotCheck's state").
+
+use std::collections::BTreeMap;
+
+use spotcheck_backup::pool::{BackupPool, BackupServerId};
+use spotcheck_cloudsim::cloud::{CloudSim, Notification};
+use spotcheck_cloudsim::error::CloudError;
+use spotcheck_cloudsim::ids::{InstanceId, OpId, PrivateIp, VolumeId};
+use spotcheck_cloudsim::instance::InstanceState;
+use spotcheck_migrate::bounded::simulate_final_commit;
+use spotcheck_migrate::mechanisms::MechanismKind;
+use spotcheck_migrate::precopy::{simulate_precopy, PreCopyConfig};
+use spotcheck_migrate::restore::simulate_concurrent_restores;
+use spotcheck_nestedvm::host::HostVm;
+use spotcheck_nestedvm::vm::{NestedVm, NestedVmId, NestedVmSpec, NestedVmState};
+use spotcheck_simcore::time::{SimDuration, SimTime};
+use spotcheck_spotmarket::market::MarketId;
+use spotcheck_workloads::WorkloadKind;
+
+use crate::accounting::{Accounting, AvailabilityReport};
+use crate::config::SpotCheckConfig;
+use crate::events::Event;
+use crate::policy::placement::{choose_index, Candidate};
+use crate::types::{Customer, CustomerId, MigrationId, VmRecord, VmStatus};
+
+/// Scheduled follow-up events returned by controller handlers.
+pub type Outbox = Vec<(SimTime, Event)>;
+
+/// Controller errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControllerError {
+    /// Unknown customer.
+    UnknownCustomer(CustomerId),
+    /// Unknown nested VM.
+    UnknownVm(NestedVmId),
+    /// Underlying cloud error.
+    Cloud(CloudError),
+    /// The request cannot be satisfied right now.
+    Unsatisfiable(String),
+}
+
+impl std::fmt::Display for ControllerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ControllerError::UnknownCustomer(c) => write!(f, "unknown customer {c}"),
+            ControllerError::UnknownVm(v) => write!(f, "unknown nested VM {v}"),
+            ControllerError::Cloud(e) => write!(f, "cloud error: {e}"),
+            ControllerError::Unsatisfiable(s) => write!(f, "unsatisfiable: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ControllerError {}
+
+impl From<CloudError> for ControllerError {
+    fn from(e: CloudError) -> Self {
+        ControllerError::Cloud(e)
+    }
+}
+
+/// Semantic context of an in-flight cloud operation.
+#[derive(Debug, Clone)]
+enum OpCtx {
+    /// A native spot/on-demand host booting for provisioning.
+    HostBoot,
+    /// A hot spare booting.
+    SpareBoot,
+    /// A migration destination booting.
+    DestBoot(MigrationId),
+    /// An ENI/volume attach during VM provisioning.
+    ProvisionAttach(NestedVmId),
+    /// A detach on a migration's source.
+    MigDetach(MigrationId),
+    /// An attach on a migration's destination.
+    MigAttach(MigrationId),
+    /// A spot host booting for a return-to-spot live migration.
+    ReturnBoot(NestedVmId),
+    /// Detaches from the on-demand host during a return.
+    ReturnDetach(NestedVmId),
+    /// Attaches at the spot host during a return.
+    ReturnAttach(NestedVmId),
+    /// A fire-and-forget terminate.
+    Terminate,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum MigPhase {
+    /// Waiting for the final commit and/or the destination.
+    Prep,
+    /// Detaching ENI/volume from the source.
+    Detaching,
+    /// Restoring memory and attaching ENI/volume at the destination.
+    Attaching,
+}
+
+/// An in-flight revocation migration.
+#[derive(Debug)]
+struct Migration {
+    vm: NestedVmId,
+    source: InstanceId,
+    dest: Option<InstanceId>,
+    commit_started: bool,
+    commit_done: bool,
+    /// Wall-clock length of the final-commit (or live-transfer) phase.
+    commit_duration: SimDuration,
+    /// The application-visible pause at the end of the commit.
+    commit_pause: SimDuration,
+    dest_ready: bool,
+    phase: MigPhase,
+    pending: u8,
+    paused_at: Option<SimTime>,
+    pays_downtime: bool,
+    /// True for proactive live migrations (no warning involved).
+    proactive: bool,
+    /// The VM object once evicted from the source.
+    vm_obj: Option<NestedVm>,
+    /// Degraded window to apply after resume (lazy restores).
+    degraded: SimDuration,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ReturnPhase {
+    Transferring,
+    Detaching,
+    Attaching,
+}
+
+/// An in-flight return-to-spot live migration.
+#[derive(Debug)]
+struct ReturnState {
+    dest: InstanceId,
+    phase: ReturnPhase,
+    pending: u8,
+}
+
+/// Host bookkeeping: the nested hypervisor plus which market (if spot) the
+/// native instance was bought in.
+struct HostInfo {
+    hv: HostVm,
+    market: Option<MarketId>,
+}
+
+/// Cost summary of a run.
+#[derive(Debug, Clone, Copy)]
+pub struct CostReport {
+    /// Dollars spent on native instances (hosts, spares, destinations).
+    pub native_cost: f64,
+    /// Dollars spent on backup servers.
+    pub backup_cost: f64,
+    /// Total dollars.
+    pub total: f64,
+    /// Sum of tracked VM-hours.
+    pub vm_hours: f64,
+    /// Average $/VM-hr.
+    pub cost_per_vm_hr: f64,
+}
+
+/// The SpotCheck controller.
+pub struct Controller {
+    cfg: SpotCheckConfig,
+    cloud: CloudSim,
+    vm_spec: NestedVmSpec,
+    hosts: BTreeMap<InstanceId, HostInfo>,
+    customers: BTreeMap<CustomerId, Customer>,
+    vms: BTreeMap<NestedVmId, VmRecord>,
+    backups: BackupPool,
+    backup_birth: BTreeMap<BackupServerId, SimTime>,
+    spares: Vec<InstanceId>,
+    op_ctx: BTreeMap<OpId, OpCtx>,
+    host_waiters: BTreeMap<InstanceId, Vec<NestedVmId>>,
+    provision_pending: BTreeMap<NestedVmId, u8>,
+    migrations: BTreeMap<MigrationId, Migration>,
+    /// Restore-gate duration (skeleton or full-image read) per migration.
+    restore_gates: BTreeMap<MigrationId, SimDuration>,
+    returns: BTreeMap<NestedVmId, ReturnState>,
+    degraded_epoch: BTreeMap<NestedVmId, u32>,
+    accounting: Accounting,
+    next_customer: u64,
+    next_vm: u64,
+    next_migration: u64,
+}
+
+impl Controller {
+    /// Creates a controller over a cloud platform.
+    pub fn new(cloud: CloudSim, cfg: SpotCheckConfig) -> Self {
+        let backups = BackupPool::new(cfg.backup.clone());
+        Controller {
+            cfg,
+            cloud,
+            vm_spec: NestedVmSpec::medium(),
+            hosts: BTreeMap::new(),
+            customers: BTreeMap::new(),
+            vms: BTreeMap::new(),
+            backups,
+            backup_birth: BTreeMap::new(),
+            spares: Vec::new(),
+            op_ctx: BTreeMap::new(),
+            host_waiters: BTreeMap::new(),
+            provision_pending: BTreeMap::new(),
+            migrations: BTreeMap::new(),
+            restore_gates: BTreeMap::new(),
+            returns: BTreeMap::new(),
+            degraded_epoch: BTreeMap::new(),
+            accounting: Accounting::new(),
+            next_customer: 0,
+            next_vm: 0,
+            next_migration: 0,
+        }
+    }
+
+    /// Shared view of the cloud platform.
+    pub fn cloud(&self) -> &CloudSim {
+        &self.cloud
+    }
+
+    /// Returns the configuration.
+    pub fn config(&self) -> &SpotCheckConfig {
+        &self.cfg
+    }
+
+    /// Returns a VM's record.
+    pub fn vm(&self, id: NestedVmId) -> Result<&VmRecord, ControllerError> {
+        self.vms.get(&id).ok_or(ControllerError::UnknownVm(id))
+    }
+
+    /// Number of in-flight migrations.
+    pub fn active_migrations(&self) -> usize {
+        self.migrations.len()
+    }
+
+    /// Currently idle hot spares.
+    pub fn idle_spares(&self) -> usize {
+        self.spares.len()
+    }
+
+    /// Bootstraps the deployment: schedules the first price-change event of
+    /// every market and boots the configured hot spares.
+    pub fn bootstrap(&mut self, now: SimTime) -> Outbox {
+        let mut out = Vec::new();
+        let markets: Vec<MarketId> = self.cloud.markets().cloned().collect();
+        for m in markets {
+            if let Some(trace) = self.cloud.market_trace(&m) {
+                if let Some((t, _)) = trace.prices.next_change_after(now) {
+                    out.push((t, Event::PriceChange(m)));
+                }
+            }
+        }
+        for _ in 0..self.cfg.hot_spares {
+            self.request_spare(now, &mut out);
+        }
+        out
+    }
+
+    fn request_spare(&mut self, now: SimTime, out: &mut Outbox) {
+        let zone = spotcheck_spotmarket::market::ZoneName::new(self.cfg.zone.clone());
+        if let Ok((_, op, ready)) = self.cloud.request_on_demand("m3.medium", &zone, now) {
+            self.op_ctx.insert(op, OpCtx::SpareBoot);
+            out.push((ready, Event::CloudOp(op)));
+        }
+    }
+
+    /// Registers a new customer, carving them a VPC subnet.
+    pub fn create_customer(&mut self) -> CustomerId {
+        let id = CustomerId(self.next_customer);
+        self.next_customer += 1;
+        let subnet = self.cloud.create_subnet();
+        self.customers.insert(
+            id,
+            Customer {
+                id,
+                subnet,
+                vms: Vec::new(),
+            },
+        );
+        id
+    }
+
+    /// Handles a customer's request for a (medium) nested VM. Returns the
+    /// VM id immediately; provisioning proceeds asynchronously.
+    pub fn request_server(
+        &mut self,
+        customer: CustomerId,
+        workload: WorkloadKind,
+        now: SimTime,
+    ) -> Result<(NestedVmId, Outbox), ControllerError> {
+        self.request_server_opts(customer, workload, false, now)
+    }
+
+    /// Like [`Controller::request_server`], with the stateless flag: a
+    /// stateless VM is never assigned a backup server and is live-migrated
+    /// on revocation (§4.2 — replicated tiers tolerate failures, so the
+    /// backup cost can be skipped).
+    pub fn request_server_opts(
+        &mut self,
+        customer: CustomerId,
+        workload: WorkloadKind,
+        stateless: bool,
+        now: SimTime,
+    ) -> Result<(NestedVmId, Outbox), ControllerError> {
+        let subnet = self
+            .customers
+            .get(&customer)
+            .ok_or(ControllerError::UnknownCustomer(customer))?
+            .subnet;
+        let id = NestedVmId(self.next_vm);
+        self.next_vm += 1;
+        let ip = self.cloud.allocate_ip(subnet);
+        let volume = self.cloud.create_volume(8.0);
+        self.vms.insert(
+            id,
+            VmRecord {
+                id,
+                customer,
+                workload,
+                stateless,
+                ip,
+                volume,
+                eni: None,
+                host: None,
+                home_market: None,
+                backup: None,
+                status: VmStatus::Provisioning,
+                requested_at: now,
+                first_running_at: None,
+            },
+        );
+        self.customers
+            .get_mut(&customer)
+            .expect("customer exists")
+            .vms
+            .push(id);
+        Ok((id, vec![(now, Event::ProvisionVm(id))]))
+    }
+
+    /// Releases a nested VM back to SpotCheck.
+    pub fn release_server(
+        &mut self,
+        vm: NestedVmId,
+        now: SimTime,
+    ) -> Result<Outbox, ControllerError> {
+        let record = self.vms.get_mut(&vm).ok_or(ControllerError::UnknownVm(vm))?;
+        record.status = VmStatus::Released;
+        let host = record.host.take();
+        if let Some(b) = record.backup.take() {
+            let _ = self.backups.release(vm);
+            let _ = b;
+        }
+        let mut out = Vec::new();
+        if let Some(h) = host {
+            if let Some(info) = self.hosts.get_mut(&h) {
+                let _ = info.hv.evict(vm);
+                if info.hv.resident_count() == 0 {
+                    self.terminate_host(h, now, &mut out);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn terminate_host(&mut self, instance: InstanceId, now: SimTime, out: &mut Outbox) {
+        self.hosts.remove(&instance);
+        if let Ok((op, ready)) = self.cloud.terminate(instance, now) {
+            self.op_ctx.insert(op, OpCtx::Terminate);
+            out.push((ready, Event::CloudOp(op)));
+        }
+    }
+
+    /// The main event dispatcher.
+    pub fn handle_event(&mut self, event: Event, now: SimTime) -> Outbox {
+        let mut out = Vec::new();
+        match event {
+            Event::PriceChange(market) => self.on_price_change(&market, now, &mut out),
+            Event::CloudOp(op) => self.on_cloud_op(op, now, &mut out),
+            Event::ForcedTermination(instance) => {
+                self.on_forced_termination(instance, now, &mut out)
+            }
+            Event::ProvisionVm(vm) => self.on_provision(vm, now, &mut out),
+            Event::CommitStart(mig) => self.on_commit_start(mig, now, &mut out),
+            Event::PauseStart(mig) => self.on_pause_start(mig, now),
+            Event::CommitDone(mig) => {
+                if let Some(m) = self.migrations.get_mut(&mig) {
+                    m.commit_done = true;
+                }
+                self.try_advance(mig, now, &mut out);
+            }
+            Event::RestoreDone(mig) => self.on_mig_gate_done(mig, now, &mut out),
+            Event::DegradedEnd { vm, epoch } => {
+                if self.degraded_epoch.get(&vm).copied().unwrap_or(0) == epoch {
+                    if let Some(r) = self.vms.get(&vm) {
+                        if r.status == VmStatus::Running {
+                            self.accounting.mark_normal(vm, now);
+                            if let Some(h) = r.host {
+                                if let Some(info) = self.hosts.get_mut(&h) {
+                                    if let Some(v) = info.hv.vm_mut(vm) {
+                                        v.state = NestedVmState::Running;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Event::ReturnTransferDone(vm) => self.on_return_transfer_done(vm, now, &mut out),
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Provisioning
+    // ------------------------------------------------------------------
+
+    fn on_provision(&mut self, vm: NestedVmId, now: SimTime, out: &mut Outbox) {
+        let Some(record) = self.vms.get(&vm) else {
+            return;
+        };
+        if record.status != VmStatus::Provisioning {
+            return;
+        }
+        // 1. Reuse a free slot on an existing spot host in one of the
+        //    mapping policy's markets.
+        let markets = self.cfg.mapping.markets(&self.cfg.zone);
+        let existing = self.hosts.iter().find_map(|(id, info)| {
+            let usable = self
+                .cloud
+                .instance(*id)
+                .map(|i| matches!(i.state, InstanceState::Running))
+                .unwrap_or(false);
+            match &info.market {
+                Some(m) if markets.contains(m) && usable && info.hv.fits(&self.vm_spec) => {
+                    Some((*id, m.clone()))
+                }
+                _ => None,
+            }
+        });
+        if let Some((host, market)) = existing {
+            self.place_vm(vm, host, Some(market), now, out);
+            return;
+        }
+        // 1b. Join a host that is still booting and has uncommitted slots
+        //     (e.g. the second medium VM of a freshly-sliced m3.large).
+        let pending = self.host_waiters.iter().find_map(|(inst, waiters)| {
+            let i = self.cloud.instance(*inst).ok()?;
+            if !matches!(i.state, InstanceState::Pending) {
+                return None;
+            }
+            let in_scope = match i.market() {
+                Some(m) => markets.contains(&m),
+                None => true,
+            };
+            if in_scope && (waiters.len() as u32) < i.spec.medium_slots {
+                Some((*inst, i.market()))
+            } else {
+                None
+            }
+        });
+        if let Some((inst, market)) = pending {
+            self.host_waiters
+                .get_mut(&inst)
+                .expect("pending host has a waiter list")
+                .push(vm);
+            if let Some(r) = self.vms.get_mut(&vm) {
+                if r.home_market.is_none() {
+                    r.home_market = market;
+                }
+            }
+            return;
+        }
+        // 2. Buy a new native spot server: placement policy over the
+        //    mapping markets (greedy picks the cheapest per slot, which is
+        //    the §4.2 slicing arbitrage).
+        let ordered_markets: Vec<MarketId> = {
+            let mut candidates = Vec::new();
+            for (i, m) in markets.iter().enumerate() {
+                if let (Some(trace), Some(spec)) = (
+                    self.cloud.market_trace(m),
+                    self.cloud.spec(m.type_name.as_str()),
+                ) {
+                    candidates.push((i, m.clone(), spec.medium_slots, trace));
+                }
+            }
+            let cand_refs: Vec<Candidate<'_>> = candidates
+                .iter()
+                .map(|(i, _, slots, trace)| Candidate {
+                    index: *i,
+                    trace,
+                    slots: *slots,
+                })
+                .collect();
+            let mut order: Vec<usize> = Vec::new();
+            if let Some(first) = choose_index(self.cfg.placement, &cand_refs, now) {
+                order.push(first);
+            }
+            for (i, ..) in &candidates {
+                if !order.contains(i) {
+                    order.push(*i);
+                }
+            }
+            order
+                .into_iter()
+                .map(|idx| {
+                    candidates
+                        .iter()
+                        .find(|(i, ..)| *i == idx)
+                        .expect("ordered index is a candidate")
+                        .1
+                        .clone()
+                })
+                .collect()
+        };
+        let zone = spotcheck_spotmarket::market::ZoneName::new(self.cfg.zone.clone());
+        for market in ordered_markets {
+            let od = self
+                .cloud
+                .spec(market.type_name.as_str())
+                .expect("candidate spec exists")
+                .on_demand_price;
+            let bid = self.cfg.bidding.bid(od);
+            match self
+                .cloud
+                .request_spot(market.type_name.as_str(), &zone, bid, now)
+            {
+                Ok((instance, op, ready)) => {
+                    self.op_ctx.insert(op, OpCtx::HostBoot);
+                    self.host_waiters.entry(instance).or_default().push(vm);
+                    // Remember the VM's home market for return-to-spot.
+                    if let Some(r) = self.vms.get_mut(&vm) {
+                        r.home_market = Some(market);
+                    }
+                    out.push((ready, Event::CloudOp(op)));
+                    return;
+                }
+                Err(CloudError::BidBelowPrice { .. }) => continue,
+                Err(_) => continue,
+            }
+        }
+        // 3. Every spot market is above our bid right now: fall back to an
+        //    on-demand host (the VM will move to spot when prices permit).
+        if let Ok((instance, op, ready)) = self.cloud.request_on_demand("m3.medium", &zone, now) {
+            self.op_ctx.insert(op, OpCtx::HostBoot);
+            self.host_waiters.entry(instance).or_default().push(vm);
+            if let Some(r) = self.vms.get_mut(&vm) {
+                if r.home_market.is_none() {
+                    // Home defaults to the first mapping market.
+                    r.home_market = self.cfg.mapping.markets(&self.cfg.zone).into_iter().next();
+                }
+            }
+            out.push((ready, Event::CloudOp(op)));
+        }
+    }
+
+    /// Boots the nested VM on `host` and starts attaching its ENI/volume.
+    fn place_vm(
+        &mut self,
+        vm: NestedVmId,
+        host: InstanceId,
+        market: Option<MarketId>,
+        now: SimTime,
+        out: &mut Outbox,
+    ) {
+        let Some(record) = self.vms.get_mut(&vm) else {
+            return;
+        };
+        let info = self.hosts.get_mut(&host).expect("host exists");
+        if info.hv.boot(vm, self.vm_spec, now).is_err() {
+            // Lost the slot to a race: retry provisioning.
+            out.push((now, Event::ProvisionVm(vm)));
+            return;
+        }
+        record.host = Some(host);
+        if record.home_market.is_none() {
+            record.home_market = market;
+        }
+        let ip = record.ip;
+        let volume = record.volume;
+        let eni = self.cloud.create_eni(Some(ip));
+        if let Some(r) = self.vms.get_mut(&vm) {
+            r.eni = Some(eni);
+        }
+        let mut pending = 0u8;
+        if let Ok((op, ready)) = self.cloud.attach_eni(eni, host, now) {
+            self.op_ctx.insert(op, OpCtx::ProvisionAttach(vm));
+            out.push((ready, Event::CloudOp(op)));
+            pending += 1;
+        }
+        if let Ok((op, ready)) = self.cloud.attach_volume(volume, host, now) {
+            self.op_ctx.insert(op, OpCtx::ProvisionAttach(vm));
+            out.push((ready, Event::CloudOp(op)));
+            pending += 1;
+        }
+        if pending == 0 {
+            // Host died under us: retry.
+            out.push((now, Event::ProvisionVm(vm)));
+            return;
+        }
+        self.provision_pending.insert(vm, pending);
+    }
+
+    fn finish_provisioning(&mut self, vm: NestedVmId, now: SimTime) {
+        let Some(record) = self.vms.get_mut(&vm) else {
+            return;
+        };
+        record.status = VmStatus::Running;
+        if record.first_running_at.is_none() {
+            record.first_running_at = Some(now);
+            self.accounting.track(vm, now);
+        }
+        let host = record.host;
+        let workload = record.workload;
+        // Protect the VM with a backup server when it sits on a spot host
+        // and the mechanism uses bounded-time migration.
+        let on_spot = host
+            .and_then(|h| self.hosts.get(&h))
+            .map(|i| i.market.is_some())
+            .unwrap_or(false);
+        let stateless = self.vms.get(&vm).map(|r| r.stateless).unwrap_or(false);
+        if on_spot && !stateless && self.cfg.mechanism.needs_backup() {
+            self.assign_backup(vm, now);
+        }
+        if let Some(h) = host {
+            if let Some(info) = self.hosts.get_mut(&h) {
+                if let Some(v) = info.hv.vm_mut(vm) {
+                    v.state = if on_spot && !stateless && self.cfg.mechanism.needs_backup() {
+                        NestedVmState::RunningProtected
+                    } else {
+                        NestedVmState::Running
+                    };
+                }
+            }
+        }
+        let _ = workload;
+    }
+
+    fn assign_backup(&mut self, vm: NestedVmId, now: SimTime) {
+        if self.backups.server_of(vm).is_some() {
+            return;
+        }
+        // Spread VMs of the same spot pool across distinct backup servers
+        // (§4.2): avoid servers already protecting same-market VMs.
+        let market = self.vms.get(&vm).and_then(|r| r.home_market.clone());
+        let avoid: Vec<BackupServerId> = match &market {
+            Some(m) => self
+                .vms
+                .values()
+                .filter(|r| r.home_market.as_ref() == Some(m) && r.id != vm)
+                .filter_map(|r| r.backup)
+                .collect(),
+            None => Vec::new(),
+        };
+        let before: Vec<BackupServerId> = self.backups.servers().map(|(id, _)| id).collect();
+        if let Ok(server) = self.backups.assign(vm, self.vm_spec.pages(), &avoid) {
+            if !before.contains(&server) {
+                self.backup_birth.insert(server, now);
+            }
+            if let Some(r) = self.vms.get_mut(&vm) {
+                r.backup = Some(server);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Price dynamics
+    // ------------------------------------------------------------------
+
+    fn on_price_change(&mut self, market: &MarketId, now: SimTime, out: &mut Outbox) {
+        // Re-arm the next change event for this market.
+        if let Some(trace) = self.cloud.market_trace(market) {
+            if let Some((t, _)) = trace.prices.next_change_after(now) {
+                out.push((t, Event::PriceChange(market.clone())));
+            }
+        }
+        // Revocation dynamics: warnings for spot instances whose bid is now
+        // under water.
+        let warnings = self.cloud.apply_price_change(market, now);
+        for w in warnings {
+            out.push((w.terminate_at, Event::ForcedTermination(w.instance)));
+            self.on_warning(w.instance, w.terminate_at, now, out);
+        }
+        // Proactive dynamics (k>1 bids with proactive monitoring, §4.3):
+        // when the price crosses the on-demand threshold but stays below
+        // the bid, live-migrate away before any warning can arrive.
+        if let Some(od) = self
+            .cloud
+            .spec(market.type_name.as_str())
+            .map(|s| s.on_demand_price)
+        {
+            let threshold = self.cfg.bidding.proactive_threshold(od);
+            let price = self.cloud.spot_price(market, now);
+            let bid = self.cfg.bidding.bid(od);
+            if let (Some(th), Some(p)) = (threshold, price) {
+                if p > th && p <= bid {
+                    let hosts_in_market: Vec<InstanceId> = self
+                        .hosts
+                        .iter()
+                        .filter(|(id, info)| {
+                            info.market.as_ref() == Some(market)
+                                && self
+                                    .cloud
+                                    .instance(**id)
+                                    .map(|i| matches!(i.state, InstanceState::Running))
+                                    .unwrap_or(false)
+                        })
+                        .map(|(id, _)| *id)
+                        .collect();
+                    for host in hosts_in_market {
+                        self.start_proactive_evacuation(host, now, out);
+                    }
+                }
+            }
+        }
+        // Allocation dynamics: if this market is now cheaper than
+        // on-demand, bring home VMs that fled to on-demand.
+        if self.cfg.return_to_spot {
+            let price = self.cloud.spot_price(market, now);
+            let od = self
+                .cloud
+                .spec(market.type_name.as_str())
+                .map(|s| s.on_demand_price);
+            if let (Some(p), Some(od)) = (price, od) {
+                if p < od {
+                    let candidates: Vec<NestedVmId> = self
+                        .vms
+                        .values()
+                        .filter(|r| {
+                            r.status == VmStatus::Running
+                                && r.home_market.as_ref() == Some(market)
+                                && !self.returns.contains_key(&r.id)
+                                && r.host
+                                    .and_then(|h| self.hosts.get(&h))
+                                    .map(|i| i.market.is_none())
+                                    .unwrap_or(false)
+                        })
+                        .map(|r| r.id)
+                        .collect();
+                    for vm in candidates {
+                        self.start_return(vm, market.clone(), now, out);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_warning(
+        &mut self,
+        instance: InstanceId,
+        deadline: SimTime,
+        now: SimTime,
+        out: &mut Outbox,
+    ) {
+        let residents: Vec<NestedVmId> = self
+            .hosts
+            .get(&instance)
+            .map(|i| i.hv.resident_ids())
+            .unwrap_or_default();
+        let concurrent = residents.len().max(1);
+        for vm in residents {
+            // Skip VMs already mid-migration or being returned.
+            if self.vms.get(&vm).map(|r| r.status) == Some(VmStatus::Running)
+                && !self.returns.contains_key(&vm)
+            {
+                self.accounting.count_revocation(vm);
+                self.start_migration(vm, instance, deadline, concurrent, now, out);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Revocation migration
+    // ------------------------------------------------------------------
+
+    fn start_migration(
+        &mut self,
+        vm: NestedVmId,
+        source: InstanceId,
+        deadline: SimTime,
+        concurrent: usize,
+        now: SimTime,
+        out: &mut Outbox,
+    ) {
+        self.start_migration_inner(vm, source, Some(deadline), concurrent, now, out);
+    }
+
+    /// Proactively evacuates every resident VM of `host` by live migration
+    /// (no warning involved, no downtime; §4.3's proactive optimization).
+    fn start_proactive_evacuation(&mut self, host: InstanceId, now: SimTime, out: &mut Outbox) {
+        let residents: Vec<NestedVmId> = self
+            .hosts
+            .get(&host)
+            .map(|i| i.hv.resident_ids())
+            .unwrap_or_default();
+        let concurrent = residents.len().max(1);
+        for vm in residents {
+            if self.vms.get(&vm).map(|r| r.status) == Some(VmStatus::Running)
+                && !self.returns.contains_key(&vm)
+            {
+                self.start_migration_inner(vm, host, None, concurrent, now, out);
+            }
+        }
+    }
+
+    fn start_migration_inner(
+        &mut self,
+        vm: NestedVmId,
+        source: InstanceId,
+        deadline: Option<SimTime>,
+        concurrent: usize,
+        now: SimTime,
+        out: &mut Outbox,
+    ) {
+        let Some(record) = self.vms.get_mut(&vm) else {
+            return;
+        };
+        record.status = VmStatus::Migrating;
+        let workload = record.workload;
+        let id = MigrationId(self.next_migration);
+        self.next_migration += 1;
+        // Proactive moves (no deadline) always use live migration; so do
+        // stateless VMs (they have no backup to restore from); under a
+        // deadline the configured mechanism otherwise decides.
+        let proactive = deadline.is_none();
+        let stateless = record.stateless;
+        let live = proactive || stateless || self.cfg.mechanism == MechanismKind::XenLive;
+
+        let dirty = workload.dirty_model();
+        let pays_downtime = !live && self.cfg.mechanism.pays_cloud_op_downtime();
+        // Commit (or live-migrate) duration.
+        let (commit_duration, pause) = if live {
+            let pre = simulate_precopy(
+                self.vm_spec.mem_bytes,
+                &dirty,
+                &PreCopyConfig {
+                    bandwidth_bps: self.cfg.backup.nic_bps / concurrent as f64,
+                    ..PreCopyConfig::default()
+                },
+            );
+            (pre.total_duration, SimDuration::ZERO)
+        } else {
+            let commit = simulate_final_commit(
+                self.cfg.bounded.residue_budget_bytes(),
+                &dirty,
+                self.vm_spec.pages(),
+                self.cfg.backup.nic_bps / concurrent as f64,
+                &spotcheck_migrate::bounded::BoundedTimeConfig {
+                    ramp: self.cfg.mechanism.ramp(),
+                    ..self.cfg.bounded.clone()
+                },
+            );
+            (commit.commit_duration, commit.downtime)
+        };
+
+        // Degraded window / restore gate durations for this mechanism at
+        // this concurrency (live transfers restore nothing).
+        let (restore_gate, degraded) = if live {
+            (SimDuration::ZERO, SimDuration::ZERO)
+        } else {
+            match self.cfg.mechanism.restore() {
+                None => (SimDuration::ZERO, SimDuration::ZERO),
+                Some((mode, path)) => {
+                    let outs = simulate_concurrent_restores(
+                        concurrent,
+                        self.vm_spec.mem_bytes,
+                        self.vm_spec.skeleton_bytes(),
+                        mode,
+                        path,
+                        &self.cfg.backup,
+                        None,
+                    );
+                    let worst = &outs[outs.len() - 1];
+                    (worst.downtime, worst.degraded)
+                }
+            }
+        };
+
+        self.migrations.insert(
+            id,
+            Migration {
+                vm,
+                source,
+                dest: None,
+                commit_started: false,
+                commit_done: false,
+                commit_duration,
+                commit_pause: pause,
+                dest_ready: false,
+                phase: MigPhase::Prep,
+                pending: 0,
+                paused_at: None,
+                pays_downtime,
+                proactive,
+                vm_obj: None,
+                degraded,
+            },
+        );
+        self.restore_gates.insert(id, restore_gate);
+
+        // Under a deadline, the commit (or live transfer) is deferred until
+        // the destination is ready — the ramped checkpointing of §5 runs
+        // through the warning period while the VM keeps serving — but a
+        // deadline guard forces it early enough that the state always
+        // reaches the backup before the platform pulls the plug. Proactive
+        // moves have no deadline: the transfer starts when the destination
+        // is up.
+        if let Some(deadline) = deadline {
+            let guard = deadline
+                .saturating_since(SimTime::ZERO)
+                .saturating_sub(commit_duration)
+                .saturating_sub(SimDuration::from_secs(2));
+            let guard_at = SimTime::ZERO + guard;
+            out.push((guard_at.max(now), Event::CommitStart(id)));
+        }
+
+        // Acquire a destination: hot spare if available, else a fresh
+        // on-demand server.
+        if let Some(spare) = self.spares.pop() {
+            if let Some(m) = self.migrations.get_mut(&id) {
+                m.dest = Some(spare);
+                m.dest_ready = true;
+            }
+            self.start_commit(id, now, out);
+            // Refill the spare pool.
+            self.request_spare(now, out);
+        } else {
+            let zone = spotcheck_spotmarket::market::ZoneName::new(self.cfg.zone.clone());
+            match self.cloud.request_on_demand("m3.medium", &zone, now) {
+                Ok((instance, op, ready)) => {
+                    if let Some(m) = self.migrations.get_mut(&id) {
+                        m.dest = Some(instance);
+                    }
+                    self.op_ctx.insert(op, OpCtx::DestBoot(id));
+                    out.push((ready, Event::CloudOp(op)));
+                }
+                Err(_) => {
+                    // On-demand stockout (§4.3): the VM's state is safe on
+                    // the backup server; retry the destination shortly.
+                    out.push((now + SimDuration::from_secs(30), Event::CommitStart(id)));
+                }
+            }
+        }
+    }
+
+    /// Begins a migration's final commit (idempotent).
+    fn start_commit(&mut self, mig: MigrationId, now: SimTime, out: &mut Outbox) {
+        let Some(m) = self.migrations.get_mut(&mig) else {
+            return;
+        };
+        if m.commit_started {
+            return;
+        }
+        m.commit_started = true;
+        if m.pays_downtime && !m.commit_pause.is_zero() {
+            out.push((
+                now + m.commit_duration.saturating_sub(m.commit_pause),
+                Event::PauseStart(mig),
+            ));
+        }
+        out.push((now + m.commit_duration, Event::CommitDone(mig)));
+    }
+
+    /// Deadline guard / destination retry.
+    fn on_commit_start(&mut self, mig: MigrationId, now: SimTime, out: &mut Outbox) {
+        // Ensure a destination acquisition is in flight (stockout retry).
+        let needs_dest = self
+            .migrations
+            .get(&mig)
+            .map(|m| m.dest.is_none())
+            .unwrap_or(false);
+        if needs_dest {
+            let zone = spotcheck_spotmarket::market::ZoneName::new(self.cfg.zone.clone());
+            match self.cloud.request_on_demand("m3.medium", &zone, now) {
+                Ok((instance, op, ready)) => {
+                    if let Some(m) = self.migrations.get_mut(&mig) {
+                        m.dest = Some(instance);
+                    }
+                    self.op_ctx.insert(op, OpCtx::DestBoot(mig));
+                    out.push((ready, Event::CloudOp(op)));
+                }
+                Err(_) => {
+                    out.push((now + SimDuration::from_secs(30), Event::CommitStart(mig)));
+                }
+            }
+        }
+        self.start_commit(mig, now, out);
+    }
+
+    fn on_pause_start(&mut self, mig: MigrationId, now: SimTime) {
+        if let Some(m) = self.migrations.get_mut(&mig) {
+            if m.pays_downtime && m.paused_at.is_none() {
+                m.paused_at = Some(now);
+                self.accounting.mark_down(m.vm, now);
+                if let Some(info) = self.hosts.get_mut(&m.source) {
+                    if let Some(v) = info.hv.vm_mut(m.vm) {
+                        v.state = NestedVmState::PausedForMigration;
+                    }
+                }
+            }
+        }
+    }
+
+    fn try_advance(&mut self, mig: MigrationId, now: SimTime, out: &mut Outbox) {
+        let Some(m) = self.migrations.get_mut(&mig) else {
+            return;
+        };
+        if !(m.commit_done && m.dest_ready && m.phase == MigPhase::Prep) {
+            return;
+        }
+        m.phase = MigPhase::Detaching;
+        // The VM pauses no later than here (zero-pause mechanisms keep it
+        // conceptually running; EC2 ops still interrupt it — the paper's
+        // 22.65 s — unless the mechanism is idealized live migration).
+        if m.pays_downtime && m.paused_at.is_none() {
+            m.paused_at = Some(now);
+            self.accounting.mark_down(m.vm, now);
+        }
+        let vm = m.vm;
+        let source = m.source;
+        // Detach the ENI and the volume from the source (only possible
+        // while the source still exists; a force-terminated source already
+        // released them).
+        let (eni, volume) = {
+            let r = self.vms.get(&vm).expect("migrating VM exists");
+            (r.eni, r.volume)
+        };
+        let mut pending = 0u8;
+        let source_alive = self
+            .cloud
+            .instance(source)
+            .map(|i| i.is_usable())
+            .unwrap_or(false);
+        if source_alive {
+            if let Some(eni) = eni {
+                if let Ok((op, ready)) = self.cloud.detach_eni(eni, now) {
+                    self.op_ctx.insert(op, OpCtx::MigDetach(mig));
+                    out.push((ready, Event::CloudOp(op)));
+                    pending += 1;
+                }
+            }
+            if let Ok((op, ready)) = self.cloud.detach_volume(volume, now) {
+                self.op_ctx.insert(op, OpCtx::MigDetach(mig));
+                out.push((ready, Event::CloudOp(op)));
+                pending += 1;
+            }
+        }
+        if let Some(m) = self.migrations.get_mut(&mig) {
+            m.pending = pending;
+        }
+        if pending == 0 {
+            self.begin_attach(mig, now, out);
+        }
+    }
+
+    fn on_mig_gate_done(&mut self, mig: MigrationId, now: SimTime, out: &mut Outbox) {
+        let phase = match self.migrations.get_mut(&mig) {
+            Some(m) => {
+                m.pending = m.pending.saturating_sub(1);
+                if m.pending > 0 {
+                    return;
+                }
+                m.phase
+            }
+            None => return,
+        };
+        match phase {
+            MigPhase::Detaching => self.begin_attach(mig, now, out),
+            MigPhase::Attaching => self.complete_migration(mig, now, out),
+            MigPhase::Prep => {}
+        }
+    }
+
+    fn begin_attach(&mut self, mig: MigrationId, now: SimTime, out: &mut Outbox) {
+        let (vm, source, dest) = match self.migrations.get(&mig) {
+            Some(m) => (m.vm, m.source, m.dest.expect("dest ready")),
+            None => return,
+        };
+        // Move the VM object (or resurrect it if the source was reclaimed:
+        // its memory lives on the backup server).
+        let vm_obj = self
+            .hosts
+            .get_mut(&source)
+            .and_then(|i| i.hv.evict(vm).ok())
+            .or_else(|| self.migrations.get_mut(&mig).and_then(|m| m.vm_obj.take()))
+            .unwrap_or_else(|| NestedVm::new(vm, self.vm_spec, now));
+        // Relinquish the source once it has no residents left.
+        let source_empty = self
+            .hosts
+            .get(&source)
+            .map(|i| i.hv.resident_count() == 0)
+            .unwrap_or(false);
+        if source_empty
+            && self
+                .cloud
+                .instance(source)
+                .map(|i| i.is_usable())
+                .unwrap_or(false)
+        {
+            self.terminate_host(source, now, out);
+        }
+        // Admit at the destination.
+        if let Some(info) = self.hosts.get_mut(&dest) {
+            let mut obj = vm_obj;
+            obj.state = NestedVmState::Restoring;
+            let _ = info.hv.admit(obj);
+        }
+        // New ENI at the destination carrying the same private IP
+        // (Figure 4 / §3.4), plus the volume reattach, plus the memory
+        // restore gate.
+        let (ip, volume) = {
+            let r = self.vms.get(&vm).expect("migrating VM exists");
+            (r.ip, r.volume)
+        };
+        let eni = self.cloud.create_eni(Some(ip));
+        if let Some(r) = self.vms.get_mut(&vm) {
+            r.eni = Some(eni);
+        }
+        let mut pending = 0u8;
+        if let Ok((op, ready)) = self.cloud.attach_eni(eni, dest, now) {
+            self.op_ctx.insert(op, OpCtx::MigAttach(mig));
+            out.push((ready, Event::CloudOp(op)));
+            pending += 1;
+        }
+        if let Ok((op, ready)) = self.cloud.attach_volume(volume, dest, now) {
+            self.op_ctx.insert(op, OpCtx::MigAttach(mig));
+            out.push((ready, Event::CloudOp(op)));
+            pending += 1;
+        }
+        let gate = self
+            .restore_gates
+            .get(&mig)
+            .copied()
+            .unwrap_or(SimDuration::ZERO);
+        out.push((now + gate, Event::RestoreDone(mig)));
+        pending += 1;
+        if let Some(m) = self.migrations.get_mut(&mig) {
+            m.phase = MigPhase::Attaching;
+            m.pending = pending;
+        }
+    }
+
+    fn complete_migration(&mut self, mig: MigrationId, now: SimTime, out: &mut Outbox) {
+        let Some(m) = self.migrations.remove(&mig) else {
+            return;
+        };
+        self.restore_gates.remove(&mig);
+        let vm = m.vm;
+        let dest = m.dest.expect("dest ready");
+        if let Some(r) = self.vms.get_mut(&vm) {
+            r.host = Some(dest);
+            r.status = VmStatus::Running;
+        }
+        // Resume: downtime ends.
+        if m.paused_at.is_some() {
+            self.accounting.mark_up(vm, now);
+        }
+        if m.proactive {
+            self.accounting.count_proactive(vm);
+        } else {
+            self.accounting.count_migration(vm);
+        }
+        // The VM now sits on a non-revocable on-demand server: it no longer
+        // needs backup protection (§3.5).
+        if self.backups.server_of(vm).is_some() {
+            let _ = self.backups.release(vm);
+        }
+        if let Some(r) = self.vms.get_mut(&vm) {
+            r.backup = None;
+        }
+        // Lazy restores run degraded while prefetching completes.
+        let state = if m.degraded.is_zero() {
+            NestedVmState::Running
+        } else {
+            let epoch = self.degraded_epoch.entry(vm).or_insert(0);
+            *epoch += 1;
+            let epoch = *epoch;
+            self.accounting.mark_degraded(vm, now);
+            out.push((now + m.degraded, Event::DegradedEnd { vm, epoch }));
+            NestedVmState::LazyRestoring
+        };
+        if let Some(info) = self.hosts.get_mut(&dest) {
+            if let Some(v) = info.hv.vm_mut(vm) {
+                v.state = state;
+            }
+        }
+    }
+
+    fn on_forced_termination(&mut self, instance: InstanceId, now: SimTime, out: &mut Outbox) {
+        // Carry any still-resident VM objects into their migrations before
+        // the host record disappears (their memory is safe on the backup).
+        if let Some(info) = self.hosts.get_mut(&instance) {
+            let residents = info.hv.resident_ids();
+            for vm in residents {
+                if let Ok(obj) = info.hv.evict(vm) {
+                    if let Some((_, m)) = self
+                        .migrations
+                        .iter_mut()
+                        .find(|(_, m)| m.vm == vm && m.source == instance)
+                    {
+                        m.vm_obj = Some(obj);
+                    }
+                }
+            }
+        }
+        let reclaimed = self.cloud.force_terminate(instance, now).unwrap_or(false);
+        if reclaimed {
+            self.hosts.remove(&instance);
+        }
+        let _ = out;
+    }
+
+    // ------------------------------------------------------------------
+    // Return-to-spot (allocation dynamics)
+    // ------------------------------------------------------------------
+
+    fn start_return(&mut self, vm: NestedVmId, market: MarketId, now: SimTime, out: &mut Outbox) {
+        let zone = spotcheck_spotmarket::market::ZoneName::new(market.zone.as_str());
+        let od = self
+            .cloud
+            .spec(market.type_name.as_str())
+            .map(|s| s.on_demand_price)
+            .unwrap_or(0.07);
+        let bid = self.cfg.bidding.bid(od);
+        let Ok((instance, op, ready)) =
+            self.cloud
+                .request_spot(market.type_name.as_str(), &zone, bid, now)
+        else {
+            return;
+        };
+        self.op_ctx.insert(op, OpCtx::ReturnBoot(vm));
+        self.returns.insert(
+            vm,
+            ReturnState {
+                dest: instance,
+                phase: ReturnPhase::Transferring,
+                pending: 0,
+            },
+        );
+        out.push((ready, Event::CloudOp(op)));
+    }
+
+    fn on_return_transfer_done(&mut self, vm: NestedVmId, now: SimTime, out: &mut Outbox) {
+        // Pre-copy finished; move the IP and volume (no downtime counted:
+        // live migration keeps the VM serving until switchover).
+        let Some(ret) = self.returns.get_mut(&vm) else {
+            return;
+        };
+        ret.phase = ReturnPhase::Detaching;
+        let (eni, volume, host) = {
+            let Some(r) = self.vms.get(&vm) else {
+                self.returns.remove(&vm);
+                return;
+            };
+            (r.eni, r.volume, r.host)
+        };
+        let mut pending = 0u8;
+        let source_alive = host
+            .and_then(|h| self.cloud.instance(h).ok().map(|i| i.is_usable()))
+            .unwrap_or(false);
+        if source_alive {
+            if let Some(eni) = eni {
+                if let Ok((op, ready)) = self.cloud.detach_eni(eni, now) {
+                    self.op_ctx.insert(op, OpCtx::ReturnDetach(vm));
+                    out.push((ready, Event::CloudOp(op)));
+                    pending += 1;
+                }
+            }
+            if let Ok((op, ready)) = self.cloud.detach_volume(volume, now) {
+                self.op_ctx.insert(op, OpCtx::ReturnDetach(vm));
+                out.push((ready, Event::CloudOp(op)));
+                pending += 1;
+            }
+        }
+        if pending == 0 {
+            self.begin_return_attach(vm, now, out);
+        } else if let Some(ret) = self.returns.get_mut(&vm) {
+            ret.pending = pending;
+        }
+    }
+
+    fn begin_return_attach(&mut self, vm: NestedVmId, now: SimTime, out: &mut Outbox) {
+        let dest = match self.returns.get_mut(&vm) {
+            Some(r) => {
+                r.phase = ReturnPhase::Attaching;
+                r.dest
+            }
+            None => return,
+        };
+        // Move the VM object from the od host to the spot host.
+        let old_host = self.vms.get(&vm).and_then(|r| r.host);
+        let obj = old_host
+            .and_then(|h| self.hosts.get_mut(&h).and_then(|i| i.hv.evict(vm).ok()))
+            .unwrap_or_else(|| NestedVm::new(vm, self.vm_spec, now));
+        if let Some(info) = self.hosts.get_mut(&dest) {
+            let _ = info.hv.admit(obj);
+        }
+        // Relinquish the empty od host.
+        if let Some(h) = old_host {
+            let empty = self
+                .hosts
+                .get(&h)
+                .map(|i| i.hv.resident_count() == 0)
+                .unwrap_or(false);
+            if empty {
+                self.terminate_host(h, now, out);
+            }
+        }
+        let (ip, volume) = {
+            let r = self.vms.get(&vm).expect("returning VM exists");
+            (r.ip, r.volume)
+        };
+        let eni = self.cloud.create_eni(Some(ip));
+        let mut pending = 0u8;
+        if let Ok((op, ready)) = self.cloud.attach_eni(eni, dest, now) {
+            self.op_ctx.insert(op, OpCtx::ReturnAttach(vm));
+            out.push((ready, Event::CloudOp(op)));
+            pending += 1;
+        }
+        if let Ok((op, ready)) = self.cloud.attach_volume(volume, dest, now) {
+            self.op_ctx.insert(op, OpCtx::ReturnAttach(vm));
+            out.push((ready, Event::CloudOp(op)));
+            pending += 1;
+        }
+        if let Some(r) = self.vms.get_mut(&vm) {
+            r.eni = Some(eni);
+            r.host = Some(dest);
+        }
+        if pending == 0 {
+            self.complete_return(vm, now);
+        } else if let Some(ret) = self.returns.get_mut(&vm) {
+            ret.pending = pending;
+        }
+    }
+
+    fn complete_return(&mut self, vm: NestedVmId, now: SimTime) {
+        self.returns.remove(&vm);
+        self.accounting.count_migration(vm);
+        // Back on revocable spot: re-establish backup protection (unless
+        // the VM is stateless).
+        let stateless = self.vms.get(&vm).map(|r| r.stateless).unwrap_or(false);
+        if self.cfg.mechanism.needs_backup() && !stateless {
+            self.assign_backup(vm, now);
+        }
+        let host = self.vms.get(&vm).and_then(|r| r.host);
+        if let Some(h) = host {
+            if let Some(info) = self.hosts.get_mut(&h) {
+                if let Some(v) = info.hv.vm_mut(vm) {
+                    v.state = if self.cfg.mechanism.needs_backup() {
+                        NestedVmState::RunningProtected
+                    } else {
+                        NestedVmState::Running
+                    };
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Cloud-op completion dispatch
+    // ------------------------------------------------------------------
+
+    fn on_cloud_op(&mut self, op: OpId, now: SimTime, out: &mut Outbox) {
+        let Some(ctx) = self.op_ctx.remove(&op) else {
+            return;
+        };
+        let Ok(notif) = self.cloud.complete_op(op, now) else {
+            return;
+        };
+        match (ctx, notif) {
+            (OpCtx::HostBoot, Notification::InstanceStarted { instance }) => {
+                let spec = self
+                    .cloud
+                    .instance(instance)
+                    .expect("instance exists")
+                    .spec
+                    .clone();
+                let market = self
+                    .cloud
+                    .instance(instance)
+                    .expect("instance exists")
+                    .market();
+                self.hosts.insert(
+                    instance,
+                    HostInfo {
+                        hv: HostVm::new(spec.medium_slots),
+                        market: market.clone(),
+                    },
+                );
+                for vm in self.host_waiters.remove(&instance).unwrap_or_default() {
+                    self.place_vm(vm, instance, market.clone(), now, out);
+                }
+            }
+            (OpCtx::HostBoot, Notification::SpotStartFailed { instance }) => {
+                for vm in self.host_waiters.remove(&instance).unwrap_or_default() {
+                    out.push((now, Event::ProvisionVm(vm)));
+                }
+            }
+            (OpCtx::SpareBoot, Notification::InstanceStarted { instance }) => {
+                let slots = self
+                    .cloud
+                    .instance(instance)
+                    .expect("instance exists")
+                    .spec
+                    .medium_slots;
+                self.hosts.insert(
+                    instance,
+                    HostInfo {
+                        hv: HostVm::new(slots),
+                        market: None,
+                    },
+                );
+                self.spares.push(instance);
+            }
+            (OpCtx::DestBoot(mig), Notification::InstanceStarted { instance }) => {
+                let slots = self
+                    .cloud
+                    .instance(instance)
+                    .expect("instance exists")
+                    .spec
+                    .medium_slots;
+                self.hosts.insert(
+                    instance,
+                    HostInfo {
+                        hv: HostVm::new(slots),
+                        market: None,
+                    },
+                );
+                if let Some(m) = self.migrations.get_mut(&mig) {
+                    m.dest_ready = true;
+                }
+                self.start_commit(mig, now, out);
+                self.try_advance(mig, now, out);
+            }
+            (OpCtx::ProvisionAttach(vm), n) => {
+                match n {
+                    Notification::EniAttached { .. } | Notification::VolumeAttached { .. } => {
+                        let left = self
+                            .provision_pending
+                            .get_mut(&vm)
+                            .map(|p| {
+                                *p = p.saturating_sub(1);
+                                *p
+                            })
+                            .unwrap_or(0);
+                        if left == 0 {
+                            self.provision_pending.remove(&vm);
+                            self.finish_provisioning(vm, now);
+                        }
+                    }
+                    Notification::EniAttachFailed { .. }
+                    | Notification::VolumeAttachFailed { .. } => {
+                        // The host died mid-provision: start over.
+                        self.provision_pending.remove(&vm);
+                        if let Some(r) = self.vms.get_mut(&vm) {
+                            r.host = None;
+                        }
+                        out.push((now, Event::ProvisionVm(vm)));
+                    }
+                    _ => {}
+                }
+            }
+            (OpCtx::MigDetach(mig), _) => self.on_mig_gate_done(mig, now, out),
+            (OpCtx::MigAttach(mig), n) => match n {
+                Notification::EniAttachFailed { .. } | Notification::VolumeAttachFailed { .. } => {
+                    // The on-demand destination cannot be revoked; a failure
+                    // here means the driver terminated it externally. Drop
+                    // the gate so the migration can still complete.
+                    self.on_mig_gate_done(mig, now, out);
+                }
+                _ => self.on_mig_gate_done(mig, now, out),
+            },
+            (OpCtx::ReturnBoot(vm), Notification::InstanceStarted { instance }) => {
+                let inst = self.cloud.instance(instance).expect("instance exists");
+                let slots = inst.spec.medium_slots;
+                let market = inst.market();
+                self.hosts.insert(
+                    instance,
+                    HostInfo {
+                        hv: HostVm::new(slots),
+                        market,
+                    },
+                );
+                // Live pre-copy transfer of the running VM.
+                let dirty = self
+                    .vms
+                    .get(&vm)
+                    .map(|r| r.workload.dirty_model())
+                    .unwrap_or_else(|| WorkloadKind::TpcW.dirty_model());
+                let pre = simulate_precopy(
+                    self.vm_spec.mem_bytes,
+                    &dirty,
+                    &PreCopyConfig::default(),
+                );
+                out.push((now + pre.total_duration, Event::ReturnTransferDone(vm)));
+            }
+            (OpCtx::ReturnBoot(vm), Notification::SpotStartFailed { .. }) => {
+                // The market moved against us during boot; abandon the
+                // return and stay on on-demand.
+                self.returns.remove(&vm);
+            }
+            (OpCtx::ReturnDetach(vm), _) => {
+                let done = self
+                    .returns
+                    .get_mut(&vm)
+                    .map(|r| {
+                        r.pending = r.pending.saturating_sub(1);
+                        r.pending == 0
+                    })
+                    .unwrap_or(false);
+                if done {
+                    self.begin_return_attach(vm, now, out);
+                }
+            }
+            (OpCtx::ReturnAttach(vm), _) => {
+                let done = self
+                    .returns
+                    .get_mut(&vm)
+                    .map(|r| {
+                        r.pending = r.pending.saturating_sub(1);
+                        r.pending == 0
+                    })
+                    .unwrap_or(false);
+                if done {
+                    self.complete_return(vm, now);
+                }
+            }
+            (OpCtx::Terminate, _) => {}
+            // Remaining combinations (e.g. a boot op completing after its
+            // purpose evaporated) are benign.
+            _ => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Reporting
+    // ------------------------------------------------------------------
+
+    /// Availability/degradation report across all VMs, closing clocks at
+    /// `now`.
+    pub fn availability_report(&mut self, now: SimTime) -> AvailabilityReport {
+        self.accounting.report(now)
+    }
+
+    /// Cost report at `now`.
+    pub fn cost_report(&self, now: SimTime) -> CostReport {
+        let mut native = 0.0;
+        for inst in self.cloud.instances() {
+            native += self.cloud.instance_cost(inst.id, now).unwrap_or(0.0);
+        }
+        let mut backup = 0.0;
+        for (_, birth) in self.backup_birth.iter() {
+            backup += self.cfg.backup.hourly_price * now.saturating_since(*birth).as_hours_f64();
+        }
+        let mut vm_hours = 0.0;
+        for r in self.vms.values() {
+            if let Some(start) = r.first_running_at {
+                vm_hours += now.saturating_since(start).as_hours_f64();
+            }
+        }
+        let total = native + backup;
+        CostReport {
+            native_cost: native,
+            backup_cost: backup,
+            total,
+            vm_hours,
+            cost_per_vm_hr: if vm_hours > 0.0 { total / vm_hours } else { 0.0 },
+        }
+    }
+
+    /// Number of VMs currently in each status (for tests/diagnostics).
+    pub fn status_counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut counts = BTreeMap::new();
+        for r in self.vms.values() {
+            let k = match r.status {
+                VmStatus::Provisioning => "provisioning",
+                VmStatus::Running => "running",
+                VmStatus::Migrating => "migrating",
+                VmStatus::Released => "released",
+            };
+            *counts.entry(k).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// The private IP of a VM (stable across migrations).
+    pub fn vm_ip(&self, vm: NestedVmId) -> Option<PrivateIp> {
+        self.vms.get(&vm).map(|r| r.ip)
+    }
+
+    /// The EBS volume of a VM.
+    pub fn vm_volume(&self, vm: NestedVmId) -> Option<VolumeId> {
+        self.vms.get(&vm).map(|r| r.volume)
+    }
+}

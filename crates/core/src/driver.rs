@@ -1,0 +1,164 @@
+//! The end-to-end simulation driver: wires the [`Controller`] into the
+//! discrete-event engine and exposes a synchronous façade for examples and
+//! tests.
+
+use spotcheck_cloudsim::cloud::{CloudConfig, CloudSim};
+use spotcheck_nestedvm::vm::NestedVmId;
+use spotcheck_simcore::engine::{Scheduler, Simulation, StopReason, World};
+use spotcheck_simcore::time::SimTime;
+use spotcheck_spotmarket::trace::PriceTrace;
+use spotcheck_workloads::WorkloadKind;
+
+use crate::accounting::AvailabilityReport;
+use crate::config::SpotCheckConfig;
+use crate::controller::{Controller, ControllerError, CostReport};
+use crate::events::Event;
+use crate::types::CustomerId;
+
+/// The [`World`] adapter around the controller.
+pub struct Driver {
+    controller: Controller,
+}
+
+impl World for Driver {
+    type Event = Event;
+
+    fn handle(&mut self, event: Event, sched: &mut Scheduler<'_, Event>) {
+        let out = self.controller.handle_event(event, sched.now());
+        for (t, e) in out {
+            sched.at(t, e);
+        }
+    }
+}
+
+/// A complete SpotCheck deployment simulation.
+///
+/// # Examples
+///
+/// ```no_run
+/// use spotcheck_core::driver::SpotCheckSim;
+/// use spotcheck_core::config::SpotCheckConfig;
+/// use spotcheck_core::sim::standard_traces;
+/// use spotcheck_simcore::time::{SimDuration, SimTime};
+/// use spotcheck_workloads::WorkloadKind;
+///
+/// let traces = standard_traces("us-east-1a", SimDuration::from_days(7), 42);
+/// let mut sim = SpotCheckSim::new(traces, SpotCheckConfig::default());
+/// let customer = sim.create_customer();
+/// let vm = sim.request_server(customer, WorkloadKind::TpcW);
+/// sim.run_until(SimTime::from_days(7));
+/// println!("{:?}", sim.availability_report());
+/// let _ = vm;
+/// ```
+pub struct SpotCheckSim {
+    sim: Simulation<Driver>,
+}
+
+impl SpotCheckSim {
+    /// Builds a deployment over the given market traces.
+    pub fn new(traces: Vec<PriceTrace>, config: SpotCheckConfig) -> Self {
+        let cloud_cfg = CloudConfig {
+            seed: config.seed,
+            ..CloudConfig::default()
+        };
+        let cloud = CloudSim::new(traces, cloud_cfg);
+        let mut controller = Controller::new(cloud, config);
+        let boot = controller.bootstrap(SimTime::ZERO);
+        let mut sim = Simulation::new(Driver { controller });
+        for (t, e) in boot {
+            sim.schedule_at(t, e);
+        }
+        SpotCheckSim { sim }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Access to the controller.
+    pub fn controller(&self) -> &Controller {
+        self.sim.world().controller()
+    }
+
+    /// Registers a customer.
+    pub fn create_customer(&mut self) -> CustomerId {
+        self.sim.world_mut().controller_mut().create_customer()
+    }
+
+    /// Requests a nested VM for `customer`; provisioning proceeds as the
+    /// simulation runs.
+    pub fn request_server(&mut self, customer: CustomerId, workload: WorkloadKind) -> NestedVmId {
+        self.request_server_opts(customer, workload, false)
+    }
+
+    /// Like [`SpotCheckSim::request_server`], optionally marking the VM as
+    /// stateless (no backup protection; live migration on revocation).
+    pub fn request_server_opts(
+        &mut self,
+        customer: CustomerId,
+        workload: WorkloadKind,
+        stateless: bool,
+    ) -> NestedVmId {
+        let now = self.sim.now();
+        let (vm, out) = self
+            .sim
+            .world_mut()
+            .controller_mut()
+            .request_server_opts(customer, workload, stateless, now)
+            .expect("request_server: customer must exist");
+        for (t, e) in out {
+            self.sim.schedule_at(t, e);
+        }
+        vm
+    }
+
+    /// Releases a nested VM.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the VM is unknown.
+    pub fn release_server(&mut self, vm: NestedVmId) -> Result<(), ControllerError> {
+        let now = self.sim.now();
+        let out = self
+            .sim
+            .world_mut()
+            .controller_mut()
+            .release_server(vm, now)?;
+        for (t, e) in out {
+            self.sim.schedule_at(t, e);
+        }
+        Ok(())
+    }
+
+    /// Runs the simulation up to `horizon`.
+    pub fn run_until(&mut self, horizon: SimTime) -> StopReason {
+        self.sim.run_until(horizon)
+    }
+
+    /// Availability/degradation report at the current time.
+    pub fn availability_report(&mut self) -> AvailabilityReport {
+        let now = self.sim.now();
+        self.sim
+            .world_mut()
+            .controller_mut()
+            .availability_report(now)
+    }
+
+    /// Cost report at the current time.
+    pub fn cost_report(&self) -> CostReport {
+        self.sim.world().controller().cost_report(self.sim.now())
+    }
+}
+
+impl Driver {
+    /// Shared controller access.
+    pub fn controller(&self) -> &Controller {
+        &self.controller
+    }
+
+    /// Exclusive controller access.
+    pub fn controller_mut(&mut self) -> &mut Controller {
+        &mut self.controller
+    }
+}

@@ -1,0 +1,38 @@
+//! The event alphabet of the end-to-end SpotCheck simulation.
+
+use spotcheck_cloudsim::ids::{InstanceId, OpId};
+use spotcheck_nestedvm::vm::NestedVmId;
+use spotcheck_spotmarket::market::MarketId;
+
+use crate::types::MigrationId;
+
+/// Events driving the controller.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A spot market's price changed (from its trace).
+    PriceChange(MarketId),
+    /// An asynchronous cloud operation completed.
+    CloudOp(OpId),
+    /// The platform's forced termination of a revoked instance is due.
+    ForcedTermination(InstanceId),
+    /// Start (or retry) provisioning of a requested nested VM.
+    ProvisionVm(NestedVmId),
+    /// Deadline guard: begin the final commit now even if the destination
+    /// is not ready (the state must reach the backup before termination).
+    CommitStart(MigrationId),
+    /// A migration's final-commit pause begins (the VM stops executing).
+    PauseStart(MigrationId),
+    /// A migration's checkpoint final-commit finished.
+    CommitDone(MigrationId),
+    /// A migration's memory restoration (skeleton or full image) finished.
+    RestoreDone(MigrationId),
+    /// A lazily-restored VM's degraded window ends.
+    DegradedEnd {
+        /// The VM.
+        vm: NestedVmId,
+        /// Guards against stale events after a newer migration.
+        epoch: u32,
+    },
+    /// A return-to-spot live migration's memory transfer finished.
+    ReturnTransferDone(NestedVmId),
+}

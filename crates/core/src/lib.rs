@@ -1,0 +1,58 @@
+//! # spotcheck-core
+//!
+//! SpotCheck: a derivative IaaS cloud on the spot market (EuroSys 2015).
+//!
+//! This crate is the paper's primary contribution, built on the substrate
+//! crates (`spotcheck-cloudsim`, `-nestedvm`, `-backup`, `-migrate`,
+//! `-spotmarket`, `-workloads`):
+//!
+//! - [`policy`] — bidding (§4.3), customer-to-pool mapping (Table 2), and
+//!   placement with slicing arbitrage (§4.2);
+//! - [`controller`] + [`driver`] — the event-driven controller (§5): VM
+//!   provisioning, backup assignment, revocation handling with
+//!   bounded-time migration and IP/EBS transparency, hot spares, and
+//!   return-to-spot allocation dynamics;
+//! - [`accounting`] — per-VM availability and degradation clocks;
+//! - [`analysis`] — the §4.4 closed-form cost/availability model;
+//! - [`sim`] — the trace-driven policy simulator behind Figures 10-12 and
+//!   Table 3.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use spotcheck_core::config::SpotCheckConfig;
+//! use spotcheck_core::driver::SpotCheckSim;
+//! use spotcheck_core::sim::standard_traces;
+//! use spotcheck_simcore::time::{SimDuration, SimTime};
+//! use spotcheck_workloads::WorkloadKind;
+//!
+//! let traces = standard_traces("us-east-1a", SimDuration::from_days(1), 7);
+//! let mut sim = SpotCheckSim::new(traces, SpotCheckConfig::default());
+//! let customer = sim.create_customer();
+//! let _vm = sim.request_server(customer, WorkloadKind::TpcW);
+//! sim.run_until(SimTime::from_hours(2));
+//! let report = sim.availability_report();
+//! assert_eq!(report.vms, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accounting;
+pub mod analysis;
+pub mod config;
+pub mod controller;
+pub mod driver;
+pub mod events;
+pub mod policy;
+pub mod sim;
+pub mod types;
+
+pub use accounting::{Accounting, AvailabilityReport};
+pub use analysis::MarketModel;
+pub use config::SpotCheckConfig;
+pub use controller::{Controller, ControllerError, CostReport};
+pub use driver::SpotCheckSim;
+pub use policy::{BiddingPolicy, MappingPolicy, PlacementPolicy};
+pub use sim::{run_policy, standard_traces, PolicyExperiment, PolicyReport};
+pub use types::{CustomerId, MigrationId, VmRecord, VmStatus};

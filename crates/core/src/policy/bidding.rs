@@ -1,0 +1,113 @@
+//! Bidding policies (paper §4.3).
+//!
+//! SpotCheck deliberately keeps bidding simple — its contribution is the
+//! derivative-cloud design, not bid optimization — and supports exactly two
+//! policies:
+//!
+//! - **bid the on-demand price**: revocations then only happen when
+//!   on-demand is the cheaper option anyway, so migrating to on-demand at
+//!   that moment is also the cost-optimal move;
+//! - **bid k x the on-demand price** (k > 1): fewer revocations at the risk
+//!   of paying above on-demand during spikes; this is the policy that makes
+//!   *proactive* live migrations possible (trigger when the price crosses
+//!   on-demand but is still below the bid).
+
+/// A bidding policy for spot pools.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BiddingPolicy {
+    /// Bid exactly the equivalent on-demand price.
+    OnDemandPrice,
+    /// Bid `k` times the on-demand price (`k > 1`), optionally migrating
+    /// proactively (via live migration) when the price crosses the
+    /// on-demand price.
+    KTimesOnDemand {
+        /// The bid multiplier, > 1.
+        k: f64,
+        /// Trigger proactive live migrations at the on-demand crossing.
+        proactive: bool,
+    },
+}
+
+impl BiddingPolicy {
+    /// The bid in $/hr for a pool whose equivalent on-demand price is
+    /// `od_price`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `KTimesOnDemand` policy has `k <= 1`.
+    pub fn bid(&self, od_price: f64) -> f64 {
+        match *self {
+            BiddingPolicy::OnDemandPrice => od_price,
+            BiddingPolicy::KTimesOnDemand { k, .. } => {
+                assert!(k > 1.0, "KTimesOnDemand requires k > 1, got {k}");
+                k * od_price
+            }
+        }
+    }
+
+    /// The price at which a proactive live migration triggers, if the
+    /// policy uses proactive migration.
+    pub fn proactive_threshold(&self, od_price: f64) -> Option<f64> {
+        match *self {
+            BiddingPolicy::KTimesOnDemand {
+                proactive: true, ..
+            } => Some(od_price),
+            _ => None,
+        }
+    }
+
+    /// Display label.
+    pub fn label(&self) -> String {
+        match *self {
+            BiddingPolicy::OnDemandPrice => "bid=od".to_string(),
+            BiddingPolicy::KTimesOnDemand { k, proactive } => {
+                format!("bid={k}xod{}", if proactive { "+proactive" } else { "" })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn on_demand_policy_bids_od() {
+        assert_eq!(BiddingPolicy::OnDemandPrice.bid(0.07), 0.07);
+        assert_eq!(BiddingPolicy::OnDemandPrice.proactive_threshold(0.07), None);
+    }
+
+    #[test]
+    fn k_times_policy_scales_bid() {
+        let p = BiddingPolicy::KTimesOnDemand {
+            k: 5.0,
+            proactive: true,
+        };
+        assert!((p.bid(0.07) - 0.35).abs() < 1e-12);
+        assert_eq!(p.proactive_threshold(0.07), Some(0.07));
+        let no = BiddingPolicy::KTimesOnDemand {
+            k: 2.0,
+            proactive: false,
+        };
+        assert_eq!(no.proactive_threshold(0.07), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "k > 1")]
+    fn k_must_exceed_one() {
+        BiddingPolicy::KTimesOnDemand {
+            k: 0.5,
+            proactive: false,
+        }
+        .bid(0.07);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(BiddingPolicy::OnDemandPrice.label(), "bid=od");
+        assert_eq!(
+            BiddingPolicy::KTimesOnDemand { k: 2.0, proactive: true }.label(),
+            "bid=2xod+proactive"
+        );
+    }
+}

@@ -1,0 +1,222 @@
+//! Customer-to-pool mapping policies (Table 2 of the paper).
+//!
+//! SpotCheck spreads each customer's nested VMs across spot pools to
+//! reduce the risk of revocation storms — "akin to managing a financial
+//! portfolio by distributing assets across uncorrelated, independent asset
+//! classes" (§4.2). Table 2 defines five policies over the m3 family:
+//!
+//! | Policy    | Distribution |
+//! |-----------|--------------|
+//! | `1P-M`    | all VMs in a single `m3.medium` pool |
+//! | `2P-ML`   | split evenly between `m3.medium` and `m3.large` |
+//! | `4P-ED`   | split evenly across all four m3 types |
+//! | `4P-COST` | weighted by (inverse) historical unit cost |
+//! | `4P-ST`   | weighted by (inverse) historical migration count |
+
+use spotcheck_simcore::time::SimTime;
+use spotcheck_spotmarket::market::MarketId;
+use spotcheck_spotmarket::trace::PriceTrace;
+
+/// The five mapping policies of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MappingPolicy {
+    /// All VMs in one `m3.medium` pool.
+    OneM,
+    /// VMs split evenly between `m3.medium` and `m3.large` pools.
+    TwoML,
+    /// VMs split evenly across the four m3 pools.
+    FourEd,
+    /// VMs distributed with probability inversely proportional to each
+    /// pool's historical per-slot cost.
+    FourCost,
+    /// VMs distributed with probability inversely proportional to each
+    /// pool's historical migration (revocation) count.
+    FourSt,
+}
+
+impl MappingPolicy {
+    /// All five policies in the paper's figure order.
+    pub const ALL: [MappingPolicy; 5] = [
+        MappingPolicy::OneM,
+        MappingPolicy::TwoML,
+        MappingPolicy::FourEd,
+        MappingPolicy::FourCost,
+        MappingPolicy::FourSt,
+    ];
+
+    /// The paper's label.
+    pub fn label(self) -> &'static str {
+        match self {
+            MappingPolicy::OneM => "1P-M",
+            MappingPolicy::TwoML => "2P-ML",
+            MappingPolicy::FourEd => "4P-ED",
+            MappingPolicy::FourCost => "4P-COST",
+            MappingPolicy::FourSt => "4P-ST",
+        }
+    }
+
+    /// The instance types this policy draws on.
+    pub fn type_names(self) -> &'static [&'static str] {
+        match self {
+            MappingPolicy::OneM => &["m3.medium"],
+            MappingPolicy::TwoML => &["m3.medium", "m3.large"],
+            MappingPolicy::FourEd | MappingPolicy::FourCost | MappingPolicy::FourSt => {
+                &["m3.medium", "m3.large", "m3.xlarge", "m3.2xlarge"]
+            }
+        }
+    }
+
+    /// Number of pools the policy spreads over.
+    pub fn pool_count(self) -> usize {
+        self.type_names().len()
+    }
+
+    /// Computes the VM-distribution weights over the policy's pools, using
+    /// historical data from `traces` over `[history_from, history_to)`.
+    ///
+    /// `traces` must contain one trace per type in [`Self::type_names`]
+    /// order. Weights are normalized to sum to 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces` has the wrong length.
+    pub fn weights(
+        self,
+        traces: &[&PriceTrace],
+        history_from: SimTime,
+        history_to: SimTime,
+    ) -> Vec<f64> {
+        assert_eq!(
+            traces.len(),
+            self.pool_count(),
+            "{}: expected {} traces, got {}",
+            self.label(),
+            self.pool_count(),
+            traces.len()
+        );
+        let raw: Vec<f64> = match self {
+            MappingPolicy::OneM => vec![1.0],
+            MappingPolicy::TwoML => vec![0.5, 0.5],
+            MappingPolicy::FourEd => vec![0.25; 4],
+            MappingPolicy::FourCost => traces
+                .iter()
+                .map(|t| {
+                    // Per-slot (m3.medium-equivalent) historical mean cost;
+                    // cheaper pools get proportionally more VMs.
+                    let slots = t.on_demand_price / 0.070;
+                    let unit = t
+                        .mean_capped_price(t.on_demand_price, history_from, history_to)
+                        .unwrap_or(t.on_demand_price)
+                        / slots;
+                    1.0 / unit.max(1e-6)
+                })
+                .collect(),
+            MappingPolicy::FourSt => traces
+                .iter()
+                .map(|t| {
+                    let revs =
+                        t.revocations_at_bid(t.on_demand_price, history_from, history_to);
+                    1.0 / (1.0 + revs as f64)
+                })
+                .collect(),
+        };
+        let sum: f64 = raw.iter().sum();
+        raw.into_iter().map(|w| w / sum).collect()
+    }
+
+    /// Builds the pool market ids for a zone.
+    pub fn markets(self, zone: &str) -> Vec<MarketId> {
+        self.type_names()
+            .iter()
+            .map(|t| MarketId::new(*t, zone))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spotcheck_simcore::series::StepSeries;
+    use spotcheck_simcore::time::SimDuration;
+
+    fn flat_trace(type_name: &str, od: f64, price: f64) -> PriceTrace {
+        let s = StepSeries::from_points(vec![(SimTime::ZERO, price)]);
+        PriceTrace::new(MarketId::new(type_name, "z"), od, s)
+    }
+
+    #[test]
+    fn labels_and_pool_counts() {
+        assert_eq!(MappingPolicy::OneM.label(), "1P-M");
+        assert_eq!(MappingPolicy::OneM.pool_count(), 1);
+        assert_eq!(MappingPolicy::TwoML.pool_count(), 2);
+        assert_eq!(MappingPolicy::FourEd.pool_count(), 4);
+        assert_eq!(MappingPolicy::ALL.len(), 5);
+        assert_eq!(MappingPolicy::FourCost.label(), "4P-COST");
+        assert_eq!(MappingPolicy::FourSt.label(), "4P-ST");
+    }
+
+    #[test]
+    fn even_policies_split_evenly() {
+        let m = flat_trace("m3.medium", 0.07, 0.01);
+        let l = flat_trace("m3.large", 0.14, 0.02);
+        let w = MappingPolicy::TwoML.weights(
+            &[&m, &l],
+            SimTime::ZERO,
+            SimTime::from_hours(1),
+        );
+        assert_eq!(w, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn cost_policy_prefers_cheap_pools() {
+        // medium at 0.014/slot vs large at 0.005/slot: large gets more VMs.
+        let m = flat_trace("m3.medium", 0.07, 0.014);
+        let l = flat_trace("m3.large", 0.14, 0.010);
+        let x = flat_trace("m3.xlarge", 0.28, 0.070);
+        let xx = flat_trace("m3.2xlarge", 0.56, 0.150);
+        let w = MappingPolicy::FourCost.weights(
+            &[&m, &l, &x, &xx],
+            SimTime::ZERO,
+            SimTime::from_hours(1),
+        );
+        assert!(w[1] > w[0], "large (cheaper/slot) should outweigh medium: {w:?}");
+        assert!(w[0] > w[2], "medium should outweigh the pricier xlarge: {w:?}");
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stability_policy_prefers_calm_pools() {
+        // A spiky large pool vs a flat medium pool.
+        let m = flat_trace("m3.medium", 0.07, 0.01);
+        let mut s = StepSeries::new();
+        // 10 upward crossings of od=0.14.
+        for i in 0..10u64 {
+            s.push(SimTime::from_secs(i * 1_000), 0.02);
+            s.push(SimTime::from_secs(i * 1_000 + 500), 0.50);
+        }
+        let l = PriceTrace::new(MarketId::new("m3.large", "z"), 0.14, s);
+        let x = flat_trace("m3.xlarge", 0.28, 0.03);
+        let xx = flat_trace("m3.2xlarge", 0.56, 0.05);
+        let w = MappingPolicy::FourSt.weights(
+            &[&m, &l, &x, &xx],
+            SimTime::ZERO,
+            SimTime::from_hours(3),
+        );
+        assert!(w[0] > w[1] * 5.0, "flat medium must dominate spiky large: {w:?}");
+        let _ = SimDuration::ZERO;
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 4 traces")]
+    fn weight_arity_checked() {
+        let m = flat_trace("m3.medium", 0.07, 0.01);
+        MappingPolicy::FourEd.weights(&[&m], SimTime::ZERO, SimTime::from_hours(1));
+    }
+
+    #[test]
+    fn markets_carry_zone() {
+        let ms = MappingPolicy::TwoML.markets("us-east-1a");
+        assert_eq!(ms[0], MarketId::new("m3.medium", "us-east-1a"));
+        assert_eq!(ms[1], MarketId::new("m3.large", "us-east-1a"));
+    }
+}

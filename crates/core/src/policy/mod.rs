@@ -1,0 +1,10 @@
+//! SpotCheck's policy layer: bidding, customer-to-pool mapping, and
+//! native-server placement (paper §4).
+
+pub mod bidding;
+pub mod mapping;
+pub mod placement;
+
+pub use bidding::BiddingPolicy;
+pub use mapping::MappingPolicy;
+pub use placement::{choose, choose_index, slicing_is_cheaper, Candidate, PlacementPolicy};

@@ -1,0 +1,209 @@
+//! Native-server selection for new requests (paper §4.2).
+//!
+//! When a customer requests a medium nested VM, SpotCheck can satisfy it
+//! with a medium spot server *or* by buying a larger server and slicing it
+//! — larger types are often cheaper per slot ("the server size-to-price
+//! ratio is not uniform"), an arbitrage the **greedy cheapest-first**
+//! policy exploits. The **stability-first** alternative picks the pool
+//! with the calmest price history instead, trading cost for fewer
+//! revocations.
+
+use spotcheck_simcore::time::SimTime;
+use spotcheck_spotmarket::trace::PriceTrace;
+
+/// How to choose which native server type satisfies a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// Pick the candidate with the lowest *current* per-slot spot price.
+    GreedyCheapest,
+    /// Pick the candidate with the fewest revocations over the trailing
+    /// history window.
+    StabilityFirst {
+        /// Trailing window length, seconds.
+        history_secs: u64,
+    },
+}
+
+/// A candidate native server type for a placement decision.
+#[derive(Debug, Clone)]
+pub struct Candidate<'a> {
+    /// Index meaningful to the caller (e.g. pool index).
+    pub index: usize,
+    /// The market's price trace.
+    pub trace: &'a PriceTrace,
+    /// Slots (medium-equivalents) the server type provides.
+    pub slots: u32,
+}
+
+/// Chooses a candidate per `policy` at time `now`.
+///
+/// Returns `None` when `candidates` is empty or no candidate has a price
+/// yet. Ties break toward the smaller server (less slicing risk — a
+/// revocation of a sliced server forces *all* resident nested VMs to
+/// migrate, §4.2).
+pub fn choose<'a>(
+    policy: PlacementPolicy,
+    candidates: &[Candidate<'a>],
+    now: SimTime,
+) -> Option<&'a PriceTrace> {
+    let idx = choose_index(policy, candidates, now)?;
+    candidates.iter().find(|c| c.index == idx).map(|c| c.trace)
+}
+
+/// Like [`choose`], returning the winning candidate's `index`.
+pub fn choose_index(
+    policy: PlacementPolicy,
+    candidates: &[Candidate<'_>],
+    now: SimTime,
+) -> Option<usize> {
+    match policy {
+        PlacementPolicy::GreedyCheapest => candidates
+            .iter()
+            .filter_map(|c| {
+                c.trace
+                    .price_at(now)
+                    .map(|p| (c, p / c.slots as f64))
+            })
+            .min_by(|(a, pa), (b, pb)| {
+                pa.partial_cmp(pb)
+                    .expect("prices are finite")
+                    .then(a.slots.cmp(&b.slots))
+            })
+            .map(|(c, _)| c.index),
+        PlacementPolicy::StabilityFirst { history_secs } => {
+            let from = SimTime::from_micros(
+                now.as_micros()
+                    .saturating_sub(history_secs * 1_000_000),
+            );
+            candidates
+                .iter()
+                .map(|c| {
+                    let revs = c
+                        .trace
+                        .revocations_at_bid(c.trace.on_demand_price, from, now);
+                    (c, revs)
+                })
+                .min_by(|(a, ra), (b, rb)| ra.cmp(rb).then(a.slots.cmp(&b.slots)))
+                .map(|(c, _)| c.index)
+        }
+    }
+}
+
+/// The arbitrage predicate of §4.2: is buying `large` and slicing it
+/// cheaper per slot than buying `small` directly, right now?
+pub fn slicing_is_cheaper(
+    small: &PriceTrace,
+    small_slots: u32,
+    large: &PriceTrace,
+    large_slots: u32,
+    now: SimTime,
+) -> Option<bool> {
+    let ps = small.price_at(now)? / small_slots as f64;
+    let pl = large.price_at(now)? / large_slots as f64;
+    Some(pl < ps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spotcheck_simcore::series::StepSeries;
+    use spotcheck_spotmarket::market::MarketId;
+
+    fn trace(type_name: &str, od: f64, points: Vec<(u64, f64)>) -> PriceTrace {
+        let s = StepSeries::from_points(
+            points
+                .into_iter()
+                .map(|(t, p)| (SimTime::from_secs(t), p))
+                .collect(),
+        );
+        PriceTrace::new(MarketId::new(type_name, "z"), od, s)
+    }
+
+    #[test]
+    fn greedy_exploits_slicing_arbitrage() {
+        // medium at 0.020/slot; large at 0.030 total = 0.015/slot.
+        let m = trace("m3.medium", 0.07, vec![(0, 0.020)]);
+        let l = trace("m3.large", 0.14, vec![(0, 0.030)]);
+        let cands = [
+            Candidate { index: 0, trace: &m, slots: 1 },
+            Candidate { index: 1, trace: &l, slots: 2 },
+        ];
+        let won = choose_index(PlacementPolicy::GreedyCheapest, &cands, SimTime::from_secs(10));
+        assert_eq!(won, Some(1), "large is cheaper per slot");
+        assert_eq!(
+            slicing_is_cheaper(&m, 1, &l, 2, SimTime::from_secs(10)),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn greedy_prefers_small_when_unit_prices_tie() {
+        let m = trace("m3.medium", 0.07, vec![(0, 0.020)]);
+        let l = trace("m3.large", 0.14, vec![(0, 0.040)]);
+        let cands = [
+            Candidate { index: 0, trace: &m, slots: 1 },
+            Candidate { index: 1, trace: &l, slots: 2 },
+        ];
+        // Equal per-slot price: the smaller server carries less slicing
+        // risk.
+        assert_eq!(
+            choose_index(PlacementPolicy::GreedyCheapest, &cands, SimTime::from_secs(10)),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn greedy_follows_market_moves() {
+        let m = trace("m3.medium", 0.07, vec![(0, 0.010), (100, 0.050)]);
+        let l = trace("m3.large", 0.14, vec![(0, 0.060)]);
+        let cands = [
+            Candidate { index: 0, trace: &m, slots: 1 },
+            Candidate { index: 1, trace: &l, slots: 2 },
+        ];
+        assert_eq!(
+            choose_index(PlacementPolicy::GreedyCheapest, &cands, SimTime::from_secs(50)),
+            Some(0)
+        );
+        assert_eq!(
+            choose_index(PlacementPolicy::GreedyCheapest, &cands, SimTime::from_secs(150)),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn stability_first_avoids_spiky_markets() {
+        // medium spikes over od repeatedly; large is calm but pricier.
+        let m = trace(
+            "m3.medium",
+            0.07,
+            vec![(0, 0.02), (10, 0.50), (20, 0.02), (30, 0.50), (40, 0.02)],
+        );
+        let l = trace("m3.large", 0.14, vec![(0, 0.10)]);
+        let cands = [
+            Candidate { index: 0, trace: &m, slots: 1 },
+            Candidate { index: 1, trace: &l, slots: 2 },
+        ];
+        let won = choose_index(
+            PlacementPolicy::StabilityFirst { history_secs: 3_600 },
+            &cands,
+            SimTime::from_secs(100),
+        );
+        assert_eq!(won, Some(1));
+    }
+
+    #[test]
+    fn empty_candidates_yield_none() {
+        assert_eq!(
+            choose_index(PlacementPolicy::GreedyCheapest, &[], SimTime::ZERO),
+            None
+        );
+    }
+
+    #[test]
+    fn choose_returns_the_trace() {
+        let m = trace("m3.medium", 0.07, vec![(0, 0.020)]);
+        let cands = [Candidate { index: 0, trace: &m, slots: 1 }];
+        let t = choose(PlacementPolicy::GreedyCheapest, &cands, SimTime::from_secs(1)).unwrap();
+        assert_eq!(t.market, MarketId::new("m3.medium", "z"));
+    }
+}

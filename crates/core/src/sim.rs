@@ -1,0 +1,561 @@
+//! The trace-driven policy simulator behind Figures 10-12 and Table 3.
+//!
+//! Exactly like the paper's evaluation, long-horizon policy results are
+//! produced by replaying spot-price history against the pool-management
+//! policies, *seeded with the mechanism measurements*: each revocation
+//! charges the per-migration impact computed by the page-level mechanism
+//! models (`spotcheck-migrate`) plus the EC2 control-plane downtime
+//! distribution of Table 1 (~22.65 s mean across the four EBS/ENI
+//! operations).
+//!
+//! Every VM mapped to the same pool behaves identically (same bid, same
+//! trace), so the simulator walks each pool's trace once and weights pool
+//! outcomes by the mapping policy's VM distribution.
+
+use spotcheck_backup::server::BackupServerConfig;
+use spotcheck_cloudsim::latency::{CloudOp, LatencyModel};
+use spotcheck_migrate::bounded::BoundedTimeConfig;
+use spotcheck_migrate::mechanisms::{migration_impact, MechanismKind};
+use spotcheck_nestedvm::vm::NestedVmSpec;
+use spotcheck_simcore::rng::SimRng;
+use spotcheck_simcore::time::{SimDuration, SimTime};
+use spotcheck_spotmarket::generator::TraceGenerator;
+use spotcheck_spotmarket::market::MarketId;
+use spotcheck_spotmarket::profiles::profile_for;
+use spotcheck_spotmarket::trace::PriceTrace;
+use spotcheck_workloads::WorkloadKind;
+
+use crate::policy::{BiddingPolicy, MappingPolicy};
+
+/// One experiment cell of the Figure 10/11/12 grid.
+#[derive(Debug, Clone)]
+pub struct PolicyExperiment {
+    /// Customer-to-pool mapping (Table 2).
+    pub mapping: MappingPolicy,
+    /// Migration mechanism variant.
+    pub mechanism: MechanismKind,
+    /// Bidding policy.
+    pub bidding: BiddingPolicy,
+    /// Simulation horizon (paper: six months, April-October).
+    pub horizon: SimDuration,
+    /// VMs multiplexed per backup server (paper: 40); also Table 3's `N`.
+    pub vms_per_backup: usize,
+    /// Workload running in every nested VM.
+    pub workload: WorkloadKind,
+    /// If true, per-revocation migration impact is computed at the storm
+    /// concurrency (all same-pool VMs of a backup restoring together); if
+    /// false (default), impact uses the single-VM microbenchmark numbers —
+    /// exactly how the paper seeds its simulation from §6.1.
+    pub storm_scaled_impacts: bool,
+    /// RNG seed (trace generation + latency sampling).
+    pub seed: u64,
+}
+
+impl PolicyExperiment {
+    /// The paper's default configuration for a given policy/mechanism cell.
+    pub fn paper_default(mapping: MappingPolicy, mechanism: MechanismKind, seed: u64) -> Self {
+        PolicyExperiment {
+            mapping,
+            mechanism,
+            bidding: BiddingPolicy::OnDemandPrice,
+            horizon: SimDuration::from_days(183),
+            vms_per_backup: 40,
+            workload: WorkloadKind::TpcW,
+            storm_scaled_impacts: false,
+            seed,
+        }
+    }
+}
+
+/// What happened to the VMs of one pool.
+#[derive(Debug, Clone)]
+pub struct PoolOutcome {
+    /// The pool's market.
+    pub market: MarketId,
+    /// Fraction of VMs mapped to this pool.
+    pub weight: f64,
+    /// VMs of this pool sharing one backup server (revocation-storm
+    /// concurrency).
+    pub concurrency: usize,
+    /// Native (spot + on-demand fail-over) cost per VM, $/hr.
+    pub native_cost_per_vm_hr: f64,
+    /// Revocations (bid crossings) over the horizon.
+    pub revocations: usize,
+    /// Proactive live migrations (k-bid policies only).
+    pub proactive_migrations: usize,
+    /// Migrations back to spot after spikes abated.
+    pub returns_to_spot: usize,
+    /// Total downtime per VM over the horizon.
+    pub downtime_per_vm: SimDuration,
+    /// Total degraded-performance time per VM over the horizon.
+    pub degraded_per_vm: SimDuration,
+    /// Fraction of the horizon spent failed-over on on-demand.
+    pub fraction_on_demand: f64,
+    /// Times of revocation events (for storm statistics).
+    pub revocation_times: Vec<SimTime>,
+}
+
+/// Table 3 row: the empirical distribution of the maximum number of
+/// concurrent revocations hitting one backup server within an interval.
+#[derive(Debug, Clone)]
+pub struct StormStats {
+    /// `N`: VMs per backup server.
+    pub n: usize,
+    /// Bucketing interval (revocations within it count as concurrent).
+    pub interval: SimDuration,
+    /// `(fraction_of_n, probability_per_interval)` for N/4, N/2, 3N/4, N.
+    pub buckets: Vec<(f64, f64)>,
+}
+
+impl StormStats {
+    /// Probability of a *full* mass revocation (all N at once).
+    pub fn p_full(&self) -> f64 {
+        self.buckets
+            .iter()
+            .find(|(f, _)| (*f - 1.0).abs() < 1e-9)
+            .map(|(_, p)| *p)
+            .unwrap_or(0.0)
+    }
+}
+
+/// The aggregate result of one experiment cell.
+#[derive(Debug, Clone)]
+pub struct PolicyReport {
+    /// The experiment.
+    pub mapping: MappingPolicy,
+    /// The mechanism variant.
+    pub mechanism: MechanismKind,
+    /// Average cost per VM, $/hr, including amortized backup servers.
+    pub avg_cost_per_vm_hr: f64,
+    /// Unavailability over the horizon, percent.
+    pub unavailability_pct: f64,
+    /// Availability over the horizon, percent.
+    pub availability_pct: f64,
+    /// Time under degraded performance, percent.
+    pub degradation_pct: f64,
+    /// Mean revocations per VM over the horizon.
+    pub revocations_per_vm: f64,
+    /// Per-pool detail.
+    pub pools: Vec<PoolOutcome>,
+    /// Table 3 statistics.
+    pub storms: StormStats,
+}
+
+/// Result of walking one pool's trace under a bid policy.
+#[derive(Debug, Clone)]
+struct PoolWalk {
+    cost_dollars: f64,
+    revocation_times: Vec<SimTime>,
+    proactive: usize,
+    returns: usize,
+    time_on_od: SimDuration,
+}
+
+/// Walks a pool's price trace with the §4.3 dynamics: revocation on bid
+/// crossings (fail-over to on-demand), return to spot when the price drops
+/// back below on-demand, optional proactive live migration at the
+/// on-demand crossing.
+fn walk_pool(
+    trace: &PriceTrace,
+    bid: f64,
+    proactive_threshold: Option<f64>,
+    from: SimTime,
+    to: SimTime,
+) -> PoolWalk {
+    #[derive(PartialEq, Clone, Copy)]
+    enum Loc {
+        Spot,
+        OnDemand,
+    }
+    let od = trace.on_demand_price;
+    let mut out = PoolWalk {
+        cost_dollars: 0.0,
+        revocation_times: Vec::new(),
+        proactive: 0,
+        returns: 0,
+        time_on_od: SimDuration::ZERO,
+    };
+    let Some(mut price) = trace.price_at(from) else {
+        return out;
+    };
+    let mut loc = if price <= bid && proactive_threshold.map_or(true, |t| price <= t) {
+        Loc::Spot
+    } else {
+        Loc::OnDemand
+    };
+    let mut cursor = from;
+    while cursor < to {
+        let (next, next_price) = match trace.prices.next_change_after(cursor) {
+            Some((t, p)) if t < to => (t, Some(p)),
+            _ => (to, None),
+        };
+        let dt_hr = next.since(cursor).as_hours_f64();
+        match loc {
+            Loc::Spot => out.cost_dollars += price * dt_hr,
+            Loc::OnDemand => {
+                out.cost_dollars += od * dt_hr;
+                out.time_on_od += next.since(cursor);
+            }
+        }
+        let Some(p) = next_price else {
+            break;
+        };
+        match loc {
+            Loc::Spot => {
+                if p > bid {
+                    out.revocation_times.push(next);
+                    loc = Loc::OnDemand;
+                } else if proactive_threshold.map_or(false, |t| p > t) {
+                    out.proactive += 1;
+                    loc = Loc::OnDemand;
+                }
+            }
+            Loc::OnDemand => {
+                // Return when spot is again strictly cheaper than on-demand
+                // (and below any proactive threshold).
+                if p < od && p <= bid && proactive_threshold.map_or(true, |t| p <= t) {
+                    out.returns += 1;
+                    loc = Loc::Spot;
+                }
+            }
+        }
+        price = p;
+        cursor = next;
+    }
+    out
+}
+
+/// Generates the standard six-month m3-family traces for one zone.
+pub fn standard_traces(zone: &str, horizon: SimDuration, seed: u64) -> Vec<PriceTrace> {
+    let root = SimRng::seed(seed);
+    ["m3.medium", "m3.large", "m3.xlarge", "m3.2xlarge"]
+        .iter()
+        .map(|name| {
+            let entry = profile_for(name).expect("m3 family is in the catalog");
+            let id = MarketId::new(*name, zone);
+            let mut rng = root.fork_named(&id.to_string());
+            TraceGenerator::new(entry.profile).generate(id, horizon, &mut rng)
+        })
+        .collect()
+}
+
+/// Runs one experiment cell against the given market traces.
+///
+/// `traces` must cover every market the mapping policy uses (same zone).
+///
+/// # Panics
+///
+/// Panics if a required market trace is missing.
+pub fn run_policy(traces: &[PriceTrace], exp: &PolicyExperiment) -> PolicyReport {
+    let zone = traces
+        .first()
+        .map(|t| t.market.zone.as_str().to_string())
+        .expect("at least one trace");
+    let markets = exp.mapping.markets(&zone);
+    let pool_traces: Vec<&PriceTrace> = markets
+        .iter()
+        .map(|m| {
+            traces
+                .iter()
+                .find(|t| &t.market == m)
+                .unwrap_or_else(|| panic!("missing trace for market {m}"))
+        })
+        .collect();
+    let horizon_end = SimTime::ZERO + exp.horizon;
+    let weights = exp
+        .mapping
+        .weights(&pool_traces, SimTime::ZERO, horizon_end);
+
+    // Mechanism impact inputs: the paper's medium nested VM running the
+    // configured workload, with the bounded-time defaults (30 s bound).
+    let spec = NestedVmSpec::medium();
+    let dirty = exp.workload.dirty_model();
+    let backup_cfg = BackupServerConfig::default();
+    let bt_cfg = BoundedTimeConfig::default();
+    let latency = LatencyModel::table1();
+    let mut rng = SimRng::seed(exp.seed).fork_named("policy-sim");
+
+    let mut pools = Vec::new();
+    for ((market, trace), weight) in markets.iter().zip(&pool_traces).zip(&weights) {
+        let entry = profile_for(market.type_name.as_str()).expect("known type");
+        let slots = entry.medium_slots as f64;
+        let bid = exp.bidding.bid(trace.on_demand_price);
+        let proactive = exp.bidding.proactive_threshold(trace.on_demand_price);
+        let walk = walk_pool(trace, bid, proactive, SimTime::ZERO, horizon_end);
+
+        // Concurrency: VMs of this pool multiplexed on one backup server.
+        let concurrency = ((exp.vms_per_backup as f64 * weight).round() as usize).max(1);
+
+        // Per-revocation mechanism impact (identical VMs => computed once).
+        // The paper seeds its policy simulation with the single-VM
+        // microbenchmark impact; `storm_scaled_impacts` charges the full
+        // storm contention instead (an ablation).
+        let impact_concurrency = if exp.storm_scaled_impacts {
+            concurrency
+        } else {
+            1
+        };
+        let commit_bps = backup_cfg.nic_bps / impact_concurrency as f64;
+        let impact = migration_impact(
+            exp.mechanism,
+            impact_concurrency,
+            spec.mem_bytes,
+            spec.skeleton_bytes(),
+            &dirty,
+            bt_cfg.residue_budget_bytes(),
+            commit_bps,
+            &backup_cfg,
+            &bt_cfg,
+        );
+
+        // EC2 control-plane downtime per migration, sampled per event from
+        // the Table 1 distributions (detach/attach EBS + NIC).
+        let mut downtime = SimDuration::ZERO;
+        let mut degraded = SimDuration::ZERO;
+        for _ in &walk.revocation_times {
+            downtime += impact.downtime;
+            degraded += impact.degraded;
+            if exp.mechanism.pays_cloud_op_downtime() {
+                downtime += latency.sample(CloudOp::DetachEbs, &mut rng)
+                    + latency.sample(CloudOp::AttachEbs, &mut rng)
+                    + latency.sample(CloudOp::DetachNic, &mut rng)
+                    + latency.sample(CloudOp::AttachNic, &mut rng);
+            }
+        }
+
+        let hours = exp.horizon.as_hours_f64();
+        pools.push(PoolOutcome {
+            market: market.clone(),
+            weight: *weight,
+            concurrency,
+            native_cost_per_vm_hr: walk.cost_dollars / slots / hours,
+            revocations: walk.revocation_times.len(),
+            proactive_migrations: walk.proactive,
+            returns_to_spot: walk.returns,
+            downtime_per_vm: downtime,
+            degraded_per_vm: degraded,
+            fraction_on_demand: walk.time_on_od.as_secs_f64() / exp.horizon.as_secs_f64(),
+            revocation_times: walk.revocation_times,
+        });
+    }
+
+    // Aggregate, weighting pools by their VM share.
+    let backup_per_vm = if exp.mechanism.needs_backup() {
+        backup_cfg.hourly_price / backup_cfg.max_vms as f64
+    } else {
+        0.0
+    };
+    let horizon_secs = exp.horizon.as_secs_f64();
+    let mut cost = 0.0;
+    let mut unavail = 0.0;
+    let mut degr = 0.0;
+    let mut revs = 0.0;
+    for p in &pools {
+        cost += p.weight * p.native_cost_per_vm_hr;
+        unavail += p.weight * p.downtime_per_vm.as_secs_f64() / horizon_secs;
+        degr += p.weight * p.degraded_per_vm.as_secs_f64() / horizon_secs;
+        revs += p.weight * p.revocations as f64;
+    }
+    let storms = storm_stats(&pools, exp.vms_per_backup, exp.horizon);
+
+    PolicyReport {
+        mapping: exp.mapping,
+        mechanism: exp.mechanism,
+        avg_cost_per_vm_hr: cost + backup_per_vm,
+        unavailability_pct: unavail * 100.0,
+        availability_pct: (1.0 - unavail) * 100.0,
+        degradation_pct: degr * 100.0,
+        revocations_per_vm: revs,
+        pools,
+        storms,
+    }
+}
+
+/// Computes Table 3: bucket revocation events into 5-minute intervals and
+/// measure, per interval, how many of one backup server's `n` VMs revoke
+/// concurrently.
+fn storm_stats(pools: &[PoolOutcome], n: usize, horizon: SimDuration) -> StormStats {
+    let interval = SimDuration::from_secs(60);
+    let slots = (horizon.as_micros() / interval.as_micros()).max(1);
+    // Map: interval index -> concurrent revocation count.
+    let mut per_interval: std::collections::HashMap<u64, usize> =
+        std::collections::HashMap::new();
+    for p in pools {
+        for t in &p.revocation_times {
+            let idx = t.as_micros() / interval.as_micros();
+            *per_interval.entry(idx).or_insert(0) += p.concurrency;
+        }
+    }
+    let quarter = (n as f64 / 4.0).round() as usize;
+    let mut buckets = vec![(0.25, 0.0), (0.5, 0.0), (0.75, 0.0), (1.0, 0.0)];
+    for &count in per_interval.values() {
+        // Snap to the nearest quarter bucket (counts are sums of pool
+        // concurrencies, which are near-quarter multiples by construction).
+        let frac = count as f64 / n as f64;
+        let bucket = ((frac * 4.0).round() as usize).clamp(1, 4);
+        buckets[bucket - 1].1 += 1.0;
+    }
+    for (_, p) in &mut buckets {
+        *p /= slots as f64;
+    }
+    let _ = quarter;
+    StormStats {
+        n,
+        interval,
+        buckets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spotcheck_simcore::series::StepSeries;
+
+    fn mini_traces() -> Vec<PriceTrace> {
+        // Deterministic miniature markets over 10 hours.
+        // medium: calm at 0.014, one spike in hour 5.
+        let mut m = StepSeries::new();
+        m.push(SimTime::ZERO, 0.014);
+        m.push(SimTime::from_hours(5), 0.50);
+        m.push(SimTime::from_hours(5) + SimDuration::from_secs(600), 0.014);
+        // large: two spikes.
+        let mut l = StepSeries::new();
+        l.push(SimTime::ZERO, 0.030);
+        l.push(SimTime::from_hours(2), 1.0);
+        l.push(SimTime::from_hours(2) + SimDuration::from_secs(300), 0.030);
+        l.push(SimTime::from_hours(7), 1.0);
+        l.push(SimTime::from_hours(7) + SimDuration::from_secs(300), 0.030);
+        // xlarge, 2xlarge: flat.
+        let x = StepSeries::from_points(vec![(SimTime::ZERO, 0.060)]);
+        let xx = StepSeries::from_points(vec![(SimTime::ZERO, 0.120)]);
+        vec![
+            PriceTrace::new(MarketId::new("m3.medium", "z"), 0.070, m),
+            PriceTrace::new(MarketId::new("m3.large", "z"), 0.140, l),
+            PriceTrace::new(MarketId::new("m3.xlarge", "z"), 0.280, x),
+            PriceTrace::new(MarketId::new("m3.2xlarge", "z"), 0.560, xx),
+        ]
+    }
+
+    fn exp(mapping: MappingPolicy, mech: MechanismKind) -> PolicyExperiment {
+        PolicyExperiment {
+            mapping,
+            mechanism: mech,
+            bidding: BiddingPolicy::OnDemandPrice,
+            horizon: SimDuration::from_hours(10),
+            vms_per_backup: 40,
+            workload: WorkloadKind::TpcW,
+            storm_scaled_impacts: false,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn walk_pool_counts_events_and_costs() {
+        let traces = mini_traces();
+        let w = walk_pool(&traces[0], 0.070, None, SimTime::ZERO, SimTime::from_hours(10));
+        assert_eq!(w.revocation_times.len(), 1);
+        assert_eq!(w.returns, 1);
+        assert_eq!(w.proactive, 0);
+        // Cost: 0.014 everywhere except 600 s at od 0.07.
+        let expect = 0.014 * (10.0 - 1.0 / 6.0) + 0.07 / 6.0;
+        assert!((w.cost_dollars - expect).abs() < 1e-9, "cost={}", w.cost_dollars);
+        assert_eq!(w.time_on_od, SimDuration::from_secs(600));
+    }
+
+    #[test]
+    fn high_bid_avoids_revocation_but_pays_spike() {
+        let traces = mini_traces();
+        // Bid 10x od on the medium pool: the 0.50 spike stays below 0.70.
+        let w = walk_pool(&traces[0], 0.70, None, SimTime::ZERO, SimTime::from_hours(10));
+        assert_eq!(w.revocation_times.len(), 0);
+        // The VM pays 0.50 during the spike: more than the od fail-over.
+        let base = walk_pool(&traces[0], 0.07, None, SimTime::ZERO, SimTime::from_hours(10));
+        assert!(w.cost_dollars > base.cost_dollars);
+    }
+
+    #[test]
+    fn proactive_converts_revocations_to_live_migrations() {
+        let traces = mini_traces();
+        let w = walk_pool(
+            &traces[0],
+            0.70,
+            Some(0.070),
+            SimTime::ZERO,
+            SimTime::from_hours(10),
+        );
+        assert_eq!(w.revocation_times.len(), 0);
+        assert_eq!(w.proactive, 1);
+        assert_eq!(w.returns, 1);
+        // The VM sits on od during the spike: cost equals the od fail-over
+        // walk.
+        let base = walk_pool(&traces[0], 0.07, None, SimTime::ZERO, SimTime::from_hours(10));
+        assert!((w.cost_dollars - base.cost_dollars).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_pool_report_shape() {
+        let traces = mini_traces();
+        let r = run_policy(&traces, &exp(MappingPolicy::OneM, MechanismKind::SpotCheckLazy));
+        assert_eq!(r.pools.len(), 1);
+        assert_eq!(r.pools[0].concurrency, 40);
+        assert_eq!(r.revocations_per_vm, 1.0);
+        assert!(r.unavailability_pct > 0.0);
+        assert!(r.availability_pct < 100.0);
+        // Cost includes the $0.007 backup amortization.
+        assert!(r.avg_cost_per_vm_hr > 0.014);
+        assert!(r.avg_cost_per_vm_hr < 0.07, "cost={}", r.avg_cost_per_vm_hr);
+    }
+
+    #[test]
+    fn live_mechanism_has_zero_downtime_and_no_backup_cost() {
+        let traces = mini_traces();
+        let live = run_policy(&traces, &exp(MappingPolicy::OneM, MechanismKind::XenLive));
+        let lazy = run_policy(&traces, &exp(MappingPolicy::OneM, MechanismKind::SpotCheckLazy));
+        assert_eq!(live.unavailability_pct, 0.0);
+        assert!(live.avg_cost_per_vm_hr < lazy.avg_cost_per_vm_hr);
+    }
+
+    #[test]
+    fn mechanism_downtime_ordering_holds_in_reports() {
+        let traces = mini_traces();
+        let yank = run_policy(&traces, &exp(MappingPolicy::TwoML, MechanismKind::UnoptimizedFull));
+        let full = run_policy(&traces, &exp(MappingPolicy::TwoML, MechanismKind::SpotCheckFull));
+        let lazy = run_policy(&traces, &exp(MappingPolicy::TwoML, MechanismKind::SpotCheckLazy));
+        assert!(yank.unavailability_pct > full.unavailability_pct);
+        assert!(full.unavailability_pct > lazy.unavailability_pct);
+        // Lazy trades downtime for degradation.
+        assert!(lazy.degradation_pct > full.degradation_pct);
+    }
+
+    #[test]
+    fn storm_stats_distinguish_pool_counts() {
+        let traces = mini_traces();
+        let one = run_policy(&traces, &exp(MappingPolicy::OneM, MechanismKind::SpotCheckLazy));
+        let two = run_policy(&traces, &exp(MappingPolicy::TwoML, MechanismKind::SpotCheckLazy));
+        // 1P: the single revocation is a full-N storm.
+        assert!(one.storms.p_full() > 0.0);
+        // 2P: medium and large never spike in the same 5-min interval here,
+        // so no full storms — only N/2 events.
+        assert_eq!(two.storms.p_full(), 0.0);
+        let half = two.storms.buckets[1].1;
+        assert!(half > 0.0);
+    }
+
+    #[test]
+    fn four_pool_spreads_weights() {
+        let traces = mini_traces();
+        let r = run_policy(&traces, &exp(MappingPolicy::FourEd, MechanismKind::SpotCheckLazy));
+        assert_eq!(r.pools.len(), 4);
+        for p in &r.pools {
+            assert_eq!(p.weight, 0.25);
+            assert_eq!(p.concurrency, 10);
+        }
+    }
+
+    #[test]
+    fn standard_traces_cover_the_m3_family() {
+        let ts = standard_traces("us-east-1a", SimDuration::from_days(2), 3);
+        assert_eq!(ts.len(), 4);
+        assert!(ts.iter().all(|t| t.prices.len() > 10));
+    }
+}

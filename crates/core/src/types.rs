@@ -1,0 +1,105 @@
+//! Identifiers and records of the SpotCheck controller's state database.
+//!
+//! The paper's controller "maintains a global and consistent view of
+//! SpotCheck's state, e.g., the information about all of its provisioned
+//! spot and on-demand servers and all of its customers' nested VMs and
+//! their location … and stores this information in a database" (§5).
+
+use std::fmt;
+
+use spotcheck_backup::pool::BackupServerId;
+use spotcheck_cloudsim::ids::{EniId, InstanceId, PrivateIp, VolumeId};
+use spotcheck_cloudsim::storage::SubnetId;
+use spotcheck_nestedvm::vm::NestedVmId;
+use spotcheck_simcore::time::SimTime;
+use spotcheck_spotmarket::market::MarketId;
+use spotcheck_workloads::WorkloadKind;
+
+/// Identifies a SpotCheck customer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CustomerId(pub u64);
+
+impl fmt::Display for CustomerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cust-{:04}", self.0)
+    }
+}
+
+/// Identifies a migration in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MigrationId(pub u64);
+
+impl fmt::Display for MigrationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mig-{:06}", self.0)
+    }
+}
+
+/// A customer account.
+#[derive(Debug, Clone)]
+pub struct Customer {
+    /// Id.
+    pub id: CustomerId,
+    /// The customer's private subnet within SpotCheck's VPC (§3.4).
+    pub subnet: SubnetId,
+    /// The customer's nested VMs.
+    pub vms: Vec<NestedVmId>,
+}
+
+/// Where a nested VM currently is in its provisioning/migration life.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmStatus {
+    /// Being provisioned (native host booting or resources attaching).
+    Provisioning,
+    /// Serving the customer.
+    Running,
+    /// Mid-migration.
+    Migrating,
+    /// Released by the customer.
+    Released,
+}
+
+/// The controller's record of one nested VM.
+#[derive(Debug, Clone)]
+pub struct VmRecord {
+    /// Id.
+    pub id: NestedVmId,
+    /// Owning customer.
+    pub customer: CustomerId,
+    /// The workload the customer runs (used for dirty-rate modeling).
+    pub workload: WorkloadKind,
+    /// Stateless services tolerate failures by design (e.g. one web server
+    /// of a replicated tier), so SpotCheck can skip backup protection and
+    /// use live migration on revocation, avoiding the backup cost (§4.2).
+    pub stateless: bool,
+    /// The VM's stable private IP (survives migrations; §3.4).
+    pub ip: PrivateIp,
+    /// The VM's root/persistent EBS volume.
+    pub volume: VolumeId,
+    /// The ENI currently carrying the VM's IP, if attached.
+    pub eni: Option<EniId>,
+    /// The native instance currently hosting the VM, if placed.
+    pub host: Option<InstanceId>,
+    /// The spot pool the VM is mapped to (its "home" market — the VM
+    /// returns here after spikes abate).
+    pub home_market: Option<MarketId>,
+    /// The backup server protecting the VM, if any.
+    pub backup: Option<BackupServerId>,
+    /// Lifecycle status.
+    pub status: VmStatus,
+    /// When the VM was requested.
+    pub requested_at: SimTime,
+    /// When the VM first became available to the customer.
+    pub first_running_at: Option<SimTime>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(CustomerId(3).to_string(), "cust-0003");
+        assert_eq!(MigrationId(12).to_string(), "mig-000012");
+    }
+}

@@ -1,0 +1,311 @@
+//! End-to-end controller tests: provisioning, revocation fail-over,
+//! IP/volume transparency, hot spares, return-to-spot, and slicing.
+
+use spotcheck_core::config::SpotCheckConfig;
+use spotcheck_core::driver::SpotCheckSim;
+use spotcheck_core::policy::{MappingPolicy, PlacementPolicy};
+use spotcheck_core::types::VmStatus;
+use spotcheck_migrate::mechanisms::MechanismKind;
+use spotcheck_simcore::series::StepSeries;
+use spotcheck_simcore::time::{SimDuration, SimTime};
+use spotcheck_spotmarket::market::MarketId;
+use spotcheck_spotmarket::trace::PriceTrace;
+use spotcheck_workloads::WorkloadKind;
+
+const ZONE: &str = "us-east-1a";
+
+/// A calm medium market plus a spike window `[spike_at, spike_end)`.
+fn spiky_medium(spike_at: u64, spike_end: u64) -> PriceTrace {
+    let s = StepSeries::from_points(vec![
+        (SimTime::ZERO, 0.014),
+        (SimTime::from_secs(spike_at), 0.90),
+        (SimTime::from_secs(spike_end), 0.014),
+    ]);
+    PriceTrace::new(MarketId::new("m3.medium", ZONE), 0.070, s)
+}
+
+/// A flat (never-spiking) medium market.
+fn calm_medium() -> PriceTrace {
+    let s = StepSeries::from_points(vec![(SimTime::ZERO, 0.014)]);
+    PriceTrace::new(MarketId::new("m3.medium", ZONE), 0.070, s)
+}
+
+/// A flat large market at the given price.
+fn flat_large(price: f64) -> PriceTrace {
+    let s = StepSeries::from_points(vec![(SimTime::ZERO, price)]);
+    PriceTrace::new(MarketId::new("m3.large", ZONE), 0.140, s)
+}
+
+fn config() -> SpotCheckConfig {
+    SpotCheckConfig {
+        zone: ZONE.to_string(),
+        mapping: MappingPolicy::OneM,
+        mechanism: MechanismKind::SpotCheckLazy,
+        ..SpotCheckConfig::default()
+    }
+}
+
+#[test]
+fn vm_provisions_on_spot_within_minutes() {
+    let mut sim = SpotCheckSim::new(vec![calm_medium()], config());
+    let cust = sim.create_customer();
+    let vm = sim.request_server(cust, WorkloadKind::TpcW);
+    sim.run_until(SimTime::from_secs(600));
+    let record = sim.controller().vm(vm).unwrap();
+    assert_eq!(record.status, VmStatus::Running);
+    assert!(record.host.is_some());
+    assert!(record.eni.is_some());
+    // Spot boots take 100-409 s (Table 1) plus attach ops.
+    let up = record.first_running_at.unwrap();
+    assert!(up > SimTime::from_secs(100), "up={up}");
+    assert!(up < SimTime::from_secs(500), "up={up}");
+    // The VM is protected by a backup server (SpotCheckLazy on spot).
+    assert!(record.backup.is_some());
+    // The host is a spot instance in the home market.
+    assert_eq!(
+        record.home_market,
+        Some(MarketId::new("m3.medium", ZONE))
+    );
+}
+
+#[test]
+fn revocation_fails_over_to_on_demand_with_bounded_downtime() {
+    let mut sim = SpotCheckSim::new(vec![spiky_medium(3_600, 90_000)], config());
+    let cust = sim.create_customer();
+    let vm = sim.request_server(cust, WorkloadKind::TpcW);
+    sim.run_until(SimTime::from_secs(3_000));
+    let before = sim.controller().vm(vm).unwrap().clone();
+    assert_eq!(before.status, VmStatus::Running);
+
+    // Run through the spike.
+    sim.run_until(SimTime::from_secs(7_200));
+    let record = sim.controller().vm(vm).unwrap();
+    assert_eq!(record.status, VmStatus::Running, "VM must survive the revocation");
+    // The VM moved hosts but kept its private IP.
+    assert_ne!(record.host, before.host);
+    assert_eq!(record.ip, before.ip);
+    // It now sits on on-demand (no backup needed there).
+    assert!(record.backup.is_none());
+
+    let report = sim.availability_report();
+    assert_eq!(report.revocations, 1);
+    assert_eq!(report.migrations, 1);
+    // Downtime: a handful of seconds of EC2 ops + subsecond mechanism
+    // pause — well under a minute, and nonzero.
+    let down = report.total_downtime.as_secs_f64();
+    assert!(down > 1.0, "downtime={down}");
+    assert!(down < 60.0, "downtime={down}");
+    // Lazy restoration causes a degraded window.
+    assert!(report.total_degraded.as_secs_f64() > 1.0);
+}
+
+#[test]
+fn vm_returns_to_spot_after_spike_abates() {
+    let mut sim = SpotCheckSim::new(vec![spiky_medium(3_600, 7_200)], config());
+    let cust = sim.create_customer();
+    let vm = sim.request_server(cust, WorkloadKind::TpcW);
+    // Through the spike and well past its end.
+    sim.run_until(SimTime::from_secs(12_000));
+    let record = sim.controller().vm(vm).unwrap();
+    assert_eq!(record.status, VmStatus::Running);
+    // Back under spot pricing: the host's market is the home market again
+    // and backup protection is re-established.
+    assert!(record.backup.is_some(), "returned VM must be re-protected");
+    let report = sim.availability_report();
+    // One revocation migration + one return migration.
+    assert_eq!(report.revocations, 1);
+    assert_eq!(report.migrations, 2);
+
+    // Cost sanity: native spend (spot + the spike hour on on-demand) per
+    // VM-hour stays below pure on-demand. (The raw report also carries a
+    // whole backup server; in production that amortizes over 40 VMs to
+    // $0.007/hr — see `BackupServer::amortized_cost_per_vm`.)
+    let cost = sim.cost_report();
+    assert!(cost.vm_hours > 2.0);
+    let native_per_hr = cost.native_cost / cost.vm_hours;
+    assert!(native_per_hr < 0.07, "native/hr={native_per_hr}");
+    assert!(native_per_hr + 0.007 < 0.07);
+    assert!(cost.backup_cost > 0.0, "a backup server was provisioned");
+}
+
+#[test]
+fn hot_spares_receive_revoked_vms() {
+    let cfg = SpotCheckConfig {
+        hot_spares: 1,
+        ..config()
+    };
+    let mut sim = SpotCheckSim::new(vec![spiky_medium(3_600, 90_000)], cfg);
+    let cust = sim.create_customer();
+    let vm = sim.request_server(cust, WorkloadKind::TpcW);
+    sim.run_until(SimTime::from_secs(3_500));
+    assert_eq!(sim.controller().idle_spares(), 1);
+    sim.run_until(SimTime::from_secs(7_200));
+    let record = sim.controller().vm(vm).unwrap();
+    assert_eq!(record.status, VmStatus::Running);
+    // The spare was consumed and replenished.
+    assert_eq!(sim.controller().idle_spares(), 1);
+    // With a spare, the destination is instantly ready: the migration
+    // completes quickly after the warning (no ~60 s on-demand boot on the
+    // critical path). Downtime is just the EC2 ops.
+    let report = sim.availability_report();
+    assert!(report.total_downtime.as_secs_f64() < 45.0);
+}
+
+#[test]
+fn greedy_placement_slices_a_cheap_large_server() {
+    // Large at 0.016 total = 0.008/slot vs medium 0.014/slot.
+    let cfg = SpotCheckConfig {
+        mapping: MappingPolicy::TwoML,
+        placement: PlacementPolicy::GreedyCheapest,
+        ..config()
+    };
+    let mut sim = SpotCheckSim::new(vec![calm_medium(), flat_large(0.016)], cfg);
+    let cust = sim.create_customer();
+    let a = sim.request_server(cust, WorkloadKind::TpcW);
+    sim.run_until(SimTime::from_secs(600));
+    // Second VM should land on the same sliced large host.
+    let b = sim.request_server(cust, WorkloadKind::SpecJbb);
+    sim.run_until(SimTime::from_secs(1_200));
+    let ra = sim.controller().vm(a).unwrap();
+    let rb = sim.controller().vm(b).unwrap();
+    assert_eq!(ra.status, VmStatus::Running);
+    assert_eq!(rb.status, VmStatus::Running);
+    assert_eq!(ra.home_market, Some(MarketId::new("m3.large", ZONE)));
+    assert_eq!(
+        ra.host, rb.host,
+        "both VMs should share the sliced m3.large host"
+    );
+}
+
+#[test]
+fn sliced_host_revocation_migrates_all_residents() {
+    // Both VMs on one large host; the large market spikes.
+    let large = {
+        let s = StepSeries::from_points(vec![
+            (SimTime::ZERO, 0.016),
+            (SimTime::from_secs(3_600), 2.0),
+            (SimTime::from_secs(90_000), 0.016),
+        ]);
+        PriceTrace::new(MarketId::new("m3.large", ZONE), 0.140, s)
+    };
+    // Medium priced high so greedy picks large.
+    let medium = {
+        let s = StepSeries::from_points(vec![(SimTime::ZERO, 0.050)]);
+        PriceTrace::new(MarketId::new("m3.medium", ZONE), 0.070, s)
+    };
+    let cfg = SpotCheckConfig {
+        mapping: MappingPolicy::TwoML,
+        ..config()
+    };
+    let mut sim = SpotCheckSim::new(vec![medium, large], cfg);
+    let cust = sim.create_customer();
+    let a = sim.request_server(cust, WorkloadKind::TpcW);
+    let b = sim.request_server(cust, WorkloadKind::TpcW);
+    sim.run_until(SimTime::from_secs(3_000));
+    let host_a = sim.controller().vm(a).unwrap().host;
+    assert_eq!(host_a, sim.controller().vm(b).unwrap().host);
+    sim.run_until(SimTime::from_secs(7_200));
+    let report = sim.availability_report();
+    assert_eq!(report.revocations, 2, "both residents revoked together");
+    assert_eq!(report.migrations, 2);
+    assert_eq!(sim.controller().vm(a).unwrap().status, VmStatus::Running);
+    assert_eq!(sim.controller().vm(b).unwrap().status, VmStatus::Running);
+    // They land on separate on-demand mediums.
+    assert_ne!(
+        sim.controller().vm(a).unwrap().host,
+        sim.controller().vm(b).unwrap().host
+    );
+}
+
+#[test]
+fn xen_live_mechanism_counts_no_downtime() {
+    let cfg = SpotCheckConfig {
+        mechanism: MechanismKind::XenLive,
+        ..config()
+    };
+    let mut sim = SpotCheckSim::new(vec![spiky_medium(3_600, 90_000)], cfg);
+    let cust = sim.create_customer();
+    let vm = sim.request_server(cust, WorkloadKind::TpcW);
+    sim.run_until(SimTime::from_secs(7_200));
+    assert_eq!(sim.controller().vm(vm).unwrap().status, VmStatus::Running);
+    let report = sim.availability_report();
+    assert_eq!(report.revocations, 1);
+    assert_eq!(report.total_downtime, SimDuration::ZERO);
+    // Live-only protection means no backup servers at all.
+    assert!(sim.controller().vm(vm).unwrap().backup.is_none());
+    let cost = sim.cost_report();
+    assert_eq!(cost.backup_cost, 0.0);
+}
+
+#[test]
+fn release_server_terminates_empty_host() {
+    let mut sim = SpotCheckSim::new(vec![calm_medium()], config());
+    let cust = sim.create_customer();
+    let vm = sim.request_server(cust, WorkloadKind::TpcW);
+    sim.run_until(SimTime::from_secs(600));
+    sim.release_server(vm).unwrap();
+    sim.run_until(SimTime::from_secs(1_200));
+    assert_eq!(sim.controller().vm(vm).unwrap().status, VmStatus::Released);
+    // All native instances wind down.
+    let usable = sim
+        .controller()
+        .cloud()
+        .instances()
+        .filter(|i| i.is_usable())
+        .count();
+    assert_eq!(usable, 0);
+}
+
+#[test]
+fn full_restore_mechanism_pays_more_downtime_than_lazy() {
+    let run = |mech: MechanismKind| {
+        let cfg = SpotCheckConfig {
+            mechanism: mech,
+            ..config()
+        };
+        let mut sim = SpotCheckSim::new(vec![spiky_medium(3_600, 90_000)], cfg);
+        let cust = sim.create_customer();
+        let _vm = sim.request_server(cust, WorkloadKind::TpcW);
+        sim.run_until(SimTime::from_secs(7_200));
+        sim.availability_report().total_downtime
+    };
+    let lazy = run(MechanismKind::SpotCheckLazy);
+    let full = run(MechanismKind::SpotCheckFull);
+    let yank = run(MechanismKind::UnoptimizedFull);
+    assert!(full > lazy, "full {full} vs lazy {lazy}");
+    assert!(yank > full, "yank {yank} vs full {full}");
+    // Full restore of a 3 GiB image takes tens of seconds.
+    assert!(full.as_secs_f64() > 25.0, "full={full}");
+}
+
+#[test]
+fn many_customers_provision_and_survive_a_storm() {
+    let mut sim = SpotCheckSim::new(vec![spiky_medium(7_200, 90_000)], config());
+    let mut vms = Vec::new();
+    for _ in 0..4 {
+        let cust = sim.create_customer();
+        for _ in 0..3 {
+            vms.push(sim.request_server(cust, WorkloadKind::TpcW));
+        }
+    }
+    sim.run_until(SimTime::from_secs(14_400));
+    for vm in &vms {
+        assert_eq!(
+            sim.controller().vm(*vm).unwrap().status,
+            VmStatus::Running,
+            "{vm} must survive"
+        );
+    }
+    let report = sim.availability_report();
+    assert_eq!(report.vms, 12);
+    assert_eq!(report.revocations, 12, "all VMs hit by the storm");
+    assert_eq!(report.migrations, 12);
+    // Every VM kept its distinct private IP.
+    let mut ips: Vec<_> = vms
+        .iter()
+        .map(|v| sim.controller().vm_ip(*v).unwrap())
+        .collect();
+    ips.sort();
+    ips.dedup();
+    assert_eq!(ips.len(), 12);
+}

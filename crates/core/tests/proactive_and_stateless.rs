@@ -1,0 +1,155 @@
+//! Controller tests for the §4.3 proactive-migration optimization and the
+//! §4.2 stateless-service mode.
+
+use spotcheck_core::config::SpotCheckConfig;
+use spotcheck_core::driver::SpotCheckSim;
+use spotcheck_core::policy::{BiddingPolicy, MappingPolicy};
+use spotcheck_core::types::VmStatus;
+use spotcheck_migrate::mechanisms::MechanismKind;
+use spotcheck_simcore::series::StepSeries;
+use spotcheck_simcore::time::{SimDuration, SimTime};
+use spotcheck_spotmarket::market::MarketId;
+use spotcheck_spotmarket::trace::PriceTrace;
+use spotcheck_workloads::WorkloadKind;
+
+const ZONE: &str = "us-east-1a";
+
+/// A medium market whose price crosses above on-demand (0.07) at
+/// `cross_at` — but stays below 2x on-demand, so a 2x bidder is never
+/// actually revoked.
+fn creeping_medium(cross_at: u64, fall_at: u64) -> PriceTrace {
+    let s = StepSeries::from_points(vec![
+        (SimTime::ZERO, 0.014),
+        (SimTime::from_secs(cross_at), 0.095), // above od, below 2x od
+        (SimTime::from_secs(fall_at), 0.014),
+    ]);
+    PriceTrace::new(MarketId::new("m3.medium", ZONE), 0.070, s)
+}
+
+/// A market that spikes far above any bid.
+fn spiky_medium(spike_at: u64, spike_end: u64) -> PriceTrace {
+    let s = StepSeries::from_points(vec![
+        (SimTime::ZERO, 0.014),
+        (SimTime::from_secs(spike_at), 5.0),
+        (SimTime::from_secs(spike_end), 0.014),
+    ]);
+    PriceTrace::new(MarketId::new("m3.medium", ZONE), 0.070, s)
+}
+
+fn proactive_config() -> SpotCheckConfig {
+    SpotCheckConfig {
+        zone: ZONE.to_string(),
+        mapping: MappingPolicy::OneM,
+        mechanism: MechanismKind::SpotCheckLazy,
+        bidding: BiddingPolicy::KTimesOnDemand {
+            k: 2.0,
+            proactive: true,
+        },
+        ..SpotCheckConfig::default()
+    }
+}
+
+#[test]
+fn price_crossing_triggers_proactive_live_migration() {
+    let mut sim = SpotCheckSim::new(vec![creeping_medium(3_600, 90_000)], proactive_config());
+    let cust = sim.create_customer();
+    let vm = sim.request_server(cust, WorkloadKind::TpcW);
+    sim.run_until(SimTime::from_secs(7_200));
+
+    let report = sim.availability_report();
+    // No revocation ever happened (the price never crossed the 2x bid)...
+    assert_eq!(report.revocations, 0);
+    // ...but the controller proactively moved the VM to on-demand.
+    assert_eq!(report.proactive_migrations, 1, "proactive move expected");
+    assert_eq!(report.migrations, 1);
+    // Live migration: zero downtime, zero degradation.
+    assert_eq!(report.total_downtime, SimDuration::ZERO);
+    assert_eq!(report.total_degraded, SimDuration::ZERO);
+    // The VM survived with its IP and now sits on on-demand (no backup).
+    let record = sim.controller().vm(vm).unwrap();
+    assert_eq!(record.status, VmStatus::Running);
+    assert!(record.backup.is_none());
+}
+
+#[test]
+fn proactive_vm_returns_to_spot_when_price_falls() {
+    let mut sim = SpotCheckSim::new(vec![creeping_medium(3_600, 10_000)], proactive_config());
+    let cust = sim.create_customer();
+    let vm = sim.request_server(cust, WorkloadKind::TpcW);
+    sim.run_until(SimTime::from_secs(15_000));
+    let report = sim.availability_report();
+    assert_eq!(report.proactive_migrations, 1);
+    // Proactive move out + return-to-spot back.
+    assert_eq!(report.migrations, 2);
+    // Re-protected on spot.
+    assert!(sim.controller().vm(vm).unwrap().backup.is_some());
+}
+
+#[test]
+fn without_proactive_flag_the_vm_stays_and_pays() {
+    let cfg = SpotCheckConfig {
+        bidding: BiddingPolicy::KTimesOnDemand {
+            k: 2.0,
+            proactive: false,
+        },
+        ..proactive_config()
+    };
+    let mut sim = SpotCheckSim::new(vec![creeping_medium(3_600, 90_000)], cfg);
+    let cust = sim.create_customer();
+    let vm = sim.request_server(cust, WorkloadKind::TpcW);
+    sim.run_until(SimTime::from_secs(7_200));
+    let report = sim.availability_report();
+    assert_eq!(report.proactive_migrations, 0);
+    assert_eq!(report.migrations, 0);
+    // The VM stays on spot, paying 0.095/hr (above od) — the k-bid
+    // trade-off the paper describes.
+    let record = sim.controller().vm(vm).unwrap();
+    assert_eq!(record.status, VmStatus::Running);
+    assert!(record.backup.is_some(), "still protected on spot");
+}
+
+#[test]
+fn stateless_vm_skips_backup_and_live_migrates_on_revocation() {
+    let cfg = SpotCheckConfig {
+        zone: ZONE.to_string(),
+        mapping: MappingPolicy::OneM,
+        mechanism: MechanismKind::SpotCheckLazy,
+        ..SpotCheckConfig::default()
+    };
+    let mut sim = SpotCheckSim::new(vec![spiky_medium(3_600, 90_000)], cfg);
+    let cust = sim.create_customer();
+    let stateful = sim.request_server(cust, WorkloadKind::TpcW);
+    let stateless = sim.request_server_opts(cust, WorkloadKind::TpcW, true);
+    sim.run_until(SimTime::from_secs(3_000));
+    // Protection: only the stateful VM gets a backup server.
+    assert!(sim.controller().vm(stateful).unwrap().backup.is_some());
+    assert!(sim.controller().vm(stateless).unwrap().backup.is_none());
+
+    sim.run_until(SimTime::from_secs(7_200));
+    // Both survive the revocation.
+    assert_eq!(sim.controller().vm(stateful).unwrap().status, VmStatus::Running);
+    assert_eq!(sim.controller().vm(stateless).unwrap().status, VmStatus::Running);
+    let report = sim.availability_report();
+    assert_eq!(report.revocations, 2);
+    // Downtime comes only from the stateful VM's bounded-time migration;
+    // the stateless one live-migrated. Total is therefore well below two
+    // migrations' worth of EC2 ops.
+    assert!(report.total_downtime.as_secs_f64() < 30.0);
+    assert!(report.total_downtime.as_secs_f64() > 1.0);
+}
+
+#[test]
+fn stateless_fleet_has_zero_backup_cost() {
+    let cfg = SpotCheckConfig {
+        zone: ZONE.to_string(),
+        ..SpotCheckConfig::default()
+    };
+    let mut sim = SpotCheckSim::new(vec![spiky_medium(3_600, 5_000)], cfg);
+    let cust = sim.create_customer();
+    for _ in 0..3 {
+        sim.request_server_opts(cust, WorkloadKind::TpcW, true);
+    }
+    sim.run_until(SimTime::from_secs(10_000));
+    let cost = sim.cost_report();
+    assert_eq!(cost.backup_cost, 0.0, "stateless VMs must not pay for backup");
+}

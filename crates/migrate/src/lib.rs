@@ -1,0 +1,34 @@
+//! # spotcheck-migrate
+//!
+//! The migration mechanisms of SpotCheck (paper §3), implemented as
+//! page-level algorithms over the nested-VM memory model and the fluid
+//! bandwidth substrate:
+//!
+//! - [`precopy`] — pre-copy live migration (Clark et al.), used whenever
+//!   there is no deadline;
+//! - [`bounded`] — Yank-style bounded-time migration via continuous
+//!   checkpointing, plus SpotCheck's ramped-final-checkpoint optimization;
+//! - [`restore`] — stop-and-copy and lazy restoration, with the
+//!   fadvise-optimized read paths of §5;
+//! - [`scenario`] — steady-state checkpoint contention on a backup server
+//!   (the Figure 7 experiment);
+//! - [`mechanisms`] — the named mechanism variants of Figures 8/10/11/12
+//!   and their per-migration impact;
+//! - [`planner`] — mechanism selection per §3.5.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounded;
+pub mod mechanisms;
+pub mod planner;
+pub mod precopy;
+pub mod restore;
+pub mod scenario;
+
+pub use bounded::{simulate_final_commit, BoundedTimeConfig, FinalCommitOutcome, RampPolicy};
+pub use mechanisms::{migration_impact, MechanismKind, MigrationImpact};
+pub use planner::{Mechanism, MigrationTrigger, Planner};
+pub use precopy::{simulate_precopy, PreCopyConfig, PreCopyOutcome};
+pub use restore::{simulate_concurrent_restores, ReadPath, RestoreMode, RestoreOutcome};
+pub use scenario::{checkpoint_contention, CheckpointContention};

@@ -1,0 +1,239 @@
+//! The mechanism variants compared throughout the paper's evaluation.
+//!
+//! Figures 10-12 sweep five pool policies against four mechanism variants;
+//! Figure 8 contrasts the unoptimized and optimized restore paths. This
+//! module names the variants and computes each one's *per-migration
+//! impact* — mechanism downtime and post-resume degradation — given how
+//! many VMs are migrating concurrently through the same backup server.
+//!
+//! EC2 control-plane downtime (EBS/ENI detach-attach, ~22.65 s mean) is
+//! *not* included here; the policy simulator adds it for every non-live
+//! migration, exactly as the paper seeds its simulation from Table 1.
+
+use spotcheck_backup::server::BackupServerConfig;
+use spotcheck_nestedvm::memory::DirtyModel;
+use spotcheck_simcore::time::SimDuration;
+
+use crate::bounded::{simulate_final_commit, BoundedTimeConfig, RampPolicy};
+use crate::restore::{simulate_concurrent_restores, ReadPath, RestoreMode};
+
+/// The mechanism variants of the paper's evaluation (§6 lists five; the
+/// figures plot four, with "unoptimized lazy" appearing in Figure 8b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MechanismKind {
+    /// Xen pre-copy live migration only — impractical (risks losing state
+    /// on revocation) but the availability/cost ideal.
+    XenLive,
+    /// Unoptimized bounded-time migration with full restore (Yank).
+    UnoptimizedFull,
+    /// SpotCheck's optimized bounded-time migration with full restore.
+    SpotCheckFull,
+    /// Unoptimized bounded-time migration with lazy restore.
+    UnoptimizedLazy,
+    /// SpotCheck's optimized bounded-time migration with lazy restore —
+    /// the headline configuration.
+    SpotCheckLazy,
+}
+
+impl MechanismKind {
+    /// The four variants plotted in Figures 10-12, in bar order.
+    pub const FIGURE_GRID: [MechanismKind; 4] = [
+        MechanismKind::XenLive,
+        MechanismKind::UnoptimizedFull,
+        MechanismKind::SpotCheckFull,
+        MechanismKind::SpotCheckLazy,
+    ];
+
+    /// Display label matching the paper's legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            MechanismKind::XenLive => "Xen Live migration",
+            MechanismKind::UnoptimizedFull => "Unoptimized Full restore",
+            MechanismKind::SpotCheckFull => "SpotCheck with Full restore",
+            MechanismKind::UnoptimizedLazy => "Unoptimized Lazy restore",
+            MechanismKind::SpotCheckLazy => "SpotCheck with Lazy restore",
+        }
+    }
+
+    /// Whether this variant protects VMs with backup servers (all bounded
+    /// variants do; pure live migration does not — which is why it is
+    /// cheaper but unsafe).
+    pub fn needs_backup(self) -> bool {
+        !matches!(self, MechanismKind::XenLive)
+    }
+
+    /// Whether the EC2 control-plane operations (EBS/ENI moves) interrupt
+    /// the VM for this variant. Live migration keeps the VM running on the
+    /// source until the switchover, which the paper idealizes as
+    /// zero-downtime.
+    pub fn pays_cloud_op_downtime(self) -> bool {
+        self.needs_backup()
+    }
+
+    /// The restore configuration of this variant, if it restores at all.
+    pub fn restore(self) -> Option<(RestoreMode, ReadPath)> {
+        match self {
+            MechanismKind::XenLive => None,
+            MechanismKind::UnoptimizedFull => Some((RestoreMode::Full, ReadPath::Unoptimized)),
+            MechanismKind::SpotCheckFull => Some((RestoreMode::Full, ReadPath::Optimized)),
+            MechanismKind::UnoptimizedLazy => Some((RestoreMode::Lazy, ReadPath::Unoptimized)),
+            MechanismKind::SpotCheckLazy => Some((RestoreMode::Lazy, ReadPath::Optimized)),
+        }
+    }
+
+    /// The final-commit ramp this variant runs on a warning.
+    pub fn ramp(self) -> RampPolicy {
+        match self {
+            MechanismKind::XenLive => RampPolicy::None, // unused
+            MechanismKind::UnoptimizedFull | MechanismKind::UnoptimizedLazy => RampPolicy::None,
+            MechanismKind::SpotCheckFull | MechanismKind::SpotCheckLazy => {
+                RampPolicy::spotcheck_default()
+            }
+        }
+    }
+}
+
+/// Per-migration impact of a mechanism variant.
+#[derive(Debug, Clone, Copy)]
+pub struct MigrationImpact {
+    /// Mechanism downtime (final-commit pause + restore downtime).
+    pub downtime: SimDuration,
+    /// Post-resume degraded-performance window (lazy restores only).
+    pub degraded: SimDuration,
+}
+
+/// Computes the per-VM impact of `concurrent` simultaneous revocation
+/// migrations of identical VMs through one backup server.
+///
+/// `image_bytes`/`skeleton_bytes` describe the VM; `dirty` its workload;
+/// `stale_bytes` the dirty residue at warning time (at most the
+/// bounded-time budget); `commit_bps` the per-VM bandwidth available for
+/// the final commit during the warning.
+#[allow(clippy::too_many_arguments)]
+pub fn migration_impact(
+    kind: MechanismKind,
+    concurrent: usize,
+    image_bytes: u64,
+    skeleton_bytes: u64,
+    dirty: &DirtyModel,
+    stale_bytes: f64,
+    commit_bps: f64,
+    backup_cfg: &BackupServerConfig,
+    bt_cfg: &BoundedTimeConfig,
+) -> MigrationImpact {
+    let concurrent = concurrent.max(1);
+    if kind == MechanismKind::XenLive {
+        // Idealized as in the paper's Figure 11 accounting.
+        return MigrationImpact {
+            downtime: SimDuration::ZERO,
+            degraded: SimDuration::ZERO,
+        };
+    }
+    let total_pages = (image_bytes / spotcheck_nestedvm::memory::PAGE_SIZE) as usize;
+    let commit = simulate_final_commit(
+        stale_bytes,
+        dirty,
+        total_pages,
+        commit_bps,
+        &BoundedTimeConfig {
+            ramp: kind.ramp(),
+            ..bt_cfg.clone()
+        },
+    );
+    let (mode, path) = kind.restore().expect("non-live variants restore");
+    let restores = simulate_concurrent_restores(
+        concurrent,
+        image_bytes,
+        skeleton_bytes,
+        mode,
+        path,
+        backup_cfg,
+        None,
+    );
+    // Identical VMs finish together; take the slowest (they all equal it).
+    let worst = restores
+        .iter()
+        .max_by_key(|o| o.downtime.max(o.degraded))
+        .expect("at least one restore");
+    MigrationImpact {
+        downtime: commit.downtime + worst.downtime,
+        degraded: worst.degraded,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GIB: u64 = 1 << 30;
+
+    fn impact(kind: MechanismKind, concurrent: usize) -> MigrationImpact {
+        migration_impact(
+            kind,
+            concurrent,
+            3 * GIB,
+            5 << 20,
+            &DirtyModel::new(50_000, 700.0, 0.01),
+            64e6,
+            32e6,
+            &BackupServerConfig::default(),
+            &BoundedTimeConfig::default(),
+        )
+    }
+
+    #[test]
+    fn live_is_free_by_construction() {
+        let i = impact(MechanismKind::XenLive, 10);
+        assert!(i.downtime.is_zero());
+        assert!(i.degraded.is_zero());
+        assert!(!MechanismKind::XenLive.needs_backup());
+        assert!(!MechanismKind::XenLive.pays_cloud_op_downtime());
+    }
+
+    #[test]
+    fn downtime_ordering_matches_figure11() {
+        // Unavailability ordering in Figure 11:
+        // XenLive < SpotCheckLazy < SpotCheckFull < UnoptimizedFull.
+        let live = impact(MechanismKind::XenLive, 1);
+        let lazy = impact(MechanismKind::SpotCheckLazy, 1);
+        let full = impact(MechanismKind::SpotCheckFull, 1);
+        let yank = impact(MechanismKind::UnoptimizedFull, 1);
+        assert!(live.downtime < lazy.downtime);
+        assert!(lazy.downtime < full.downtime, "{} vs {}", lazy.downtime, full.downtime);
+        assert!(full.downtime < yank.downtime, "{} vs {}", full.downtime, yank.downtime);
+    }
+
+    #[test]
+    fn lazy_trades_downtime_for_degradation() {
+        // Figure 12's counterpoint: lazy restore has the most degradation
+        // despite the least downtime.
+        let lazy = impact(MechanismKind::SpotCheckLazy, 1);
+        let full = impact(MechanismKind::SpotCheckFull, 1);
+        assert!(lazy.downtime.as_secs_f64() < 1.0, "lazy downtime {}", lazy.downtime);
+        assert!(lazy.degraded > full.degraded);
+        assert!(full.degraded.is_zero());
+    }
+
+    #[test]
+    fn concurrency_amplifies_impact() {
+        let one = impact(MechanismKind::SpotCheckFull, 1);
+        let ten = impact(MechanismKind::SpotCheckFull, 10);
+        assert!(ten.downtime.as_secs_f64() > 5.0 * one.downtime.as_secs_f64());
+    }
+
+    #[test]
+    fn grid_and_labels_are_stable() {
+        assert_eq!(MechanismKind::FIGURE_GRID.len(), 4);
+        assert_eq!(MechanismKind::XenLive.label(), "Xen Live migration");
+        assert_eq!(
+            MechanismKind::SpotCheckLazy.label(),
+            "SpotCheck with Lazy restore"
+        );
+        assert!(MechanismKind::SpotCheckLazy.needs_backup());
+        assert_eq!(
+            MechanismKind::UnoptimizedLazy.restore(),
+            Some((RestoreMode::Lazy, ReadPath::Unoptimized))
+        );
+        assert_eq!(MechanismKind::UnoptimizedFull.ramp(), RampPolicy::None);
+    }
+}

@@ -1,0 +1,139 @@
+//! Steady-state contention scenarios on a backup server.
+//!
+//! Figure 7 of the paper measures nested-VM performance as the number of
+//! VMs continuously checkpointing to one backup server grows: flat until
+//! the server's ingest path saturates (around 35-40 VMs), then degrading.
+//! This module computes the per-VM achieved checkpoint rates under max-min
+//! fair sharing of the backup's NIC-receive and disk-write channels; the
+//! workload models translate the achieved/demanded ratio into response
+//! time or throughput.
+
+use spotcheck_backup::server::BackupServerConfig;
+use spotcheck_simcore::fluid::{max_min_rates, FlowSpec, Network};
+
+/// Result of a steady-state checkpoint-contention computation.
+#[derive(Debug, Clone)]
+pub struct CheckpointContention {
+    /// Achieved stream rate per VM, bytes/sec (input order).
+    pub achieved_bps: Vec<f64>,
+    /// `achieved / demand` per VM, clamped to `[0, 1]`. Below 1.0 the
+    /// checkpointer back-pressures the workload.
+    pub health: Vec<f64>,
+    /// Fraction of the NIC-receive capacity in use.
+    pub nic_utilization: f64,
+    /// Fraction of the disk-write capacity in use.
+    pub disk_utilization: f64,
+}
+
+/// Computes steady-state checkpoint-stream contention for VMs with the
+/// given per-stream demands (bytes/sec) sharing one backup server.
+///
+/// Each stream is capped at its own demand (a checkpointer never sends
+/// faster than dirty pages are produced) and optionally at `per_vm_cap_bps`
+/// (the `tc` throttle).
+pub fn checkpoint_contention(
+    demands_bps: &[f64],
+    cfg: &BackupServerConfig,
+    per_vm_cap_bps: Option<f64>,
+) -> CheckpointContention {
+    let mut net = Network::new();
+    let nic_rx = net.add_link(cfg.nic_bps);
+    let disk_w = net.add_link(cfg.disk_write_bps);
+    let flows: Vec<FlowSpec> = demands_bps
+        .iter()
+        .map(|&d| {
+            let cap = per_vm_cap_bps.map_or(d, |c| c.min(d));
+            FlowSpec::new(vec![nic_rx, disk_w], f64::INFINITY).with_cap(cap.max(1.0))
+        })
+        .collect();
+    let achieved = max_min_rates(&net, &flows);
+    let health: Vec<f64> = achieved
+        .iter()
+        .zip(demands_bps)
+        .map(|(&a, &d)| if d <= 0.0 { 1.0 } else { (a / d).clamp(0.0, 1.0) })
+        .collect();
+    let total: f64 = achieved.iter().sum();
+    CheckpointContention {
+        nic_utilization: total / cfg.nic_bps,
+        disk_utilization: total / cfg.disk_write_bps,
+        achieved_bps: achieved,
+        health,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BackupServerConfig {
+        BackupServerConfig::default()
+    }
+
+    #[test]
+    fn below_knee_all_streams_healthy() {
+        // 30 VMs at 3.2 MB/s = 96 MB/s < 125 MB/s NIC: everyone at demand.
+        let demands = vec![3.2e6; 30];
+        let c = checkpoint_contention(&demands, &cfg(), None);
+        assert!(c.health.iter().all(|&h| (h - 1.0).abs() < 1e-9));
+        assert!(c.nic_utilization < 1.0);
+    }
+
+    #[test]
+    fn past_knee_streams_degrade() {
+        // 50 VMs at 3.2 MB/s = 160 MB/s > 125 MB/s NIC.
+        let demands = vec![3.2e6; 50];
+        let c = checkpoint_contention(&demands, &cfg(), None);
+        let h = c.health[0];
+        assert!(h < 1.0, "health={h}");
+        assert!((h - 125e6 / 160e6).abs() < 0.01, "health={h}");
+        assert!((c.nic_utilization - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn knee_is_between_35_and_45_vms_for_typical_demand() {
+        // The Figure 7 calibration target: degradation sets in past ~35-40.
+        let mut knee = None;
+        for n in 1..=60usize {
+            let demands = vec![3.2e6; n];
+            let c = checkpoint_contention(&demands, &cfg(), None);
+            if c.health[0] < 0.999 {
+                knee = Some(n);
+                break;
+            }
+        }
+        let knee = knee.expect("saturation must occur by 60 VMs");
+        assert!((36..=45).contains(&knee), "knee at {knee} VMs");
+    }
+
+    #[test]
+    fn heterogeneous_demands_share_fairly() {
+        // One heavy stream among light ones: the light ones stay healthy;
+        // the heavy one takes the slack.
+        let mut demands = vec![1.0e6; 40];
+        demands.push(100.0e6);
+        let c = checkpoint_contention(&demands, &cfg(), None);
+        for h in &c.health[..40] {
+            assert!((h - 1.0).abs() < 1e-9);
+        }
+        // 125 - 40 = 85 MB/s left for the heavy stream's 100 MB/s demand.
+        assert!((c.achieved_bps[40] - 85e6).abs() < 1e3);
+    }
+
+    #[test]
+    fn throttle_caps_streams() {
+        let demands = vec![10.0e6; 4];
+        let c = checkpoint_contention(&demands, &cfg(), Some(2.0e6));
+        for a in &c.achieved_bps {
+            assert!((a - 2.0e6).abs() < 1.0);
+        }
+        for h in &c.health {
+            assert!((h - 0.2).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn zero_demand_is_healthy() {
+        let c = checkpoint_contention(&[0.0], &cfg(), None);
+        assert_eq!(c.health[0], 1.0);
+    }
+}

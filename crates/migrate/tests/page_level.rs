@@ -1,0 +1,157 @@
+//! Page-level validation of the analytic migration models.
+//!
+//! The mechanism simulations use expected-value dirty-page dynamics; these
+//! tests replay the same scenarios with *sampled* page-level dirtying
+//! (actual `MemoryImage` bitmaps) and check that the analytic guarantees
+//! hold path-wise: the bounded-time residue never exceeds its budget, the
+//! checkpoint store converges to a complete image, and pre-copy round
+//! sizes match the expectation model.
+
+use spotcheck_backup::server::{BackupServer, BackupServerConfig};
+use spotcheck_migrate::bounded::BoundedTimeConfig;
+use spotcheck_migrate::precopy::{simulate_precopy, PreCopyConfig};
+use spotcheck_nestedvm::memory::{DirtyModel, MemoryImage, PAGE_SIZE};
+use spotcheck_nestedvm::vm::NestedVmId;
+use spotcheck_simcore::rng::SimRng;
+use spotcheck_simcore::time::SimDuration;
+
+/// A 512 MiB image keeps the sampled runs fast while spanning >100k pages.
+const IMAGE_BYTES: u64 = 512 << 20;
+
+fn tpcw_like() -> DirtyModel {
+    DirtyModel::new(50_000, 700.0, 0.01)
+}
+
+/// The steady-state epoch chosen analytically must keep the *sampled*
+/// per-epoch dirty residue within the bounded-time budget on every epoch.
+#[test]
+fn sampled_residue_never_exceeds_budget() {
+    let cfg = BoundedTimeConfig::default();
+    let dirty = tpcw_like();
+    let total_pages = (IMAGE_BYTES / PAGE_SIZE) as usize;
+    let epoch = cfg.steady_epoch(&dirty, total_pages);
+    let budget_bytes = cfg.residue_budget_bytes();
+
+    let mut image = MemoryImage::new(IMAGE_BYTES);
+    let mut rng = SimRng::seed(0xBEEF);
+    for i in 0..200 {
+        dirty.sample_dirty(&mut image, epoch, &mut rng);
+        let residue = image.dirty_bytes() as f64;
+        assert!(
+            residue <= budget_bytes * 1.10,
+            "epoch {i}: sampled residue {residue} exceeds budget {budget_bytes}"
+        );
+        // The checkpointer drains the dirty set each epoch.
+        image.take_dirty();
+    }
+}
+
+/// Feeding sampled checkpoint epochs into a backup server's store
+/// converges to a complete image once every hot and cold page has been
+/// touched at least once (after the initial full sync).
+#[test]
+fn checkpoint_store_converges_with_initial_full_sync() {
+    let mut server = BackupServer::new(BackupServerConfig::default());
+    let vm = NestedVmId(1);
+    let total_pages = (IMAGE_BYTES / PAGE_SIZE) as usize;
+    server.assign(vm, total_pages).unwrap();
+
+    // Initial full sync: every page present once.
+    let mut image = MemoryImage::new(IMAGE_BYTES);
+    image.mark_all_dirty();
+    let full = image.take_dirty();
+    server.store_mut(vm).unwrap().commit_pages(&full);
+    assert!(server.store(vm).unwrap().is_complete());
+
+    // Continuous epochs keep it complete and track bytes received.
+    let dirty = tpcw_like();
+    let mut rng = SimRng::seed(0xCAFE);
+    let before = server.store(vm).unwrap().bytes_received;
+    for _ in 0..20 {
+        dirty.sample_dirty(&mut image, SimDuration::from_secs(10), &mut rng);
+        let epoch_pages = image.take_dirty();
+        server.store_mut(vm).unwrap().commit_pages(&epoch_pages);
+    }
+    let store = server.store(vm).unwrap();
+    assert!(store.is_complete());
+    assert!(store.bytes_received > before, "epochs must stream bytes");
+    assert_eq!(store.commits, 21);
+}
+
+/// Pre-copy round payloads predicted by the expectation model match the
+/// sampled page-level dynamics within a few percent.
+#[test]
+fn precopy_round_sizes_match_sampled_dynamics() {
+    let dirty = tpcw_like();
+    let cfg = PreCopyConfig {
+        bandwidth_bps: 125e6,
+        ..PreCopyConfig::default()
+    };
+    let analytic = simulate_precopy(IMAGE_BYTES, &dirty, &cfg);
+
+    // Sampled replay: transfer the image, then iteratively transfer
+    // whatever got dirtied during the previous round.
+    let mut image = MemoryImage::new(IMAGE_BYTES);
+    let mut rng = SimRng::seed(0xF00D);
+    let mut to_send = IMAGE_BYTES as f64;
+    let mut total_secs = 0.0;
+    let mut total_bytes = 0.0;
+    for _ in 0..cfg.max_rounds {
+        let round_secs = to_send / cfg.bandwidth_bps;
+        total_secs += round_secs;
+        total_bytes += to_send;
+        image.take_dirty();
+        dirty.sample_dirty(&mut image, SimDuration::from_secs_f64(round_secs), &mut rng);
+        let next = image.dirty_bytes() as f64;
+        if next <= cfg.stop_threshold_bytes as f64 || next >= to_send {
+            to_send = next;
+            break;
+        }
+        to_send = next;
+    }
+    total_secs += to_send / cfg.bandwidth_bps;
+    total_bytes += to_send;
+
+    let a_total = analytic.total_duration.as_secs_f64();
+    assert!(
+        (total_secs - a_total).abs() / a_total < 0.05,
+        "sampled total {total_secs}s vs analytic {a_total}s"
+    );
+    let a_bytes = analytic.bytes_transferred as f64;
+    assert!(
+        (total_bytes - a_bytes).abs() / a_bytes < 0.05,
+        "sampled bytes {total_bytes} vs analytic {a_bytes}"
+    );
+}
+
+/// Under a sampled revocation at a random instant, the dirty residue at
+/// warning time is always within the bound's transfer capacity — the
+/// "no risk of losing VM state" guarantee, path-wise.
+#[test]
+fn warning_time_residue_is_always_committable() {
+    let cfg = BoundedTimeConfig::default();
+    let dirty = tpcw_like();
+    let total_pages = (IMAGE_BYTES / PAGE_SIZE) as usize;
+    let epoch = cfg.steady_epoch(&dirty, total_pages);
+
+    let mut rng = SimRng::seed(0xD00D);
+    for trial in 0..50 {
+        let mut image = MemoryImage::new(IMAGE_BYTES);
+        // Run a random number of whole epochs plus a partial one, then
+        // "receive the warning".
+        let epochs = (trial % 7) + 1;
+        for _ in 0..epochs {
+            dirty.sample_dirty(&mut image, epoch, &mut rng);
+            image.take_dirty();
+        }
+        let partial = epoch.mul_f64(0.01 * f64::from(trial % 100));
+        dirty.sample_dirty(&mut image, partial, &mut rng);
+        let residue = image.dirty_bytes() as f64;
+        // Commit capacity within the bound at the reserved bandwidth.
+        let capacity = cfg.reserve_bps * cfg.bound.as_secs_f64();
+        assert!(
+            residue <= capacity * 1.10,
+            "trial {trial}: residue {residue} exceeds commit capacity {capacity}"
+        );
+    }
+}

@@ -1,0 +1,246 @@
+//! Host VMs running the nested hypervisor (XenBlanket).
+//!
+//! A *host* is a native instance on which SpotCheck installed its nested
+//! hypervisor. The hypervisor slices the host into `m3.medium`-equivalent
+//! slots and runs one nested VM per slot (or a larger nested VM across
+//! several slots), providing isolation between customers and — crucially —
+//! the migration capability the native platform does not expose (paper
+//! §3.1). It also owns the NAT table mapping each nested VM's private IP
+//! to its host interface (§3.4).
+
+use std::collections::BTreeMap;
+
+use spotcheck_simcore::time::SimTime;
+
+use crate::vm::{NestedVm, NestedVmId, NestedVmSpec};
+
+/// Errors from host-slot management.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HostError {
+    /// Not enough free slots to place the nested VM.
+    InsufficientCapacity {
+        /// Slots requested.
+        requested: u32,
+        /// Slots free.
+        free: u32,
+    },
+    /// The nested VM is not resident on this host.
+    NotResident(NestedVmId),
+    /// The nested VM is already resident on this host.
+    AlreadyResident(NestedVmId),
+}
+
+impl std::fmt::Display for HostError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HostError::InsufficientCapacity { requested, free } => {
+                write!(f, "need {requested} slots, only {free} free")
+            }
+            HostError::NotResident(id) => write!(f, "{id} is not resident on this host"),
+            HostError::AlreadyResident(id) => write!(f, "{id} is already resident on this host"),
+        }
+    }
+}
+
+impl std::error::Error for HostError {}
+
+/// A host VM running the nested hypervisor.
+#[derive(Debug, Clone)]
+pub struct HostVm {
+    /// Total nested-VM slots (the native type's `medium_slots`).
+    capacity_slots: u32,
+    /// Resident nested VMs.
+    residents: BTreeMap<NestedVmId, NestedVm>,
+}
+
+impl HostVm {
+    /// Creates a host with the given slot capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_slots` is zero.
+    pub fn new(capacity_slots: u32) -> Self {
+        assert!(capacity_slots > 0, "host must have at least one slot");
+        HostVm {
+            capacity_slots,
+            residents: BTreeMap::new(),
+        }
+    }
+
+    /// Total slot capacity.
+    pub fn capacity_slots(&self) -> u32 {
+        self.capacity_slots
+    }
+
+    /// Slots currently in use.
+    pub fn used_slots(&self) -> u32 {
+        self.residents.values().map(|vm| vm.spec.slots).sum()
+    }
+
+    /// Slots currently free.
+    pub fn free_slots(&self) -> u32 {
+        self.capacity_slots - self.used_slots()
+    }
+
+    /// Returns true if a VM of `spec` fits.
+    pub fn fits(&self, spec: &NestedVmSpec) -> bool {
+        spec.slots <= self.free_slots()
+    }
+
+    /// Boots a new nested VM on this host.
+    ///
+    /// # Errors
+    ///
+    /// Fails if capacity is insufficient.
+    pub fn boot(
+        &mut self,
+        id: NestedVmId,
+        spec: NestedVmSpec,
+        now: SimTime,
+    ) -> Result<&NestedVm, HostError> {
+        self.admit(NestedVm::new(id, spec, now))
+    }
+
+    /// Admits an existing nested VM (e.g. one arriving by migration).
+    ///
+    /// # Errors
+    ///
+    /// Fails if capacity is insufficient or the id is already resident.
+    pub fn admit(&mut self, vm: NestedVm) -> Result<&NestedVm, HostError> {
+        if self.residents.contains_key(&vm.id) {
+            return Err(HostError::AlreadyResident(vm.id));
+        }
+        if vm.spec.slots > self.free_slots() {
+            return Err(HostError::InsufficientCapacity {
+                requested: vm.spec.slots,
+                free: self.free_slots(),
+            });
+        }
+        let id = vm.id;
+        self.residents.insert(id, vm);
+        Ok(self.residents.get(&id).expect("just inserted"))
+    }
+
+    /// Removes a nested VM (migration departure or customer release),
+    /// returning it.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the VM is not resident.
+    pub fn evict(&mut self, id: NestedVmId) -> Result<NestedVm, HostError> {
+        self.residents.remove(&id).ok_or(HostError::NotResident(id))
+    }
+
+    /// Returns a shared view of a resident VM.
+    pub fn vm(&self, id: NestedVmId) -> Option<&NestedVm> {
+        self.residents.get(&id)
+    }
+
+    /// Returns an exclusive view of a resident VM.
+    pub fn vm_mut(&mut self, id: NestedVmId) -> Option<&mut NestedVm> {
+        self.residents.get_mut(&id)
+    }
+
+    /// Iterates over resident VMs.
+    pub fn residents(&self) -> impl Iterator<Item = &NestedVm> {
+        self.residents.values()
+    }
+
+    /// Returns the resident VM ids (the set that must all migrate if this
+    /// host's native instance is revoked — the slicing risk of §4.2).
+    pub fn resident_ids(&self) -> Vec<NestedVmId> {
+        self.residents.keys().copied().collect()
+    }
+
+    /// Number of resident VMs.
+    pub fn resident_count(&self) -> usize {
+        self.residents.len()
+    }
+
+    /// Returns true when any resident VM is executing.
+    pub fn any_executing(&self) -> bool {
+        self.residents.values().any(|vm| vm.state.is_executing())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::NestedVmState;
+
+    fn medium() -> NestedVmSpec {
+        NestedVmSpec::medium()
+    }
+
+    #[test]
+    fn slicing_respects_capacity() {
+        // An m3.large host has two medium slots.
+        let mut host = HostVm::new(2);
+        host.boot(NestedVmId(1), medium(), SimTime::ZERO).unwrap();
+        assert_eq!(host.free_slots(), 1);
+        assert!(host.fits(&medium()));
+        host.boot(NestedVmId(2), medium(), SimTime::ZERO).unwrap();
+        assert_eq!(host.free_slots(), 0);
+        let err = host.boot(NestedVmId(3), medium(), SimTime::ZERO).unwrap_err();
+        assert_eq!(
+            err,
+            HostError::InsufficientCapacity {
+                requested: 1,
+                free: 0
+            }
+        );
+    }
+
+    #[test]
+    fn multi_slot_vm_takes_multiple_slots() {
+        let mut host = HostVm::new(4);
+        let big = NestedVmSpec::with_mem_bytes(7 << 30); // 2 slots
+        host.boot(NestedVmId(1), big, SimTime::ZERO).unwrap();
+        assert_eq!(host.used_slots(), 2);
+        assert_eq!(host.free_slots(), 2);
+    }
+
+    #[test]
+    fn evict_and_admit_roundtrip_preserves_vm() {
+        let mut a = HostVm::new(1);
+        let mut b = HostVm::new(1);
+        a.boot(NestedVmId(7), medium(), SimTime::from_secs(5)).unwrap();
+        a.vm_mut(NestedVmId(7)).unwrap().memory.mark_dirty(42);
+        let vm = a.evict(NestedVmId(7)).unwrap();
+        assert_eq!(a.resident_count(), 0);
+        assert_eq!(vm.created_at, SimTime::from_secs(5));
+        b.admit(vm).unwrap();
+        assert_eq!(b.vm(NestedVmId(7)).unwrap().memory.dirty_pages(), 1);
+    }
+
+    #[test]
+    fn duplicate_admission_rejected() {
+        let mut host = HostVm::new(2);
+        host.boot(NestedVmId(1), medium(), SimTime::ZERO).unwrap();
+        let dup = NestedVm::new(NestedVmId(1), medium(), SimTime::ZERO);
+        assert_eq!(host.admit(dup).unwrap_err(), HostError::AlreadyResident(NestedVmId(1)));
+    }
+
+    #[test]
+    fn evict_unknown_fails() {
+        let mut host = HostVm::new(1);
+        assert_eq!(
+            host.evict(NestedVmId(9)).unwrap_err(),
+            HostError::NotResident(NestedVmId(9))
+        );
+    }
+
+    #[test]
+    fn resident_ids_lists_all_for_revocation() {
+        let mut host = HostVm::new(8);
+        for i in 0..5 {
+            host.boot(NestedVmId(i), medium(), SimTime::ZERO).unwrap();
+        }
+        assert_eq!(host.resident_ids().len(), 5);
+        assert!(host.any_executing());
+        for vm in host.resident_ids() {
+            host.vm_mut(vm).unwrap().state = NestedVmState::Restoring;
+        }
+        assert!(!host.any_executing());
+    }
+}

@@ -1,0 +1,22 @@
+//! # spotcheck-nestedvm
+//!
+//! Nested-virtualization substrate for the SpotCheck reproduction: the
+//! XenBlanket-style nested hypervisor model. Provides:
+//!
+//! - [`memory`] — page-granular memory images with a hot/cold working-set
+//!   dirtying model (the quantity that governs every migration mechanism);
+//! - [`vm`] — nested VMs, their lifecycle states, skeleton-state sizing,
+//!   and the live-migratability predicate of paper §3.2;
+//! - [`host`] — host VMs sliced into `m3.medium`-equivalent slots, the
+//!   mechanism behind SpotCheck's price-arbitrage placement (§4.2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod host;
+pub mod memory;
+pub mod vm;
+
+pub use host::{HostError, HostVm};
+pub use memory::{pages_for_bytes, DirtyModel, MemoryImage, PAGE_SIZE};
+pub use vm::{NestedVm, NestedVmId, NestedVmSpec, NestedVmState};

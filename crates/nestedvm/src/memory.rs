@@ -1,0 +1,295 @@
+//! Nested-VM memory model.
+//!
+//! Migration mechanics are governed by two quantities: the VM's memory size
+//! and the rate at which the workload dirties pages (paper §3.2). The model
+//! here is a classic hot/cold working-set: writes concentrate on a *hot set*
+//! of pages, so the number of *distinct* dirty pages saturates toward the
+//! working-set size rather than growing linearly — which is exactly why
+//! pre-copy live migration converges for modest write rates and why
+//! bounded-time migration can hold the dirty residue below a threshold.
+
+use spotcheck_simcore::bitset::BitSet;
+use spotcheck_simcore::rng::SimRng;
+use spotcheck_simcore::time::SimDuration;
+
+/// Page size used throughout: 4 KiB.
+pub const PAGE_SIZE: u64 = 4_096;
+
+/// Converts bytes to a page count (rounding up).
+pub fn pages_for_bytes(bytes: u64) -> usize {
+    (bytes.div_ceil(PAGE_SIZE)) as usize
+}
+
+/// A nested VM's guest-physical memory image, tracked at page granularity.
+#[derive(Debug, Clone)]
+pub struct MemoryImage {
+    total_pages: usize,
+    dirty: BitSet,
+}
+
+impl MemoryImage {
+    /// Creates an image of `bytes` with every page clean.
+    pub fn new(bytes: u64) -> Self {
+        let total_pages = pages_for_bytes(bytes);
+        MemoryImage {
+            total_pages,
+            dirty: BitSet::new(total_pages),
+        }
+    }
+
+    /// Returns the number of pages.
+    pub fn total_pages(&self) -> usize {
+        self.total_pages
+    }
+
+    /// Returns the memory size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.total_pages as u64 * PAGE_SIZE
+    }
+
+    /// Returns the number of dirty pages.
+    pub fn dirty_pages(&self) -> usize {
+        self.dirty.count_ones()
+    }
+
+    /// Returns the dirty bytes.
+    pub fn dirty_bytes(&self) -> u64 {
+        self.dirty_pages() as u64 * PAGE_SIZE
+    }
+
+    /// Returns the dirty set.
+    pub fn dirty_set(&self) -> &BitSet {
+        &self.dirty
+    }
+
+    /// Marks a page dirty; returns true if it was clean.
+    pub fn mark_dirty(&mut self, page: usize) -> bool {
+        self.dirty.set(page)
+    }
+
+    /// Takes the dirty set, leaving all pages clean — the checkpoint
+    /// "epoch flip".
+    pub fn take_dirty(&mut self) -> BitSet {
+        let mut taken = BitSet::new(self.total_pages);
+        taken.drain_from(&mut self.dirty);
+        taken
+    }
+
+    /// Marks every page dirty (a cold image that has never been
+    /// checkpointed must transfer in full).
+    pub fn mark_all_dirty(&mut self) {
+        self.dirty.set_all();
+    }
+}
+
+/// A hot/cold working-set dirtying model.
+///
+/// Writes land uniformly within a hot set of `hot_pages` pages at
+/// `writes_per_sec`; a small fraction `cold_write_fraction` of writes leak
+/// to the remaining (cold) pages.
+#[derive(Debug, Clone)]
+pub struct DirtyModel {
+    /// Size of the hot set, in pages.
+    pub hot_pages: usize,
+    /// Page writes per second (not necessarily distinct pages).
+    pub writes_per_sec: f64,
+    /// Fraction of writes landing outside the hot set, in `[0, 1)`.
+    pub cold_write_fraction: f64,
+}
+
+impl DirtyModel {
+    /// Creates a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if parameters are out of range.
+    pub fn new(hot_pages: usize, writes_per_sec: f64, cold_write_fraction: f64) -> Self {
+        assert!(hot_pages > 0, "hot set must be non-empty");
+        assert!(
+            writes_per_sec.is_finite() && writes_per_sec >= 0.0,
+            "write rate must be non-negative"
+        );
+        assert!(
+            (0.0..1.0).contains(&cold_write_fraction),
+            "cold fraction must be in [0, 1)"
+        );
+        DirtyModel {
+            hot_pages,
+            writes_per_sec,
+            cold_write_fraction,
+        }
+    }
+
+    /// A model with no writes (an idle VM).
+    pub fn idle() -> Self {
+        DirtyModel {
+            hot_pages: 1,
+            writes_per_sec: 0.0,
+            cold_write_fraction: 0.0,
+        }
+    }
+
+    /// Expected number of *distinct hot* pages dirtied over `dt`, given
+    /// `already_dirty_hot` hot pages are already dirty.
+    ///
+    /// Uniform writes over `H` pages for time `t` leave a hot page clean
+    /// with probability `exp(-r_hot * t / H)`; the expectation follows.
+    pub fn expected_new_hot_dirty(&self, already_dirty_hot: usize, dt: SimDuration) -> f64 {
+        let clean = self.hot_pages.saturating_sub(already_dirty_hot) as f64;
+        if clean <= 0.0 || self.writes_per_sec == 0.0 {
+            return 0.0;
+        }
+        let hot_rate = self.writes_per_sec * (1.0 - self.cold_write_fraction);
+        let survive = (-hot_rate * dt.as_secs_f64() / self.hot_pages as f64).exp();
+        clean * (1.0 - survive)
+    }
+
+    /// Expected number of distinct *cold* pages dirtied over `dt` given
+    /// `cold_total` cold pages, `already_dirty_cold` of which are dirty.
+    pub fn expected_new_cold_dirty(
+        &self,
+        cold_total: usize,
+        already_dirty_cold: usize,
+        dt: SimDuration,
+    ) -> f64 {
+        let clean = cold_total.saturating_sub(already_dirty_cold) as f64;
+        if clean <= 0.0 || self.writes_per_sec == 0.0 || self.cold_write_fraction == 0.0 {
+            return 0.0;
+        }
+        let cold_rate = self.writes_per_sec * self.cold_write_fraction;
+        let survive = (-cold_rate * dt.as_secs_f64() / cold_total as f64).exp();
+        clean * (1.0 - survive)
+    }
+
+    /// The steady-state distinct-dirty-page generation rate when the dirty
+    /// set is regularly drained (pages/second) — the rate a continuous
+    /// checkpointer must sustain. For a freshly-drained set this is simply
+    /// the write rate (every write hits a clean page, modulo immediate
+    /// re-dirtying within the epoch).
+    ///
+    /// Given a checkpoint epoch of `epoch`, the expected pages dirtied per
+    /// epoch is `E_hot + E_cold`, so the required transfer rate is that
+    /// divided by the epoch.
+    pub fn distinct_dirty_rate(&self, total_pages: usize, epoch: SimDuration) -> f64 {
+        if epoch.is_zero() {
+            return self.writes_per_sec;
+        }
+        let cold_total = total_pages.saturating_sub(self.hot_pages);
+        let per_epoch = self.expected_new_hot_dirty(0, epoch)
+            + self.expected_new_cold_dirty(cold_total, 0, epoch);
+        per_epoch / epoch.as_secs_f64()
+    }
+
+    /// Samples actual page-level dirtying into `image` over `dt`.
+    ///
+    /// Hot pages occupy indices `[0, hot_pages)`; the layout choice is
+    /// immaterial to the transfer model. Returns the number of pages newly
+    /// dirtied.
+    pub fn sample_dirty(
+        &self,
+        image: &mut MemoryImage,
+        dt: SimDuration,
+        rng: &mut SimRng,
+    ) -> usize {
+        let total = image.total_pages();
+        let hot = self.hot_pages.min(total);
+        let writes = (self.writes_per_sec * dt.as_secs_f64()).round() as u64;
+        let mut newly = 0;
+        for _ in 0..writes {
+            let page = if hot < total && rng.next_f64() < self.cold_write_fraction {
+                hot + (rng.next_f64() * (total - hot) as f64) as usize
+            } else {
+                (rng.next_f64() * hot as f64) as usize
+            };
+            if image.mark_dirty(page.min(total - 1)) {
+                newly += 1;
+            }
+        }
+        newly
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pages_round_up() {
+        assert_eq!(pages_for_bytes(0), 0);
+        assert_eq!(pages_for_bytes(1), 1);
+        assert_eq!(pages_for_bytes(4_096), 1);
+        assert_eq!(pages_for_bytes(4_097), 2);
+        assert_eq!(pages_for_bytes(1 << 30), 262_144);
+    }
+
+    #[test]
+    fn image_dirty_tracking() {
+        let mut img = MemoryImage::new(1 << 20); // 256 pages
+        assert_eq!(img.total_pages(), 256);
+        assert_eq!(img.dirty_pages(), 0);
+        assert!(img.mark_dirty(3));
+        assert!(!img.mark_dirty(3));
+        assert_eq!(img.dirty_pages(), 1);
+        assert_eq!(img.dirty_bytes(), PAGE_SIZE);
+        let taken = img.take_dirty();
+        assert_eq!(taken.count_ones(), 1);
+        assert_eq!(img.dirty_pages(), 0);
+        img.mark_all_dirty();
+        assert_eq!(img.dirty_pages(), 256);
+    }
+
+    #[test]
+    fn hot_dirty_saturates_at_working_set() {
+        let m = DirtyModel::new(10_000, 50_000.0, 0.0);
+        // Over a long interval every hot page gets dirtied, no more.
+        let d = m.expected_new_hot_dirty(0, SimDuration::from_secs(60));
+        assert!((d - 10_000.0).abs() < 1.0, "d={d}");
+        // Over a tiny interval, roughly rate x time (few collisions).
+        let d = m.expected_new_hot_dirty(0, SimDuration::from_millis(10));
+        assert!((d - 500.0).abs() < 20.0, "d={d}");
+        // Already-dirty pages can't be re-dirtied "distinctly".
+        let d = m.expected_new_hot_dirty(10_000, SimDuration::from_secs(60));
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn cold_dirty_is_slow() {
+        let m = DirtyModel::new(10_000, 50_000.0, 0.02);
+        let hot = m.expected_new_hot_dirty(0, SimDuration::from_millis(100));
+        let cold = m.expected_new_cold_dirty(100_000, 0, SimDuration::from_millis(100));
+        assert!(cold < hot / 10.0, "hot={hot} cold={cold}");
+    }
+
+    #[test]
+    fn idle_model_never_dirties() {
+        let m = DirtyModel::idle();
+        assert_eq!(m.expected_new_hot_dirty(0, SimDuration::from_secs(100)), 0.0);
+        let mut img = MemoryImage::new(1 << 20);
+        let mut rng = SimRng::seed(1);
+        assert_eq!(m.sample_dirty(&mut img, SimDuration::from_secs(10), &mut rng), 0);
+    }
+
+    #[test]
+    fn distinct_dirty_rate_below_write_rate() {
+        let m = DirtyModel::new(10_000, 50_000.0, 0.01);
+        let r = m.distinct_dirty_rate(100_000, SimDuration::from_secs(1));
+        assert!(r < 50_000.0);
+        assert!(r > 5_000.0);
+        // Longer epochs increase collision, lowering the distinct rate.
+        let r_long = m.distinct_dirty_rate(100_000, SimDuration::from_secs(10));
+        assert!(r_long < r);
+    }
+
+    #[test]
+    fn sampled_dirty_matches_expectation() {
+        let m = DirtyModel::new(1_000, 5_000.0, 0.0);
+        let mut img = MemoryImage::new(1_000 * PAGE_SIZE);
+        let mut rng = SimRng::seed(42);
+        let newly = m.sample_dirty(&mut img, SimDuration::from_secs(1), &mut rng);
+        let expected = m.expected_new_hot_dirty(0, SimDuration::from_secs(1));
+        assert!(
+            (newly as f64 - expected).abs() < expected * 0.05,
+            "sampled {newly} vs expected {expected}"
+        );
+    }
+}

@@ -1,0 +1,339 @@
+//! A fixed-capacity bit set.
+//!
+//! Used to track dirty/resident pages of nested-VM memory images. A 4 GiB VM
+//! has ~1M 4 KiB pages, i.e. 128 KiB of bitset — cheap enough to keep one
+//! per VM and per checkpoint.
+
+/// A fixed-capacity set of bits indexed `0..len`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+    ones: usize,
+}
+
+impl BitSet {
+    /// Creates a set of `len` bits, all clear.
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+            ones: 0,
+        }
+    }
+
+    /// Creates a set of `len` bits, all set.
+    pub fn all_set(len: usize) -> Self {
+        let mut s = BitSet {
+            words: vec![u64::MAX; len.div_ceil(64)],
+            len,
+            ones: len,
+        };
+        s.mask_tail();
+        s
+    }
+
+    /// Clears any bits beyond `len` in the last word.
+    fn mask_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Returns the capacity in bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns true if the capacity is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns the number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.ones
+    }
+
+    /// Returns the number of clear bits.
+    pub fn count_zeros(&self) -> usize {
+        self.len - self.ones
+    }
+
+    /// Returns bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "BitSet index {i} out of range {}", self.len);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Sets bit `i`; returns true if it was previously clear.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn set(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "BitSet index {i} out of range {}", self.len);
+        let mask = 1u64 << (i % 64);
+        let word = &mut self.words[i / 64];
+        if *word & mask == 0 {
+            *word |= mask;
+            self.ones += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Clears bit `i`; returns true if it was previously set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn clear(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "BitSet index {i} out of range {}", self.len);
+        let mask = 1u64 << (i % 64);
+        let word = &mut self.words[i / 64];
+        if *word & mask != 0 {
+            *word &= !mask;
+            self.ones -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Clears every bit.
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+        self.ones = 0;
+    }
+
+    /// Sets every bit.
+    pub fn set_all(&mut self) {
+        self.words.fill(u64::MAX);
+        self.ones = self.len;
+        self.mask_tail();
+    }
+
+    /// Iterates over the indices of set bits in increasing order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words
+            .iter()
+            .enumerate()
+            .flat_map(move |(wi, &w)| {
+                let mut w = w;
+                std::iter::from_fn(move || {
+                    if w == 0 {
+                        None
+                    } else {
+                        let bit = w.trailing_zeros() as usize;
+                        w &= w - 1;
+                        Some(wi * 64 + bit)
+                    }
+                })
+            })
+    }
+
+    /// Returns the index of the first set bit at or after `from`, if any.
+    pub fn next_one(&self, from: usize) -> Option<usize> {
+        if from >= self.len {
+            return None;
+        }
+        let mut wi = from / 64;
+        let mut w = self.words[wi] & (u64::MAX << (from % 64));
+        loop {
+            if w != 0 {
+                let idx = wi * 64 + w.trailing_zeros() as usize;
+                return if idx < self.len { Some(idx) } else { None };
+            }
+            wi += 1;
+            if wi >= self.words.len() {
+                return None;
+            }
+            w = self.words[wi];
+        }
+    }
+
+    /// Returns the index of the first clear bit at or after `from`, if any.
+    pub fn next_zero(&self, from: usize) -> Option<usize> {
+        if from >= self.len {
+            return None;
+        }
+        let mut wi = from / 64;
+        let mut w = !self.words[wi] & (u64::MAX << (from % 64));
+        loop {
+            if w != 0 {
+                let idx = wi * 64 + w.trailing_zeros() as usize;
+                return if idx < self.len { Some(idx) } else { None };
+            }
+            wi += 1;
+            if wi >= self.words.len() {
+                return None;
+            }
+            w = !self.words[wi];
+        }
+    }
+
+    /// Sets every bit that is set in `other` (`self |= other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "BitSet capacity mismatch in union");
+        let mut ones = 0;
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+            ones += a.count_ones() as usize;
+        }
+        self.ones = ones;
+    }
+
+    /// Clears every bit that is set in `other` (`self &= !other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn subtract(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "BitSet capacity mismatch in subtract");
+        let mut ones = 0;
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+            ones += a.count_ones() as usize;
+        }
+        self.ones = ones;
+    }
+
+    /// Returns the number of bits set in both `self` and `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn intersection_count(&self, other: &BitSet) -> usize {
+        assert_eq!(self.len, other.len, "BitSet capacity mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(&a, &b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Moves all set bits from `other` into `self`, clearing `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn drain_from(&mut self, other: &mut BitSet) {
+        self.union_with(other);
+        other.clear_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear_roundtrip() {
+        let mut s = BitSet::new(130);
+        assert!(!s.get(0));
+        assert!(s.set(0));
+        assert!(!s.set(0), "setting twice reports already set");
+        assert!(s.set(64));
+        assert!(s.set(129));
+        assert_eq!(s.count_ones(), 3);
+        assert!(s.get(129));
+        assert!(s.clear(64));
+        assert!(!s.clear(64));
+        assert_eq!(s.count_ones(), 2);
+        assert_eq!(s.count_zeros(), 128);
+    }
+
+    #[test]
+    fn all_set_masks_tail() {
+        let s = BitSet::all_set(70);
+        assert_eq!(s.count_ones(), 70);
+        assert_eq!(s.iter_ones().count(), 70);
+    }
+
+    #[test]
+    fn iter_ones_in_order() {
+        let mut s = BitSet::new(200);
+        for i in [3, 64, 65, 130, 199] {
+            s.set(i);
+        }
+        let ones: Vec<usize> = s.iter_ones().collect();
+        assert_eq!(ones, vec![3, 64, 65, 130, 199]);
+    }
+
+    #[test]
+    fn next_one_and_zero_scan() {
+        let mut s = BitSet::new(100);
+        s.set(10);
+        s.set(64);
+        assert_eq!(s.next_one(0), Some(10));
+        assert_eq!(s.next_one(10), Some(10));
+        assert_eq!(s.next_one(11), Some(64));
+        assert_eq!(s.next_one(65), None);
+        assert_eq!(s.next_zero(10), Some(11));
+        let full = BitSet::all_set(66);
+        assert_eq!(full.next_zero(0), None);
+        assert_eq!(full.next_one(66), None);
+    }
+
+    #[test]
+    fn union_and_subtract_track_counts() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        a.set(1);
+        a.set(2);
+        b.set(2);
+        b.set(3);
+        a.union_with(&b);
+        assert_eq!(a.count_ones(), 3);
+        assert_eq!(a.intersection_count(&b), 2);
+        a.subtract(&b);
+        assert_eq!(a.iter_ones().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn drain_from_moves_bits() {
+        let mut a = BitSet::new(10);
+        let mut b = BitSet::new(10);
+        b.set(7);
+        a.drain_from(&mut b);
+        assert!(a.get(7));
+        assert_eq!(b.count_ones(), 0);
+    }
+
+    #[test]
+    fn set_all_then_clear_all() {
+        let mut s = BitSet::new(70);
+        s.set_all();
+        assert_eq!(s.count_ones(), 70);
+        s.clear_all();
+        assert_eq!(s.count_ones(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let s = BitSet::new(10);
+        s.get(10);
+    }
+
+    #[test]
+    fn zero_capacity_behaves() {
+        let s = BitSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.next_one(0), None);
+        assert_eq!(s.iter_ones().count(), 0);
+    }
+}

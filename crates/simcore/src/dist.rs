@@ -1,0 +1,444 @@
+//! Continuous probability distributions.
+//!
+//! The approved offline dependency set includes `rand` but not `rand_distr`,
+//! so the handful of distributions the reproduction needs are implemented
+//! here: exponential, normal, log-normal, Pareto, triangular, empirical
+//! (inverse-CDF over samples), and a four-point *quartile-calibrated*
+//! distribution used to reproduce the latency table (Table 1 of the paper),
+//! which reports only min / median / mean / max per operation.
+
+use crate::rng::SimRng;
+
+/// A continuous distribution over `f64` that can be sampled with a [`SimRng`].
+pub trait ContinuousDist {
+    /// Draws one sample.
+    fn sample(&self, rng: &mut SimRng) -> f64;
+
+    /// Draws `n` samples into a vector.
+    fn sample_n(&self, rng: &mut SimRng, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// The exponential distribution with rate `lambda` (mean `1/lambda`).
+#[derive(Debug, Clone, Copy)]
+pub struct Exponential {
+    lambda: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with the given rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is not finite and positive.
+    pub fn new(lambda: f64) -> Self {
+        assert!(
+            lambda.is_finite() && lambda > 0.0,
+            "Exponential rate must be finite and positive, got {lambda}"
+        );
+        Exponential { lambda }
+    }
+
+    /// Creates an exponential distribution with the given mean.
+    pub fn with_mean(mean: f64) -> Self {
+        Exponential::new(1.0 / mean)
+    }
+
+    /// Returns the distribution mean.
+    pub fn mean(&self) -> f64 {
+        1.0 / self.lambda
+    }
+}
+
+impl ContinuousDist for Exponential {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        -rng.next_open_f64().ln() / self.lambda
+    }
+}
+
+/// The normal (Gaussian) distribution.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution with mean `mu` and standard deviation
+    /// `sigma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or either parameter is non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(mu.is_finite(), "Normal mean must be finite, got {mu}");
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "Normal sigma must be finite and non-negative, got {sigma}"
+        );
+        Normal { mu, sigma }
+    }
+}
+
+impl ContinuousDist for Normal {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        // Marsaglia polar method; statistically equivalent to Box-Muller but
+        // avoids trig calls.
+        loop {
+            let u = 2.0 * rng.next_f64() - 1.0;
+            let v = 2.0 * rng.next_f64() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let factor = (-2.0 * s.ln() / s).sqrt();
+                return self.mu + self.sigma * u * factor;
+            }
+        }
+    }
+}
+
+/// The log-normal distribution: `exp(N(mu, sigma))`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    normal: Normal,
+}
+
+impl LogNormal {
+    /// Creates a log-normal with log-space parameters `mu` and `sigma`.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        LogNormal {
+            normal: Normal::new(mu, sigma),
+        }
+    }
+
+    /// Creates a log-normal with a target *linear-space* median and a
+    /// log-space sigma (a convenient parameterization for latency models:
+    /// the median is the headline number, sigma the spread).
+    pub fn with_median(median: f64, sigma: f64) -> Self {
+        assert!(
+            median.is_finite() && median > 0.0,
+            "LogNormal median must be positive, got {median}"
+        );
+        LogNormal::new(median.ln(), sigma)
+    }
+}
+
+impl ContinuousDist for LogNormal {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.normal.sample(rng).exp()
+    }
+}
+
+/// The Pareto (power-law) distribution with scale `x_min` and shape `alpha`.
+///
+/// Used for heavy-tailed spot-price spike magnitudes: the paper observes
+/// hourly price jumps spanning four orders of magnitude (Figure 6b).
+#[derive(Debug, Clone, Copy)]
+pub struct Pareto {
+    x_min: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x_min` or `alpha` is not finite and positive.
+    pub fn new(x_min: f64, alpha: f64) -> Self {
+        assert!(
+            x_min.is_finite() && x_min > 0.0,
+            "Pareto scale must be positive, got {x_min}"
+        );
+        assert!(
+            alpha.is_finite() && alpha > 0.0,
+            "Pareto shape must be positive, got {alpha}"
+        );
+        Pareto { x_min, alpha }
+    }
+}
+
+impl ContinuousDist for Pareto {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.x_min / rng.next_open_f64().powf(1.0 / self.alpha)
+    }
+}
+
+/// The triangular distribution on `[lo, hi]` with mode `mode`.
+#[derive(Debug, Clone, Copy)]
+pub struct Triangular {
+    lo: f64,
+    mode: f64,
+    hi: f64,
+}
+
+impl Triangular {
+    /// Creates a triangular distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lo <= mode <= hi` and `lo < hi`.
+    pub fn new(lo: f64, mode: f64, hi: f64) -> Self {
+        assert!(
+            lo < hi && (lo..=hi).contains(&mode),
+            "Triangular requires lo < hi and lo <= mode <= hi, got ({lo}, {mode}, {hi})"
+        );
+        Triangular { lo, mode, hi }
+    }
+}
+
+impl ContinuousDist for Triangular {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        let u = rng.next_f64();
+        let fc = (self.mode - self.lo) / (self.hi - self.lo);
+        if u < fc {
+            self.lo + ((self.hi - self.lo) * (self.mode - self.lo) * u).sqrt()
+        } else {
+            self.hi - ((self.hi - self.lo) * (self.hi - self.mode) * (1.0 - u)).sqrt()
+        }
+    }
+}
+
+/// An empirical distribution: inverse-CDF sampling over observed values.
+#[derive(Debug, Clone)]
+pub struct Empirical {
+    sorted: Vec<f64>,
+}
+
+impl Empirical {
+    /// Creates an empirical distribution from observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or contains non-finite entries.
+    pub fn new(mut values: Vec<f64>) -> Self {
+        assert!(!values.is_empty(), "Empirical requires at least one value");
+        assert!(
+            values.iter().all(|v| v.is_finite()),
+            "Empirical values must be finite"
+        );
+        values.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        Empirical { sorted: values }
+    }
+}
+
+impl ContinuousDist for Empirical {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        // Linear interpolation between order statistics.
+        let n = self.sorted.len();
+        if n == 1 {
+            return self.sorted[0];
+        }
+        let pos = rng.next_f64() * (n - 1) as f64;
+        let i = pos.floor() as usize;
+        let frac = pos - i as f64;
+        if i + 1 >= n {
+            self.sorted[n - 1]
+        } else {
+            self.sorted[i] * (1.0 - frac) + self.sorted[i + 1] * frac
+        }
+    }
+}
+
+/// A four-point distribution calibrated to a reported *(min, median, mean,
+/// max)* tuple.
+///
+/// The paper's Table 1 characterizes each EC2 control-plane operation by
+/// exactly these four statistics over 20 measurements. This distribution has
+/// a piecewise inverse CDF: linear from `(0, min)` to `(0.5, median)`, and a
+/// power-warped segment from `(0.5, median)` to `(1, max)` whose exponent
+/// `gamma` is solved so the overall mean matches the reported mean. Sampling
+/// therefore reproduces all four reported statistics (min/max exactly in the
+/// limit, median exactly, mean in expectation).
+#[derive(Debug, Clone, Copy)]
+pub struct QuartileCalibrated {
+    min: f64,
+    median: f64,
+    max: f64,
+    gamma: f64,
+}
+
+impl QuartileCalibrated {
+    /// Smallest admissible warp exponent (guards against degenerate means).
+    const GAMMA_MIN: f64 = 0.05;
+    /// Largest admissible warp exponent.
+    const GAMMA_MAX: f64 = 64.0;
+
+    /// Calibrates the distribution to the reported statistics.
+    ///
+    /// The reported mean is matched when it is achievable given the other
+    /// three statistics; otherwise `gamma` is clamped and the mean lands as
+    /// close as the family allows.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `min <= median <= max` and `min < max`.
+    pub fn new(min: f64, median: f64, mean: f64, max: f64) -> Self {
+        assert!(
+            min <= median && median <= max && min < max,
+            "QuartileCalibrated requires min <= median <= max and min < max, \
+             got ({min}, {median}, {mean}, {max})"
+        );
+        // Mean of the lower (linear) half contributes 0.5 * (min+median)/2.
+        // The upper half contributes 0.5 * (median + (max-median)/(gamma+1)).
+        // Solve mean = 0.25*(min+median) + 0.5*median + 0.5*(max-median)/(g+1).
+        let target_upper = 2.0 * (mean - 0.25 * (min + median) - 0.5 * median);
+        let gamma = if target_upper > 0.0 {
+            ((max - median) / target_upper - 1.0).clamp(Self::GAMMA_MIN, Self::GAMMA_MAX)
+        } else {
+            Self::GAMMA_MAX
+        };
+        QuartileCalibrated {
+            min,
+            median,
+            max,
+            gamma,
+        }
+    }
+
+    /// Returns the mean this calibration actually realizes.
+    pub fn realized_mean(&self) -> f64 {
+        0.25 * (self.min + self.median)
+            + 0.5 * self.median
+            + 0.5 * (self.max - self.median) / (self.gamma + 1.0)
+    }
+}
+
+impl ContinuousDist for QuartileCalibrated {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        let u = rng.next_f64();
+        if u < 0.5 {
+            self.min + (self.median - self.min) * (u / 0.5)
+        } else {
+            let v = (u - 0.5) / 0.5;
+            self.median + (self.max - self.median) * v.powf(self.gamma)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_of(d: &impl ContinuousDist, seed: u64, n: usize) -> f64 {
+        let mut rng = SimRng::seed(seed);
+        d.sample_n(&mut rng, n).iter().sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let d = Exponential::with_mean(4.0);
+        let m = mean_of(&d, 1, 200_000);
+        assert!((m - 4.0).abs() < 0.05, "mean={m}");
+        assert!((d.mean() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_is_positive() {
+        let d = Exponential::new(2.0);
+        let mut rng = SimRng::seed(2);
+        assert!(d.sample_n(&mut rng, 10_000).iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn normal_moments_match() {
+        let d = Normal::new(10.0, 3.0);
+        let mut rng = SimRng::seed(3);
+        let xs = d.sample_n(&mut rng, 200_000);
+        let m = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((m - 10.0).abs() < 0.05, "mean={m}");
+        assert!((var.sqrt() - 3.0).abs() < 0.05, "sd={}", var.sqrt());
+    }
+
+    #[test]
+    fn lognormal_median_matches() {
+        let d = LogNormal::with_median(50.0, 0.5);
+        let mut rng = SimRng::seed(4);
+        let mut xs = d.sample_n(&mut rng, 100_001);
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[xs.len() / 2];
+        assert!((median - 50.0).abs() / 50.0 < 0.03, "median={median}");
+    }
+
+    #[test]
+    fn pareto_respects_scale_and_tail() {
+        let d = Pareto::new(2.0, 1.5);
+        let mut rng = SimRng::seed(5);
+        let xs = d.sample_n(&mut rng, 50_000);
+        assert!(xs.iter().all(|&x| x >= 2.0));
+        // A heavy tail: some samples should exceed 10x the scale.
+        assert!(xs.iter().any(|&x| x > 20.0));
+    }
+
+    #[test]
+    fn triangular_stays_in_support_and_centers() {
+        let d = Triangular::new(1.0, 3.0, 5.0);
+        let mut rng = SimRng::seed(6);
+        let xs = d.sample_n(&mut rng, 100_000);
+        assert!(xs.iter().all(|&x| (1.0..=5.0).contains(&x)));
+        let m = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((m - 3.0).abs() < 0.02, "mean={m}");
+    }
+
+    #[test]
+    fn empirical_interpolates_between_observations() {
+        let d = Empirical::new(vec![3.0, 1.0, 2.0]);
+        let mut rng = SimRng::seed(7);
+        let xs = d.sample_n(&mut rng, 10_000);
+        assert!(xs.iter().all(|&x| (1.0..=3.0).contains(&x)));
+    }
+
+    #[test]
+    fn empirical_single_value_is_constant() {
+        let d = Empirical::new(vec![42.0]);
+        let mut rng = SimRng::seed(8);
+        assert!(d.sample_n(&mut rng, 100).iter().all(|&x| x == 42.0));
+    }
+
+    /// Calibration against the paper's Table 1 rows: the sampled statistics
+    /// must land near the published min/median/mean/max.
+    #[test]
+    fn quartile_calibrated_reproduces_table1_rows() {
+        // (label, min, median, mean, max) from Table 1 of the paper.
+        let rows = [
+            ("start-spot", 100.0, 227.0, 224.0, 409.0),
+            ("start-ondemand", 47.0, 61.0, 62.0, 86.0),
+            ("terminate", 133.0, 135.0, 136.0, 147.0),
+            ("detach-ebs", 9.6, 10.3, 10.3, 11.3),
+            ("attach-ebs", 4.4, 5.0, 5.1, 9.3),
+            ("attach-nic", 1.0, 3.0, 3.75, 14.0),
+            ("detach-nic", 1.0, 2.0, 3.5, 12.0),
+        ];
+        for (i, (label, min, median, mean, max)) in rows.iter().enumerate() {
+            let d = QuartileCalibrated::new(*min, *median, *mean, *max);
+            let mut rng = SimRng::seed(100 + i as u64);
+            let mut xs = d.sample_n(&mut rng, 200_001);
+            let m = xs.iter().sum::<f64>() / xs.len() as f64;
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let med = xs[xs.len() / 2];
+            assert!(
+                (m - mean).abs() / mean < 0.02,
+                "{label}: sampled mean {m} vs reported {mean}"
+            );
+            assert!(
+                (med - median).abs() / median < 0.02,
+                "{label}: sampled median {med} vs reported {median}"
+            );
+            assert!(xs[0] >= *min && xs[xs.len() - 1] <= *max, "{label}: support");
+        }
+    }
+
+    #[test]
+    fn quartile_calibrated_realized_mean_is_consistent() {
+        let d = QuartileCalibrated::new(100.0, 227.0, 224.0, 409.0);
+        let m = mean_of(&d, 9, 300_000);
+        assert!((m - d.realized_mean()).abs() < 0.5, "{m} vs {}", d.realized_mean());
+    }
+
+    #[test]
+    #[should_panic(expected = "QuartileCalibrated requires")]
+    fn quartile_calibrated_rejects_inverted_stats() {
+        let _ = QuartileCalibrated::new(10.0, 5.0, 7.0, 20.0);
+    }
+}

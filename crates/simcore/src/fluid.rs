@@ -1,0 +1,688 @@
+//! Fluid (flow-level) bandwidth model.
+//!
+//! Checkpoint streams, migration transfers, and restore reads are modeled as
+//! *flows* traversing capacity-limited *links* (a host NIC, the backup
+//! server's NIC, its disk). Rates are allocated by **max-min fairness with
+//! per-flow rate caps**, computed by the classic progressive-filling
+//! algorithm. A [`FluidSim`] advances the flow set through time, returning
+//! exact completion instants (piecewise-constant rates integrate exactly).
+//!
+//! This is the substrate on which the paper's Figures 7-9 phenomena emerge:
+//! VM-to-backup checkpoint streams saturating the backup NIC past ~35 VMs,
+//! and concurrent lazy restores contending on the backup's disk read path.
+
+use std::collections::HashMap;
+
+use crate::time::{SimDuration, SimTime, MICROS_PER_SEC};
+
+/// Identifies a link within a [`Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId(pub usize);
+
+/// Identifies a flow within a [`FluidSim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(pub u64);
+
+/// A capacity-limited resource (NIC, disk channel, ...).
+#[derive(Debug, Clone)]
+pub struct Link {
+    /// Capacity in bytes per second.
+    pub capacity_bps: f64,
+}
+
+/// A topology of links.
+#[derive(Debug, Clone, Default)]
+pub struct Network {
+    links: Vec<Link>,
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Network::default()
+    }
+
+    /// Adds a link with the given capacity in bytes/second and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is not finite and positive.
+    pub fn add_link(&mut self, capacity_bps: f64) -> LinkId {
+        assert!(
+            capacity_bps.is_finite() && capacity_bps > 0.0,
+            "link capacity must be finite and positive, got {capacity_bps}"
+        );
+        self.links.push(Link { capacity_bps });
+        LinkId(self.links.len() - 1)
+    }
+
+    /// Returns the capacity of `link` in bytes/second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is unknown.
+    pub fn capacity(&self, link: LinkId) -> f64 {
+        self.links[link.0].capacity_bps
+    }
+
+    /// Updates the capacity of `link`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is unknown or the capacity is not finite and
+    /// positive.
+    pub fn set_capacity(&mut self, link: LinkId, capacity_bps: f64) {
+        assert!(
+            capacity_bps.is_finite() && capacity_bps > 0.0,
+            "link capacity must be finite and positive, got {capacity_bps}"
+        );
+        self.links[link.0].capacity_bps = capacity_bps;
+    }
+
+    /// Returns the number of links.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Returns true if the network has no links.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+}
+
+/// A flow demand: a route through links plus an optional per-flow rate cap.
+#[derive(Debug, Clone)]
+pub struct FlowSpec {
+    /// Links the flow traverses (a flow is limited by every link on its
+    /// route).
+    pub route: Vec<LinkId>,
+    /// Bytes remaining to transfer. Use `f64::INFINITY` for an open-ended
+    /// stream (e.g. a continuous checkpoint stream whose demand is governed
+    /// externally).
+    pub remaining_bytes: f64,
+    /// Optional per-flow rate cap in bytes/second (e.g. `tc` throttling on
+    /// the backup server).
+    pub rate_cap_bps: Option<f64>,
+    /// Relative weight for the fair share (default 1.0).
+    pub weight: f64,
+}
+
+impl FlowSpec {
+    /// Creates a flow of `bytes` over `route` with weight 1 and no cap.
+    pub fn new(route: Vec<LinkId>, bytes: f64) -> Self {
+        FlowSpec {
+            route,
+            remaining_bytes: bytes,
+            rate_cap_bps: None,
+            weight: 1.0,
+        }
+    }
+
+    /// Sets a per-flow rate cap in bytes/second.
+    pub fn with_cap(mut self, cap_bps: f64) -> Self {
+        self.rate_cap_bps = Some(cap_bps);
+        self
+    }
+
+    /// Sets the fair-share weight.
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "flow weight must be positive, got {weight}"
+        );
+        self.weight = weight;
+        self
+    }
+}
+
+#[derive(Debug, Clone)]
+struct FlowState {
+    spec: FlowSpec,
+    rate_bps: f64,
+}
+
+/// Computes weighted max-min fair rates for `flows` over `network` by
+/// progressive filling.
+///
+/// Returns one rate per input flow, in input order. Flows with empty routes
+/// are limited only by their cap (infinite if uncapped).
+pub fn max_min_rates(network: &Network, flows: &[FlowSpec]) -> Vec<f64> {
+    let n = flows.len();
+    let mut rates = vec![0.0f64; n];
+    if n == 0 {
+        return rates;
+    }
+    let mut frozen = vec![false; n];
+    let mut remaining_cap: Vec<f64> = network.links.iter().map(|l| l.capacity_bps).collect();
+
+    // Freeze route-less flows at their cap immediately (they consume no
+    // shared capacity).
+    for (i, f) in flows.iter().enumerate() {
+        if f.route.is_empty() {
+            rates[i] = f.rate_cap_bps.unwrap_or(f64::INFINITY);
+            frozen[i] = true;
+        }
+    }
+
+    loop {
+        // Active weight per link.
+        let mut link_weight: HashMap<usize, f64> = HashMap::new();
+        let mut any_active = false;
+        for (i, f) in flows.iter().enumerate() {
+            if frozen[i] {
+                continue;
+            }
+            any_active = true;
+            for l in &f.route {
+                *link_weight.entry(l.0).or_insert(0.0) += f.weight;
+            }
+        }
+        if !any_active {
+            break;
+        }
+
+        // The per-unit-weight fair increment each link supports.
+        // The flow-level share is then weight * min over its route; a capped
+        // flow may freeze earlier at its cap.
+        let mut best: Option<(f64, Freeze)> = None;
+        for (i, f) in flows.iter().enumerate() {
+            if frozen[i] {
+                continue;
+            }
+            let route_unit = f
+                .route
+                .iter()
+                .map(|l| remaining_cap[l.0] / link_weight[&l.0])
+                .fold(f64::INFINITY, f64::min);
+            let fair_rate = f.weight * route_unit;
+            let (candidate_rate, how) = match f.rate_cap_bps {
+                Some(cap) if cap < fair_rate => (cap, Freeze::ByCap(i)),
+                _ => (fair_rate, Freeze::ByLink),
+            };
+            // Track the smallest *unit* increment across flows: for
+            // link-limited flows that is candidate_rate / weight; for
+            // cap-limited flows, cap / weight.
+            let unit = candidate_rate / f.weight;
+            if best.as_ref().map_or(true, |(u, _)| unit < *u) {
+                best = Some((unit, how));
+            }
+        }
+        let (unit, how) = best.expect("at least one active flow");
+
+        match how {
+            Freeze::ByCap(i) => {
+                // Freeze exactly the cap-limited flow at its cap, charge its
+                // route, and continue filling the rest.
+                let cap = flows[i].rate_cap_bps.expect("cap-limited flow has cap");
+                rates[i] = cap;
+                frozen[i] = true;
+                for l in &flows[i].route {
+                    remaining_cap[l.0] = (remaining_cap[l.0] - cap).max(0.0);
+                }
+            }
+            Freeze::ByLink => {
+                // Give every active flow `weight * unit` and freeze those on a
+                // now-saturated link.
+                let mut usage: HashMap<usize, f64> = HashMap::new();
+                for (i, f) in flows.iter().enumerate() {
+                    if frozen[i] {
+                        continue;
+                    }
+                    let r = f.weight * unit;
+                    rates[i] = r;
+                    for l in &f.route {
+                        *usage.entry(l.0).or_insert(0.0) += r;
+                    }
+                }
+                // Identify saturated links.
+                let mut saturated: Vec<usize> = Vec::new();
+                for (&l, &u) in &usage {
+                    if u >= remaining_cap[l] * (1.0 - 1e-9) {
+                        saturated.push(l);
+                    }
+                }
+                // Freeze flows crossing a saturated link; charge their usage.
+                for (i, f) in flows.iter().enumerate() {
+                    if frozen[i] {
+                        continue;
+                    }
+                    if f.route.iter().any(|l| saturated.contains(&l.0)) {
+                        frozen[i] = true;
+                        for l in &f.route {
+                            remaining_cap[l.0] = (remaining_cap[l.0] - rates[i]).max(0.0);
+                        }
+                    }
+                }
+                // Degenerate numeric case: nothing froze -> freeze everything
+                // at the current fair rate to guarantee termination.
+                if saturated.is_empty() {
+                    for (i, f) in flows.iter().enumerate() {
+                        if frozen[i] {
+                            continue;
+                        }
+                        frozen[i] = true;
+                        for l in &f.route {
+                            remaining_cap[l.0] = (remaining_cap[l.0] - rates[i]).max(0.0);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    rates
+}
+
+enum Freeze {
+    ByCap(usize),
+    ByLink,
+}
+
+/// Outcome of advancing a [`FluidSim`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Advance {
+    /// The instant the simulation advanced to.
+    pub now: SimTime,
+    /// Flows that completed during this advance, in completion order.
+    pub completed: Vec<FlowId>,
+}
+
+/// A flow-level simulator: tracks a mutable set of flows, allocates max-min
+/// fair rates, and advances time to flow completions.
+pub struct FluidSim {
+    network: Network,
+    flows: HashMap<FlowId, FlowState>,
+    order: Vec<FlowId>,
+    next_id: u64,
+    now: SimTime,
+    rates_valid: bool,
+}
+
+impl FluidSim {
+    /// Creates a simulator over `network` starting at time zero.
+    pub fn new(network: Network) -> Self {
+        FluidSim {
+            network,
+            flows: HashMap::new(),
+            order: Vec::new(),
+            next_id: 0,
+            now: SimTime::ZERO,
+            rates_valid: false,
+        }
+    }
+
+    /// Returns the current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Returns the underlying network (to adjust capacities).
+    pub fn network_mut(&mut self) -> &mut Network {
+        self.rates_valid = false;
+        &mut self.network
+    }
+
+    /// Adds a flow and returns its id.
+    pub fn add_flow(&mut self, spec: FlowSpec) -> FlowId {
+        let id = FlowId(self.next_id);
+        self.next_id += 1;
+        self.flows.insert(
+            id,
+            FlowState {
+                spec,
+                rate_bps: 0.0,
+            },
+        );
+        self.order.push(id);
+        self.rates_valid = false;
+        id
+    }
+
+    /// Removes a flow before completion (e.g. a migration aborted); returns
+    /// the bytes it still had outstanding, or `None` if unknown.
+    pub fn remove_flow(&mut self, id: FlowId) -> Option<f64> {
+        let st = self.flows.remove(&id)?;
+        self.order.retain(|&f| f != id);
+        self.rates_valid = false;
+        Some(st.spec.remaining_bytes)
+    }
+
+    /// Returns the remaining bytes of a flow, if it exists.
+    pub fn remaining(&self, id: FlowId) -> Option<f64> {
+        self.flows.get(&id).map(|s| s.spec.remaining_bytes)
+    }
+
+    /// Returns the current allocated rate of a flow in bytes/second, if it
+    /// exists. Rates are only meaningful after an [`FluidSim::advance`] or
+    /// [`FluidSim::recompute_rates`].
+    pub fn rate(&self, id: FlowId) -> Option<f64> {
+        self.flows.get(&id).map(|s| s.rate_bps)
+    }
+
+    /// Returns the number of active flows.
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Recomputes max-min fair rates for the current flow set.
+    pub fn recompute_rates(&mut self) {
+        let specs: Vec<FlowSpec> = self
+            .order
+            .iter()
+            .map(|id| self.flows[id].spec.clone())
+            .collect();
+        let rates = max_min_rates(&self.network, &specs);
+        for (id, rate) in self.order.iter().zip(rates) {
+            self.flows
+                .get_mut(id)
+                .expect("ordered flow exists")
+                .rate_bps = rate;
+        }
+        self.rates_valid = true;
+    }
+
+    /// Returns the duration until the next flow completes at current rates,
+    /// or `None` if no finite-size flow is progressing.
+    pub fn time_to_next_completion(&mut self) -> Option<SimDuration> {
+        if !self.rates_valid {
+            self.recompute_rates();
+        }
+        let mut best: Option<f64> = None;
+        for st in self.flows.values() {
+            if st.spec.remaining_bytes.is_finite() && st.rate_bps > 0.0 {
+                let t = st.spec.remaining_bytes / st.rate_bps;
+                if best.map_or(true, |b| t < b) {
+                    best = Some(t);
+                }
+            }
+        }
+        // Round *up* to the microsecond grid (minimum one microsecond):
+        // rounding down could return a zero step while bytes remain, and a
+        // zero step makes no progress.
+        best.map(|t| {
+            let micros = (t * MICROS_PER_SEC as f64).ceil();
+            if micros >= u64::MAX as f64 {
+                SimDuration::MAX
+            } else {
+                SimDuration::from_micros((micros as u64).max(1))
+            }
+        })
+    }
+
+    /// Advances time by exactly `dt`, transferring bytes at current fair
+    /// rates, completing flows that finish within `dt`.
+    ///
+    /// Rates are recomputed each time a flow completes, so the advance is
+    /// exact (piecewise-constant rate integration).
+    pub fn advance(&mut self, dt: SimDuration) -> Advance {
+        let target = self.now + dt;
+        let mut completed = Vec::new();
+        loop {
+            if !self.rates_valid {
+                self.recompute_rates();
+            }
+            let remaining = target.since(self.now);
+            if remaining.is_zero() {
+                break;
+            }
+            let next = self.time_to_next_completion();
+            let step = match next {
+                Some(t) if t <= remaining => t,
+                _ => remaining,
+            };
+            // A zero-length completion step still completes flows below.
+            self.transfer_for(step);
+            self.now += step;
+            // Harvest completions: a flow whose residue cannot sustain even
+            // one microsecond of transfer at its current rate is done (the
+            // epsilon absorbs the microsecond-grid rounding above).
+            let mut done: Vec<FlowId> = self
+                .order
+                .iter()
+                .copied()
+                .filter(|id| {
+                    let st = &self.flows[id];
+                    let eps = (st.rate_bps * 1e-6).max(1e-6);
+                    st.spec.remaining_bytes.is_finite() && st.spec.remaining_bytes <= eps
+                })
+                .collect();
+            if !done.is_empty() {
+                for id in &done {
+                    self.flows.remove(id);
+                    self.order.retain(|f| f != id);
+                }
+                completed.append(&mut done);
+                self.rates_valid = false;
+            } else if step == remaining {
+                break;
+            } else if step.is_zero() {
+                // No completion and no progress possible: avoid spinning.
+                break;
+            }
+        }
+        Advance {
+            now: self.now,
+            completed,
+        }
+    }
+
+    /// Runs until all finite flows complete or `horizon` is reached.
+    pub fn run_until_drained(&mut self, horizon: SimTime) -> Advance {
+        let dt = horizon.saturating_since(self.now);
+        self.advance(dt)
+    }
+
+    /// Advances until every finite flow completes (infinite streams keep
+    /// flowing), returning each completion with its instant, in order.
+    ///
+    /// Returns immediately if no finite flow is making progress.
+    pub fn drain_completions(&mut self) -> Vec<(SimTime, FlowId)> {
+        let mut out = Vec::new();
+        // Each iteration completes at least one flow (the step is rounded
+        // up to cover the residue); the guard is a defensive backstop.
+        let mut guard = self.flows.len() * 2 + 16;
+        while let Some(dt) = self.time_to_next_completion() {
+            let adv = self.advance(dt);
+            for id in adv.completed {
+                out.push((adv.now, id));
+            }
+            guard -= 1;
+            if guard == 0 {
+                break;
+            }
+        }
+        out
+    }
+
+    fn transfer_for(&mut self, dt: SimDuration) {
+        let secs = dt.as_secs_f64();
+        for st in self.flows.values_mut() {
+            if st.spec.remaining_bytes.is_finite() {
+                st.spec.remaining_bytes =
+                    (st.spec.remaining_bytes - st.rate_bps * secs).max(0.0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: f64 = 1e6;
+
+    #[test]
+    fn single_flow_gets_full_capacity() {
+        let mut net = Network::new();
+        let l = net.add_link(100.0 * MB);
+        let rates = max_min_rates(&net, &[FlowSpec::new(vec![l], 1.0 * MB)]);
+        assert!((rates[0] - 100.0 * MB).abs() < 1.0);
+    }
+
+    #[test]
+    fn equal_flows_share_equally() {
+        let mut net = Network::new();
+        let l = net.add_link(90.0 * MB);
+        let flows: Vec<FlowSpec> = (0..3).map(|_| FlowSpec::new(vec![l], MB)).collect();
+        let rates = max_min_rates(&net, &flows);
+        for r in rates {
+            assert!((r - 30.0 * MB).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn cap_limited_flow_frees_capacity_for_others() {
+        let mut net = Network::new();
+        let l = net.add_link(100.0 * MB);
+        let flows = vec![
+            FlowSpec::new(vec![l], MB).with_cap(10.0 * MB),
+            FlowSpec::new(vec![l], MB),
+        ];
+        let rates = max_min_rates(&net, &flows);
+        assert!((rates[0] - 10.0 * MB).abs() < 1.0);
+        assert!((rates[1] - 90.0 * MB).abs() < 1.0);
+    }
+
+    #[test]
+    fn weights_bias_shares() {
+        let mut net = Network::new();
+        let l = net.add_link(90.0 * MB);
+        let flows = vec![
+            FlowSpec::new(vec![l], MB).with_weight(2.0),
+            FlowSpec::new(vec![l], MB).with_weight(1.0),
+        ];
+        let rates = max_min_rates(&net, &flows);
+        assert!((rates[0] - 60.0 * MB).abs() < 1.0);
+        assert!((rates[1] - 30.0 * MB).abs() < 1.0);
+    }
+
+    #[test]
+    fn multi_link_bottleneck_is_respected() {
+        // Flow A crosses fast+slow; flow B crosses fast only. A is limited
+        // by slow; B then takes the rest of fast.
+        let mut net = Network::new();
+        let fast = net.add_link(100.0 * MB);
+        let slow = net.add_link(20.0 * MB);
+        let flows = vec![
+            FlowSpec::new(vec![fast, slow], MB),
+            FlowSpec::new(vec![fast], MB),
+        ];
+        let rates = max_min_rates(&net, &flows);
+        assert!((rates[0] - 20.0 * MB).abs() < 1.0, "rates={rates:?}");
+        assert!((rates[1] - 80.0 * MB).abs() < 1.0, "rates={rates:?}");
+    }
+
+    #[test]
+    fn routeless_flow_is_cap_only() {
+        let net = Network::new();
+        let rates = max_min_rates(&net, &[FlowSpec::new(vec![], MB).with_cap(5.0 * MB)]);
+        assert_eq!(rates[0], 5.0 * MB);
+    }
+
+    #[test]
+    fn fluid_sim_completes_in_exact_time() {
+        let mut net = Network::new();
+        let l = net.add_link(10.0 * MB);
+        let mut sim = FluidSim::new(net);
+        let f = sim.add_flow(FlowSpec::new(vec![l], 20.0 * MB));
+        let adv = sim.advance(SimDuration::from_secs(5));
+        assert_eq!(adv.completed, vec![f]);
+        // 20 MB at 10 MB/s -> completes at t=2s; sim then idles to 5s.
+        assert_eq!(adv.now, SimTime::from_secs(5));
+        assert_eq!(sim.active_flows(), 0);
+    }
+
+    #[test]
+    fn fluid_sim_rate_reallocation_after_completion() {
+        // Two equal flows: the first finishes, the second then doubles its
+        // rate. 10 MB each at 10 MB/s total: both run at 5 MB/s; after 2s,
+        // both have transferred 10... actually both complete at the same
+        // time. Use unequal sizes instead.
+        let mut net = Network::new();
+        let l = net.add_link(10.0 * MB);
+        let mut sim = FluidSim::new(net);
+        let small = sim.add_flow(FlowSpec::new(vec![l], 5.0 * MB));
+        let big = sim.add_flow(FlowSpec::new(vec![l], 15.0 * MB));
+        // Phase 1: both at 5 MB/s. small done at t=1s. big has 10 MB left.
+        // Phase 2: big at 10 MB/s, done at t=2s.
+        let adv = sim.advance(SimDuration::from_secs(10));
+        assert_eq!(adv.completed, vec![small, big]);
+        assert_eq!(sim.now(), SimTime::from_secs(10));
+        // Verify the completion happened at t=2s by re-running with a 2s
+        // horizon.
+        let mut net = Network::new();
+        let l = net.add_link(10.0 * MB);
+        let mut sim = FluidSim::new(net);
+        sim.add_flow(FlowSpec::new(vec![l], 5.0 * MB));
+        let big = sim.add_flow(FlowSpec::new(vec![l], 15.0 * MB));
+        let adv = sim.advance(SimDuration::from_secs(2));
+        assert!(adv.completed.contains(&big));
+    }
+
+    #[test]
+    fn infinite_stream_consumes_share_but_never_completes() {
+        let mut net = Network::new();
+        let l = net.add_link(10.0 * MB);
+        let mut sim = FluidSim::new(net);
+        let stream = sim.add_flow(FlowSpec::new(vec![l], f64::INFINITY));
+        let finite = sim.add_flow(FlowSpec::new(vec![l], 5.0 * MB));
+        // Finite flow gets 5 MB/s -> completes at t=1s.
+        let adv = sim.advance(SimDuration::from_secs(1));
+        assert_eq!(adv.completed, vec![finite]);
+        assert_eq!(sim.active_flows(), 1);
+        assert!(sim.remaining(stream).unwrap().is_infinite());
+        // Stream now gets the whole link.
+        sim.recompute_rates();
+        assert!((sim.rate(stream).unwrap() - 10.0 * MB).abs() < 1.0);
+    }
+
+    #[test]
+    fn remove_flow_returns_outstanding_bytes() {
+        let mut net = Network::new();
+        let l = net.add_link(10.0 * MB);
+        let mut sim = FluidSim::new(net);
+        let f = sim.add_flow(FlowSpec::new(vec![l], 10.0 * MB));
+        sim.advance(SimDuration::from_millis(500));
+        let left = sim.remove_flow(f).unwrap();
+        assert!((left - 5.0 * MB).abs() < 1.0, "left={left}");
+        assert_eq!(sim.remove_flow(f), None);
+    }
+
+    #[test]
+    fn backup_nic_saturation_shape() {
+        // The Figure-7 phenomenon in miniature: per-VM checkpoint streams
+        // capped at 3.2 MB/s over a 125 MB/s backup NIC. Up to 39 VMs each
+        // stream runs at its cap; at 50 VMs the fair share drops below cap.
+        for (vms, expect_capped) in [(10usize, true), (39, true), (50, false)] {
+            let mut net = Network::new();
+            let nic = net.add_link(125.0 * MB);
+            let flows: Vec<FlowSpec> = (0..vms)
+                .map(|_| FlowSpec::new(vec![nic], f64::INFINITY).with_cap(3.2 * MB))
+                .collect();
+            let rates = max_min_rates(&net, &flows);
+            let per_vm = rates[0];
+            if expect_capped {
+                assert!(
+                    (per_vm - 3.2 * MB).abs() < 1.0,
+                    "{vms} VMs: expected capped rate, got {per_vm}"
+                );
+            } else {
+                assert!(
+                    per_vm < 3.2 * MB,
+                    "{vms} VMs: expected saturated rate below cap, got {per_vm}"
+                );
+                assert!((per_vm - 125.0 * MB / vms as f64).abs() < 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn advance_zero_duration_is_noop() {
+        let mut net = Network::new();
+        let l = net.add_link(MB);
+        let mut sim = FluidSim::new(net);
+        sim.add_flow(FlowSpec::new(vec![l], MB));
+        let adv = sim.advance(SimDuration::ZERO);
+        assert!(adv.completed.is_empty());
+        assert_eq!(adv.now, SimTime::ZERO);
+    }
+}

@@ -1,0 +1,44 @@
+//! # spotcheck-simcore
+//!
+//! Deterministic discrete-event simulation core for the SpotCheck
+//! reproduction (EuroSys 2015).
+//!
+//! Everything in this crate is domain-agnostic infrastructure:
+//!
+//! - [`time`] — integer-microsecond simulated time ([`time::SimTime`],
+//!   [`time::SimDuration`]).
+//! - [`queue`] — a deterministic (FIFO-on-ties) event queue.
+//! - [`engine`] — the [`engine::World`] trait and [`engine::Simulation`]
+//!   driver.
+//! - [`rng`] — seedable, forkable xoshiro256** RNG ([`rng::SimRng`]).
+//! - [`dist`] — the continuous distributions the models need, including the
+//!   [`dist::QuartileCalibrated`] family matched to the paper's Table 1.
+//! - [`stats`] — sample summaries, ECDFs, Pearson correlation,
+//!   time-weighted accumulators.
+//! - [`bitset`] — page-tracking bit sets.
+//! - [`fluid`] — flow-level max-min fair bandwidth sharing (the substrate
+//!   for checkpoint/migration/restore transfer modeling).
+//! - [`series`] — piecewise-constant time series (spot-price traces).
+//!
+//! Determinism contract: given the same seeds and inputs, every simulation
+//! built on this crate replays bit-for-bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitset;
+pub mod dist;
+pub mod engine;
+pub mod fluid;
+pub mod queue;
+pub mod rng;
+pub mod series;
+pub mod stats;
+pub mod time;
+
+pub use bitset::BitSet;
+pub use engine::{Scheduler, Simulation, StopReason, World};
+pub use queue::EventQueue;
+pub use rng::SimRng;
+pub use series::StepSeries;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,306 @@
+//! Piecewise-constant time series.
+//!
+//! Spot prices are right-continuous step functions: the price set at instant
+//! `t` holds until the next change. [`StepSeries`] stores such a series and
+//! supports point queries, window statistics, and change iteration — the
+//! primitives the market statistics (Figure 6) and the billing model need.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A right-continuous piecewise-constant series of `f64` over simulated time.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StepSeries {
+    /// Change points: strictly increasing times with the value from that
+    /// instant onward.
+    points: Vec<(SimTime, f64)>,
+}
+
+impl StepSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        StepSeries { points: Vec::new() }
+    }
+
+    /// Creates a series from change points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if times are not strictly increasing or any value is
+    /// non-finite.
+    pub fn from_points(points: Vec<(SimTime, f64)>) -> Self {
+        for w in points.windows(2) {
+            assert!(
+                w[0].0 < w[1].0,
+                "StepSeries change points must be strictly increasing"
+            );
+        }
+        assert!(
+            points.iter().all(|(_, v)| v.is_finite()),
+            "StepSeries values must be finite"
+        );
+        StepSeries { points }
+    }
+
+    /// Appends a change point at `t` with value `v`.
+    ///
+    /// Appending at the same instant as the last point overwrites it
+    /// (last-writer-wins within an instant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes the last change point or `v` is non-finite.
+    pub fn push(&mut self, t: SimTime, v: f64) {
+        assert!(v.is_finite(), "StepSeries::push: non-finite value {v}");
+        match self.points.last_mut() {
+            Some((last_t, last_v)) if *last_t == t => *last_v = v,
+            Some((last_t, _)) => {
+                assert!(
+                    *last_t < t,
+                    "StepSeries::push: time {t} precedes last point {last_t}"
+                );
+                self.points.push((t, v));
+            }
+            None => self.points.push((t, v)),
+        }
+    }
+
+    /// Returns the number of change points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns true if the series has no change points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Returns the change points.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Returns the value at instant `t`, or `None` if `t` precedes the first
+    /// change point (or the series is empty).
+    pub fn value_at(&self, t: SimTime) -> Option<f64> {
+        let idx = self.points.partition_point(|(pt, _)| *pt <= t);
+        if idx == 0 {
+            None
+        } else {
+            Some(self.points[idx - 1].1)
+        }
+    }
+
+    /// Returns the first change strictly after `t`, if any.
+    pub fn next_change_after(&self, t: SimTime) -> Option<(SimTime, f64)> {
+        let idx = self.points.partition_point(|(pt, _)| *pt <= t);
+        self.points.get(idx).copied()
+    }
+
+    /// Returns the time of the first change point, if any.
+    pub fn start(&self) -> Option<SimTime> {
+        self.points.first().map(|(t, _)| *t)
+    }
+
+    /// Returns the time of the last change point, if any.
+    pub fn end(&self) -> Option<SimTime> {
+        self.points.last().map(|(t, _)| *t)
+    }
+
+    /// Returns the time-weighted mean of the series over `[from, to)`, or
+    /// `None` if the window is empty or starts before the series does.
+    pub fn mean_over(&self, from: SimTime, to: SimTime) -> Option<f64> {
+        if to <= from {
+            return None;
+        }
+        self.value_at(from)?;
+        let mut acc = 0.0;
+        let mut cursor = from;
+        let mut value = self.value_at(from).expect("checked above");
+        while cursor < to {
+            let next = self
+                .next_change_after(cursor)
+                .map(|(t, _)| t)
+                .unwrap_or(SimTime::MAX)
+                .min(to);
+            acc += value * next.since(cursor).as_secs_f64();
+            if next < to {
+                value = self.value_at(next).expect("change point has value");
+            }
+            cursor = next;
+        }
+        Some(acc / to.since(from).as_secs_f64())
+    }
+
+    /// Returns the fraction of `[from, to)` during which the value satisfies
+    /// `pred`, or `None` for an invalid window.
+    pub fn fraction_where(
+        &self,
+        from: SimTime,
+        to: SimTime,
+        mut pred: impl FnMut(f64) -> bool,
+    ) -> Option<f64> {
+        if to <= from {
+            return None;
+        }
+        self.value_at(from)?;
+        let mut on = SimDuration::ZERO;
+        let mut cursor = from;
+        let mut value = self.value_at(from).expect("checked above");
+        while cursor < to {
+            let next = self
+                .next_change_after(cursor)
+                .map(|(t, _)| t)
+                .unwrap_or(SimTime::MAX)
+                .min(to);
+            if pred(value) {
+                on += next.since(cursor);
+            }
+            if next < to {
+                value = self.value_at(next).expect("change point has value");
+            }
+            cursor = next;
+        }
+        Some(on.as_secs_f64() / to.since(from).as_secs_f64())
+    }
+
+    /// Samples the series at a fixed `step`, starting at `from`, up to and
+    /// excluding `to`. Instants before the first change point yield the first
+    /// value (extension backward), so resampled traces align for correlation.
+    pub fn resample(&self, from: SimTime, to: SimTime, step: SimDuration) -> Vec<f64> {
+        assert!(!step.is_zero(), "resample step must be positive");
+        let first = self.points.first().map(|(_, v)| *v).unwrap_or(0.0);
+        let mut out = Vec::new();
+        let mut t = from;
+        while t < to {
+            out.push(self.value_at(t).unwrap_or(first));
+            t += step;
+        }
+        out
+    }
+
+    /// Returns the first instant in `[from, end-of-series]` at which `pred`
+    /// holds, along with the value there, scanning change points (and the
+    /// value holding at `from`).
+    pub fn first_where(
+        &self,
+        from: SimTime,
+        mut pred: impl FnMut(f64) -> bool,
+    ) -> Option<(SimTime, f64)> {
+        if let Some(v) = self.value_at(from) {
+            if pred(v) {
+                return Some((from, v));
+            }
+        }
+        let idx = self.points.partition_point(|(pt, _)| *pt <= from);
+        self.points[idx..].iter().copied().find(|(_, v)| pred(*v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> StepSeries {
+        StepSeries::from_points(vec![
+            (SimTime::from_secs(0), 1.0),
+            (SimTime::from_secs(10), 3.0),
+            (SimTime::from_secs(20), 2.0),
+        ])
+    }
+
+    #[test]
+    fn value_at_steps() {
+        let s = series();
+        assert_eq!(s.value_at(SimTime::from_secs(0)), Some(1.0));
+        assert_eq!(s.value_at(SimTime::from_secs(9)), Some(1.0));
+        assert_eq!(s.value_at(SimTime::from_secs(10)), Some(3.0));
+        assert_eq!(s.value_at(SimTime::from_secs(25)), Some(2.0));
+        let empty = StepSeries::new();
+        assert_eq!(empty.value_at(SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn next_change_after_scans_forward() {
+        let s = series();
+        assert_eq!(
+            s.next_change_after(SimTime::from_secs(0)),
+            Some((SimTime::from_secs(10), 3.0))
+        );
+        assert_eq!(
+            s.next_change_after(SimTime::from_secs(10)),
+            Some((SimTime::from_secs(20), 2.0))
+        );
+        assert_eq!(s.next_change_after(SimTime::from_secs(20)), None);
+    }
+
+    #[test]
+    fn push_appends_and_overwrites_same_instant() {
+        let mut s = StepSeries::new();
+        s.push(SimTime::from_secs(1), 5.0);
+        s.push(SimTime::from_secs(1), 6.0);
+        s.push(SimTime::from_secs(2), 7.0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.value_at(SimTime::from_secs(1)), Some(6.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes last point")]
+    fn push_rejects_time_travel() {
+        let mut s = StepSeries::new();
+        s.push(SimTime::from_secs(2), 1.0);
+        s.push(SimTime::from_secs(1), 1.0);
+    }
+
+    #[test]
+    fn mean_over_weights_by_duration() {
+        let s = series();
+        // [0,20): 1.0 for 10s, 3.0 for 10s -> 2.0.
+        assert_eq!(s.mean_over(SimTime::ZERO, SimTime::from_secs(20)), Some(2.0));
+        // [5,15): 1.0 for 5s, 3.0 for 5s -> 2.0.
+        assert_eq!(
+            s.mean_over(SimTime::from_secs(5), SimTime::from_secs(15)),
+            Some(2.0)
+        );
+        // Degenerate window.
+        assert_eq!(s.mean_over(SimTime::from_secs(5), SimTime::from_secs(5)), None);
+    }
+
+    #[test]
+    fn fraction_where_measures_condition() {
+        let s = series();
+        let frac = s
+            .fraction_where(SimTime::ZERO, SimTime::from_secs(30), |v| v >= 2.0)
+            .unwrap();
+        // >= 2.0 during [10,30): 20 of 30 seconds.
+        assert!((frac - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resample_fixed_grid() {
+        let s = series();
+        let xs = s.resample(SimTime::ZERO, SimTime::from_secs(30), SimDuration::from_secs(10));
+        assert_eq!(xs, vec![1.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn first_where_finds_crossings() {
+        let s = series();
+        assert_eq!(
+            s.first_where(SimTime::ZERO, |v| v > 2.5),
+            Some((SimTime::from_secs(10), 3.0))
+        );
+        // Already true at the query instant.
+        assert_eq!(
+            s.first_where(SimTime::from_secs(12), |v| v > 2.5),
+            Some((SimTime::from_secs(12), 3.0))
+        );
+        assert_eq!(s.first_where(SimTime::ZERO, |v| v > 10.0), None);
+    }
+
+    #[test]
+    fn start_end() {
+        let s = series();
+        assert_eq!(s.start(), Some(SimTime::ZERO));
+        assert_eq!(s.end(), Some(SimTime::from_secs(20)));
+    }
+}

@@ -1,0 +1,551 @@
+//! Statistics utilities used across the reproduction.
+//!
+//! Includes sample summaries (the min/median/mean/max shape of the paper's
+//! Table 1), empirical CDFs (Figure 6a/6b), Pearson correlation (Figure
+//! 6c/6d), time-weighted accumulators (availability and degradation
+//! percentages in Figures 11/12), and simple histograms.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A growable collection of `f64` samples with summary statistics.
+#[derive(Debug, Clone, Default)]
+pub struct Samples {
+    values: Vec<f64>,
+    sorted: bool,
+}
+
+impl Samples {
+    /// Creates an empty sample set.
+    pub fn new() -> Self {
+        Samples::default()
+    }
+
+    /// Creates a sample set from existing values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is non-finite.
+    pub fn from_values(values: Vec<f64>) -> Self {
+        assert!(
+            values.iter().all(|v| v.is_finite()),
+            "Samples must be finite"
+        );
+        Samples {
+            values,
+            sorted: false,
+        }
+    }
+
+    /// Adds one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is non-finite; NaNs would silently poison every
+    /// downstream statistic.
+    pub fn push(&mut self, value: f64) {
+        assert!(value.is_finite(), "Samples::push: non-finite value {value}");
+        self.values.push(value);
+        self.sorted = false;
+    }
+
+    /// Returns the number of observations.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns true if there are no observations.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Returns the raw observations in insertion order (unless a quantile
+    /// query has sorted them).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Returns the sample mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            None
+        } else {
+            Some(self.values.iter().sum::<f64>() / self.values.len() as f64)
+        }
+    }
+
+    /// Returns the population standard deviation, or `None` if empty.
+    pub fn stddev(&self) -> Option<f64> {
+        let mean = self.mean()?;
+        let var = self
+            .values
+            .iter()
+            .map(|v| (v - mean).powi(2))
+            .sum::<f64>()
+            / self.values.len() as f64;
+        Some(var.sqrt())
+    }
+
+    /// Returns the minimum observation, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::min)
+    }
+
+    /// Returns the maximum observation, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::max)
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.values
+                .sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+            self.sorted = true;
+        }
+    }
+
+    /// Returns the `p`-quantile (0 <= p <= 1) by linear interpolation, or
+    /// `None` if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn quantile(&mut self, p: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&p), "quantile p must be in [0,1]");
+        if self.values.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let n = self.values.len();
+        if n == 1 {
+            return Some(self.values[0]);
+        }
+        let pos = p * (n - 1) as f64;
+        let i = pos.floor() as usize;
+        let frac = pos - i as f64;
+        Some(if i + 1 >= n {
+            self.values[n - 1]
+        } else {
+            self.values[i] * (1.0 - frac) + self.values[i + 1] * frac
+        })
+    }
+
+    /// Returns the median, or `None` if empty.
+    pub fn median(&mut self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Returns the `(min, median, mean, max)` tuple that Table 1 of the
+    /// paper reports per operation, or `None` if empty.
+    pub fn table1_row(&mut self) -> Option<(f64, f64, f64, f64)> {
+        Some((
+            self.min()?,
+            self.median()?,
+            self.mean()?,
+            self.max()?,
+        ))
+    }
+}
+
+/// An empirical cumulative distribution function.
+#[derive(Debug, Clone)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or contains non-finite entries.
+    pub fn new(mut values: Vec<f64>) -> Self {
+        assert!(!values.is_empty(), "Ecdf requires at least one value");
+        assert!(values.iter().all(|v| v.is_finite()), "Ecdf values finite");
+        values.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        Ecdf { sorted: values }
+    }
+
+    /// Returns `P(X <= x)`.
+    pub fn eval(&self, x: f64) -> f64 {
+        // partition_point returns the number of elements <= x.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Returns the `p`-quantile (inverse CDF) for `p` in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "quantile p must be in [0,1]");
+        let n = self.sorted.len();
+        let idx = ((p * n as f64).ceil() as usize).clamp(1, n) - 1;
+        self.sorted[idx]
+    }
+
+    /// Returns the number of underlying observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Returns false; an ECDF is never empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Evaluates the CDF at each of `points`, returning `(x, F(x))` pairs —
+    /// the series format the figure benches print.
+    pub fn curve(&self, points: &[f64]) -> Vec<(f64, f64)> {
+        points.iter().map(|&x| (x, self.eval(x))).collect()
+    }
+}
+
+/// Returns the Pearson correlation coefficient of two equal-length series.
+///
+/// Returns `None` if the series are shorter than 2 points, have mismatched
+/// lengths, or either has zero variance.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return None;
+    }
+    Some(cov / (vx * vy).sqrt())
+}
+
+/// A time-weighted accumulator over a piecewise-constant signal.
+///
+/// Feed it `(time, value)` transitions in nondecreasing time order; it
+/// integrates value x time. Used for time-average cost ($/hr of a pool whose
+/// price steps) and for availability (value 0/1 = down/up).
+#[derive(Debug, Clone)]
+pub struct TimeWeighted {
+    last_time: SimTime,
+    last_value: f64,
+    integral: f64, // value x seconds
+    elapsed: SimDuration,
+    started: bool,
+}
+
+impl Default for TimeWeighted {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimeWeighted {
+    /// Creates an accumulator with no signal yet.
+    pub fn new() -> Self {
+        TimeWeighted {
+            last_time: SimTime::ZERO,
+            last_value: 0.0,
+            integral: 0.0,
+            elapsed: SimDuration::ZERO,
+            started: false,
+        }
+    }
+
+    /// Records that the signal takes `value` from instant `t` onward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes the previous transition.
+    pub fn set(&mut self, t: SimTime, value: f64) {
+        if self.started {
+            let dt = t.since(self.last_time);
+            self.integral += self.last_value * dt.as_secs_f64();
+            self.elapsed += dt;
+        }
+        self.last_time = t;
+        self.last_value = value;
+        self.started = true;
+    }
+
+    /// Closes the signal at instant `t` and leaves the accumulator ready for
+    /// further transitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes the previous transition.
+    pub fn finish(&mut self, t: SimTime) {
+        let v = self.last_value;
+        self.set(t, v);
+    }
+
+    /// Returns the integral of the signal in value x seconds.
+    pub fn integral_value_secs(&self) -> f64 {
+        self.integral
+    }
+
+    /// Returns total signal duration observed.
+    pub fn elapsed(&self) -> SimDuration {
+        self.elapsed
+    }
+
+    /// Returns the time-average of the signal, or `None` if no time has
+    /// elapsed.
+    pub fn time_average(&self) -> Option<f64> {
+        if self.elapsed.is_zero() {
+            None
+        } else {
+            Some(self.integral / self.elapsed.as_secs_f64())
+        }
+    }
+}
+
+/// Tracks the fraction of time a boolean condition holds.
+///
+/// This is the paper's availability metric: availability = 1 - fraction of
+/// time the nested VM is down; the degradation metric in Figure 12 is the
+/// fraction of time perf-degraded.
+#[derive(Debug, Clone, Default)]
+pub struct ConditionClock {
+    inner: TimeWeighted,
+}
+
+impl ConditionClock {
+    /// Creates a clock with the condition initially false at time zero.
+    pub fn new() -> Self {
+        Self::starting_at(SimTime::ZERO)
+    }
+
+    /// Creates a clock with the condition initially false at `start` (no
+    /// time before `start` is counted).
+    pub fn starting_at(start: SimTime) -> Self {
+        let mut inner = TimeWeighted::new();
+        inner.set(start, 0.0);
+        ConditionClock { inner }
+    }
+
+    /// Records that the condition is `on` from instant `t` onward.
+    pub fn set(&mut self, t: SimTime, on: bool) {
+        self.inner.set(t, if on { 1.0 } else { 0.0 });
+    }
+
+    /// Closes the signal at `t`.
+    pub fn finish(&mut self, t: SimTime) {
+        self.inner.finish(t);
+    }
+
+    /// Returns the total time the condition held.
+    pub fn total_on(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.inner.integral_value_secs())
+    }
+
+    /// Returns the fraction of observed time the condition held, or `None`
+    /// if no time has elapsed.
+    pub fn fraction_on(&self) -> Option<f64> {
+        self.inner.time_average()
+    }
+}
+
+/// A fixed-width linear histogram over `[lo, hi)` with saturating edge bins.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo < hi, "Histogram requires lo < hi");
+        assert!(bins > 0, "Histogram requires at least one bin");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Records one observation; out-of-range values clamp to the edge bins.
+    pub fn record(&mut self, value: f64) {
+        let n = self.bins.len();
+        let idx = if value < self.lo {
+            0
+        } else if value >= self.hi {
+            n - 1
+        } else {
+            let frac = (value - self.lo) / (self.hi - self.lo);
+            ((frac * n as f64) as usize).min(n - 1)
+        };
+        self.bins[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Returns the bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Returns the total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Returns `(bin_center, fraction)` pairs.
+    pub fn normalized(&self) -> Vec<(f64, f64)> {
+        let n = self.bins.len();
+        let width = (self.hi - self.lo) / n as f64;
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let center = self.lo + (i as f64 + 0.5) * width;
+                let frac = if self.total == 0 {
+                    0.0
+                } else {
+                    c as f64 / self.total as f64
+                };
+                (center, frac)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_summary_statistics() {
+        let mut s = Samples::new();
+        for v in [4.0, 1.0, 3.0, 2.0] {
+            s.push(v);
+        }
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.mean(), Some(2.5));
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(4.0));
+        assert_eq!(s.median(), Some(2.5));
+        let (min, med, mean, max) = s.table1_row().unwrap();
+        assert_eq!((min, med, mean, max), (1.0, 2.5, 2.5, 4.0));
+    }
+
+    #[test]
+    fn samples_quantiles_interpolate() {
+        let mut s = Samples::from_values(vec![0.0, 10.0]);
+        assert_eq!(s.quantile(0.25), Some(2.5));
+        assert_eq!(s.quantile(0.0), Some(0.0));
+        assert_eq!(s.quantile(1.0), Some(10.0));
+    }
+
+    #[test]
+    fn samples_empty_returns_none() {
+        let mut s = Samples::new();
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.median(), None);
+        assert_eq!(s.table1_row(), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn samples_reject_nan() {
+        Samples::new().push(f64::NAN);
+    }
+
+    #[test]
+    fn samples_stddev() {
+        let s = Samples::from_values(vec![2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.stddev().unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ecdf_eval_and_quantile() {
+        let e = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.5), 0.5);
+        assert_eq!(e.eval(10.0), 1.0);
+        assert_eq!(e.quantile(0.5), 2.0);
+        assert_eq!(e.quantile(1.0), 4.0);
+        assert_eq!(e.quantile(0.0), 1.0);
+        assert_eq!(e.len(), 4);
+    }
+
+    #[test]
+    fn ecdf_curve_is_monotone() {
+        let e = Ecdf::new(vec![3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]);
+        let pts: Vec<f64> = (0..=100).map(|i| i as f64 / 10.0).collect();
+        let curve = e.curve(&pts);
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1, "CDF must be nondecreasing");
+        }
+    }
+
+    #[test]
+    fn pearson_basic_cases() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let up = [2.0, 4.0, 6.0, 8.0];
+        let down = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &up).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&xs, &down).unwrap() + 1.0).abs() < 1e-12);
+        let flat = [5.0, 5.0, 5.0, 5.0];
+        assert_eq!(pearson(&xs, &flat), None);
+        assert_eq!(pearson(&xs, &[1.0]), None);
+    }
+
+    #[test]
+    fn time_weighted_average() {
+        let mut tw = TimeWeighted::new();
+        tw.set(SimTime::from_secs(0), 10.0);
+        tw.set(SimTime::from_secs(10), 20.0);
+        tw.finish(SimTime::from_secs(20));
+        // 10 for 10s, 20 for 10s -> average 15.
+        assert_eq!(tw.time_average(), Some(15.0));
+        assert_eq!(tw.elapsed(), SimDuration::from_secs(20));
+    }
+
+    #[test]
+    fn time_weighted_empty_is_none() {
+        let tw = TimeWeighted::new();
+        assert_eq!(tw.time_average(), None);
+    }
+
+    #[test]
+    fn condition_clock_fraction() {
+        let mut c = ConditionClock::new();
+        c.set(SimTime::from_secs(10), true);
+        c.set(SimTime::from_secs(15), false);
+        c.finish(SimTime::from_secs(100));
+        // On for 5s of 100s.
+        assert!((c.fraction_on().unwrap() - 0.05).abs() < 1e-9);
+        assert_eq!(c.total_on(), SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn histogram_bins_and_clamping() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(-5.0); // clamps to first bin
+        h.record(0.5);
+        h.record(9.5);
+        h.record(100.0); // clamps to last bin
+        assert_eq!(h.bins()[0], 2);
+        assert_eq!(h.bins()[9], 2);
+        assert_eq!(h.total(), 4);
+        let norm = h.normalized();
+        assert!((norm[0].1 - 0.5).abs() < 1e-12);
+        assert!((norm[0].0 - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,172 @@
+//! Property-based tests for the simulation core.
+
+use proptest::prelude::*;
+use spotcheck_simcore::bitset::BitSet;
+use spotcheck_simcore::fluid::{max_min_rates, FlowSpec, Network};
+use spotcheck_simcore::queue::EventQueue;
+use spotcheck_simcore::rng::SimRng;
+use spotcheck_simcore::series::StepSeries;
+use spotcheck_simcore::stats::{Ecdf, Samples};
+use spotcheck_simcore::time::{SimDuration, SimTime};
+
+proptest! {
+    /// Popping the queue always yields events in nondecreasing time order,
+    /// FIFO among equal times.
+    #[test]
+    fn queue_pops_sorted_stable(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_micros(t), i);
+        }
+        let mut popped = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            popped.push((t, i));
+        }
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO violated among ties");
+            }
+        }
+        prop_assert_eq!(popped.len(), times.len());
+    }
+
+    /// The bitset's cached popcount always matches a recount.
+    #[test]
+    fn bitset_count_is_consistent(ops in proptest::collection::vec((0usize..256, any::<bool>()), 0..300)) {
+        let mut s = BitSet::new(256);
+        let mut model = std::collections::BTreeSet::new();
+        for (idx, set) in ops {
+            if set {
+                s.set(idx);
+                model.insert(idx);
+            } else {
+                s.clear(idx);
+                model.remove(&idx);
+            }
+        }
+        prop_assert_eq!(s.count_ones(), model.len());
+        let ones: Vec<usize> = s.iter_ones().collect();
+        let expect: Vec<usize> = model.into_iter().collect();
+        prop_assert_eq!(ones, expect);
+    }
+
+    /// Max-min fair rates never exceed caps and never oversubscribe a link.
+    #[test]
+    fn max_min_rates_feasible(
+        cap in 1.0f64..1e9,
+        sizes in proptest::collection::vec(1.0f64..1e8, 1..20),
+        flow_caps in proptest::collection::vec(proptest::option::of(1.0f64..1e8), 1..20),
+    ) {
+        let mut net = Network::new();
+        let l = net.add_link(cap);
+        let flows: Vec<FlowSpec> = sizes
+            .iter()
+            .zip(flow_caps.iter().cycle())
+            .map(|(&bytes, &fc)| {
+                let f = FlowSpec::new(vec![l], bytes);
+                match fc {
+                    Some(c) => f.with_cap(c),
+                    None => f,
+                }
+            })
+            .collect();
+        let rates = max_min_rates(&net, &flows);
+        let total: f64 = rates.iter().sum();
+        prop_assert!(total <= cap * (1.0 + 1e-6), "oversubscribed: {} > {}", total, cap);
+        for (r, f) in rates.iter().zip(&flows) {
+            prop_assert!(*r >= 0.0);
+            if let Some(c) = f.rate_cap_bps {
+                prop_assert!(*r <= c * (1.0 + 1e-9), "cap violated: {} > {}", r, c);
+            }
+        }
+    }
+
+    /// Max-min fairness is work-conserving on a single link: either the link
+    /// is (nearly) full or every flow is at its cap.
+    #[test]
+    fn max_min_rates_work_conserving(
+        cap in 1.0f64..1e9,
+        flow_caps in proptest::collection::vec(1.0f64..1e8, 1..20),
+    ) {
+        let mut net = Network::new();
+        let l = net.add_link(cap);
+        let flows: Vec<FlowSpec> = flow_caps
+            .iter()
+            .map(|&c| FlowSpec::new(vec![l], 1.0).with_cap(c))
+            .collect();
+        let rates = max_min_rates(&net, &flows);
+        let total: f64 = rates.iter().sum();
+        let all_capped = rates
+            .iter()
+            .zip(&flow_caps)
+            .all(|(r, c)| (r - c).abs() <= c * 1e-6);
+        prop_assert!(
+            total >= cap * (1.0 - 1e-6) || all_capped,
+            "not work conserving: total={} cap={} rates={:?}",
+            total, cap, rates
+        );
+    }
+
+    /// ECDF is monotone, hits 0 below the minimum and 1 at/above the maximum.
+    #[test]
+    fn ecdf_properties(values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let e = Ecdf::new(values.clone());
+        let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(e.eval(lo - 1.0), 0.0);
+        prop_assert_eq!(e.eval(hi), 1.0);
+        let mut prev = 0.0;
+        for i in 0..=20 {
+            let x = lo + (hi - lo) * i as f64 / 20.0;
+            let fx = e.eval(x);
+            prop_assert!(fx >= prev);
+            prev = fx;
+        }
+    }
+
+    /// Sample quantiles are bounded by min/max and ordered in p.
+    #[test]
+    fn samples_quantiles_ordered(values in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+        let mut s = Samples::from_values(values);
+        let q25 = s.quantile(0.25).unwrap();
+        let q50 = s.quantile(0.5).unwrap();
+        let q75 = s.quantile(0.75).unwrap();
+        prop_assert!(s.min().unwrap() <= q25);
+        prop_assert!(q25 <= q50 && q50 <= q75);
+        prop_assert!(q75 <= s.max().unwrap());
+    }
+
+    /// A resampled step series always reports values the series contains.
+    #[test]
+    fn step_series_resample_values_exist(
+        raw in proptest::collection::vec((0u64..10_000, -100.0f64..100.0), 1..50),
+    ) {
+        let mut pts: Vec<(u64, f64)> = raw;
+        pts.sort_by_key(|(t, _)| *t);
+        pts.dedup_by_key(|(t, _)| *t);
+        let series = StepSeries::from_points(
+            pts.iter().map(|&(t, v)| (SimTime::from_micros(t), v)).collect(),
+        );
+        let xs = series.resample(
+            SimTime::ZERO,
+            SimTime::from_micros(10_000),
+            SimDuration::from_micros(500),
+        );
+        let allowed: Vec<f64> = pts.iter().map(|&(_, v)| v).collect();
+        for x in xs {
+            prop_assert!(allowed.iter().any(|&v| v == x));
+        }
+    }
+
+    /// Forked RNG streams are reproducible.
+    #[test]
+    fn rng_fork_reproducible(seed in any::<u64>(), stream in any::<u64>()) {
+        let parent = SimRng::seed(seed);
+        let mut a = parent.fork(stream);
+        let mut b = parent.fork(stream);
+        for _ in 0..16 {
+            prop_assert_eq!(rand::RngCore::next_u64(&mut a), rand::RngCore::next_u64(&mut b));
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Synthetic spot-price trace generation.
+//!
+//! A regime-switching model: a *calm* regime where the log price-ratio
+//! mean-reverts around a low median (an Ornstein-Uhlenbeck walk observed at
+//! exponentially-spaced update instants), interrupted by Poisson-arriving
+//! *spikes* whose peak is Pareto-distributed above the on-demand price and
+//! whose duration is log-normal. This reproduces the three empirical
+//! properties the paper's evaluation rests on (Figure 6): a long-tailed
+//! price distribution with most mass far below on-demand, hourly jumps
+//! spanning orders of magnitude, and independence across markets (each
+//! market gets its own forked RNG stream).
+
+use std::collections::BTreeMap;
+
+use spotcheck_simcore::dist::{ContinuousDist, Exponential, LogNormal, Normal, Pareto};
+use spotcheck_simcore::rng::SimRng;
+use spotcheck_simcore::series::StepSeries;
+use spotcheck_simcore::time::{SimDuration, SimTime, MICROS_PER_SEC};
+
+use crate::market::MarketId;
+use crate::profiles::MarketProfile;
+use crate::trace::PriceTrace;
+
+/// Generates price traces for one market profile.
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    profile: MarketProfile,
+}
+
+impl TraceGenerator {
+    /// Creates a generator from a profile.
+    pub fn new(profile: MarketProfile) -> Self {
+        TraceGenerator { profile }
+    }
+
+    /// Returns the profile.
+    pub fn profile(&self) -> &MarketProfile {
+        &self.profile
+    }
+
+    /// Generates a trace for `market` covering `[0, horizon)`.
+    ///
+    /// Markets should be generated with independent RNG streams (fork the
+    /// run's root RNG by market name) so their series are uncorrelated.
+    pub fn generate(
+        &self,
+        market: MarketId,
+        horizon: SimDuration,
+        rng: &mut SimRng,
+    ) -> PriceTrace {
+        let p = &self.profile;
+        let od = p.on_demand_price;
+        let horizon_us = horizon.as_micros();
+
+        // Build the price at change points into a map (times are unique by
+        // construction of the insertion logic below).
+        let mut points: BTreeMap<u64, f64> = BTreeMap::new();
+
+        // 1. Calm regime: OU walk on the log ratio, observed at
+        //    exponentially-spaced instants.
+        let gap = Exponential::with_mean(p.step_mean_secs);
+        let noise = Normal::new(0.0, p.base_sigma);
+        let mu = p.base_ratio_median.ln();
+        let mut x = mu;
+        let mut t_us: u64 = 0;
+        while t_us < horizon_us {
+            let ratio = x.exp().max(p.floor_ratio);
+            points.insert(t_us, quantize(ratio * od));
+            x += p.base_reversion * (mu - x) + noise.sample(rng);
+            let dt = gap.sample(rng).max(1.0);
+            t_us = t_us.saturating_add((dt * MICROS_PER_SEC as f64) as u64 + 1);
+        }
+
+        // 2. Spikes: Poisson arrivals; each spike overrides the calm price
+        //    for its duration.
+        if p.spikes_per_day > 0.0 {
+            let inter = Exponential::with_mean(86_400.0 / p.spikes_per_day);
+            let peak = Pareto::new(p.spike_peak_min_ratio, p.spike_peak_alpha);
+            let dur = LogNormal::with_median(p.spike_duration_median_secs, p.spike_duration_sigma);
+            let mut s = (inter.sample(rng) * MICROS_PER_SEC as f64) as u64;
+            while s < horizon_us {
+                let d_us = (dur.sample(rng).max(1.0) * MICROS_PER_SEC as f64) as u64;
+                let end = s.saturating_add(d_us).min(horizon_us.saturating_sub(1));
+                if end > s {
+                    // The calm value that should resume after the spike.
+                    let resume = points
+                        .range(..=end)
+                        .next_back()
+                        .map(|(_, &v)| v)
+                        .unwrap_or(quantize(p.base_ratio_median * od));
+                    let peak_price = quantize((peak.sample(rng) * od).max(od * 1.01));
+                    // Remove calm updates inside the spike window, set the
+                    // spike, and restore the calm value at the end.
+                    let inside: Vec<u64> =
+                        points.range(s..=end).map(|(&t, _)| t).collect();
+                    for t in inside {
+                        points.remove(&t);
+                    }
+                    points.insert(s, peak_price);
+                    points.insert(end, resume);
+                }
+                s = end.saturating_add(
+                    (inter.sample(rng) * MICROS_PER_SEC as f64) as u64 + 1,
+                );
+            }
+        }
+
+        // 3. Collapse consecutive duplicate prices (quantization can produce
+        //    runs of identical values; EC2 traces only record changes).
+        let mut series = StepSeries::new();
+        let mut last: Option<f64> = None;
+        for (t, v) in points {
+            if last != Some(v) {
+                series.push(SimTime::from_micros(t), v);
+                last = Some(v);
+            }
+        }
+
+        PriceTrace::new(market, od, series)
+    }
+}
+
+/// Quantizes a price to EC2's $0.0001 tick, with a one-tick floor.
+fn quantize(price: f64) -> f64 {
+    ((price * 10_000.0).round() / 10_000.0).max(0.0001)
+}
+
+/// Generates a trace per market for a whole fleet (used by the correlation
+/// figures and the policy simulator). Each market's stream is forked from
+/// `root` by the market's display name, so the set is reproducible and
+/// pairwise independent.
+pub fn generate_fleet(
+    markets: &[(MarketId, MarketProfile)],
+    horizon: SimDuration,
+    root: &SimRng,
+) -> Vec<PriceTrace> {
+    markets
+        .iter()
+        .map(|(id, profile)| {
+            let mut rng = root.fork_named(&id.to_string());
+            TraceGenerator::new(profile.clone()).generate(id.clone(), horizon, &mut rng)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::profile_for;
+
+    fn medium_trace(days: u64, seed: u64) -> PriceTrace {
+        let p = profile_for("m3.medium").unwrap().profile;
+        let mut rng = SimRng::seed(seed);
+        TraceGenerator::new(p).generate(
+            MarketId::new("m3.medium", "us-east-1a"),
+            SimDuration::from_days(days),
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn trace_covers_horizon_and_is_positive() {
+        let t = medium_trace(7, 1);
+        assert_eq!(t.prices.start(), Some(SimTime::ZERO));
+        assert!(t.end().unwrap() <= SimTime::from_days(7));
+        assert!(t.prices.points().iter().all(|(_, v)| *v > 0.0));
+        // 5-minute mean step over 7 days: expect roughly 2000 changes.
+        assert!(t.prices.len() > 500, "len={}", t.prices.len());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = medium_trace(3, 42);
+        let b = medium_trace(3, 42);
+        assert_eq!(a.prices.points(), b.prices.points());
+        let c = medium_trace(3, 43);
+        assert_ne!(a.prices.points(), c.prices.points());
+    }
+
+    #[test]
+    fn calm_prices_sit_far_below_on_demand() {
+        let t = medium_trace(30, 7);
+        let mean = t.mean_price(SimTime::ZERO, SimTime::from_days(30)).unwrap();
+        // Paper: spot prices extremely low on average; calibration targets
+        // ~0.11x on-demand median. Allow generous slack for spike mass.
+        assert!(
+            mean < 0.5 * t.on_demand_price,
+            "mean {mean} should be well below od {}",
+            t.on_demand_price
+        );
+    }
+
+    #[test]
+    fn medium_market_is_highly_available_at_od_bid() {
+        let t = medium_trace(183, 11);
+        let a = t
+            .availability_at_bid(t.on_demand_price, SimTime::ZERO, SimTime::from_days(183))
+            .unwrap();
+        assert!(a > 0.998, "m3.medium availability at od bid: {a}");
+    }
+
+    #[test]
+    fn large_market_spikes_multiple_times_per_day() {
+        let p = profile_for("m3.large").unwrap().profile;
+        let mut rng = SimRng::seed(3);
+        let t = TraceGenerator::new(p).generate(
+            MarketId::new("m3.large", "us-east-1a"),
+            SimDuration::from_days(30),
+            &mut rng,
+        );
+        let revs = t.revocations_at_bid(t.on_demand_price, SimTime::ZERO, SimTime::from_days(30));
+        // Calibrated at 6.5/day: expect on the order of 100-300 over 30 days.
+        assert!(
+            (100..400).contains(&revs),
+            "m3.large revocations over 30 days: {revs}"
+        );
+        let a = t
+            .availability_at_bid(t.on_demand_price, SimTime::ZERO, SimTime::from_days(30))
+            .unwrap();
+        assert!((0.90..0.999).contains(&a), "availability {a}");
+    }
+
+    #[test]
+    fn spikes_exceed_on_demand() {
+        let t = medium_trace(183, 5);
+        let max = t
+            .prices
+            .points()
+            .iter()
+            .map(|(_, v)| *v)
+            .fold(0.0, f64::max);
+        assert!(
+            max > t.on_demand_price,
+            "a 6-month m3.medium trace should contain at least one spike above od"
+        );
+    }
+
+    #[test]
+    fn prices_are_quantized_to_ec2_tick() {
+        let t = medium_trace(7, 9);
+        for (_, v) in t.prices.points() {
+            let ticks = v * 10_000.0;
+            assert!(
+                (ticks - ticks.round()).abs() < 1e-6,
+                "price {v} not on $0.0001 tick"
+            );
+        }
+    }
+
+    #[test]
+    fn fleet_markets_are_reproducible_and_distinct() {
+        let p = profile_for("m3.medium").unwrap().profile;
+        let markets = vec![
+            (MarketId::new("m3.medium", "us-east-1a"), p.clone()),
+            (MarketId::new("m3.medium", "us-east-1b"), p),
+        ];
+        let root = SimRng::seed(1);
+        let f1 = generate_fleet(&markets, SimDuration::from_days(3), &root);
+        let f2 = generate_fleet(&markets, SimDuration::from_days(3), &root);
+        assert_eq!(f1[0].prices.points(), f2[0].prices.points());
+        assert_ne!(
+            f1[0].prices.points(),
+            f1[1].prices.points(),
+            "different zones must get independent traces"
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! # spotcheck-spotmarket
+//!
+//! Spot-market substrate for the SpotCheck reproduction: market identities,
+//! price traces, a calibrated regime-switching trace generator standing in
+//! for EC2's Apr-Oct 2014 spot history, and the statistics behind the
+//! paper's Figure 6 (availability CDFs, hourly jump distributions, and
+//! cross-market correlation).
+//!
+//! See `DESIGN.md` §2 for the substitution argument: every SpotCheck policy
+//! result depends only on the distributional properties this crate
+//! reproduces and verifies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod market;
+pub mod predictor;
+pub mod profiles;
+pub mod stats;
+pub mod trace;
+
+pub use generator::{generate_fleet, TraceGenerator};
+pub use market::{MarketId, TypeName, ZoneName};
+pub use predictor::{PredictorScore, TrendPredictor};
+pub use profiles::{catalog, profile_for, standard_zones, MarketProfile, ProfileEntry};
+pub use trace::PriceTrace;

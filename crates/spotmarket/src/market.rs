@@ -1,0 +1,112 @@
+//! Market identities.
+//!
+//! A *spot market* in EC2 is identified by an (instance type, availability
+//! zone) pair: each pair has its own price series, and — empirically
+//! (Figure 6c/6d of the paper) — the series are uncorrelated across both
+//! dimensions. This module holds the lightweight identity types shared by
+//! the trace generator, the cloud simulator, and SpotCheck's pool manager.
+
+use std::fmt;
+
+/// An instance-type name, e.g. `"m3.medium"`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TypeName(String);
+
+impl TypeName {
+    /// Creates a type name.
+    pub fn new(name: impl Into<String>) -> Self {
+        TypeName(name.into())
+    }
+
+    /// Returns the name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for TypeName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for TypeName {
+    fn from(s: &str) -> Self {
+        TypeName::new(s)
+    }
+}
+
+/// An availability-zone name, e.g. `"us-east-1a"`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ZoneName(String);
+
+impl ZoneName {
+    /// Creates a zone name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ZoneName(name.into())
+    }
+
+    /// Returns the name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ZoneName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for ZoneName {
+    fn from(s: &str) -> Self {
+        ZoneName::new(s)
+    }
+}
+
+/// Identifies one spot market: an (instance type, zone) pair.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MarketId {
+    /// The instance type traded in this market.
+    pub type_name: TypeName,
+    /// The availability zone.
+    pub zone: ZoneName,
+}
+
+impl MarketId {
+    /// Creates a market id.
+    pub fn new(type_name: impl Into<String>, zone: impl Into<String>) -> Self {
+        MarketId {
+            type_name: TypeName::new(type_name),
+            zone: ZoneName::new(zone),
+        }
+    }
+}
+
+impl fmt::Display for MarketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.type_name, self.zone)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn market_id_display_and_eq() {
+        let a = MarketId::new("m3.medium", "us-east-1a");
+        let b = MarketId::new(String::from("m3.medium"), String::from("us-east-1a"));
+        assert_eq!(a, b);
+        assert_eq!(a.to_string(), "m3.medium@us-east-1a");
+    }
+
+    #[test]
+    fn names_order_lexicographically() {
+        let a = MarketId::new("m3.large", "us-east-1a");
+        let b = MarketId::new("m3.medium", "us-east-1a");
+        assert!(a < b);
+        assert_eq!(TypeName::from("x").as_str(), "x");
+        assert_eq!(ZoneName::from("y").as_str(), "y");
+    }
+}

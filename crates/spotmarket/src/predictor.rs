@@ -1,0 +1,282 @@
+//! Revocation prediction from price trends.
+//!
+//! Paper §3.2: proactive migrations "incur significant risk of losing VM
+//! state unless they are able to predict an imminent revocation with high
+//! confidence, e.g., by tracking and predicting a rise in market prices of
+//! spot servers". This module implements that tracker — a simple
+//! rising-price alarm — and, more importantly, the *evaluation harness*
+//! that quantifies exactly the trade-off the paper warns about: recall
+//! (what fraction of revocations were foreseen in time for a live
+//! migration) versus precision (how many alarms were false).
+
+use spotcheck_simcore::time::{SimDuration, SimTime};
+
+use crate::trace::PriceTrace;
+
+/// A rising-price revocation predictor.
+#[derive(Debug, Clone)]
+pub struct TrendPredictor {
+    /// Lookback window for the trend estimate.
+    pub window: SimDuration,
+    /// Alarm when the current price exceeds this fraction of the bid...
+    pub alarm_ratio: f64,
+    /// ...and has grown by at least this factor over the window.
+    pub rise_factor: f64,
+}
+
+impl Default for TrendPredictor {
+    fn default() -> Self {
+        TrendPredictor {
+            window: SimDuration::from_secs(600),
+            alarm_ratio: 0.5,
+            rise_factor: 1.25,
+        }
+    }
+}
+
+/// Outcome of evaluating a predictor against a trace.
+#[derive(Debug, Clone, Default)]
+pub struct PredictorScore {
+    /// Revocations foreseen at least `lead` in advance.
+    pub hits: usize,
+    /// Revocations with no timely alarm.
+    pub misses: usize,
+    /// Alarms not followed by a revocation within the lead window.
+    pub false_alarms: usize,
+}
+
+impl PredictorScore {
+    /// Fraction of revocations foreseen.
+    pub fn recall(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of alarms that were real.
+    pub fn precision(&self) -> f64 {
+        let total = self.hits + self.false_alarms;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl TrendPredictor {
+    /// Returns true if the predictor would raise an alarm at `now` for a
+    /// server bid at `bid`.
+    pub fn alarmed(&self, trace: &PriceTrace, bid: f64, now: SimTime) -> bool {
+        let Some(price) = trace.price_at(now) else {
+            return false;
+        };
+        if price < self.alarm_ratio * bid {
+            return false;
+        }
+        if price > bid {
+            // Already above the bid: the revocation is happening, not
+            // predicted.
+            return false;
+        }
+        let earlier_t = SimTime::from_micros(
+            now.as_micros().saturating_sub(self.window.as_micros()),
+        );
+        let earlier = trace.price_at(earlier_t).unwrap_or(price);
+        price >= earlier * self.rise_factor
+    }
+
+    /// Evaluates the predictor over `[from, to)` for a bid, requiring
+    /// alarms at least `lead` before each revocation. The trace is scanned
+    /// on a one-minute grid (matching a controller's polling cadence).
+    pub fn evaluate(
+        &self,
+        trace: &PriceTrace,
+        bid: f64,
+        lead: SimDuration,
+        from: SimTime,
+        to: SimTime,
+    ) -> PredictorScore {
+        let step = SimDuration::from_secs(60);
+        // Collect alarm instants.
+        let mut alarms = Vec::new();
+        let mut t = from;
+        while t < to {
+            if self.alarmed(trace, bid, t) {
+                alarms.push(t);
+            }
+            t += step;
+        }
+        // Collect revocation instants (upward bid crossings).
+        let mut revocations = Vec::new();
+        let mut above = trace.price_at(from).map(|p| p > bid).unwrap_or(false);
+        let mut cursor = from;
+        while let Some((at, p)) = trace.prices.next_change_after(cursor) {
+            if at >= to {
+                break;
+            }
+            let now_above = p > bid;
+            if now_above && !above {
+                revocations.push(at);
+            }
+            above = now_above;
+            cursor = at;
+        }
+
+        // Score: a revocation is a hit if some alarm preceded it by at
+        // least `lead` but no more than 10x lead (stale alarms don't
+        // count); an alarm is false if no revocation follows within 10x
+        // lead.
+        let horizon = lead.mul_f64(10.0);
+        let mut score = PredictorScore::default();
+        for &r in &revocations {
+            let foreseen = alarms.iter().any(|&a| {
+                a + lead <= r && r.saturating_since(a) <= horizon
+            });
+            if foreseen {
+                score.hits += 1;
+            } else {
+                score.misses += 1;
+            }
+        }
+        for &a in &alarms {
+            let useful = revocations
+                .iter()
+                .any(|&r| a + lead <= r && r.saturating_since(a) <= horizon);
+            if !useful {
+                score.false_alarms += 1;
+            }
+        }
+        score
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::market::MarketId;
+    use spotcheck_simcore::series::StepSeries;
+
+    /// A trace that creeps up toward the bid before crossing it, then
+    /// falls back.
+    fn creeping_trace() -> PriceTrace {
+        let mut s = StepSeries::new();
+        s.push(SimTime::ZERO, 0.010);
+        // Creep: 0.02 -> 0.04 -> 0.06 over 30 minutes, cross at t=2400s.
+        s.push(SimTime::from_secs(600), 0.020);
+        s.push(SimTime::from_secs(1_200), 0.040);
+        s.push(SimTime::from_secs(1_800), 0.060);
+        s.push(SimTime::from_secs(2_400), 0.200); // above bid 0.07
+        s.push(SimTime::from_secs(3_600), 0.010);
+        PriceTrace::new(MarketId::new("m3.medium", "z"), 0.070, s)
+    }
+
+    /// A trace that jumps from calm straight over the bid (unpredictable).
+    fn cliff_trace() -> PriceTrace {
+        let s = StepSeries::from_points(vec![
+            (SimTime::ZERO, 0.010),
+            (SimTime::from_secs(2_400), 0.500),
+            (SimTime::from_secs(3_600), 0.010),
+        ]);
+        PriceTrace::new(MarketId::new("m3.medium", "z"), 0.070, s)
+    }
+
+    #[test]
+    fn alarm_fires_on_rising_prices_near_the_bid() {
+        let p = TrendPredictor::default();
+        let t = creeping_trace();
+        // At t=2000s the price is 0.06 (>= 0.5*0.07) and rising.
+        assert!(p.alarmed(&t, 0.07, SimTime::from_secs(2_000)));
+        // At t=300s the price is far below the alarm ratio.
+        assert!(!p.alarmed(&t, 0.07, SimTime::from_secs(300)));
+        // Above the bid: not a prediction anymore.
+        assert!(!p.alarmed(&t, 0.07, SimTime::from_secs(2_500)));
+    }
+
+    #[test]
+    fn creeping_revocation_is_foreseen() {
+        let p = TrendPredictor::default();
+        let t = creeping_trace();
+        let score = p.evaluate(
+            &t,
+            0.07,
+            SimDuration::from_secs(120),
+            SimTime::ZERO,
+            SimTime::from_secs(3_600),
+        );
+        assert_eq!(score.hits, 1);
+        assert_eq!(score.misses, 0);
+        assert!(score.recall() == 1.0);
+    }
+
+    #[test]
+    fn cliff_revocation_is_missed() {
+        // The §3.2 caveat: a price that jumps straight over the bid gives
+        // the predictor nothing to work with.
+        let p = TrendPredictor::default();
+        let t = cliff_trace();
+        let score = p.evaluate(
+            &t,
+            0.07,
+            SimDuration::from_secs(120),
+            SimTime::ZERO,
+            SimTime::from_secs(3_600),
+        );
+        assert_eq!(score.hits, 0);
+        assert_eq!(score.misses, 1);
+        assert_eq!(score.recall(), 0.0);
+    }
+
+    #[test]
+    fn flat_trace_raises_no_alarms() {
+        let s = StepSeries::from_points(vec![(SimTime::ZERO, 0.06)]);
+        let t = PriceTrace::new(MarketId::new("m3.medium", "z"), 0.070, s);
+        let p = TrendPredictor::default();
+        let score = p.evaluate(
+            &t,
+            0.07,
+            SimDuration::from_secs(120),
+            SimTime::ZERO,
+            SimTime::from_hours(2),
+        );
+        // High price but not rising: no alarms, no revocations.
+        assert_eq!(score.false_alarms, 0);
+        assert_eq!(score.hits + score.misses, 0);
+        assert_eq!(score.precision(), 1.0);
+    }
+
+    #[test]
+    fn lowering_the_alarm_ratio_trades_precision_for_recall() {
+        // Against generated history: a more trigger-happy predictor must
+        // have at least as many (hits + false alarms).
+        use crate::generator::TraceGenerator;
+        use crate::profiles::profile_for;
+        use spotcheck_simcore::rng::SimRng;
+        let profile = profile_for("m3.large").unwrap().profile;
+        let mut rng = SimRng::seed(77);
+        let trace = TraceGenerator::new(profile).generate(
+            MarketId::new("m3.large", "z"),
+            SimDuration::from_days(30),
+            &mut rng,
+        );
+        let strict = TrendPredictor {
+            alarm_ratio: 0.8,
+            ..TrendPredictor::default()
+        };
+        let eager = TrendPredictor {
+            alarm_ratio: 0.3,
+            rise_factor: 1.05,
+            ..TrendPredictor::default()
+        };
+        let lead = SimDuration::from_secs(120);
+        let end = SimTime::from_days(30);
+        let s1 = strict.evaluate(&trace, 0.14, lead, SimTime::ZERO, end);
+        let s2 = eager.evaluate(&trace, 0.14, lead, SimTime::ZERO, end);
+        let alarms1 = s1.hits + s1.false_alarms;
+        let alarms2 = s2.hits + s2.false_alarms;
+        assert!(alarms2 >= alarms1, "eager must alarm at least as often");
+    }
+}

@@ -1,0 +1,257 @@
+//! Market statistics: the analyses behind Figure 6 of the paper.
+//!
+//! - [`availability_curve`] — Figure 6a: availability as a function of the
+//!   bid expressed as a spot/on-demand ratio.
+//! - [`hourly_jumps`] — Figure 6b: the distribution of hourly percentage
+//!   price changes, split into increases and decreases.
+//! - [`correlation_matrix`] — Figures 6c/6d: pairwise Pearson correlation of
+//!   resampled price series across zones or instance types.
+
+use spotcheck_simcore::stats::{pearson, Ecdf};
+use spotcheck_simcore::time::{SimDuration, SimTime};
+
+use crate::trace::PriceTrace;
+
+/// One point of the Figure 6a curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AvailabilityPoint {
+    /// The bid expressed as a fraction of the on-demand price.
+    pub bid_ratio: f64,
+    /// The fraction of time the spot price was at or below the bid.
+    pub availability: f64,
+}
+
+/// Computes the availability-vs-bid curve of a trace over `[from, to)` at
+/// the given bid ratios (Figure 6a).
+///
+/// Returns an empty vector if the window is invalid for this trace.
+pub fn availability_curve(
+    trace: &PriceTrace,
+    bid_ratios: &[f64],
+    from: SimTime,
+    to: SimTime,
+) -> Vec<AvailabilityPoint> {
+    bid_ratios
+        .iter()
+        .filter_map(|&r| {
+            trace
+                .availability_at_bid(r * trace.on_demand_price, from, to)
+                .map(|availability| AvailabilityPoint {
+                    bid_ratio: r,
+                    availability,
+                })
+        })
+        .collect()
+}
+
+/// Hourly percentage price jumps of a trace, split by direction
+/// (Figure 6b).
+#[derive(Debug, Clone, Default)]
+pub struct JumpStats {
+    /// Percentage magnitudes of hourly increases (e.g. `250.0` = +250%).
+    pub increases_pct: Vec<f64>,
+    /// Percentage magnitudes of hourly decreases.
+    pub decreases_pct: Vec<f64>,
+}
+
+impl JumpStats {
+    /// Returns the ECDF of increase magnitudes, or `None` if there were
+    /// none.
+    pub fn increase_cdf(&self) -> Option<Ecdf> {
+        if self.increases_pct.is_empty() {
+            None
+        } else {
+            Some(Ecdf::new(self.increases_pct.clone()))
+        }
+    }
+
+    /// Returns the ECDF of decrease magnitudes, or `None` if there were
+    /// none.
+    pub fn decrease_cdf(&self) -> Option<Ecdf> {
+        if self.decreases_pct.is_empty() {
+            None
+        } else {
+            Some(Ecdf::new(self.decreases_pct.clone()))
+        }
+    }
+}
+
+/// Computes hourly percentage jumps over `[from, to)` (Figure 6b).
+///
+/// The trace is resampled on an hourly grid; each pair of consecutive
+/// samples with differing prices contributes `100 * |p1 - p0| / p0` to the
+/// increases or decreases, matching the paper's "log percentage price jump
+/// (hourly)" axis.
+pub fn hourly_jumps(trace: &PriceTrace, from: SimTime, to: SimTime) -> JumpStats {
+    let xs = trace.resample(from, to, SimDuration::from_hours(1));
+    let mut out = JumpStats::default();
+    for w in xs.windows(2) {
+        let (p0, p1) = (w[0], w[1]);
+        if p0 <= 0.0 || p0 == p1 {
+            continue;
+        }
+        let pct = 100.0 * (p1 - p0).abs() / p0;
+        if p1 > p0 {
+            out.increases_pct.push(pct);
+        } else {
+            out.decreases_pct.push(pct);
+        }
+    }
+    out
+}
+
+/// Computes the pairwise Pearson correlation matrix of traces over
+/// `[from, to)`, resampled at `step` (Figures 6c/6d).
+///
+/// Entries where either series has zero variance are reported as 0.0 (the
+/// paper's heatmaps likewise render no-signal cells as uncorrelated);
+/// diagonal entries are always 1.0.
+pub fn correlation_matrix(
+    traces: &[&PriceTrace],
+    from: SimTime,
+    to: SimTime,
+    step: SimDuration,
+) -> Vec<Vec<f64>> {
+    let series: Vec<Vec<f64>> = traces
+        .iter()
+        .map(|t| t.resample(from, to, step))
+        .collect();
+    let n = series.len();
+    let mut m = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        m[i][i] = 1.0;
+        for j in (i + 1)..n {
+            let r = pearson(&series[i], &series[j]).unwrap_or(0.0);
+            m[i][j] = r;
+            m[j][i] = r;
+        }
+    }
+    m
+}
+
+/// Returns summary statistics of the off-diagonal entries of a correlation
+/// matrix: `(mean, max_abs)`. The paper's claim is that these are near zero.
+pub fn off_diagonal_summary(matrix: &[Vec<f64>]) -> (f64, f64) {
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    let mut max_abs: f64 = 0.0;
+    for (i, row) in matrix.iter().enumerate() {
+        for (j, &v) in row.iter().enumerate() {
+            if i != j {
+                sum += v;
+                count += 1;
+                max_abs = max_abs.max(v.abs());
+            }
+        }
+    }
+    if count == 0 {
+        (0.0, 0.0)
+    } else {
+        (sum / count as f64, max_abs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_fleet, TraceGenerator};
+    use crate::market::MarketId;
+    use crate::profiles::profile_for;
+    use spotcheck_simcore::rng::SimRng;
+    use spotcheck_simcore::series::StepSeries;
+
+    fn synthetic_trace() -> PriceTrace {
+        // od=0.10; below od except a spike in [3600, 7200).
+        let s = StepSeries::from_points(vec![
+            (SimTime::from_secs(0), 0.02),
+            (SimTime::from_secs(3_600), 0.80),
+            (SimTime::from_secs(7_200), 0.02),
+        ]);
+        PriceTrace::new(MarketId::new("t", "z"), 0.10, s)
+    }
+
+    #[test]
+    fn availability_curve_is_monotone_in_bid() {
+        let t = synthetic_trace();
+        let ratios: Vec<f64> = (1..=10).map(|i| i as f64 / 10.0).collect();
+        let curve = availability_curve(&t, &ratios, SimTime::ZERO, SimTime::from_hours(10));
+        assert_eq!(curve.len(), 10);
+        for w in curve.windows(2) {
+            assert!(w[1].availability >= w[0].availability);
+        }
+        // Bid at od ratio 1.0: the spike (1h of 10h) is above it.
+        assert!((curve[9].availability - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hourly_jumps_capture_spike_magnitudes() {
+        let t = synthetic_trace();
+        let jumps = hourly_jumps(&t, SimTime::ZERO, SimTime::from_hours(10));
+        // 0.02 -> 0.80 is a +3900% jump; 0.80 -> 0.02 is a -97.5% change.
+        assert_eq!(jumps.increases_pct.len(), 1);
+        assert_eq!(jumps.decreases_pct.len(), 1);
+        assert!((jumps.increases_pct[0] - 3_900.0).abs() < 1e-6);
+        assert!((jumps.decreases_pct[0] - 97.5).abs() < 1e-6);
+        assert!(jumps.increase_cdf().is_some());
+    }
+
+    #[test]
+    fn hourly_jumps_empty_for_flat_trace() {
+        let s = StepSeries::from_points(vec![(SimTime::ZERO, 0.05)]);
+        let t = PriceTrace::new(MarketId::new("t", "z"), 0.10, s);
+        let jumps = hourly_jumps(&t, SimTime::ZERO, SimTime::from_hours(5));
+        assert!(jumps.increases_pct.is_empty());
+        assert!(jumps.decreases_pct.is_empty());
+        assert!(jumps.increase_cdf().is_none());
+    }
+
+    #[test]
+    fn generated_markets_are_uncorrelated() {
+        // The Figure 6c/6d property: independent streams per market give
+        // near-zero off-diagonal correlation.
+        let p = profile_for("m3.large").unwrap().profile;
+        let markets: Vec<_> = ["a", "b", "c", "d"]
+            .iter()
+            .map(|z| (MarketId::new("m3.large", *z), p.clone()))
+            .collect();
+        let traces = generate_fleet(&markets, SimDuration::from_days(60), &SimRng::seed(17));
+        let refs: Vec<&PriceTrace> = traces.iter().collect();
+        let m = correlation_matrix(
+            &refs,
+            SimTime::ZERO,
+            SimTime::from_days(60),
+            SimDuration::from_hours(1),
+        );
+        let (mean, max_abs) = off_diagonal_summary(&m);
+        assert!(mean.abs() < 0.1, "mean off-diagonal correlation {mean}");
+        assert!(max_abs < 0.35, "max |off-diagonal| correlation {max_abs}");
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row[i], 1.0);
+        }
+    }
+
+    #[test]
+    fn identical_traces_correlate_perfectly() {
+        let p = profile_for("m3.medium").unwrap().profile;
+        let mut rng = SimRng::seed(4);
+        let t = TraceGenerator::new(p).generate(
+            MarketId::new("m3.medium", "z"),
+            SimDuration::from_days(10),
+            &mut rng,
+        );
+        let m = correlation_matrix(
+            &[&t, &t],
+            SimTime::ZERO,
+            SimTime::from_days(10),
+            SimDuration::from_hours(1),
+        );
+        assert!((m[0][1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn off_diagonal_summary_of_identity_is_zero() {
+        let m = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        assert_eq!(off_diagonal_summary(&m), (0.0, 0.0));
+        assert_eq!(off_diagonal_summary(&[]), (0.0, 0.0));
+    }
+}

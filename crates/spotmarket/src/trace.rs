@@ -1,0 +1,268 @@
+//! Spot-price traces.
+//!
+//! A [`PriceTrace`] is the price history of one spot market: a
+//! piecewise-constant series of $/hr values plus the on-demand price of the
+//! same instance type, which the paper uses as the natural unit for bids and
+//! availability analysis (Figure 6a plots everything against the
+//! spot/on-demand ratio).
+
+use spotcheck_simcore::series::StepSeries;
+use spotcheck_simcore::time::{SimDuration, SimTime};
+
+use crate::market::MarketId;
+
+/// The price history of one spot market.
+#[derive(Debug, Clone)]
+pub struct PriceTrace {
+    /// Which market this trace belongs to.
+    pub market: MarketId,
+    /// The fixed on-demand $/hr price of the same instance type.
+    pub on_demand_price: f64,
+    /// The spot price series in $/hr.
+    pub prices: StepSeries,
+}
+
+impl PriceTrace {
+    /// Creates a trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the on-demand price is not finite and positive.
+    pub fn new(market: MarketId, on_demand_price: f64, prices: StepSeries) -> Self {
+        assert!(
+            on_demand_price.is_finite() && on_demand_price > 0.0,
+            "on-demand price must be positive, got {on_demand_price}"
+        );
+        PriceTrace {
+            market,
+            on_demand_price,
+            prices,
+        }
+    }
+
+    /// Returns the spot price at instant `t`, or `None` before the trace
+    /// starts.
+    pub fn price_at(&self, t: SimTime) -> Option<f64> {
+        self.prices.value_at(t)
+    }
+
+    /// Returns the end of the trace (its last change point), or `None` if
+    /// empty.
+    pub fn end(&self) -> Option<SimTime> {
+        self.prices.end()
+    }
+
+    /// Returns the fraction of `[from, to)` during which the spot price is
+    /// at or below `bid` — i.e. the *availability* a bidder at `bid` would
+    /// see (Figure 6a's y-axis), ignoring migration downtime.
+    pub fn availability_at_bid(&self, bid: f64, from: SimTime, to: SimTime) -> Option<f64> {
+        self.prices.fraction_where(from, to, |p| p <= bid)
+    }
+
+    /// Returns the time-average spot price over `[from, to)`.
+    pub fn mean_price(&self, from: SimTime, to: SimTime) -> Option<f64> {
+        self.prices.mean_over(from, to)
+    }
+
+    /// Returns the time-average of `min(spot, cap)` over `[from, to)` — the
+    /// effective price paid by a strategy that switches to a `cap`-priced
+    /// alternative whenever spot exceeds it.
+    pub fn mean_capped_price(&self, cap: f64, from: SimTime, to: SimTime) -> Option<f64> {
+        if to <= from {
+            return None;
+        }
+        self.prices.value_at(from)?;
+        let mut acc = 0.0;
+        let mut cursor = from;
+        let mut value = self.prices.value_at(from).expect("checked above");
+        while cursor < to {
+            let next = self
+                .prices
+                .next_change_after(cursor)
+                .map(|(t, _)| t)
+                .unwrap_or(SimTime::MAX)
+                .min(to);
+            acc += value.min(cap) * next.since(cursor).as_secs_f64();
+            if next < to {
+                value = self.prices.value_at(next).expect("change point has value");
+            }
+            cursor = next;
+        }
+        Some(acc / to.since(from).as_secs_f64())
+    }
+
+    /// Counts upward crossings of `bid` in `(from, to]` — each is a
+    /// revocation event for servers bid at `bid` in this market.
+    pub fn revocations_at_bid(&self, bid: f64, from: SimTime, to: SimTime) -> usize {
+        let mut count = 0;
+        let mut above = self.price_at(from).map(|p| p > bid).unwrap_or(false);
+        let mut cursor = from;
+        while let Some((t, p)) = self.prices.next_change_after(cursor) {
+            if t > to {
+                break;
+            }
+            let now_above = p > bid;
+            if now_above && !above {
+                count += 1;
+            }
+            above = now_above;
+            cursor = t;
+        }
+        count
+    }
+
+    /// Resamples the trace at `step` over `[from, to)` (for correlation and
+    /// jump statistics).
+    pub fn resample(&self, from: SimTime, to: SimTime, step: SimDuration) -> Vec<f64> {
+        self.prices.resample(from, to, step)
+    }
+
+    /// Serializes the trace to the plain-text format
+    /// `# market,on_demand_price` header plus `time_secs,price` lines.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# market={} od={}\n",
+            self.market, self.on_demand_price
+        ));
+        for (t, v) in self.prices.points() {
+            out.push_str(&format!("{},{v}\n", t.as_secs_f64()));
+        }
+        out
+    }
+
+    /// Parses a trace from the format produced by [`PriceTrace::to_csv`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn from_csv(text: &str) -> Result<PriceTrace, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty trace file")?;
+        let header = header
+            .strip_prefix("# ")
+            .ok_or("missing `# market=... od=...` header")?;
+        let mut market = None;
+        let mut od = None;
+        for field in header.split_whitespace() {
+            if let Some(m) = field.strip_prefix("market=") {
+                let (ty, zone) = m
+                    .split_once('@')
+                    .ok_or("market field must be `type@zone`")?;
+                market = Some(MarketId::new(ty, zone));
+            } else if let Some(p) = field.strip_prefix("od=") {
+                od = Some(
+                    p.parse::<f64>()
+                        .map_err(|e| format!("bad on-demand price: {e}"))?,
+                );
+            }
+        }
+        let market = market.ok_or("header missing market=")?;
+        let od = od.ok_or("header missing od=")?;
+        let mut series = StepSeries::new();
+        for (i, line) in lines.enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (t, p) = line
+                .split_once(',')
+                .ok_or_else(|| format!("line {}: expected `time,price`", i + 2))?;
+            let t: f64 = t
+                .parse()
+                .map_err(|e| format!("line {}: bad time: {e}", i + 2))?;
+            let p: f64 = p
+                .parse()
+                .map_err(|e| format!("line {}: bad price: {e}", i + 2))?;
+            if !t.is_finite() || t < 0.0 {
+                return Err(format!("line {}: time must be non-negative", i + 2));
+            }
+            series.push(SimTime::from_micros((t * 1e6).round() as u64), p);
+        }
+        Ok(PriceTrace::new(market, od, series))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> PriceTrace {
+        // od = 0.07; spot sits at 0.02, spikes to 0.50 during [100, 200).
+        let series = StepSeries::from_points(vec![
+            (SimTime::from_secs(0), 0.02),
+            (SimTime::from_secs(100), 0.50),
+            (SimTime::from_secs(200), 0.02),
+        ]);
+        PriceTrace::new(MarketId::new("m3.medium", "us-east-1a"), 0.07, series)
+    }
+
+    #[test]
+    fn availability_at_bid_counts_time_below() {
+        let t = trace();
+        let a = t
+            .availability_at_bid(0.07, SimTime::ZERO, SimTime::from_secs(1000))
+            .unwrap();
+        assert!((a - 0.9).abs() < 1e-12, "a={a}");
+        // A bid above the spike never loses the server.
+        let a = t
+            .availability_at_bid(1.0, SimTime::ZERO, SimTime::from_secs(1000))
+            .unwrap();
+        assert_eq!(a, 1.0);
+    }
+
+    #[test]
+    fn mean_and_capped_mean() {
+        let t = trace();
+        let m = t.mean_price(SimTime::ZERO, SimTime::from_secs(1000)).unwrap();
+        assert!((m - (0.02 * 900.0 + 0.50 * 100.0) / 1000.0).abs() < 1e-12);
+        // Capping at the on-demand price replaces the spike with 0.07.
+        let c = t
+            .mean_capped_price(0.07, SimTime::ZERO, SimTime::from_secs(1000))
+            .unwrap();
+        assert!((c - (0.02 * 900.0 + 0.07 * 100.0) / 1000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn revocations_count_upward_crossings() {
+        let t = trace();
+        assert_eq!(
+            t.revocations_at_bid(0.07, SimTime::ZERO, SimTime::from_secs(1000)),
+            1
+        );
+        assert_eq!(
+            t.revocations_at_bid(1.0, SimTime::ZERO, SimTime::from_secs(1000)),
+            0
+        );
+        // Already above at window start: the crossing happened earlier.
+        assert_eq!(
+            t.revocations_at_bid(0.07, SimTime::from_secs(150), SimTime::from_secs(1000)),
+            0
+        );
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let t = trace();
+        let text = t.to_csv();
+        let back = PriceTrace::from_csv(&text).unwrap();
+        assert_eq!(back.market, t.market);
+        assert_eq!(back.on_demand_price, t.on_demand_price);
+        assert_eq!(back.prices.points(), t.prices.points());
+    }
+
+    #[test]
+    fn csv_rejects_malformed() {
+        assert!(PriceTrace::from_csv("").is_err());
+        assert!(PriceTrace::from_csv("# od=0.07\n0,0.02\n").is_err());
+        assert!(PriceTrace::from_csv("# market=a@b od=0.07\nnot-a-line\n").is_err());
+        assert!(PriceTrace::from_csv("# market=a@b od=0.07\n-1,0.02\n").is_err());
+    }
+
+    #[test]
+    fn csv_skips_comments_and_blanks() {
+        let text = "# market=a@b od=0.07\n\n# comment\n0,0.02\n";
+        let t = PriceTrace::from_csv(text).unwrap();
+        assert_eq!(t.prices.len(), 1);
+    }
+}

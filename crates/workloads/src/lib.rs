@@ -1,0 +1,99 @@
+//! # spotcheck-workloads
+//!
+//! Application models standing in for the paper's two benchmarks
+//! (TPC-W and SPECjbb2005, §6). The evaluation uses the benchmarks in two
+//! roles, and the models reproduce both:
+//!
+//! 1. **Memory-dirtying load generators** — each workload exposes a
+//!    hot/cold [`DirtyModel`] whose distinct-dirty rate determines its
+//!    continuous-checkpoint stream demand (the x-axis dynamics of
+//!    Figure 7).
+//! 2. **A scalar performance metric** — TPC-W response time (ms) and
+//!    SPECjbb throughput (bops), as functions of the checkpointing state:
+//!    baseline, checkpointing-enabled (+15% TPC-W response, no visible
+//!    SPECjbb effect), backup-saturated (both degrade ~30% at 50 VMs per
+//!    backup), and lazy-restoring (TPC-W 29 ms → 60 ms; Figure 9).
+//!
+//! Calibration anchors are the paper's reported operating points; the
+//! *dynamics* (when saturation begins, how sharply performance falls) come
+//! from the substrate models, not from hard-coded curves.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod perf;
+pub mod specjbb;
+pub mod tpcw;
+
+pub use perf::{ApplicationModel, MetricKind, PerfContext};
+pub use specjbb::SpecJbb;
+pub use tpcw::TpcW;
+
+use spotcheck_nestedvm::memory::DirtyModel;
+
+/// The two benchmark workloads of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// TPC-W "ordering" mix on Tomcat + MySQL: latency-sensitive,
+    /// interactive.
+    TpcW,
+    /// SPECjbb2005: throughput-oriented, more memory-intensive.
+    SpecJbb,
+}
+
+impl WorkloadKind {
+    /// Both workloads.
+    pub const ALL: [WorkloadKind; 2] = [WorkloadKind::TpcW, WorkloadKind::SpecJbb];
+
+    /// Instantiates the model.
+    pub fn model(self) -> Box<dyn ApplicationModel> {
+        match self {
+            WorkloadKind::TpcW => Box::new(TpcW::default()),
+            WorkloadKind::SpecJbb => Box::new(SpecJbb::default()),
+        }
+    }
+
+    /// The workload's dirty model (shared by both the checkpoint-demand
+    /// and migration simulations).
+    pub fn dirty_model(self) -> DirtyModel {
+        self.model().dirty_model()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spotcheck_nestedvm::memory::PAGE_SIZE;
+    use spotcheck_simcore::time::SimDuration;
+
+    #[test]
+    fn specjbb_is_more_memory_intensive_than_tpcw() {
+        // Paper: "SPECjbb is ... generally more memory-intensive than
+        // TPC-W".
+        let t = WorkloadKind::TpcW.dirty_model();
+        let s = WorkloadKind::SpecJbb.dirty_model();
+        let rate =
+            |m: &spotcheck_nestedvm::memory::DirtyModel| m.distinct_dirty_rate(786_432, SimDuration::from_secs(1));
+        assert!(rate(&s) > rate(&t));
+    }
+
+    #[test]
+    fn checkpoint_stream_demands_near_calibration() {
+        // Per-VM stream demand should sit near 3 MB/s so that a 125 MB/s
+        // backup NIC saturates between 35 and 45 VMs (Figure 7's knee).
+        for kind in WorkloadKind::ALL {
+            let m = kind.dirty_model();
+            let bps = m.distinct_dirty_rate(786_432, SimDuration::from_secs(1)) * PAGE_SIZE as f64;
+            assert!(
+                (2.0e6..4.0e6).contains(&bps),
+                "{kind:?}: stream demand {bps}"
+            );
+        }
+    }
+
+    #[test]
+    fn models_instantiate() {
+        assert_eq!(WorkloadKind::TpcW.model().metric_kind(), MetricKind::ResponseTimeMs);
+        assert_eq!(WorkloadKind::SpecJbb.model().metric_kind(), MetricKind::ThroughputBops);
+    }
+}

@@ -1,0 +1,105 @@
+//! The application-performance interface.
+
+use spotcheck_nestedvm::memory::DirtyModel;
+
+/// What the workload's scalar metric measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Mean request response time in milliseconds (lower is better).
+    ResponseTimeMs,
+    /// Business operations per second (higher is better).
+    ThroughputBops,
+}
+
+/// The execution context a performance sample is taken under.
+#[derive(Debug, Clone, Copy)]
+pub struct PerfContext {
+    /// Continuous checkpointing to a backup server is active (the normal
+    /// state on a spot host).
+    pub checkpointing: bool,
+    /// Achieved/demanded checkpoint-stream ratio in `[0, 1]`; below 1.0
+    /// the checkpointer back-pressures the guest (backup saturation,
+    /// Figure 7's right side).
+    pub checkpoint_health: f64,
+    /// The VM is inside a lazy-restoration window (first-touch page faults
+    /// served over the network; Figure 9).
+    pub lazy_restoring: bool,
+    /// Number of VMs concurrently lazy-restoring from the same backup
+    /// server (bandwidth is partitioned equally among them, so the effect
+    /// of additional concurrency is mild).
+    pub concurrent_restores: usize,
+}
+
+impl PerfContext {
+    /// Baseline: no checkpointing, no restoration.
+    pub fn baseline() -> Self {
+        PerfContext {
+            checkpointing: false,
+            checkpoint_health: 1.0,
+            lazy_restoring: false,
+            concurrent_restores: 0,
+        }
+    }
+
+    /// Normal protected operation with a healthy backup.
+    pub fn protected() -> Self {
+        PerfContext {
+            checkpointing: true,
+            checkpoint_health: 1.0,
+            lazy_restoring: false,
+            concurrent_restores: 0,
+        }
+    }
+
+    /// Protected operation at the given backup health.
+    pub fn protected_with_health(health: f64) -> Self {
+        PerfContext {
+            checkpointing: true,
+            checkpoint_health: health.clamp(0.0, 1.0),
+            lazy_restoring: false,
+            concurrent_restores: 0,
+        }
+    }
+
+    /// A lazy-restoration window with `concurrent` VMs restoring together.
+    pub fn lazy_restoring(concurrent: usize) -> Self {
+        PerfContext {
+            checkpointing: false,
+            checkpoint_health: 1.0,
+            lazy_restoring: true,
+            concurrent_restores: concurrent.max(1),
+        }
+    }
+}
+
+/// A benchmark application model.
+pub trait ApplicationModel {
+    /// Human-readable name.
+    fn name(&self) -> &'static str;
+
+    /// What the metric measures.
+    fn metric_kind(&self) -> MetricKind;
+
+    /// The workload's page-dirtying behavior.
+    fn dirty_model(&self) -> DirtyModel;
+
+    /// The scalar performance metric under `ctx`.
+    fn perf(&self, ctx: &PerfContext) -> f64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_constructors() {
+        let b = PerfContext::baseline();
+        assert!(!b.checkpointing && !b.lazy_restoring);
+        let p = PerfContext::protected();
+        assert!(p.checkpointing && (p.checkpoint_health - 1.0).abs() < 1e-12);
+        let h = PerfContext::protected_with_health(1.5);
+        assert_eq!(h.checkpoint_health, 1.0, "health clamps to [0,1]");
+        let r = PerfContext::lazy_restoring(0);
+        assert_eq!(r.concurrent_restores, 1, "at least one restorer");
+    }
+}

@@ -1,0 +1,106 @@
+//! SPECjbb2005: a server-side Java throughput benchmark.
+//!
+//! The paper reports (§6.1, Figure 7):
+//!
+//! - ~**12 000 bops** baseline throughput on a medium nested VM;
+//! - **no noticeable degradation** when continuous checkpointing turns on
+//!   (unlike TPC-W: SPECjbb is throughput- rather than latency-bound);
+//! - throughput falls once the backup saturates — by roughly 30% at
+//!   50 VMs per backup server.
+
+use spotcheck_nestedvm::memory::DirtyModel;
+
+use crate::perf::{ApplicationModel, MetricKind, PerfContext};
+
+/// The SPECjbb2005 model.
+#[derive(Debug, Clone)]
+pub struct SpecJbb {
+    /// Baseline throughput, bops.
+    pub base_bops: f64,
+    /// Throughput multiplier while lazy-restoring (cold pages fault in).
+    pub restore_factor: f64,
+    /// Exponent shaping back-pressure: throughput scales as
+    /// `health^exponent` past saturation.
+    pub backpressure_exponent: f64,
+}
+
+impl Default for SpecJbb {
+    fn default() -> Self {
+        SpecJbb {
+            base_bops: 12_000.0,
+            restore_factor: 0.55,
+            backpressure_exponent: 1.2,
+        }
+    }
+}
+
+impl ApplicationModel for SpecJbb {
+    fn name(&self) -> &'static str {
+        "SPECjbb2005"
+    }
+
+    fn metric_kind(&self) -> MetricKind {
+        MetricKind::ThroughputBops
+    }
+
+    fn dirty_model(&self) -> DirtyModel {
+        // More memory-intensive than TPC-W: ~820 distinct pages/s over a
+        // ~400 MB (100k-page) hot set: a ~3.3 MB/s checkpoint stream.
+        DirtyModel::new(100_000, 850.0, 0.02)
+    }
+
+    fn perf(&self, ctx: &PerfContext) -> f64 {
+        if ctx.lazy_restoring {
+            return self.base_bops * self.restore_factor;
+        }
+        if !ctx.checkpointing {
+            return self.base_bops;
+        }
+        let health = ctx.checkpoint_health.clamp(0.01, 1.0);
+        self.base_bops * health.powf(self.backpressure_exponent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_near_12000_bops() {
+        let s = SpecJbb::default();
+        assert_eq!(s.perf(&PerfContext::baseline()), 12_000.0);
+        assert_eq!(s.name(), "SPECjbb2005");
+    }
+
+    #[test]
+    fn checkpointing_alone_costs_nothing() {
+        // Paper: "SpecJBB experiences no noticeable performance
+        // degradation during normal operation".
+        let s = SpecJbb::default();
+        assert_eq!(s.perf(&PerfContext::protected()), 12_000.0);
+    }
+
+    #[test]
+    fn saturation_cuts_throughput_by_about_a_quarter() {
+        // Figure 7 at 50 VMs/backup: health = (125/50)/3.3 ~ 0.76.
+        let s = SpecJbb::default();
+        let t = s.perf(&PerfContext::protected_with_health(0.76));
+        let drop = 1.0 - t / 12_000.0;
+        assert!((0.15..0.40).contains(&drop), "drop={drop}");
+    }
+
+    #[test]
+    fn restore_window_halves_throughput() {
+        let s = SpecJbb::default();
+        let t = s.perf(&PerfContext::lazy_restoring(1));
+        assert!((0.4..0.7).contains(&(t / 12_000.0)));
+    }
+
+    #[test]
+    fn health_monotonicity() {
+        let s = SpecJbb::default();
+        let a = s.perf(&PerfContext::protected_with_health(0.9));
+        let b = s.perf(&PerfContext::protected_with_health(0.5));
+        assert!(a > b);
+    }
+}

@@ -1,0 +1,128 @@
+//! TPC-W: an interactive multi-tier web application.
+//!
+//! The paper runs TPC-W's "ordering" mix against Tomcat 6 + MySQL 5 and
+//! reports (§6.1, Figures 7 and 9):
+//!
+//! - baseline response time **29 ms**;
+//! - **+15%** response time when continuous checkpointing turns on;
+//! - a further ~**30%** increase once the backup server saturates
+//!   (~50 VMs per backup);
+//! - **60 ms** during a lazy restoration, with additional concurrent
+//!   restorations barely mattering because the backup partitions
+//!   bandwidth per VM.
+
+use spotcheck_nestedvm::memory::DirtyModel;
+
+use crate::perf::{ApplicationModel, MetricKind, PerfContext};
+
+/// The TPC-W ordering-mix model.
+#[derive(Debug, Clone)]
+pub struct TpcW {
+    /// Baseline mean response time, ms.
+    pub base_ms: f64,
+    /// Multiplier when continuous checkpointing is active.
+    pub checkpoint_factor: f64,
+    /// Response time during a (single) lazy restoration, ms.
+    pub restore_ms: f64,
+    /// Additional per-extra-concurrent-restore slowdown (mild: bandwidth
+    /// is partitioned per VM).
+    pub restore_concurrency_factor: f64,
+    /// Exponent shaping how back-pressure translates to latency: response
+    /// scales as `1 / health^exponent` past saturation.
+    pub backpressure_exponent: f64,
+}
+
+impl Default for TpcW {
+    fn default() -> Self {
+        TpcW {
+            base_ms: 29.0,
+            checkpoint_factor: 1.15,
+            restore_ms: 60.0,
+            restore_concurrency_factor: 0.015,
+            backpressure_exponent: 2.0,
+        }
+    }
+}
+
+impl ApplicationModel for TpcW {
+    fn name(&self) -> &'static str {
+        "TPC-W"
+    }
+
+    fn metric_kind(&self) -> MetricKind {
+        MetricKind::ResponseTimeMs
+    }
+
+    fn dirty_model(&self) -> DirtyModel {
+        // ~700 distinct pages/s over a ~200 MB (50k-page) hot set: a
+        // ~2.9 MB/s checkpoint stream.
+        DirtyModel::new(50_000, 700.0, 0.01)
+    }
+
+    fn perf(&self, ctx: &PerfContext) -> f64 {
+        if ctx.lazy_restoring {
+            // First-touch faults dominate; extra concurrent restores only
+            // mildly extend queuing because bandwidth is partitioned.
+            let extra = ctx.concurrent_restores.saturating_sub(1) as f64;
+            return self.restore_ms * (1.0 + self.restore_concurrency_factor * extra);
+        }
+        if !ctx.checkpointing {
+            return self.base_ms;
+        }
+        let health = ctx.checkpoint_health.clamp(0.01, 1.0);
+        self.base_ms * self.checkpoint_factor / health.powf(self.backpressure_exponent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_is_29ms() {
+        let t = TpcW::default();
+        assert_eq!(t.perf(&PerfContext::baseline()), 29.0);
+        assert_eq!(t.name(), "TPC-W");
+    }
+
+    #[test]
+    fn checkpointing_adds_fifteen_percent() {
+        // The "0" -> "1" step of Figure 7.
+        let t = TpcW::default();
+        let p = t.perf(&PerfContext::protected());
+        assert!((p / 29.0 - 1.15).abs() < 1e-9, "p={p}");
+    }
+
+    #[test]
+    fn saturation_adds_roughly_thirty_percent_more() {
+        // Figure 7 at 50 VMs/backup: health = (125/50)/2.9 ~ 0.86.
+        let t = TpcW::default();
+        let healthy = t.perf(&PerfContext::protected());
+        let saturated = t.perf(&PerfContext::protected_with_health(0.86));
+        let increase = saturated / healthy - 1.0;
+        assert!(
+            (0.20..0.45).contains(&increase),
+            "saturation increase {increase}"
+        );
+    }
+
+    #[test]
+    fn lazy_restore_doubles_response_time() {
+        // Figure 9: 29 ms -> 60 ms during a single restoration.
+        let t = TpcW::default();
+        assert_eq!(t.perf(&PerfContext::lazy_restoring(1)), 60.0);
+        // 10 concurrent restorations barely move it (bandwidth
+        // partitioning).
+        let ten = t.perf(&PerfContext::lazy_restoring(10));
+        assert!(ten < 70.0, "ten={ten}");
+        assert!(ten > 60.0);
+    }
+
+    #[test]
+    fn worse_health_means_worse_latency() {
+        let t = TpcW::default();
+        let a = t.perf(&PerfContext::protected_with_health(0.9));
+        let b = t.perf(&PerfContext::protected_with_health(0.6));
+        assert!(b > a);
+    }
+}

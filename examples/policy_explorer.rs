@@ -1,0 +1,92 @@
+//! Policy explorer: compare Table 2's customer-to-pool mapping policies
+//! (and the two bidding policies) on freshly generated market history —
+//! the cost/availability/risk tradeoff of paper §6.2, interactively sized.
+//!
+//! ```text
+//! cargo run --release --example policy_explorer [days] [seed]
+//! ```
+
+use spotcheck_core::policy::{BiddingPolicy, MappingPolicy};
+use spotcheck_core::sim::{run_policy, standard_traces, PolicyExperiment};
+use spotcheck_migrate::mechanisms::MechanismKind;
+use spotcheck_simcore::time::SimDuration;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let days: u64 = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(7);
+    let traces = standard_traces("us-east-1a", SimDuration::from_days(days), seed);
+
+    println!("=== mapping policies ({days} days, seed {seed}, SpotCheck lazy restore) ===\n");
+    println!(
+        "{:<8} {:>10} {:>14} {:>12} {:>12} {:>14}",
+        "policy", "$/VM-hr", "avail (%)", "degr (%)", "revs/VM", "P(full storm)"
+    );
+    for mapping in MappingPolicy::ALL {
+        let mut exp = PolicyExperiment::paper_default(mapping, MechanismKind::SpotCheckLazy, seed);
+        exp.horizon = SimDuration::from_days(days);
+        let r = run_policy(&traces, &exp);
+        println!(
+            "{:<8} {:>10.4} {:>14.4} {:>12.4} {:>12.1} {:>14}",
+            mapping.label(),
+            r.avg_cost_per_vm_hr,
+            r.availability_pct,
+            r.degradation_pct,
+            r.revocations_per_vm,
+            if r.storms.p_full() > 0.0 {
+                format!("{:.1e}", r.storms.p_full())
+            } else {
+                "never".to_string()
+            }
+        );
+    }
+
+    println!("\n=== bidding policies (2P-ML, SpotCheck lazy restore) ===\n");
+    println!(
+        "{:<22} {:>10} {:>14} {:>12} {:>12}",
+        "bidding", "$/VM-hr", "avail (%)", "revs/VM", "proactive/VM"
+    );
+    let bids = [
+        BiddingPolicy::OnDemandPrice,
+        BiddingPolicy::KTimesOnDemand {
+            k: 2.0,
+            proactive: false,
+        },
+        BiddingPolicy::KTimesOnDemand {
+            k: 2.0,
+            proactive: true,
+        },
+        BiddingPolicy::KTimesOnDemand {
+            k: 10.0,
+            proactive: true,
+        },
+    ];
+    for bidding in bids {
+        let mut exp = PolicyExperiment::paper_default(
+            MappingPolicy::TwoML,
+            MechanismKind::SpotCheckLazy,
+            seed,
+        );
+        exp.horizon = SimDuration::from_days(days);
+        exp.bidding = bidding;
+        let r = run_policy(&traces, &exp);
+        let proactive: usize = r.pools.iter().map(|p| p.proactive_migrations).sum();
+        println!(
+            "{:<22} {:>10.4} {:>14.4} {:>12.1} {:>12}",
+            bidding.label(),
+            r.avg_cost_per_vm_hr,
+            r.availability_pct,
+            r.revocations_per_vm,
+            proactive
+        );
+    }
+    println!(
+        "\nreading: single-pool is cheapest/most available when its market is calm, but every\n\
+         storm takes all VMs at once; spreading pools trades pennies for storm immunity;\n\
+         higher bids with proactive migration convert revocations into zero-downtime live\n\
+         migrations at the cost of occasionally paying above on-demand."
+    );
+}

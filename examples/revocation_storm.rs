@@ -1,0 +1,97 @@
+//! Revocation storm anatomy: a second-by-second look at what SpotCheck
+//! does in the 120 seconds between a spot price spike and the platform
+//! pulling the plug (paper §3.5, §4.3).
+//!
+//! Ten nested VMs sit on sliced spot servers when their market spikes.
+//! The example traces the migration pipeline — warning, ramped final
+//! checkpoints, destination acquisition, EBS/ENI moves, lazy restoration —
+//! and verifies every VM survives with its IP intact.
+//!
+//! ```text
+//! cargo run --example revocation_storm
+//! ```
+
+use spotcheck_core::config::SpotCheckConfig;
+use spotcheck_core::driver::SpotCheckSim;
+use spotcheck_core::types::VmStatus;
+use spotcheck_simcore::series::StepSeries;
+use spotcheck_simcore::time::{SimDuration, SimTime};
+use spotcheck_spotmarket::market::MarketId;
+use spotcheck_spotmarket::trace::PriceTrace;
+use spotcheck_workloads::WorkloadKind;
+
+fn main() {
+    // A calm medium market that spikes violently at t = 2 h.
+    let spike_at = SimTime::from_hours(2);
+    let series = StepSeries::from_points(vec![
+        (SimTime::ZERO, 0.0141),
+        (spike_at, 4.2000), // 60x the on-demand price
+        (spike_at + SimDuration::from_hours(3), 0.0141),
+    ]);
+    let trace = PriceTrace::new(MarketId::new("m3.medium", "us-east-1a"), 0.070, series);
+
+    let config = SpotCheckConfig {
+        hot_spares: 2,
+        ..SpotCheckConfig::default()
+    };
+    let mut sim = SpotCheckSim::new(vec![trace], config);
+    let customer = sim.create_customer();
+    let vms: Vec<_> = (0..10)
+        .map(|_| sim.request_server(customer, WorkloadKind::TpcW))
+        .collect();
+
+    // Everyone is up before the spike.
+    sim.run_until(spike_at - SimDuration::from_secs(1));
+    let ips: Vec<_> = vms
+        .iter()
+        .map(|v| sim.controller().vm_ip(*v).expect("ip assigned"))
+        .collect();
+    println!(
+        "t-0:00:01  {} VMs running on spot at $0.0141/hr; warning imminent",
+        vms.len()
+    );
+
+    // Walk through the storm in 15-second steps.
+    for step in 1..=16 {
+        let t = spike_at + SimDuration::from_secs(step * 15);
+        sim.run_until(t);
+        let mut running = 0;
+        let mut migrating = 0;
+        for vm in &vms {
+            match sim.controller().vm(*vm).expect("vm").status {
+                VmStatus::Running => running += 1,
+                VmStatus::Migrating => migrating += 1,
+                _ => {}
+            }
+        }
+        println!(
+            "t+{:>3}s     running={running:<2} migrating={migrating:<2} active-migrations={} idle-spares={}",
+            step * 15,
+            sim.controller().active_migrations(),
+            sim.controller().idle_spares()
+        );
+        if migrating == 0 && step > 2 {
+            break;
+        }
+    }
+
+    sim.run_until(spike_at + SimDuration::from_secs(600));
+    let report = sim.availability_report();
+    println!("\nstorm outcome:");
+    println!("  VMs revoked:     {}", report.revocations);
+    println!("  VMs surviving:   {}", vms.len());
+    for (vm, ip_before) in vms.iter().zip(&ips) {
+        let rec = sim.controller().vm(*vm).expect("vm");
+        assert_eq!(rec.status, VmStatus::Running, "{vm} must survive");
+        assert_eq!(rec.ip, *ip_before, "{vm} must keep its IP");
+    }
+    println!("  every VM kept its private IP across the migration");
+    println!(
+        "  mean downtime:   {:.1} s per VM (EC2 EBS/ENI ops dominate; paper: ~23 s)",
+        report.total_downtime.as_secs_f64() / vms.len() as f64
+    );
+    println!(
+        "  degraded window: {:.1} s per VM (lazy restoration prefetch)",
+        report.total_degraded.as_secs_f64() / vms.len() as f64
+    );
+}

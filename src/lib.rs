@@ -1,0 +1,24 @@
+//! # spotcheck-suite
+//!
+//! Umbrella crate for the SpotCheck reproduction (EuroSys 2015): re-exports
+//! every component crate, and hosts the runnable examples (`examples/`) and
+//! cross-crate integration tests (`tests/`).
+//!
+//! Start with [`core`] (the SpotCheck controller and policies) and the
+//! `quickstart` example:
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use spotcheck_backup as backup;
+pub use spotcheck_cloudsim as cloudsim;
+pub use spotcheck_core as core;
+pub use spotcheck_migrate as migrate;
+pub use spotcheck_nestedvm as nestedvm;
+pub use spotcheck_simcore as simcore;
+pub use spotcheck_spotmarket as spotmarket;
+pub use spotcheck_workloads as workloads;

@@ -1,0 +1,209 @@
+//! Workspace integration tests: the full stack (market generator -> cloud
+//! simulator -> controller -> accounting) exercised together, plus
+//! consistency checks between the closed-form analysis, the policy
+//! simulator, and the event-driven controller.
+
+use spotcheck_core::analysis::MarketModel;
+use spotcheck_core::config::SpotCheckConfig;
+use spotcheck_core::driver::SpotCheckSim;
+use spotcheck_core::policy::MappingPolicy;
+use spotcheck_core::sim::{run_policy, standard_traces, PolicyExperiment};
+use spotcheck_core::types::VmStatus;
+use spotcheck_migrate::mechanisms::MechanismKind;
+use spotcheck_simcore::time::{SimDuration, SimTime};
+use spotcheck_workloads::WorkloadKind;
+
+/// Over generated market history, the §4.4 closed-form expected cost must
+/// agree with the policy simulator's measured native cost for a single
+/// medium pool (both integrate the same trace).
+#[test]
+fn closed_form_analysis_matches_policy_simulator() {
+    let days = 60;
+    let traces = standard_traces("us-east-1a", SimDuration::from_days(days), 11);
+    let medium = &traces[0];
+    let model = MarketModel::from_trace(
+        medium,
+        medium.on_demand_price,
+        SimTime::ZERO,
+        SimTime::from_days(days),
+    )
+    .expect("model estimable");
+
+    let mut exp =
+        PolicyExperiment::paper_default(MappingPolicy::OneM, MechanismKind::SpotCheckLazy, 11);
+    exp.horizon = SimDuration::from_days(days);
+    let report = run_policy(&traces, &exp);
+
+    let analytic = model.expected_cost();
+    let measured = report.pools[0].native_cost_per_vm_hr;
+    assert!(
+        (analytic - measured).abs() / analytic < 0.02,
+        "closed form {analytic} vs simulated {measured}"
+    );
+}
+
+/// The closed-form availability (23 s per revocation) must approximate the
+/// policy simulator's.
+#[test]
+fn closed_form_availability_tracks_simulator() {
+    let days = 60;
+    let traces = standard_traces("us-east-1a", SimDuration::from_days(days), 13);
+    let large = &traces[1];
+    // Sanity: the model is estimable on this window.
+    MarketModel::from_trace(
+        large,
+        large.on_demand_price,
+        SimTime::ZERO,
+        SimTime::from_days(days),
+    )
+    .unwrap();
+
+    let mut exp =
+        PolicyExperiment::paper_default(MappingPolicy::TwoML, MechanismKind::SpotCheckLazy, 13);
+    exp.horizon = SimDuration::from_days(days);
+    let report = run_policy(&traces, &exp);
+    let large_pool = &report.pools[1];
+    let measured_unavail =
+        large_pool.downtime_per_vm.as_secs_f64() / (days as f64 * 86_400.0);
+
+    // The simulator charges ~23 s of EC2 ops per revocation; the analysis
+    // predicts D * (revocations / horizon).
+    let d = 23.0;
+    let analytic = d * large_pool.revocations as f64 / (days as f64 * 86_400.0);
+    assert!(
+        (measured_unavail - analytic).abs() / analytic < 0.25,
+        "analysis {analytic} vs simulated {measured_unavail}"
+    );
+}
+
+/// The event-driven controller and the trace-walking policy simulator must
+/// agree on revocation counts for the same trace.
+#[test]
+fn controller_and_policy_sim_agree_on_revocations() {
+    let days = 10;
+    let traces = standard_traces("us-east-1a", SimDuration::from_days(days), 21);
+    // Policy-sim revocation count for the medium pool.
+    let mut exp =
+        PolicyExperiment::paper_default(MappingPolicy::OneM, MechanismKind::SpotCheckLazy, 21);
+    exp.horizon = SimDuration::from_days(days);
+    let report = run_policy(&traces, &exp);
+    let expected_revocations = report.pools[0].revocations as u64;
+
+    // Controller run with one VM mapped to the same pool. The counts can
+    // differ slightly: while the VM waits out a spike on on-demand, a
+    // second spike in its home pool revokes nobody.
+    let config = SpotCheckConfig {
+        mapping: MappingPolicy::OneM,
+        ..SpotCheckConfig::default()
+    };
+    let mut sim = SpotCheckSim::new(traces, config);
+    let cust = sim.create_customer();
+    let vm = sim.request_server(cust, WorkloadKind::TpcW);
+    sim.run_until(SimTime::from_days(days));
+    let measured = sim.availability_report().revocations;
+
+    assert_eq!(sim.controller().vm(vm).unwrap().status, VmStatus::Running);
+    assert!(
+        measured <= expected_revocations + 1,
+        "controller saw {measured} revocations vs trace walk {expected_revocations}"
+    );
+    if expected_revocations > 0 {
+        assert!(
+            measured > 0,
+            "trace had {expected_revocations} bid crossings; the controller saw none"
+        );
+    }
+}
+
+/// A VM that rides through many market cycles ends the run healthy, IP
+/// intact, and cheaper than on-demand.
+#[test]
+fn month_long_churn_stays_cheap_and_available() {
+    let days = 30;
+    let traces = standard_traces("us-east-1a", SimDuration::from_days(days), 31);
+    let config = SpotCheckConfig {
+        mapping: MappingPolicy::TwoML,
+        hot_spares: 1,
+        ..SpotCheckConfig::default()
+    };
+    let mut sim = SpotCheckSim::new(traces, config);
+    let cust = sim.create_customer();
+    let vms: Vec<_> = (0..4)
+        .map(|_| sim.request_server(cust, WorkloadKind::TpcW))
+        .collect();
+    let ips: Vec<_> = {
+        sim.run_until(SimTime::from_hours(1));
+        vms.iter()
+            .map(|v| sim.controller().vm_ip(*v).unwrap())
+            .collect()
+    };
+    sim.run_until(SimTime::from_days(days));
+
+    let report = sim.availability_report();
+    assert_eq!(report.vms, 4);
+    assert!(
+        report.availability_pct() > 99.5,
+        "availability {}",
+        report.availability_pct()
+    );
+    for (vm, ip) in vms.iter().zip(ips) {
+        let r = sim.controller().vm(*vm).unwrap();
+        assert_eq!(r.status, VmStatus::Running);
+        assert_eq!(r.ip, ip, "IP must survive every migration");
+    }
+    let cost = sim.cost_report();
+    let native = cost.native_cost / cost.vm_hours;
+    assert!(native < 0.05, "native cost/hr {native}");
+}
+
+/// Determinism: the same seed reproduces the same run bit-for-bit at every
+/// level of the stack.
+#[test]
+fn whole_stack_is_deterministic() {
+    let run = || {
+        let traces = standard_traces("us-east-1a", SimDuration::from_days(7), 99);
+        let mut sim = SpotCheckSim::new(traces, SpotCheckConfig::default());
+        let cust = sim.create_customer();
+        let _vm = sim.request_server(cust, WorkloadKind::SpecJbb);
+        sim.run_until(SimTime::from_days(7));
+        let rep = sim.availability_report();
+        let cost = sim.cost_report();
+        (
+            rep.revocations,
+            rep.migrations,
+            rep.total_downtime,
+            format!("{:.12}", cost.native_cost),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+/// Live-only protection is cheaper but riskier; bounded-time protection
+/// never loses a VM even when the source is force-terminated mid-flight.
+#[test]
+fn mechanisms_cost_ranking_holds_end_to_end() {
+    let days = 20;
+    let run = |mech: MechanismKind| {
+        let traces = standard_traces("us-east-1a", SimDuration::from_days(days), 55);
+        let config = SpotCheckConfig {
+            mechanism: mech,
+            ..SpotCheckConfig::default()
+        };
+        let mut sim = SpotCheckSim::new(traces, config);
+        let cust = sim.create_customer();
+        let vm = sim.request_server(cust, WorkloadKind::TpcW);
+        sim.run_until(SimTime::from_days(days));
+        assert_eq!(sim.controller().vm(vm).unwrap().status, VmStatus::Running);
+        let cost = sim.cost_report();
+        let report_downtime = {
+            let mut s = sim;
+            s.availability_report().total_downtime
+        };
+        (cost.backup_cost, report_downtime)
+    };
+    let (live_backup, live_down) = run(MechanismKind::XenLive);
+    let (lazy_backup, lazy_down) = run(MechanismKind::SpotCheckLazy);
+    assert_eq!(live_backup, 0.0);
+    assert!(lazy_backup >= 0.0);
+    assert!(live_down <= lazy_down);
+}
