@@ -134,7 +134,7 @@ impl BackupPool {
         };
         self.servers
             .get_mut(&id)
-            .expect("server exists")
+            .ok_or(BackupError::UnknownServer(id.0))?
             .assign(vm, total_pages)?;
         self.assignment.insert(vm, id);
         Ok(id)
@@ -150,11 +150,39 @@ impl BackupPool {
             .assignment
             .remove(&vm)
             .ok_or(BackupError::UnknownVm(vm))?;
+        // A failed server's assignments were already swept by `fail_server`,
+        // so a live assignment always points at a live server; tolerate an
+        // inconsistent map rather than panicking mid-simulation.
         self.servers
             .get_mut(&id)
-            .expect("assigned server exists")
+            .ok_or(BackupError::UnknownServer(id.0))?
             .release(vm)?;
         Ok(id)
+    }
+
+    /// Removes a server from the pool (crash-stop: its stored checkpoints
+    /// are gone) and returns the VMs it was protecting, now orphaned. The
+    /// caller is responsible for re-replicating their state elsewhere.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no such server exists (e.g. it already failed).
+    pub fn fail_server(&mut self, id: BackupServerId) -> Result<Vec<NestedVmId>, BackupError> {
+        let server = self
+            .servers
+            .remove(&id)
+            .ok_or(BackupError::UnknownServer(id.0))?;
+        let orphans: Vec<NestedVmId> = server.protected_vms().collect();
+        for vm in &orphans {
+            self.assignment.remove(vm);
+        }
+        Ok(orphans)
+    }
+
+    /// Ids of the currently live servers, in ascending order (used to map
+    /// fault-plan ordinals onto concrete servers).
+    pub fn server_ids(&self) -> Vec<BackupServerId> {
+        self.servers.keys().copied().collect()
     }
 
     /// The pool's current total $/hr cost.
@@ -242,6 +270,30 @@ mod tests {
         }
         assert!((p.hourly_cost() - 0.28).abs() < 1e-12);
         assert!((p.amortized_cost_per_vm() - 0.07).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fail_server_orphans_its_vms() {
+        let mut p = pool();
+        let s1 = p.assign(NestedVmId(0), 100, &[]).unwrap();
+        let s2 = p.assign(NestedVmId(1), 100, &[s1]).unwrap();
+        let mut orphans = p.fail_server(s1).unwrap();
+        orphans.sort();
+        assert_eq!(orphans, vec![NestedVmId(0)]);
+        assert_eq!(p.server_count(), 1);
+        assert_eq!(p.server_of(NestedVmId(0)), None);
+        assert_eq!(p.server_of(NestedVmId(1)), Some(s2));
+        // Double failure is a typed error, not a panic.
+        assert_eq!(
+            p.fail_server(s1).unwrap_err(),
+            BackupError::UnknownServer(s1.0)
+        );
+        // The orphan can be re-assigned (re-replication path); with s1 gone
+        // the surviving server takes it round-robin.
+        let s3 = p.assign(NestedVmId(0), 100, &[]).unwrap();
+        assert_eq!(p.server_of(NestedVmId(0)), Some(s3));
+        assert_eq!(s3, s2);
+        assert_eq!(p.server_ids(), vec![s2]);
     }
 
     #[test]

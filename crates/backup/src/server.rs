@@ -27,6 +27,9 @@ pub enum BackupError {
     UnknownVm(NestedVmId),
     /// The VM is already assigned to this server.
     AlreadyAssigned(NestedVmId),
+    /// No server with this id exists in the pool (never provisioned, or
+    /// already failed/retired).
+    UnknownServer(u64),
 }
 
 impl std::fmt::Display for BackupError {
@@ -37,6 +40,7 @@ impl std::fmt::Display for BackupError {
             }
             BackupError::UnknownVm(id) => write!(f, "{id} is not backed up by this server"),
             BackupError::AlreadyAssigned(id) => write!(f, "{id} is already assigned"),
+            BackupError::UnknownServer(id) => write!(f, "backup server bkp-{id:04} does not exist"),
         }
     }
 }
@@ -214,7 +218,7 @@ impl BackupServer {
 
     /// Free protection slots.
     pub fn free_slots(&self) -> usize {
-        self.config.max_vms - self.vm_count()
+        self.config.max_vms.saturating_sub(self.vm_count())
     }
 
     /// Assigns a VM with `total_pages` of image to this server.

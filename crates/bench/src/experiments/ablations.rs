@@ -280,6 +280,49 @@ pub fn run_billing(scale: Scale) -> String {
     out
 }
 
+/// Ablation: the §3.2 predictive approach — how reliably can rising
+/// prices foretell revocations, and at what false-alarm cost?
+pub fn run_predictor(scale: Scale) -> String {
+    let horizon = SimDuration::from_days(scale.horizon_days());
+    let traces = standard_traces("us-east-1a", horizon, 0xFEED);
+    let large = &traces[1];
+    let end = SimTime::ZERO + horizon;
+    let lead = SimDuration::from_secs(120);
+    let mut t = TextTable::new(&[
+        "alarm ratio",
+        "rise factor",
+        "recall",
+        "precision",
+        "hits",
+        "misses",
+        "false alarms",
+    ]);
+    for (ratio, rise) in [(0.8, 1.5), (0.5, 1.25), (0.3, 1.1), (0.2, 1.02)] {
+        let p = TrendPredictor {
+            alarm_ratio: ratio,
+            rise_factor: rise,
+            ..TrendPredictor::default()
+        };
+        let s = p.evaluate(large, large.on_demand_price, lead, SimTime::ZERO, end);
+        t.row(vec![
+            f(ratio, 2),
+            f(rise, 2),
+            f(s.recall(), 3),
+            f(s.precision(), 3),
+            s.hits.to_string(),
+            s.misses.to_string(),
+            s.false_alarms.to_string(),
+        ]);
+    }
+    let mut out = t.render();
+    out.push_str(
+        "\n(§3.2: proactive-only protection risks losing state unless revocations are\n\
+         predicted with high confidence; sharp price cliffs are inherently unpredictable,\n\
+         which is why SpotCheck keeps the bounded-time checkpointing safety net)\n",
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -341,47 +384,4 @@ mod tests {
         assert!(!run_fadvise(Scale::Quick).is_empty());
         assert!(!run_billing(Scale::Quick).is_empty());
     }
-}
-
-/// Ablation: the §3.2 predictive approach — how reliably can rising
-/// prices foretell revocations, and at what false-alarm cost?
-pub fn run_predictor(scale: Scale) -> String {
-    let horizon = SimDuration::from_days(scale.horizon_days());
-    let traces = standard_traces("us-east-1a", horizon, 0xFEED);
-    let large = &traces[1];
-    let end = SimTime::ZERO + horizon;
-    let lead = SimDuration::from_secs(120);
-    let mut t = TextTable::new(&[
-        "alarm ratio",
-        "rise factor",
-        "recall",
-        "precision",
-        "hits",
-        "misses",
-        "false alarms",
-    ]);
-    for (ratio, rise) in [(0.8, 1.5), (0.5, 1.25), (0.3, 1.1), (0.2, 1.02)] {
-        let p = TrendPredictor {
-            alarm_ratio: ratio,
-            rise_factor: rise,
-            ..TrendPredictor::default()
-        };
-        let s = p.evaluate(large, large.on_demand_price, lead, SimTime::ZERO, end);
-        t.row(vec![
-            f(ratio, 2),
-            f(rise, 2),
-            f(s.recall(), 3),
-            f(s.precision(), 3),
-            s.hits.to_string(),
-            s.misses.to_string(),
-            s.false_alarms.to_string(),
-        ]);
-    }
-    let mut out = t.render();
-    out.push_str(
-        "\n(§3.2: proactive-only protection risks losing state unless revocations are\n\
-         predicted with high confidence; sharp price cliffs are inherently unpredictable,\n\
-         which is why SpotCheck keeps the bounded-time checkpointing safety net)\n",
-    );
-    out
 }

@@ -56,11 +56,7 @@ pub fn grid(scale: Scale) -> &'static Vec<PolicyReport> {
     })
 }
 
-fn cell<'a>(
-    grid: &'a [PolicyReport],
-    mapping: MappingPolicy,
-    mech: MechanismKind,
-) -> &'a PolicyReport {
+fn cell(grid: &[PolicyReport], mapping: MappingPolicy, mech: MechanismKind) -> &PolicyReport {
     grid.iter()
         .find(|r| r.mapping == mapping && r.mechanism == mech)
         .expect("grid covers all cells")

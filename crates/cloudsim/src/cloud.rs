@@ -18,6 +18,7 @@ use spotcheck_spotmarket::trace::PriceTrace;
 
 use crate::billing::{on_demand_cost, spot_cost, BillingMode};
 use crate::error::CloudError;
+use crate::faults::{FaultEvent, FaultImpact, FaultPlan};
 use crate::ids::{EniId, InstanceId, OpId, PrivateIp, VolumeId};
 use crate::instance::{Contract, Instance, InstanceState};
 use crate::latency::{CloudOp, LatencyModel};
@@ -37,6 +38,8 @@ pub struct CloudConfig {
     pub on_demand_stockout_prob: f64,
     /// RNG seed for latency sampling and stockout draws.
     pub seed: u64,
+    /// Fault-injection plan (inert by default).
+    pub faults: FaultPlan,
 }
 
 impl Default for CloudConfig {
@@ -46,6 +49,7 @@ impl Default for CloudConfig {
             billing: BillingMode::Continuous,
             on_demand_stockout_prob: 0.0,
             seed: 0,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -61,6 +65,12 @@ pub enum Notification {
     /// A spot instance's boot raced a price spike and was not fulfilled.
     SpotStartFailed {
         /// The instance (now terminated, never billed).
+        instance: InstanceId,
+    },
+    /// The instance crash-stopped under fault injection: no warning was
+    /// given, its memory is lost, and its volumes and ENIs were released.
+    InstanceCrashed {
+        /// The instance.
         instance: InstanceId,
     },
     /// The instance finished terminating.
@@ -147,6 +157,13 @@ pub struct CloudSim {
     ops: BTreeMap<OpId, PendingOp>,
     latency: LatencyModel,
     rng: SimRng,
+    /// Dedicated stream for transient-error draws, so enabling fault
+    /// injection never perturbs latency or stockout sampling.
+    fault_rng: SimRng,
+    /// Index of the next undelivered entry in `config.faults.schedule`.
+    fault_cursor: usize,
+    /// Active control-plane latency spike: `(until, factor)`.
+    latency_spike: Option<(SimTime, f64)>,
     next_instance: u64,
     next_volume: u64,
     next_eni: u64,
@@ -161,6 +178,7 @@ impl CloudSim {
             .map(|s| (s.type_name.as_str().to_string(), s))
             .collect();
         let rng = SimRng::seed(config.seed).fork_named("cloudsim");
+        let fault_rng = SimRng::seed(config.seed).fork_named("faults");
         CloudSim {
             config,
             catalog,
@@ -172,6 +190,9 @@ impl CloudSim {
             ops: BTreeMap::new(),
             latency: LatencyModel::table1(),
             rng,
+            fault_rng,
+            fault_cursor: 0,
+            latency_spike: None,
             next_instance: 0,
             next_volume: 0,
             next_eni: 0,
@@ -233,9 +254,112 @@ impl CloudSim {
     fn fresh_op(&mut self, kind: OpKind, op: CloudOp, now: SimTime) -> (OpId, SimTime) {
         let id = OpId(self.next_op);
         self.next_op += 1;
-        let ready_at = now + self.latency.sample(op, &mut self.rng);
+        let mut delay = self.latency.sample(op, &mut self.rng);
+        if let Some((until, factor)) = self.latency_spike {
+            if now < until {
+                delay = delay.mul_f64(factor);
+            } else {
+                self.latency_spike = None;
+            }
+        }
+        let ready_at = now + delay;
         self.ops.insert(id, PendingOp { kind, ready_at });
         (id, ready_at)
+    }
+
+    /// Draws the transient-API-error dice for one control-plane call.
+    ///
+    /// Gated on the probability so fault-free configurations consume no
+    /// randomness and replay identically.
+    fn transient_gate(&mut self) -> Result<(), CloudError> {
+        if self.config.faults.transient_error_prob > 0.0
+            && self.fault_rng.next_f64() < self.config.faults.transient_error_prob
+        {
+            return Err(CloudError::ApiUnavailable);
+        }
+        Ok(())
+    }
+
+    /// Returns the next scheduled fault not yet handed to the driver, and
+    /// advances the cursor past it.
+    ///
+    /// The driver arms the first fault at bootstrap and re-arms the next
+    /// one each time a fault fires — the same pull model as
+    /// [`CloudSim::next_price_change_after`].
+    pub fn next_scheduled_fault(&mut self) -> Option<(SimTime, FaultEvent)> {
+        let entry = self.config.faults.schedule.get(self.fault_cursor).cloned();
+        if entry.is_some() {
+            self.fault_cursor += 1;
+        }
+        entry
+    }
+
+    /// Applies a scheduled fault at `now` and reports its impact.
+    ///
+    /// Crash-stops terminate the instance immediately (no warning, memory
+    /// lost, billing stops, volumes and ENIs released). Storms issue
+    /// revocation warnings for every running spot instance in the market.
+    /// Latency spikes affect subsequent operation latencies. Backup-server
+    /// failures are relayed for the controller to apply to its pool.
+    pub fn apply_fault(&mut self, event: &FaultEvent, now: SimTime) -> FaultImpact {
+        let mut impact = FaultImpact::default();
+        match event {
+            FaultEvent::InstanceCrash { pick } => {
+                let running: Vec<InstanceId> = self
+                    .instances
+                    .values()
+                    .filter(|i| matches!(i.state, InstanceState::Running))
+                    .map(|i| i.id)
+                    .collect();
+                if running.is_empty() {
+                    return impact;
+                }
+                let victim = running[(pick % running.len() as u64) as usize];
+                let Some(inst) = self.instances.get_mut(&victim) else {
+                    return impact;
+                };
+                inst.state = InstanceState::Terminated;
+                inst.terminated_at = Some(now);
+                inst.revoked = true;
+                let vols = std::mem::take(&mut inst.volumes);
+                let enis = std::mem::take(&mut inst.enis);
+                for v in vols {
+                    if let Some(vol) = self.volumes.get_mut(&v) {
+                        vol.state = AttachState::Available;
+                    }
+                }
+                for e in enis {
+                    if let Some(eni) = self.enis.get_mut(&e) {
+                        eni.state = AttachState::Available;
+                    }
+                }
+                impact
+                    .notifications
+                    .push(Notification::InstanceCrashed { instance: victim });
+            }
+            FaultEvent::BackupFailure { pick } => {
+                impact.backup_pick = Some(*pick);
+            }
+            FaultEvent::RevocationStorm { market } => {
+                let terminate_at = now + self.config.warning_period;
+                for inst in self.instances.values_mut() {
+                    if inst.market().as_ref() == Some(market)
+                        && matches!(inst.state, InstanceState::Running)
+                    {
+                        inst.state = InstanceState::RevocationPending { terminate_at };
+                        impact.warnings.push(RevocationWarning {
+                            instance: inst.id,
+                            market: market.clone(),
+                            terminate_at,
+                        });
+                    }
+                }
+            }
+            FaultEvent::LatencySpike { factor, duration } => {
+                self.latency_spike = Some((now + *duration, *factor));
+            }
+        }
+        impact
     }
 
     /// Requests a spot instance at `bid` $/hr.
@@ -254,6 +378,7 @@ impl CloudSim {
         bid: f64,
         now: SimTime,
     ) -> Result<(InstanceId, OpId, SimTime), CloudError> {
+        self.transient_gate()?;
         let spec = self
             .catalog
             .get(type_name)
@@ -300,6 +425,7 @@ impl CloudSim {
         zone: &ZoneName,
         now: SimTime,
     ) -> Result<(InstanceId, OpId, SimTime), CloudError> {
+        self.transient_gate()?;
         let spec = self
             .catalog
             .get(type_name)
@@ -343,6 +469,7 @@ impl CloudSim {
         id: InstanceId,
         now: SimTime,
     ) -> Result<(OpId, SimTime), CloudError> {
+        self.transient_gate()?;
         let inst = self
             .instances
             .get_mut(&id)
@@ -375,7 +502,7 @@ impl CloudSim {
         for inst in self.instances.values_mut() {
             if inst.market().as_ref() == Some(market)
                 && matches!(inst.state, InstanceState::Running)
-                && inst.contract.bid().expect("spot has bid") < price
+                && inst.contract.bid().is_some_and(|bid| bid < price)
             {
                 inst.state = InstanceState::RevocationPending { terminate_at };
                 warnings.push(RevocationWarning {
@@ -454,6 +581,7 @@ impl CloudSim {
         instance: InstanceId,
         now: SimTime,
     ) -> Result<(OpId, SimTime), CloudError> {
+        self.transient_gate()?;
         let inst = self
             .instances
             .get(&instance)
@@ -488,6 +616,7 @@ impl CloudSim {
         volume: VolumeId,
         now: SimTime,
     ) -> Result<(OpId, SimTime), CloudError> {
+        self.transient_gate()?;
         let vol = self
             .volumes
             .get_mut(&volume)
@@ -529,6 +658,7 @@ impl CloudSim {
         instance: InstanceId,
         now: SimTime,
     ) -> Result<(OpId, SimTime), CloudError> {
+        self.transient_gate()?;
         let inst = self
             .instances
             .get(&instance)
@@ -556,6 +686,7 @@ impl CloudSim {
     ///
     /// Fails if the ENI is unknown or not attached.
     pub fn detach_eni(&mut self, eni: EniId, now: SimTime) -> Result<(OpId, SimTime), CloudError> {
+        self.transient_gate()?;
         let e = self.enis.get_mut(&eni).ok_or(CloudError::UnknownEni(eni))?;
         let AttachState::Attached(inst) = e.state else {
             return Err(CloudError::InvalidState(format!(
@@ -670,29 +801,23 @@ impl CloudSim {
                 })
             }
             OpKind::AttachVolume(vid, iid) => {
-                let usable = self
-                    .instances
-                    .get(&iid)
-                    .map(|i| i.is_usable())
-                    .unwrap_or(false);
                 let vol = self
                     .volumes
                     .get_mut(&vid)
                     .ok_or(CloudError::UnknownVolume(vid))?;
-                if usable {
-                    vol.state = AttachState::Attached(iid);
-                    self.instances
-                        .get_mut(&iid)
-                        .expect("usable instance exists")
-                        .volumes
-                        .push(vid);
-                    Ok(Notification::VolumeAttached {
-                        volume: vid,
-                        instance: iid,
-                    })
-                } else {
-                    vol.state = AttachState::Available;
-                    Ok(Notification::VolumeAttachFailed { volume: vid })
+                match self.instances.get_mut(&iid) {
+                    Some(inst) if inst.is_usable() => {
+                        vol.state = AttachState::Attached(iid);
+                        inst.volumes.push(vid);
+                        Ok(Notification::VolumeAttached {
+                            volume: vid,
+                            instance: iid,
+                        })
+                    }
+                    _ => {
+                        vol.state = AttachState::Available;
+                        Ok(Notification::VolumeAttachFailed { volume: vid })
+                    }
                 }
             }
             OpKind::DetachVolume(vid) => {
@@ -709,26 +834,20 @@ impl CloudSim {
                 Ok(Notification::VolumeDetached { volume: vid })
             }
             OpKind::AttachEni(eid, iid) => {
-                let usable = self
-                    .instances
-                    .get(&iid)
-                    .map(|i| i.is_usable())
-                    .unwrap_or(false);
                 let eni = self.enis.get_mut(&eid).ok_or(CloudError::UnknownEni(eid))?;
-                if usable {
-                    eni.state = AttachState::Attached(iid);
-                    self.instances
-                        .get_mut(&iid)
-                        .expect("usable instance exists")
-                        .enis
-                        .push(eid);
-                    Ok(Notification::EniAttached {
-                        eni: eid,
-                        instance: iid,
-                    })
-                } else {
-                    eni.state = AttachState::Available;
-                    Ok(Notification::EniAttachFailed { eni: eid })
+                match self.instances.get_mut(&iid) {
+                    Some(inst) if inst.is_usable() => {
+                        eni.state = AttachState::Attached(iid);
+                        inst.enis.push(eid);
+                        Ok(Notification::EniAttached {
+                            eni: eid,
+                            instance: iid,
+                        })
+                    }
+                    _ => {
+                        eni.state = AttachState::Available;
+                        Ok(Notification::EniAttachFailed { eni: eid })
+                    }
                 }
             }
             OpKind::DetachEni(eid) => {
@@ -769,7 +888,9 @@ impl CloudSim {
                 self.config.billing,
             )),
             Contract::Spot { bid } => {
-                let market = inst.market().expect("spot instance has market");
+                let market = inst.market().ok_or_else(|| {
+                    CloudError::InvalidState(format!("spot instance {id} has no market"))
+                })?;
                 let trace = self
                     .markets
                     .get(&market)
@@ -1044,6 +1165,124 @@ mod tests {
         assert_eq!(at, SimTime::from_secs(1_000));
         assert_eq!(market, MarketId::new("m3.medium", "us-east-1a"));
         assert!(c.next_price_change_after(SimTime::from_secs(2_000)).is_none());
+    }
+
+    #[test]
+    fn transient_errors_surface_and_clear() {
+        let config = CloudConfig {
+            faults: FaultPlan::none().with_transient_errors(1.0),
+            ..CloudConfig::default()
+        };
+        let mut c = CloudSim::new(vec![spiky_trace()], config);
+        let err = c
+            .request_spot("m3.medium", &zone(), 0.07, SimTime::ZERO)
+            .unwrap_err();
+        assert_eq!(err, CloudError::ApiUnavailable);
+        // Clearing the probability restores normal service (same CloudSim).
+        c.config.faults.transient_error_prob = 0.0;
+        assert!(c.request_spot("m3.medium", &zone(), 0.07, SimTime::ZERO).is_ok());
+    }
+
+    #[test]
+    fn crash_stop_terminates_without_warning_and_releases_resources() {
+        let plan = FaultPlan::none().at(
+            SimTime::from_secs(500),
+            FaultEvent::InstanceCrash { pick: 0 },
+        );
+        let config = CloudConfig {
+            faults: plan,
+            ..CloudConfig::default()
+        };
+        let mut c = CloudSim::new(vec![spiky_trace()], config);
+        let a = boot_spot(&mut c, 0.07, SimTime::ZERO);
+        let v = c.create_volume(8.0);
+        let (op, ready) = c.attach_volume(v, a, SimTime::from_secs(100)).unwrap();
+        c.complete_op(op, ready).unwrap();
+
+        let (at, fault) = c.next_scheduled_fault().unwrap();
+        assert_eq!(at, SimTime::from_secs(500));
+        let impact = c.apply_fault(&fault, at);
+        assert_eq!(
+            impact.notifications,
+            vec![Notification::InstanceCrashed { instance: a }]
+        );
+        let inst = c.instance(a).unwrap();
+        assert!(inst.is_terminated());
+        assert!(inst.revoked, "crash stops billing like a revocation");
+        assert_eq!(c.volume(v).unwrap().state, AttachState::Available);
+        assert!(c.next_scheduled_fault().is_none());
+    }
+
+    #[test]
+    fn crash_with_no_running_instances_is_a_no_op() {
+        let mut c = cloud();
+        let impact = c.apply_fault(&FaultEvent::InstanceCrash { pick: 3 }, SimTime::ZERO);
+        assert!(impact.is_empty());
+    }
+
+    #[test]
+    fn revocation_storm_warns_every_spot_instance_in_market() {
+        let mut c = cloud();
+        let a = boot_spot(&mut c, 0.07, SimTime::ZERO);
+        let b = boot_spot(&mut c, 5.0, SimTime::ZERO);
+        let (od, op, ready) = c
+            .request_on_demand("m3.medium", &zone(), SimTime::ZERO)
+            .unwrap();
+        c.complete_op(op, ready).unwrap();
+        let market = MarketId::new("m3.medium", "us-east-1a");
+        let impact = c.apply_fault(
+            &FaultEvent::RevocationStorm { market },
+            SimTime::from_secs(500),
+        );
+        // Both spot instances are warned regardless of bid; on-demand is not.
+        let mut warned: Vec<InstanceId> = impact.warnings.iter().map(|w| w.instance).collect();
+        warned.sort();
+        assert_eq!(warned, vec![a, b]);
+        assert_eq!(
+            impact.warnings[0].terminate_at,
+            SimTime::from_secs(500) + SimDuration::from_secs(120)
+        );
+        assert!(c.instance(od).unwrap().is_usable());
+        for w in &impact.warnings {
+            assert!(c.force_terminate(w.instance, w.terminate_at).unwrap());
+        }
+    }
+
+    #[test]
+    fn latency_spike_slows_ops_then_expires() {
+        let mut c = cloud();
+        let baseline = {
+            // Sample the undisturbed boot latency from a twin platform.
+            let mut twin = cloud();
+            let (_, _, ready) = twin
+                .request_spot("m3.medium", &zone(), 0.07, SimTime::ZERO)
+                .unwrap();
+            ready.since(SimTime::ZERO)
+        };
+        c.apply_fault(
+            &FaultEvent::LatencySpike {
+                factor: 10.0,
+                duration: SimDuration::from_secs(1_000),
+            },
+            SimTime::ZERO,
+        );
+        let (_, _, ready) = c
+            .request_spot("m3.medium", &zone(), 0.07, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(ready.since(SimTime::ZERO), baseline.mul_f64(10.0));
+        // After the window the multiplier is gone: latencies are back in
+        // the model's normal range (boot latencies are minutes, not hours).
+        let later = SimTime::from_secs(2_000);
+        let (_, _, ready) = c.request_spot("m3.medium", &zone(), 0.07, later).unwrap();
+        assert!(ready.since(later) < baseline.mul_f64(10.0));
+    }
+
+    #[test]
+    fn backup_failure_relays_pick() {
+        let mut c = cloud();
+        let impact = c.apply_fault(&FaultEvent::BackupFailure { pick: 42 }, SimTime::ZERO);
+        assert_eq!(impact.backup_pick, Some(42));
+        assert!(impact.warnings.is_empty() && impact.notifications.is_empty());
     }
 
     #[test]

@@ -30,6 +30,10 @@ pub enum CloudError {
     UnknownEni(EniId),
     /// The operation id is unknown or already completed.
     UnknownOp(OpId),
+    /// The control plane rejected the call transiently (throttling or an
+    /// internal error); retrying after a backoff is expected to succeed.
+    /// Only produced under fault injection.
+    ApiUnavailable,
     /// An operation was attempted in an incompatible state.
     InvalidState(String),
 }
@@ -47,6 +51,9 @@ impl fmt::Display for CloudError {
             CloudError::UnknownVolume(v) => write!(f, "unknown volume: {v}"),
             CloudError::UnknownEni(e) => write!(f, "unknown ENI: {e}"),
             CloudError::UnknownOp(o) => write!(f, "unknown or completed operation: {o}"),
+            CloudError::ApiUnavailable => {
+                write!(f, "API temporarily unavailable (transient fault)")
+            }
             CloudError::InvalidState(msg) => write!(f, "invalid state: {msg}"),
         }
     }

@@ -1,0 +1,253 @@
+//! Fault injection for the platform simulator.
+//!
+//! A [`FaultPlan`] describes *when the cloud misbehaves*: transient API
+//! errors drawn per call with a configurable probability, plus a
+//! deterministic schedule of discrete [`FaultEvent`]s — instance
+//! crash-stops, backup-server failures, market-wide revocation storms, and
+//! control-plane latency spikes. The plan lives in
+//! [`CloudConfig`](crate::cloud::CloudConfig); the driver pulls scheduled
+//! faults via [`CloudSim::next_scheduled_fault`](crate::cloud::CloudSim::next_scheduled_fault)
+//! and delivers each one back through
+//! [`CloudSim::apply_fault`](crate::cloud::CloudSim::apply_fault), mirroring
+//! how price changes flow through the simulation.
+//!
+//! Everything is seeded: the same plan against the same controller replays
+//! bit-for-bit, which is what makes the chaos suites in
+//! `crates/core/tests/failure_injection.rs` debuggable.
+
+use spotcheck_simcore::rng::SimRng;
+use spotcheck_simcore::time::{SimDuration, SimTime};
+use spotcheck_spotmarket::market::MarketId;
+
+use crate::cloud::{Notification, RevocationWarning};
+
+/// A discrete injected fault.
+///
+/// Targets are *ordinals*, not concrete ids: a plan is authored before the
+/// run, when no instance or backup-server ids exist yet. At delivery time
+/// the ordinal is mapped onto the live population (`pick % alive.len()`),
+/// so a plan stays meaningful regardless of how the run unfolded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultEvent {
+    /// Crash-stop of a running instance: no warning, memory lost, volumes
+    /// and ENIs released. `pick` selects among instances running at
+    /// delivery time.
+    InstanceCrash {
+        /// Ordinal into the running-instance population.
+        pick: u64,
+    },
+    /// Failure of a backup server. Backup servers live in the controller,
+    /// not the platform, so the platform only relays the ordinal; the
+    /// controller maps it onto its live pool.
+    BackupFailure {
+        /// Ordinal into the live backup-server population.
+        pick: u64,
+    },
+    /// A revocation storm: every running spot instance in `market` receives
+    /// a revocation warning regardless of its bid (models a capacity
+    /// reclamation rather than a price crossing).
+    RevocationStorm {
+        /// The market swept by the storm.
+        market: MarketId,
+    },
+    /// Control-plane latency spike: API operation latencies are multiplied
+    /// by `factor` for `duration`.
+    LatencySpike {
+        /// Latency multiplier (>= 1.0 for a slowdown).
+        factor: f64,
+        /// How long the spike lasts.
+        duration: SimDuration,
+    },
+}
+
+/// What applying a scheduled fault did to the platform, for the driver to
+/// react to.
+#[derive(Debug, Clone, Default)]
+pub struct FaultImpact {
+    /// Notifications produced by the fault —
+    /// [`Notification::InstanceCrashed`] entries for crash-stops (the
+    /// instance is already terminated; its memory is gone).
+    pub notifications: Vec<Notification>,
+    /// Revocation warnings issued by a storm; the driver must schedule
+    /// forced termination at each `terminate_at` exactly as it does for
+    /// price-change warnings.
+    pub warnings: Vec<RevocationWarning>,
+    /// A backup-server failure ordinal for the controller to map onto its
+    /// live pool.
+    pub backup_pick: Option<u64>,
+}
+
+impl FaultImpact {
+    /// True if the fault had no effect the driver needs to react to.
+    pub fn is_empty(&self) -> bool {
+        self.notifications.is_empty() && self.warnings.is_empty() && self.backup_pick.is_none()
+    }
+}
+
+/// A deterministic fault-injection plan.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Probability that any platform API call fails transiently with
+    /// [`CloudError::ApiUnavailable`](crate::error::CloudError::ApiUnavailable).
+    /// Zero (the default) disables the draw entirely, so fault-free runs
+    /// consume no RNG and replay identically to builds without this layer.
+    pub transient_error_prob: f64,
+    /// Scheduled faults, sorted by time (the constructor helpers keep the
+    /// order; [`FaultPlan::at`] inserts in place).
+    pub schedule: Vec<(SimTime, FaultEvent)>,
+}
+
+impl FaultPlan {
+    /// An empty plan: no transient errors, no scheduled faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True if the plan injects nothing.
+    pub fn is_inert(&self) -> bool {
+        self.transient_error_prob <= 0.0 && self.schedule.is_empty()
+    }
+
+    /// Adds a scheduled fault, keeping the schedule sorted by time (stable
+    /// for equal times: later insertions at the same instant deliver after
+    /// earlier ones).
+    pub fn at(mut self, time: SimTime, event: FaultEvent) -> Self {
+        let idx = self.schedule.partition_point(|(t, _)| *t <= time);
+        self.schedule.insert(idx, (time, event));
+        self
+    }
+
+    /// Sets the transient API error probability.
+    pub fn with_transient_errors(mut self, prob: f64) -> Self {
+        self.transient_error_prob = prob.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Generates a randomized chaos plan over `horizon`.
+    ///
+    /// The mix is tuned for the controller chaos suites: a handful of
+    /// backup failures and revocation storms, occasional latency spikes,
+    /// and instance crashes kept clear of backup failures — a crash inside
+    /// a re-replication window is unrecoverable by construction (the only
+    /// full copy of the VM's state was the VM itself), so plans leave the
+    /// re-push time (bounded by `crash_guard`) between a backup failure
+    /// and the next crash.
+    pub fn randomized(
+        seed: u64,
+        markets: &[MarketId],
+        horizon: SimDuration,
+        crash_guard: SimDuration,
+    ) -> Self {
+        let mut rng = SimRng::seed(seed).fork_named("fault-plan");
+        let span = horizon.as_secs_f64().max(1.0) as u64;
+        let mut plan = FaultPlan::none().with_transient_errors(0.05 + rng.next_f64() * 0.10);
+        // Leave the first ~10% of the horizon quiet so the fleet finishes
+        // provisioning before the weather turns.
+        let quiet = span / 10;
+        let window = |rng: &mut SimRng| SimTime::from_secs(rng.gen_range(quiet, span));
+
+        let mut backup_failures: Vec<SimTime> = Vec::new();
+        for _ in 0..rng.gen_range(1, 4) {
+            let t = window(&mut rng);
+            backup_failures.push(t);
+            plan = plan.at(t, FaultEvent::BackupFailure { pick: rng.next_u64() });
+        }
+        if !markets.is_empty() {
+            for _ in 0..rng.gen_range(1, 4) {
+                let m = markets[rng.gen_range(0, markets.len() as u64) as usize].clone();
+                plan = plan.at(window(&mut rng), FaultEvent::RevocationStorm { market: m });
+            }
+        }
+        for _ in 0..rng.gen_range(1, 3) {
+            plan = plan.at(
+                window(&mut rng),
+                FaultEvent::LatencySpike {
+                    factor: 2.0 + rng.next_f64() * 8.0,
+                    duration: SimDuration::from_secs(rng.gen_range(60, 600)),
+                },
+            );
+        }
+        for _ in 0..rng.gen_range(1, 4) {
+            let t = window(&mut rng);
+            let clear = backup_failures
+                .iter()
+                .all(|bf| t < *bf || t.saturating_since(*bf) >= crash_guard);
+            if clear {
+                plan = plan.at(t, FaultEvent::InstanceCrash { pick: rng.next_u64() });
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn market() -> MarketId {
+        MarketId::new("m3.medium", "us-east-1a")
+    }
+
+    #[test]
+    fn at_keeps_schedule_sorted() {
+        let plan = FaultPlan::none()
+            .at(SimTime::from_secs(300), FaultEvent::InstanceCrash { pick: 0 })
+            .at(SimTime::from_secs(100), FaultEvent::BackupFailure { pick: 1 })
+            .at(
+                SimTime::from_secs(200),
+                FaultEvent::RevocationStorm { market: market() },
+            );
+        let times: Vec<u64> = plan
+            .schedule
+            .iter()
+            .map(|(t, _)| t.since(SimTime::ZERO).as_secs_f64() as u64)
+            .collect();
+        assert_eq!(times, vec![100, 200, 300]);
+    }
+
+    #[test]
+    fn inert_plan_is_inert() {
+        assert!(FaultPlan::none().is_inert());
+        assert!(!FaultPlan::none().with_transient_errors(0.1).is_inert());
+        assert!(!FaultPlan::none()
+            .at(SimTime::ZERO, FaultEvent::InstanceCrash { pick: 0 })
+            .is_inert());
+    }
+
+    #[test]
+    fn randomized_is_reproducible_and_sorted() {
+        let markets = vec![market()];
+        let guard = SimDuration::from_secs(180);
+        let a = FaultPlan::randomized(7, &markets, SimDuration::from_hours(10), guard);
+        let b = FaultPlan::randomized(7, &markets, SimDuration::from_hours(10), guard);
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.transient_error_prob, b.transient_error_prob);
+        assert!(a.schedule.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert!(!a.schedule.is_empty());
+        assert!(a.transient_error_prob > 0.0);
+    }
+
+    #[test]
+    fn randomized_keeps_crashes_clear_of_backup_failures() {
+        let markets = vec![market()];
+        let guard = SimDuration::from_secs(180);
+        for seed in 0..50 {
+            let plan = FaultPlan::randomized(seed, &markets, SimDuration::from_hours(10), guard);
+            let failures: Vec<SimTime> = plan
+                .schedule
+                .iter()
+                .filter_map(|(t, e)| matches!(e, FaultEvent::BackupFailure { .. }).then_some(*t))
+                .collect();
+            for (t, e) in &plan.schedule {
+                if matches!(e, FaultEvent::InstanceCrash { .. }) {
+                    for bf in &failures {
+                        assert!(
+                            *t < *bf || t.saturating_since(*bf) >= guard,
+                            "seed {seed}: crash at {t} inside re-replication window of {bf}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

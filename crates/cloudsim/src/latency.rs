@@ -4,8 +4,8 @@
 //! `m3.medium` and reports min/median/mean/max. The model samples each
 //! operation from a [`QuartileCalibrated`] distribution matched to exactly
 //! those four statistics, so Table 1 regenerates and — more importantly —
-//! the ~23 s EC2-operation downtime per migration (detach EBS + attach EBS
-//! + detach NIC + attach NIC) that dominates Figures 11/12 emerges from the
+//! the ~23 s EC2-operation downtime per migration (detach/attach of the
+//! EBS volume and the NIC) that dominates Figures 11/12 emerges from the
 //! same numbers the paper measured.
 
 use spotcheck_simcore::dist::{ContinuousDist, QuartileCalibrated};

@@ -24,6 +24,7 @@
 pub mod billing;
 pub mod cloud;
 pub mod error;
+pub mod faults;
 pub mod ids;
 pub mod instance;
 pub mod latency;
@@ -33,6 +34,7 @@ pub mod types;
 pub use billing::BillingMode;
 pub use cloud::{CloudConfig, CloudSim, Notification, RevocationWarning};
 pub use error::CloudError;
+pub use faults::{FaultEvent, FaultImpact, FaultPlan};
 pub use ids::{EniId, InstanceId, OpId, PrivateIp, VolumeId};
 pub use instance::{Contract, Instance, InstanceState};
 pub use latency::{CloudOp, LatencyModel};

@@ -1,35 +1,42 @@
-//! Property tests for the cloud platform: lifecycle and billing
-//! invariants under arbitrary operation sequences.
+//! Randomized invariant tests for the cloud platform: lifecycle and billing
+//! invariants under arbitrary operation sequences, driven by seeded
+//! [`SimRng`] streams so every case is reproducible.
 
-use proptest::prelude::*;
 use spotcheck_cloudsim::billing::{on_demand_cost, spot_cost, BillingMode};
 use spotcheck_cloudsim::cloud::{CloudConfig, CloudSim};
 use spotcheck_cloudsim::storage::AttachState;
+use spotcheck_simcore::rng::SimRng;
 use spotcheck_simcore::series::StepSeries;
 use spotcheck_simcore::time::{SimDuration, SimTime};
 use spotcheck_spotmarket::market::{MarketId, ZoneName};
 use spotcheck_spotmarket::trace::PriceTrace;
 
-fn arb_trace() -> impl Strategy<Value = PriceTrace> {
-    proptest::collection::vec((60u64..3_600, 0.001f64..0.5), 1..40).prop_map(|steps| {
-        let mut s = StepSeries::new();
-        s.push(SimTime::ZERO, 0.014);
-        let mut t = 0u64;
-        for (dt, p) in steps {
-            t += dt;
-            s.push(SimTime::from_secs(t), p);
-        }
-        PriceTrace::new(MarketId::new("m3.medium", "z"), 0.07, s)
-    })
+const CASES: u64 = 48;
+
+fn f64_in(rng: &mut SimRng, lo: f64, hi: f64) -> f64 {
+    lo + rng.next_f64() * (hi - lo)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn random_trace(rng: &mut SimRng) -> PriceTrace {
+    let n = rng.gen_range(1, 40) as usize;
+    let mut s = StepSeries::new();
+    s.push(SimTime::ZERO, 0.014);
+    let mut t = 0u64;
+    for _ in 0..n {
+        t += rng.gen_range(60, 3_600);
+        s.push(SimTime::from_secs(t), f64_in(rng, 0.001, 0.5));
+    }
+    PriceTrace::new(MarketId::new("m3.medium", "z"), 0.07, s)
+}
 
-    /// Billing is monotone in time and never negative, in both modes, for
-    /// arbitrary price traces.
-    #[test]
-    fn spot_billing_monotone_and_nonnegative(trace in arb_trace(), bid in 0.01f64..1.0) {
+/// Billing is monotone in time and never negative, in both modes, for
+/// arbitrary price traces.
+#[test]
+fn spot_billing_monotone_and_nonnegative() {
+    let mut rng = SimRng::seed(0xB111);
+    for case in 0..CASES {
+        let trace = random_trace(&mut rng);
+        let bid = f64_in(&mut rng, 0.01, 1.0);
         for mode in [BillingMode::Continuous, BillingMode::HourlySpot2014] {
             let mut prev = 0.0;
             for h in 0..8u64 {
@@ -41,29 +48,42 @@ proptest! {
                     false,
                     mode,
                 );
-                prop_assert!(c >= prev - 1e-12, "{mode:?}: cost shrank {prev} -> {c}");
-                prop_assert!(c >= 0.0);
+                assert!(
+                    c >= prev - 1e-12,
+                    "case {case} {mode:?}: cost shrank {prev} -> {c}"
+                );
+                assert!(c >= 0.0, "case {case}");
                 prev = c;
             }
         }
     }
+}
 
-    /// The bid cap holds: cost never exceeds bid x hours, and on-demand
-    /// continuous billing is exactly price x hours.
-    #[test]
-    fn billing_caps(trace in arb_trace(), bid in 0.01f64..0.2, hours in 1u64..24) {
+/// The bid cap holds: cost never exceeds bid x hours, and on-demand
+/// continuous billing is exactly price x hours.
+#[test]
+fn billing_caps() {
+    let mut rng = SimRng::seed(0xCA9);
+    for case in 0..CASES {
+        let trace = random_trace(&mut rng);
+        let bid = f64_in(&mut rng, 0.01, 0.2);
+        let hours = rng.gen_range(1, 24);
         let end = SimTime::from_hours(hours);
         let c = spot_cost(&trace, SimTime::ZERO, end, bid, false, BillingMode::Continuous);
-        prop_assert!(c <= bid * hours as f64 + 1e-9, "cost {c} > bid cap");
+        assert!(c <= bid * hours as f64 + 1e-9, "case {case}: cost {c} > bid cap");
         let od = on_demand_cost(0.07, SimTime::ZERO, end, BillingMode::Continuous);
-        prop_assert!((od - 0.07 * hours as f64).abs() < 1e-9);
+        assert!((od - 0.07 * hours as f64).abs() < 1e-9, "case {case}");
     }
+}
 
-    /// Arbitrary interleavings of volume attach/detach requests never
-    /// corrupt the attachment state machine: a volume is attached to at
-    /// most one instance, and completed ops leave consistent state.
-    #[test]
-    fn volume_state_machine_is_consistent(ops in proptest::collection::vec(0u8..4, 1..40)) {
+/// Arbitrary interleavings of volume attach/detach requests never
+/// corrupt the attachment state machine: a volume is attached to at
+/// most one instance, and completed ops leave consistent state.
+#[test]
+fn volume_state_machine_is_consistent() {
+    let mut rng = SimRng::seed(0x70_1CE);
+    for case in 0..CASES {
+        let n_ops = rng.gen_range(1, 40) as usize;
         let trace = PriceTrace::new(
             MarketId::new("m3.medium", "z"),
             0.07,
@@ -82,8 +102,9 @@ proptest! {
         let vol = cloud.create_volume(8.0);
 
         let mut pending: Option<(spotcheck_cloudsim::ids::OpId, SimTime)> = None;
-        for code in ops {
-            now = now + SimDuration::from_secs(30);
+        for _ in 0..n_ops {
+            let code = rng.gen_range(0, 4) as u8;
+            now += SimDuration::from_secs(30);
             // Complete any due op first.
             if let Some((op, ready)) = pending {
                 if now >= ready {
@@ -109,34 +130,38 @@ proptest! {
             let state = cloud.volume(vol).unwrap().state;
             if let AttachState::Attached(inst) = state {
                 let listed = cloud.instance(inst).unwrap().volumes.contains(&vol);
-                prop_assert!(listed, "attached volume missing from instance list");
+                assert!(listed, "case {case}: attached volume missing from instance list");
             }
             for inst in [a, b] {
                 let listed = cloud.instance(inst).unwrap().volumes.contains(&vol);
                 if listed {
-                    prop_assert_eq!(state.instance(), Some(inst));
+                    assert_eq!(state.instance(), Some(inst), "case {case}");
                 }
             }
         }
     }
+}
 
-    /// Spot instances are never billed above their bid even across spikes.
-    #[test]
-    fn instance_cost_respects_bid(trace in arb_trace()) {
+/// Spot instances are never billed above their bid even across spikes.
+#[test]
+fn instance_cost_respects_bid() {
+    let mut rng = SimRng::seed(0x51D);
+    for case in 0..CASES {
+        let trace = random_trace(&mut rng);
         let mut cloud = CloudSim::new(vec![trace], CloudConfig::default());
         let zone = ZoneName::new("z");
         let bid = 0.07;
         let (id, op, ready) = match cloud.request_spot("m3.medium", &zone, bid, SimTime::ZERO) {
             Ok(x) => x,
-            Err(_) => return Ok(()), // price already above bid at t=0
+            Err(_) => continue, // price already above bid at t=0
         };
         if cloud.complete_op(op, ready).is_err() {
-            return Ok(());
+            continue;
         }
         let until = ready + SimDuration::from_hours(12);
         let cost = cloud.instance_cost(id, until).unwrap();
         let hours = until.since(ready).as_hours_f64();
-        prop_assert!(cost <= bid * hours + 1e-9, "cost {cost} over bid cap");
-        prop_assert!(cost >= 0.0);
+        assert!(cost <= bid * hours + 1e-9, "case {case}: cost {cost} over bid cap");
+        assert!(cost >= 0.0, "case {case}");
     }
 }

@@ -18,12 +18,18 @@ pub struct VmStats {
     pub since: SimTime,
     downtime: ConditionClock,
     degraded: ConditionClock,
+    /// Windows during which the VM sat on revocable capacity with no
+    /// complete checkpoint on any live backup server (e.g. between a
+    /// backup-server failure and the end of re-replication).
+    unprotected: ConditionClock,
     /// Revocation warnings that hit this VM.
     pub revocations: u32,
     /// Completed migrations (revocation, proactive, or return).
     pub migrations: u32,
     /// Proactive live migrations.
     pub proactive_migrations: u32,
+    /// Completed backup re-replications after a backup-server failure.
+    pub rereplications: u32,
 }
 
 impl VmStats {
@@ -32,10 +38,17 @@ impl VmStats {
             since: now,
             downtime: ConditionClock::starting_at(now),
             degraded: ConditionClock::starting_at(now),
+            unprotected: ConditionClock::starting_at(now),
             revocations: 0,
             migrations: 0,
             proactive_migrations: 0,
+            rereplications: 0,
         }
+    }
+
+    /// Total time this VM spent unprotected (through the last `report`).
+    pub fn total_unprotected(&self) -> SimDuration {
+        self.unprotected.total_on()
     }
 }
 
@@ -58,6 +71,17 @@ pub struct AvailabilityReport {
     pub migrations: u64,
     /// Total proactive live migrations across VMs (subset of migrations).
     pub proactive_migrations: u64,
+    /// Total time VMs spent with no complete checkpoint on a live backup.
+    pub total_unprotected: SimDuration,
+    /// Completed backup re-replications across VMs.
+    pub rereplications: u64,
+    /// Backup-server failures injected/observed.
+    pub backup_failures: u64,
+    /// Instance crash-stops observed.
+    pub instance_crashes: u64,
+    /// VMs lost unrecoverably (nonzero only when resilience is ablated or
+    /// a crash strikes an unprotected window).
+    pub lost_vms: u64,
 }
 
 impl AvailabilityReport {
@@ -71,6 +95,9 @@ impl AvailabilityReport {
 #[derive(Debug, Clone, Default)]
 pub struct Accounting {
     per_vm: BTreeMap<NestedVmId, VmStats>,
+    backup_failures: u64,
+    instance_crashes: u64,
+    lost_vms: u64,
 }
 
 impl Accounting {
@@ -132,6 +159,39 @@ impl Accounting {
         s.migrations += 1;
     }
 
+    /// Records that the VM lost backup protection at `now` (its backup
+    /// server died, or its state exists nowhere but the VM itself).
+    pub fn mark_unprotected(&mut self, vm: NestedVmId, now: SimTime) {
+        self.stats_mut(vm).unprotected.set(now, true);
+    }
+
+    /// Records that the VM is protected again at `now` (a complete
+    /// checkpoint was acknowledged by a live backup server, or the VM
+    /// moved to non-revocable capacity).
+    pub fn mark_protected(&mut self, vm: NestedVmId, now: SimTime) {
+        self.stats_mut(vm).unprotected.set(now, false);
+    }
+
+    /// Counts a completed backup re-replication for the VM.
+    pub fn count_rereplication(&mut self, vm: NestedVmId) {
+        self.stats_mut(vm).rereplications += 1;
+    }
+
+    /// Counts a backup-server failure.
+    pub fn count_backup_failure(&mut self) {
+        self.backup_failures += 1;
+    }
+
+    /// Counts an instance crash-stop.
+    pub fn count_crash(&mut self) {
+        self.instance_crashes += 1;
+    }
+
+    /// Counts a VM lost unrecoverably.
+    pub fn count_lost(&mut self) {
+        self.lost_vms += 1;
+    }
+
     /// Closes every clock at `now` and aggregates.
     pub fn report(&mut self, now: SimTime) -> AvailabilityReport {
         let mut unavail_sum = 0.0;
@@ -141,17 +201,22 @@ impl Accounting {
         let mut revocations = 0u64;
         let mut migrations = 0u64;
         let mut proactive = 0u64;
+        let mut total_unprotected = SimDuration::ZERO;
+        let mut rereplications = 0u64;
         let n = self.per_vm.len();
         for s in self.per_vm.values_mut() {
             s.downtime.finish(now);
             s.degraded.finish(now);
+            s.unprotected.finish(now);
             unavail_sum += s.downtime.fraction_on().unwrap_or(0.0);
             degr_sum += s.degraded.fraction_on().unwrap_or(0.0);
             total_down = total_down.saturating_add(s.downtime.total_on());
             total_degraded = total_degraded.saturating_add(s.degraded.total_on());
+            total_unprotected = total_unprotected.saturating_add(s.unprotected.total_on());
             revocations += u64::from(s.revocations);
             migrations += u64::from(s.migrations);
             proactive += u64::from(s.proactive_migrations);
+            rereplications += u64::from(s.rereplications);
         }
         AvailabilityReport {
             vms: n,
@@ -162,6 +227,11 @@ impl Accounting {
             revocations,
             migrations,
             proactive_migrations: proactive,
+            total_unprotected,
+            rereplications,
+            backup_failures: self.backup_failures,
+            instance_crashes: self.instance_crashes,
+            lost_vms: self.lost_vms,
         }
     }
 }

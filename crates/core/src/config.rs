@@ -5,6 +5,7 @@ use spotcheck_migrate::bounded::BoundedTimeConfig;
 use spotcheck_migrate::mechanisms::MechanismKind;
 
 use crate::policy::{BiddingPolicy, MappingPolicy, PlacementPolicy};
+use crate::retry::ResilienceConfig;
 
 /// Configuration of a SpotCheck deployment.
 #[derive(Debug, Clone)]
@@ -29,6 +30,8 @@ pub struct SpotCheckConfig {
     pub backup: BackupServerConfig,
     /// Continuous-checkpointing parameters (30 s bound by default).
     pub bounded: BoundedTimeConfig,
+    /// Retry/backoff, circuit-breaker, and re-replication behavior.
+    pub resilience: ResilienceConfig,
     /// RNG seed.
     pub seed: u64,
 }
@@ -45,6 +48,7 @@ impl Default for SpotCheckConfig {
             return_to_spot: true,
             backup: BackupServerConfig::default(),
             bounded: BoundedTimeConfig::default(),
+            resilience: ResilienceConfig::default(),
             seed: 0,
         }
     }

@@ -19,6 +19,7 @@ use std::collections::BTreeMap;
 use spotcheck_backup::pool::{BackupPool, BackupServerId};
 use spotcheck_cloudsim::cloud::{CloudSim, Notification};
 use spotcheck_cloudsim::error::CloudError;
+use spotcheck_cloudsim::faults::FaultEvent;
 use spotcheck_cloudsim::ids::{InstanceId, OpId, PrivateIp, VolumeId};
 use spotcheck_cloudsim::instance::InstanceState;
 use spotcheck_migrate::bounded::simulate_final_commit;
@@ -35,6 +36,7 @@ use crate::accounting::{Accounting, AvailabilityReport};
 use crate::config::SpotCheckConfig;
 use crate::events::Event;
 use crate::policy::placement::{choose_index, Candidate};
+use crate::retry::MarketHealth;
 use crate::types::{Customer, CustomerId, MigrationId, VmRecord, VmStatus};
 
 /// Scheduled follow-up events returned by controller handlers.
@@ -126,6 +128,18 @@ struct Migration {
     pays_downtime: bool,
     /// True for proactive live migrations (no warning involved).
     proactive: bool,
+    /// True for live transfers (proactive, stateless, or XenLive): the
+    /// memory streams source-to-destination, so the source's VM object may
+    /// be carried across a forced termination. Non-live migrations restore
+    /// from the backup server only.
+    live: bool,
+    /// When the migration began (for retry give-up deadlines).
+    started_at: SimTime,
+    /// Destination-acquisition attempts so far (for backoff).
+    dest_attempts: u32,
+    /// The final-commit stream died (source crashed mid-push): the backup
+    /// must not be credited with a fresh checkpoint ack.
+    commit_aborted: bool,
     /// The VM object once evicted from the source.
     vm_obj: Option<NestedVm>,
     /// Degraded window to apply after resume (lazy restores).
@@ -179,6 +193,7 @@ pub struct Controller {
     vms: BTreeMap<NestedVmId, VmRecord>,
     backups: BackupPool,
     backup_birth: BTreeMap<BackupServerId, SimTime>,
+    backup_death: BTreeMap<BackupServerId, SimTime>,
     spares: Vec<InstanceId>,
     op_ctx: BTreeMap<OpId, OpCtx>,
     host_waiters: BTreeMap<InstanceId, Vec<NestedVmId>>,
@@ -188,6 +203,15 @@ pub struct Controller {
     restore_gates: BTreeMap<MigrationId, SimDuration>,
     returns: BTreeMap<NestedVmId, ReturnState>,
     degraded_epoch: BTreeMap<NestedVmId, u32>,
+    /// VMs whose backup server holds an incomplete image (re-replication
+    /// in flight). Value is the epoch guarding the pending
+    /// [`Event::ReplicationDone`].
+    pending_rerepl: BTreeMap<NestedVmId, u32>,
+    repl_epoch: u32,
+    /// Failed host-acquisition attempts per still-provisioning VM, for
+    /// backoff on the retry.
+    provision_attempts: BTreeMap<NestedVmId, u32>,
+    market_health: MarketHealth,
     accounting: Accounting,
     next_customer: u64,
     next_vm: u64,
@@ -198,6 +222,7 @@ impl Controller {
     /// Creates a controller over a cloud platform.
     pub fn new(cloud: CloudSim, cfg: SpotCheckConfig) -> Self {
         let backups = BackupPool::new(cfg.backup.clone());
+        let market_health = MarketHealth::new(cfg.resilience.health.clone());
         Controller {
             cfg,
             cloud,
@@ -207,6 +232,7 @@ impl Controller {
             vms: BTreeMap::new(),
             backups,
             backup_birth: BTreeMap::new(),
+            backup_death: BTreeMap::new(),
             spares: Vec::new(),
             op_ctx: BTreeMap::new(),
             host_waiters: BTreeMap::new(),
@@ -215,6 +241,10 @@ impl Controller {
             restore_gates: BTreeMap::new(),
             returns: BTreeMap::new(),
             degraded_epoch: BTreeMap::new(),
+            pending_rerepl: BTreeMap::new(),
+            repl_epoch: 0,
+            provision_attempts: BTreeMap::new(),
+            market_health,
             accounting: Accounting::new(),
             next_customer: 0,
             next_vm: 0,
@@ -261,6 +291,11 @@ impl Controller {
         }
         for _ in 0..self.cfg.hot_spares {
             self.request_spare(now, &mut out);
+        }
+        // Arm the platform's first scheduled fault, if any; each delivery
+        // re-arms the next (mirrors the price-change cursor).
+        if let Some((t, f)) = self.cloud.next_scheduled_fault() {
+            out.push((t.max(now), Event::Fault(f)));
         }
         out
     }
@@ -336,6 +371,7 @@ impl Controller {
                 status: VmStatus::Provisioning,
                 requested_at: now,
                 first_running_at: None,
+                checkpoint_acked_at: None,
             },
         );
         self.customers
@@ -373,9 +409,43 @@ impl Controller {
 
     fn terminate_host(&mut self, instance: InstanceId, now: SimTime, out: &mut Outbox) {
         self.hosts.remove(&instance);
-        if let Ok((op, ready)) = self.cloud.terminate(instance, now) {
-            self.op_ctx.insert(op, OpCtx::Terminate);
-            out.push((ready, Event::CloudOp(op)));
+        match self.cloud.terminate(instance, now) {
+            Ok((op, ready)) => {
+                self.op_ctx.insert(op, OpCtx::Terminate);
+                out.push((ready, Event::CloudOp(op)));
+            }
+            Err(CloudError::ApiUnavailable) if self.cfg.resilience.retry_enabled => {
+                // Transient API error: a leaked host bills forever, so keep
+                // retrying with backoff rather than dropping the terminate.
+                let delay = self.cfg.resilience.retry.delay_for(1, instance.0);
+                out.push((now + delay, Event::RetryTerminate { instance, attempt: 1 }));
+            }
+            Err(_) => {}
+        }
+    }
+
+    /// Maximum attempts for a transiently-failing terminate before giving
+    /// up (the instance is then assumed externally reclaimed).
+    const MAX_TERMINATE_ATTEMPTS: u32 = 8;
+
+    fn on_retry_terminate(
+        &mut self,
+        instance: InstanceId,
+        attempt: u32,
+        now: SimTime,
+        out: &mut Outbox,
+    ) {
+        match self.cloud.terminate(instance, now) {
+            Ok((op, ready)) => {
+                self.op_ctx.insert(op, OpCtx::Terminate);
+                out.push((ready, Event::CloudOp(op)));
+            }
+            Err(CloudError::ApiUnavailable) if attempt < Self::MAX_TERMINATE_ATTEMPTS => {
+                let next = attempt + 1;
+                let delay = self.cfg.resilience.retry.delay_for(next, instance.0);
+                out.push((now + delay, Event::RetryTerminate { instance, attempt: next }));
+            }
+            Err(_) => {}
         }
     }
 
@@ -392,8 +462,29 @@ impl Controller {
             Event::CommitStart(mig) => self.on_commit_start(mig, now, &mut out),
             Event::PauseStart(mig) => self.on_pause_start(mig, now),
             Event::CommitDone(mig) => {
-                if let Some(m) = self.migrations.get_mut(&mig) {
-                    m.commit_done = true;
+                let acked = match self.migrations.get_mut(&mig) {
+                    Some(m) => {
+                        m.commit_done = true;
+                        (!m.live && !m.commit_aborted).then_some(m.vm)
+                    }
+                    None => None,
+                };
+                // A non-live final commit lands the VM's full residue on
+                // its backup server: the checkpoint there is now complete
+                // and current, superseding any re-replication in flight.
+                if let Some(vm) = acked {
+                    let has_backup = self
+                        .vms
+                        .get(&vm)
+                        .map(|r| r.backup.is_some())
+                        .unwrap_or(false);
+                    if has_backup {
+                        if let Some(r) = self.vms.get_mut(&vm) {
+                            r.checkpoint_acked_at = Some(now);
+                        }
+                        self.pending_rerepl.remove(&vm);
+                        self.accounting.mark_protected(vm, now);
+                    }
                 }
                 self.try_advance(mig, now, &mut out);
             }
@@ -415,6 +506,11 @@ impl Controller {
                 }
             }
             Event::ReturnTransferDone(vm) => self.on_return_transfer_done(vm, now, &mut out),
+            Event::Fault(f) => self.on_fault(&f, now, &mut out),
+            Event::ReplicationDone { vm, epoch } => self.on_replication_done(vm, epoch, now),
+            Event::RetryTerminate { instance, attempt } => {
+                self.on_retry_terminate(instance, attempt, now, &mut out)
+            }
         }
         out
     }
@@ -523,6 +619,12 @@ impl Controller {
         };
         let zone = spotcheck_spotmarket::market::ZoneName::new(self.cfg.zone.clone());
         for market in ordered_markets {
+            // Circuit breaker: a market that keeps failing (transient API
+            // errors, boot races) is excluded for a cooldown; provisioning
+            // falls through to the next-cheapest market or on-demand.
+            if self.market_health.is_open(&market, now) {
+                continue;
+            }
             let od = self
                 .cloud
                 .spec(market.type_name.as_str())
@@ -534,6 +636,7 @@ impl Controller {
                 .request_spot(market.type_name.as_str(), &zone, bid, now)
             {
                 Ok((instance, op, ready)) => {
+                    self.market_health.record_success(&market);
                     self.op_ctx.insert(op, OpCtx::HostBoot);
                     self.host_waiters.entry(instance).or_default().push(vm);
                     // Remember the VM's home market for return-to-spot.
@@ -543,22 +646,42 @@ impl Controller {
                     out.push((ready, Event::CloudOp(op)));
                     return;
                 }
+                // Economic rejection, not ill health: the price is simply
+                // above our bid right now.
                 Err(CloudError::BidBelowPrice { .. }) => continue,
+                Err(CloudError::ApiUnavailable) => {
+                    self.market_health.record_failure(&market, now);
+                    continue;
+                }
                 Err(_) => continue,
             }
         }
         // 3. Every spot market is above our bid right now: fall back to an
         //    on-demand host (the VM will move to spot when prices permit).
-        if let Ok((instance, op, ready)) = self.cloud.request_on_demand("m3.medium", &zone, now) {
-            self.op_ctx.insert(op, OpCtx::HostBoot);
-            self.host_waiters.entry(instance).or_default().push(vm);
-            if let Some(r) = self.vms.get_mut(&vm) {
-                if r.home_market.is_none() {
-                    // Home defaults to the first mapping market.
-                    r.home_market = self.cfg.mapping.markets(&self.cfg.zone).into_iter().next();
+        match self.cloud.request_on_demand("m3.medium", &zone, now) {
+            Ok((instance, op, ready)) => {
+                self.op_ctx.insert(op, OpCtx::HostBoot);
+                self.host_waiters.entry(instance).or_default().push(vm);
+                if let Some(r) = self.vms.get_mut(&vm) {
+                    if r.home_market.is_none() {
+                        // Home defaults to the first mapping market.
+                        r.home_market =
+                            self.cfg.mapping.markets(&self.cfg.zone).into_iter().next();
+                    }
                 }
+                out.push((ready, Event::CloudOp(op)));
             }
-            out.push((ready, Event::CloudOp(op)));
+            // Nothing anywhere — spot markets above our bid, skipped, or
+            // erroring, and on-demand stocked out or throttled. Back off
+            // and try the whole ladder again; without this the VM would
+            // sit in Provisioning forever.
+            Err(_) if self.cfg.resilience.retry_enabled => {
+                let attempt = self.provision_attempts.entry(vm).or_insert(0);
+                *attempt += 1;
+                let delay = self.cfg.resilience.retry.delay_for(*attempt, vm.0);
+                out.push((now + delay, Event::ProvisionVm(vm)));
+            }
+            Err(_) => {}
         }
     }
 
@@ -610,6 +733,7 @@ impl Controller {
     }
 
     fn finish_provisioning(&mut self, vm: NestedVmId, now: SimTime) {
+        self.provision_attempts.remove(&vm);
         let Some(record) = self.vms.get_mut(&vm) else {
             return;
         };
@@ -617,6 +741,10 @@ impl Controller {
         if record.first_running_at.is_none() {
             record.first_running_at = Some(now);
             self.accounting.track(vm, now);
+        } else {
+            // A re-provision after a crash: the downtime clock has been
+            // running since the host died.
+            self.accounting.mark_up(vm, now);
         }
         let host = record.host;
         let workload = record.workload;
@@ -644,9 +772,24 @@ impl Controller {
         let _ = workload;
     }
 
+    /// Assigns a backup server and treats the initial full checkpoint as
+    /// immediately acked (modeling simplification: the first push completes
+    /// well within the provisioning window). Re-replication after a backup
+    /// failure goes through [`Controller::assign_backup_inner`] instead and
+    /// acks only when the re-push finishes.
     fn assign_backup(&mut self, vm: NestedVmId, now: SimTime) {
+        if self.assign_backup_inner(vm, now) {
+            if let Some(r) = self.vms.get_mut(&vm) {
+                r.checkpoint_acked_at = Some(now);
+            }
+        }
+    }
+
+    /// Picks a backup server for `vm` (round-robin with same-pool
+    /// spreading) without acking a checkpoint. Returns true on success.
+    fn assign_backup_inner(&mut self, vm: NestedVmId, now: SimTime) -> bool {
         if self.backups.server_of(vm).is_some() {
-            return;
+            return false;
         }
         // Spread VMs of the same spot pool across distinct backup servers
         // (§4.2): avoid servers already protecting same-market VMs.
@@ -668,6 +811,9 @@ impl Controller {
             if let Some(r) = self.vms.get_mut(&vm) {
                 r.backup = Some(server);
             }
+            true
+        } else {
+            false
         }
     }
 
@@ -900,6 +1046,10 @@ impl Controller {
                 paused_at: None,
                 pays_downtime,
                 proactive,
+                live,
+                started_at: now,
+                dest_attempts: 0,
+                commit_aborted: false,
                 vm_obj: None,
                 degraded,
             },
@@ -944,11 +1094,31 @@ impl Controller {
                 }
                 Err(_) => {
                     // On-demand stockout (§4.3): the VM's state is safe on
-                    // the backup server; retry the destination shortly.
-                    out.push((now + SimDuration::from_secs(30), Event::CommitStart(id)));
+                    // the backup server; retry the destination with backoff
+                    // so a zone-wide stockout isn't hammered in lockstep.
+                    self.schedule_dest_retry(id, now, out);
                 }
             }
         }
+    }
+
+    /// Schedules the next destination-acquisition retry for a stalled
+    /// migration through the resilience [`crate::retry::RetryPolicy`]
+    /// (capped exponential backoff, per-migration jitter). With retries
+    /// disabled (ablation), the migration simply stalls.
+    fn schedule_dest_retry(&mut self, mig: MigrationId, now: SimTime, out: &mut Outbox) {
+        let Some(m) = self.migrations.get_mut(&mig) else {
+            return;
+        };
+        m.dest_attempts += 1;
+        let attempt = m.dest_attempts;
+        let started = m.started_at;
+        let policy = &self.cfg.resilience.retry;
+        if !self.cfg.resilience.retry_enabled || policy.deadline_exceeded(started, now) {
+            return;
+        }
+        let delay = policy.delay_for(attempt, mig.0);
+        out.push((now + delay, Event::CommitStart(mig)));
     }
 
     /// Begins a migration's final commit (idempotent).
@@ -988,7 +1158,7 @@ impl Controller {
                     out.push((ready, Event::CloudOp(op)));
                 }
                 Err(_) => {
-                    out.push((now + SimDuration::from_secs(30), Event::CommitStart(mig)));
+                    self.schedule_dest_retry(mig, now, out);
                 }
             }
         }
@@ -1080,18 +1250,39 @@ impl Controller {
     }
 
     fn begin_attach(&mut self, mig: MigrationId, now: SimTime, out: &mut Outbox) {
-        let (vm, source, dest) = match self.migrations.get(&mig) {
-            Some(m) => (m.vm, m.source, m.dest.expect("dest ready")),
+        let (vm, source, dest, live) = match self.migrations.get(&mig) {
+            Some(m) => match m.dest {
+                Some(d) => (m.vm, m.source, d, m.live),
+                None => return,
+            },
             None => return,
         };
-        // Move the VM object (or resurrect it if the source was reclaimed:
-        // its memory lives on the backup server).
+        // Move the VM object: evicted from a still-alive source, carried
+        // across a forced termination (live transfers only), or resurrected
+        // from the backup server's checkpoint (non-live). A non-live VM
+        // with no source, no carried object, and no backup is gone — its
+        // memory existed nowhere else.
         let vm_obj = self
             .hosts
             .get_mut(&source)
             .and_then(|i| i.hv.evict(vm).ok())
-            .or_else(|| self.migrations.get_mut(&mig).and_then(|m| m.vm_obj.take()))
-            .unwrap_or_else(|| NestedVm::new(vm, self.vm_spec, now));
+            .or_else(|| self.migrations.get_mut(&mig).and_then(|m| m.vm_obj.take()));
+        let vm_obj = match vm_obj {
+            Some(obj) => obj,
+            None => {
+                let has_backup = self
+                    .vms
+                    .get(&vm)
+                    .map(|r| r.backup.is_some())
+                    .unwrap_or(false);
+                if live || has_backup {
+                    NestedVm::new(vm, self.vm_spec, now)
+                } else {
+                    self.abort_lost(mig, vm, now, out);
+                    return;
+                }
+            }
+        };
         // Relinquish the source once it has no residents left.
         let source_empty = self
             .hosts
@@ -1169,13 +1360,16 @@ impl Controller {
             self.accounting.count_migration(vm);
         }
         // The VM now sits on a non-revocable on-demand server: it no longer
-        // needs backup protection (§3.5).
+        // needs backup protection (§3.5), and any re-replication in flight
+        // is moot.
         if self.backups.server_of(vm).is_some() {
             let _ = self.backups.release(vm);
         }
         if let Some(r) = self.vms.get_mut(&vm) {
             r.backup = None;
         }
+        self.pending_rerepl.remove(&vm);
+        self.accounting.mark_protected(vm, now);
         // Lazy restores run degraded while prefetching completes.
         let state = if m.degraded.is_zero() {
             NestedVmState::Running
@@ -1194,19 +1388,55 @@ impl Controller {
         }
     }
 
+    /// Aborts a migration whose VM's memory is unrecoverable: the source
+    /// is gone, nothing was carried forward, and no backup holds a copy.
+    fn abort_lost(&mut self, mig: MigrationId, vm: NestedVmId, now: SimTime, out: &mut Outbox) {
+        let Some(m) = self.migrations.remove(&mig) else {
+            return;
+        };
+        self.restore_gates.remove(&mig);
+        if m.paused_at.is_none() {
+            self.accounting.mark_down(vm, now);
+        }
+        self.accounting.count_lost();
+        self.pending_rerepl.remove(&vm);
+        if let Some(r) = self.vms.get_mut(&vm) {
+            r.status = VmStatus::Lost;
+            r.host = None;
+        }
+        // Release the destination we acquired for a VM that will never
+        // arrive.
+        if let Some(dest) = m.dest {
+            let empty = self
+                .hosts
+                .get(&dest)
+                .map(|i| i.hv.resident_count() == 0)
+                .unwrap_or(false);
+            if empty {
+                self.terminate_host(dest, now, out);
+            }
+        }
+    }
+
     fn on_forced_termination(&mut self, instance: InstanceId, now: SimTime, out: &mut Outbox) {
-        // Carry any still-resident VM objects into their migrations before
-        // the host record disappears (their memory is safe on the backup).
+        // Carry still-resident VM objects into their LIVE migrations before
+        // the host record disappears: a live transfer streams memory
+        // source-to-destination, so the object survives the termination.
+        // Non-live (bounded-time) migrations restore strictly from the
+        // backup server's last acked checkpoint — carrying the object would
+        // smuggle state that never reached the backup.
         if let Some(info) = self.hosts.get_mut(&instance) {
             let residents = info.hv.resident_ids();
             for vm in residents {
-                if let Ok(obj) = info.hv.evict(vm) {
-                    if let Some((_, m)) = self
-                        .migrations
-                        .iter_mut()
-                        .find(|(_, m)| m.vm == vm && m.source == instance)
-                    {
-                        m.vm_obj = Some(obj);
+                if let Some((_, m)) = self
+                    .migrations
+                    .iter_mut()
+                    .find(|(_, m)| m.vm == vm && m.source == instance)
+                {
+                    if m.live {
+                        if let Ok(obj) = info.hv.evict(vm) {
+                            m.vm_obj = Some(obj);
+                        }
                     }
                 }
             }
@@ -1216,6 +1446,245 @@ impl Controller {
             self.hosts.remove(&instance);
         }
         let _ = out;
+    }
+
+    // ------------------------------------------------------------------
+    // Fault handling (injected platform faults; resilience layer)
+    // ------------------------------------------------------------------
+
+    fn on_fault(&mut self, event: &FaultEvent, now: SimTime, out: &mut Outbox) {
+        // Re-arm the next scheduled fault before reacting to this one.
+        if let Some((t, f)) = self.cloud.next_scheduled_fault() {
+            out.push((t.max(now), Event::Fault(f)));
+        }
+        let impact = self.cloud.apply_fault(event, now);
+        // Revocation storms: ordinary warnings, just many at once.
+        for w in &impact.warnings {
+            out.push((w.terminate_at, Event::ForcedTermination(w.instance)));
+            self.on_warning(w.instance, w.terminate_at, now, out);
+        }
+        for n in &impact.notifications {
+            if let Notification::InstanceCrashed { instance } = n {
+                self.on_instance_crash(*instance, now, out);
+            }
+        }
+        if let Some(pick) = impact.backup_pick {
+            self.on_backup_failure(pick, now, out);
+        }
+    }
+
+    /// A native instance crash-stopped: no warning, memory lost. Each
+    /// resident VM recovers from its backup's last acked checkpoint,
+    /// re-provisions from scratch (stateless), or — if its state existed
+    /// nowhere but the dead host — is lost.
+    fn on_instance_crash(&mut self, instance: InstanceId, now: SimTime, out: &mut Outbox) {
+        self.accounting.count_crash();
+        self.spares.retain(|s| *s != instance);
+        let (residents, was_spot) = self
+            .hosts
+            .remove(&instance)
+            .map(|i| (i.hv.resident_ids(), i.market.is_some()))
+            .unwrap_or((Vec::new(), false));
+        // Migrations streaming their final commit FROM the crashed host die
+        // mid-push: the backup must not be credited with a fresh ack.
+        for m in self.migrations.values_mut() {
+            if m.source == instance && !m.commit_done {
+                m.commit_aborted = true;
+            }
+        }
+        // Migrations targeting the crashed host as destination must
+        // re-acquire one; their VM state is still safe on the backup.
+        let orphaned_dests: Vec<MigrationId> = self
+            .migrations
+            .iter_mut()
+            .filter(|(_, m)| m.dest == Some(instance) && m.phase == MigPhase::Prep)
+            .map(|(id, m)| {
+                m.dest = None;
+                m.dest_ready = false;
+                *id
+            })
+            .collect();
+        for mig in orphaned_dests {
+            out.push((now, Event::CommitStart(mig)));
+        }
+        for vm in residents {
+            let Some(record) = self.vms.get(&vm) else {
+                continue;
+            };
+            match record.status {
+                VmStatus::Running => {}
+                // In-flight migrations handle the missing source themselves
+                // (begin_attach); provisioning retries via AttachFailed.
+                _ => continue,
+            }
+            let stateless = record.stateless;
+            self.accounting.mark_down(vm, now);
+            self.returns.remove(&vm);
+            let recoverable = record.backup.is_some() && !self.pending_rerepl.contains_key(&vm);
+            if recoverable {
+                self.start_crash_recovery(vm, instance, now, out);
+            } else if stateless || !was_spot {
+                // Stateless replicas tolerate memory loss by design; a
+                // stateful VM on non-revocable capacity reboots from its
+                // persistent EBS volume. Either way the VM reincarnates
+                // (downtime runs until provisioning completes).
+                if let Some(r) = self.vms.get_mut(&vm) {
+                    r.host = None;
+                    r.eni = None;
+                    r.status = VmStatus::Provisioning;
+                }
+                out.push((now, Event::ProvisionVm(vm)));
+            } else {
+                // A spot-hosted stateful VM whose memory existed only on
+                // the dead host: no backup (resilience ablated), or the
+                // backup's image was still incomplete mid-re-replication.
+                self.accounting.count_lost();
+                if let Some(r) = self.vms.get_mut(&vm) {
+                    if r.backup.is_some() {
+                        let _ = self.backups.release(vm);
+                        r.backup = None;
+                    }
+                    r.host = None;
+                    r.status = VmStatus::Lost;
+                }
+                self.pending_rerepl.remove(&vm);
+            }
+        }
+    }
+
+    /// Restores a crashed VM from its backup's last acked checkpoint: a
+    /// migration with a zero-length commit (there is no source to commit
+    /// from; the residue since the last ack is lost) that pays downtime
+    /// from the crash instant until the restore completes.
+    fn start_crash_recovery(
+        &mut self,
+        vm: NestedVmId,
+        source: InstanceId,
+        now: SimTime,
+        out: &mut Outbox,
+    ) {
+        let Some(record) = self.vms.get_mut(&vm) else {
+            return;
+        };
+        record.status = VmStatus::Migrating;
+        let id = MigrationId(self.next_migration);
+        self.next_migration += 1;
+        let (restore_gate, degraded) = match self.cfg.mechanism.restore() {
+            None => (SimDuration::ZERO, SimDuration::ZERO),
+            Some((mode, path)) => {
+                let outs = simulate_concurrent_restores(
+                    1,
+                    self.vm_spec.mem_bytes,
+                    self.vm_spec.skeleton_bytes(),
+                    mode,
+                    path,
+                    &self.cfg.backup,
+                    None,
+                );
+                let worst = &outs[outs.len() - 1];
+                (worst.downtime, worst.degraded)
+            }
+        };
+        self.migrations.insert(
+            id,
+            Migration {
+                vm,
+                source,
+                dest: None,
+                commit_started: true,
+                commit_done: true,
+                commit_duration: SimDuration::ZERO,
+                commit_pause: SimDuration::ZERO,
+                dest_ready: false,
+                phase: MigPhase::Prep,
+                pending: 0,
+                paused_at: Some(now),
+                pays_downtime: true,
+                proactive: false,
+                live: false,
+                started_at: now,
+                dest_attempts: 0,
+                commit_aborted: false,
+                vm_obj: None,
+                degraded,
+            },
+        );
+        self.restore_gates.insert(id, restore_gate);
+        if let Some(spare) = self.spares.pop() {
+            if let Some(m) = self.migrations.get_mut(&id) {
+                m.dest = Some(spare);
+                m.dest_ready = true;
+            }
+            self.try_advance(id, now, out);
+            self.request_spare(now, out);
+        } else {
+            let zone = spotcheck_spotmarket::market::ZoneName::new(self.cfg.zone.clone());
+            match self.cloud.request_on_demand("m3.medium", &zone, now) {
+                Ok((instance, op, ready)) => {
+                    if let Some(m) = self.migrations.get_mut(&id) {
+                        m.dest = Some(instance);
+                    }
+                    self.op_ctx.insert(op, OpCtx::DestBoot(id));
+                    out.push((ready, Event::CloudOp(op)));
+                }
+                Err(_) => {
+                    self.schedule_dest_retry(id, now, out);
+                }
+            }
+        }
+    }
+
+    /// A backup server crash-stopped: every VM it protected is unprotected
+    /// until its full checkpoint is re-pushed to a replacement server.
+    fn on_backup_failure(&mut self, pick: u64, now: SimTime, out: &mut Outbox) {
+        let ids = self.backups.server_ids();
+        if ids.is_empty() {
+            return;
+        }
+        let victim = ids[(pick % ids.len() as u64) as usize];
+        self.accounting.count_backup_failure();
+        self.backup_death.insert(victim, now);
+        let Ok(orphans) = self.backups.fail_server(victim) else {
+            return;
+        };
+        // Re-pushing a full image takes mem / NIC bandwidth (the VM itself
+        // is the data source — its host streams the checkpoint afresh).
+        let push = SimDuration::from_secs_f64(
+            self.vm_spec.mem_bytes as f64 / self.cfg.backup.nic_bps,
+        );
+        for vm in orphans {
+            if let Some(r) = self.vms.get_mut(&vm) {
+                r.backup = None;
+            }
+            self.pending_rerepl.remove(&vm);
+            self.accounting.mark_unprotected(vm, now);
+            if !self.cfg.resilience.rereplication_enabled {
+                continue;
+            }
+            if self.assign_backup_inner(vm, now) {
+                self.repl_epoch += 1;
+                let epoch = self.repl_epoch;
+                self.pending_rerepl.insert(vm, epoch);
+                out.push((now + push, Event::ReplicationDone { vm, epoch }));
+            }
+        }
+    }
+
+    /// A re-replication push finished: the replacement backup now holds a
+    /// complete, current checkpoint (unless a newer event superseded it).
+    fn on_replication_done(&mut self, vm: NestedVmId, epoch: u32, now: SimTime) {
+        if self.pending_rerepl.get(&vm) != Some(&epoch) {
+            return; // Stale: superseded by a commit, landing, or newer push.
+        }
+        self.pending_rerepl.remove(&vm);
+        let protected = self.vms.get(&vm).map(|r| r.backup.is_some()).unwrap_or(false);
+        if protected {
+            if let Some(r) = self.vms.get_mut(&vm) {
+                r.checkpoint_acked_at = Some(now);
+            }
+            self.accounting.mark_protected(vm, now);
+            self.accounting.count_rereplication(vm);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1400,6 +1869,11 @@ impl Controller {
                 }
             }
             (OpCtx::HostBoot, Notification::SpotStartFailed { instance }) => {
+                // A boot race (price moved during startup) counts against
+                // the market's health.
+                if let Some(market) = self.cloud.instance(instance).ok().and_then(|i| i.market()) {
+                    self.market_health.record_failure(&market, now);
+                }
                 for vm in self.host_waiters.remove(&instance).unwrap_or_default() {
                     out.push((now, Event::ProvisionVm(vm)));
                 }
@@ -1479,6 +1953,15 @@ impl Controller {
                 _ => self.on_mig_gate_done(mig, now, out),
             },
             (OpCtx::ReturnBoot(vm), Notification::InstanceStarted { instance }) => {
+                // The return may have been abandoned (e.g. the od source
+                // crashed mid-return): release the now-pointless spot host.
+                if !self.returns.contains_key(&vm) {
+                    if let Ok((op, ready)) = self.cloud.terminate(instance, now) {
+                        self.op_ctx.insert(op, OpCtx::Terminate);
+                        out.push((ready, Event::CloudOp(op)));
+                    }
+                    return;
+                }
                 let inst = self.cloud.instance(instance).expect("instance exists");
                 let slots = inst.spec.medium_slots;
                 let market = inst.market();
@@ -1557,8 +2040,15 @@ impl Controller {
             native += self.cloud.instance_cost(inst.id, now).unwrap_or(0.0);
         }
         let mut backup = 0.0;
-        for (_, birth) in self.backup_birth.iter() {
-            backup += self.cfg.backup.hourly_price * now.saturating_since(*birth).as_hours_f64();
+        for (id, birth) in self.backup_birth.iter() {
+            // A failed backup server stops billing at its death.
+            let end = self
+                .backup_death
+                .get(id)
+                .copied()
+                .unwrap_or(now)
+                .min(now);
+            backup += self.cfg.backup.hourly_price * end.saturating_since(*birth).as_hours_f64();
         }
         let mut vm_hours = 0.0;
         for r in self.vms.values() {
@@ -1585,10 +2075,21 @@ impl Controller {
                 VmStatus::Running => "running",
                 VmStatus::Migrating => "migrating",
                 VmStatus::Released => "released",
+                VmStatus::Lost => "lost",
             };
             *counts.entry(k).or_insert(0) += 1;
         }
         counts
+    }
+
+    /// Markets whose health circuit is currently open (diagnostics).
+    pub fn open_markets(&self, now: SimTime) -> Vec<MarketId> {
+        self.market_health.open_markets(now)
+    }
+
+    /// VMs currently awaiting a re-replication push (diagnostics).
+    pub fn pending_rereplications(&self) -> usize {
+        self.pending_rerepl.len()
     }
 
     /// The private IP of a VM (stable across migrations).

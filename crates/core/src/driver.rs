@@ -3,6 +3,7 @@
 //! tests.
 
 use spotcheck_cloudsim::cloud::{CloudConfig, CloudSim};
+use spotcheck_cloudsim::faults::FaultPlan;
 use spotcheck_nestedvm::vm::NestedVmId;
 use spotcheck_simcore::engine::{Scheduler, Simulation, StopReason, World};
 use spotcheck_simcore::time::SimTime;
@@ -57,10 +58,33 @@ pub struct SpotCheckSim {
 impl SpotCheckSim {
     /// Builds a deployment over the given market traces.
     pub fn new(traces: Vec<PriceTrace>, config: SpotCheckConfig) -> Self {
+        SpotCheckSim::new_with_faults(traces, config, FaultPlan::none())
+    }
+
+    /// Builds a deployment whose native platform injects the given faults
+    /// (transient API errors, latency spikes, crashes, backup-server
+    /// failures, revocation storms).
+    pub fn new_with_faults(
+        traces: Vec<PriceTrace>,
+        config: SpotCheckConfig,
+        faults: FaultPlan,
+    ) -> Self {
         let cloud_cfg = CloudConfig {
             seed: config.seed,
+            faults,
             ..CloudConfig::default()
         };
+        SpotCheckSim::new_with_cloud(traces, config, cloud_cfg)
+    }
+
+    /// Builds a deployment over a fully custom platform configuration
+    /// (fault plan, on-demand stockout probability, latency model, ...).
+    /// The platform keeps its own seed from `cloud_cfg`.
+    pub fn new_with_cloud(
+        traces: Vec<PriceTrace>,
+        config: SpotCheckConfig,
+        cloud_cfg: CloudConfig,
+    ) -> Self {
         let cloud = CloudSim::new(traces, cloud_cfg);
         let mut controller = Controller::new(cloud, config);
         let boot = controller.bootstrap(SimTime::ZERO);

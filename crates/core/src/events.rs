@@ -1,5 +1,6 @@
 //! The event alphabet of the end-to-end SpotCheck simulation.
 
+use spotcheck_cloudsim::faults::FaultEvent;
 use spotcheck_cloudsim::ids::{InstanceId, OpId};
 use spotcheck_nestedvm::vm::NestedVmId;
 use spotcheck_spotmarket::market::MarketId;
@@ -35,4 +36,23 @@ pub enum Event {
     },
     /// A return-to-spot live migration's memory transfer finished.
     ReturnTransferDone(NestedVmId),
+    /// A scheduled injected fault is due (pulled from the platform's
+    /// fault plan at bootstrap, re-armed after each delivery).
+    Fault(FaultEvent),
+    /// A backup re-replication push finished: the VM's full checkpoint is
+    /// on its new backup server.
+    ReplicationDone {
+        /// The VM whose checkpoint was re-pushed.
+        vm: NestedVmId,
+        /// Guards against stale events after a newer re-replication or a
+        /// migration that released the backup.
+        epoch: u32,
+    },
+    /// Retry of a host termination that failed transiently.
+    RetryTerminate {
+        /// The instance to terminate.
+        instance: InstanceId,
+        /// Retry attempt number (1-based), for backoff.
+        attempt: u32,
+    },
 }

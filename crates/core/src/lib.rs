@@ -45,6 +45,7 @@ pub mod controller;
 pub mod driver;
 pub mod events;
 pub mod policy;
+pub mod retry;
 pub mod sim;
 pub mod types;
 
@@ -54,5 +55,6 @@ pub use config::SpotCheckConfig;
 pub use controller::{Controller, ControllerError, CostReport};
 pub use driver::SpotCheckSim;
 pub use policy::{BiddingPolicy, MappingPolicy, PlacementPolicy};
+pub use retry::{HealthConfig, MarketHealth, ResilienceConfig, RetryPolicy};
 pub use sim::{run_policy, standard_traces, PolicyExperiment, PolicyReport};
 pub use types::{CustomerId, MigrationId, VmRecord, VmStatus};

@@ -1,0 +1,299 @@
+//! Controller resilience: typed retry policies and spot-market health.
+//!
+//! The controller talks to a cloud whose control plane can throttle, stock
+//! out, or slow down (see `spotcheck_cloudsim::faults`). Two primitives
+//! keep it from either hammering a failing API or stalling forever:
+//!
+//! - [`RetryPolicy`] — capped exponential backoff with deterministic
+//!   jitter and an optional per-operation give-up deadline. Every retried
+//!   operation in the controller (destination acquisition after a
+//!   stockout, host termination after a transient error) routes its delay
+//!   through here.
+//! - [`MarketHealth`] — a per-market circuit breaker. A market that fails
+//!   repeatedly (bid rejections, transient errors, boot races) is *opened*
+//!   for a cooldown, during which provisioning skips it and falls through
+//!   to the next-cheapest market or on-demand.
+//!
+//! All jitter derives from `(salt, attempt)` through a seeded
+//! [`SimRng`], so runs remain bit-for-bit reproducible.
+
+use std::collections::BTreeMap;
+
+use spotcheck_simcore::rng::SimRng;
+use spotcheck_simcore::time::{SimDuration, SimTime};
+use spotcheck_spotmarket::market::MarketId;
+
+/// Capped exponential backoff with deterministic jitter.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Delay before the first retry.
+    pub base: SimDuration,
+    /// Multiplier applied per attempt.
+    pub factor: f64,
+    /// Ceiling on any single delay (pre-jitter).
+    pub max_delay: SimDuration,
+    /// Jitter amplitude as a fraction of the delay: the delay is scaled by
+    /// a factor uniform in `[1 - jitter_frac, 1 + jitter_frac]`. Zero
+    /// disables jitter (useful in tests).
+    pub jitter_frac: f64,
+    /// Give up on the operation once this much time has passed since it
+    /// began. `None` retries forever.
+    pub give_up_after: Option<SimDuration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base: SimDuration::from_secs(10),
+            factor: 2.0,
+            max_delay: SimDuration::from_secs(300),
+            jitter_frac: 0.1,
+            give_up_after: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Returns the backoff delay before retry number `attempt` (1-based).
+    ///
+    /// `salt` identifies the operation (e.g. a migration id) so that
+    /// concurrent retries of different operations decorrelate instead of
+    /// thundering back in lockstep; the same `(salt, attempt)` always
+    /// yields the same delay.
+    pub fn delay_for(&self, attempt: u32, salt: u64) -> SimDuration {
+        let attempt = attempt.max(1);
+        let exp = self.factor.powi(attempt as i32 - 1);
+        let raw = self.base.mul_f64(exp).min(self.max_delay);
+        if self.jitter_frac <= 0.0 {
+            return raw;
+        }
+        let u = SimRng::seed(salt)
+            .fork(u64::from(attempt))
+            .fork_named("retry-jitter")
+            .next_f64();
+        let scale = 1.0 + self.jitter_frac * (2.0 * u - 1.0);
+        raw.mul_f64(scale)
+    }
+
+    /// True once an operation started at `started` should stop retrying.
+    pub fn deadline_exceeded(&self, started: SimTime, now: SimTime) -> bool {
+        match self.give_up_after {
+            Some(d) => now.saturating_since(started) >= d,
+            None => false,
+        }
+    }
+}
+
+/// Circuit-breaker thresholds for [`MarketHealth`].
+#[derive(Debug, Clone)]
+pub struct HealthConfig {
+    /// Consecutive failures that open the circuit.
+    pub failure_threshold: u32,
+    /// How long an open circuit excludes the market.
+    pub cooldown: SimDuration,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            failure_threshold: 3,
+            cooldown: SimDuration::from_secs(600),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct MarketState {
+    consecutive_failures: u32,
+    open_until: Option<SimTime>,
+}
+
+/// Per-market request-health tracker with circuit breaking.
+///
+/// While a market's circuit is open, [`MarketHealth::is_open`] returns
+/// true and the provisioning path skips the market, falling back to the
+/// next-cheapest candidate or on-demand. After the cooldown the circuit
+/// half-closes: the next attempt is allowed through, and its outcome
+/// immediately re-opens or fully closes the circuit.
+#[derive(Debug, Clone, Default)]
+pub struct MarketHealth {
+    cfg: HealthConfig,
+    states: BTreeMap<MarketId, MarketState>,
+}
+
+impl MarketHealth {
+    /// Creates a tracker with the given thresholds.
+    pub fn new(cfg: HealthConfig) -> Self {
+        MarketHealth {
+            cfg,
+            states: BTreeMap::new(),
+        }
+    }
+
+    /// Records a failed request against `market`. Returns true if this
+    /// failure opened (or re-opened) the circuit.
+    pub fn record_failure(&mut self, market: &MarketId, now: SimTime) -> bool {
+        let s = self.states.entry(market.clone()).or_default();
+        s.consecutive_failures += 1;
+        if s.consecutive_failures >= self.cfg.failure_threshold {
+            let was_open = s.open_until.is_some_and(|t| now < t);
+            s.open_until = Some(now + self.cfg.cooldown);
+            return !was_open;
+        }
+        false
+    }
+
+    /// Records a successful request: closes the circuit and resets the
+    /// failure streak.
+    pub fn record_success(&mut self, market: &MarketId) {
+        self.states.remove(market);
+    }
+
+    /// True while the market's circuit is open at `now`.
+    pub fn is_open(&self, market: &MarketId, now: SimTime) -> bool {
+        self.states
+            .get(market)
+            .and_then(|s| s.open_until)
+            .is_some_and(|until| now < until)
+    }
+
+    /// Markets whose circuit is currently open (diagnostics).
+    pub fn open_markets(&self, now: SimTime) -> Vec<MarketId> {
+        self.states
+            .iter()
+            .filter(|(_, s)| s.open_until.is_some_and(|until| now < until))
+            .map(|(m, _)| m.clone())
+            .collect()
+    }
+}
+
+/// Toggles and tuning for the controller's resilience layer.
+///
+/// The enable flags exist for ablation: the chaos suite proves the
+/// mechanisms are load-bearing by re-running the same seeded scenario with
+/// them off and watching it fail.
+#[derive(Debug, Clone)]
+pub struct ResilienceConfig {
+    /// Route retried operations through [`RetryPolicy`]. When false a
+    /// failed destination acquisition is simply never retried (the
+    /// migration stalls) — the pre-resilience behavior minus its fixed
+    /// 30-second retry loop.
+    pub retry_enabled: bool,
+    /// Re-replicate checkpoints to a fresh backup server when a backup
+    /// dies. When false, orphaned VMs stay unprotected and are lost on
+    /// their next revocation or crash.
+    pub rereplication_enabled: bool,
+    /// Backoff parameters for retried operations.
+    pub retry: RetryPolicy,
+    /// Circuit-breaker thresholds for spot-market health.
+    pub health: HealthConfig,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            retry_enabled: true,
+            rereplication_enabled: true,
+            retry: RetryPolicy::default(),
+            health: HealthConfig::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_jitter() -> RetryPolicy {
+        RetryPolicy {
+            jitter_frac: 0.0,
+            ..RetryPolicy::default()
+        }
+    }
+
+    #[test]
+    fn delays_grow_exponentially_then_cap() {
+        let p = no_jitter();
+        let delays: Vec<f64> = (1..=8)
+            .map(|a| p.delay_for(a, 0).as_secs_f64())
+            .collect();
+        assert_eq!(&delays[..5], &[10.0, 20.0, 40.0, 80.0, 160.0]);
+        // Capped at max_delay from attempt 6 on (10 * 2^5 = 320 > 300).
+        assert_eq!(&delays[5..], &[300.0, 300.0, 300.0]);
+        // Monotone nondecreasing throughout.
+        assert!(delays.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let p = RetryPolicy::default();
+        for attempt in 1..=10 {
+            for salt in 0..20 {
+                let d1 = p.delay_for(attempt, salt);
+                let d2 = p.delay_for(attempt, salt);
+                assert_eq!(d1, d2, "same (salt, attempt) must give same delay");
+                let raw = no_jitter().delay_for(attempt, salt).as_secs_f64();
+                let d = d1.as_secs_f64();
+                assert!(
+                    d >= raw * 0.9 - 1e-9 && d <= raw * 1.1 + 1e-9,
+                    "jittered {d} out of [0.9, 1.1] x {raw}"
+                );
+            }
+        }
+        // Different salts decorrelate.
+        let a = p.delay_for(3, 1);
+        let b = p.delay_for(3, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn deadline_gates_retries() {
+        let p = RetryPolicy {
+            give_up_after: Some(SimDuration::from_secs(100)),
+            ..no_jitter()
+        };
+        let t0 = SimTime::from_secs(50);
+        assert!(!p.deadline_exceeded(t0, SimTime::from_secs(149)));
+        assert!(p.deadline_exceeded(t0, SimTime::from_secs(150)));
+        assert!(!RetryPolicy::default().deadline_exceeded(t0, SimTime::from_secs(1_000_000)));
+    }
+
+    #[test]
+    fn circuit_opens_after_threshold_and_cools_down() {
+        let m = MarketId::new("m3.medium", "us-east-1a");
+        let mut h = MarketHealth::new(HealthConfig {
+            failure_threshold: 3,
+            cooldown: SimDuration::from_secs(600),
+        });
+        let t0 = SimTime::from_secs(0);
+        assert!(!h.record_failure(&m, t0));
+        assert!(!h.record_failure(&m, t0));
+        assert!(!h.is_open(&m, t0));
+        assert!(h.record_failure(&m, t0), "third failure opens the circuit");
+        assert!(h.is_open(&m, t0));
+        assert!(h.is_open(&m, SimTime::from_secs(599)));
+        // Cooldown elapsed: half-open, attempts flow again.
+        assert!(!h.is_open(&m, SimTime::from_secs(600)));
+        // A failure in half-open state re-opens immediately.
+        assert!(h.record_failure(&m, SimTime::from_secs(600)));
+        assert!(h.is_open(&m, SimTime::from_secs(700)));
+        // Success closes and resets the streak.
+        h.record_success(&m);
+        assert!(!h.is_open(&m, SimTime::from_secs(700)));
+        assert!(!h.record_failure(&m, SimTime::from_secs(700)));
+    }
+
+    #[test]
+    fn open_markets_lists_only_open_circuits() {
+        let a = MarketId::new("m3.medium", "z");
+        let b = MarketId::new("m3.large", "z");
+        let mut h = MarketHealth::new(HealthConfig {
+            failure_threshold: 1,
+            cooldown: SimDuration::from_secs(100),
+        });
+        h.record_failure(&a, SimTime::ZERO);
+        assert_eq!(h.open_markets(SimTime::from_secs(50)), vec![a.clone()]);
+        assert!(h.open_markets(SimTime::from_secs(100)).is_empty());
+        let _ = b;
+    }
+}

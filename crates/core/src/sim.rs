@@ -205,7 +205,7 @@ fn walk_pool(
                 if p > bid {
                     out.revocation_times.push(next);
                     loc = Loc::OnDemand;
-                } else if proactive_threshold.map_or(false, |t| p > t) {
+                } else if proactive_threshold.is_some_and(|t| p > t) {
                     out.proactive += 1;
                     loc = Loc::OnDemand;
                 }

@@ -57,6 +57,10 @@ pub enum VmStatus {
     Migrating,
     /// Released by the customer.
     Released,
+    /// Unrecoverable: the VM's host died with no backup copy of its state
+    /// to restore from. Only reachable when re-replication is disabled or
+    /// a crash strikes inside an unprotected window.
+    Lost,
 }
 
 /// The controller's record of one nested VM.
@@ -91,6 +95,10 @@ pub struct VmRecord {
     pub requested_at: SimTime,
     /// When the VM first became available to the customer.
     pub first_running_at: Option<SimTime>,
+    /// When a backup server last acknowledged a complete, consistent
+    /// checkpoint of this VM. Monotone nondecreasing; `None` until first
+    /// protection. Restores never use state older than this instant.
+    pub checkpoint_acked_at: Option<SimTime>,
 }
 
 #[cfg(test)]

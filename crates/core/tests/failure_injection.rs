@@ -1,15 +1,22 @@
 //! Failure-injection tests: on-demand stockouts (§4.3 "requests for
 //! on-demand servers fail because they are unavailable"), forced
-//! termination racing the migration pipeline, and revocation storms while
-//! other VMs are still provisioning.
+//! termination racing the migration pipeline, revocation storms while
+//! other VMs are still provisioning, and seeded chaos plans mixing backup
+//! failures, crashes, storms, and transient API errors.
+
+use std::collections::BTreeMap;
 
 use spotcheck_cloudsim::cloud::{CloudConfig, CloudSim};
+use spotcheck_cloudsim::faults::{FaultEvent, FaultPlan};
 use spotcheck_core::config::SpotCheckConfig;
 use spotcheck_core::controller::Controller;
 use spotcheck_core::events::Event;
 use spotcheck_core::policy::MappingPolicy;
+use spotcheck_core::retry::ResilienceConfig;
+use spotcheck_core::sim::standard_traces;
 use spotcheck_core::types::VmStatus;
 use spotcheck_migrate::mechanisms::MechanismKind;
+use spotcheck_nestedvm::vm::NestedVmId;
 use spotcheck_simcore::engine::{Scheduler, Simulation, World};
 use spotcheck_simcore::series::StepSeries;
 use spotcheck_simcore::time::{SimDuration, SimTime};
@@ -43,21 +50,27 @@ impl World for Driver {
 }
 
 impl Driver {
+    fn controller(&self) -> &Controller {
+        &self.controller
+    }
+
     fn controller_mut(&mut self) -> &mut Controller {
         &mut self.controller
     }
 }
 
-fn sim_with_stockouts(
-    trace: PriceTrace,
+fn sim_with_faults(
+    traces: Vec<PriceTrace>,
     stockout_prob: f64,
     config: SpotCheckConfig,
+    faults: FaultPlan,
 ) -> Simulation<Driver> {
     let cloud = CloudSim::new(
-        vec![trace],
+        traces,
         CloudConfig {
             on_demand_stockout_prob: stockout_prob,
             seed: config.seed,
+            faults,
             ..CloudConfig::default()
         },
     );
@@ -68,6 +81,36 @@ fn sim_with_stockouts(
         sim.schedule_at(t, e);
     }
     sim
+}
+
+fn sim_with_stockouts(
+    trace: PriceTrace,
+    stockout_prob: f64,
+    config: SpotCheckConfig,
+) -> Simulation<Driver> {
+    sim_with_faults(vec![trace], stockout_prob, config, FaultPlan::none())
+}
+
+fn request_vms(sim: &mut Simulation<Driver>, n: usize, stateless_last: bool) -> Vec<NestedVmId> {
+    let (vms, out) = {
+        let c = sim.world_mut().controller_mut();
+        let cust = c.create_customer();
+        let mut vms = Vec::new();
+        let mut out = Vec::new();
+        for i in 0..n {
+            let stateless = stateless_last && i == n - 1;
+            let (vm, o) = c
+                .request_server_opts(cust, WorkloadKind::TpcW, stateless, SimTime::ZERO)
+                .unwrap();
+            vms.push(vm);
+            out.extend(o);
+        }
+        (vms, out)
+    };
+    for (t, e) in out {
+        sim.schedule_at(t, e);
+    }
+    vms
 }
 
 #[test]
@@ -176,4 +219,229 @@ fn revocation_during_provisioning_retries_cleanly() {
         // The VM won the race, came up, and was migrated normally.
         assert!(report.total_downtime < SimDuration::from_secs(60));
     }
+}
+
+fn flat_medium() -> PriceTrace {
+    let s = StepSeries::from_points(vec![(SimTime::ZERO, 0.014)]);
+    PriceTrace::new(MarketId::new("m3.medium", ZONE), 0.070, s)
+}
+
+#[test]
+fn seeded_chaos_never_loses_a_vm() {
+    // Randomized chaos plans (backup failures, revocation storms, instance
+    // crashes, latency spikes, 5-15% transient API errors) on top of 30%
+    // on-demand stockouts. Across seeds: no VM may ever end up Lost, and a
+    // VM's last-acked checkpoint may only move forward in time — committed
+    // state is never older than what the backup acked.
+    for seed in [1u64, 2, 3, 5, 8] {
+        let horizon = SimDuration::from_days(2);
+        let traces = standard_traces(ZONE, horizon, seed);
+        let markets: Vec<MarketId> = traces.iter().map(|t| t.market.clone()).collect();
+        // Keep crashes at least 900 s clear of backup failures so every
+        // crash is recoverable by construction (re-pushes take ~26 s).
+        let plan = FaultPlan::randomized(seed, &markets, horizon, SimDuration::from_secs(900));
+        let config = SpotCheckConfig {
+            zone: ZONE.to_string(),
+            mapping: MappingPolicy::OneM,
+            mechanism: MechanismKind::SpotCheckLazy,
+            seed,
+            ..SpotCheckConfig::default()
+        };
+        let mut sim = sim_with_faults(traces, 0.3, config, plan);
+        let vms = request_vms(&mut sim, 5, true);
+
+        let end = SimTime::ZERO + horizon;
+        let mut last_acked: BTreeMap<NestedVmId, SimTime> = BTreeMap::new();
+        let mut t = SimTime::ZERO;
+        while t < end {
+            t = (t + SimDuration::from_hours(1)).min(end);
+            sim.run_until(t);
+            let c = sim.world().controller();
+            for &vm in &vms {
+                if let Some(acked) = c.vm(vm).unwrap().checkpoint_acked_at {
+                    assert!(acked <= t, "seed {seed}: checkpoint acked in the future");
+                    if let Some(prev) = last_acked.get(&vm) {
+                        assert!(
+                            acked >= *prev,
+                            "seed {seed}: {vm:?} checkpoint ack moved backwards"
+                        );
+                    }
+                    last_acked.insert(vm, acked);
+                }
+            }
+        }
+
+        let c = sim.world_mut().controller_mut();
+        let counts = c.status_counts();
+        assert_eq!(
+            counts.get("lost").copied().unwrap_or(0),
+            0,
+            "seed {seed}: no VM may be lost under chaos with resilience on"
+        );
+        let report = c.availability_report(end);
+        assert_eq!(report.lost_vms, 0, "seed {seed}");
+        assert_eq!(report.vms, 5, "seed {seed}: {counts:?}");
+        assert!(
+            report.backup_failures >= 1,
+            "seed {seed}: the plan guarantees at least one backup failure"
+        );
+    }
+}
+
+#[test]
+fn backup_failure_storm_and_stockouts_recover_cleanly() {
+    // The ISSUE acceptance scenario: a backup-server failure, then a
+    // revocation storm across the whole pool, with 60% of on-demand
+    // requests failing. Every VM must survive, the orphan must be
+    // re-protected via re-replication, and the unprotected window must be
+    // visible in the report (roughly one 3 GiB push over the 1 Gbps NIC).
+    let market = MarketId::new("m3.medium", ZONE);
+    let plan = FaultPlan::none()
+        .at(SimTime::from_secs(7_200), FaultEvent::BackupFailure { pick: 0 })
+        .at(
+            SimTime::from_secs(10_800),
+            FaultEvent::RevocationStorm { market },
+        );
+    let config = SpotCheckConfig {
+        zone: ZONE.to_string(),
+        mapping: MappingPolicy::OneM,
+        mechanism: MechanismKind::SpotCheckLazy,
+        return_to_spot: false,
+        seed: 17,
+        ..SpotCheckConfig::default()
+    };
+    let mut sim = sim_with_faults(vec![flat_medium()], 0.6, config, plan);
+    let vms = request_vms(&mut sim, 3, false);
+    let end = SimTime::from_secs(21_600);
+    sim.run_until(end);
+
+    let c = sim.world_mut().controller_mut();
+    for &vm in &vms {
+        assert_eq!(
+            c.vm(vm).unwrap().status,
+            VmStatus::Running,
+            "{vm:?} must land despite the storm and stockouts"
+        );
+    }
+    assert_eq!(c.pending_rereplications(), 0, "no re-push may be left behind");
+    let report = c.availability_report(end);
+    assert_eq!(report.lost_vms, 0);
+    assert_eq!(report.backup_failures, 1);
+    assert!(
+        report.rereplications >= 1,
+        "the orphaned VM must be re-protected on a fresh server"
+    );
+    assert!(report.total_unprotected > SimDuration::ZERO);
+    assert!(
+        report.total_unprotected < SimDuration::from_secs(120),
+        "unprotected window should be about one full-image push (~26 s), got {:?}",
+        report.total_unprotected
+    );
+    assert_eq!(report.revocations, 3, "the storm sweeps all three spot VMs");
+    assert_eq!(report.migrations, 3);
+}
+
+#[test]
+fn disabling_resilience_loses_the_orphaned_vm() {
+    // Same scenario as above with retries and re-replication switched off:
+    // the orphan stays unprotected, so the storm strands or loses it. This
+    // proves the resilience machinery is load-bearing, not decorative.
+    let market = MarketId::new("m3.medium", ZONE);
+    let plan = FaultPlan::none()
+        .at(SimTime::from_secs(7_200), FaultEvent::BackupFailure { pick: 0 })
+        .at(
+            SimTime::from_secs(10_800),
+            FaultEvent::RevocationStorm { market },
+        );
+    let config = SpotCheckConfig {
+        zone: ZONE.to_string(),
+        mapping: MappingPolicy::OneM,
+        mechanism: MechanismKind::SpotCheckLazy,
+        return_to_spot: false,
+        resilience: ResilienceConfig {
+            retry_enabled: false,
+            rereplication_enabled: false,
+            ..ResilienceConfig::default()
+        },
+        seed: 17,
+        ..SpotCheckConfig::default()
+    };
+    let mut sim = sim_with_faults(vec![flat_medium()], 0.6, config, plan);
+    let vms = request_vms(&mut sim, 3, false);
+    let end = SimTime::from_secs(21_600);
+    sim.run_until(end);
+
+    let c = sim.world_mut().controller_mut();
+    // vms[0] was the first VM protected, i.e. on bkp-0000 — the server the
+    // `pick: 0` failure kills. Without re-replication its only checkpoint
+    // is gone: the storm's migration either stalls (stockout, no retry) or
+    // reaches attach with nothing to restore from.
+    assert_ne!(
+        c.vm(vms[0]).unwrap().status,
+        VmStatus::Running,
+        "the orphan must not survive with resilience off"
+    );
+    let stuck = c.active_migrations();
+    let report = c.availability_report(end);
+    assert!(
+        report.lost_vms >= 1 || stuck > 0,
+        "expected a lost or permanently stuck VM, got neither"
+    );
+    assert!(
+        report.total_unprotected > SimDuration::from_secs(3_000),
+        "the orphan stays unprotected from the failure onwards"
+    );
+}
+
+#[test]
+fn stale_degraded_end_events_are_ignored() {
+    // A lazily-restored VM's degraded window is closed by a DegradedEnd
+    // event guarded by a per-VM epoch. Blanket the post-revocation window
+    // with forged stale events (epoch 999 never matches): the run must be
+    // bit-for-bit identical to the unforged baseline — in particular the
+    // degraded window must not be truncated early.
+    let run = |forge: bool| {
+        let config = SpotCheckConfig {
+            zone: ZONE.to_string(),
+            mapping: MappingPolicy::OneM,
+            mechanism: MechanismKind::SpotCheckLazy,
+            return_to_spot: false,
+            seed: 21,
+            ..SpotCheckConfig::default()
+        };
+        let mut sim = sim_with_stockouts(spiky_medium(3_600, 90_000), 0.0, config);
+        let vms = request_vms(&mut sim, 1, false);
+        sim.run_until(SimTime::from_secs(3_600));
+        if forge {
+            let mut t = 3_610;
+            while t < 5_400 {
+                sim.schedule_at(
+                    SimTime::from_secs(t),
+                    Event::DegradedEnd {
+                        vm: vms[0],
+                        epoch: 999,
+                    },
+                );
+                t += 10;
+            }
+        }
+        let end = SimTime::from_secs(7_200);
+        sim.run_until(end);
+        let c = sim.world_mut().controller_mut();
+        let status = c.vm(vms[0]).unwrap().status;
+        (c.availability_report(end), status)
+    };
+
+    let (baseline, s0) = run(false);
+    let (forged, s1) = run(true);
+    assert_eq!(s0, VmStatus::Running);
+    assert_eq!(s1, VmStatus::Running);
+    assert!(
+        baseline.total_degraded > SimDuration::ZERO,
+        "lazy restore must open a degraded window for this test to bite"
+    );
+    assert_eq!(
+        forged, baseline,
+        "stale DegradedEnd events must not perturb the run"
+    );
 }

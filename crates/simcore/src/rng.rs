@@ -1,17 +1,13 @@
 //! Deterministic random-number generation.
 //!
 //! Every stochastic component of the reproduction takes an explicit seed, so
-//! runs are bit-for-bit reproducible. [`SimRng`] wraps a fixed algorithm
-//! (ChaCha via [`rand::rngs::StdRng`] is avoided on purpose: its algorithm is
-//! "not guaranteed stable across rand versions", so we build on the
-//! documented-stable [`rand::rngs::mock`]-free path of seeding our own
-//! splitmix64/xoshiro256** generator).
+//! runs are bit-for-bit reproducible. [`SimRng`] is a self-contained
+//! splitmix64-seeded xoshiro256** generator: no external RNG crate, so the
+//! stream can never shift under a dependency upgrade.
 //!
 //! [`SimRng::fork`] derives statistically independent child streams from a
 //! parent, so each simulated market, server, or workload can own its own
 //! stream and adding one component never perturbs the draws of another.
-
-use rand::{Error, RngCore, SeedableRng};
 
 /// Advances a splitmix64 state and returns the next output.
 ///
@@ -27,18 +23,14 @@ fn splitmix64(state: &mut u64) -> u64 {
 
 /// A deterministic, seedable, forkable RNG (xoshiro256**).
 ///
-/// Implements [`rand::RngCore`], so all of `rand`'s distribution machinery
-/// (`gen_range`, `gen_bool`, shuffling, ...) works on it.
-///
 /// # Examples
 ///
 /// ```
-/// use rand::Rng;
 /// use spotcheck_simcore::rng::SimRng;
 ///
 /// let mut a = SimRng::seed(42);
 /// let mut b = SimRng::seed(42);
-/// assert_eq!(a.gen_range(0..1000), b.gen_range(0..1000));
+/// assert_eq!(a.gen_range(0, 1000), b.gen_range(0, 1000));
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
@@ -92,6 +84,60 @@ impl SimRng {
         self.fork(h)
     }
 
+    /// Returns the next 64-bit output (xoshiro256** core step).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns the next 32-bit output (the high bits of [`SimRng::next_u64`]).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+
+    /// Returns a uniformly distributed integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn gen_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "gen_range: empty range {lo}..{hi}");
+        let span = hi - lo;
+        // Debiased multiply-shift (Lemire): rejection keeps the draw exactly
+        // uniform even when `span` does not divide 2^64.
+        let zone = span.wrapping_neg() % span;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (span as u128);
+            if (m as u64) >= zone {
+                return lo + (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
     /// Returns a uniformly distributed `f64` in `[0, 1)`.
     pub fn next_f64(&mut self) -> f64 {
         // 53 random mantissa bits.
@@ -112,52 +158,9 @@ impl SimRng {
     }
 }
 
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        (self.next_u64() >> 32) as u32
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        // xoshiro256** core step.
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
-        let t = self.s[1] << 17;
-        self.s[2] ^= self.s[0];
-        self.s[3] ^= self.s[1];
-        self.s[1] ^= self.s[2];
-        self.s[0] ^= self.s[3];
-        self.s[2] ^= t;
-        self.s[3] = self.s[3].rotate_left(45);
-        result
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        for chunk in dest.chunks_mut(8) {
-            let word = self.next_u64().to_le_bytes();
-            chunk.copy_from_slice(&word[..chunk.len()]);
-        }
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
-        self.fill_bytes(dest);
-        Ok(())
-    }
-}
-
-impl SeedableRng for SimRng {
-    type Seed = [u8; 8];
-
-    fn from_seed(seed: Self::Seed) -> Self {
-        SimRng::seed(u64::from_le_bytes(seed))
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
 
     #[test]
     fn same_seed_same_stream() {
@@ -229,12 +232,25 @@ mod tests {
     }
 
     #[test]
-    fn works_with_rand_traits() {
+    fn gen_range_stays_in_bounds_and_hits_ends() {
         let mut rng = SimRng::seed(1);
-        let x: u32 = rng.gen_range(10..20);
-        assert!((10..20).contains(&x));
-        let b = rng.gen_bool(0.5);
-        // Just exercise the API; any bool is fine.
-        let _ = b;
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..10_000 {
+            let x = rng.gen_range(10, 20);
+            assert!((10..20).contains(&x));
+            seen_lo |= x == 10;
+            seen_hi |= x == 19;
+        }
+        assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SimRng::seed(21);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| rng.gen_bool(0.3)).count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.3).abs() < 0.01, "frac={frac}");
     }
 }

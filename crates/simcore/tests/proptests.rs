@@ -1,6 +1,9 @@
-//! Property-based tests for the simulation core.
+//! Randomized invariant tests for the simulation core.
+//!
+//! Inputs are generated from seeded [`SimRng`] streams (the workspace has no
+//! external property-testing dependency), so every case is reproducible from
+//! the iteration number printed on failure.
 
-use proptest::prelude::*;
 use spotcheck_simcore::bitset::BitSet;
 use spotcheck_simcore::fluid::{max_min_rates, FlowSpec, Network};
 use spotcheck_simcore::queue::EventQueue;
@@ -9,11 +12,20 @@ use spotcheck_simcore::series::StepSeries;
 use spotcheck_simcore::stats::{Ecdf, Samples};
 use spotcheck_simcore::time::{SimDuration, SimTime};
 
-proptest! {
-    /// Popping the queue always yields events in nondecreasing time order,
-    /// FIFO among equal times.
-    #[test]
-    fn queue_pops_sorted_stable(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+const CASES: u64 = 64;
+
+fn f64_in(rng: &mut SimRng, lo: f64, hi: f64) -> f64 {
+    lo + rng.next_f64() * (hi - lo)
+}
+
+/// Popping the queue always yields events in nondecreasing time order,
+/// FIFO among equal times.
+#[test]
+fn queue_pops_sorted_stable() {
+    let mut rng = SimRng::seed(0xA11CE);
+    for case in 0..CASES {
+        let n = rng.gen_range(1, 200) as usize;
+        let times: Vec<u64> = (0..n).map(|_| rng.gen_range(0, 1_000)).collect();
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.push(SimTime::from_micros(t), i);
@@ -23,21 +35,26 @@ proptest! {
             popped.push((t, i));
         }
         for w in popped.windows(2) {
-            prop_assert!(w[0].0 <= w[1].0);
+            assert!(w[0].0 <= w[1].0, "case {case}: out of order");
             if w[0].0 == w[1].0 {
-                prop_assert!(w[0].1 < w[1].1, "FIFO violated among ties");
+                assert!(w[0].1 < w[1].1, "case {case}: FIFO violated among ties");
             }
         }
-        prop_assert_eq!(popped.len(), times.len());
+        assert_eq!(popped.len(), times.len(), "case {case}");
     }
+}
 
-    /// The bitset's cached popcount always matches a recount.
-    #[test]
-    fn bitset_count_is_consistent(ops in proptest::collection::vec((0usize..256, any::<bool>()), 0..300)) {
+/// The bitset's cached popcount always matches a recount.
+#[test]
+fn bitset_count_is_consistent() {
+    let mut rng = SimRng::seed(0xB17);
+    for case in 0..CASES {
+        let n_ops = rng.gen_range(0, 300) as usize;
         let mut s = BitSet::new(256);
         let mut model = std::collections::BTreeSet::new();
-        for (idx, set) in ops {
-            if set {
+        for _ in 0..n_ops {
+            let idx = rng.gen_range(0, 256) as usize;
+            if rng.gen_bool(0.5) {
                 s.set(idx);
                 model.insert(idx);
             } else {
@@ -45,50 +62,57 @@ proptest! {
                 model.remove(&idx);
             }
         }
-        prop_assert_eq!(s.count_ones(), model.len());
+        assert_eq!(s.count_ones(), model.len(), "case {case}");
         let ones: Vec<usize> = s.iter_ones().collect();
         let expect: Vec<usize> = model.into_iter().collect();
-        prop_assert_eq!(ones, expect);
+        assert_eq!(ones, expect, "case {case}");
     }
+}
 
-    /// Max-min fair rates never exceed caps and never oversubscribe a link.
-    #[test]
-    fn max_min_rates_feasible(
-        cap in 1.0f64..1e9,
-        sizes in proptest::collection::vec(1.0f64..1e8, 1..20),
-        flow_caps in proptest::collection::vec(proptest::option::of(1.0f64..1e8), 1..20),
-    ) {
+/// Max-min fair rates never exceed caps and never oversubscribe a link.
+#[test]
+fn max_min_rates_feasible() {
+    let mut rng = SimRng::seed(0xF1A7);
+    for case in 0..CASES {
+        let cap = f64_in(&mut rng, 1.0, 1e9);
+        let n = rng.gen_range(1, 20) as usize;
         let mut net = Network::new();
         let l = net.add_link(cap);
-        let flows: Vec<FlowSpec> = sizes
-            .iter()
-            .zip(flow_caps.iter().cycle())
-            .map(|(&bytes, &fc)| {
+        let flows: Vec<FlowSpec> = (0..n)
+            .map(|_| {
+                let bytes = f64_in(&mut rng, 1.0, 1e8);
                 let f = FlowSpec::new(vec![l], bytes);
-                match fc {
-                    Some(c) => f.with_cap(c),
-                    None => f,
+                if rng.gen_bool(0.5) {
+                    f.with_cap(f64_in(&mut rng, 1.0, 1e8))
+                } else {
+                    f
                 }
             })
             .collect();
         let rates = max_min_rates(&net, &flows);
         let total: f64 = rates.iter().sum();
-        prop_assert!(total <= cap * (1.0 + 1e-6), "oversubscribed: {} > {}", total, cap);
+        assert!(
+            total <= cap * (1.0 + 1e-6),
+            "case {case}: oversubscribed: {total} > {cap}"
+        );
         for (r, f) in rates.iter().zip(&flows) {
-            prop_assert!(*r >= 0.0);
+            assert!(*r >= 0.0, "case {case}");
             if let Some(c) = f.rate_cap_bps {
-                prop_assert!(*r <= c * (1.0 + 1e-9), "cap violated: {} > {}", r, c);
+                assert!(*r <= c * (1.0 + 1e-9), "case {case}: cap violated: {r} > {c}");
             }
         }
     }
+}
 
-    /// Max-min fairness is work-conserving on a single link: either the link
-    /// is (nearly) full or every flow is at its cap.
-    #[test]
-    fn max_min_rates_work_conserving(
-        cap in 1.0f64..1e9,
-        flow_caps in proptest::collection::vec(1.0f64..1e8, 1..20),
-    ) {
+/// Max-min fairness is work-conserving on a single link: either the link
+/// is (nearly) full or every flow is at its cap.
+#[test]
+fn max_min_rates_work_conserving() {
+    let mut rng = SimRng::seed(0xC0156);
+    for case in 0..CASES {
+        let cap = f64_in(&mut rng, 1.0, 1e9);
+        let n = rng.gen_range(1, 20) as usize;
+        let flow_caps: Vec<f64> = (0..n).map(|_| f64_in(&mut rng, 1.0, 1e8)).collect();
         let mut net = Network::new();
         let l = net.add_link(cap);
         let flows: Vec<FlowSpec> = flow_caps
@@ -101,52 +125,67 @@ proptest! {
             .iter()
             .zip(&flow_caps)
             .all(|(r, c)| (r - c).abs() <= c * 1e-6);
-        prop_assert!(
+        assert!(
             total >= cap * (1.0 - 1e-6) || all_capped,
-            "not work conserving: total={} cap={} rates={:?}",
-            total, cap, rates
+            "case {case}: not work conserving: total={total} cap={cap} rates={rates:?}"
         );
     }
+}
 
-    /// ECDF is monotone, hits 0 below the minimum and 1 at/above the maximum.
-    #[test]
-    fn ecdf_properties(values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+/// ECDF is monotone, hits 0 below the minimum and 1 at/above the maximum.
+#[test]
+fn ecdf_properties() {
+    let mut rng = SimRng::seed(0xECD);
+    for case in 0..CASES {
+        let n = rng.gen_range(1, 200) as usize;
+        let values: Vec<f64> = (0..n).map(|_| f64_in(&mut rng, -1e6, 1e6)).collect();
         let e = Ecdf::new(values.clone());
         let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
         let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert_eq!(e.eval(lo - 1.0), 0.0);
-        prop_assert_eq!(e.eval(hi), 1.0);
+        assert_eq!(e.eval(lo - 1.0), 0.0, "case {case}");
+        assert_eq!(e.eval(hi), 1.0, "case {case}");
         let mut prev = 0.0;
         for i in 0..=20 {
             let x = lo + (hi - lo) * i as f64 / 20.0;
             let fx = e.eval(x);
-            prop_assert!(fx >= prev);
+            assert!(fx >= prev, "case {case}: ECDF not monotone");
             prev = fx;
         }
     }
+}
 
-    /// Sample quantiles are bounded by min/max and ordered in p.
-    #[test]
-    fn samples_quantiles_ordered(values in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+/// Sample quantiles are bounded by min/max and ordered in p.
+#[test]
+fn samples_quantiles_ordered() {
+    let mut rng = SimRng::seed(0x5A3);
+    for case in 0..CASES {
+        let n = rng.gen_range(1, 100) as usize;
+        let values: Vec<f64> = (0..n).map(|_| f64_in(&mut rng, -1e6, 1e6)).collect();
         let mut s = Samples::from_values(values);
         let q25 = s.quantile(0.25).unwrap();
         let q50 = s.quantile(0.5).unwrap();
         let q75 = s.quantile(0.75).unwrap();
-        prop_assert!(s.min().unwrap() <= q25);
-        prop_assert!(q25 <= q50 && q50 <= q75);
-        prop_assert!(q75 <= s.max().unwrap());
+        assert!(s.min().unwrap() <= q25, "case {case}");
+        assert!(q25 <= q50 && q50 <= q75, "case {case}");
+        assert!(q75 <= s.max().unwrap(), "case {case}");
     }
+}
 
-    /// A resampled step series always reports values the series contains.
-    #[test]
-    fn step_series_resample_values_exist(
-        raw in proptest::collection::vec((0u64..10_000, -100.0f64..100.0), 1..50),
-    ) {
-        let mut pts: Vec<(u64, f64)> = raw;
+/// A resampled step series always reports values the series contains.
+#[test]
+fn step_series_resample_values_exist() {
+    let mut rng = SimRng::seed(0x57E9);
+    for case in 0..CASES {
+        let n = rng.gen_range(1, 50) as usize;
+        let mut pts: Vec<(u64, f64)> = (0..n)
+            .map(|_| (rng.gen_range(0, 10_000), f64_in(&mut rng, -100.0, 100.0)))
+            .collect();
         pts.sort_by_key(|(t, _)| *t);
         pts.dedup_by_key(|(t, _)| *t);
         let series = StepSeries::from_points(
-            pts.iter().map(|&(t, v)| (SimTime::from_micros(t), v)).collect(),
+            pts.iter()
+                .map(|&(t, v)| (SimTime::from_micros(t), v))
+                .collect(),
         );
         let xs = series.resample(
             SimTime::ZERO,
@@ -155,18 +194,23 @@ proptest! {
         );
         let allowed: Vec<f64> = pts.iter().map(|&(_, v)| v).collect();
         for x in xs {
-            prop_assert!(allowed.iter().any(|&v| v == x));
+            assert!(allowed.contains(&x), "case {case}: invented value {x}");
         }
     }
+}
 
-    /// Forked RNG streams are reproducible.
-    #[test]
-    fn rng_fork_reproducible(seed in any::<u64>(), stream in any::<u64>()) {
+/// Forked RNG streams are reproducible for arbitrary (seed, stream) pairs.
+#[test]
+fn rng_fork_reproducible() {
+    let mut meta = SimRng::seed(0xF02C);
+    for case in 0..CASES {
+        let seed = meta.next_u64();
+        let stream = meta.next_u64();
         let parent = SimRng::seed(seed);
         let mut a = parent.fork(stream);
         let mut b = parent.fork(stream);
         for _ in 0..16 {
-            prop_assert_eq!(rand::RngCore::next_u64(&mut a), rand::RngCore::next_u64(&mut b));
+            assert_eq!(a.next_u64(), b.next_u64(), "case {case}");
         }
     }
 }

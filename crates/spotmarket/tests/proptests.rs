@@ -1,23 +1,25 @@
-//! Property tests for the spot-market substrate.
+//! Randomized invariant tests for the spot-market substrate, driven by
+//! seeded [`SimRng`] streams so every case is reproducible.
 
-use proptest::prelude::*;
+use spotcheck_simcore::rng::SimRng;
 use spotcheck_simcore::series::StepSeries;
 use spotcheck_simcore::time::{SimDuration, SimTime};
 use spotcheck_spotmarket::market::MarketId;
 use spotcheck_spotmarket::trace::PriceTrace;
 
-fn arb_points() -> impl Strategy<Value = Vec<(u64, f64)>> {
-    proptest::collection::vec((1u64..10_000, 0.0001f64..9.9999), 1..80).prop_map(|steps| {
-        let mut t = 0u64;
-        let mut out = vec![(0u64, 0.02)];
-        for (dt, p) in steps {
-            t += dt;
-            // Quantize like the generator so CSV parsing round-trips
-            // exactly.
-            out.push((t, (p * 10_000.0).round() / 10_000.0));
-        }
-        out
-    })
+const CASES: u64 = 64;
+
+fn random_points(rng: &mut SimRng) -> Vec<(u64, f64)> {
+    let n = rng.gen_range(1, 80) as usize;
+    let mut t = 0u64;
+    let mut out = vec![(0u64, 0.02)];
+    for _ in 0..n {
+        t += rng.gen_range(1, 10_000);
+        let p = 0.0001 + rng.next_f64() * (9.9999 - 0.0001);
+        // Quantize like the generator so CSV parsing round-trips exactly.
+        out.push((t, (p * 10_000.0).round() / 10_000.0));
+    }
+    out
 }
 
 fn trace_from(points: &[(u64, f64)]) -> PriceTrace {
@@ -28,21 +30,28 @@ fn trace_from(points: &[(u64, f64)]) -> PriceTrace {
     PriceTrace::new(MarketId::new("m3.medium", "us-east-1a"), 0.07, s)
 }
 
-proptest! {
-    /// CSV serialization round-trips arbitrary traces exactly.
-    #[test]
-    fn csv_roundtrip_exact(points in arb_points()) {
+/// CSV serialization round-trips arbitrary traces exactly.
+#[test]
+fn csv_roundtrip_exact() {
+    let mut rng = SimRng::seed(0xC57);
+    for case in 0..CASES {
+        let points = random_points(&mut rng);
         let trace = trace_from(&points);
         let back = PriceTrace::from_csv(&trace.to_csv()).unwrap();
-        prop_assert_eq!(back.market, trace.market.clone());
-        prop_assert_eq!(back.on_demand_price, trace.on_demand_price);
-        prop_assert_eq!(back.prices.points(), trace.prices.points());
+        assert_eq!(back.market, trace.market.clone(), "case {case}");
+        assert_eq!(back.on_demand_price, trace.on_demand_price, "case {case}");
+        assert_eq!(back.prices.points(), trace.prices.points(), "case {case}");
     }
+}
 
-    /// Availability + above-bid fraction always sum to 1; capped mean is
-    /// never above the plain mean nor above the cap.
-    #[test]
-    fn availability_and_means_are_consistent(points in arb_points(), bid in 0.001f64..5.0) {
+/// Availability + above-bid fraction always sum to 1; capped mean is
+/// never above the plain mean nor above the cap.
+#[test]
+fn availability_and_means_are_consistent() {
+    let mut rng = SimRng::seed(0xA0A1);
+    for case in 0..CASES {
+        let points = random_points(&mut rng);
+        let bid = 0.001 + rng.next_f64() * (5.0 - 0.001);
         let trace = trace_from(&points);
         let end = SimTime::from_secs(20_000);
         let a = trace.availability_at_bid(bid, SimTime::ZERO, end).unwrap();
@@ -50,56 +59,65 @@ proptest! {
             .prices
             .fraction_where(SimTime::ZERO, end, |p| p > bid)
             .unwrap();
-        prop_assert!((a + above - 1.0).abs() < 1e-9);
+        assert!((a + above - 1.0).abs() < 1e-9, "case {case}");
         let mean = trace.mean_price(SimTime::ZERO, end).unwrap();
         let capped = trace.mean_capped_price(bid, SimTime::ZERO, end).unwrap();
-        prop_assert!(capped <= mean + 1e-12);
-        prop_assert!(capped <= bid + 1e-12);
+        assert!(capped <= mean + 1e-12, "case {case}");
+        assert!(capped <= bid + 1e-12, "case {case}");
     }
+}
 
-    /// Revocation-count invariants. (Counts are *not* monotone in the bid
-    /// — a price oscillating just below a high bid crosses it repeatedly
-    /// while staying above a low bid entirely — but they are bounded by
-    /// the number of price changes and vanish above the trace maximum.)
-    #[test]
-    fn revocation_counts_are_bounded(points in arb_points()) {
+/// Revocation-count invariants. (Counts are *not* monotone in the bid
+/// — a price oscillating just below a high bid crosses it repeatedly
+/// while staying above a low bid entirely — but they are bounded by
+/// the number of price changes and vanish above the trace maximum.)
+#[test]
+fn revocation_counts_are_bounded() {
+    let mut rng = SimRng::seed(0x2EF0C);
+    for case in 0..CASES {
+        let points = random_points(&mut rng);
         let trace = trace_from(&points);
         let end = SimTime::from_secs(20_000);
         let max_price = points.iter().map(|&(_, p)| p).fold(0.0, f64::max);
         // Bidding above the maximum price: never revoked.
-        prop_assert_eq!(
+        assert_eq!(
             trace.revocations_at_bid(max_price + 0.01, SimTime::ZERO, end),
-            0
+            0,
+            "case {case}"
         );
         // Any bid: at most one revocation per price change.
         for i in 1..=10 {
             let bid = i as f64 / 2.0;
             let r = trace.revocations_at_bid(bid, SimTime::ZERO, end);
-            prop_assert!(r <= points.len());
+            assert!(r <= points.len(), "case {case}");
             // Each revocation implies nonzero time above the bid.
             if r > 0 {
                 let above = trace
                     .prices
                     .fraction_where(SimTime::ZERO, end, |p| p > bid)
                     .unwrap();
-                prop_assert!(above > 0.0);
+                assert!(above > 0.0, "case {case}");
             }
         }
     }
+}
 
-    /// Resampling never invents values and respects window bounds.
-    #[test]
-    fn resample_values_are_real(points in arb_points()) {
+/// Resampling never invents values and respects window bounds.
+#[test]
+fn resample_values_are_real() {
+    let mut rng = SimRng::seed(0x2E5A);
+    for case in 0..CASES {
+        let points = random_points(&mut rng);
         let trace = trace_from(&points);
         let xs = trace.resample(
             SimTime::ZERO,
             SimTime::from_secs(20_000),
             SimDuration::from_secs(500),
         );
-        prop_assert_eq!(xs.len(), 40);
+        assert_eq!(xs.len(), 40, "case {case}");
         let allowed: Vec<f64> = points.iter().map(|&(_, p)| p).collect();
         for x in xs {
-            prop_assert!(allowed.contains(&x));
+            assert!(allowed.contains(&x), "case {case}: invented value {x}");
         }
     }
 }

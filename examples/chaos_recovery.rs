@@ -1,0 +1,139 @@
+//! Chaos recovery: a backup-server failure followed by a market-wide
+//! revocation storm, with 90% on-demand stockouts and transient API
+//! errors on every cloud call — the adversarial schedule the resilience
+//! layer exists for.
+//!
+//! Three protected VMs sit on cheap spot capacity. At t = 2 h their
+//! backup pool loses a server: the orphan is re-replicated to a fresh
+//! server (~26 s unprotected while the 3 GiB image re-pushes). At
+//! t = 3 h a revocation storm sweeps the market; destination acquisition
+//! keeps failing, so the sources die before the migrations can carry
+//! memory across, and the VMs restart from their last acked checkpoints.
+//!
+//! ```text
+//! cargo run --example chaos_recovery
+//! cargo run --example chaos_recovery -- --no-resilience
+//! ```
+//!
+//! The second form disables retries and re-replication: the orphaned VM
+//! has no checkpoint anywhere when the storm hits, and ends up stranded
+//! mid-migration or lost outright.
+
+use spotcheck_cloudsim::cloud::CloudConfig;
+use spotcheck_cloudsim::faults::{FaultEvent, FaultPlan};
+use spotcheck_core::config::SpotCheckConfig;
+use spotcheck_core::driver::SpotCheckSim;
+use spotcheck_core::retry::ResilienceConfig;
+use spotcheck_simcore::series::StepSeries;
+use spotcheck_simcore::time::{SimDuration, SimTime};
+use spotcheck_spotmarket::market::MarketId;
+use spotcheck_spotmarket::trace::PriceTrace;
+use spotcheck_workloads::WorkloadKind;
+
+fn main() {
+    let resilient = !std::env::args().any(|a| a == "--no-resilience");
+
+    // A flat, cheap market: nothing here revokes on price. Every bit of
+    // trouble below is injected.
+    let market = MarketId::new("m3.medium", "us-east-1a");
+    let series = StepSeries::from_points(vec![(SimTime::ZERO, 0.0141)]);
+    let trace = PriceTrace::new(market.clone(), 0.070, series);
+
+    let backup_dies = SimTime::from_hours(2);
+    let storm_hits = SimTime::from_hours(3);
+    let plan = FaultPlan::none()
+        .with_transient_errors(0.10)
+        .at(backup_dies, FaultEvent::BackupFailure { pick: 0 })
+        .at(storm_hits, FaultEvent::RevocationStorm { market });
+
+    let config = SpotCheckConfig {
+        return_to_spot: false,
+        resilience: if resilient {
+            ResilienceConfig::default()
+        } else {
+            ResilienceConfig {
+                retry_enabled: false,
+                rereplication_enabled: false,
+                ..ResilienceConfig::default()
+            }
+        },
+        seed: 17,
+        ..SpotCheckConfig::default()
+    };
+    println!(
+        "resilience {} (retry/backoff, circuit breaker, backup re-replication)\n",
+        if resilient { "ON " } else { "OFF" }
+    );
+
+    let cloud_cfg = CloudConfig {
+        seed: config.seed,
+        on_demand_stockout_prob: 0.9,
+        faults: plan,
+        ..CloudConfig::default()
+    };
+    let mut sim = SpotCheckSim::new_with_cloud(vec![trace], config, cloud_cfg);
+    let customer = sim.create_customer();
+    let vms: Vec<_> = (0..3)
+        .map(|_| sim.request_server(customer, WorkloadKind::TpcW))
+        .collect();
+
+    let show = |sim: &mut SpotCheckSim, label: &str, t: SimTime| {
+        sim.run_until(t);
+        let counts = sim.controller().status_counts();
+        let pending = sim.controller().pending_rereplications();
+        println!("{label:<26} {counts:?}  pending re-pushes: {pending}");
+    };
+
+    show(&mut sim, "t=1:00:00  calm", SimTime::from_hours(1));
+    show(
+        &mut sim,
+        "t=2:00:10  backup died",
+        backup_dies + SimDuration::from_secs(10),
+    );
+    show(
+        &mut sim,
+        "t=2:01:00  re-push done",
+        backup_dies + SimDuration::from_secs(60),
+    );
+    show(
+        &mut sim,
+        "t=3:01:00  storm, migrating",
+        storm_hits + SimDuration::from_secs(60),
+    );
+    let end = SimTime::from_hours(5);
+    show(&mut sim, "t=5:00:00  settled", end);
+
+    let report = sim.availability_report();
+    println!(
+        "\nbackup failures: {}   re-replications: {}   unprotected: {:?}",
+        report.backup_failures, report.rereplications, report.total_unprotected
+    );
+    println!(
+        "revocations: {}   migrations: {}   downtime: {:?}",
+        report.revocations, report.migrations, report.total_downtime
+    );
+    println!("lost VMs: {}", report.lost_vms);
+
+    let lost = report.lost_vms;
+    let survivors = vms
+        .iter()
+        .filter(|&&vm| {
+            sim.controller()
+                .vm(vm)
+                .map(|r| r.status == spotcheck_core::types::VmStatus::Running)
+                .unwrap_or(false)
+        })
+        .count();
+    println!("survivors: {survivors}/{}", vms.len());
+    if resilient {
+        assert_eq!(lost, 0, "resilience on: no VM may be lost");
+        assert_eq!(survivors, vms.len());
+        println!("\nevery VM survived the schedule; the orphan was re-protected");
+    } else {
+        assert!(
+            lost > 0 || survivors < vms.len(),
+            "resilience off: the orphan must be lost or stranded"
+        );
+        println!("\nwithout re-replication the orphaned VM did not survive");
+    }
+}

@@ -1,7 +1,8 @@
-//! Workspace-level property tests: invariants that must hold across the
-//! stack for arbitrary market conditions and workload parameters.
+//! Workspace-level randomized invariant tests: properties that must hold
+//! across the stack for arbitrary market conditions and workload
+//! parameters. Inputs come from seeded [`SimRng`] streams so every case is
+//! reproducible from the iteration number printed on failure.
 
-use proptest::prelude::*;
 use spotcheck_core::analysis::MarketModel;
 use spotcheck_core::policy::{BiddingPolicy, MappingPolicy};
 use spotcheck_core::sim::{run_policy, PolicyExperiment};
@@ -9,92 +10,116 @@ use spotcheck_migrate::bounded::{simulate_final_commit, BoundedTimeConfig, RampP
 use spotcheck_migrate::mechanisms::MechanismKind;
 use spotcheck_migrate::precopy::{simulate_precopy, PreCopyConfig};
 use spotcheck_nestedvm::memory::DirtyModel;
+use spotcheck_simcore::rng::SimRng;
 use spotcheck_simcore::series::StepSeries;
 use spotcheck_simcore::time::{SimDuration, SimTime};
 use spotcheck_spotmarket::market::MarketId;
 use spotcheck_spotmarket::trace::PriceTrace;
 use spotcheck_workloads::WorkloadKind;
 
-/// Builds an arbitrary piecewise-constant price trace.
-fn arb_trace(type_name: &'static str, od: f64) -> impl Strategy<Value = PriceTrace> {
-    proptest::collection::vec((1u64..5_000, 0.001f64..1.0), 1..60).prop_map(move |steps| {
-        let mut series = StepSeries::new();
-        let mut t = 0u64;
-        series.push(SimTime::ZERO, od * 0.2);
-        for (dt, ratio) in steps {
-            t += dt;
-            series.push(SimTime::from_secs(t), (ratio * od * 2.0).max(0.0001));
-        }
-        PriceTrace::new(MarketId::new(type_name, "z"), od, series)
-    })
+const CASES: u64 = 64;
+
+fn f64_in(rng: &mut SimRng, lo: f64, hi: f64) -> f64 {
+    lo + rng.next_f64() * (hi - lo)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Builds a random piecewise-constant price trace.
+fn random_trace(rng: &mut SimRng, type_name: &'static str, od: f64) -> PriceTrace {
+    let n = rng.gen_range(1, 60) as usize;
+    let mut series = StepSeries::new();
+    let mut t = 0u64;
+    series.push(SimTime::ZERO, od * 0.2);
+    for _ in 0..n {
+        t += rng.gen_range(1, 5_000);
+        let ratio = f64_in(rng, 0.001, 1.0);
+        series.push(SimTime::from_secs(t), (ratio * od * 2.0).max(0.0001));
+    }
+    PriceTrace::new(MarketId::new(type_name, "z"), od, series)
+}
 
-    /// availability(bid) is monotone in the bid for any trace.
-    #[test]
-    fn availability_monotone_in_bid(trace in arb_trace("m3.medium", 0.07)) {
+/// availability(bid) is monotone in the bid for any trace.
+#[test]
+fn availability_monotone_in_bid() {
+    let mut rng = SimRng::seed(0xA17);
+    for case in 0..CASES {
+        let trace = random_trace(&mut rng, "m3.medium", 0.07);
         let end = SimTime::from_secs(10_000);
         let mut prev = 0.0;
         for i in 1..=10 {
             let bid = 0.07 * i as f64 / 5.0;
             if let Some(a) = trace.availability_at_bid(bid, SimTime::ZERO, end) {
-                prop_assert!(a >= prev - 1e-12, "availability must rise with bid");
+                assert!(
+                    a >= prev - 1e-12,
+                    "case {case}: availability must rise with bid"
+                );
                 prev = a;
             }
         }
     }
+}
 
-    /// The §4.4 expected cost never exceeds the on-demand price when
-    /// bidding the on-demand price, and never undercuts the trace minimum.
-    #[test]
-    fn expected_cost_is_bounded(trace in arb_trace("m3.medium", 0.07)) {
+/// The §4.4 expected cost never exceeds the on-demand price when
+/// bidding the on-demand price, and never undercuts the trace minimum.
+#[test]
+fn expected_cost_is_bounded() {
+    let mut rng = SimRng::seed(0xEC0);
+    for case in 0..CASES {
+        let trace = random_trace(&mut rng, "m3.medium", 0.07);
         let end = SimTime::from_secs(10_000);
         if let Some(m) = MarketModel::from_trace(&trace, 0.07, SimTime::ZERO, end) {
             let e = m.expected_cost();
-            prop_assert!(e <= 0.07 + 1e-12, "E(c)={e}");
+            assert!(e <= 0.07 + 1e-12, "case {case}: E(c)={e}");
             let min = trace
                 .prices
                 .points()
                 .iter()
                 .map(|(_, v)| *v)
                 .fold(f64::INFINITY, f64::min);
-            prop_assert!(e >= min.min(0.07) - 1e-12);
+            assert!(e >= min.min(0.07) - 1e-12, "case {case}");
         }
     }
+}
 
-    /// Pre-copy migration totals are always at least the single-pass time
-    /// and downtime never exceeds total duration.
-    #[test]
-    fn precopy_invariants(
-        mem_gib in 1u64..16,
-        writes in 0.0f64..20_000.0,
-        hot_pages in 1_000usize..500_000,
-    ) {
+/// Pre-copy migration totals are always at least the single-pass time
+/// and downtime never exceeds total duration.
+#[test]
+fn precopy_invariants() {
+    let mut rng = SimRng::seed(0x92EC);
+    for case in 0..CASES {
+        let mem_gib = rng.gen_range(1, 16);
+        let writes = f64_in(&mut rng, 0.0, 20_000.0);
+        let hot_pages = rng.gen_range(1_000, 500_000) as usize;
         let dirty = DirtyModel::new(hot_pages, writes, 0.01);
         let out = simulate_precopy(mem_gib << 30, &dirty, &PreCopyConfig::default());
         let single_pass = (mem_gib << 30) as f64 / 125e6;
-        prop_assert!(out.total_duration.as_secs_f64() >= single_pass * 0.999);
-        prop_assert!(out.downtime <= out.total_duration);
-        prop_assert!(out.bytes_transferred >= mem_gib << 30);
+        assert!(
+            out.total_duration.as_secs_f64() >= single_pass * 0.999,
+            "case {case}"
+        );
+        assert!(out.downtime <= out.total_duration, "case {case}");
+        assert!(out.bytes_transferred >= mem_gib << 30, "case {case}");
     }
+}
 
-    /// The SpotCheck ramp never yields *more* downtime than Yank for the
-    /// same conditions.
-    #[test]
-    fn ramp_never_worse_than_yank(
-        stale_mb in 1.0f64..128.0,
-        bw_mbps in 4.0f64..125.0,
-        writes in 0.0f64..5_000.0,
-    ) {
+/// The SpotCheck ramp never yields *more* downtime than Yank for the
+/// same conditions.
+#[test]
+fn ramp_never_worse_than_yank() {
+    let mut rng = SimRng::seed(0x2A39);
+    for case in 0..CASES {
+        let stale_mb = f64_in(&mut rng, 1.0, 128.0);
+        let bw_mbps = f64_in(&mut rng, 4.0, 125.0);
+        let writes = f64_in(&mut rng, 0.0, 5_000.0);
         let dirty = DirtyModel::new(50_000, writes, 0.01);
         let yank = simulate_final_commit(
             stale_mb * 1e6,
             &dirty,
             786_432,
             bw_mbps * 1e6,
-            &BoundedTimeConfig { ramp: RampPolicy::None, ..BoundedTimeConfig::default() },
+            &BoundedTimeConfig {
+                ramp: RampPolicy::None,
+                ..BoundedTimeConfig::default()
+            },
         );
         let sc = simulate_final_commit(
             stale_mb * 1e6,
@@ -103,19 +128,23 @@ proptest! {
             bw_mbps * 1e6,
             &BoundedTimeConfig::default(),
         );
-        prop_assert!(
+        assert!(
             sc.downtime.as_secs_f64() <= yank.downtime.as_secs_f64() + 1e-9,
-            "ramp {} vs yank {}",
+            "case {case}: ramp {} vs yank {}",
             sc.downtime,
             yank.downtime
         );
     }
+}
 
-    /// Policy-simulator sanity for arbitrary medium-market traces: cost is
-    /// never above on-demand + backup, availability and degradation are
-    /// valid percentages, and revocations match the trace's bid crossings.
-    #[test]
-    fn policy_sim_invariants(medium in arb_trace("m3.medium", 0.07)) {
+/// Policy-simulator sanity for arbitrary medium-market traces: cost is
+/// never above on-demand + backup, availability and degradation are
+/// valid percentages, and revocations match the trace's bid crossings.
+#[test]
+fn policy_sim_invariants() {
+    let mut rng = SimRng::seed(0x901C);
+    for case in 0..CASES {
+        let medium = random_trace(&mut rng, "m3.medium", 0.07);
         let horizon = SimDuration::from_secs(10_000);
         let end = SimTime::ZERO + horizon;
         let expected_revs = medium.revocations_at_bid(0.07, SimTime::ZERO, end);
@@ -131,15 +160,19 @@ proptest! {
             seed: 1,
         };
         let r = run_policy(&traces, &exp);
-        prop_assert!(r.avg_cost_per_vm_hr <= 0.07 + 0.007 + 1e-9, "cost {}", r.avg_cost_per_vm_hr);
-        prop_assert!((0.0..=100.0).contains(&r.unavailability_pct));
-        prop_assert!((0.0..=100.0).contains(&r.degradation_pct));
-        prop_assert_eq!(r.pools[0].revocations, expected_revs);
+        assert!(
+            r.avg_cost_per_vm_hr <= 0.07 + 0.007 + 1e-9,
+            "case {case}: cost {}",
+            r.avg_cost_per_vm_hr
+        );
+        assert!((0.0..=100.0).contains(&r.unavailability_pct), "case {case}");
+        assert!((0.0..=100.0).contains(&r.degradation_pct), "case {case}");
+        assert_eq!(r.pools[0].revocations, expected_revs, "case {case}");
         // Downtime only accrues when revocations occur.
         if expected_revs == 0 {
-            prop_assert_eq!(r.unavailability_pct, 0.0);
+            assert_eq!(r.unavailability_pct, 0.0, "case {case}");
         } else {
-            prop_assert!(r.unavailability_pct > 0.0);
+            assert!(r.unavailability_pct > 0.0, "case {case}");
         }
     }
 }
