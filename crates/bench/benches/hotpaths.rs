@@ -1,0 +1,187 @@
+//! Micro-benchmarks of the harness hot paths, self-hosted on `std::time`
+//! (the build environment carries no external crates, so this is a
+//! `harness = false` stand-in for criterion with the same shape: named
+//! benchmarks, warmup, and median-of-samples reporting).
+//!
+//! ```text
+//! cargo bench -p spotcheck-bench --bench hotpaths            # everything
+//! cargo bench -p spotcheck-bench --bench hotpaths stepseries # filtered
+//! ```
+//!
+//! Covered (the paths the harness spends its time in):
+//! - `StepSeries` window statistics over a six-month generated trace
+//!   (`mean_over`, `fraction_where`, `resample`)
+//! - `PriceTrace::mean_capped_price` / `revocations_at_bid`
+//! - `DirtyModel::sample_dirty` (one checkpoint epoch of page writes)
+//! - one quick-scale `run_policy` cell (Figure 10/11/12 inner loop)
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use spotcheck_core::policy::MappingPolicy;
+use spotcheck_core::sim::{run_policy, standard_traces, PolicyExperiment};
+use spotcheck_migrate::mechanisms::MechanismKind;
+use spotcheck_nestedvm::memory::{DirtyModel, MemoryImage, PAGE_SIZE};
+use spotcheck_simcore::rng::SimRng;
+use spotcheck_simcore::time::{SimDuration, SimTime};
+use spotcheck_spotmarket::generator::TraceGenerator;
+use spotcheck_spotmarket::market::MarketId;
+use spotcheck_spotmarket::profiles::profile_for;
+use spotcheck_spotmarket::trace::PriceTrace;
+
+/// Number of timed samples per benchmark (the median is reported).
+const SAMPLES: usize = 15;
+/// Minimum wall-clock per sample; iterations are batched up to this.
+const MIN_SAMPLE: Duration = Duration::from_millis(20);
+
+struct Report {
+    name: &'static str,
+    median_ns: f64,
+    min_ns: f64,
+    iters_per_sample: u64,
+}
+
+/// Times `f`, batching iterations so each sample runs at least
+/// [`MIN_SAMPLE`], and returns per-iteration medians.
+fn bench<R>(name: &'static str, mut f: impl FnMut() -> R) -> Report {
+    // Warmup + calibration: how many iterations fill MIN_SAMPLE?
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= MIN_SAMPLE {
+            break;
+        }
+        let grow = if elapsed.is_zero() {
+            16
+        } else {
+            ((MIN_SAMPLE.as_secs_f64() / elapsed.as_secs_f64()).ceil() as u64).clamp(2, 64)
+        };
+        iters = iters.saturating_mul(grow);
+    }
+    let mut per_iter_ns: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    Report {
+        name,
+        median_ns: per_iter_ns[per_iter_ns.len() / 2],
+        min_ns: per_iter_ns[0],
+        iters_per_sample: iters,
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn six_month_trace() -> PriceTrace {
+    let profile = profile_for("m3.large").expect("catalog").profile;
+    let mut rng = SimRng::seed(0xBEEF);
+    TraceGenerator::new(profile).generate(
+        MarketId::new("m3.large", "us-east-1a"),
+        SimDuration::from_days(183),
+        &mut rng,
+    )
+}
+
+fn main() {
+    let filter = std::env::args().nth(1).unwrap_or_default();
+    let filter = if filter == "--bench" {
+        String::new()
+    } else {
+        filter
+    };
+
+    let trace = six_month_trace();
+    let end = SimTime::ZERO + SimDuration::from_days(183);
+    let od = trace.on_demand_price;
+    println!(
+        "trace: m3.large 183d, {} change points; filter={:?}",
+        trace.prices.len(),
+        filter
+    );
+
+    let quick_traces = standard_traces("us-east-1a", SimDuration::from_days(14), 0x5EED_2015);
+
+    let mut reports: Vec<Report> = Vec::new();
+    let wanted = |name: &str| name.contains(filter.as_str());
+
+    if wanted("stepseries_mean_over") {
+        reports.push(bench("stepseries_mean_over", || {
+            trace.prices.mean_over(SimTime::ZERO, end)
+        }));
+    }
+    if wanted("stepseries_fraction_where") {
+        reports.push(bench("stepseries_fraction_where", || {
+            trace.prices.fraction_where(SimTime::ZERO, end, |p| p <= od)
+        }));
+    }
+    if wanted("stepseries_resample_hourly") {
+        reports.push(bench("stepseries_resample_hourly", || {
+            trace.resample(SimTime::ZERO, end, SimDuration::from_hours(1))
+        }));
+    }
+    if wanted("trace_mean_capped_price") {
+        reports.push(bench("trace_mean_capped_price", || {
+            trace.mean_capped_price(od, SimTime::ZERO, end)
+        }));
+    }
+    if wanted("trace_revocations_at_bid") {
+        reports.push(bench("trace_revocations_at_bid", || {
+            trace.revocations_at_bid(od, SimTime::ZERO, end)
+        }));
+    }
+    if wanted("dirty_sample_epoch") {
+        let dirty = DirtyModel::new(50_000, 50_000.0, 0.02);
+        let pages = 1 << 18; // 1 GiB at 4 KiB pages
+        reports.push(bench("dirty_sample_epoch", || {
+            let mut img = MemoryImage::new(pages * PAGE_SIZE);
+            let mut rng = SimRng::seed(7);
+            dirty.sample_dirty(&mut img, SimDuration::from_secs(1), &mut rng)
+        }));
+    }
+    if wanted("policy_cell_quick") {
+        reports.push(bench("policy_cell_quick", || {
+            let mut exp = PolicyExperiment::paper_default(
+                MappingPolicy::FourEd,
+                MechanismKind::SpotCheckLazy,
+                5,
+            );
+            exp.horizon = SimDuration::from_days(14);
+            run_policy(&quick_traces, &exp)
+        }));
+    }
+
+    println!(
+        "{:<28} {:>12} {:>12} {:>8}",
+        "benchmark", "median/iter", "min/iter", "batch"
+    );
+    println!("{}", "-".repeat(64));
+    for r in &reports {
+        println!(
+            "{:<28} {:>12} {:>12} {:>8}",
+            r.name,
+            fmt_ns(r.median_ns),
+            fmt_ns(r.min_ns),
+            r.iters_per_sample
+        );
+    }
+}

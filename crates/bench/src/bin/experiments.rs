@@ -1,45 +1,138 @@
 //! CLI that regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments [--quick] [--list] [id ...]
+//! experiments [--quick] [--list] [--json] [--out PATH] [--threads N] [id ...]
 //! ```
+//!
+//! - `--quick` shrinks horizons for smoke tests.
+//! - `--threads N` caps the worker count (0 or absent: auto-detect). The
+//!   worker count never changes any reported number, only wall-clock time.
+//! - `--json` emits a machine-readable performance report (wall-clock,
+//!   simulation events, throughput per experiment) instead of the human
+//!   tables; with `--out PATH` the JSON goes to the file and the tables
+//!   still print to stdout.
 
 use std::process::ExitCode;
 
-use spotcheck_bench::{all_ids, run, Scale};
+use spotcheck_bench::{all_ids, run_many, PerfReport, Scale};
+
+struct Args {
+    scale: Scale,
+    list: bool,
+    json: bool,
+    out: Option<String>,
+    threads: usize,
+    ids: Vec<String>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        scale: Scale::Full,
+        list: false,
+        json: false,
+        out: None,
+        threads: 0,
+        ids: Vec::new(),
+    };
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => args.scale = Scale::Quick,
+            "--list" => args.list = true,
+            "--json" => args.json = true,
+            "--out" => {
+                args.out = Some(
+                    it.next()
+                        .ok_or("--out requires a file path")?
+                        .clone(),
+                );
+            }
+            "--threads" => {
+                let n = it.next().ok_or("--threads requires a count")?;
+                args.threads = n
+                    .parse()
+                    .map_err(|e| format!("bad --threads value {n:?}: {e}"))?;
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag: {flag}"));
+            }
+            id => args.ids.push(id.to_string()),
+        }
+    }
+    if args.out.is_some() && !args.json {
+        return Err("--out requires --json".to_string());
+    }
+    Ok(args)
+}
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let list = args.iter().any(|a| a == "--list");
-    let scale = if quick { Scale::Quick } else { Scale::Full };
-    let ids: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
-    if list {
+    if args.list {
         for id in all_ids() {
             println!("{id}");
         }
         return ExitCode::SUCCESS;
     }
 
-    let selected: Vec<&str> = if ids.is_empty() { all_ids() } else { ids };
-    for id in &selected {
-        match run(id, scale) {
-            Some(result) => {
-                println!("==============================================================");
-                println!("[{}] {}", result.id, result.title);
-                println!("==============================================================");
-                println!("{}", result.output);
+    spotcheck_simcore::parallel::set_max_threads(args.threads);
+
+    let selected: Vec<&str> = if args.ids.is_empty() {
+        all_ids()
+    } else {
+        args.ids.iter().map(String::as_str).collect()
+    };
+
+    let start = std::time::Instant::now();
+    let results = match run_many(&selected, args.scale) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e} (try --list)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let total_wall = start.elapsed();
+
+    if args.json {
+        let report = PerfReport {
+            scale: args.scale,
+            threads: spotcheck_simcore::parallel::configured_threads(),
+            total_wall,
+            results: &results,
+        };
+        let json = report.to_json();
+        match &args.out {
+            Some(path) => {
+                if let Err(e) = std::fs::write(path, &json) {
+                    eprintln!("failed to write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
             None => {
-                eprintln!("unknown experiment id: {id} (try --list)");
-                return ExitCode::FAILURE;
+                print!("{json}");
+                return ExitCode::SUCCESS;
             }
         }
+    }
+
+    for result in &results {
+        println!("==============================================================");
+        println!(
+            "[{}] {}  ({:.3}s, {} events)",
+            result.id,
+            result.title,
+            result.wall.as_secs_f64(),
+            result.events
+        );
+        println!("==============================================================");
+        println!("{}", result.output);
     }
     ExitCode::SUCCESS
 }

@@ -30,7 +30,7 @@ impl Scale {
     }
 }
 
-/// A completed experiment.
+/// A completed experiment, with its timing instrumentation.
 #[derive(Debug, Clone)]
 pub struct ExperimentResult {
     /// Registry id, e.g. `fig10`.
@@ -39,6 +39,24 @@ pub struct ExperimentResult {
     pub title: &'static str,
     /// The formatted output (tables/series).
     pub output: String,
+    /// Wall-clock time the runner took.
+    pub wall: std::time::Duration,
+    /// Simulation events processed while the runner executed (price-trace
+    /// change points generated, series segments walked, page writes
+    /// sampled, fluid-rate recomputations, latency draws, queue pops).
+    pub events: u64,
+}
+
+impl ExperimentResult {
+    /// Events per wall-clock second (0 for an instantaneous run).
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.events as f64 / secs
+        } else {
+            0.0
+        }
+    }
 }
 
 type Runner = fn(Scale) -> String;
@@ -163,16 +181,58 @@ pub fn all_ids() -> Vec<&'static str> {
     REGISTRY.iter().map(|(id, _, _)| *id).collect()
 }
 
+fn run_entry(entry: &(&'static str, &'static str, Runner), scale: Scale) -> ExperimentResult {
+    let (id, title, runner) = *entry;
+    let start = std::time::Instant::now();
+    let (output, events) = spotcheck_simcore::metrics::measure(|| runner(scale));
+    ExperimentResult {
+        id,
+        title,
+        output,
+        wall: start.elapsed(),
+        events,
+    }
+}
+
 /// Runs one experiment by id.
 pub fn run(id: &str, scale: Scale) -> Option<ExperimentResult> {
     REGISTRY
         .iter()
         .find(|(rid, _, _)| *rid == id)
-        .map(|(rid, title, runner)| ExperimentResult {
-            id: rid,
-            title,
-            output: runner(scale),
+        .map(|entry| run_entry(entry, scale))
+}
+
+/// Runs a set of experiments by id, fanning the registry out across the
+/// process-wide configured worker count
+/// ([`spotcheck_simcore::parallel::configured_threads`]).
+///
+/// Results come back in the order the ids were given. Output is identical
+/// at every worker count: each experiment seeds its own RNG streams, and
+/// the shared policy grid is computed once (first caller wins) behind a
+/// `OnceLock` whichever worker gets there first.
+///
+/// # Errors
+///
+/// Returns the first unknown id.
+pub fn run_many(ids: &[&str], scale: Scale) -> Result<Vec<ExperimentResult>, String> {
+    let entries: Vec<&(&'static str, &'static str, Runner)> = ids
+        .iter()
+        .map(|id| {
+            REGISTRY
+                .iter()
+                .find(|(rid, _, _)| rid == id)
+                .ok_or_else(|| format!("unknown experiment id: {id}"))
         })
+        .collect::<Result<_, _>>()?;
+    Ok(spotcheck_simcore::parallel::parallel_map(
+        entries,
+        |_, entry| run_entry(entry, scale),
+    ))
+}
+
+/// Runs the whole registry (see [`run_many`]).
+pub fn run_all(scale: Scale) -> Vec<ExperimentResult> {
+    run_many(&all_ids(), scale).expect("registry ids are valid")
 }
 
 #[cfg(test)]

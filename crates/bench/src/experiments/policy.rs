@@ -5,11 +5,12 @@
 //! same generated six-month m3-family traces, exactly one run per
 //! (mapping policy x mechanism) pair.
 
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use spotcheck_core::policy::MappingPolicy;
 use spotcheck_core::sim::{run_policy, standard_traces, PolicyExperiment, PolicyReport};
 use spotcheck_migrate::mechanisms::MechanismKind;
+use spotcheck_simcore::rng::SimRng;
 use spotcheck_simcore::time::SimDuration;
 use spotcheck_spotmarket::trace::PriceTrace;
 
@@ -18,9 +19,13 @@ use crate::table::{f, sci, TextTable};
 
 const SEED: u64 = 0x5EED_2015;
 
-fn traces(scale: Scale) -> &'static Vec<PriceTrace> {
-    static FULL: OnceLock<Vec<PriceTrace>> = OnceLock::new();
-    static QUICK: OnceLock<Vec<PriceTrace>> = OnceLock::new();
+/// Returns (generating and caching on first use) the shared six-month
+/// m3-family traces for a scale. The `Arc` lets every policy experiment —
+/// and any caller running cells on worker threads — share one generated
+/// copy instead of cloning per call.
+pub fn traces(scale: Scale) -> Arc<[PriceTrace]> {
+    static FULL: OnceLock<Arc<[PriceTrace]>> = OnceLock::new();
+    static QUICK: OnceLock<Arc<[PriceTrace]>> = OnceLock::new();
     let cell = match scale {
         Scale::Full => &FULL,
         Scale::Quick => &QUICK,
@@ -31,29 +36,59 @@ fn traces(scale: Scale) -> &'static Vec<PriceTrace> {
             SimDuration::from_days(scale.horizon_days()),
             SEED,
         )
+        .into()
     })
+    .clone()
 }
 
-/// Runs (and caches per scale) the full policy x mechanism grid.
-pub fn grid(scale: Scale) -> &'static Vec<PolicyReport> {
-    static FULL: OnceLock<Vec<PolicyReport>> = OnceLock::new();
-    static QUICK: OnceLock<Vec<PolicyReport>> = OnceLock::new();
+/// The `(mapping, mechanism)` cells of the policy grid, in presentation
+/// order (row-major over `MappingPolicy::ALL` x `MechanismKind::FIGURE_GRID`).
+pub fn grid_cells() -> Vec<(MappingPolicy, MechanismKind)> {
+    let mut cells = Vec::new();
+    for mapping in MappingPolicy::ALL {
+        for mechanism in MechanismKind::FIGURE_GRID {
+            cells.push((mapping, mechanism));
+        }
+    }
+    cells
+}
+
+/// Computes the full policy x mechanism grid over `ts` on up to `threads`
+/// workers.
+///
+/// Every cell runs on its own RNG stream derived from `(SEED, cell index)`,
+/// so the grid is a pure function of `(ts, scale)`: the worker count can
+/// only change wall-clock time, never a single reported number. This is the
+/// property the determinism tests pin down.
+pub fn compute_grid(ts: &[PriceTrace], scale: Scale, threads: usize) -> Vec<PolicyReport> {
+    let root = SimRng::seed(SEED);
+    spotcheck_simcore::parallel::parallel_map_indexed(
+        threads,
+        grid_cells(),
+        |cell_id, (mapping, mechanism)| {
+            let cell_seed = root.fork(cell_id as u64).next_u64();
+            let mut exp = PolicyExperiment::paper_default(mapping, mechanism, cell_seed);
+            exp.horizon = SimDuration::from_days(scale.horizon_days());
+            run_policy(ts, &exp)
+        },
+    )
+}
+
+/// Runs (and caches per scale) the full policy x mechanism grid, using the
+/// process-wide configured worker count.
+pub fn grid(scale: Scale) -> Arc<[PolicyReport]> {
+    static FULL: OnceLock<Arc<[PolicyReport]>> = OnceLock::new();
+    static QUICK: OnceLock<Arc<[PolicyReport]>> = OnceLock::new();
     let cell = match scale {
         Scale::Full => &FULL,
         Scale::Quick => &QUICK,
     };
     cell.get_or_init(|| {
         let ts = traces(scale);
-        let mut out = Vec::new();
-        for mapping in MappingPolicy::ALL {
-            for mechanism in MechanismKind::FIGURE_GRID {
-                let mut exp = PolicyExperiment::paper_default(mapping, mechanism, SEED);
-                exp.horizon = SimDuration::from_days(scale.horizon_days());
-                out.push(run_policy(ts, &exp));
-            }
-        }
-        out
+        let threads = spotcheck_simcore::parallel::configured_threads();
+        compute_grid(&ts, scale, threads).into()
     })
+    .clone()
 }
 
 fn cell(grid: &[PolicyReport], mapping: MappingPolicy, mech: MechanismKind) -> &PolicyReport {
@@ -71,7 +106,7 @@ fn grid_table(scale: Scale, value: impl Fn(&PolicyReport) -> String, unit: &str)
     for mapping in MappingPolicy::ALL {
         let mut row = vec![mapping.label().to_string()];
         for mech in MechanismKind::FIGURE_GRID {
-            row.push(value(cell(g, mapping, mech)));
+            row.push(value(cell(&g, mapping, mech)));
         }
         t.row(row);
     }
@@ -82,7 +117,7 @@ fn grid_table(scale: Scale, value: impl Fn(&PolicyReport) -> String, unit: &str)
 pub fn run_fig10(scale: Scale) -> String {
     let mut out = grid_table(scale, |r| f(r.avg_cost_per_vm_hr, 4), "average $/VM-hr");
     let g = grid(scale);
-    let lazy_1pm = cell(g, MappingPolicy::OneM, MechanismKind::SpotCheckLazy);
+    let lazy_1pm = cell(&g, MappingPolicy::OneM, MechanismKind::SpotCheckLazy);
     out.push_str(&format!(
         "\n1P-M SpotCheck-lazy cost: ${:.4}/hr vs m3.medium on-demand $0.0700/hr -> {:.1}x savings\n\
          paper shape: ~$0.015/hr for the m3.medium-equivalent, ~5x cheaper than on-demand;\n\
@@ -97,7 +132,7 @@ pub fn run_fig10(scale: Scale) -> String {
 pub fn run_fig11(scale: Scale) -> String {
     let mut out = grid_table(scale, |r| f(r.unavailability_pct, 4), "unavailability %");
     let g = grid(scale);
-    let lazy_1pm = cell(g, MappingPolicy::OneM, MechanismKind::SpotCheckLazy);
+    let lazy_1pm = cell(&g, MappingPolicy::OneM, MechanismKind::SpotCheckLazy);
     out.push_str(&format!(
         "\n1P-M SpotCheck-lazy availability: {:.4}%\n\
          paper shape: live < lazy < optimized-full < unoptimized-full unavailability;\n\
@@ -126,7 +161,7 @@ pub fn run_table3(scale: Scale) -> String {
         (MappingPolicy::TwoML, "2-Pool"),
         (MappingPolicy::FourEd, "4-Pool"),
     ] {
-        let r = cell(g, mapping, MechanismKind::SpotCheckLazy);
+        let r = cell(&g, mapping, MechanismKind::SpotCheckLazy);
         let mut row = vec![label.to_string()];
         for (_, p) in &r.storms.buckets {
             row.push(sci(*p));
@@ -145,7 +180,7 @@ pub fn run_table3(scale: Scale) -> String {
 /// Headline numbers.
 pub fn run_headline(scale: Scale) -> String {
     let g = grid(scale);
-    let r = cell(g, MappingPolicy::OneM, MechanismKind::SpotCheckLazy);
+    let r = cell(&g, MappingPolicy::OneM, MechanismKind::SpotCheckLazy);
     let mut t = TextTable::new(&["metric", "measured", "paper"]);
     t.row(vec![
         "cost ($/VM-hr)".into(),
@@ -182,7 +217,7 @@ mod tests {
     #[test]
     fn fig10_cost_savings_hold() {
         let g = grid(Scale::Quick);
-        let r = cell(g, MappingPolicy::OneM, MechanismKind::SpotCheckLazy);
+        let r = cell(&g, MappingPolicy::OneM, MechanismKind::SpotCheckLazy);
         // Quick scale still shows the headline economics: several-fold
         // cheaper than the $0.07 on-demand price.
         assert!(
@@ -191,7 +226,7 @@ mod tests {
             r.avg_cost_per_vm_hr
         );
         // Live is cheapest (no backup).
-        let live = cell(g, MappingPolicy::OneM, MechanismKind::XenLive);
+        let live = cell(&g, MappingPolicy::OneM, MechanismKind::XenLive);
         assert!(live.avg_cost_per_vm_hr < r.avg_cost_per_vm_hr);
     }
 
@@ -199,10 +234,10 @@ mod tests {
     fn fig11_availability_ordering() {
         let g = grid(Scale::Quick);
         for mapping in MappingPolicy::ALL {
-            let live = cell(g, mapping, MechanismKind::XenLive);
-            let lazy = cell(g, mapping, MechanismKind::SpotCheckLazy);
-            let full = cell(g, mapping, MechanismKind::SpotCheckFull);
-            let yank = cell(g, mapping, MechanismKind::UnoptimizedFull);
+            let live = cell(&g, mapping, MechanismKind::XenLive);
+            let lazy = cell(&g, mapping, MechanismKind::SpotCheckLazy);
+            let full = cell(&g, mapping, MechanismKind::SpotCheckFull);
+            let yank = cell(&g, mapping, MechanismKind::UnoptimizedFull);
             assert!(live.unavailability_pct <= lazy.unavailability_pct);
             assert!(lazy.unavailability_pct <= full.unavailability_pct);
             assert!(full.unavailability_pct <= yank.unavailability_pct);
@@ -212,8 +247,8 @@ mod tests {
     #[test]
     fn fig11_one_pool_most_available() {
         let g = grid(Scale::Quick);
-        let one = cell(g, MappingPolicy::OneM, MechanismKind::SpotCheckLazy);
-        let four = cell(g, MappingPolicy::FourEd, MechanismKind::SpotCheckLazy);
+        let one = cell(&g, MappingPolicy::OneM, MechanismKind::SpotCheckLazy);
+        let four = cell(&g, MappingPolicy::FourEd, MechanismKind::SpotCheckLazy);
         assert!(one.unavailability_pct < four.unavailability_pct);
         assert!(one.availability_pct > 99.9);
     }
@@ -221,16 +256,16 @@ mod tests {
     #[test]
     fn fig12_lazy_degrades_longest() {
         let g = grid(Scale::Quick);
-        let lazy = cell(g, MappingPolicy::FourEd, MechanismKind::SpotCheckLazy);
-        let full = cell(g, MappingPolicy::FourEd, MechanismKind::SpotCheckFull);
+        let lazy = cell(&g, MappingPolicy::FourEd, MechanismKind::SpotCheckLazy);
+        let full = cell(&g, MappingPolicy::FourEd, MechanismKind::SpotCheckFull);
         assert!(lazy.degradation_pct > full.degradation_pct);
     }
 
     #[test]
     fn table3_spreading_eliminates_full_storms() {
         let g = grid(Scale::Quick);
-        let one = cell(g, MappingPolicy::OneM, MechanismKind::SpotCheckLazy);
-        let four = cell(g, MappingPolicy::FourEd, MechanismKind::SpotCheckLazy);
+        let one = cell(&g, MappingPolicy::OneM, MechanismKind::SpotCheckLazy);
+        let four = cell(&g, MappingPolicy::FourEd, MechanismKind::SpotCheckLazy);
         // 1-Pool: every storm is full-N.
         if one.revocations_per_vm > 0.0 {
             assert!(one.storms.p_full() > 0.0);

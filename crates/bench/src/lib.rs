@@ -18,6 +18,8 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod report;
 pub mod table;
 
-pub use experiments::{all_ids, run, ExperimentResult, Scale};
+pub use experiments::{all_ids, run, run_all, run_many, ExperimentResult, Scale};
+pub use report::PerfReport;

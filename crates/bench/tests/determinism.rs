@@ -1,0 +1,111 @@
+//! The parallel harness's determinism contract: worker counts change
+//! wall-clock time only, never a reported number.
+//!
+//! Three layers are pinned down:
+//! 1. the policy grid as a pure function (`compute_grid` at 1 vs N workers),
+//! 2. repeated in-process runs of registry experiments,
+//! 3. the `experiments` binary end-to-end at `--threads 1` vs `--threads 4`
+//!    (fresh processes, so the grid cache cannot mask a divergence).
+
+use std::process::Command;
+
+use spotcheck_bench::experiments::policy::{compute_grid, traces};
+use spotcheck_bench::experiments::Scale;
+use spotcheck_bench::run_many;
+
+#[test]
+fn policy_grid_is_identical_at_any_worker_count() {
+    let ts = traces(Scale::Quick);
+    let serial = compute_grid(&ts, Scale::Quick, 1);
+    for threads in [2, 4, 8] {
+        let parallel = compute_grid(&ts, Scale::Quick, threads);
+        assert_eq!(
+            parallel, serial,
+            "grid diverged at {threads} workers"
+        );
+    }
+}
+
+#[test]
+fn repeated_experiment_runs_are_bit_identical() {
+    // Ids chosen to recompute from scratch on every call (no shared cache).
+    for id in ["fig1", "fig6b", "table1", "ablation_bid"] {
+        let a = spotcheck_bench::run(id, Scale::Quick).unwrap();
+        let b = spotcheck_bench::run(id, Scale::Quick).unwrap();
+        assert_eq!(a.output, b.output, "{id} output drifted between runs");
+        assert_eq!(a.events, b.events, "{id} event count drifted");
+    }
+}
+
+#[test]
+fn run_many_preserves_requested_order() {
+    let ids = ["fig9", "fig1", "table1"];
+    let results = run_many(&ids, Scale::Quick).unwrap();
+    let got: Vec<&str> = results.iter().map(|r| r.id).collect();
+    assert_eq!(got, ids);
+    for r in &results {
+        let solo = spotcheck_bench::run(r.id, Scale::Quick).unwrap();
+        assert_eq!(r.output, solo.output);
+    }
+}
+
+#[test]
+fn run_many_rejects_unknown_ids() {
+    let err = run_many(&["fig1", "nope"], Scale::Quick).unwrap_err();
+    assert!(err.contains("nope"), "{err}");
+}
+
+/// Masks the wall-clock field of `[id] title  (0.123s, 456 events)` header
+/// lines, keeping the event counts — those must match across worker counts.
+fn mask_wall(stdout: &str) -> String {
+    stdout
+        .lines()
+        .map(|l| {
+            if l.starts_with('[') && l.ends_with("events)") {
+                if let Some(pos) = l.rfind("  (") {
+                    if let Some(comma) = l[pos..].find(", ") {
+                        return format!("{}  (X, {}", &l[..pos], &l[pos + comma + 2..]);
+                    }
+                }
+            }
+            l.to_string()
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn cli_output_is_byte_identical_across_thread_counts() {
+    let run = |threads: &str| {
+        let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
+            .args(["--quick", "--threads", threads])
+            .output()
+            .expect("experiments binary runs");
+        assert!(out.status.success(), "--threads {threads} exited nonzero");
+        mask_wall(&String::from_utf8(out.stdout).expect("utf-8 output"))
+    };
+    let serial = run("1");
+    let parallel = run("4");
+    assert_eq!(
+        serial, parallel,
+        "CLI output (including event counts) must not depend on --threads"
+    );
+}
+
+#[test]
+fn cli_json_covers_every_registry_id() {
+    let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(["--quick", "--json"])
+        .output()
+        .expect("experiments binary runs");
+    assert!(out.status.success());
+    let json = String::from_utf8(out.stdout).expect("utf-8 output");
+    for id in spotcheck_bench::all_ids() {
+        assert!(
+            json.contains(&format!("\"id\": \"{id}\"")),
+            "JSON report missing {id}"
+        );
+    }
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert_eq!(json.matches('[').count(), json.matches(']').count());
+}

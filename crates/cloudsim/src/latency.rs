@@ -95,6 +95,7 @@ impl LatencyModel {
 
     /// Samples the latency of `op`.
     pub fn sample(&self, op: CloudOp, rng: &mut SimRng) -> SimDuration {
+        spotcheck_simcore::metrics::add(1);
         let idx = CloudOp::ALL
             .iter()
             .position(|o| *o == op)

@@ -17,6 +17,7 @@ use spotcheck_cloudsim::latency::{CloudOp, LatencyModel};
 use spotcheck_migrate::bounded::BoundedTimeConfig;
 use spotcheck_migrate::mechanisms::{migration_impact, MechanismKind};
 use spotcheck_nestedvm::vm::NestedVmSpec;
+use spotcheck_simcore::metrics;
 use spotcheck_simcore::rng::SimRng;
 use spotcheck_simcore::time::{SimDuration, SimTime};
 use spotcheck_spotmarket::generator::TraceGenerator;
@@ -68,7 +69,7 @@ impl PolicyExperiment {
 }
 
 /// What happened to the VMs of one pool.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PoolOutcome {
     /// The pool's market.
     pub market: MarketId,
@@ -97,7 +98,7 @@ pub struct PoolOutcome {
 
 /// Table 3 row: the empirical distribution of the maximum number of
 /// concurrent revocations hitting one backup server within an interval.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StormStats {
     /// `N`: VMs per backup server.
     pub n: usize,
@@ -119,7 +120,7 @@ impl StormStats {
 }
 
 /// The aggregate result of one experiment cell.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PolicyReport {
     /// The experiment.
     pub mapping: MappingPolicy,
@@ -175,20 +176,28 @@ fn walk_pool(
         returns: 0,
         time_on_od: SimDuration::ZERO,
     };
-    let Some(mut price) = trace.price_at(from) else {
+    // One seek to the window start, then a linear walk over the change
+    // points — the six-month traces make this the simulator's inner loop.
+    let points = trace.prices.points();
+    let mut idx = points.partition_point(|(t, _)| *t <= from);
+    if idx == 0 {
         return out;
-    };
+    }
+    let mut price = points[idx - 1].1;
     let mut loc = if price <= bid && proactive_threshold.map_or(true, |t| price <= t) {
         Loc::Spot
     } else {
         Loc::OnDemand
     };
     let mut cursor = from;
+    let mut walked = 0u64;
     while cursor < to {
-        let (next, next_price) = match trace.prices.next_change_after(cursor) {
-            Some((t, p)) if t < to => (t, Some(p)),
+        walked += 1;
+        let (next, next_price) = match points.get(idx) {
+            Some(&(t, p)) if t < to => (t, Some(p)),
             _ => (to, None),
         };
+        idx += 1;
         let dt_hr = next.since(cursor).as_hours_f64();
         match loc {
             Loc::Spot => out.cost_dollars += price * dt_hr,
@@ -222,21 +231,27 @@ fn walk_pool(
         price = p;
         cursor = next;
     }
+    metrics::add(walked);
     out
 }
 
 /// Generates the standard six-month m3-family traces for one zone.
+///
+/// Markets are generated in parallel on independent forked RNG streams;
+/// the result is identical at every worker count.
 pub fn standard_traces(zone: &str, horizon: SimDuration, seed: u64) -> Vec<PriceTrace> {
     let root = SimRng::seed(seed);
-    ["m3.medium", "m3.large", "m3.xlarge", "m3.2xlarge"]
+    let markets: Vec<(MarketId, _)> = ["m3.medium", "m3.large", "m3.xlarge", "m3.2xlarge"]
         .iter()
         .map(|name| {
             let entry = profile_for(name).expect("m3 family is in the catalog");
-            let id = MarketId::new(*name, zone);
-            let mut rng = root.fork_named(&id.to_string());
-            TraceGenerator::new(entry.profile).generate(id, horizon, &mut rng)
+            (MarketId::new(*name, zone), entry.profile)
         })
-        .collect()
+        .collect();
+    spotcheck_simcore::parallel::parallel_map(markets, |_, (id, profile)| {
+        let mut rng = root.fork_named(&id.to_string());
+        TraceGenerator::new(profile).generate(id, horizon, &mut rng)
+    })
 }
 
 /// Runs one experiment cell against the given market traces.

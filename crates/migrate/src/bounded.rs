@@ -151,7 +151,8 @@ pub fn simulate_final_commit(
     let bound_secs = cfg.bound.as_secs_f64();
     match cfg.ramp {
         RampPolicy::None => {
-            // Yank: pause, flush everything.
+            // Yank: pause, flush everything (one checkpoint event).
+            spotcheck_simcore::metrics::add(1);
             let secs = stale_bytes / bandwidth_bps;
             FinalCommitOutcome {
                 downtime: SimDuration::from_secs_f64(secs),
@@ -209,6 +210,7 @@ pub fn simulate_final_commit(
             elapsed += pause;
             transferred += residue;
             checkpoints += 1;
+            spotcheck_simcore::metrics::add(checkpoints as u64);
             FinalCommitOutcome {
                 downtime: SimDuration::from_secs_f64(pause),
                 commit_duration: SimDuration::from_secs_f64(elapsed),

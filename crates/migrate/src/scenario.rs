@@ -46,6 +46,8 @@ pub fn checkpoint_contention(
             FlowSpec::new(vec![nic_rx, disk_w], f64::INFINITY).with_cap(cap.max(1.0))
         })
         .collect();
+    // One contention event per competing checkpoint stream.
+    spotcheck_simcore::metrics::add(demands_bps.len() as u64);
     let achieved = max_min_rates(&net, &flows);
     let health: Vec<f64> = achieved
         .iter()

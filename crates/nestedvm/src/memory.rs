@@ -185,6 +185,12 @@ impl DirtyModel {
     /// Hot pages occupy indices `[0, hot_pages)`; the layout choice is
     /// immaterial to the transfer model. Returns the number of pages newly
     /// dirtied.
+    ///
+    /// The write count is split binomially into hot and cold writes with a
+    /// single draw, then only page indices are sampled — one RNG call per
+    /// write instead of the two (Bernoulli + index) a per-write split would
+    /// cost. The marginal distribution of each write's target page is
+    /// unchanged.
     pub fn sample_dirty(
         &self,
         image: &mut MemoryImage,
@@ -192,15 +198,30 @@ impl DirtyModel {
         rng: &mut SimRng,
     ) -> usize {
         let total = image.total_pages();
+        if total == 0 {
+            return 0;
+        }
         let hot = self.hot_pages.min(total);
+        let cold_span = total - hot;
         let writes = (self.writes_per_sec * dt.as_secs_f64()).round() as u64;
+        if writes == 0 {
+            return 0;
+        }
+        spotcheck_simcore::metrics::add(writes);
+        let cold_writes = if cold_span == 0 {
+            0
+        } else {
+            rng.binomial(writes, self.cold_write_fraction)
+        };
         let mut newly = 0;
-        for _ in 0..writes {
-            let page = if hot < total && rng.next_f64() < self.cold_write_fraction {
-                hot + (rng.next_f64() * (total - hot) as f64) as usize
-            } else {
-                (rng.next_f64() * hot as f64) as usize
-            };
+        for _ in 0..(writes - cold_writes) {
+            let page = (rng.next_f64() * hot as f64) as usize;
+            if image.mark_dirty(page.min(hot - 1)) {
+                newly += 1;
+            }
+        }
+        for _ in 0..cold_writes {
+            let page = hot + (rng.next_f64() * cold_span as f64) as usize;
             if image.mark_dirty(page.min(total - 1)) {
                 newly += 1;
             }

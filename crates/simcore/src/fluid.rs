@@ -365,6 +365,9 @@ impl FluidSim {
 
     /// Recomputes max-min fair rates for the current flow set.
     pub fn recompute_rates(&mut self) {
+        // Each recomputation is one fluid-simulation event (counted for the
+        // experiment harness's throughput accounting).
+        crate::metrics::add(1);
         let specs: Vec<FlowSpec> = self
             .order
             .iter()

@@ -19,6 +19,10 @@
 //! - [`fluid`] — flow-level max-min fair bandwidth sharing (the substrate
 //!   for checkpoint/migration/restore transfer modeling).
 //! - [`series`] — piecewise-constant time series (spot-price traces).
+//! - [`metrics`] — thread-local simulation-event counters feeding the
+//!   harness throughput numbers.
+//! - [`parallel`] — deterministic fork-join parallel map on std threads
+//!   (ordered collection, event-count fold-back).
 //!
 //! Determinism contract: given the same seeds and inputs, every simulation
 //! built on this crate replays bit-for-bit.
@@ -30,6 +34,8 @@ pub mod bitset;
 pub mod dist;
 pub mod engine;
 pub mod fluid;
+pub mod metrics;
+pub mod parallel;
 pub mod queue;
 pub mod rng;
 pub mod series;

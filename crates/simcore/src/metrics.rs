@@ -1,0 +1,82 @@
+//! Thread-local simulation-event counters.
+//!
+//! Hot paths (event-queue pops, step-series segment walks, page-write
+//! sampling, latency draws, transfer rounds) record how many primitive
+//! simulation events they processed. The experiment harness reads the
+//! counter around each experiment to report event counts and throughput
+//! (`events/sec`) in `BENCH_RESULTS.json`.
+//!
+//! The counter is *thread-local* so concurrently running experiments never
+//! see each other's events. Fork-join helpers ([`crate::parallel`]) fold
+//! the counts their workers accumulated back into the spawning thread when
+//! they join, so a measurement taken around a parallel region still
+//! captures all work done on its behalf.
+//!
+//! Counting is monotonic within a thread; use [`measure`] (or subtract two
+//! [`events`] readings) to attribute a delta to a region of code.
+
+use std::cell::Cell;
+
+thread_local! {
+    static EVENTS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Records `n` simulation events on the current thread's counter.
+#[inline]
+pub fn add(n: u64) {
+    EVENTS.with(|c| c.set(c.get().wrapping_add(n)));
+}
+
+/// Returns the total events recorded on the current thread so far
+/// (including counts folded back from joined parallel workers).
+pub fn events() -> u64 {
+    EVENTS.with(Cell::get)
+}
+
+/// Runs `f` and returns its result along with the number of simulation
+/// events recorded while it ran (on this thread, plus any parallel workers
+/// joined inside it).
+pub fn measure<R>(f: impl FnOnce() -> R) -> (R, u64) {
+    let before = events();
+    let out = f();
+    (out, events().wrapping_sub(before))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_attributes_a_delta() {
+        let (out, n) = measure(|| {
+            add(7);
+            add(3);
+            42
+        });
+        assert_eq!(out, 42);
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn nested_measures_compose() {
+        let (_, outer) = measure(|| {
+            add(1);
+            let (_, inner) = measure(|| add(5));
+            assert_eq!(inner, 5);
+            add(1);
+        });
+        assert_eq!(outer, 7);
+    }
+
+    #[test]
+    fn threads_have_independent_counters() {
+        add(100);
+        let child = std::thread::spawn(|| {
+            add(1);
+            events()
+        })
+        .join()
+        .unwrap();
+        assert_eq!(child, 1);
+    }
+}

@@ -1,0 +1,192 @@
+//! Deterministic fork-join parallelism on std threads.
+//!
+//! The build environment carries no external crates, so this module is the
+//! reproduction's stand-in for `rayon`: an ordered parallel map over owned
+//! items with work stealing via an atomic cursor. The determinism contract
+//! the experiment harness relies on:
+//!
+//! - **Ordered collection** — results come back in input order no matter
+//!   which worker ran which item or in what sequence they finished.
+//! - **No shared RNG** — `f` receives the item index, so callers derive any
+//!   randomness from `(seed, index)` rather than from execution order.
+//! - **Event accounting** — [`crate::metrics`] counts recorded by workers
+//!   are folded back into the calling thread when the scope joins, so a
+//!   `metrics::measure` around a parallel region sees all of its work.
+//!
+//! With `threads <= 1` (or a single item) everything runs inline on the
+//! caller's thread; output is byte-identical either way.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::metrics;
+
+/// Returns the machine's available parallelism (at least 1).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Process-wide worker cap; 0 means "auto" ([`default_threads`]).
+static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide worker count used by [`configured_threads`]
+/// (the experiments CLI's `--threads N`; `0` restores auto-detection).
+///
+/// This only resizes worker pools — parallel output is identical at every
+/// setting, so it is a performance knob, never a correctness one.
+pub fn set_max_threads(n: usize) {
+    MAX_THREADS.store(n, Ordering::SeqCst);
+}
+
+/// Returns the configured process-wide worker count: the value set via
+/// [`set_max_threads`], or [`default_threads`] when unset.
+pub fn configured_threads() -> usize {
+    match MAX_THREADS.load(Ordering::SeqCst) {
+        0 => default_threads(),
+        n => n,
+    }
+}
+
+/// Maps `f(index, item)` over `items` on the process-wide configured
+/// worker count ([`configured_threads`]), returning results in input
+/// order.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    parallel_map_indexed(configured_threads(), items, f)
+}
+
+/// Maps `f(index, item)` over `items` on up to `threads` workers and
+/// returns the results in input order.
+///
+/// # Panics
+///
+/// Propagates a panic from any invocation of `f`.
+pub fn parallel_map_indexed<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = threads.max(1).min(n);
+    if workers <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let mut worker_events: u64 = 0;
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let item = slots[i]
+                            .lock()
+                            .expect("item slot poisoned")
+                            .take()
+                            .expect("each item is claimed exactly once");
+                        let out = f(i, item);
+                        *results[i].lock().expect("result slot poisoned") = Some(out);
+                    }
+                    metrics::events()
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(events) => worker_events = worker_events.wrapping_add(events),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    // Fold worker-side simulation-event counts into the caller's counter so
+    // an enclosing metrics::measure still attributes this region's work.
+    metrics::add(worker_events);
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every index produced a result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        for threads in [1, 2, 4, 8] {
+            let out = parallel_map_indexed(threads, (0..100).collect(), |i, x: u64| {
+                // Uneven work so completion order scrambles under contention.
+                let spin = (x * 7919) % 257;
+                let mut acc = 0u64;
+                for k in 0..spin {
+                    acc = acc.wrapping_add(k);
+                }
+                (i as u64, x * 2, acc)
+            });
+            for (i, (idx, doubled, _)) in out.iter().enumerate() {
+                assert_eq!(*idx, i as u64);
+                assert_eq!(*doubled, 2 * i as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn identical_output_at_any_thread_count() {
+        let run = |threads| {
+            parallel_map_indexed(threads, (0..50u64).collect(), |i, x| {
+                let mut rng = crate::rng::SimRng::seed(42).fork(i as u64);
+                (x, rng.next_u64())
+            })
+        };
+        let serial = run(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(run(threads), serial);
+        }
+    }
+
+    #[test]
+    fn folds_worker_event_counts_into_caller() {
+        let (_, n) = metrics::measure(|| {
+            parallel_map_indexed(4, (0..10u64).collect(), |_, x| {
+                metrics::add(x);
+            });
+        });
+        assert_eq!(n, (0..10u64).sum());
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u64> = parallel_map_indexed(4, Vec::<u64>::new(), |_, x| x);
+        assert!(empty.is_empty());
+        let one = parallel_map_indexed(4, vec![9u64], |i, x| x + i as u64);
+        assert_eq!(one, vec![9]);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -86,7 +86,10 @@ impl<E> EventQueue<E> {
 
     /// Removes and returns the earliest event, FIFO among ties.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.time, e.event))
+        self.heap.pop().map(|e| {
+            crate::metrics::add(1);
+            (e.time, e.event)
+        })
     }
 
     /// Returns the firing time of the earliest event without removing it.
@@ -119,6 +122,7 @@ impl<E> EventQueue<E> {
         while self.peek_time() == Some(t) {
             batch.push(self.heap.pop().expect("peeked entry must exist").event);
         }
+        crate::metrics::add(batch.len() as u64);
         Some((t, batch))
     }
 }

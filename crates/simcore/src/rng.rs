@@ -156,6 +156,67 @@ impl SimRng {
             }
         }
     }
+
+    /// Returns a standard normal deviate (Marsaglia polar method).
+    pub fn next_gaussian(&mut self) -> f64 {
+        loop {
+            let u = 2.0 * self.next_f64() - 1.0;
+            let v = 2.0 * self.next_f64() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                return u * ((-2.0 * s.ln() / s).sqrt());
+            }
+        }
+    }
+
+    /// Samples `Binomial(n, p)` using a constant number of uniform draws
+    /// (amortized), rather than `n` Bernoulli trials.
+    ///
+    /// Small-mean regime: single-uniform CDF inversion (`O(np)` arithmetic,
+    /// one draw). Large-mean regime: normal approximation with continuity
+    /// correction, rounded and clamped to `[0, n]` — the callers batching
+    /// page-write sampling care about the count's first two moments, not
+    /// exact tail probabilities.
+    ///
+    /// `p` is clamped to `[0, 1]`.
+    pub fn binomial(&mut self, n: u64, p: f64) -> u64 {
+        let p = p.clamp(0.0, 1.0);
+        if n == 0 || p == 0.0 {
+            return 0;
+        }
+        if p == 1.0 {
+            return n;
+        }
+        // Invert the smaller tail for numerical stability and shorter
+        // inversion walks.
+        if p > 0.5 {
+            return n - self.binomial(n, 1.0 - p);
+        }
+        let nf = n as f64;
+        let mean = nf * p;
+        if mean <= 64.0 {
+            // CDF inversion: pmf(0) = (1-p)^n is representable because
+            // n*ln(1-p) >= -mean/(1-p) >= -128 here.
+            let q = 1.0 - p;
+            let mut pmf = q.powf(nf);
+            let mut cdf = pmf;
+            let mut k = 0u64;
+            let u = self.next_f64();
+            while u > cdf && k < n {
+                pmf *= ((n - k) as f64 / (k + 1) as f64) * (p / q);
+                k += 1;
+                cdf += pmf;
+                if pmf <= f64::MIN_POSITIVE && cdf >= 1.0 - 1e-12 {
+                    break;
+                }
+            }
+            k
+        } else {
+            let sd = (mean * (1.0 - p)).sqrt();
+            let x = mean + sd * self.next_gaussian() + 0.5;
+            (x.max(0.0) as u64).min(n)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -243,6 +304,38 @@ mod tests {
             seen_hi |= x == 19;
         }
         assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn binomial_matches_moments_small_and_large_mean() {
+        let mut rng = SimRng::seed(31);
+        for (n, p) in [(100u64, 0.02), (50_000, 0.02), (1_000_000, 0.3), (40, 0.9)] {
+            let trials = 2_000;
+            let mut sum = 0.0;
+            let mut sum_sq = 0.0;
+            for _ in 0..trials {
+                let k = rng.binomial(n, p) as f64;
+                assert!(k <= n as f64);
+                sum += k;
+                sum_sq += k * k;
+            }
+            let mean = sum / trials as f64;
+            let var = sum_sq / trials as f64 - mean * mean;
+            let (em, ev) = (n as f64 * p, n as f64 * p * (1.0 - p));
+            assert!((mean - em).abs() < 4.0 * (ev / trials as f64).sqrt() + 1.0,
+                "n={n} p={p}: mean {mean} vs {em}");
+            assert!(var > 0.5 * ev && var < 1.6 * ev, "n={n} p={p}: var {var} vs {ev}");
+        }
+    }
+
+    #[test]
+    fn binomial_edge_cases() {
+        let mut rng = SimRng::seed(1);
+        assert_eq!(rng.binomial(0, 0.5), 0);
+        assert_eq!(rng.binomial(10, 0.0), 0);
+        assert_eq!(rng.binomial(10, 1.0), 10);
+        assert_eq!(rng.binomial(10, -0.5), 0);
+        assert_eq!(rng.binomial(10, 2.0), 10);
     }
 
     #[test]

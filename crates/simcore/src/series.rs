@@ -5,7 +5,68 @@
 //! supports point queries, window statistics, and change iteration — the
 //! primitives the market statistics (Figure 6) and the billing model need.
 
+use crate::metrics;
 use crate::time::{SimDuration, SimTime};
+
+/// Iterator over the maximal constant segments of a [`StepSeries`]
+/// intersected with a window `[from, to)`.
+///
+/// Produced by [`StepSeries::segments_in`]: one `O(log n)` seek at
+/// construction, then an `O(1)` forward step per segment — the primitive
+/// behind every window statistic, replacing per-step binary searches.
+///
+/// Yields `(start, end, value)` with `start < end`, `start` clamped to
+/// `from` and `end` clamped to `to`. If the window begins before the first
+/// change point, iteration starts at the first change point (the uncovered
+/// prefix `[from, first)` yields nothing); [`Segments::covers_from`]
+/// reports whether the series already had a value at `from`.
+#[derive(Debug, Clone)]
+pub struct Segments<'a> {
+    points: &'a [(SimTime, f64)],
+    /// Index of the next change point to consume.
+    next: usize,
+    /// Start of the segment to yield next.
+    cursor: SimTime,
+    /// Window end (exclusive).
+    to: SimTime,
+    /// Value holding at `cursor`, `None` once exhausted.
+    value: Option<f64>,
+    /// Whether the series had a value at the window start.
+    covers_from: bool,
+}
+
+impl Segments<'_> {
+    /// Returns true if the series has a value at the window's `from`
+    /// instant (i.e. the window start does not precede the first change
+    /// point). Window statistics that require full coverage check this.
+    pub fn covers_from(&self) -> bool {
+        self.covers_from
+    }
+}
+
+impl Iterator for Segments<'_> {
+    type Item = (SimTime, SimTime, f64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let value = self.value?;
+        if self.cursor >= self.to {
+            return None;
+        }
+        let start = self.cursor;
+        match self.points.get(self.next) {
+            Some(&(t, v)) if t < self.to => {
+                self.cursor = t;
+                self.value = Some(v);
+                self.next += 1;
+                Some((start, t, value))
+            }
+            _ => {
+                self.value = None;
+                Some((start, self.to, value))
+            }
+        }
+    }
+}
 
 /// A right-continuous piecewise-constant series of `f64` over simulated time.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -106,28 +167,51 @@ impl StepSeries {
         self.points.last().map(|(t, _)| *t)
     }
 
+    /// Returns an iterator over the maximal constant segments of the series
+    /// intersected with `[from, to)`: one `O(log n)` seek, then `O(1)` per
+    /// segment. See [`Segments`] for the exact clamping semantics.
+    pub fn segments_in(&self, from: SimTime, to: SimTime) -> Segments<'_> {
+        let idx = self.points.partition_point(|(pt, _)| *pt <= from);
+        if idx > 0 {
+            Segments {
+                points: &self.points,
+                next: idx,
+                cursor: from,
+                to,
+                value: Some(self.points[idx - 1].1),
+                covers_from: true,
+            }
+        } else {
+            // Window starts before the series: begin at the first change
+            // point (if any), and report the partial coverage.
+            Segments {
+                points: &self.points,
+                next: 1.min(self.points.len()),
+                cursor: self.points.first().map(|(t, _)| *t).unwrap_or(to),
+                to,
+                value: self.points.first().map(|(_, v)| *v),
+                covers_from: false,
+            }
+        }
+    }
+
     /// Returns the time-weighted mean of the series over `[from, to)`, or
     /// `None` if the window is empty or starts before the series does.
     pub fn mean_over(&self, from: SimTime, to: SimTime) -> Option<f64> {
         if to <= from {
             return None;
         }
-        self.value_at(from)?;
-        let mut acc = 0.0;
-        let mut cursor = from;
-        let mut value = self.value_at(from).expect("checked above");
-        while cursor < to {
-            let next = self
-                .next_change_after(cursor)
-                .map(|(t, _)| t)
-                .unwrap_or(SimTime::MAX)
-                .min(to);
-            acc += value * next.since(cursor).as_secs_f64();
-            if next < to {
-                value = self.value_at(next).expect("change point has value");
-            }
-            cursor = next;
+        let segments = self.segments_in(from, to);
+        if !segments.covers_from() {
+            return None;
         }
+        let mut acc = 0.0;
+        let mut walked = 0u64;
+        for (start, end, value) in segments {
+            acc += value * end.since(start).as_secs_f64();
+            walked += 1;
+        }
+        metrics::add(walked);
         Some(acc / to.since(from).as_secs_f64())
     }
 
@@ -142,24 +226,19 @@ impl StepSeries {
         if to <= from {
             return None;
         }
-        self.value_at(from)?;
-        let mut on = SimDuration::ZERO;
-        let mut cursor = from;
-        let mut value = self.value_at(from).expect("checked above");
-        while cursor < to {
-            let next = self
-                .next_change_after(cursor)
-                .map(|(t, _)| t)
-                .unwrap_or(SimTime::MAX)
-                .min(to);
-            if pred(value) {
-                on += next.since(cursor);
-            }
-            if next < to {
-                value = self.value_at(next).expect("change point has value");
-            }
-            cursor = next;
+        let segments = self.segments_in(from, to);
+        if !segments.covers_from() {
+            return None;
         }
+        let mut on = SimDuration::ZERO;
+        let mut walked = 0u64;
+        for (start, end, value) in segments {
+            if pred(value) {
+                on += end.since(start);
+            }
+            walked += 1;
+        }
+        metrics::add(walked);
         Some(on.as_secs_f64() / to.since(from).as_secs_f64())
     }
 
@@ -168,13 +247,29 @@ impl StepSeries {
     /// value (extension backward), so resampled traces align for correlation.
     pub fn resample(&self, from: SimTime, to: SimTime, step: SimDuration) -> Vec<f64> {
         assert!(!step.is_zero(), "resample step must be positive");
+        if to <= from {
+            return Vec::new();
+        }
         let first = self.points.first().map(|(_, v)| *v).unwrap_or(0.0);
-        let mut out = Vec::new();
+        // One seek, then advance a cursor over the change points as the
+        // sample grid moves forward (the grid and the points are both
+        // sorted, so each change point is passed at most once).
+        let mut idx = self.points.partition_point(|(pt, _)| *pt <= from);
+        let expected = (to.since(from).as_micros() / step.as_micros().max(1)) as usize + 1;
+        let mut out = Vec::with_capacity(expected.min(1 << 24));
         let mut t = from;
         while t < to {
-            out.push(self.value_at(t).unwrap_or(first));
+            while idx < self.points.len() && self.points[idx].0 <= t {
+                idx += 1;
+            }
+            out.push(if idx == 0 {
+                first
+            } else {
+                self.points[idx - 1].1
+            });
             t += step;
         }
+        metrics::add(out.len() as u64);
         out
     }
 
@@ -295,6 +390,75 @@ mod tests {
             Some((SimTime::from_secs(12), 3.0))
         );
         assert_eq!(s.first_where(SimTime::ZERO, |v| v > 10.0), None);
+    }
+
+    #[test]
+    fn segments_cover_window_with_clamping() {
+        let s = series();
+        let segs: Vec<_> = s
+            .segments_in(SimTime::from_secs(5), SimTime::from_secs(25))
+            .collect();
+        assert_eq!(
+            segs,
+            vec![
+                (SimTime::from_secs(5), SimTime::from_secs(10), 1.0),
+                (SimTime::from_secs(10), SimTime::from_secs(20), 3.0),
+                (SimTime::from_secs(20), SimTime::from_secs(25), 2.0),
+            ]
+        );
+        assert!(s
+            .segments_in(SimTime::from_secs(5), SimTime::from_secs(25))
+            .covers_from());
+    }
+
+    #[test]
+    fn segments_before_series_start_skip_uncovered_prefix() {
+        let s = StepSeries::from_points(vec![
+            (SimTime::from_secs(10), 3.0),
+            (SimTime::from_secs(20), 2.0),
+        ]);
+        let it = s.segments_in(SimTime::ZERO, SimTime::from_secs(30));
+        assert!(!it.covers_from());
+        let segs: Vec<_> = it.collect();
+        assert_eq!(
+            segs,
+            vec![
+                (SimTime::from_secs(10), SimTime::from_secs(20), 3.0),
+                (SimTime::from_secs(20), SimTime::from_secs(30), 2.0),
+            ]
+        );
+        // Window entirely before the series: nothing.
+        let none: Vec<_> = s.segments_in(SimTime::ZERO, SimTime::from_secs(5)).collect();
+        assert!(none.is_empty());
+        // Empty series: nothing, no coverage.
+        let empty = StepSeries::new();
+        let it = empty.segments_in(SimTime::ZERO, SimTime::from_secs(5));
+        assert!(!it.covers_from());
+        assert_eq!(it.count(), 0);
+    }
+
+    #[test]
+    fn segments_single_point_and_exact_boundaries() {
+        let s = StepSeries::from_points(vec![(SimTime::from_secs(10), 4.0)]);
+        let segs: Vec<_> = s
+            .segments_in(SimTime::from_secs(10), SimTime::from_secs(12))
+            .collect();
+        assert_eq!(segs, vec![(SimTime::from_secs(10), SimTime::from_secs(12), 4.0)]);
+        // A change point exactly at the window end is not entered.
+        let s2 = series();
+        let segs: Vec<_> = s2.segments_in(SimTime::ZERO, SimTime::from_secs(10)).collect();
+        assert_eq!(segs, vec![(SimTime::ZERO, SimTime::from_secs(10), 1.0)]);
+    }
+
+    #[test]
+    fn resample_before_start_extends_backward() {
+        let s = StepSeries::from_points(vec![(SimTime::from_secs(15), 9.0)]);
+        let xs = s.resample(SimTime::ZERO, SimTime::from_secs(30), SimDuration::from_secs(10));
+        assert_eq!(xs, vec![9.0, 9.0, 9.0]);
+        // Degenerate window.
+        assert!(s
+            .resample(SimTime::from_secs(5), SimTime::from_secs(5), SimDuration::from_secs(1))
+            .is_empty());
     }
 
     #[test]

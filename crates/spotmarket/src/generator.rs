@@ -115,6 +115,7 @@ impl TraceGenerator {
                 last = Some(v);
             }
         }
+        spotcheck_simcore::metrics::add(series.len() as u64);
 
         PriceTrace::new(market, od, series)
     }
@@ -134,13 +135,13 @@ pub fn generate_fleet(
     horizon: SimDuration,
     root: &SimRng,
 ) -> Vec<PriceTrace> {
-    markets
-        .iter()
-        .map(|(id, profile)| {
-            let mut rng = root.fork_named(&id.to_string());
-            TraceGenerator::new(profile.clone()).generate(id.clone(), horizon, &mut rng)
-        })
-        .collect()
+    // Markets are generated on independent forked streams, so fanning out
+    // across workers cannot change any trace; results come back in market
+    // order (the fleet is deterministic at every worker count).
+    spotcheck_simcore::parallel::parallel_map(markets.to_vec(), |_, (id, profile)| {
+        let mut rng = root.fork_named(&id.to_string());
+        TraceGenerator::new(profile).generate(id, horizon, &mut rng)
+    })
 }
 
 #[cfg(test)]

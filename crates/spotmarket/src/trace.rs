@@ -6,6 +6,7 @@
 //! availability analysis (Figure 6a plots everything against the
 //! spot/on-demand ratio).
 
+use spotcheck_simcore::metrics;
 use spotcheck_simcore::series::StepSeries;
 use spotcheck_simcore::time::{SimDuration, SimTime};
 
@@ -71,43 +72,42 @@ impl PriceTrace {
         if to <= from {
             return None;
         }
-        self.prices.value_at(from)?;
-        let mut acc = 0.0;
-        let mut cursor = from;
-        let mut value = self.prices.value_at(from).expect("checked above");
-        while cursor < to {
-            let next = self
-                .prices
-                .next_change_after(cursor)
-                .map(|(t, _)| t)
-                .unwrap_or(SimTime::MAX)
-                .min(to);
-            acc += value.min(cap) * next.since(cursor).as_secs_f64();
-            if next < to {
-                value = self.prices.value_at(next).expect("change point has value");
-            }
-            cursor = next;
+        let segments = self.prices.segments_in(from, to);
+        if !segments.covers_from() {
+            return None;
         }
+        let mut acc = 0.0;
+        let mut walked = 0u64;
+        for (start, end, value) in segments {
+            acc += value.min(cap) * end.since(start).as_secs_f64();
+            walked += 1;
+        }
+        metrics::add(walked);
         Some(acc / to.since(from).as_secs_f64())
     }
 
     /// Counts upward crossings of `bid` in `(from, to]` — each is a
     /// revocation event for servers bid at `bid` in this market.
     pub fn revocations_at_bid(&self, bid: f64, from: SimTime, to: SimTime) -> usize {
+        // One seek to the window start, then a linear walk over the change
+        // points in `(from, to]`.
+        let points = self.prices.points();
+        let start = points.partition_point(|(t, _)| *t <= from);
+        let mut above = start > 0 && points[start - 1].1 > bid;
         let mut count = 0;
-        let mut above = self.price_at(from).map(|p| p > bid).unwrap_or(false);
-        let mut cursor = from;
-        while let Some((t, p)) = self.prices.next_change_after(cursor) {
-            if t > to {
+        let mut walked = 0u64;
+        for (t, p) in &points[start..] {
+            if *t > to {
                 break;
             }
-            let now_above = p > bid;
+            let now_above = *p > bid;
             if now_above && !above {
                 count += 1;
             }
             above = now_above;
-            cursor = t;
+            walked += 1;
         }
+        metrics::add(walked);
         count
     }
 
@@ -120,13 +120,13 @@ impl PriceTrace {
     /// Serializes the trace to the plain-text format
     /// `# market,on_demand_price` header plus `time_secs,price` lines.
     pub fn to_csv(&self) -> String {
-        let mut out = String::new();
-        out.push_str(&format!(
-            "# market={} od={}\n",
-            self.market, self.on_demand_price
-        ));
+        use std::fmt::Write as _;
+        // ~24 bytes per `time,price` line; sizing up front and writing in
+        // place avoids one temporary String per point.
+        let mut out = String::with_capacity(64 + 24 * self.prices.len());
+        let _ = writeln!(out, "# market={} od={}", self.market, self.on_demand_price);
         for (t, v) in self.prices.points() {
-            out.push_str(&format!("{},{v}\n", t.as_secs_f64()));
+            let _ = writeln!(out, "{},{v}", t.as_secs_f64());
         }
         out
     }

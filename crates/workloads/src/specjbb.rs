@@ -50,6 +50,7 @@ impl ApplicationModel for SpecJbb {
     }
 
     fn perf(&self, ctx: &PerfContext) -> f64 {
+        spotcheck_simcore::metrics::add(1);
         if ctx.lazy_restoring {
             return self.base_bops * self.restore_factor;
         }

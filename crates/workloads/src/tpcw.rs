@@ -60,6 +60,7 @@ impl ApplicationModel for TpcW {
     }
 
     fn perf(&self, ctx: &PerfContext) -> f64 {
+        spotcheck_simcore::metrics::add(1);
         if ctx.lazy_restoring {
             // First-touch faults dominate; extra concurrent restores only
             // mildly extend queuing because bandwidth is partitioned.
