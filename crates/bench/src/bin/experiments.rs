@@ -1,7 +1,7 @@
 //! CLI that regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments [--quick] [--list] [--json] [--out PATH] [--threads N] [id ...]
+//! experiments [--quick] [--list] [--json] [--out PATH] [--journal PATH] [--threads N] [id ...]
 //! ```
 //!
 //! - `--quick` shrinks horizons for smoke tests.
@@ -11,6 +11,9 @@
 //!   simulation events, throughput per experiment) instead of the human
 //!   tables; with `--out PATH` the JSON goes to the file and the tables
 //!   still print to stdout.
+//! - `--journal PATH` runs the canonical revocation-spike scenario and
+//!   dumps its structured controller journal (typed records + counters) as
+//!   JSON to PATH. With no experiment ids, the dump is all that runs.
 
 use std::process::ExitCode;
 
@@ -21,6 +24,7 @@ struct Args {
     list: bool,
     json: bool,
     out: Option<String>,
+    journal: Option<String>,
     threads: usize,
     ids: Vec<String>,
 }
@@ -31,6 +35,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         list: false,
         json: false,
         out: None,
+        journal: None,
         threads: 0,
         ids: Vec::new(),
     };
@@ -44,6 +49,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.out = Some(
                     it.next()
                         .ok_or("--out requires a file path")?
+                        .clone(),
+                );
+            }
+            "--journal" => {
+                args.journal = Some(
+                    it.next()
+                        .ok_or("--journal requires a file path")?
                         .clone(),
                 );
             }
@@ -83,6 +95,17 @@ fn main() -> ExitCode {
     }
 
     spotcheck_simcore::parallel::set_max_threads(args.threads);
+
+    if let Some(path) = &args.journal {
+        let json = spotcheck_bench::experiments::ablations::journal_json();
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        if args.ids.is_empty() {
+            return ExitCode::SUCCESS;
+        }
+    }
 
     let selected: Vec<&str> = if args.ids.is_empty() {
         all_ids()

@@ -179,6 +179,58 @@ pub fn run_spares(_scale: Scale) -> String {
     out
 }
 
+/// The canonical revocation-spike run used for journal inspection: one VM
+/// provisioned on spot, a price spike at t=3600 s forces a bounded-time
+/// migration to on-demand, and the run stops at t=7200 s.
+fn revocation_spike_sim() -> SpotCheckSim {
+    let s = StepSeries::from_points(vec![
+        (SimTime::ZERO, 0.014),
+        (SimTime::from_secs(3_600), 0.90),
+        (SimTime::from_secs(90_000), 0.014),
+    ]);
+    let trace = PriceTrace::new(MarketId::new("m3.medium", "us-east-1a"), 0.070, s);
+    let cfg = SpotCheckConfig {
+        zone: "us-east-1a".to_string(),
+        mapping: MappingPolicy::OneM,
+        mechanism: MechanismKind::SpotCheckLazy,
+        ..SpotCheckConfig::default()
+    };
+    let mut sim = SpotCheckSim::new(vec![trace], cfg);
+    let cust = sim.create_customer();
+    let _vm = sim.request_server(cust, WorkloadKind::TpcW);
+    sim.run_until(SimTime::from_secs(7_200));
+    sim
+}
+
+/// Journal: the controller's structured event counters under a revocation
+/// spike. Where the other experiments report externally visible outcomes
+/// (downtime, cost), this one reports the controller's own account of what
+/// it did — every effect, state transition, and retry, by kind.
+pub fn run_journal(_scale: Scale) -> String {
+    let sim = revocation_spike_sim();
+    let j = sim.journal();
+    let mut t = TextTable::new(&["counter", "count"]);
+    for (name, v) in j.counters().pairs() {
+        if v > 0 {
+            t.row(vec![name.into(), v.to_string()]);
+        }
+    }
+    let mut out = t.render();
+    out.push_str(&format!(
+        "\n{} entries stored, {} dropped; zero-valued counters omitted\n\
+         (the full typed record stream dumps as JSON via `experiments --journal PATH`)\n",
+        j.len(),
+        j.dropped()
+    ));
+    out
+}
+
+/// JSON dump of the canonical revocation-spike run's journal (backs the
+/// experiments binary's `--journal PATH` flag and the CI schema check).
+pub fn journal_json() -> String {
+    revocation_spike_sim().journal().to_json()
+}
+
 /// Ablation: bid level vs revocations and cost (m3.large market).
 pub fn run_bid(scale: Scale) -> String {
     let horizon = SimDuration::from_days(scale.horizon_days());

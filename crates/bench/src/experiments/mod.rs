@@ -174,6 +174,11 @@ const REGISTRY: &[(&str, &str, Runner)] = &[
         "Ablation: revocation prediction precision vs recall",
         ablations::run_predictor,
     ),
+    (
+        "journal",
+        "Journal: controller event counters under a revocation spike",
+        ablations::run_journal,
+    ),
 ];
 
 /// All experiment ids in order.

@@ -117,6 +117,25 @@ pub enum Notification {
     },
 }
 
+impl Notification {
+    /// Stable lowercase name of the notification variant (used in
+    /// journals).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Notification::InstanceStarted { .. } => "instance_started",
+            Notification::SpotStartFailed { .. } => "spot_start_failed",
+            Notification::InstanceCrashed { .. } => "instance_crashed",
+            Notification::InstanceTerminated { .. } => "instance_terminated",
+            Notification::VolumeAttached { .. } => "volume_attached",
+            Notification::VolumeAttachFailed { .. } => "volume_attach_failed",
+            Notification::VolumeDetached { .. } => "volume_detached",
+            Notification::EniAttached { .. } => "eni_attached",
+            Notification::EniAttachFailed { .. } => "eni_attach_failed",
+            Notification::EniDetached { .. } => "eni_detached",
+        }
+    }
+}
+
 /// A spot-revocation warning: the platform will forcibly terminate
 /// `instance` at `terminate_at` unless it is relinquished first.
 #[derive(Debug, Clone, PartialEq)]

@@ -60,6 +60,18 @@ pub enum FaultEvent {
     },
 }
 
+impl FaultEvent {
+    /// Stable lowercase name of the fault variant (used in journals).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FaultEvent::InstanceCrash { .. } => "instance_crash",
+            FaultEvent::BackupFailure { .. } => "backup_failure",
+            FaultEvent::RevocationStorm { .. } => "revocation_storm",
+            FaultEvent::LatencySpike { .. } => "latency_spike",
+        }
+    }
+}
+
 /// What applying a scheduled fault did to the platform, for the driver to
 /// react to.
 #[derive(Debug, Clone, Default)]

@@ -46,7 +46,8 @@ impl VmStats {
         }
     }
 
-    /// Total time this VM spent unprotected (through the last `report`).
+    /// Total time this VM spent unprotected (through the last recorded
+    /// transition; use [`Accounting::report`] for a reading at an instant).
     pub fn total_unprotected(&self) -> SimDuration {
         self.unprotected.total_on()
     }
@@ -192,8 +193,10 @@ impl Accounting {
         self.lost_vms += 1;
     }
 
-    /// Closes every clock at `now` and aggregates.
-    pub fn report(&mut self, now: SimTime) -> AvailabilityReport {
+    /// Reads every clock at `now` and aggregates, without mutating any
+    /// clock — reporting is a pure inspection and can be repeated at any
+    /// nondecreasing sequence of instants.
+    pub fn report(&self, now: SimTime) -> AvailabilityReport {
         let mut unavail_sum = 0.0;
         let mut degr_sum = 0.0;
         let mut total_down = SimDuration::ZERO;
@@ -204,15 +207,12 @@ impl Accounting {
         let mut total_unprotected = SimDuration::ZERO;
         let mut rereplications = 0u64;
         let n = self.per_vm.len();
-        for s in self.per_vm.values_mut() {
-            s.downtime.finish(now);
-            s.degraded.finish(now);
-            s.unprotected.finish(now);
-            unavail_sum += s.downtime.fraction_on().unwrap_or(0.0);
-            degr_sum += s.degraded.fraction_on().unwrap_or(0.0);
-            total_down = total_down.saturating_add(s.downtime.total_on());
-            total_degraded = total_degraded.saturating_add(s.degraded.total_on());
-            total_unprotected = total_unprotected.saturating_add(s.unprotected.total_on());
+        for s in self.per_vm.values() {
+            unavail_sum += s.downtime.fraction_on_at(now).unwrap_or(0.0);
+            degr_sum += s.degraded.fraction_on_at(now).unwrap_or(0.0);
+            total_down = total_down.saturating_add(s.downtime.total_on_at(now));
+            total_degraded = total_degraded.saturating_add(s.degraded.total_on_at(now));
+            total_unprotected = total_unprotected.saturating_add(s.unprotected.total_on_at(now));
             revocations += u64::from(s.revocations);
             migrations += u64::from(s.migrations);
             proactive += u64::from(s.proactive_migrations);
@@ -309,7 +309,7 @@ mod tests {
 
     #[test]
     fn empty_ledger_reports_zeroes() {
-        let mut a = Accounting::new();
+        let a = Accounting::new();
         let r = a.report(t(100));
         assert_eq!(r.vms, 0);
         assert_eq!(r.unavailability, 0.0);

@@ -1,0 +1,295 @@
+//! The typed effect bus.
+//!
+//! Subsystems never call the platform or push outbox events directly:
+//! every side effect funnels through one of the `eff_*` methods here. The
+//! bus executes the effect synchronously — the platform's seeded latency
+//! draws depend on the exact call order, so effects cannot be queued and
+//! replayed later — and journals it with the emitting subsystem's tag.
+//! This gives every subsystem the same three-step contract: mutate local
+//! state, emit effects, return.
+
+use spotcheck_cloudsim::error::CloudError;
+use spotcheck_cloudsim::ids::{EniId, InstanceId, VolumeId};
+use spotcheck_simcore::time::SimTime;
+use spotcheck_spotmarket::market::ZoneName;
+
+use crate::events::Event;
+use crate::journal::{Effect, Record, Subsystem};
+use crate::types::{MigrationId, VmStatus};
+use spotcheck_nestedvm::vm::NestedVmId;
+
+use super::{Controller, Outbox};
+
+/// Semantic context of an in-flight cloud operation.
+#[derive(Debug, Clone)]
+pub(super) enum OpCtx {
+    /// A native spot/on-demand host booting for provisioning.
+    HostBoot,
+    /// A hot spare booting.
+    SpareBoot,
+    /// A migration destination booting.
+    DestBoot(MigrationId),
+    /// An ENI/volume attach during VM provisioning.
+    ProvisionAttach(NestedVmId),
+    /// A detach on a migration's source.
+    MigDetach(MigrationId),
+    /// An attach on a migration's destination.
+    MigAttach(MigrationId),
+    /// A spot host booting for a return-to-spot live migration.
+    ReturnBoot(NestedVmId),
+    /// Detaches from the on-demand host during a return.
+    ReturnDetach(NestedVmId),
+    /// Attaches at the spot host during a return.
+    ReturnAttach(NestedVmId),
+    /// A fire-and-forget terminate.
+    Terminate,
+}
+
+impl OpCtx {
+    /// Stable lowercase name (used as the journal's `purpose` tag).
+    pub(super) fn kind(&self) -> &'static str {
+        match self {
+            OpCtx::HostBoot => "host_boot",
+            OpCtx::SpareBoot => "spare_boot",
+            OpCtx::DestBoot(_) => "dest_boot",
+            OpCtx::ProvisionAttach(_) => "provision_attach",
+            OpCtx::MigDetach(_) => "mig_detach",
+            OpCtx::MigAttach(_) => "mig_attach",
+            OpCtx::ReturnBoot(_) => "return_boot",
+            OpCtx::ReturnDetach(_) => "return_detach",
+            OpCtx::ReturnAttach(_) => "return_attach",
+            OpCtx::Terminate => "terminate",
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // The bus carries full effect context.
+impl Controller {
+    /// Schedules a follow-up event on the outbox, journaling it.
+    pub(super) fn schedule(
+        &mut self,
+        sub: Subsystem,
+        now: SimTime,
+        at: SimTime,
+        event: Event,
+        out: &mut Outbox,
+    ) {
+        self.journal.record(
+            now,
+            sub,
+            Record::Effect(Effect::Schedule { event: event.kind() }),
+        );
+        out.push((at, event));
+    }
+
+    /// Requests a spot host, wiring its boot op to `ctx`.
+    pub(super) fn eff_request_spot(
+        &mut self,
+        sub: Subsystem,
+        type_name: &str,
+        zone: &ZoneName,
+        bid: f64,
+        ctx: OpCtx,
+        now: SimTime,
+        out: &mut Outbox,
+    ) -> Result<InstanceId, CloudError> {
+        let (instance, op, ready) = self.cloud.request_spot(type_name, zone, bid, now)?;
+        self.journal
+            .record(now, sub, Record::Effect(Effect::AcquireSpot { instance }));
+        self.op_ctx.insert(op, ctx);
+        out.push((ready, Event::CloudOp(op)));
+        Ok(instance)
+    }
+
+    /// Requests an on-demand host, wiring its boot op to `ctx`.
+    pub(super) fn eff_request_on_demand(
+        &mut self,
+        sub: Subsystem,
+        type_name: &str,
+        zone: &ZoneName,
+        ctx: OpCtx,
+        now: SimTime,
+        out: &mut Outbox,
+    ) -> Result<InstanceId, CloudError> {
+        let (instance, op, ready) = self.cloud.request_on_demand(type_name, zone, now)?;
+        self.journal.record(
+            now,
+            sub,
+            Record::Effect(Effect::AcquireOnDemand { instance }),
+        );
+        self.op_ctx.insert(op, ctx);
+        out.push((ready, Event::CloudOp(op)));
+        Ok(instance)
+    }
+
+    /// Issues an ENI attach; true if the platform accepted it.
+    pub(super) fn eff_attach_eni(
+        &mut self,
+        sub: Subsystem,
+        eni: EniId,
+        instance: InstanceId,
+        ctx: OpCtx,
+        now: SimTime,
+        out: &mut Outbox,
+    ) -> bool {
+        match self.cloud.attach_eni(eni, instance, now) {
+            Ok((op, ready)) => {
+                self.journal
+                    .record(now, sub, Record::Effect(Effect::AttachEni { instance }));
+                self.op_ctx.insert(op, ctx);
+                out.push((ready, Event::CloudOp(op)));
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Issues a volume attach; true if the platform accepted it.
+    pub(super) fn eff_attach_volume(
+        &mut self,
+        sub: Subsystem,
+        volume: VolumeId,
+        instance: InstanceId,
+        ctx: OpCtx,
+        now: SimTime,
+        out: &mut Outbox,
+    ) -> bool {
+        match self.cloud.attach_volume(volume, instance, now) {
+            Ok((op, ready)) => {
+                self.journal
+                    .record(now, sub, Record::Effect(Effect::AttachVolume { instance }));
+                self.op_ctx.insert(op, ctx);
+                out.push((ready, Event::CloudOp(op)));
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Issues an ENI detach; true if the platform accepted it.
+    pub(super) fn eff_detach_eni(
+        &mut self,
+        sub: Subsystem,
+        eni: EniId,
+        ctx: OpCtx,
+        now: SimTime,
+        out: &mut Outbox,
+    ) -> bool {
+        match self.cloud.detach_eni(eni, now) {
+            Ok((op, ready)) => {
+                self.journal
+                    .record(now, sub, Record::Effect(Effect::DetachEni));
+                self.op_ctx.insert(op, ctx);
+                out.push((ready, Event::CloudOp(op)));
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Issues a volume detach; true if the platform accepted it.
+    pub(super) fn eff_detach_volume(
+        &mut self,
+        sub: Subsystem,
+        volume: VolumeId,
+        ctx: OpCtx,
+        now: SimTime,
+        out: &mut Outbox,
+    ) -> bool {
+        match self.cloud.detach_volume(volume, now) {
+            Ok((op, ready)) => {
+                self.journal
+                    .record(now, sub, Record::Effect(Effect::DetachVolume));
+                self.op_ctx.insert(op, ctx);
+                out.push((ready, Event::CloudOp(op)));
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Issues a user termination (fire-and-forget context).
+    pub(super) fn eff_terminate(
+        &mut self,
+        sub: Subsystem,
+        instance: InstanceId,
+        now: SimTime,
+        out: &mut Outbox,
+    ) -> Result<(), CloudError> {
+        let (op, ready) = self.cloud.terminate(instance, now)?;
+        self.journal
+            .record(now, sub, Record::Effect(Effect::Terminate { instance }));
+        self.op_ctx.insert(op, OpCtx::Terminate);
+        out.push((ready, Event::CloudOp(op)));
+        Ok(())
+    }
+
+    /// Executes the platform's forced termination; true if it reclaimed the
+    /// instance (false if it was already relinquished).
+    pub(super) fn eff_force_terminate(
+        &mut self,
+        sub: Subsystem,
+        instance: InstanceId,
+        now: SimTime,
+    ) -> bool {
+        self.journal
+            .record(now, sub, Record::Effect(Effect::ForceTerminate { instance }));
+        self.cloud.force_terminate(instance, now).unwrap_or(false)
+    }
+
+    /// Sets a VM's lifecycle status, journaling real transitions.
+    pub(super) fn set_status(
+        &mut self,
+        sub: Subsystem,
+        vm: NestedVmId,
+        to: VmStatus,
+        now: SimTime,
+    ) {
+        if let Some(r) = self.vms.get_mut(&vm) {
+            let from = r.status;
+            r.status = to;
+            if from != to {
+                self.journal.record(
+                    now,
+                    sub,
+                    Record::VmStatus {
+                        vm,
+                        from: from.as_str(),
+                        to: to.as_str(),
+                    },
+                );
+            }
+        }
+    }
+
+    /// The network-transparency ladder (§4.1): creates an ENI bound to the
+    /// VM's stable private IP and issues the ENI + volume attaches against
+    /// `dest`, wiring both ops to `ctx`. Shared by provisioning, migration,
+    /// and return paths. Returns the number of attach gates in flight.
+    pub(super) fn attach_network_identity(
+        &mut self,
+        sub: Subsystem,
+        vm: NestedVmId,
+        dest: InstanceId,
+        ctx: OpCtx,
+        now: SimTime,
+        out: &mut Outbox,
+    ) -> u8 {
+        let (ip, volume) = {
+            let r = self.vms.get(&vm).expect("VM record exists");
+            (r.ip, r.volume)
+        };
+        let eni = self.cloud.create_eni(Some(ip));
+        if let Some(r) = self.vms.get_mut(&vm) {
+            r.eni = Some(eni);
+        }
+        let mut pending = 0u8;
+        if self.eff_attach_eni(sub, eni, dest, ctx.clone(), now, out) {
+            pending += 1;
+        }
+        if self.eff_attach_volume(sub, volume, dest, ctx, now, out) {
+            pending += 1;
+        }
+        pending
+    }
+}

@@ -1,0 +1,329 @@
+//! The explicit typed migration state machine.
+//!
+//! [`MigrationFsm`] is a pure value type: every transition is a named
+//! method that either advances the machine or returns a typed
+//! [`IllegalTransition`] without mutating anything. The orchestrator in
+//! [`super::migration`] owns one per in-flight migration and journals
+//! every legal phase change and every refused transition — a silent map
+//! desync (the historical failure mode of the implicit `phase`/`pending`
+//! fields) is now impossible.
+
+/// Phase of a bounded-time migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigPhase {
+    /// Waiting for the final commit and/or the destination.
+    Prep,
+    /// Detaching ENI/volume from the source.
+    Detaching,
+    /// Restoring memory and attaching ENI/volume at the destination.
+    Attaching,
+    /// Terminal: the VM runs at its destination.
+    Completed,
+    /// Terminal: the VM's memory was unrecoverable.
+    Aborted,
+}
+
+impl MigPhase {
+    /// Stable lowercase name (used in the journal).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MigPhase::Prep => "prep",
+            MigPhase::Detaching => "detaching",
+            MigPhase::Attaching => "attaching",
+            MigPhase::Completed => "completed",
+            MigPhase::Aborted => "aborted",
+        }
+    }
+
+    /// True for phases no transition leaves.
+    pub fn terminal(self) -> bool {
+        matches!(self, MigPhase::Completed | MigPhase::Aborted)
+    }
+}
+
+/// A refused migration transition: the machine was in `from` when
+/// `attempted` was requested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IllegalTransition {
+    /// The phase the machine was in.
+    pub from: MigPhase,
+    /// The transition that was refused.
+    pub attempted: &'static str,
+}
+
+impl std::fmt::Display for IllegalTransition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "illegal migration transition: {} from phase {}",
+            self.attempted,
+            self.from.as_str()
+        )
+    }
+}
+
+impl std::error::Error for IllegalTransition {}
+
+/// The typed state machine of one migration.
+///
+/// Tracks the phase plus the three Prep-phase gates (final commit started
+/// / done, destination ready) and the count of in-flight detach/attach
+/// operations. The surrounding [`super::Controller`] decides *when* to
+/// attempt transitions; the machine decides whether they are legal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationFsm {
+    phase: MigPhase,
+    commit_started: bool,
+    commit_done: bool,
+    dest_ready: bool,
+    pending: u8,
+}
+
+impl Default for MigrationFsm {
+    fn default() -> Self {
+        MigrationFsm::new()
+    }
+}
+
+impl MigrationFsm {
+    /// A fresh migration: `Prep`, nothing committed, no destination.
+    pub fn new() -> Self {
+        MigrationFsm {
+            phase: MigPhase::Prep,
+            commit_started: false,
+            commit_done: false,
+            dest_ready: false,
+            pending: 0,
+        }
+    }
+
+    /// A crash recovery: there is no source to commit from, so the (empty)
+    /// commit is already started and done; only the destination is awaited.
+    pub fn recovered() -> Self {
+        MigrationFsm {
+            commit_started: true,
+            commit_done: true,
+            ..MigrationFsm::new()
+        }
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> MigPhase {
+        self.phase
+    }
+
+    /// True once the final commit (or live transfer) has started.
+    pub fn commit_started(&self) -> bool {
+        self.commit_started
+    }
+
+    /// True once the final commit (or live transfer) has finished.
+    pub fn commit_done(&self) -> bool {
+        self.commit_done
+    }
+
+    /// True once the destination host is booted.
+    pub fn dest_ready(&self) -> bool {
+        self.dest_ready
+    }
+
+    /// In-flight detach/attach operations in the current phase.
+    pub fn pending(&self) -> u8 {
+        self.pending
+    }
+
+    fn illegal(&self, attempted: &'static str) -> IllegalTransition {
+        IllegalTransition {
+            from: self.phase,
+            attempted,
+        }
+    }
+
+    /// Starts the final commit. Returns `Ok(true)` if this call started
+    /// it, `Ok(false)` if it was already running (idempotent re-entry).
+    ///
+    /// # Errors
+    ///
+    /// Refused from a terminal phase.
+    pub fn start_commit(&mut self) -> Result<bool, IllegalTransition> {
+        if self.phase.terminal() {
+            return Err(self.illegal("start_commit"));
+        }
+        if self.commit_started {
+            return Ok(false);
+        }
+        self.commit_started = true;
+        Ok(true)
+    }
+
+    /// Records the final commit finishing.
+    ///
+    /// # Errors
+    ///
+    /// Refused from a terminal phase, before the commit started, or twice.
+    pub fn note_commit_done(&mut self) -> Result<(), IllegalTransition> {
+        if self.phase.terminal() || !self.commit_started || self.commit_done {
+            return Err(self.illegal("note_commit_done"));
+        }
+        self.commit_done = true;
+        Ok(())
+    }
+
+    /// Records the destination host becoming ready.
+    ///
+    /// # Errors
+    ///
+    /// Refused outside `Prep` or if the destination was already ready.
+    pub fn note_dest_ready(&mut self) -> Result<(), IllegalTransition> {
+        if self.phase != MigPhase::Prep || self.dest_ready {
+            return Err(self.illegal("note_dest_ready"));
+        }
+        self.dest_ready = true;
+        Ok(())
+    }
+
+    /// Records the destination host dying before the handoff (it must be
+    /// re-acquired).
+    ///
+    /// # Errors
+    ///
+    /// Refused outside `Prep` — past that the handoff is already using it.
+    pub fn dest_lost(&mut self) -> Result<(), IllegalTransition> {
+        if self.phase != MigPhase::Prep {
+            return Err(self.illegal("dest_lost"));
+        }
+        self.dest_ready = false;
+        Ok(())
+    }
+
+    /// True when the handoff can start: still in `Prep` with the commit
+    /// done and the destination ready.
+    pub fn ready_to_detach(&self) -> bool {
+        self.phase == MigPhase::Prep && self.commit_done && self.dest_ready
+    }
+
+    /// `Prep → Detaching` with `pending` detach operations in flight.
+    ///
+    /// # Errors
+    ///
+    /// Refused unless [`MigrationFsm::ready_to_detach`].
+    pub fn begin_detach(&mut self, pending: u8) -> Result<(), IllegalTransition> {
+        if !self.ready_to_detach() {
+            return Err(self.illegal("begin_detach"));
+        }
+        self.phase = MigPhase::Detaching;
+        self.pending = pending;
+        Ok(())
+    }
+
+    /// One detach/attach/restore gate of the current phase completed;
+    /// returns the number still in flight.
+    ///
+    /// # Errors
+    ///
+    /// Refused outside `Detaching`/`Attaching` or with nothing in flight.
+    pub fn op_done(&mut self) -> Result<u8, IllegalTransition> {
+        if !matches!(self.phase, MigPhase::Detaching | MigPhase::Attaching) || self.pending == 0 {
+            return Err(self.illegal("op_done"));
+        }
+        self.pending -= 1;
+        Ok(self.pending)
+    }
+
+    /// `Detaching → Attaching` with `pending` attach/restore gates in
+    /// flight.
+    ///
+    /// # Errors
+    ///
+    /// Refused unless `Detaching` with all detaches drained.
+    pub fn begin_attach(&mut self, pending: u8) -> Result<(), IllegalTransition> {
+        if self.phase != MigPhase::Detaching || self.pending != 0 {
+            return Err(self.illegal("begin_attach"));
+        }
+        self.phase = MigPhase::Attaching;
+        self.pending = pending;
+        Ok(())
+    }
+
+    /// `Attaching → Completed`.
+    ///
+    /// # Errors
+    ///
+    /// Refused unless `Attaching` with all gates drained.
+    pub fn complete(&mut self) -> Result<(), IllegalTransition> {
+        if self.phase != MigPhase::Attaching || self.pending != 0 {
+            return Err(self.illegal("complete"));
+        }
+        self.phase = MigPhase::Completed;
+        Ok(())
+    }
+
+    /// `* → Aborted`: the VM's memory is unrecoverable.
+    ///
+    /// # Errors
+    ///
+    /// Refused from a terminal phase.
+    pub fn abort(&mut self) -> Result<(), IllegalTransition> {
+        if self.phase.terminal() {
+            return Err(self.illegal("abort"));
+        }
+        self.phase = MigPhase::Aborted;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn happy_path_transitions_are_legal() {
+        let mut f = MigrationFsm::new();
+        assert_eq!(f.start_commit(), Ok(true));
+        assert_eq!(f.start_commit(), Ok(false));
+        f.note_commit_done().unwrap();
+        f.note_dest_ready().unwrap();
+        assert!(f.ready_to_detach());
+        f.begin_detach(2).unwrap();
+        assert_eq!(f.op_done(), Ok(1));
+        assert_eq!(f.op_done(), Ok(0));
+        f.begin_attach(3).unwrap();
+        f.op_done().unwrap();
+        f.op_done().unwrap();
+        f.op_done().unwrap();
+        f.complete().unwrap();
+        assert!(f.phase().terminal());
+    }
+
+    #[test]
+    fn illegal_transitions_return_typed_error_without_mutation() {
+        let mut f = MigrationFsm::new();
+        let before = f;
+        let err = f.begin_detach(1).unwrap_err();
+        assert_eq!(err.from, MigPhase::Prep);
+        assert_eq!(err.attempted, "begin_detach");
+        assert_eq!(f, before, "a refused transition must not mutate");
+    }
+
+    #[test]
+    fn recovered_machine_skips_the_commit() {
+        let mut f = MigrationFsm::recovered();
+        assert!(f.commit_done());
+        f.note_dest_ready().unwrap();
+        assert!(f.ready_to_detach());
+        f.begin_detach(0).unwrap();
+        f.begin_attach(1).unwrap();
+        assert_eq!(f.op_done(), Ok(0));
+        f.complete().unwrap();
+    }
+
+    #[test]
+    fn terminal_phases_refuse_everything() {
+        let mut f = MigrationFsm::new();
+        f.abort().unwrap();
+        assert!(f.start_commit().is_err());
+        assert!(f.note_commit_done().is_err());
+        assert!(f.abort().is_err());
+        assert_eq!(f.phase(), MigPhase::Aborted);
+    }
+}

@@ -1,0 +1,695 @@
+//! The bounded-time migration orchestrator (paper §5).
+//!
+//! Drives the per-migration [`MigrationFsm`]: revocation migrations
+//! (deadline-bounded final commit to the backup, restore at an on-demand
+//! destination), proactive live evacuations, and the network-identity
+//! handoff (detach at the source, attach + restore gate at the
+//! destination). Every phase change and every refused transition is
+//! journaled.
+
+use spotcheck_cloudsim::ids::InstanceId;
+use spotcheck_migrate::bounded::simulate_final_commit;
+use spotcheck_migrate::mechanisms::MechanismKind;
+use spotcheck_migrate::precopy::{simulate_precopy, PreCopyConfig};
+use spotcheck_migrate::restore::simulate_concurrent_restores;
+use spotcheck_nestedvm::host::HostVm;
+use spotcheck_nestedvm::vm::{NestedVm, NestedVmId, NestedVmState};
+use spotcheck_simcore::time::{SimDuration, SimTime};
+
+use crate::events::Event;
+use crate::journal::{Record, Subsystem};
+use crate::types::{MigrationId, VmStatus};
+
+use super::effects::OpCtx;
+use super::fsm::{IllegalTransition, MigPhase, MigrationFsm};
+use super::pools::HostInfo;
+use super::{Controller, Outbox};
+
+/// One in-flight migration: the typed state machine plus the timing and
+/// provenance data the orchestrator needs around it.
+pub(super) struct Migration {
+    pub(super) vm: NestedVmId,
+    pub(super) source: InstanceId,
+    pub(super) dest: Option<InstanceId>,
+    pub(super) fsm: MigrationFsm,
+    pub(super) commit_duration: SimDuration,
+    pub(super) commit_pause: SimDuration,
+    pub(super) paused_at: Option<SimTime>,
+    pub(super) pays_downtime: bool,
+    pub(super) proactive: bool,
+    pub(super) live: bool,
+    pub(super) started_at: SimTime,
+    pub(super) dest_attempts: u32,
+    pub(super) commit_aborted: bool,
+    pub(super) vm_obj: Option<NestedVm>,
+    pub(super) degraded: SimDuration,
+}
+
+impl Controller {
+    /// Applies `f` to the migration's state machine, journaling a
+    /// [`Record::MigPhase`] on a legal phase change and a
+    /// [`Record::Illegal`] on a refusal. Returns true if `f` succeeded.
+    pub(super) fn mig_transition<F>(&mut self, mig: MigrationId, now: SimTime, f: F) -> bool
+    where
+        F: FnOnce(&mut MigrationFsm) -> Result<(), IllegalTransition>,
+    {
+        let res = match self.migrations.get_mut(&mig) {
+            Some(m) => {
+                let from = m.fsm.phase();
+                let r = f(&mut m.fsm);
+                let to = m.fsm.phase();
+                (from, r, to)
+            }
+            None => return false,
+        };
+        match res {
+            (from, Ok(()), to) => {
+                if to != from {
+                    self.journal.record(
+                        now,
+                        Subsystem::Migration,
+                        Record::MigPhase {
+                            mig,
+                            from: from.as_str(),
+                            to: to.as_str(),
+                        },
+                    );
+                }
+                true
+            }
+            (_, Err(e), _) => {
+                self.journal_illegal(mig, e, now);
+                false
+            }
+        }
+    }
+
+    /// Journals a refused migration transition.
+    pub(super) fn journal_illegal(&mut self, mig: MigrationId, e: IllegalTransition, now: SimTime) {
+        self.journal.record(
+            now,
+            Subsystem::Migration,
+            Record::Illegal {
+                mig,
+                from: e.from.as_str(),
+                attempted: e.attempted,
+            },
+        );
+    }
+
+    pub(super) fn start_migration(
+        &mut self,
+        vm: NestedVmId,
+        source: InstanceId,
+        deadline: SimTime,
+        concurrent: usize,
+        now: SimTime,
+        out: &mut Outbox,
+    ) {
+        self.start_migration_inner(vm, source, Some(deadline), concurrent, now, out);
+    }
+
+    /// Proactively evacuates every resident VM of `host` by live migration
+    /// (no warning involved, no downtime; §4.3's proactive optimization).
+    pub(super) fn start_proactive_evacuation(
+        &mut self,
+        host: InstanceId,
+        now: SimTime,
+        out: &mut Outbox,
+    ) {
+        let residents: Vec<NestedVmId> = self
+            .hosts
+            .get(&host)
+            .map(|i| i.hv.resident_ids())
+            .unwrap_or_default();
+        let concurrent = residents.len().max(1);
+        for vm in residents {
+            if self.vms.get(&vm).map(|r| r.status) == Some(VmStatus::Running)
+                && !self.returns.contains_key(&vm)
+            {
+                self.start_migration_inner(vm, host, None, concurrent, now, out);
+            }
+        }
+    }
+
+    pub(super) fn start_migration_inner(
+        &mut self,
+        vm: NestedVmId,
+        source: InstanceId,
+        deadline: Option<SimTime>,
+        concurrent: usize,
+        now: SimTime,
+        out: &mut Outbox,
+    ) {
+        let Some(record) = self.vms.get(&vm) else {
+            return;
+        };
+        let workload = record.workload;
+        let stateless = record.stateless;
+        self.set_status(Subsystem::Migration, vm, VmStatus::Migrating, now);
+        let id = MigrationId(self.next_migration);
+        self.next_migration += 1;
+        // Proactive moves (no deadline) always use live migration; so do
+        // stateless VMs (they have no backup to restore from); under a
+        // deadline the configured mechanism otherwise decides.
+        let proactive = deadline.is_none();
+        let live = proactive || stateless || self.cfg.mechanism == MechanismKind::XenLive;
+
+        let dirty = workload.dirty_model();
+        let pays_downtime = !live && self.cfg.mechanism.pays_cloud_op_downtime();
+        // Commit (or live-migrate) duration.
+        let (commit_duration, pause) = if live {
+            let pre = simulate_precopy(
+                self.vm_spec.mem_bytes,
+                &dirty,
+                &PreCopyConfig {
+                    bandwidth_bps: self.cfg.backup.nic_bps / concurrent as f64,
+                    ..PreCopyConfig::default()
+                },
+            );
+            (pre.total_duration, SimDuration::ZERO)
+        } else {
+            let commit = simulate_final_commit(
+                self.cfg.bounded.residue_budget_bytes(),
+                &dirty,
+                self.vm_spec.pages(),
+                self.cfg.backup.nic_bps / concurrent as f64,
+                &spotcheck_migrate::bounded::BoundedTimeConfig {
+                    ramp: self.cfg.mechanism.ramp(),
+                    ..self.cfg.bounded.clone()
+                },
+            );
+            (commit.commit_duration, commit.downtime)
+        };
+
+        // Degraded window / restore gate durations for this mechanism at
+        // this concurrency (live transfers restore nothing).
+        let (restore_gate, degraded) = if live {
+            (SimDuration::ZERO, SimDuration::ZERO)
+        } else {
+            match self.cfg.mechanism.restore() {
+                None => (SimDuration::ZERO, SimDuration::ZERO),
+                Some((mode, path)) => {
+                    let outs = simulate_concurrent_restores(
+                        concurrent,
+                        self.vm_spec.mem_bytes,
+                        self.vm_spec.skeleton_bytes(),
+                        mode,
+                        path,
+                        &self.cfg.backup,
+                        None,
+                    );
+                    let worst = &outs[outs.len() - 1];
+                    (worst.downtime, worst.degraded)
+                }
+            }
+        };
+
+        self.migrations.insert(
+            id,
+            Migration {
+                vm,
+                source,
+                dest: None,
+                fsm: MigrationFsm::new(),
+                commit_duration,
+                commit_pause: pause,
+                paused_at: None,
+                pays_downtime,
+                proactive,
+                live,
+                started_at: now,
+                dest_attempts: 0,
+                commit_aborted: false,
+                vm_obj: None,
+                degraded,
+            },
+        );
+        self.restore_gates.insert(id, restore_gate);
+        self.journal.record(
+            now,
+            Subsystem::Migration,
+            Record::MigStarted {
+                mig: id,
+                vm,
+                live,
+                proactive,
+            },
+        );
+
+        // Under a deadline, the commit (or live transfer) is deferred until
+        // the destination is ready — the ramped checkpointing of §5 runs
+        // through the warning period while the VM keeps serving — but a
+        // deadline guard forces it early enough that the state always
+        // reaches the backup before the platform pulls the plug. Proactive
+        // moves have no deadline: the transfer starts when the destination
+        // is up.
+        if let Some(deadline) = deadline {
+            let guard = deadline
+                .saturating_since(SimTime::ZERO)
+                .saturating_sub(commit_duration)
+                .saturating_sub(SimDuration::from_secs(2));
+            let guard_at = SimTime::ZERO + guard;
+            self.schedule(
+                Subsystem::Migration,
+                now,
+                guard_at.max(now),
+                Event::CommitStart(id),
+                out,
+            );
+        }
+
+        // Acquire a destination: hot spare if available, else a fresh
+        // on-demand server.
+        if let Some(spare) = self.spares.pop() {
+            if let Some(m) = self.migrations.get_mut(&id) {
+                m.dest = Some(spare);
+            }
+            self.mig_transition(id, now, |f| f.note_dest_ready());
+            self.start_commit(id, now, out);
+            // Refill the spare pool.
+            self.request_spare(now, out);
+        } else {
+            self.request_dest(id, now, out);
+        }
+    }
+
+    /// Acquires (or re-acquires) an on-demand destination for `mig`.
+    pub(super) fn request_dest(&mut self, mig: MigrationId, now: SimTime, out: &mut Outbox) {
+        let zone = spotcheck_spotmarket::market::ZoneName::new(self.cfg.zone.clone());
+        match self.eff_request_on_demand(
+            Subsystem::Migration,
+            "m3.medium",
+            &zone,
+            OpCtx::DestBoot(mig),
+            now,
+            out,
+        ) {
+            Ok(instance) => {
+                if let Some(m) = self.migrations.get_mut(&mig) {
+                    m.dest = Some(instance);
+                }
+            }
+            Err(_) => {
+                // On-demand stockout (§4.3): the VM's state is safe on
+                // the backup server; retry the destination with backoff
+                // so a zone-wide stockout isn't hammered in lockstep.
+                self.schedule_dest_retry(mig, now, out);
+            }
+        }
+    }
+
+    /// Schedules the next destination-acquisition retry for a stalled
+    /// migration through the resilience [`crate::retry::RetryPolicy`]
+    /// (capped exponential backoff, per-migration jitter). With retries
+    /// disabled (ablation), the migration simply stalls.
+    pub(super) fn schedule_dest_retry(&mut self, mig: MigrationId, now: SimTime, out: &mut Outbox) {
+        let (attempt, started) = match self.migrations.get_mut(&mig) {
+            Some(m) => {
+                m.dest_attempts += 1;
+                (m.dest_attempts, m.started_at)
+            }
+            None => return,
+        };
+        let policy = &self.cfg.resilience.retry;
+        if !self.cfg.resilience.retry_enabled || policy.deadline_exceeded(started, now) {
+            return;
+        }
+        let delay = policy.delay_for(attempt, mig.0);
+        self.journal.record(
+            now,
+            Subsystem::Migration,
+            Record::Retry {
+                what: "dest",
+                attempt,
+            },
+        );
+        self.schedule(
+            Subsystem::Migration,
+            now,
+            now + delay,
+            Event::CommitStart(mig),
+            out,
+        );
+    }
+
+    /// Begins a migration's final commit (idempotent).
+    pub(super) fn start_commit(&mut self, mig: MigrationId, now: SimTime, out: &mut Outbox) {
+        let res = match self.migrations.get_mut(&mig) {
+            Some(m) => match m.fsm.start_commit() {
+                Ok(true) => Ok(Some((m.pays_downtime, m.commit_pause, m.commit_duration))),
+                Ok(false) => Ok(None),
+                Err(e) => Err(e),
+            },
+            None => return,
+        };
+        match res {
+            Ok(Some((pays_downtime, pause, duration))) => {
+                if pays_downtime && !pause.is_zero() {
+                    self.schedule(
+                        Subsystem::Migration,
+                        now,
+                        now + duration.saturating_sub(pause),
+                        Event::PauseStart(mig),
+                        out,
+                    );
+                }
+                self.schedule(
+                    Subsystem::Migration,
+                    now,
+                    now + duration,
+                    Event::CommitDone(mig),
+                    out,
+                );
+            }
+            Ok(None) => {}
+            Err(e) => self.journal_illegal(mig, e, now),
+        }
+    }
+
+    /// Deadline guard / destination retry.
+    pub(super) fn on_commit_start(&mut self, mig: MigrationId, now: SimTime, out: &mut Outbox) {
+        // Ensure a destination acquisition is in flight (stockout retry).
+        let needs_dest = self
+            .migrations
+            .get(&mig)
+            .map(|m| m.dest.is_none())
+            .unwrap_or(false);
+        if needs_dest {
+            self.request_dest(mig, now, out);
+        }
+        self.start_commit(mig, now, out);
+    }
+
+    pub(super) fn on_pause_start(&mut self, mig: MigrationId, now: SimTime) {
+        if let Some(m) = self.migrations.get_mut(&mig) {
+            if m.pays_downtime && m.paused_at.is_none() {
+                m.paused_at = Some(now);
+                self.accounting.mark_down(m.vm, now);
+                if let Some(info) = self.hosts.get_mut(&m.source) {
+                    if let Some(v) = info.hv.vm_mut(m.vm) {
+                        v.state = NestedVmState::PausedForMigration;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The final commit landed on a non-live migration: its backup holds a
+    /// complete, current checkpoint. Then advance the handoff if ready.
+    pub(super) fn on_commit_done(&mut self, mig: MigrationId, now: SimTime, out: &mut Outbox) {
+        let (acked, illegal) = match self.migrations.get_mut(&mig) {
+            Some(m) => match m.fsm.note_commit_done() {
+                // A non-live final commit lands the VM's full residue on
+                // its backup server: the checkpoint there is now complete
+                // and current, superseding any re-replication in flight.
+                Ok(()) => ((!m.live && !m.commit_aborted).then_some(m.vm), None),
+                Err(e) => (None, Some(e)),
+            },
+            None => (None, None),
+        };
+        if let Some(e) = illegal {
+            self.journal_illegal(mig, e, now);
+        }
+        if let Some(vm) = acked {
+            self.ack_final_commit(vm, now);
+        }
+        self.try_advance(mig, now, out);
+    }
+
+    pub(super) fn try_advance(&mut self, mig: MigrationId, now: SimTime, out: &mut Outbox) {
+        let (vm, source) = {
+            let Some(m) = self.migrations.get_mut(&mig) else {
+                return;
+            };
+            if !m.fsm.ready_to_detach() {
+                return;
+            }
+            // The VM pauses no later than here (zero-pause mechanisms keep
+            // it conceptually running; EC2 ops still interrupt it — the
+            // paper's 22.65 s — unless the mechanism is idealized live
+            // migration).
+            if m.pays_downtime && m.paused_at.is_none() {
+                m.paused_at = Some(now);
+                self.accounting.mark_down(m.vm, now);
+            }
+            (m.vm, m.source)
+        };
+        // Detach the ENI and the volume from the source (only possible
+        // while the source still exists; a force-terminated source already
+        // released them).
+        let (eni, volume) = {
+            let r = self.vms.get(&vm).expect("migrating VM exists");
+            (r.eni, r.volume)
+        };
+        let mut pending = 0u8;
+        let source_alive = self
+            .cloud
+            .instance(source)
+            .map(|i| i.is_usable())
+            .unwrap_or(false);
+        if source_alive {
+            if let Some(eni) = eni {
+                if self.eff_detach_eni(Subsystem::Migration, eni, OpCtx::MigDetach(mig), now, out)
+                {
+                    pending += 1;
+                }
+            }
+            if self.eff_detach_volume(
+                Subsystem::Migration,
+                volume,
+                OpCtx::MigDetach(mig),
+                now,
+                out,
+            ) {
+                pending += 1;
+            }
+        }
+        self.mig_transition(mig, now, |f| f.begin_detach(pending));
+        if pending == 0 {
+            self.begin_attach(mig, now, out);
+        }
+    }
+
+    pub(super) fn on_mig_gate_done(&mut self, mig: MigrationId, now: SimTime, out: &mut Outbox) {
+        let res = match self.migrations.get_mut(&mig) {
+            Some(m) => m.fsm.op_done().map(|left| (left, m.fsm.phase())),
+            None => return,
+        };
+        match res {
+            Ok((0, MigPhase::Detaching)) => self.begin_attach(mig, now, out),
+            Ok((0, MigPhase::Attaching)) => self.complete_migration(mig, now, out),
+            Ok(_) => {}
+            Err(e) => self.journal_illegal(mig, e, now),
+        }
+    }
+
+    pub(super) fn begin_attach(&mut self, mig: MigrationId, now: SimTime, out: &mut Outbox) {
+        let (vm, source, dest, live) = match self.migrations.get(&mig) {
+            Some(m) => match m.dest {
+                Some(d) => (m.vm, m.source, d, m.live),
+                None => return,
+            },
+            None => return,
+        };
+        // Move the VM object: evicted from a still-alive source, carried
+        // across a forced termination (live transfers only), or resurrected
+        // from the backup server's checkpoint (non-live). A non-live VM
+        // with no source, no carried object, and no backup is gone — its
+        // memory existed nowhere else.
+        let vm_obj = self
+            .hosts
+            .get_mut(&source)
+            .and_then(|i| i.hv.evict(vm).ok())
+            .or_else(|| self.migrations.get_mut(&mig).and_then(|m| m.vm_obj.take()));
+        let vm_obj = match vm_obj {
+            Some(obj) => obj,
+            None => {
+                let has_backup = self
+                    .vms
+                    .get(&vm)
+                    .map(|r| r.backup.is_some())
+                    .unwrap_or(false);
+                if live || has_backup {
+                    NestedVm::new(vm, self.vm_spec, now)
+                } else {
+                    self.abort_lost(mig, vm, now, out);
+                    return;
+                }
+            }
+        };
+        // Relinquish the source once it has no residents left.
+        let source_empty = self
+            .hosts
+            .get(&source)
+            .map(|i| i.hv.resident_count() == 0)
+            .unwrap_or(false);
+        if source_empty
+            && self
+                .cloud
+                .instance(source)
+                .map(|i| i.is_usable())
+                .unwrap_or(false)
+        {
+            self.terminate_host(source, now, out);
+        }
+        // Admit at the destination.
+        if let Some(info) = self.hosts.get_mut(&dest) {
+            let mut obj = vm_obj;
+            obj.state = NestedVmState::Restoring;
+            let _ = info.hv.admit(obj);
+        }
+        // New ENI at the destination carrying the same private IP
+        // (Figure 4 / §3.4), plus the volume reattach, plus the memory
+        // restore gate.
+        let mut pending = self.attach_network_identity(
+            Subsystem::Migration,
+            vm,
+            dest,
+            OpCtx::MigAttach(mig),
+            now,
+            out,
+        );
+        let gate = self
+            .restore_gates
+            .get(&mig)
+            .copied()
+            .unwrap_or(SimDuration::ZERO);
+        self.schedule(
+            Subsystem::Migration,
+            now,
+            now + gate,
+            Event::RestoreDone(mig),
+            out,
+        );
+        pending += 1;
+        self.mig_transition(mig, now, move |f| f.begin_attach(pending));
+    }
+
+    pub(super) fn complete_migration(&mut self, mig: MigrationId, now: SimTime, out: &mut Outbox) {
+        self.mig_transition(mig, now, |f| f.complete());
+        let Some(m) = self.migrations.remove(&mig) else {
+            return;
+        };
+        self.restore_gates.remove(&mig);
+        let vm = m.vm;
+        let dest = m.dest.expect("dest ready");
+        self.journal
+            .record(now, Subsystem::Migration, Record::MigCompleted { mig, vm });
+        self.set_status(Subsystem::Migration, vm, VmStatus::Running, now);
+        if let Some(r) = self.vms.get_mut(&vm) {
+            r.host = Some(dest);
+        }
+        // Resume: downtime ends.
+        if m.paused_at.is_some() {
+            self.accounting.mark_up(vm, now);
+        }
+        if m.proactive {
+            self.accounting.count_proactive(vm);
+        } else {
+            self.accounting.count_migration(vm);
+        }
+        // The VM now sits on a non-revocable on-demand server: it no longer
+        // needs backup protection (§3.5), and any re-replication in flight
+        // is moot.
+        if self.backups.server_of(vm).is_some() {
+            let _ = self.backups.release(vm);
+        }
+        if let Some(r) = self.vms.get_mut(&vm) {
+            r.backup = None;
+        }
+        self.pending_rerepl.remove(&vm);
+        self.accounting.mark_protected(vm, now);
+        // Lazy restores run degraded while prefetching completes.
+        let state = if m.degraded.is_zero() {
+            NestedVmState::Running
+        } else {
+            let epoch = self.degraded_epoch.entry(vm).or_insert(0);
+            *epoch += 1;
+            let epoch = *epoch;
+            self.accounting.mark_degraded(vm, now);
+            self.schedule(
+                Subsystem::Migration,
+                now,
+                now + m.degraded,
+                Event::DegradedEnd { vm, epoch },
+                out,
+            );
+            NestedVmState::LazyRestoring
+        };
+        if let Some(info) = self.hosts.get_mut(&dest) {
+            if let Some(v) = info.hv.vm_mut(vm) {
+                v.state = state;
+            }
+        }
+    }
+
+    /// Aborts a migration whose VM's memory is unrecoverable: the source
+    /// is gone, nothing was carried forward, and no backup holds a copy.
+    pub(super) fn abort_lost(
+        &mut self,
+        mig: MigrationId,
+        vm: NestedVmId,
+        now: SimTime,
+        out: &mut Outbox,
+    ) {
+        self.mig_transition(mig, now, |f| f.abort());
+        let Some(m) = self.migrations.remove(&mig) else {
+            return;
+        };
+        self.restore_gates.remove(&mig);
+        self.journal
+            .record(now, Subsystem::Migration, Record::MigAborted { mig, vm });
+        if m.paused_at.is_none() {
+            self.accounting.mark_down(vm, now);
+        }
+        self.accounting.count_lost();
+        self.pending_rerepl.remove(&vm);
+        self.set_status(Subsystem::Migration, vm, VmStatus::Lost, now);
+        if let Some(r) = self.vms.get_mut(&vm) {
+            r.host = None;
+        }
+        self.journal
+            .record(now, Subsystem::Migration, Record::VmLost { vm });
+        // Release the destination we acquired for a VM that will never
+        // arrive.
+        if let Some(dest) = m.dest {
+            let empty = self
+                .hosts
+                .get(&dest)
+                .map(|i| i.hv.resident_count() == 0)
+                .unwrap_or(false);
+            if empty {
+                self.terminate_host(dest, now, out);
+            }
+        }
+    }
+
+    /// A migration's destination host finished booting.
+    pub(super) fn on_dest_boot(
+        &mut self,
+        mig: MigrationId,
+        instance: InstanceId,
+        now: SimTime,
+        out: &mut Outbox,
+    ) {
+        let slots = self
+            .cloud
+            .instance(instance)
+            .expect("instance exists")
+            .spec
+            .medium_slots;
+        self.hosts.insert(
+            instance,
+            HostInfo {
+                hv: HostVm::new(slots),
+                market: None,
+            },
+        );
+        if self.migrations.contains_key(&mig) {
+            self.mig_transition(mig, now, |f| f.note_dest_ready());
+        }
+        self.start_commit(mig, now, out);
+        self.try_advance(mig, now, out);
+    }
+}

@@ -1,0 +1,615 @@
+//! The SpotCheck controller (paper §5), decomposed into subsystems.
+//!
+//! The controller interfaces between customers and the native IaaS
+//! platform: it provisions nested VMs on the cheapest suitable spot
+//! servers (slicing larger servers when per-slot prices favor it), assigns
+//! backup servers, reacts to revocation warnings by orchestrating
+//! bounded-time migrations to on-demand servers (using hot spares when
+//! configured), moves each VM's private IP and EBS volume to the
+//! destination, and migrates VMs back to their home spot pool when spikes
+//! abate.
+//!
+//! The controller is a passive state machine driven by [`Event`]s: every
+//! handler takes the current time and returns follow-up events for the
+//! driver to schedule. This mirrors the paper's centralized controller
+//! design ("maintains a global and consistent view of SpotCheck's state").
+//!
+//! # Architecture
+//!
+//! The implementation is split into focused subsystem modules, each an
+//! `impl Controller` block over the same flat state database (the paper's
+//! controller keeps one global view; so does ours):
+//!
+//! - [`effects`] — the typed effect bus: every platform mutation and
+//!   every scheduled follow-up event funnels through an `eff_*` method
+//!   that executes the effect synchronously (preserving the platform's
+//!   seeded latency-draw order) and journals it.
+//! - [`pools`] — host/spare pool management and host termination.
+//! - [`provision`] — VM provisioning, placement, and the slicing ladder.
+//! - [`migration`] — the bounded-time migration orchestrator around the
+//!   explicit typed state machine [`MigrationFsm`].
+//! - [`replication`] — backup assignment and epoch-guarded re-replication.
+//! - [`recovery`] — crash taxonomy, forced termination, and warnings.
+//! - [`returns`] — return-to-spot live migrations.
+//!
+//! Every subsystem threads the structured [`Journal`]
+//! (see [`crate::journal`]) so a run's internal activity can be queried
+//! and dumped after the fact.
+
+mod effects;
+mod fsm;
+mod migration;
+mod pools;
+mod provision;
+mod recovery;
+mod replication;
+mod returns;
+
+pub use fsm::{IllegalTransition, MigPhase, MigrationFsm};
+
+use std::collections::BTreeMap;
+
+use spotcheck_backup::pool::{BackupPool, BackupServerId};
+use spotcheck_cloudsim::cloud::CloudSim;
+use spotcheck_cloudsim::error::CloudError;
+use spotcheck_cloudsim::ids::{InstanceId, OpId, PrivateIp, VolumeId};
+use spotcheck_cloudsim::instance::InstanceState;
+use spotcheck_cloudsim::cloud::Notification;
+use spotcheck_nestedvm::vm::{NestedVmId, NestedVmSpec};
+use spotcheck_simcore::time::{SimDuration, SimTime};
+use spotcheck_spotmarket::market::MarketId;
+use spotcheck_workloads::WorkloadKind;
+
+use crate::accounting::{Accounting, AvailabilityReport};
+use crate::config::SpotCheckConfig;
+use crate::events::Event;
+use crate::journal::{Journal, Record, Subsystem};
+use crate::retry::MarketHealth;
+use crate::types::{Customer, CustomerId, MigrationId, VmRecord, VmStatus};
+
+use effects::OpCtx;
+use migration::Migration;
+use pools::HostInfo;
+use returns::ReturnState;
+
+/// Scheduled follow-up events returned by controller handlers.
+pub type Outbox = Vec<(SimTime, Event)>;
+
+/// Controller errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControllerError {
+    /// Unknown customer.
+    UnknownCustomer(CustomerId),
+    /// Unknown nested VM.
+    UnknownVm(NestedVmId),
+    /// Underlying cloud error.
+    Cloud(CloudError),
+    /// The request cannot be satisfied right now.
+    Unsatisfiable(String),
+}
+
+impl std::fmt::Display for ControllerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ControllerError::UnknownCustomer(c) => write!(f, "unknown customer {c}"),
+            ControllerError::UnknownVm(v) => write!(f, "unknown nested VM {v}"),
+            ControllerError::Cloud(e) => write!(f, "cloud error: {e}"),
+            ControllerError::Unsatisfiable(s) => write!(f, "unsatisfiable: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ControllerError {}
+
+impl From<CloudError> for ControllerError {
+    fn from(e: CloudError) -> Self {
+        ControllerError::Cloud(e)
+    }
+}
+
+/// Cost summary of a run.
+#[derive(Debug, Clone, Copy)]
+pub struct CostReport {
+    /// Dollars spent on native instances (hosts, spares, destinations).
+    pub native_cost: f64,
+    /// Dollars spent on backup servers.
+    pub backup_cost: f64,
+    /// Total dollars.
+    pub total: f64,
+    /// Sum of tracked VM-hours.
+    pub vm_hours: f64,
+    /// Average $/VM-hr.
+    pub cost_per_vm_hr: f64,
+}
+
+/// The SpotCheck controller.
+pub struct Controller {
+    cfg: SpotCheckConfig,
+    cloud: CloudSim,
+    vm_spec: NestedVmSpec,
+    hosts: BTreeMap<InstanceId, HostInfo>,
+    customers: BTreeMap<CustomerId, Customer>,
+    vms: BTreeMap<NestedVmId, VmRecord>,
+    backups: BackupPool,
+    backup_birth: BTreeMap<BackupServerId, SimTime>,
+    backup_death: BTreeMap<BackupServerId, SimTime>,
+    spares: Vec<InstanceId>,
+    op_ctx: BTreeMap<OpId, OpCtx>,
+    host_waiters: BTreeMap<InstanceId, Vec<NestedVmId>>,
+    provision_pending: BTreeMap<NestedVmId, u8>,
+    migrations: BTreeMap<MigrationId, Migration>,
+    /// Restore-gate duration (skeleton or full-image read) per migration.
+    restore_gates: BTreeMap<MigrationId, SimDuration>,
+    returns: BTreeMap<NestedVmId, ReturnState>,
+    degraded_epoch: BTreeMap<NestedVmId, u32>,
+    /// VMs whose backup server holds an incomplete image (re-replication
+    /// in flight). Value is the epoch guarding the pending
+    /// [`Event::ReplicationDone`].
+    pending_rerepl: BTreeMap<NestedVmId, u32>,
+    repl_epoch: u32,
+    /// Failed host-acquisition attempts per still-provisioning VM, for
+    /// backoff on the retry.
+    provision_attempts: BTreeMap<NestedVmId, u32>,
+    market_health: MarketHealth,
+    accounting: Accounting,
+    journal: Journal,
+    next_customer: u64,
+    next_vm: u64,
+    next_migration: u64,
+}
+
+impl Controller {
+    /// Creates a controller over a cloud platform.
+    pub fn new(cloud: CloudSim, cfg: SpotCheckConfig) -> Self {
+        let backups = BackupPool::new(cfg.backup.clone());
+        let market_health = MarketHealth::new(cfg.resilience.health.clone());
+        Controller {
+            cfg,
+            cloud,
+            vm_spec: NestedVmSpec::medium(),
+            hosts: BTreeMap::new(),
+            customers: BTreeMap::new(),
+            vms: BTreeMap::new(),
+            backups,
+            backup_birth: BTreeMap::new(),
+            backup_death: BTreeMap::new(),
+            spares: Vec::new(),
+            op_ctx: BTreeMap::new(),
+            host_waiters: BTreeMap::new(),
+            provision_pending: BTreeMap::new(),
+            migrations: BTreeMap::new(),
+            restore_gates: BTreeMap::new(),
+            returns: BTreeMap::new(),
+            degraded_epoch: BTreeMap::new(),
+            pending_rerepl: BTreeMap::new(),
+            repl_epoch: 0,
+            provision_attempts: BTreeMap::new(),
+            market_health,
+            accounting: Accounting::new(),
+            journal: Journal::new(),
+            next_customer: 0,
+            next_vm: 0,
+            next_migration: 0,
+        }
+    }
+
+    /// Shared view of the cloud platform.
+    pub fn cloud(&self) -> &CloudSim {
+        &self.cloud
+    }
+
+    /// Returns the configuration.
+    pub fn config(&self) -> &SpotCheckConfig {
+        &self.cfg
+    }
+
+    /// The structured event journal of this run (always on).
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// Returns a VM's record.
+    pub fn vm(&self, id: NestedVmId) -> Result<&VmRecord, ControllerError> {
+        self.vms.get(&id).ok_or(ControllerError::UnknownVm(id))
+    }
+
+    /// Number of in-flight migrations.
+    pub fn active_migrations(&self) -> usize {
+        self.migrations.len()
+    }
+
+    /// Currently idle hot spares.
+    pub fn idle_spares(&self) -> usize {
+        self.spares.len()
+    }
+
+    /// Bootstraps the deployment: schedules the first price-change event of
+    /// every market and boots the configured hot spares.
+    pub fn bootstrap(&mut self, now: SimTime) -> Outbox {
+        let mut out = Vec::new();
+        let markets: Vec<MarketId> = self.cloud.markets().cloned().collect();
+        for m in markets {
+            if let Some(trace) = self.cloud.market_trace(&m) {
+                if let Some((t, _)) = trace.prices.next_change_after(now) {
+                    self.schedule(Subsystem::Controller, now, t, Event::PriceChange(m), &mut out);
+                }
+            }
+        }
+        for _ in 0..self.cfg.hot_spares {
+            self.request_spare(now, &mut out);
+        }
+        // Arm the platform's first scheduled fault, if any; each delivery
+        // re-arms the next (mirrors the price-change cursor).
+        if let Some((t, f)) = self.cloud.next_scheduled_fault() {
+            self.schedule(Subsystem::Controller, now, t.max(now), Event::Fault(f), &mut out);
+        }
+        out
+    }
+
+    /// Registers a new customer, carving them a VPC subnet.
+    pub fn create_customer(&mut self) -> CustomerId {
+        let id = CustomerId(self.next_customer);
+        self.next_customer += 1;
+        let subnet = self.cloud.create_subnet();
+        self.customers.insert(
+            id,
+            Customer {
+                id,
+                subnet,
+                vms: Vec::new(),
+            },
+        );
+        id
+    }
+
+    /// Handles a customer's request for a (medium) nested VM. Returns the
+    /// VM id immediately; provisioning proceeds asynchronously.
+    pub fn request_server(
+        &mut self,
+        customer: CustomerId,
+        workload: WorkloadKind,
+        now: SimTime,
+    ) -> Result<(NestedVmId, Outbox), ControllerError> {
+        self.request_server_opts(customer, workload, false, now)
+    }
+
+    /// Like [`Controller::request_server`], with the stateless flag: a
+    /// stateless VM is never assigned a backup server and is live-migrated
+    /// on revocation (§4.2 — replicated tiers tolerate failures, so the
+    /// backup cost can be skipped).
+    pub fn request_server_opts(
+        &mut self,
+        customer: CustomerId,
+        workload: WorkloadKind,
+        stateless: bool,
+        now: SimTime,
+    ) -> Result<(NestedVmId, Outbox), ControllerError> {
+        let subnet = self
+            .customers
+            .get(&customer)
+            .ok_or(ControllerError::UnknownCustomer(customer))?
+            .subnet;
+        let id = NestedVmId(self.next_vm);
+        self.next_vm += 1;
+        let ip = self.cloud.allocate_ip(subnet);
+        let volume = self.cloud.create_volume(8.0);
+        self.vms.insert(
+            id,
+            VmRecord {
+                id,
+                customer,
+                workload,
+                stateless,
+                ip,
+                volume,
+                eni: None,
+                host: None,
+                home_market: None,
+                backup: None,
+                status: VmStatus::Provisioning,
+                requested_at: now,
+                first_running_at: None,
+                checkpoint_acked_at: None,
+            },
+        );
+        self.customers
+            .get_mut(&customer)
+            .expect("customer exists")
+            .vms
+            .push(id);
+        let mut out = Vec::new();
+        self.schedule(Subsystem::Controller, now, now, Event::ProvisionVm(id), &mut out);
+        Ok((id, out))
+    }
+
+    /// Releases a nested VM back to SpotCheck.
+    pub fn release_server(
+        &mut self,
+        vm: NestedVmId,
+        now: SimTime,
+    ) -> Result<Outbox, ControllerError> {
+        if !self.vms.contains_key(&vm) {
+            return Err(ControllerError::UnknownVm(vm));
+        }
+        self.set_status(Subsystem::Controller, vm, VmStatus::Released, now);
+        let host = {
+            let record = self.vms.get_mut(&vm).expect("checked above");
+            let host = record.host.take();
+            if let Some(b) = record.backup.take() {
+                let _ = self.backups.release(vm);
+                let _ = b;
+            }
+            host
+        };
+        let mut out = Vec::new();
+        if let Some(h) = host {
+            if let Some(info) = self.hosts.get_mut(&h) {
+                let _ = info.hv.evict(vm);
+                if info.hv.resident_count() == 0 {
+                    self.terminate_host(h, now, &mut out);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The main event dispatcher.
+    pub fn handle_event(&mut self, event: Event, now: SimTime) -> Outbox {
+        let mut out = Vec::new();
+        match event {
+            Event::PriceChange(market) => self.on_price_change(&market, now, &mut out),
+            Event::CloudOp(op) => self.on_cloud_op(op, now, &mut out),
+            Event::ForcedTermination(instance) => {
+                self.on_forced_termination(instance, now, &mut out)
+            }
+            Event::ProvisionVm(vm) => self.on_provision(vm, now, &mut out),
+            Event::CommitStart(mig) => self.on_commit_start(mig, now, &mut out),
+            Event::PauseStart(mig) => self.on_pause_start(mig, now),
+            Event::CommitDone(mig) => self.on_commit_done(mig, now, &mut out),
+            Event::RestoreDone(mig) => self.on_mig_gate_done(mig, now, &mut out),
+            Event::DegradedEnd { vm, epoch } => self.on_degraded_end(vm, epoch, now),
+            Event::ReturnTransferDone(vm) => self.on_return_transfer_done(vm, now, &mut out),
+            Event::Fault(f) => self.on_fault(&f, now, &mut out),
+            Event::ReplicationDone { vm, epoch } => self.on_replication_done(vm, epoch, now),
+            Event::RetryTerminate { instance, attempt } => {
+                self.on_retry_terminate(instance, attempt, now, &mut out)
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Price dynamics
+    // ------------------------------------------------------------------
+
+    fn on_price_change(&mut self, market: &MarketId, now: SimTime, out: &mut Outbox) {
+        // Re-arm the next change event for this market.
+        if let Some(trace) = self.cloud.market_trace(market) {
+            if let Some((t, _)) = trace.prices.next_change_after(now) {
+                self.schedule(
+                    Subsystem::Controller,
+                    now,
+                    t,
+                    Event::PriceChange(market.clone()),
+                    out,
+                );
+            }
+        }
+        // Revocation dynamics: warnings for spot instances whose bid is now
+        // under water.
+        let warnings = self.cloud.apply_price_change(market, now);
+        for w in warnings {
+            self.schedule(
+                Subsystem::Controller,
+                now,
+                w.terminate_at,
+                Event::ForcedTermination(w.instance),
+                out,
+            );
+            self.on_warning(w.instance, w.terminate_at, now, out);
+        }
+        // Proactive dynamics (k>1 bids with proactive monitoring, §4.3):
+        // when the price crosses the on-demand threshold but stays below
+        // the bid, live-migrate away before any warning can arrive.
+        if let Some(od) = self
+            .cloud
+            .spec(market.type_name.as_str())
+            .map(|s| s.on_demand_price)
+        {
+            let threshold = self.cfg.bidding.proactive_threshold(od);
+            let price = self.cloud.spot_price(market, now);
+            let bid = self.cfg.bidding.bid(od);
+            if let (Some(th), Some(p)) = (threshold, price) {
+                if p > th && p <= bid {
+                    let hosts_in_market: Vec<InstanceId> = self
+                        .hosts
+                        .iter()
+                        .filter(|(id, info)| {
+                            info.market.as_ref() == Some(market)
+                                && self
+                                    .cloud
+                                    .instance(**id)
+                                    .map(|i| matches!(i.state, InstanceState::Running))
+                                    .unwrap_or(false)
+                        })
+                        .map(|(id, _)| *id)
+                        .collect();
+                    for host in hosts_in_market {
+                        self.start_proactive_evacuation(host, now, out);
+                    }
+                }
+            }
+        }
+        // Allocation dynamics: if this market is now cheaper than
+        // on-demand, bring home VMs that fled to on-demand.
+        if self.cfg.return_to_spot {
+            let price = self.cloud.spot_price(market, now);
+            let od = self
+                .cloud
+                .spec(market.type_name.as_str())
+                .map(|s| s.on_demand_price);
+            if let (Some(p), Some(od)) = (price, od) {
+                if p < od {
+                    let candidates: Vec<NestedVmId> = self
+                        .vms
+                        .values()
+                        .filter(|r| {
+                            r.status == VmStatus::Running
+                                && r.home_market.as_ref() == Some(market)
+                                && !self.returns.contains_key(&r.id)
+                                && r.host
+                                    .and_then(|h| self.hosts.get(&h))
+                                    .map(|i| i.market.is_none())
+                                    .unwrap_or(false)
+                        })
+                        .map(|r| r.id)
+                        .collect();
+                    for vm in candidates {
+                        self.start_return(vm, market.clone(), now, out);
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Cloud-op completion dispatch
+    // ------------------------------------------------------------------
+
+    fn on_cloud_op(&mut self, op: OpId, now: SimTime, out: &mut Outbox) {
+        let Some(ctx) = self.op_ctx.remove(&op) else {
+            return;
+        };
+        let notif = match self.cloud.complete_op(op, now) {
+            Ok(n) => n,
+            Err(_) => {
+                self.journal.record(
+                    now,
+                    Subsystem::Controller,
+                    Record::OpDelivered {
+                        purpose: ctx.kind(),
+                        outcome: "error",
+                    },
+                );
+                return;
+            }
+        };
+        self.journal.record(
+            now,
+            Subsystem::Controller,
+            Record::OpDelivered {
+                purpose: ctx.kind(),
+                outcome: notif.kind(),
+            },
+        );
+        match (ctx, notif) {
+            (OpCtx::HostBoot, Notification::InstanceStarted { instance }) => {
+                self.on_host_boot(instance, now, out);
+            }
+            (OpCtx::HostBoot, Notification::SpotStartFailed { instance }) => {
+                self.on_host_boot_failed(instance, now, out);
+            }
+            (OpCtx::SpareBoot, Notification::InstanceStarted { instance }) => {
+                self.on_spare_ready(instance);
+            }
+            (OpCtx::DestBoot(mig), Notification::InstanceStarted { instance }) => {
+                self.on_dest_boot(mig, instance, now, out);
+            }
+            (OpCtx::ProvisionAttach(vm), n) => self.on_provision_attach(vm, &n, now, out),
+            (OpCtx::MigDetach(mig), _) => self.on_mig_gate_done(mig, now, out),
+            (OpCtx::MigAttach(mig), n) => match n {
+                Notification::EniAttachFailed { .. } | Notification::VolumeAttachFailed { .. } => {
+                    // The on-demand destination cannot be revoked; a failure
+                    // here means the driver terminated it externally. Drop
+                    // the gate so the migration can still complete.
+                    self.on_mig_gate_done(mig, now, out);
+                }
+                _ => self.on_mig_gate_done(mig, now, out),
+            },
+            (OpCtx::ReturnBoot(vm), Notification::InstanceStarted { instance }) => {
+                self.on_return_boot(vm, instance, now, out);
+            }
+            (OpCtx::ReturnBoot(vm), Notification::SpotStartFailed { .. }) => {
+                self.on_return_boot_failed(vm, now);
+            }
+            (OpCtx::ReturnDetach(vm), _) => self.on_return_detach(vm, now, out),
+            (OpCtx::ReturnAttach(vm), _) => self.on_return_attach(vm, now),
+            (OpCtx::Terminate, _) => {}
+            // Remaining combinations (e.g. a boot op completing after its
+            // purpose evaporated) are benign.
+            _ => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Reporting (read-only: all inspection methods take `&self`)
+    // ------------------------------------------------------------------
+
+    /// Availability/degradation report across all VMs, reading clocks at
+    /// `now` without mutating them.
+    pub fn availability_report(&self, now: SimTime) -> AvailabilityReport {
+        self.accounting.report(now)
+    }
+
+    /// Cost report at `now`.
+    pub fn cost_report(&self, now: SimTime) -> CostReport {
+        let mut native = 0.0;
+        for inst in self.cloud.instances() {
+            native += self.cloud.instance_cost(inst.id, now).unwrap_or(0.0);
+        }
+        let mut backup = 0.0;
+        for (id, birth) in self.backup_birth.iter() {
+            // A failed backup server stops billing at its death.
+            let end = self
+                .backup_death
+                .get(id)
+                .copied()
+                .unwrap_or(now)
+                .min(now);
+            backup += self.cfg.backup.hourly_price * end.saturating_since(*birth).as_hours_f64();
+        }
+        let mut vm_hours = 0.0;
+        for r in self.vms.values() {
+            if let Some(start) = r.first_running_at {
+                vm_hours += now.saturating_since(start).as_hours_f64();
+            }
+        }
+        let total = native + backup;
+        CostReport {
+            native_cost: native,
+            backup_cost: backup,
+            total,
+            vm_hours,
+            cost_per_vm_hr: if vm_hours > 0.0 { total / vm_hours } else { 0.0 },
+        }
+    }
+
+    /// Number of VMs currently in each status (for tests/diagnostics).
+    pub fn status_counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut counts = BTreeMap::new();
+        for r in self.vms.values() {
+            *counts.entry(r.status.as_str()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Markets whose health circuit is currently open (diagnostics).
+    pub fn open_markets(&self, now: SimTime) -> Vec<MarketId> {
+        self.market_health.open_markets(now)
+    }
+
+    /// VMs currently awaiting a re-replication push (diagnostics).
+    pub fn pending_rereplications(&self) -> usize {
+        self.pending_rerepl.len()
+    }
+
+    /// The private IP of a VM (stable across migrations).
+    pub fn vm_ip(&self, vm: NestedVmId) -> Option<PrivateIp> {
+        self.vms.get(&vm).map(|r| r.ip)
+    }
+
+    /// The EBS volume of a VM.
+    pub fn vm_volume(&self, vm: NestedVmId) -> Option<VolumeId> {
+        self.vms.get(&vm).map(|r| r.volume)
+    }
+}

@@ -1,0 +1,125 @@
+//! Host and spare pool management.
+//!
+//! Owns the lifecycle of native instances used as nested-VM hosts: hot
+//! spares (paper §4.3 — pre-booted on-demand servers that absorb the
+//! destination boot latency of a migration) and host termination with
+//! retry-on-transient-error backoff (a leaked host bills forever).
+
+use spotcheck_cloudsim::error::CloudError;
+use spotcheck_cloudsim::ids::InstanceId;
+use spotcheck_nestedvm::host::HostVm;
+use spotcheck_simcore::time::SimTime;
+use spotcheck_spotmarket::market::MarketId;
+
+use crate::events::Event;
+use crate::journal::{Record, Subsystem};
+
+use super::effects::OpCtx;
+use super::{Controller, Outbox};
+
+/// A native instance hosting nested VMs.
+pub(super) struct HostInfo {
+    /// The hypervisor state (slots, residents).
+    pub(super) hv: HostVm,
+    /// The spot market it was bought in (`None` for on-demand).
+    pub(super) market: Option<MarketId>,
+}
+
+impl Controller {
+    /// Maximum attempts for a transiently-failing terminate before giving
+    /// up (the instance is then assumed externally reclaimed).
+    pub(super) const MAX_TERMINATE_ATTEMPTS: u32 = 8;
+
+    /// Boots one on-demand hot spare.
+    pub(super) fn request_spare(&mut self, now: SimTime, out: &mut Outbox) {
+        let zone = spotcheck_spotmarket::market::ZoneName::new(self.cfg.zone.clone());
+        let _ = self.eff_request_on_demand(
+            Subsystem::Pools,
+            "m3.medium",
+            &zone,
+            OpCtx::SpareBoot,
+            now,
+            out,
+        );
+    }
+
+    /// A spare finished booting: add it to the idle pool.
+    pub(super) fn on_spare_ready(&mut self, instance: InstanceId) {
+        let slots = self
+            .cloud
+            .instance(instance)
+            .expect("instance exists")
+            .spec
+            .medium_slots;
+        self.hosts.insert(
+            instance,
+            HostInfo {
+                hv: HostVm::new(slots),
+                market: None,
+            },
+        );
+        self.spares.push(instance);
+    }
+
+    /// Terminates a host, retrying on transient API errors.
+    pub(super) fn terminate_host(&mut self, instance: InstanceId, now: SimTime, out: &mut Outbox) {
+        self.hosts.remove(&instance);
+        match self.eff_terminate(Subsystem::Pools, instance, now, out) {
+            Ok(()) => {}
+            Err(CloudError::ApiUnavailable) if self.cfg.resilience.retry_enabled => {
+                // Transient API error: a leaked host bills forever, so keep
+                // retrying with backoff rather than dropping the terminate.
+                let delay = self.cfg.resilience.retry.delay_for(1, instance.0);
+                self.journal.record(
+                    now,
+                    Subsystem::Pools,
+                    Record::Retry {
+                        what: "terminate",
+                        attempt: 1,
+                    },
+                );
+                self.schedule(
+                    Subsystem::Pools,
+                    now,
+                    now + delay,
+                    Event::RetryTerminate { instance, attempt: 1 },
+                    out,
+                );
+            }
+            Err(_) => {}
+        }
+    }
+
+    /// Retry of a transiently-failed terminate.
+    pub(super) fn on_retry_terminate(
+        &mut self,
+        instance: InstanceId,
+        attempt: u32,
+        now: SimTime,
+        out: &mut Outbox,
+    ) {
+        match self.eff_terminate(Subsystem::Pools, instance, now, out) {
+            Ok(()) => {}
+            Err(CloudError::ApiUnavailable) if attempt < Self::MAX_TERMINATE_ATTEMPTS => {
+                let next = attempt + 1;
+                let delay = self.cfg.resilience.retry.delay_for(next, instance.0);
+                self.journal.record(
+                    now,
+                    Subsystem::Pools,
+                    Record::Retry {
+                        what: "terminate",
+                        attempt: next,
+                    },
+                );
+                self.schedule(
+                    Subsystem::Pools,
+                    now,
+                    now + delay,
+                    Event::RetryTerminate { instance, attempt: next },
+                    out,
+                );
+            }
+            Err(_) => {}
+        }
+    }
+}

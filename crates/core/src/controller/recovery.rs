@@ -1,0 +1,319 @@
+//! Crash taxonomy, forced termination, and revocation warnings.
+//!
+//! The recovery subsystem owns every path where capacity disappears: the
+//! platform's forced termination at a warning's deadline, injected
+//! instance crash-stops (no warning, memory lost), backup-server failures
+//! (relayed to [`super::replication`]), and the triage of each affected
+//! VM — recover from the backup checkpoint, re-provision from scratch, or
+//! declare it lost.
+
+use spotcheck_cloudsim::cloud::Notification;
+use spotcheck_cloudsim::faults::FaultEvent;
+use spotcheck_cloudsim::ids::InstanceId;
+use spotcheck_migrate::restore::simulate_concurrent_restores;
+use spotcheck_nestedvm::vm::{NestedVmId, NestedVmState};
+use spotcheck_simcore::time::{SimDuration, SimTime};
+
+use crate::events::Event;
+use crate::journal::{Record, Subsystem};
+use crate::types::{MigrationId, VmStatus};
+
+use super::fsm::{MigPhase, MigrationFsm};
+use super::migration::Migration;
+use super::{Controller, Outbox};
+
+impl Controller {
+    /// A revocation warning arrived for `instance` (terminates at
+    /// `deadline`): start a bounded-time migration for every running
+    /// resident.
+    pub(super) fn on_warning(
+        &mut self,
+        instance: InstanceId,
+        deadline: SimTime,
+        now: SimTime,
+        out: &mut Outbox,
+    ) {
+        self.journal
+            .record(now, Subsystem::Recovery, Record::Warning { instance });
+        let residents: Vec<NestedVmId> = self
+            .hosts
+            .get(&instance)
+            .map(|i| i.hv.resident_ids())
+            .unwrap_or_default();
+        let concurrent = residents.len().max(1);
+        for vm in residents {
+            // Skip VMs already mid-migration or being returned.
+            if self.vms.get(&vm).map(|r| r.status) == Some(VmStatus::Running)
+                && !self.returns.contains_key(&vm)
+            {
+                self.accounting.count_revocation(vm);
+                self.start_migration(vm, instance, deadline, concurrent, now, out);
+            }
+        }
+    }
+
+    /// The platform reclaims a revoked spot instance at its deadline.
+    pub(super) fn on_forced_termination(
+        &mut self,
+        instance: InstanceId,
+        now: SimTime,
+        out: &mut Outbox,
+    ) {
+        // Carry still-resident VM objects into their LIVE migrations before
+        // the host record disappears: a live transfer streams memory
+        // source-to-destination, so the object survives the termination.
+        // Non-live (bounded-time) migrations restore strictly from the
+        // backup server's last acked checkpoint — carrying the object would
+        // smuggle state that never reached the backup.
+        if let Some(info) = self.hosts.get_mut(&instance) {
+            let residents = info.hv.resident_ids();
+            for vm in residents {
+                if let Some((_, m)) = self
+                    .migrations
+                    .iter_mut()
+                    .find(|(_, m)| m.vm == vm && m.source == instance)
+                {
+                    if m.live {
+                        if let Ok(obj) = info.hv.evict(vm) {
+                            m.vm_obj = Some(obj);
+                        }
+                    }
+                }
+            }
+        }
+        let reclaimed = self.eff_force_terminate(Subsystem::Recovery, instance, now);
+        if reclaimed {
+            self.hosts.remove(&instance);
+        }
+        let _ = out;
+    }
+
+    /// Delivers one scheduled platform fault.
+    pub(super) fn on_fault(&mut self, event: &FaultEvent, now: SimTime, out: &mut Outbox) {
+        // Re-arm the next scheduled fault before reacting to this one.
+        if let Some((t, f)) = self.cloud.next_scheduled_fault() {
+            self.schedule(Subsystem::Recovery, now, t.max(now), Event::Fault(f), out);
+        }
+        let impact = self.cloud.apply_fault(event, now);
+        let crashes = impact
+            .notifications
+            .iter()
+            .filter(|n| matches!(n, Notification::InstanceCrashed { .. }))
+            .count() as u32;
+        self.journal.record(
+            now,
+            Subsystem::Recovery,
+            Record::Fault {
+                kind: event.kind(),
+                warnings: impact.warnings.len() as u32,
+                crashes,
+            },
+        );
+        // Revocation storms: ordinary warnings, just many at once.
+        for w in &impact.warnings {
+            self.schedule(
+                Subsystem::Recovery,
+                now,
+                w.terminate_at,
+                Event::ForcedTermination(w.instance),
+                out,
+            );
+            self.on_warning(w.instance, w.terminate_at, now, out);
+        }
+        for n in &impact.notifications {
+            if let Notification::InstanceCrashed { instance } = n {
+                self.on_instance_crash(*instance, now, out);
+            }
+        }
+        if let Some(pick) = impact.backup_pick {
+            self.on_backup_failure(pick, now, out);
+        }
+    }
+
+    /// A native instance crash-stopped: no warning, memory lost. Each
+    /// resident VM recovers from its backup's last acked checkpoint,
+    /// re-provisions from scratch (stateless), or — if its state existed
+    /// nowhere but the dead host — is lost.
+    pub(super) fn on_instance_crash(
+        &mut self,
+        instance: InstanceId,
+        now: SimTime,
+        out: &mut Outbox,
+    ) {
+        self.accounting.count_crash();
+        self.spares.retain(|s| *s != instance);
+        let (residents, was_spot) = self
+            .hosts
+            .remove(&instance)
+            .map(|i| (i.hv.resident_ids(), i.market.is_some()))
+            .unwrap_or((Vec::new(), false));
+        // Migrations streaming their final commit FROM the crashed host die
+        // mid-push: the backup must not be credited with a fresh ack.
+        for m in self.migrations.values_mut() {
+            if m.source == instance && !m.fsm.commit_done() {
+                m.commit_aborted = true;
+            }
+        }
+        // Migrations targeting the crashed host as destination must
+        // re-acquire one; their VM state is still safe on the backup.
+        let orphaned_dests: Vec<MigrationId> = self
+            .migrations
+            .iter_mut()
+            .filter(|(_, m)| m.dest == Some(instance) && m.fsm.phase() == MigPhase::Prep)
+            .map(|(id, m)| {
+                m.dest = None;
+                let _ = m.fsm.dest_lost();
+                *id
+            })
+            .collect();
+        for mig in orphaned_dests {
+            self.schedule(Subsystem::Recovery, now, now, Event::CommitStart(mig), out);
+        }
+        for vm in residents {
+            let Some(record) = self.vms.get(&vm) else {
+                continue;
+            };
+            match record.status {
+                VmStatus::Running => {}
+                // In-flight migrations handle the missing source themselves
+                // (begin_attach); provisioning retries via AttachFailed.
+                _ => continue,
+            }
+            let stateless = record.stateless;
+            self.accounting.mark_down(vm, now);
+            if self.returns.remove(&vm).is_some() {
+                self.journal
+                    .record(now, Subsystem::Recovery, Record::ReturnAbandoned { vm });
+            }
+            let recoverable = self.vms.get(&vm).map(|r| r.backup.is_some()).unwrap_or(false)
+                && !self.pending_rerepl.contains_key(&vm);
+            if recoverable {
+                self.start_crash_recovery(vm, instance, now, out);
+            } else if stateless || !was_spot {
+                // Stateless replicas tolerate memory loss by design; a
+                // stateful VM on non-revocable capacity reboots from its
+                // persistent EBS volume. Either way the VM reincarnates
+                // (downtime runs until provisioning completes).
+                if let Some(r) = self.vms.get_mut(&vm) {
+                    r.host = None;
+                    r.eni = None;
+                }
+                self.set_status(Subsystem::Recovery, vm, VmStatus::Provisioning, now);
+                self.schedule(Subsystem::Recovery, now, now, Event::ProvisionVm(vm), out);
+            } else {
+                // A spot-hosted stateful VM whose memory existed only on
+                // the dead host: no backup (resilience ablated), or the
+                // backup's image was still incomplete mid-re-replication.
+                self.accounting.count_lost();
+                if let Some(r) = self.vms.get_mut(&vm) {
+                    if r.backup.is_some() {
+                        let _ = self.backups.release(vm);
+                        r.backup = None;
+                    }
+                    r.host = None;
+                }
+                self.set_status(Subsystem::Recovery, vm, VmStatus::Lost, now);
+                self.journal
+                    .record(now, Subsystem::Recovery, Record::VmLost { vm });
+                self.pending_rerepl.remove(&vm);
+            }
+        }
+    }
+
+    /// Restores a crashed VM from its backup's last acked checkpoint: a
+    /// migration with a zero-length commit (there is no source to commit
+    /// from; the residue since the last ack is lost) that pays downtime
+    /// from the crash instant until the restore completes.
+    pub(super) fn start_crash_recovery(
+        &mut self,
+        vm: NestedVmId,
+        source: InstanceId,
+        now: SimTime,
+        out: &mut Outbox,
+    ) {
+        if !self.vms.contains_key(&vm) {
+            return;
+        }
+        self.set_status(Subsystem::Recovery, vm, VmStatus::Migrating, now);
+        let id = MigrationId(self.next_migration);
+        self.next_migration += 1;
+        let (restore_gate, degraded) = match self.cfg.mechanism.restore() {
+            None => (SimDuration::ZERO, SimDuration::ZERO),
+            Some((mode, path)) => {
+                let outs = simulate_concurrent_restores(
+                    1,
+                    self.vm_spec.mem_bytes,
+                    self.vm_spec.skeleton_bytes(),
+                    mode,
+                    path,
+                    &self.cfg.backup,
+                    None,
+                );
+                let worst = &outs[outs.len() - 1];
+                (worst.downtime, worst.degraded)
+            }
+        };
+        self.migrations.insert(
+            id,
+            Migration {
+                vm,
+                source,
+                dest: None,
+                fsm: MigrationFsm::recovered(),
+                commit_duration: SimDuration::ZERO,
+                commit_pause: SimDuration::ZERO,
+                paused_at: Some(now),
+                pays_downtime: true,
+                proactive: false,
+                live: false,
+                started_at: now,
+                dest_attempts: 0,
+                commit_aborted: false,
+                vm_obj: None,
+                degraded,
+            },
+        );
+        self.restore_gates.insert(id, restore_gate);
+        self.journal.record(
+            now,
+            Subsystem::Recovery,
+            Record::MigStarted {
+                mig: id,
+                vm,
+                live: false,
+                proactive: false,
+            },
+        );
+        self.journal
+            .record(now, Subsystem::Recovery, Record::CrashRecovery { vm, mig: id });
+        if let Some(spare) = self.spares.pop() {
+            if let Some(m) = self.migrations.get_mut(&id) {
+                m.dest = Some(spare);
+            }
+            self.mig_transition(id, now, |f| f.note_dest_ready());
+            self.try_advance(id, now, out);
+            self.request_spare(now, out);
+        } else {
+            self.request_dest(id, now, out);
+        }
+    }
+
+    /// End of a lazy restore's degraded window (epoch-guarded: a newer
+    /// migration of the same VM supersedes the pending event).
+    pub(super) fn on_degraded_end(&mut self, vm: NestedVmId, epoch: u32, now: SimTime) {
+        if self.degraded_epoch.get(&vm).copied().unwrap_or(0) == epoch {
+            if let Some(r) = self.vms.get(&vm) {
+                if r.status == VmStatus::Running {
+                    self.accounting.mark_normal(vm, now);
+                    if let Some(h) = r.host {
+                        if let Some(info) = self.hosts.get_mut(&h) {
+                            if let Some(v) = info.hv.vm_mut(vm) {
+                                v.state = NestedVmState::Running;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

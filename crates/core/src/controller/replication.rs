@@ -1,0 +1,168 @@
+//! Backup assignment and epoch-guarded re-replication.
+//!
+//! VMs on revocable spot hosts are protected by backup servers holding
+//! their memory checkpoints (paper §4.2). When a backup server fails, its
+//! orphans are re-protected by streaming a fresh full checkpoint to a
+//! replacement; each push carries an epoch so a stale completion (one
+//! superseded by a commit, a landing on on-demand, or a newer push) is
+//! ignored instead of wrongly re-marking the VM protected.
+
+use spotcheck_backup::pool::BackupServerId;
+use spotcheck_nestedvm::vm::NestedVmId;
+use spotcheck_simcore::time::{SimDuration, SimTime};
+
+use crate::events::Event;
+use crate::journal::{Record, Subsystem};
+
+use super::{Controller, Outbox};
+
+impl Controller {
+    /// Assigns a backup server and treats the initial full checkpoint as
+    /// immediately acked (modeling simplification: the first push completes
+    /// well within the provisioning window). Re-replication after a backup
+    /// failure goes through [`Controller::assign_backup_inner`] instead and
+    /// acks only when the re-push finishes.
+    pub(super) fn assign_backup(&mut self, vm: NestedVmId, now: SimTime) {
+        if self.assign_backup_inner(vm, now) {
+            if let Some(r) = self.vms.get_mut(&vm) {
+                r.checkpoint_acked_at = Some(now);
+            }
+            self.journal
+                .record(now, Subsystem::Replication, Record::CheckpointAcked { vm });
+        }
+    }
+
+    /// Picks a backup server for `vm` (round-robin with same-pool
+    /// spreading) without acking a checkpoint. Returns true on success.
+    pub(super) fn assign_backup_inner(&mut self, vm: NestedVmId, now: SimTime) -> bool {
+        if self.backups.server_of(vm).is_some() {
+            return false;
+        }
+        // Spread VMs of the same spot pool across distinct backup servers
+        // (§4.2): avoid servers already protecting same-market VMs.
+        let market = self.vms.get(&vm).and_then(|r| r.home_market.clone());
+        let avoid: Vec<BackupServerId> = match &market {
+            Some(m) => self
+                .vms
+                .values()
+                .filter(|r| r.home_market.as_ref() == Some(m) && r.id != vm)
+                .filter_map(|r| r.backup)
+                .collect(),
+            None => Vec::new(),
+        };
+        let before: Vec<BackupServerId> = self.backups.servers().map(|(id, _)| id).collect();
+        if let Ok(server) = self.backups.assign(vm, self.vm_spec.pages(), &avoid) {
+            if !before.contains(&server) {
+                self.backup_birth.insert(server, now);
+            }
+            if let Some(r) = self.vms.get_mut(&vm) {
+                r.backup = Some(server);
+            }
+            self.journal
+                .record(now, Subsystem::Replication, Record::BackupAssigned { vm });
+            true
+        } else {
+            false
+        }
+    }
+
+    /// A non-live final commit landed: the VM's backup now holds a
+    /// complete, current checkpoint, superseding any re-replication in
+    /// flight.
+    pub(super) fn ack_final_commit(&mut self, vm: NestedVmId, now: SimTime) {
+        let has_backup = self
+            .vms
+            .get(&vm)
+            .map(|r| r.backup.is_some())
+            .unwrap_or(false);
+        if has_backup {
+            if let Some(r) = self.vms.get_mut(&vm) {
+                r.checkpoint_acked_at = Some(now);
+            }
+            self.pending_rerepl.remove(&vm);
+            self.accounting.mark_protected(vm, now);
+            self.journal
+                .record(now, Subsystem::Replication, Record::CheckpointAcked { vm });
+        }
+    }
+
+    /// A backup server crash-stopped: every VM it protected is unprotected
+    /// until its full checkpoint is re-pushed to a replacement server.
+    pub(super) fn on_backup_failure(&mut self, pick: u64, now: SimTime, out: &mut Outbox) {
+        let ids = self.backups.server_ids();
+        if ids.is_empty() {
+            return;
+        }
+        let victim = ids[(pick % ids.len() as u64) as usize];
+        self.accounting.count_backup_failure();
+        self.backup_death.insert(victim, now);
+        let Ok(orphans) = self.backups.fail_server(victim) else {
+            return;
+        };
+        self.journal.record(
+            now,
+            Subsystem::Replication,
+            Record::BackupFailed {
+                orphans: orphans.len() as u32,
+            },
+        );
+        // Re-pushing a full image takes mem / NIC bandwidth (the VM itself
+        // is the data source — its host streams the checkpoint afresh).
+        let push = SimDuration::from_secs_f64(
+            self.vm_spec.mem_bytes as f64 / self.cfg.backup.nic_bps,
+        );
+        for vm in orphans {
+            if let Some(r) = self.vms.get_mut(&vm) {
+                r.backup = None;
+            }
+            self.pending_rerepl.remove(&vm);
+            self.accounting.mark_unprotected(vm, now);
+            if !self.cfg.resilience.rereplication_enabled {
+                continue;
+            }
+            if self.assign_backup_inner(vm, now) {
+                self.repl_epoch += 1;
+                let epoch = self.repl_epoch;
+                self.pending_rerepl.insert(vm, epoch);
+                self.journal.record(
+                    now,
+                    Subsystem::Replication,
+                    Record::RereplicationStarted { vm, epoch },
+                );
+                self.schedule(
+                    Subsystem::Replication,
+                    now,
+                    now + push,
+                    Event::ReplicationDone { vm, epoch },
+                    out,
+                );
+            }
+        }
+    }
+
+    /// A re-replication push finished: the replacement backup now holds a
+    /// complete, current checkpoint (unless a newer event superseded it).
+    pub(super) fn on_replication_done(&mut self, vm: NestedVmId, epoch: u32, now: SimTime) {
+        if self.pending_rerepl.get(&vm) != Some(&epoch) {
+            return; // Stale: superseded by a commit, landing, or newer push.
+        }
+        self.pending_rerepl.remove(&vm);
+        let protected = self
+            .vms
+            .get(&vm)
+            .map(|r| r.backup.is_some())
+            .unwrap_or(false);
+        if protected {
+            if let Some(r) = self.vms.get_mut(&vm) {
+                r.checkpoint_acked_at = Some(now);
+            }
+            self.accounting.mark_protected(vm, now);
+            self.accounting.count_rereplication(vm);
+            self.journal.record(
+                now,
+                Subsystem::Replication,
+                Record::RereplicationDone { vm, epoch },
+            );
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! Return-to-spot live migrations (allocation dynamics, paper §4.3).
+//!
+//! When a VM's home spot market drops back below the on-demand price, the
+//! controller live-migrates the VM from its on-demand refuge back to a
+//! fresh spot host: boot the spot host, pre-copy the running VM, then move
+//! the IP/volume across. The VM keeps serving throughout — a return never
+//! counts downtime.
+
+use spotcheck_cloudsim::ids::InstanceId;
+use spotcheck_migrate::precopy::{simulate_precopy, PreCopyConfig};
+use spotcheck_nestedvm::host::HostVm;
+use spotcheck_nestedvm::vm::{NestedVm, NestedVmId, NestedVmState};
+use spotcheck_simcore::time::SimTime;
+use spotcheck_spotmarket::market::MarketId;
+use spotcheck_workloads::WorkloadKind;
+
+use crate::events::Event;
+use crate::journal::{Record, Subsystem};
+
+use super::effects::OpCtx;
+use super::pools::HostInfo;
+use super::{Controller, Outbox};
+
+/// Phase of a return-to-spot live migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(super) enum ReturnPhase {
+    /// Pre-copying memory to the freshly-booted spot host.
+    Transferring,
+    /// Detaching ENI/volume from the on-demand host.
+    Detaching,
+    /// Attaching ENI/volume at the spot host.
+    Attaching,
+}
+
+impl ReturnPhase {
+    /// Stable lowercase name (used in the journal).
+    pub(super) fn as_str(self) -> &'static str {
+        match self {
+            ReturnPhase::Transferring => "transferring",
+            ReturnPhase::Detaching => "detaching",
+            ReturnPhase::Attaching => "attaching",
+        }
+    }
+}
+
+/// One in-flight return-to-spot migration.
+pub(super) struct ReturnState {
+    /// The spot host the VM is returning to.
+    pub(super) dest: InstanceId,
+    /// Current phase.
+    pub(super) phase: ReturnPhase,
+    /// In-flight detach/attach operations in the current phase.
+    pub(super) pending: u8,
+}
+
+impl Controller {
+    /// Advances a return's phase, journaling the transition. Returns false
+    /// if the return no longer exists.
+    fn set_return_phase(&mut self, vm: NestedVmId, to: ReturnPhase, now: SimTime) -> bool {
+        let from = match self.returns.get_mut(&vm) {
+            Some(r) => {
+                let from = r.phase;
+                r.phase = to;
+                from
+            }
+            None => return false,
+        };
+        if from != to {
+            self.journal.record(
+                now,
+                Subsystem::Returns,
+                Record::ReturnPhase {
+                    vm,
+                    from: from.as_str(),
+                    to: to.as_str(),
+                },
+            );
+        }
+        true
+    }
+
+    pub(super) fn start_return(
+        &mut self,
+        vm: NestedVmId,
+        market: MarketId,
+        now: SimTime,
+        out: &mut Outbox,
+    ) {
+        let zone = spotcheck_spotmarket::market::ZoneName::new(market.zone.as_str());
+        let od = self
+            .cloud
+            .spec(market.type_name.as_str())
+            .map(|s| s.on_demand_price)
+            .unwrap_or(0.07);
+        let bid = self.cfg.bidding.bid(od);
+        let Ok(instance) = self.eff_request_spot(
+            Subsystem::Returns,
+            market.type_name.as_str(),
+            &zone,
+            bid,
+            OpCtx::ReturnBoot(vm),
+            now,
+            out,
+        ) else {
+            return;
+        };
+        self.returns.insert(
+            vm,
+            ReturnState {
+                dest: instance,
+                phase: ReturnPhase::Transferring,
+                pending: 0,
+            },
+        );
+        self.journal
+            .record(now, Subsystem::Returns, Record::ReturnStarted { vm });
+    }
+
+    /// The return's spot host finished booting: start the live pre-copy.
+    pub(super) fn on_return_boot(
+        &mut self,
+        vm: NestedVmId,
+        instance: InstanceId,
+        now: SimTime,
+        out: &mut Outbox,
+    ) {
+        // The return may have been abandoned (e.g. the od source crashed
+        // mid-return): release the now-pointless spot host.
+        if !self.returns.contains_key(&vm) {
+            let _ = self.eff_terminate(Subsystem::Returns, instance, now, out);
+            return;
+        }
+        let inst = self.cloud.instance(instance).expect("instance exists");
+        let slots = inst.spec.medium_slots;
+        let market = inst.market();
+        self.hosts.insert(
+            instance,
+            HostInfo {
+                hv: HostVm::new(slots),
+                market,
+            },
+        );
+        // Live pre-copy transfer of the running VM.
+        let dirty = self
+            .vms
+            .get(&vm)
+            .map(|r| r.workload.dirty_model())
+            .unwrap_or_else(|| WorkloadKind::TpcW.dirty_model());
+        let pre = simulate_precopy(self.vm_spec.mem_bytes, &dirty, &PreCopyConfig::default());
+        self.schedule(
+            Subsystem::Returns,
+            now,
+            now + pre.total_duration,
+            Event::ReturnTransferDone(vm),
+            out,
+        );
+    }
+
+    /// The return's spot host lost its boot race (the market moved against
+    /// us during boot): abandon the return and stay on on-demand.
+    pub(super) fn on_return_boot_failed(&mut self, vm: NestedVmId, now: SimTime) {
+        if self.returns.remove(&vm).is_some() {
+            self.journal
+                .record(now, Subsystem::Returns, Record::ReturnAbandoned { vm });
+        }
+    }
+
+    pub(super) fn on_return_transfer_done(
+        &mut self,
+        vm: NestedVmId,
+        now: SimTime,
+        out: &mut Outbox,
+    ) {
+        // Pre-copy finished; move the IP and volume (no downtime counted:
+        // live migration keeps the VM serving until switchover).
+        if !self.returns.contains_key(&vm) {
+            return;
+        }
+        self.set_return_phase(vm, ReturnPhase::Detaching, now);
+        let (eni, volume, host) = {
+            let Some(r) = self.vms.get(&vm) else {
+                self.returns.remove(&vm);
+                return;
+            };
+            (r.eni, r.volume, r.host)
+        };
+        let mut pending = 0u8;
+        let source_alive = host
+            .and_then(|h| self.cloud.instance(h).ok().map(|i| i.is_usable()))
+            .unwrap_or(false);
+        if source_alive {
+            if let Some(eni) = eni {
+                if self.eff_detach_eni(Subsystem::Returns, eni, OpCtx::ReturnDetach(vm), now, out) {
+                    pending += 1;
+                }
+            }
+            if self.eff_detach_volume(
+                Subsystem::Returns,
+                volume,
+                OpCtx::ReturnDetach(vm),
+                now,
+                out,
+            ) {
+                pending += 1;
+            }
+        }
+        if pending == 0 {
+            self.begin_return_attach(vm, now, out);
+        } else if let Some(ret) = self.returns.get_mut(&vm) {
+            ret.pending = pending;
+        }
+    }
+
+    pub(super) fn begin_return_attach(&mut self, vm: NestedVmId, now: SimTime, out: &mut Outbox) {
+        let dest = match self.returns.get(&vm) {
+            Some(r) => r.dest,
+            None => return,
+        };
+        self.set_return_phase(vm, ReturnPhase::Attaching, now);
+        // Move the VM object from the od host to the spot host.
+        let old_host = self.vms.get(&vm).and_then(|r| r.host);
+        let obj = old_host
+            .and_then(|h| self.hosts.get_mut(&h).and_then(|i| i.hv.evict(vm).ok()))
+            .unwrap_or_else(|| NestedVm::new(vm, self.vm_spec, now));
+        if let Some(info) = self.hosts.get_mut(&dest) {
+            let _ = info.hv.admit(obj);
+        }
+        // Relinquish the empty od host.
+        if let Some(h) = old_host {
+            let empty = self
+                .hosts
+                .get(&h)
+                .map(|i| i.hv.resident_count() == 0)
+                .unwrap_or(false);
+            if empty {
+                self.terminate_host(h, now, out);
+            }
+        }
+        let pending = self.attach_network_identity(
+            Subsystem::Returns,
+            vm,
+            dest,
+            OpCtx::ReturnAttach(vm),
+            now,
+            out,
+        );
+        if let Some(r) = self.vms.get_mut(&vm) {
+            r.host = Some(dest);
+        }
+        if pending == 0 {
+            self.complete_return(vm, now);
+        } else if let Some(ret) = self.returns.get_mut(&vm) {
+            ret.pending = pending;
+        }
+    }
+
+    pub(super) fn complete_return(&mut self, vm: NestedVmId, now: SimTime) {
+        self.returns.remove(&vm);
+        self.journal
+            .record(now, Subsystem::Returns, Record::ReturnCompleted { vm });
+        self.accounting.count_migration(vm);
+        // Back on revocable spot: re-establish backup protection (unless
+        // the VM is stateless).
+        let stateless = self.vms.get(&vm).map(|r| r.stateless).unwrap_or(false);
+        if self.cfg.mechanism.needs_backup() && !stateless {
+            self.assign_backup(vm, now);
+        }
+        let host = self.vms.get(&vm).and_then(|r| r.host);
+        if let Some(h) = host {
+            if let Some(info) = self.hosts.get_mut(&h) {
+                if let Some(v) = info.hv.vm_mut(vm) {
+                    v.state = if self.cfg.mechanism.needs_backup() {
+                        NestedVmState::RunningProtected
+                    } else {
+                        NestedVmState::Running
+                    };
+                }
+            }
+        }
+    }
+
+    /// One of a return's detach gates completed.
+    pub(super) fn on_return_detach(&mut self, vm: NestedVmId, now: SimTime, out: &mut Outbox) {
+        let done = self
+            .returns
+            .get_mut(&vm)
+            .map(|r| {
+                r.pending = r.pending.saturating_sub(1);
+                r.pending == 0
+            })
+            .unwrap_or(false);
+        if done {
+            self.begin_return_attach(vm, now, out);
+        }
+    }
+
+    /// One of a return's attach gates completed.
+    pub(super) fn on_return_attach(&mut self, vm: NestedVmId, now: SimTime) {
+        let done = self
+            .returns
+            .get_mut(&vm)
+            .map(|r| {
+                r.pending = r.pending.saturating_sub(1);
+                r.pending == 0
+            })
+            .unwrap_or(false);
+        if done {
+            self.complete_return(vm, now);
+        }
+    }
+}

@@ -14,6 +14,7 @@ use crate::accounting::AvailabilityReport;
 use crate::config::SpotCheckConfig;
 use crate::controller::{Controller, ControllerError, CostReport};
 use crate::events::Event;
+use crate::journal::Journal;
 use crate::types::CustomerId;
 
 /// The [`World`] adapter around the controller.
@@ -160,18 +161,22 @@ impl SpotCheckSim {
         self.sim.run_until(horizon)
     }
 
-    /// Availability/degradation report at the current time.
-    pub fn availability_report(&mut self) -> AvailabilityReport {
-        let now = self.sim.now();
+    /// Availability/degradation report at the current time (read-only).
+    pub fn availability_report(&self) -> AvailabilityReport {
         self.sim
-            .world_mut()
-            .controller_mut()
-            .availability_report(now)
+            .world()
+            .controller()
+            .availability_report(self.sim.now())
     }
 
     /// Cost report at the current time.
     pub fn cost_report(&self) -> CostReport {
         self.sim.world().controller().cost_report(self.sim.now())
+    }
+
+    /// The structured event journal of this run (always on).
+    pub fn journal(&self) -> &Journal {
+        self.sim.world().controller().journal()
     }
 }
 

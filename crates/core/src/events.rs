@@ -56,3 +56,24 @@ pub enum Event {
         attempt: u32,
     },
 }
+
+impl Event {
+    /// Stable lowercase name of the event variant (used in the journal).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::PriceChange(_) => "price_change",
+            Event::CloudOp(_) => "cloud_op",
+            Event::ForcedTermination(_) => "forced_termination",
+            Event::ProvisionVm(_) => "provision_vm",
+            Event::CommitStart(_) => "commit_start",
+            Event::PauseStart(_) => "pause_start",
+            Event::CommitDone(_) => "commit_done",
+            Event::RestoreDone(_) => "restore_done",
+            Event::DegradedEnd { .. } => "degraded_end",
+            Event::ReturnTransferDone(_) => "return_transfer_done",
+            Event::Fault(_) => "fault",
+            Event::ReplicationDone { .. } => "replication_done",
+            Event::RetryTerminate { .. } => "retry_terminate",
+        }
+    }
+}

@@ -44,6 +44,7 @@ pub mod config;
 pub mod controller;
 pub mod driver;
 pub mod events;
+pub mod journal;
 pub mod policy;
 pub mod retry;
 pub mod sim;
@@ -53,7 +54,9 @@ pub use accounting::{Accounting, AvailabilityReport};
 pub use analysis::MarketModel;
 pub use config::SpotCheckConfig;
 pub use controller::{Controller, ControllerError, CostReport};
+pub use controller::{IllegalTransition, MigPhase, MigrationFsm};
 pub use driver::SpotCheckSim;
+pub use journal::{Journal, JournalCounters};
 pub use policy::{BiddingPolicy, MappingPolicy, PlacementPolicy};
 pub use retry::{HealthConfig, MarketHealth, ResilienceConfig, RetryPolicy};
 pub use sim::{run_policy, standard_traces, PolicyExperiment, PolicyReport};

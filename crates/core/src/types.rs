@@ -63,6 +63,19 @@ pub enum VmStatus {
     Lost,
 }
 
+impl VmStatus {
+    /// Stable lowercase name (used in the journal and status counts).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            VmStatus::Provisioning => "provisioning",
+            VmStatus::Running => "running",
+            VmStatus::Migrating => "migrating",
+            VmStatus::Released => "released",
+            VmStatus::Lost => "lost",
+        }
+    }
+}
+
 /// The controller's record of one nested VM.
 #[derive(Debug, Clone)]
 pub struct VmRecord {

@@ -1,0 +1,176 @@
+//! End-to-end journal test: a revocation → bounded-time migration →
+//! lazy-restore run must leave the expected ordered trail of structured
+//! records in the (always-on) journal, and the counters must agree with
+//! the availability report.
+
+use spotcheck_core::config::SpotCheckConfig;
+use spotcheck_core::driver::SpotCheckSim;
+use spotcheck_core::journal::{Entry, Record, Subsystem};
+use spotcheck_core::policy::MappingPolicy;
+use spotcheck_migrate::mechanisms::MechanismKind;
+use spotcheck_simcore::series::StepSeries;
+use spotcheck_simcore::time::SimTime;
+use spotcheck_spotmarket::market::MarketId;
+use spotcheck_spotmarket::trace::PriceTrace;
+use spotcheck_workloads::WorkloadKind;
+
+const ZONE: &str = "us-east-1a";
+
+fn spiky_medium(spike_at: u64, spike_end: u64) -> PriceTrace {
+    let s = StepSeries::from_points(vec![
+        (SimTime::ZERO, 0.014),
+        (SimTime::from_secs(spike_at), 0.90),
+        (SimTime::from_secs(spike_end), 0.014),
+    ]);
+    PriceTrace::new(MarketId::new("m3.medium", ZONE), 0.070, s)
+}
+
+fn config() -> SpotCheckConfig {
+    SpotCheckConfig {
+        zone: ZONE.to_string(),
+        mapping: MappingPolicy::OneM,
+        mechanism: MechanismKind::SpotCheckLazy,
+        ..SpotCheckConfig::default()
+    }
+}
+
+/// Asserts that `entries` contains the `expected` records as an ordered
+/// subsequence (other records may be interleaved between them).
+fn assert_ordered_subsequence(entries: &[Entry], expected: &[(&str, Box<dyn Fn(&Entry) -> bool>)]) {
+    let mut want = expected.iter();
+    let mut current = want.next();
+    for e in entries {
+        if let Some((_, pred)) = current {
+            if pred(e) {
+                current = want.next();
+            }
+        }
+    }
+    if let Some((name, _)) = current {
+        let kinds: Vec<_> = entries.iter().map(|e| e.record.kind()).collect();
+        panic!("journal never reached expected record {name:?}; kinds seen: {kinds:?}");
+    }
+}
+
+#[test]
+fn revocation_migration_leaves_ordered_journal_trail() {
+    let mut sim = SpotCheckSim::new(vec![spiky_medium(3_600, 90_000)], config());
+    let cust = sim.create_customer();
+    let vm = sim.request_server(cust, WorkloadKind::TpcW);
+    sim.run_until(SimTime::from_secs(7_200));
+
+    let journal = sim.journal();
+    assert!(!journal.is_empty(), "journal must be on by default");
+
+    // The canonical trail of a revocation handled by bounded-time
+    // migration: provision completes, the warning lands, the migration's
+    // state machine walks prep → detaching → attaching → completed, and
+    // the VM is running again.
+    let steps: Vec<(&str, Box<dyn Fn(&Entry) -> bool>)> = vec![
+        ("vm provisioning→running", Box::new(move |e: &Entry| {
+            matches!(
+                e.record,
+                Record::VmStatus { vm: v, from: "provisioning", to: "running" } if v == vm
+            )
+        })),
+        ("revocation warning", Box::new(move |e: &Entry| {
+            e.subsystem == Subsystem::Recovery && matches!(e.record, Record::Warning { .. })
+        })),
+        ("vm running→migrating", Box::new(move |e: &Entry| {
+            matches!(
+                e.record,
+                Record::VmStatus { vm: v, from: "running", to: "migrating" } if v == vm
+            )
+        })),
+        ("mig_started", Box::new(move |e: &Entry| {
+            matches!(
+                e.record,
+                Record::MigStarted { vm: v, live: false, proactive: false, .. } if v == vm
+            )
+        })),
+        ("mig prep→detaching", Box::new(move |e: &Entry| {
+            e.subsystem == Subsystem::Migration
+                && matches!(
+                    e.record,
+                    Record::MigPhase { from: "prep", to: "detaching", .. }
+                )
+        })),
+        ("mig detaching→attaching", Box::new(move |e: &Entry| {
+            matches!(
+                e.record,
+                Record::MigPhase { from: "detaching", to: "attaching", .. }
+            )
+        })),
+        ("mig attaching→completed", Box::new(move |e: &Entry| {
+            matches!(
+                e.record,
+                Record::MigPhase { from: "attaching", to: "completed", .. }
+            )
+        })),
+        ("mig_completed", Box::new(move |e: &Entry| {
+            matches!(e.record, Record::MigCompleted { vm: v, .. } if v == vm)
+        })),
+        ("vm migrating→running", Box::new(move |e: &Entry| {
+            matches!(
+                e.record,
+                Record::VmStatus { vm: v, from: "migrating", to: "running" } if v == vm
+            )
+        })),
+    ];
+    assert_ordered_subsequence(journal.entries(), &steps);
+
+    // Timestamps never run backwards.
+    for pair in journal.entries().windows(2) {
+        assert!(pair[0].at <= pair[1].at, "journal times must be monotone");
+    }
+
+    // Counters agree with the simulated outcome.
+    let c = sim.journal().counters();
+    assert_eq!(c.migrations_started, 1);
+    assert_eq!(c.migrations_completed, 1);
+    assert_eq!(c.migrations_aborted, 0);
+    assert_eq!(c.revocation_warnings, 1);
+    assert_eq!(c.illegal_transitions, 0, "healthy runs take no illegal transitions");
+    assert!(c.spot_requests >= 1, "initial provision buys spot");
+    assert!(c.on_demand_requests >= 1, "fail-over buys on-demand");
+    assert!(c.attaches >= 4, "provision + migration each attach ENI and volume");
+    assert!(c.effects > 0 && c.schedules > 0);
+
+    // And with the availability report (the report is derived from the
+    // accounting ledger, the counters from the journal: two independent
+    // paths to the same facts).
+    let report = sim.availability_report();
+    assert_eq!(u64::from(report.revocations), c.revocation_warnings);
+    assert_eq!(report.migrations, c.migrations_completed);
+
+    // The JSON dump carries every stored entry with the documented shape.
+    let json = sim.journal().to_json();
+    assert!(json.contains("\"counters\""));
+    assert!(json.contains("\"kind\": \"mig_completed\""));
+    assert_eq!(json.matches("\"t\": ").count(), journal.len());
+}
+
+#[test]
+fn lazy_restore_window_is_journaled_as_degraded_lifecycle() {
+    let mut sim = SpotCheckSim::new(vec![spiky_medium(3_600, 90_000)], config());
+    let cust = sim.create_customer();
+    let vm = sim.request_server(cust, WorkloadKind::TpcW);
+    sim.run_until(SimTime::from_secs(7_200));
+
+    // SpotCheckLazy restores lazily: after the migration completes the VM
+    // re-enters service degraded, then returns to normal. The journal
+    // records both the backup-protection lifecycle and the completed
+    // migration for the same VM.
+    let j = sim.journal();
+    assert!(
+        j.of_kind("backup_assigned")
+            .any(|e| matches!(e.record, Record::BackupAssigned { vm: v } if v == vm)),
+        "spot placement must assign a backup"
+    );
+    assert!(
+        j.of_kind("checkpoint_acked").count() >= 1,
+        "backup must ack a checkpoint"
+    );
+    let migration_records = j.of_subsystem(Subsystem::Migration).count();
+    assert!(migration_records >= 4, "got {migration_records}");
+}

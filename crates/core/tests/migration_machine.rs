@@ -1,0 +1,380 @@
+//! Seeded property test for the migration state machine.
+//!
+//! Drives long random operation sequences through [`MigrationFsm`] and
+//! checks every outcome against an independent model of the legal
+//! transition relation: every transition the model says is reachable must
+//! be accepted, every other attempt must come back as a typed
+//! [`IllegalTransition`] naming the phase and the refused operation — and
+//! must leave the machine bit-for-bit untouched.
+
+use spotcheck_core::{IllegalTransition, MigPhase, MigrationFsm};
+
+/// Deterministic splitmix64-style generator; no external crates needed.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_add(0x9e37_79b9_7f4a_7c15))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// The operations a driver can attempt, with their journal/error names.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    StartCommit,
+    NoteCommitDone,
+    NoteDestReady,
+    DestLost,
+    BeginDetach(u8),
+    OpDone,
+    BeginAttach(u8),
+    Complete,
+    Abort,
+}
+
+impl Op {
+    fn name(self) -> &'static str {
+        match self {
+            Op::StartCommit => "start_commit",
+            Op::NoteCommitDone => "note_commit_done",
+            Op::NoteDestReady => "note_dest_ready",
+            Op::DestLost => "dest_lost",
+            Op::BeginDetach(_) => "begin_detach",
+            Op::OpDone => "op_done",
+            Op::BeginAttach(_) => "begin_attach",
+            Op::Complete => "complete",
+            Op::Abort => "abort",
+        }
+    }
+}
+
+/// An independent re-statement of the transition relation, kept
+/// deliberately separate from the implementation in `controller::fsm`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Model {
+    phase: MigPhase,
+    commit_started: bool,
+    commit_done: bool,
+    dest_ready: bool,
+    pending: u8,
+}
+
+impl Model {
+    fn fresh() -> Self {
+        Model {
+            phase: MigPhase::Prep,
+            commit_started: false,
+            commit_done: false,
+            dest_ready: false,
+            pending: 0,
+        }
+    }
+
+    fn recovered() -> Self {
+        Model {
+            commit_started: true,
+            commit_done: true,
+            ..Model::fresh()
+        }
+    }
+
+    /// Applies `op` if the relation allows it; returns whether it was legal.
+    fn apply(&mut self, op: Op) -> bool {
+        let terminal = matches!(self.phase, MigPhase::Completed | MigPhase::Aborted);
+        match op {
+            Op::StartCommit => {
+                if terminal {
+                    return false;
+                }
+                self.commit_started = true;
+                true
+            }
+            Op::NoteCommitDone => {
+                if terminal || !self.commit_started || self.commit_done {
+                    return false;
+                }
+                self.commit_done = true;
+                true
+            }
+            Op::NoteDestReady => {
+                if self.phase != MigPhase::Prep || self.dest_ready {
+                    return false;
+                }
+                self.dest_ready = true;
+                true
+            }
+            Op::DestLost => {
+                if self.phase != MigPhase::Prep {
+                    return false;
+                }
+                self.dest_ready = false;
+                true
+            }
+            Op::BeginDetach(p) => {
+                if self.phase != MigPhase::Prep || !self.commit_done || !self.dest_ready {
+                    return false;
+                }
+                self.phase = MigPhase::Detaching;
+                self.pending = p;
+                true
+            }
+            Op::OpDone => {
+                if !matches!(self.phase, MigPhase::Detaching | MigPhase::Attaching)
+                    || self.pending == 0
+                {
+                    return false;
+                }
+                self.pending -= 1;
+                true
+            }
+            Op::BeginAttach(p) => {
+                if self.phase != MigPhase::Detaching || self.pending != 0 {
+                    return false;
+                }
+                self.phase = MigPhase::Attaching;
+                self.pending = p;
+                true
+            }
+            Op::Complete => {
+                if self.phase != MigPhase::Attaching || self.pending != 0 {
+                    return false;
+                }
+                self.phase = MigPhase::Completed;
+                true
+            }
+            Op::Abort => {
+                if terminal {
+                    return false;
+                }
+                self.phase = MigPhase::Aborted;
+                true
+            }
+        }
+    }
+}
+
+fn snapshot(f: &MigrationFsm) -> (MigPhase, bool, bool, bool, u8) {
+    (
+        f.phase(),
+        f.commit_started(),
+        f.commit_done(),
+        f.dest_ready(),
+        f.pending(),
+    )
+}
+
+fn model_snapshot(m: &Model) -> (MigPhase, bool, bool, bool, u8) {
+    (
+        m.phase,
+        m.commit_started,
+        m.commit_done,
+        m.dest_ready,
+        m.pending,
+    )
+}
+
+fn op_from_index(idx: u64, rng: &mut Rng) -> Op {
+    match idx {
+        0 => Op::StartCommit,
+        1 => Op::NoteCommitDone,
+        2 => Op::NoteDestReady,
+        3 => Op::DestLost,
+        4 => Op::BeginDetach(rng.below(4) as u8),
+        5 => Op::OpDone,
+        6 => Op::BeginAttach(rng.below(4) as u8),
+        7 => Op::Complete,
+        _ => Op::Abort,
+    }
+}
+
+/// Half the time a uniformly random operation (probing the illegal side of
+/// the relation), half the time one the model says is currently legal
+/// (so walks actually make progress to the terminal phases — a pure
+/// uniform walk aborts long before ever completing). Abort is excluded
+/// from the guided picks except on a rare roll, or the walk would still
+/// almost never survive nine guided steps.
+fn random_op(rng: &mut Rng, m: &Model) -> Op {
+    if rng.below(2) == 0 {
+        return op_from_index(rng.below(9), rng);
+    }
+    let mut legal = Vec::new();
+    for idx in 0..9u64 {
+        let op = op_from_index(idx, rng);
+        let mut probe = *m;
+        if probe.apply(op) && (idx != 8 || rng.below(32) == 0) {
+            legal.push(op);
+        }
+    }
+    if legal.is_empty() {
+        op_from_index(rng.below(9), rng)
+    } else {
+        legal[rng.below(legal.len() as u64) as usize]
+    }
+}
+
+/// Attempts `op` on both machine and model and cross-checks the verdicts.
+/// Returns `(legal, step_error)`.
+fn step(f: &mut MigrationFsm, m: &mut Model, op: Op) -> (bool, Option<IllegalTransition>) {
+    let before = snapshot(f);
+    let expect_legal = {
+        let mut probe = *m;
+        probe.apply(op)
+    };
+    let result: Result<(), IllegalTransition> = match op {
+        Op::StartCommit => f.start_commit().map(|_| ()),
+        Op::NoteCommitDone => f.note_commit_done(),
+        Op::NoteDestReady => f.note_dest_ready(),
+        Op::DestLost => f.dest_lost(),
+        Op::BeginDetach(p) => f.begin_detach(p),
+        Op::OpDone => f.op_done().map(|_| ()),
+        Op::BeginAttach(p) => f.begin_attach(p),
+        Op::Complete => f.complete(),
+        Op::Abort => f.abort(),
+    };
+    match result {
+        Ok(()) => {
+            assert!(
+                expect_legal,
+                "machine accepted {:?} which the model says is unreachable from {:?}",
+                op, before
+            );
+            m.apply(op);
+            assert_eq!(
+                snapshot(f),
+                model_snapshot(m),
+                "machine and model diverged after legal {:?}",
+                op
+            );
+            (true, None)
+        }
+        Err(e) => {
+            assert!(
+                !expect_legal,
+                "machine refused {:?} which the model says is reachable from {:?}: {}",
+                op, before, e
+            );
+            assert_eq!(e.from, before.0, "error must name the refusing phase");
+            assert_eq!(e.attempted, op.name(), "error must name the refused op");
+            assert_eq!(
+                snapshot(f),
+                before,
+                "a refused transition must not mutate the machine"
+            );
+            (false, Some(e))
+        }
+    }
+}
+
+#[test]
+fn random_sequences_match_the_model() {
+    let mut legal_seen = [false; 9];
+    let mut illegal_seen = [false; 9];
+    for seed in 0..64u64 {
+        let mut rng = Rng::new(0x5eed_0000 + seed);
+        let (mut f, mut m) = if seed % 4 == 0 {
+            (MigrationFsm::recovered(), Model::recovered())
+        } else {
+            (MigrationFsm::new(), Model::fresh())
+        };
+        for _ in 0..512 {
+            let op = random_op(&mut rng, &m);
+            let idx = op_index(op);
+            let (legal, _) = step(&mut f, &mut m, op);
+            if legal {
+                legal_seen[idx] = true;
+            } else {
+                illegal_seen[idx] = true;
+            }
+            // Terminal machines refuse everything; after a few probes of
+            // that, restart the walk so the seed keeps earning coverage.
+            if matches!(m.phase, MigPhase::Completed | MigPhase::Aborted) && rng.below(4) == 0 {
+                if rng.below(4) == 0 {
+                    f = MigrationFsm::recovered();
+                    m = Model::recovered();
+                } else {
+                    f = MigrationFsm::new();
+                    m = Model::fresh();
+                }
+            }
+        }
+    }
+    // The walk must actually exercise the relation from both sides: every
+    // operation observed at least once legal and at least once refused
+    // (start_commit and abort are legal from every non-terminal phase, so
+    // only their refusals depend on reaching a terminal phase first).
+    for (i, (l, il)) in legal_seen.iter().zip(illegal_seen.iter()).enumerate() {
+        assert!(*l, "operation #{i} was never exercised legally");
+        assert!(*il, "operation #{i} was never exercised illegally");
+    }
+}
+
+fn op_index(op: Op) -> usize {
+    match op {
+        Op::StartCommit => 0,
+        Op::NoteCommitDone => 1,
+        Op::NoteDestReady => 2,
+        Op::DestLost => 3,
+        Op::BeginDetach(_) => 4,
+        Op::OpDone => 5,
+        Op::BeginAttach(_) => 6,
+        Op::Complete => 7,
+        Op::Abort => 8,
+    }
+}
+
+#[test]
+fn every_reachable_happy_path_interleaving_is_legal() {
+    // The three Prep-phase gates (commit start, commit done after start,
+    // dest ready) commute: any interleaving must reach ready_to_detach.
+    let orders: [[usize; 3]; 3] = [[0, 1, 2], [2, 0, 1], [0, 2, 1]];
+    for order in orders {
+        let mut f = MigrationFsm::new();
+        for gate in order {
+            match gate {
+                0 => assert_eq!(f.start_commit(), Ok(true)),
+                1 => f.note_commit_done().expect("commit_done after start"),
+                2 => f.note_dest_ready().expect("dest_ready in Prep"),
+                _ => unreachable!(),
+            }
+        }
+        assert!(f.ready_to_detach());
+        f.begin_detach(2).unwrap();
+        f.op_done().unwrap();
+        f.op_done().unwrap();
+        f.begin_attach(1).unwrap();
+        f.op_done().unwrap();
+        f.complete().unwrap();
+        assert_eq!(f.phase(), MigPhase::Completed);
+    }
+}
+
+#[test]
+fn dest_flapping_in_prep_is_legal_and_gates_detach() {
+    let mut f = MigrationFsm::new();
+    f.start_commit().unwrap();
+    f.note_commit_done().unwrap();
+    f.note_dest_ready().unwrap();
+    f.dest_lost().unwrap();
+    assert!(!f.ready_to_detach());
+    assert_eq!(
+        f.begin_detach(1),
+        Err(IllegalTransition {
+            from: MigPhase::Prep,
+            attempted: "begin_detach",
+        })
+    );
+    f.note_dest_ready().unwrap();
+    assert!(f.ready_to_detach());
+}

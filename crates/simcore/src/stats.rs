@@ -304,6 +304,49 @@ impl TimeWeighted {
             Some(self.integral / self.elapsed.as_secs_f64())
         }
     }
+
+    /// Returns the integral of the signal through instant `t` without
+    /// closing the accumulator (a read-only peek equivalent to
+    /// [`TimeWeighted::finish`] at `t` followed by
+    /// [`TimeWeighted::integral_value_secs`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes the previous transition.
+    pub fn integral_value_secs_at(&self, t: SimTime) -> f64 {
+        if !self.started {
+            return self.integral;
+        }
+        self.integral + self.last_value * t.since(self.last_time).as_secs_f64()
+    }
+
+    /// Returns the total signal duration through instant `t` without
+    /// closing the accumulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes the previous transition.
+    pub fn elapsed_at(&self, t: SimTime) -> SimDuration {
+        if !self.started {
+            return self.elapsed;
+        }
+        self.elapsed + t.since(self.last_time)
+    }
+
+    /// Returns the time-average of the signal through instant `t` without
+    /// closing the accumulator, or `None` if no time has elapsed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes the previous transition.
+    pub fn time_average_at(&self, t: SimTime) -> Option<f64> {
+        let elapsed = self.elapsed_at(t);
+        if elapsed.is_zero() {
+            None
+        } else {
+            Some(self.integral_value_secs_at(t) / elapsed.as_secs_f64())
+        }
+    }
 }
 
 /// Tracks the fraction of time a boolean condition holds.
@@ -349,6 +392,26 @@ impl ConditionClock {
     /// if no time has elapsed.
     pub fn fraction_on(&self) -> Option<f64> {
         self.inner.time_average()
+    }
+
+    /// Returns the total time the condition held through instant `t`
+    /// without closing the clock (read-only peek).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes the previous transition.
+    pub fn total_on_at(&self, t: SimTime) -> SimDuration {
+        SimDuration::from_secs_f64(self.inner.integral_value_secs_at(t))
+    }
+
+    /// Returns the fraction of time through instant `t` the condition
+    /// held, without closing the clock, or `None` if no time has elapsed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes the previous transition.
+    pub fn fraction_on_at(&self, t: SimTime) -> Option<f64> {
+        self.inner.time_average_at(t)
     }
 }
 

@@ -195,10 +195,7 @@ fn mechanisms_cost_ranking_holds_end_to_end() {
         sim.run_until(SimTime::from_days(days));
         assert_eq!(sim.controller().vm(vm).unwrap().status, VmStatus::Running);
         let cost = sim.cost_report();
-        let report_downtime = {
-            let mut s = sim;
-            s.availability_report().total_downtime
-        };
+        let report_downtime = sim.availability_report().total_downtime;
         (cost.backup_cost, report_downtime)
     };
     let (live_backup, live_down) = run(MechanismKind::XenLive);
