@@ -8,9 +8,10 @@
 //! *from the same spot pool* across distinct backup servers lives in the
 //! controller, which passes placement constraints via `avoid`.
 
-use std::collections::BTreeMap;
+use std::collections::BTreeSet;
 
 use spotcheck_nestedvm::vm::NestedVmId;
+use spotcheck_simcore::slab::IdMap;
 
 use crate::server::{BackupError, BackupServer, BackupServerConfig};
 
@@ -24,12 +25,29 @@ impl std::fmt::Display for BackupServerId {
     }
 }
 
+// Allocated monotonically by the pool; indexes dense
+// `spotcheck_simcore::slab::IdMap` storage directly.
+impl spotcheck_simcore::slab::DenseKey for BackupServerId {
+    fn dense_index(self) -> usize {
+        self.0 as usize
+    }
+    fn from_dense_index(index: usize) -> Self {
+        BackupServerId(index as u64)
+    }
+}
+
 /// A growable pool of backup servers with round-robin VM assignment.
 #[derive(Debug, Clone)]
 pub struct BackupPool {
     config: BackupServerConfig,
-    servers: BTreeMap<BackupServerId, BackupServer>,
-    assignment: BTreeMap<NestedVmId, BackupServerId>,
+    servers: IdMap<BackupServerId, BackupServer>,
+    assignment: IdMap<NestedVmId, BackupServerId>,
+    /// Live server ids in ascending order (ids are allocated monotonically,
+    /// so provisioning appends; only `fail_server` removes mid-vector).
+    ids: Vec<BackupServerId>,
+    /// Servers with at least one free slot — the only ones `assign` can
+    /// choose — kept in sync at every capacity change.
+    open: BTreeSet<BackupServerId>,
     next_id: u64,
     cursor: u64,
     provisioned: u64,
@@ -40,8 +58,10 @@ impl BackupPool {
     pub fn new(config: BackupServerConfig) -> Self {
         BackupPool {
             config,
-            servers: BTreeMap::new(),
-            assignment: BTreeMap::new(),
+            servers: IdMap::new(),
+            assignment: IdMap::new(),
+            ids: Vec::new(),
+            open: BTreeSet::new(),
             next_id: 0,
             cursor: 0,
             provisioned: 0,
@@ -80,7 +100,7 @@ impl BackupPool {
 
     /// Iterates over (id, server) pairs.
     pub fn servers(&self) -> impl Iterator<Item = (BackupServerId, &BackupServer)> {
-        self.servers.iter().map(|(id, s)| (*id, s))
+        self.servers.iter()
     }
 
     fn provision(&mut self) -> BackupServerId {
@@ -88,14 +108,34 @@ impl BackupPool {
         self.next_id += 1;
         self.provisioned += 1;
         self.servers.insert(id, BackupServer::new(self.config.clone()));
+        self.ids.push(id); // ids are monotonic, so the vec stays sorted
+        self.note_capacity(id);
         id
     }
 
+    /// Syncs `open` membership with the server's current free capacity.
+    fn note_capacity(&mut self, id: BackupServerId) {
+        let has_room = self
+            .servers
+            .get(&id)
+            .map(|s| s.free_slots() > 0)
+            .unwrap_or(false);
+        if has_room {
+            self.open.insert(id);
+        } else {
+            self.open.remove(&id);
+        }
+    }
+
     /// Assigns a VM of `total_pages` to a backup server, round-robin among
-    /// servers with free capacity while avoiding servers in `avoid` (the
-    /// controller passes the servers already protecting VMs of the same
-    /// spot pool, to spread revocation-storm load). Provisions a new server
-    /// when none qualifies.
+    /// servers with free capacity while skipping servers for which `avoid`
+    /// returns true (the controller passes the servers already protecting
+    /// VMs of the same spot pool, to spread revocation-storm load).
+    /// Provisions a new server when none qualifies.
+    ///
+    /// The round-robin pick walks only the servers with free capacity, in
+    /// circular id order from the cursor — the same server the old
+    /// full-vector scan chose, without touching full or dead servers.
     ///
     /// # Errors
     ///
@@ -104,30 +144,35 @@ impl BackupPool {
         &mut self,
         vm: NestedVmId,
         total_pages: usize,
-        avoid: &[BackupServerId],
+        avoid: impl Fn(BackupServerId) -> bool,
     ) -> Result<BackupServerId, BackupError> {
         if self.assignment.contains_key(&vm) {
             return Err(BackupError::AlreadyAssigned(vm));
         }
-        // Round-robin scan from the cursor over eligible servers.
-        let ids: Vec<BackupServerId> = self.servers.keys().copied().collect();
-        let n = ids.len();
+        let n = self.ids.len() as u64;
         let mut chosen = None;
-        for k in 0..n {
-            let id = ids[(self.cursor as usize + k) % n.max(1)];
-            if avoid.contains(&id) {
-                continue;
-            }
-            if self.servers[&id].free_slots() > 0 {
+        if n > 0 {
+            let start_rank = (self.cursor % n) as usize;
+            let start = self.ids[start_rank];
+            let pick = self
+                .open
+                .range(start..)
+                .chain(self.open.range(..start))
+                .copied()
+                .find(|&id| !avoid(id));
+            if let Some(id) = pick {
+                let rank = self
+                    .ids
+                    .binary_search(&id)
+                    .expect("open server is live") as u64;
+                let k = (rank + n - start_rank as u64) % n;
+                self.cursor = self.cursor.wrapping_add(k + 1);
                 chosen = Some(id);
-                self.cursor = self.cursor.wrapping_add(k as u64 + 1);
-                break;
             }
         }
-        // Fall back to an avoided server with space rather than wasting a
-        // whole new server when avoidance cannot be satisfied... no: the
-        // paper provisions new servers once existing ones are fully
-        // utilized; avoidance is a soft preference we honor by provisioning.
+        // When every server with space is avoided: the paper provisions new
+        // servers once existing ones are fully utilized; avoidance is a
+        // soft preference we honor by provisioning.
         let id = match chosen {
             Some(id) => id,
             None => self.provision(),
@@ -136,6 +181,36 @@ impl BackupPool {
             .get_mut(&id)
             .ok_or(BackupError::UnknownServer(id.0))?
             .assign(vm, total_pages)?;
+        self.note_capacity(id);
+        self.assignment.insert(vm, id);
+        Ok(id)
+    }
+
+    /// Provisions a fresh server and assigns the VM to it directly,
+    /// bypassing the round-robin scan. Exactly equivalent to [`assign`]
+    /// when the caller knows every existing server would be avoided (the
+    /// scan then chooses nothing and leaves the cursor untouched); callers
+    /// use this to skip the scan in that case.
+    ///
+    /// [`assign`]: BackupPool::assign
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the VM is already protected.
+    pub fn assign_fresh(
+        &mut self,
+        vm: NestedVmId,
+        total_pages: usize,
+    ) -> Result<BackupServerId, BackupError> {
+        if self.assignment.contains_key(&vm) {
+            return Err(BackupError::AlreadyAssigned(vm));
+        }
+        let id = self.provision();
+        self.servers
+            .get_mut(&id)
+            .ok_or(BackupError::UnknownServer(id.0))?
+            .assign(vm, total_pages)?;
+        self.note_capacity(id);
         self.assignment.insert(vm, id);
         Ok(id)
     }
@@ -157,6 +232,7 @@ impl BackupPool {
             .get_mut(&id)
             .ok_or(BackupError::UnknownServer(id.0))?
             .release(vm)?;
+        self.note_capacity(id);
         Ok(id)
     }
 
@@ -172,6 +248,10 @@ impl BackupPool {
             .servers
             .remove(&id)
             .ok_or(BackupError::UnknownServer(id.0))?;
+        if let Ok(pos) = self.ids.binary_search(&id) {
+            self.ids.remove(pos);
+        }
+        self.open.remove(&id);
         let orphans: Vec<NestedVmId> = server.protected_vms().collect();
         for vm in &orphans {
             self.assignment.remove(vm);
@@ -182,7 +262,7 @@ impl BackupPool {
     /// Ids of the currently live servers, in ascending order (used to map
     /// fault-plan ordinals onto concrete servers).
     pub fn server_ids(&self) -> Vec<BackupServerId> {
-        self.servers.keys().copied().collect()
+        self.ids.clone()
     }
 
     /// The pool's current total $/hr cost.
@@ -216,14 +296,14 @@ mod tests {
     fn provisions_on_demand_and_round_robins() {
         let mut p = pool();
         assert_eq!(p.server_count(), 0);
-        let s1 = p.assign(NestedVmId(0), 100, &[]).unwrap();
+        let s1 = p.assign(NestedVmId(0), 100, |_| false).unwrap();
         assert_eq!(p.server_count(), 1);
         // Fill the first server.
         for i in 1..4 {
-            assert_eq!(p.assign(NestedVmId(i), 100, &[]).unwrap(), s1);
+            assert_eq!(p.assign(NestedVmId(i), 100, |_| false).unwrap(), s1);
         }
         // The fifth VM forces a new server.
-        let s2 = p.assign(NestedVmId(4), 100, &[]).unwrap();
+        let s2 = p.assign(NestedVmId(4), 100, |_| false).unwrap();
         assert_ne!(s1, s2);
         assert_eq!(p.server_count(), 2);
         assert_eq!(p.protected_count(), 5);
@@ -233,19 +313,19 @@ mod tests {
     #[test]
     fn avoid_spreads_same_pool_vms() {
         let mut p = pool();
-        let s1 = p.assign(NestedVmId(0), 100, &[]).unwrap();
+        let s1 = p.assign(NestedVmId(0), 100, |_| false).unwrap();
         // Same-spot-pool sibling avoids s1 -> new server despite free slots.
-        let s2 = p.assign(NestedVmId(1), 100, &[s1]).unwrap();
+        let s2 = p.assign(NestedVmId(1), 100, |id| id == s1).unwrap();
         assert_ne!(s1, s2);
         // A third VM with no constraint reuses capacity round-robin.
-        let s3 = p.assign(NestedVmId(2), 100, &[]).unwrap();
+        let s3 = p.assign(NestedVmId(2), 100, |_| false).unwrap();
         assert!(s3 == s1 || s3 == s2);
     }
 
     #[test]
     fn release_frees_capacity() {
         let mut p = pool();
-        let s1 = p.assign(NestedVmId(0), 100, &[]).unwrap();
+        let s1 = p.assign(NestedVmId(0), 100, |_| false).unwrap();
         assert_eq!(p.release(NestedVmId(0)).unwrap(), s1);
         assert_eq!(p.protected_count(), 0);
         assert!(p.release(NestedVmId(0)).is_err());
@@ -255,9 +335,9 @@ mod tests {
     #[test]
     fn duplicate_assignment_rejected() {
         let mut p = pool();
-        p.assign(NestedVmId(0), 100, &[]).unwrap();
+        p.assign(NestedVmId(0), 100, |_| false).unwrap();
         assert_eq!(
-            p.assign(NestedVmId(0), 100, &[]).unwrap_err(),
+            p.assign(NestedVmId(0), 100, |_| false).unwrap_err(),
             BackupError::AlreadyAssigned(NestedVmId(0))
         );
     }
@@ -266,7 +346,7 @@ mod tests {
     fn cost_amortizes_over_protected_vms() {
         let mut p = pool();
         for i in 0..4 {
-            p.assign(NestedVmId(i), 100, &[]).unwrap();
+            p.assign(NestedVmId(i), 100, |_| false).unwrap();
         }
         assert!((p.hourly_cost() - 0.28).abs() < 1e-12);
         assert!((p.amortized_cost_per_vm() - 0.07).abs() < 1e-12);
@@ -275,8 +355,8 @@ mod tests {
     #[test]
     fn fail_server_orphans_its_vms() {
         let mut p = pool();
-        let s1 = p.assign(NestedVmId(0), 100, &[]).unwrap();
-        let s2 = p.assign(NestedVmId(1), 100, &[s1]).unwrap();
+        let s1 = p.assign(NestedVmId(0), 100, |_| false).unwrap();
+        let s2 = p.assign(NestedVmId(1), 100, |id| id == s1).unwrap();
         let mut orphans = p.fail_server(s1).unwrap();
         orphans.sort();
         assert_eq!(orphans, vec![NestedVmId(0)]);
@@ -290,7 +370,7 @@ mod tests {
         );
         // The orphan can be re-assigned (re-replication path); with s1 gone
         // the surviving server takes it round-robin.
-        let s3 = p.assign(NestedVmId(0), 100, &[]).unwrap();
+        let s3 = p.assign(NestedVmId(0), 100, |_| false).unwrap();
         assert_eq!(p.server_of(NestedVmId(0)), Some(s3));
         assert_eq!(s3, s2);
         assert_eq!(p.server_ids(), vec![s2]);
@@ -299,7 +379,7 @@ mod tests {
     #[test]
     fn server_lookup_roundtrip() {
         let mut p = pool();
-        let s = p.assign(NestedVmId(0), 100, &[]).unwrap();
+        let s = p.assign(NestedVmId(0), 100, |_| false).unwrap();
         assert_eq!(p.server_of(NestedVmId(0)), Some(s));
         assert_eq!(p.server_of(NestedVmId(9)), None);
         assert!(p.server(s).is_some());

@@ -14,6 +14,9 @@
 //! - `PriceTrace::mean_capped_price` / `revocations_at_bid`
 //! - `DirtyModel::sample_dirty` (one checkpoint epoch of page writes)
 //! - one quick-scale `run_policy` cell (Figure 10/11/12 inner loop)
+//! - `EventQueue` steady-state churn, heap vs timing-wheel backend, under
+//!   three deadline distributions: uniform near-future, bursty same-instant
+//!   batches, and far-future pushes that land in the wheel's overflow level
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -22,6 +25,7 @@ use spotcheck_core::policy::MappingPolicy;
 use spotcheck_core::sim::{run_policy, standard_traces, PolicyExperiment};
 use spotcheck_migrate::mechanisms::MechanismKind;
 use spotcheck_nestedvm::memory::{DirtyModel, MemoryImage, PAGE_SIZE};
+use spotcheck_simcore::queue::{EventQueue, QueueBackend};
 use spotcheck_simcore::rng::SimRng;
 use spotcheck_simcore::time::{SimDuration, SimTime};
 use spotcheck_spotmarket::generator::TraceGenerator;
@@ -92,6 +96,54 @@ fn fmt_ns(ns: f64) -> String {
     }
 }
 
+/// Steady-state event-queue churn: keep ~1024 events pending; each step
+/// pops the earliest event and pushes a replacement `dt` past the popped
+/// deadline, with `dt` drawn by `next_dt` (same seed for both backends, so
+/// the workloads are identical). Returns a checksum so the work cannot be
+/// optimized away.
+fn queue_churn(
+    backend: QueueBackend,
+    pending: usize,
+    steps: usize,
+    mut next_dt: impl FnMut(&mut SimRng) -> u64,
+) -> u64 {
+    let mut rng = SimRng::seed(0x0E11_BEEF);
+    let mut q: EventQueue<u64> = EventQueue::with_backend(backend);
+    let mut now = 0u64;
+    for i in 0..pending {
+        let dt = next_dt(&mut rng);
+        q.push(SimTime::from_micros(now + dt), i as u64);
+    }
+    let mut sum = 0u64;
+    for i in 0..steps {
+        let (t, e) = q.pop().expect("queue stays non-empty");
+        now = t.as_micros();
+        sum = sum.wrapping_add(now).wrapping_add(e);
+        let dt = next_dt(&mut rng);
+        q.push(SimTime::from_micros(now + dt), (pending + i) as u64);
+    }
+    sum
+}
+
+/// Uniform near-future deadlines (the common simulation regime: cloud-op
+/// latencies, migration phases, trace change points).
+fn dt_uniform(rng: &mut SimRng) -> u64 {
+    rng.gen_range(1, 3_600_000_000) // up to one hour out
+}
+
+/// Bursty same-instant deadlines: revocation storms schedule whole fleets
+/// at identical times, so most pushes collide on a handful of instants.
+fn dt_bursty(rng: &mut SimRng) -> u64 {
+    // 1 ms quantum: all events inside a quantum share one deadline.
+    rng.gen_range(1, 64) * 1_000
+}
+
+/// Far-future deadlines beyond the wheel's 2^36 us (~19 h) span, forcing
+/// the sorted-overflow level (price changes days out, horizon guards).
+fn dt_far_future(rng: &mut SimRng) -> u64 {
+    (1 << 36) + rng.gen_range(0, 86_400_000_000 * 6)
+}
+
 fn six_month_trace() -> PriceTrace {
     let profile = profile_for("m3.large").expect("catalog").profile;
     let mut rng = SimRng::seed(0xBEEF);
@@ -158,6 +210,28 @@ fn main() {
             dirty.sample_dirty(&mut img, SimDuration::from_secs(1), &mut rng)
         }));
     }
+    const QUEUE_STEPS: usize = 65_536;
+    // (name, backend, pending depth, deadline distribution). The `storm`
+    // rows model a fleet-wide revocation: 64k events pending at once, all
+    // clustered on millisecond instants.
+    let queue_benches: [(&'static str, QueueBackend, usize, fn(&mut SimRng) -> u64); 8] = [
+        ("queue_uniform_heap", QueueBackend::Heap, 1024, dt_uniform),
+        ("queue_uniform_wheel", QueueBackend::Wheel, 1024, dt_uniform),
+        ("queue_bursty_heap", QueueBackend::Heap, 1024, dt_bursty),
+        ("queue_bursty_wheel", QueueBackend::Wheel, 1024, dt_bursty),
+        ("queue_far_future_heap", QueueBackend::Heap, 1024, dt_far_future),
+        ("queue_far_future_wheel", QueueBackend::Wheel, 1024, dt_far_future),
+        ("queue_storm_heap", QueueBackend::Heap, 65_536, dt_bursty),
+        ("queue_storm_wheel", QueueBackend::Wheel, 65_536, dt_bursty),
+    ];
+    for (name, backend, pending, next_dt) in queue_benches {
+        if wanted(name) {
+            reports.push(bench(name, || {
+                queue_churn(backend, pending, QUEUE_STEPS, next_dt)
+            }));
+        }
+    }
+
     if wanted("policy_cell_quick") {
         reports.push(bench("policy_cell_quick", || {
             let mut exp = PolicyExperiment::paper_default(

@@ -1,12 +1,15 @@
 //! CLI that regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments [--quick] [--list] [--json] [--out PATH] [--journal PATH] [--threads N] [id ...]
+//! experiments [--quick] [--list] [--json] [--out PATH] [--journal PATH] [--threads N] [--queue B] [id ...]
 //! ```
 //!
 //! - `--quick` shrinks horizons for smoke tests.
 //! - `--threads N` caps the worker count (0 or absent: auto-detect). The
 //!   worker count never changes any reported number, only wall-clock time.
+//! - `--queue heap|wheel` selects the event-queue backend (default: wheel).
+//!   Both backends pop in an identical order, so reported numbers never
+//!   change — the flag exists for differential testing and benchmarking.
 //! - `--json` emits a machine-readable performance report (wall-clock,
 //!   simulation events, throughput per experiment) instead of the human
 //!   tables; with `--out PATH` the JSON goes to the file and the tables
@@ -18,6 +21,7 @@
 use std::process::ExitCode;
 
 use spotcheck_bench::{all_ids, run_many, PerfReport, Scale};
+use spotcheck_simcore::queue::QueueBackend;
 
 struct Args {
     scale: Scale,
@@ -26,6 +30,7 @@ struct Args {
     out: Option<String>,
     journal: Option<String>,
     threads: usize,
+    queue: Option<QueueBackend>,
     ids: Vec<String>,
 }
 
@@ -37,6 +42,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         out: None,
         journal: None,
         threads: 0,
+        queue: None,
         ids: Vec::new(),
     };
     let mut it = argv.iter();
@@ -64,6 +70,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.threads = n
                     .parse()
                     .map_err(|e| format!("bad --threads value {n:?}: {e}"))?;
+            }
+            "--queue" => {
+                let b = it.next().ok_or("--queue requires 'heap' or 'wheel'")?;
+                args.queue = Some(b.parse()?);
             }
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag: {flag}"));
@@ -95,6 +105,9 @@ fn main() -> ExitCode {
     }
 
     spotcheck_simcore::parallel::set_max_threads(args.threads);
+    if let Some(backend) = args.queue {
+        spotcheck_simcore::queue::set_default_backend(backend);
+    }
 
     if let Some(path) = &args.journal {
         let json = spotcheck_bench::experiments::ablations::journal_json();

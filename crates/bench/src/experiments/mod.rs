@@ -6,6 +6,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod fleet;
 pub mod policy;
 pub mod table1;
 pub mod table2;
@@ -45,6 +46,9 @@ pub struct ExperimentResult {
     /// change points generated, series segments walked, page writes
     /// sampled, fluid-rate recomputations, latency draws, queue pops).
     pub events: u64,
+    /// Largest event-queue depth any simulation driven by the runner
+    /// reached (0 for closed-form experiments that never run the engine).
+    pub peak_queue_depth: u64,
 }
 
 impl ExperimentResult {
@@ -179,6 +183,11 @@ const REGISTRY: &[(&str, &str, Runner)] = &[
         "Journal: controller event counters under a revocation spike",
         ablations::run_journal,
     ),
+    (
+        "fleet",
+        "Fleet: 50k-VM controller stress with a revocation storm",
+        fleet::run,
+    ),
 ];
 
 /// All experiment ids in order.
@@ -189,6 +198,7 @@ pub fn all_ids() -> Vec<&'static str> {
 fn run_entry(entry: &(&'static str, &'static str, Runner), scale: Scale) -> ExperimentResult {
     let (id, title, runner) = *entry;
     let start = std::time::Instant::now();
+    spotcheck_simcore::metrics::reset_peak_queue_depth();
     let (output, events) = spotcheck_simcore::metrics::measure(|| runner(scale));
     ExperimentResult {
         id,
@@ -196,6 +206,7 @@ fn run_entry(entry: &(&'static str, &'static str, Runner), scale: Scale) -> Expe
         output,
         wall: start.elapsed(),
         events,
+        peak_queue_depth: spotcheck_simcore::metrics::peak_queue_depth(),
     }
 }
 

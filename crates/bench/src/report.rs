@@ -55,9 +55,10 @@ impl PerfReport<'_> {
             ));
             out.push_str(&format!("\"events\": {}, ", r.events));
             out.push_str(&format!(
-                "\"events_per_sec\": {}",
+                "\"events_per_sec\": {}, ",
                 json_f64(r.events_per_sec())
             ));
+            out.push_str(&format!("\"peak_queue_depth\": {}", r.peak_queue_depth));
             out.push_str(if i + 1 < self.results.len() { "},\n" } else { "}\n" });
         }
         out.push_str("  ]\n}\n");
@@ -111,6 +112,7 @@ mod tests {
             output: String::new(),
             wall: std::time::Duration::from_millis(millis),
             events,
+            peak_queue_depth: 7,
         }
     }
 

@@ -93,6 +93,30 @@ fn cli_output_is_byte_identical_across_thread_counts() {
 }
 
 #[test]
+fn fleet_is_identical_across_threads_and_queue_backends() {
+    // The fleet experiment drives the full controller at scale; its report
+    // (including event counts and peak queue depth) must not depend on the
+    // worker count or on which event-queue backend ran the simulation.
+    let run = |args: &[&str]| {
+        let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
+            .args(["--quick", "fleet"])
+            .args(args)
+            .output()
+            .expect("experiments binary runs");
+        assert!(out.status.success(), "{args:?} exited nonzero");
+        mask_wall(&String::from_utf8(out.stdout).expect("utf-8 output"))
+    };
+    let baseline = run(&["--threads", "1", "--queue", "wheel"]);
+    for args in [
+        &["--threads", "4", "--queue", "wheel"][..],
+        &["--threads", "1", "--queue", "heap"][..],
+        &["--threads", "4", "--queue", "heap"][..],
+    ] {
+        assert_eq!(run(args), baseline, "fleet diverged under {args:?}");
+    }
+}
+
+#[test]
 fn cli_json_covers_every_registry_id() {
     let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
         .args(["--quick", "--json"])

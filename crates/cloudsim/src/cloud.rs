@@ -9,9 +9,10 @@
 //! [`CloudSim::apply_price_change`], which returns the revocation warnings
 //! the platform issues — the 120-second termination notice of paper §3.2.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use spotcheck_simcore::rng::SimRng;
+use spotcheck_simcore::slab::IdMap;
 use spotcheck_simcore::time::{SimDuration, SimTime};
 use spotcheck_spotmarket::market::{MarketId, ZoneName};
 use spotcheck_spotmarket::trace::PriceTrace;
@@ -169,7 +170,14 @@ pub struct CloudSim {
     config: CloudConfig,
     catalog: BTreeMap<String, InstanceSpec>,
     markets: BTreeMap<MarketId, PriceTrace>,
-    instances: BTreeMap<InstanceId, Instance>,
+    instances: IdMap<InstanceId, Instance>,
+    /// Instances currently in `Running` state, in id order. Terminated
+    /// instances stay in `instances` forever (billing history), so fault
+    /// and revocation paths index the live subset instead of scanning.
+    running: BTreeSet<InstanceId>,
+    /// Running spot instances per market, in id order — the candidate set
+    /// a price change can revoke.
+    spot_running: BTreeMap<MarketId, BTreeSet<InstanceId>>,
     volumes: BTreeMap<VolumeId, Volume>,
     enis: BTreeMap<EniId, Eni>,
     vpc: Vpc,
@@ -202,7 +210,9 @@ impl CloudSim {
             config,
             catalog,
             markets: traces.into_iter().map(|t| (t.market.clone(), t)).collect(),
-            instances: BTreeMap::new(),
+            instances: IdMap::new(),
+            running: BTreeSet::new(),
+            spot_running: BTreeMap::new(),
             volumes: BTreeMap::new(),
             enis: BTreeMap::new(),
             vpc: Vpc::new(),
@@ -251,6 +261,29 @@ impl CloudSim {
             .iter()
             .filter_map(|(id, t)| t.prices.next_change_after(now).map(|(at, _)| (at, id.clone())))
             .min_by_key(|(at, _)| *at)
+    }
+
+    /// Syncs the running-instance indexes with `id`'s current state. Call
+    /// after any mutation of an instance's `state`.
+    fn note_state(&mut self, id: InstanceId) {
+        let (is_running, market) = self
+            .instances
+            .get(&id)
+            .map(|i| (matches!(i.state, InstanceState::Running), i.market()))
+            .unwrap_or((false, None));
+        if is_running {
+            self.running.insert(id);
+        } else {
+            self.running.remove(&id);
+        }
+        if let Some(m) = market {
+            let set = self.spot_running.entry(m).or_default();
+            if is_running {
+                set.insert(id);
+            } else {
+                set.remove(&id);
+            }
+        }
     }
 
     /// Returns a shared view of an instance.
@@ -324,12 +357,9 @@ impl CloudSim {
         let mut impact = FaultImpact::default();
         match event {
             FaultEvent::InstanceCrash { pick } => {
-                let running: Vec<InstanceId> = self
-                    .instances
-                    .values()
-                    .filter(|i| matches!(i.state, InstanceState::Running))
-                    .map(|i| i.id)
-                    .collect();
+                // `self.running` holds exactly the Running instances, in id
+                // order — the same victim list the old full scan produced.
+                let running: Vec<InstanceId> = self.running.iter().copied().collect();
                 if running.is_empty() {
                     return impact;
                 }
@@ -352,6 +382,7 @@ impl CloudSim {
                         eni.state = AttachState::Available;
                     }
                 }
+                self.note_state(victim);
                 impact
                     .notifications
                     .push(Notification::InstanceCrashed { instance: victim });
@@ -361,16 +392,28 @@ impl CloudSim {
             }
             FaultEvent::RevocationStorm { market } => {
                 let terminate_at = now + self.config.warning_period;
-                for inst in self.instances.values_mut() {
+                // Same id-order walk as the old full scan, restricted to the
+                // market's running spot instances via the index. The full
+                // predicate is re-checked against the instance itself.
+                let ids: Vec<InstanceId> = self
+                    .spot_running
+                    .get(market)
+                    .map(|s| s.iter().copied().collect())
+                    .unwrap_or_default();
+                for id in ids {
+                    let Some(inst) = self.instances.get_mut(&id) else {
+                        continue;
+                    };
                     if inst.market().as_ref() == Some(market)
                         && matches!(inst.state, InstanceState::Running)
                     {
                         inst.state = InstanceState::RevocationPending { terminate_at };
                         impact.warnings.push(RevocationWarning {
-                            instance: inst.id,
+                            instance: id,
                             market: market.clone(),
                             terminate_at,
                         });
+                        self.note_state(id);
                     }
                 }
             }
@@ -501,6 +544,7 @@ impl CloudSim {
         }
         inst.state = InstanceState::ShuttingDown;
         inst.terminated_at = Some(now);
+        self.note_state(id);
         let (op, ready) = self.fresh_op(OpKind::TerminateInstance(id), CloudOp::Terminate, now);
         Ok((op, ready))
     }
@@ -518,17 +562,29 @@ impl CloudSim {
         };
         let terminate_at = now + self.config.warning_period;
         let mut warnings = Vec::new();
-        for inst in self.instances.values_mut() {
+        // Walk only the market's running spot instances (id order, matching
+        // the old full scan) instead of every instance ever created — price
+        // ticks are the hottest cloud-side path in a long fleet run.
+        let ids: Vec<InstanceId> = self
+            .spot_running
+            .get(market)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        for id in ids {
+            let Some(inst) = self.instances.get_mut(&id) else {
+                continue;
+            };
             if inst.market().as_ref() == Some(market)
                 && matches!(inst.state, InstanceState::Running)
                 && inst.contract.bid().is_some_and(|bid| bid < price)
             {
                 inst.state = InstanceState::RevocationPending { terminate_at };
                 warnings.push(RevocationWarning {
-                    instance: inst.id,
+                    instance: id,
                     market: market.clone(),
                     terminate_at,
                 });
+                self.note_state(id);
             }
         }
         warnings
@@ -562,6 +618,7 @@ impl CloudSim {
                         eni.state = AttachState::Available;
                     }
                 }
+                self.note_state(id);
                 Ok(true)
             }
             InstanceState::ShuttingDown | InstanceState::Terminated => Ok(false),
@@ -793,6 +850,7 @@ impl CloudSim {
                 }
                 inst.state = InstanceState::Running;
                 inst.started_at = Some(now);
+                self.note_state(id);
                 Ok(Notification::InstanceStarted { instance: id })
             }
             OpKind::TerminateInstance(id) => {
@@ -814,6 +872,7 @@ impl CloudSim {
                         eni.state = AttachState::Available;
                     }
                 }
+                self.note_state(id);
                 Ok(Notification::InstanceTerminated {
                     instance: id,
                     revoked,

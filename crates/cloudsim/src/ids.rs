@@ -13,6 +13,17 @@ macro_rules! id_type {
                 write!(f, concat!($prefix, "-{:08x}"), self.0)
             }
         }
+
+        // Ids are allocated monotonically, so they index dense
+        // `spotcheck_simcore::slab::IdMap` storage directly.
+        impl spotcheck_simcore::slab::DenseKey for $name {
+            fn dense_index(self) -> usize {
+                self.0 as usize
+            }
+            fn from_dense_index(index: usize) -> Self {
+                $name(index as u64)
+            }
+        }
     };
 }
 

@@ -5,7 +5,7 @@
 //! the raw material for the paper's availability (Figure 11) and
 //! degradation (Figure 12) metrics.
 
-use std::collections::BTreeMap;
+use spotcheck_simcore::slab::IdMap;
 
 use spotcheck_nestedvm::vm::NestedVmId;
 use spotcheck_simcore::stats::ConditionClock;
@@ -95,7 +95,7 @@ impl AvailabilityReport {
 /// The accounting ledger across all VMs.
 #[derive(Debug, Clone, Default)]
 pub struct Accounting {
-    per_vm: BTreeMap<NestedVmId, VmStats>,
+    per_vm: IdMap<NestedVmId, VmStats>,
     backup_failures: u64,
     instance_crashes: u64,
     lost_vms: u64,
@@ -109,7 +109,7 @@ impl Accounting {
 
     /// Starts tracking a VM from `now` (its first availability).
     pub fn track(&mut self, vm: NestedVmId, now: SimTime) {
-        self.per_vm.entry(vm).or_insert_with(|| VmStats::new(now));
+        self.per_vm.or_insert_with(vm, || VmStats::new(now));
     }
 
     /// Returns a VM's stats, if tracked.

@@ -502,6 +502,7 @@ impl Controller {
             .get_mut(&source)
             .and_then(|i| i.hv.evict(vm).ok())
             .or_else(|| self.migrations.get_mut(&mig).and_then(|m| m.vm_obj.take()));
+        self.note_host_slots(source);
         let vm_obj = match vm_obj {
             Some(obj) => obj,
             None => {
@@ -539,6 +540,7 @@ impl Controller {
             obj.state = NestedVmState::Restoring;
             let _ = info.hv.admit(obj);
         }
+        self.note_host_slots(dest);
         // New ENI at the destination carrying the same private IP
         // (Figure 4 / §3.4), plus the volume reattach, plus the memory
         // restore gate.
@@ -580,6 +582,7 @@ impl Controller {
         if let Some(r) = self.vms.get_mut(&vm) {
             r.host = Some(dest);
         }
+        self.note_vm_placement(vm);
         // Resume: downtime ends.
         if m.paused_at.is_some() {
             self.accounting.mark_up(vm, now);
@@ -592,6 +595,7 @@ impl Controller {
         // The VM now sits on a non-revocable on-demand server: it no longer
         // needs backup protection (§3.5), and any re-replication in flight
         // is moot.
+        self.backup_refs_sub(vm);
         if self.backups.server_of(vm).is_some() {
             let _ = self.backups.release(vm);
         }
@@ -604,7 +608,7 @@ impl Controller {
         let state = if m.degraded.is_zero() {
             NestedVmState::Running
         } else {
-            let epoch = self.degraded_epoch.entry(vm).or_insert(0);
+            let epoch = self.degraded_epoch.or_insert(vm, 0);
             *epoch += 1;
             let epoch = *epoch;
             self.accounting.mark_degraded(vm, now);
@@ -649,6 +653,7 @@ impl Controller {
         if let Some(r) = self.vms.get_mut(&vm) {
             r.host = None;
         }
+        self.note_vm_placement(vm);
         self.journal
             .record(now, Subsystem::Migration, Record::VmLost { vm });
         // Release the destination we acquired for a VM that will never

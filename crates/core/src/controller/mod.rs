@@ -47,7 +47,7 @@ mod returns;
 
 pub use fsm::{IllegalTransition, MigPhase, MigrationFsm};
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use spotcheck_backup::pool::{BackupPool, BackupServerId};
 use spotcheck_cloudsim::cloud::CloudSim;
@@ -56,6 +56,7 @@ use spotcheck_cloudsim::ids::{InstanceId, OpId, PrivateIp, VolumeId};
 use spotcheck_cloudsim::instance::InstanceState;
 use spotcheck_cloudsim::cloud::Notification;
 use spotcheck_nestedvm::vm::{NestedVmId, NestedVmSpec};
+use spotcheck_simcore::slab::IdMap;
 use spotcheck_simcore::time::{SimDuration, SimTime};
 use spotcheck_spotmarket::market::MarketId;
 use spotcheck_workloads::WorkloadKind;
@@ -127,29 +128,42 @@ pub struct Controller {
     cfg: SpotCheckConfig,
     cloud: CloudSim,
     vm_spec: NestedVmSpec,
-    hosts: BTreeMap<InstanceId, HostInfo>,
-    customers: BTreeMap<CustomerId, Customer>,
-    vms: BTreeMap<NestedVmId, VmRecord>,
+    hosts: IdMap<InstanceId, HostInfo>,
+    customers: IdMap<CustomerId, Customer>,
+    vms: IdMap<NestedVmId, VmRecord>,
     backups: BackupPool,
-    backup_birth: BTreeMap<BackupServerId, SimTime>,
-    backup_death: BTreeMap<BackupServerId, SimTime>,
+    backup_birth: IdMap<BackupServerId, SimTime>,
+    backup_death: IdMap<BackupServerId, SimTime>,
     spares: Vec<InstanceId>,
-    op_ctx: BTreeMap<OpId, OpCtx>,
-    host_waiters: BTreeMap<InstanceId, Vec<NestedVmId>>,
-    provision_pending: BTreeMap<NestedVmId, u8>,
-    migrations: BTreeMap<MigrationId, Migration>,
+    op_ctx: IdMap<OpId, OpCtx>,
+    host_waiters: IdMap<InstanceId, Vec<NestedVmId>>,
+    provision_pending: IdMap<NestedVmId, u8>,
+    migrations: IdMap<MigrationId, Migration>,
     /// Restore-gate duration (skeleton or full-image read) per migration.
-    restore_gates: BTreeMap<MigrationId, SimDuration>,
-    returns: BTreeMap<NestedVmId, ReturnState>,
-    degraded_epoch: BTreeMap<NestedVmId, u32>,
+    restore_gates: IdMap<MigrationId, SimDuration>,
+    returns: IdMap<NestedVmId, ReturnState>,
+    degraded_epoch: IdMap<NestedVmId, u32>,
     /// VMs whose backup server holds an incomplete image (re-replication
     /// in flight). Value is the epoch guarding the pending
     /// [`Event::ReplicationDone`].
-    pending_rerepl: BTreeMap<NestedVmId, u32>,
+    pending_rerepl: IdMap<NestedVmId, u32>,
     repl_epoch: u32,
     /// Failed host-acquisition attempts per still-provisioning VM, for
     /// backoff on the retry.
-    provision_attempts: BTreeMap<NestedVmId, u32>,
+    provision_attempts: IdMap<NestedVmId, u32>,
+    /// Hosts with at least one free nested-VM slot (`hv.fits(vm_spec)`),
+    /// kept exactly in sync with the hypervisor occupancy so the first-fit
+    /// placement scan touches only usable hosts instead of the whole
+    /// fleet. Iteration order (ascending id) matches the full scan's.
+    free_slot_hosts: BTreeSet<InstanceId>,
+    /// VMs currently placed on an on-demand host — the candidates of the
+    /// return-to-spot sweep. A superset is safe (the sweep re-checks the
+    /// full predicate); emptiness means the sweep can be skipped.
+    od_hosted: BTreeSet<NestedVmId>,
+    /// Per spot market: how many VMs homed there are protected by each
+    /// backup server. Keys with a positive count reproduce the `avoid`
+    /// list of the same-pool spreading scan without walking every VM.
+    market_backup_refs: BTreeMap<MarketId, BTreeMap<BackupServerId, u32>>,
     market_health: MarketHealth,
     accounting: Accounting,
     journal: Journal,
@@ -167,23 +181,26 @@ impl Controller {
             cfg,
             cloud,
             vm_spec: NestedVmSpec::medium(),
-            hosts: BTreeMap::new(),
-            customers: BTreeMap::new(),
-            vms: BTreeMap::new(),
+            hosts: IdMap::new(),
+            customers: IdMap::new(),
+            vms: IdMap::new(),
             backups,
-            backup_birth: BTreeMap::new(),
-            backup_death: BTreeMap::new(),
+            backup_birth: IdMap::new(),
+            backup_death: IdMap::new(),
             spares: Vec::new(),
-            op_ctx: BTreeMap::new(),
-            host_waiters: BTreeMap::new(),
-            provision_pending: BTreeMap::new(),
-            migrations: BTreeMap::new(),
-            restore_gates: BTreeMap::new(),
-            returns: BTreeMap::new(),
-            degraded_epoch: BTreeMap::new(),
-            pending_rerepl: BTreeMap::new(),
+            op_ctx: IdMap::new(),
+            host_waiters: IdMap::new(),
+            provision_pending: IdMap::new(),
+            migrations: IdMap::new(),
+            restore_gates: IdMap::new(),
+            returns: IdMap::new(),
+            degraded_epoch: IdMap::new(),
+            pending_rerepl: IdMap::new(),
             repl_epoch: 0,
-            provision_attempts: BTreeMap::new(),
+            provision_attempts: IdMap::new(),
+            free_slot_hosts: BTreeSet::new(),
+            od_hosted: BTreeSet::new(),
+            market_backup_refs: BTreeMap::new(),
             market_health,
             accounting: Accounting::new(),
             journal: Journal::new(),
@@ -332,6 +349,7 @@ impl Controller {
             return Err(ControllerError::UnknownVm(vm));
         }
         self.set_status(Subsystem::Controller, vm, VmStatus::Released, now);
+        self.backup_refs_sub(vm);
         let host = {
             let record = self.vms.get_mut(&vm).expect("checked above");
             let host = record.host.take();
@@ -341,16 +359,93 @@ impl Controller {
             }
             host
         };
+        self.note_vm_placement(vm);
         let mut out = Vec::new();
         if let Some(h) = host {
             if let Some(info) = self.hosts.get_mut(&h) {
                 let _ = info.hv.evict(vm);
-                if info.hv.resident_count() == 0 {
+                let empty = info.hv.resident_count() == 0;
+                self.note_host_slots(h);
+                if empty {
                     self.terminate_host(h, now, &mut out);
                 }
             }
         }
         Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Hot-path index maintenance
+    //
+    // Three derived indexes keep the per-event scans O(candidates) at
+    // fleet scale. Each is re-derived from the authoritative record by a
+    // `note_*`/`backup_refs_*` call at every mutation site, so the scans
+    // they replace stay byte-identical to walking the full maps.
+    // ------------------------------------------------------------------
+
+    /// Re-derives `free_slot_hosts` membership for `host`. Call after any
+    /// change to the host's hypervisor occupancy or to its presence in
+    /// `hosts`.
+    pub(super) fn note_host_slots(&mut self, host: InstanceId) {
+        let fits = self
+            .hosts
+            .get(&host)
+            .map(|info| info.hv.fits(&self.vm_spec))
+            .unwrap_or(false);
+        if fits {
+            self.free_slot_hosts.insert(host);
+        } else {
+            self.free_slot_hosts.remove(&host);
+        }
+    }
+
+    /// Re-derives `od_hosted` membership for `vm`. Call after any change
+    /// to the VM's `host` field.
+    pub(super) fn note_vm_placement(&mut self, vm: NestedVmId) {
+        let on_od = self
+            .vms
+            .get(&vm)
+            .and_then(|r| r.host)
+            .and_then(|h| self.hosts.get(&h))
+            .map(|info| info.market.is_none())
+            .unwrap_or(false);
+        if on_od {
+            self.od_hosted.insert(vm);
+        } else {
+            self.od_hosted.remove(&vm);
+        }
+    }
+
+    /// Drops `vm`'s (home market, backup server) pair from
+    /// `market_backup_refs`. Call *before* mutating either field.
+    pub(super) fn backup_refs_sub(&mut self, vm: NestedVmId) {
+        let Some(r) = self.vms.get(&vm) else { return };
+        let (Some(m), Some(s)) = (r.home_market.clone(), r.backup) else {
+            return;
+        };
+        if let Some(counts) = self.market_backup_refs.get_mut(&m) {
+            if let Some(c) = counts.get_mut(&s) {
+                *c -= 1;
+                if *c == 0 {
+                    counts.remove(&s);
+                }
+            }
+        }
+    }
+
+    /// Records `vm`'s (home market, backup server) pair in
+    /// `market_backup_refs`. Call *after* mutating either field.
+    pub(super) fn backup_refs_add(&mut self, vm: NestedVmId) {
+        let Some(r) = self.vms.get(&vm) else { return };
+        let (Some(m), Some(s)) = (r.home_market.clone(), r.backup) else {
+            return;
+        };
+        *self
+            .market_backup_refs
+            .entry(m)
+            .or_default()
+            .entry(s)
+            .or_insert(0) += 1;
     }
 
     /// The main event dispatcher.
@@ -428,11 +523,11 @@ impl Controller {
                             info.market.as_ref() == Some(market)
                                 && self
                                     .cloud
-                                    .instance(**id)
+                                    .instance(*id)
                                     .map(|i| matches!(i.state, InstanceState::Running))
                                     .unwrap_or(false)
                         })
-                        .map(|(id, _)| *id)
+                        .map(|(id, _)| id)
                         .collect();
                     for host in hosts_in_market {
                         self.start_proactive_evacuation(host, now, out);
@@ -450,19 +545,28 @@ impl Controller {
                 .map(|s| s.on_demand_price);
             if let (Some(p), Some(od)) = (price, od) {
                 if p < od {
+                    // `od_hosted` holds exactly the VMs placed on on-demand
+                    // hosts, in id order — the same order the full scan over
+                    // `vms` visited them — and the full predicate is
+                    // re-checked, so the candidate list is identical.
                     let candidates: Vec<NestedVmId> = self
-                        .vms
-                        .values()
-                        .filter(|r| {
-                            r.status == VmStatus::Running
-                                && r.home_market.as_ref() == Some(market)
-                                && !self.returns.contains_key(&r.id)
-                                && r.host
-                                    .and_then(|h| self.hosts.get(&h))
-                                    .map(|i| i.market.is_none())
-                                    .unwrap_or(false)
+                        .od_hosted
+                        .iter()
+                        .copied()
+                        .filter(|id| {
+                            self.vms
+                                .get(id)
+                                .map(|r| {
+                                    r.status == VmStatus::Running
+                                        && r.home_market.as_ref() == Some(market)
+                                        && !self.returns.contains_key(&r.id)
+                                        && r.host
+                                            .and_then(|h| self.hosts.get(&h))
+                                            .map(|i| i.market.is_none())
+                                            .unwrap_or(false)
+                                })
+                                .unwrap_or(false)
                         })
-                        .map(|r| r.id)
                         .collect();
                     for vm in candidates {
                         self.start_return(vm, market.clone(), now, out);
@@ -562,7 +666,7 @@ impl Controller {
             // A failed backup server stops billing at its death.
             let end = self
                 .backup_death
-                .get(id)
+                .get(&id)
                 .copied()
                 .unwrap_or(now)
                 .min(now);

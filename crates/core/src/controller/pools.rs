@@ -58,12 +58,14 @@ impl Controller {
                 market: None,
             },
         );
+        self.note_host_slots(instance);
         self.spares.push(instance);
     }
 
     /// Terminates a host, retrying on transient API errors.
     pub(super) fn terminate_host(&mut self, instance: InstanceId, now: SimTime, out: &mut Outbox) {
         self.hosts.remove(&instance);
+        self.note_host_slots(instance);
         match self.eff_terminate(Subsystem::Pools, instance, now, out) {
             Ok(()) => {}
             Err(CloudError::ApiUnavailable) if self.cfg.resilience.retry_enabled => {

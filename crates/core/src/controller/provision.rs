@@ -34,17 +34,20 @@ impl Controller {
             return;
         }
         // 1. Reuse a free slot on an existing spot host in one of the
-        //    mapping policy's markets.
+        //    mapping policy's markets. `free_slot_hosts` holds exactly the
+        //    hosts whose hypervisor fits another VM, in id order — the same
+        //    order the full-map scan used — so the first match is identical.
         let markets = self.cfg.mapping.markets(&self.cfg.zone);
-        let existing = self.hosts.iter().find_map(|(id, info)| {
+        let existing = self.free_slot_hosts.iter().copied().find_map(|id| {
+            let info = self.hosts.get(&id)?;
             let usable = self
                 .cloud
-                .instance(*id)
+                .instance(id)
                 .map(|i| matches!(i.state, InstanceState::Running))
                 .unwrap_or(false);
             match &info.market {
                 Some(m) if markets.contains(m) && usable && info.hv.fits(&self.vm_spec) => {
-                    Some((*id, m.clone()))
+                    Some((id, m.clone()))
                 }
                 _ => None,
             }
@@ -56,7 +59,7 @@ impl Controller {
         // 1b. Join a host that is still booting and has uncommitted slots
         //     (e.g. the second medium VM of a freshly-sliced m3.large).
         let pending = self.host_waiters.iter().find_map(|(inst, waiters)| {
-            let i = self.cloud.instance(*inst).ok()?;
+            let i = self.cloud.instance(inst).ok()?;
             if !matches!(i.state, InstanceState::Pending) {
                 return None;
             }
@@ -65,7 +68,7 @@ impl Controller {
                 None => true,
             };
             if in_scope && (waiters.len() as u32) < i.spec.medium_slots {
-                Some((*inst, i.market()))
+                Some((inst, i.market()))
             } else {
                 None
             }
@@ -149,11 +152,13 @@ impl Controller {
             ) {
                 Ok(instance) => {
                     self.market_health.record_success(&market);
-                    self.host_waiters.entry(instance).or_default().push(vm);
+                    self.host_waiters.or_default(instance).push(vm);
                     // Remember the VM's home market for return-to-spot.
+                    self.backup_refs_sub(vm);
                     if let Some(r) = self.vms.get_mut(&vm) {
                         r.home_market = Some(market);
                     }
+                    self.backup_refs_add(vm);
                     return;
                 }
                 // Economic rejection, not ill health: the price is simply
@@ -177,10 +182,11 @@ impl Controller {
             out,
         ) {
             Ok(instance) => {
-                self.host_waiters.entry(instance).or_default().push(vm);
+                self.host_waiters.or_default(instance).push(vm);
                 if let Some(r) = self.vms.get_mut(&vm) {
                     if r.home_market.is_none() {
-                        // Home defaults to the first mapping market.
+                        // Home defaults to the first mapping market. The VM
+                        // has no backup yet, so no refcount to maintain.
                         r.home_market =
                             self.cfg.mapping.markets(&self.cfg.zone).into_iter().next();
                     }
@@ -192,7 +198,7 @@ impl Controller {
             // sit in Provisioning forever.
             Err(_) if self.cfg.resilience.retry_enabled => {
                 let attempt = {
-                    let attempt = self.provision_attempts.entry(vm).or_insert(0);
+                    let attempt = self.provision_attempts.or_insert(vm, 0);
                     *attempt += 1;
                     *attempt
                 };
@@ -235,12 +241,14 @@ impl Controller {
             self.schedule(Subsystem::Provision, now, now, Event::ProvisionVm(vm), out);
             return;
         }
+        self.note_host_slots(host);
         if let Some(record) = self.vms.get_mut(&vm) {
             record.host = Some(host);
             if record.home_market.is_none() {
                 record.home_market = market;
             }
         }
+        self.note_vm_placement(vm);
         let pending = self.attach_network_identity(
             Subsystem::Provision,
             vm,
@@ -318,6 +326,7 @@ impl Controller {
                 market: market.clone(),
             },
         );
+        self.note_host_slots(instance);
         for vm in self.host_waiters.remove(&instance).unwrap_or_default() {
             self.place_vm(vm, instance, market.clone(), now, out);
         }
@@ -370,6 +379,7 @@ impl Controller {
                 if let Some(r) = self.vms.get_mut(&vm) {
                     r.host = None;
                 }
+                self.note_vm_placement(vm);
                 self.schedule(Subsystem::Provision, now, now, Event::ProvisionVm(vm), out);
             }
             _ => {}

@@ -85,6 +85,7 @@ impl Controller {
         if reclaimed {
             self.hosts.remove(&instance);
         }
+        self.note_host_slots(instance);
         let _ = out;
     }
 
@@ -147,6 +148,7 @@ impl Controller {
             .remove(&instance)
             .map(|i| (i.hv.resident_ids(), i.market.is_some()))
             .unwrap_or((Vec::new(), false));
+        self.note_host_slots(instance);
         // Migrations streaming their final commit FROM the crashed host die
         // mid-push: the backup must not be credited with a fresh ack.
         for m in self.migrations.values_mut() {
@@ -163,7 +165,7 @@ impl Controller {
             .map(|(id, m)| {
                 m.dest = None;
                 let _ = m.fsm.dest_lost();
-                *id
+                id
             })
             .collect();
         for mig in orphaned_dests {
@@ -198,6 +200,7 @@ impl Controller {
                     r.host = None;
                     r.eni = None;
                 }
+                self.note_vm_placement(vm);
                 self.set_status(Subsystem::Recovery, vm, VmStatus::Provisioning, now);
                 self.schedule(Subsystem::Recovery, now, now, Event::ProvisionVm(vm), out);
             } else {
@@ -205,6 +208,7 @@ impl Controller {
                 // the dead host: no backup (resilience ablated), or the
                 // backup's image was still incomplete mid-re-replication.
                 self.accounting.count_lost();
+                self.backup_refs_sub(vm);
                 if let Some(r) = self.vms.get_mut(&vm) {
                     if r.backup.is_some() {
                         let _ = self.backups.release(vm);
@@ -212,6 +216,7 @@ impl Controller {
                     }
                     r.host = None;
                 }
+                self.note_vm_placement(vm);
                 self.set_status(Subsystem::Recovery, vm, VmStatus::Lost, now);
                 self.journal
                     .record(now, Subsystem::Recovery, Record::VmLost { vm });

@@ -40,24 +40,45 @@ impl Controller {
         }
         // Spread VMs of the same spot pool across distinct backup servers
         // (§4.2): avoid servers already protecting same-market VMs.
+        // `market_backup_refs` holds the per-market refcount of every
+        // (home market, backup server) pair, so the avoid set is exactly
+        // the servers the old full-VM scan collected — minus this VM's own
+        // contribution, which that scan excluded via `r.id != vm`.
         let market = self.vms.get(&vm).and_then(|r| r.home_market.clone());
-        let avoid: Vec<BackupServerId> = match &market {
-            Some(m) => self
-                .vms
-                .values()
-                .filter(|r| r.home_market.as_ref() == Some(m) && r.id != vm)
-                .filter_map(|r| r.backup)
-                .collect(),
-            None => Vec::new(),
+        let own = self.vms.get(&vm).and_then(|r| r.backup);
+        let refs = market.as_ref().and_then(|m| self.market_backup_refs.get(m));
+        let avoided = refs.map_or(0, |counts| {
+            let mut k = counts.len();
+            if let Some(s) = own {
+                if counts.get(&s) == Some(&1) {
+                    k -= 1;
+                }
+            }
+            k
+        });
+        // Fast path: every live server is avoided (the common case under a
+        // single-market mapping), so the round-robin scan cannot choose —
+        // provision a fresh server directly, identically to `assign`.
+        let provisioned_before = self.backups.provisioned_total();
+        let assigned = if avoided == self.backups.server_count() {
+            self.backups.assign_fresh(vm, self.vm_spec.pages())
+        } else {
+            let in_refs = |id: BackupServerId| {
+                refs.and_then(|counts| counts.get(&id))
+                    .map(|&c| own != Some(id) || c > 1)
+                    .unwrap_or(false)
+            };
+            self.backups.assign(vm, self.vm_spec.pages(), in_refs)
         };
-        let before: Vec<BackupServerId> = self.backups.servers().map(|(id, _)| id).collect();
-        if let Ok(server) = self.backups.assign(vm, self.vm_spec.pages(), &avoid) {
-            if !before.contains(&server) {
+        if let Ok(server) = assigned {
+            if self.backups.provisioned_total() > provisioned_before {
+                // A freshly provisioned server starts billing now.
                 self.backup_birth.insert(server, now);
             }
             if let Some(r) = self.vms.get_mut(&vm) {
                 r.backup = Some(server);
             }
+            self.backup_refs_add(vm);
             self.journal
                 .record(now, Subsystem::Replication, Record::BackupAssigned { vm });
             true
@@ -112,6 +133,7 @@ impl Controller {
             self.vm_spec.mem_bytes as f64 / self.cfg.backup.nic_bps,
         );
         for vm in orphans {
+            self.backup_refs_sub(vm);
             if let Some(r) = self.vms.get_mut(&vm) {
                 r.backup = None;
             }

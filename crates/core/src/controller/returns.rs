@@ -222,9 +222,13 @@ impl Controller {
         let obj = old_host
             .and_then(|h| self.hosts.get_mut(&h).and_then(|i| i.hv.evict(vm).ok()))
             .unwrap_or_else(|| NestedVm::new(vm, self.vm_spec, now));
+        if let Some(h) = old_host {
+            self.note_host_slots(h);
+        }
         if let Some(info) = self.hosts.get_mut(&dest) {
             let _ = info.hv.admit(obj);
         }
+        self.note_host_slots(dest);
         // Relinquish the empty od host.
         if let Some(h) = old_host {
             let empty = self
@@ -247,6 +251,7 @@ impl Controller {
         if let Some(r) = self.vms.get_mut(&vm) {
             r.host = Some(dest);
         }
+        self.note_vm_placement(vm);
         if pending == 0 {
             self.complete_return(vm, now);
         } else if let Some(ret) = self.returns.get_mut(&vm) {

@@ -25,6 +25,17 @@ impl fmt::Display for CustomerId {
     }
 }
 
+// Allocated monotonically by the controller; indexes dense
+// `spotcheck_simcore::slab::IdMap` storage directly.
+impl spotcheck_simcore::slab::DenseKey for CustomerId {
+    fn dense_index(self) -> usize {
+        self.0 as usize
+    }
+    fn from_dense_index(index: usize) -> Self {
+        CustomerId(index as u64)
+    }
+}
+
 /// Identifies a migration in flight.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct MigrationId(pub u64);
@@ -32,6 +43,17 @@ pub struct MigrationId(pub u64);
 impl fmt::Display for MigrationId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "mig-{:06}", self.0)
+    }
+}
+
+// Allocated monotonically by the controller; indexes dense
+// `spotcheck_simcore::slab::IdMap` storage directly.
+impl spotcheck_simcore::slab::DenseKey for MigrationId {
+    fn dense_index(self) -> usize {
+        self.0 as usize
+    }
+    fn from_dense_index(index: usize) -> Self {
+        MigrationId(index as u64)
     }
 }
 

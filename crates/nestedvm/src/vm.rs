@@ -16,6 +16,17 @@ impl fmt::Display for NestedVmId {
     }
 }
 
+// Allocated monotonically by the controller, so it indexes dense
+// `spotcheck_simcore::slab::IdMap` storage directly.
+impl spotcheck_simcore::slab::DenseKey for NestedVmId {
+    fn dense_index(self) -> usize {
+        self.0 as usize
+    }
+    fn from_dense_index(index: usize) -> Self {
+        NestedVmId(index as u64)
+    }
+}
+
 /// Static sizing of a nested VM.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NestedVmSpec {

@@ -188,7 +188,15 @@ impl<W: World> Simulation<W> {
             queue: &mut self.queue,
         };
         self.world.handle(event, &mut sched);
+        // Feed the peak-depth gauge after the handler's pushes land — the
+        // queue is at its largest right here.
+        crate::metrics::note_queue_depth(self.queue.len() as u64);
         true
+    }
+
+    /// The number of events currently pending in the queue.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
     }
 
     /// Runs until the queue drains, the next event would fire after

@@ -7,7 +7,9 @@
 //!
 //! - [`time`] — integer-microsecond simulated time ([`time::SimTime`],
 //!   [`time::SimDuration`]).
-//! - [`queue`] — a deterministic (FIFO-on-ties) event queue.
+//! - [`queue`] — a deterministic (FIFO-on-ties) event queue with two
+//!   bit-identical backends: binary heap and hierarchical timing wheel
+//!   ([`wheel`]).
 //! - [`engine`] — the [`engine::World`] trait and [`engine::Simulation`]
 //!   driver.
 //! - [`rng`] — seedable, forkable xoshiro256** RNG ([`rng::SimRng`]).
@@ -23,6 +25,8 @@
 //!   harness throughput numbers.
 //! - [`parallel`] — deterministic fork-join parallel map on std threads
 //!   (ordered collection, event-count fold-back).
+//! - [`slab`] — dense entity storage: a generational slab and the
+//!   id-indexed [`slab::IdMap`] whose iteration order matches `BTreeMap`.
 //!
 //! Determinism contract: given the same seeds and inputs, every simulation
 //! built on this crate replays bit-for-bit.
@@ -39,12 +43,15 @@ pub mod parallel;
 pub mod queue;
 pub mod rng;
 pub mod series;
+pub mod slab;
 pub mod stats;
 pub mod time;
+pub mod wheel;
 
 pub use bitset::BitSet;
 pub use engine::{Scheduler, Simulation, StopReason, World};
-pub use queue::EventQueue;
+pub use queue::{EventQueue, QueueBackend};
+pub use slab::{DenseKey, IdMap, Slab};
 pub use rng::SimRng;
 pub use series::StepSeries;
 pub use time::{SimDuration, SimTime};

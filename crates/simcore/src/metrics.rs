@@ -19,6 +19,7 @@ use std::cell::Cell;
 
 thread_local! {
     static EVENTS: Cell<u64> = const { Cell::new(0) };
+    static PEAK_QUEUE_DEPTH: Cell<u64> = const { Cell::new(0) };
 }
 
 /// Records `n` simulation events on the current thread's counter.
@@ -31,6 +32,33 @@ pub fn add(n: u64) {
 /// (including counts folded back from joined parallel workers).
 pub fn events() -> u64 {
     EVENTS.with(Cell::get)
+}
+
+/// Folds an observed event-queue depth into the current thread's peak
+/// gauge (a running max, unlike the monotonic event counter). The engine
+/// calls this once per dispatched step; fork-join helpers max-fold worker
+/// peaks back at join, mirroring the event-count fold.
+#[inline]
+pub fn note_queue_depth(depth: u64) {
+    PEAK_QUEUE_DEPTH.with(|c| {
+        if depth > c.get() {
+            c.set(depth);
+        }
+    });
+}
+
+/// The largest queue depth noted on this thread since the last
+/// [`reset_peak_queue_depth`] (plus peaks folded back from joined
+/// parallel workers).
+pub fn peak_queue_depth() -> u64 {
+    PEAK_QUEUE_DEPTH.with(Cell::get)
+}
+
+/// Resets the peak-depth gauge; callers bracket a measurement region with
+/// this and [`peak_queue_depth`] (the gauge is a max, so deltas don't
+/// compose the way the monotonic event counter does).
+pub fn reset_peak_queue_depth() {
+    PEAK_QUEUE_DEPTH.with(|c| c.set(0));
 }
 
 /// Runs `f` and returns its result along with the number of simulation
@@ -78,5 +106,16 @@ mod tests {
         .join()
         .unwrap();
         assert_eq!(child, 1);
+    }
+
+    #[test]
+    fn peak_depth_is_a_running_max() {
+        reset_peak_queue_depth();
+        note_queue_depth(3);
+        note_queue_depth(9);
+        note_queue_depth(5);
+        assert_eq!(peak_queue_depth(), 9);
+        reset_peak_queue_depth();
+        assert_eq!(peak_queue_depth(), 0);
     }
 }

@@ -87,6 +87,7 @@ where
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
     let mut worker_events: u64 = 0;
+    let mut worker_peak: u64 = 0;
 
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
@@ -105,20 +106,25 @@ where
                         let out = f(i, item);
                         *results[i].lock().expect("result slot poisoned") = Some(out);
                     }
-                    metrics::events()
+                    (metrics::events(), metrics::peak_queue_depth())
                 })
             })
             .collect();
         for handle in handles {
             match handle.join() {
-                Ok(events) => worker_events = worker_events.wrapping_add(events),
+                Ok((events, peak)) => {
+                    worker_events = worker_events.wrapping_add(events);
+                    worker_peak = worker_peak.max(peak);
+                }
                 Err(payload) => std::panic::resume_unwind(payload),
             }
         }
     });
-    // Fold worker-side simulation-event counts into the caller's counter so
-    // an enclosing metrics::measure still attributes this region's work.
+    // Fold worker-side simulation-event counts (and the max observed queue
+    // depth) into the caller's counters so an enclosing metrics::measure
+    // still attributes this region's work.
     metrics::add(worker_events);
+    metrics::note_queue_depth(worker_peak);
 
     results
         .into_iter()

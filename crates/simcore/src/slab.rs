@@ -1,0 +1,466 @@
+//! Dense entity storage: a generational slab and an id-indexed map.
+//!
+//! Fleet-scale simulations keep tens of thousands of live entities (hosts,
+//! nested VMs, migrations, pending platform ops). Storing them in
+//! `BTreeMap`s costs O(log n) pointer-chasing per lookup and scatters
+//! iteration across the heap; at 50k entities the controller's hot scans
+//! (first-fit placement, price-change sweeps) spend most of their time in
+//! cache misses. This module provides two dense alternatives:
+//!
+//! - [`Slab<T>`] — a free-list slab addressed by generational [`Handle`]s
+//!   (u32 index + u32 generation). Slots are reused after removal; the
+//!   generation check makes stale handles miss instead of aliasing a new
+//!   occupant (the classic ABA guard). Use it for entities whose identity
+//!   is *internal* to one owner and whose iteration order is immaterial.
+//!
+//! - [`IdMap<K, V>`] — a `Vec<Option<V>>` indexed directly by an entity id
+//!   ([`DenseKey`]). Every id in this codebase (`InstanceId`, `NestedVmId`,
+//!   `OpId`, ...) is a monotonically allocated `u64` newtype, so the vector
+//!   stays dense and — crucially — **index-order iteration equals id-order
+//!   iteration**, which is exactly the order a `BTreeMap<Id, V>` yields.
+//!   Swapping one for the other therefore cannot change any simulated
+//!   outcome, only its speed. Slots of removed entities are never reused
+//!   (ids are never reallocated), so the vector's length tracks the
+//!   all-time id high-water mark, not the live count.
+
+/// A key that maps 1:1 onto a dense array index.
+///
+/// Implemented by the monotonically allocated id newtypes (`InstanceId`,
+/// `NestedVmId`, `OpId`, ...). The contract: `from_dense_index` is the
+/// inverse of `dense_index`, and ids are allocated in increasing index
+/// order so an [`IdMap`] stays dense and iterates in id order.
+pub trait DenseKey: Copy {
+    /// The array index this key addresses.
+    fn dense_index(self) -> usize;
+    /// Reconstructs the key from its array index.
+    fn from_dense_index(index: usize) -> Self;
+}
+
+/// A generational handle into a [`Slab`].
+///
+/// `index` addresses the slot; `generation` must match the slot's current
+/// generation for the handle to resolve, so handles to removed entries
+/// return `None` instead of aliasing whatever was inserted into the
+/// recycled slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Handle {
+    index: u32,
+    generation: u32,
+}
+
+impl Handle {
+    /// The slot index (stable for the lifetime of the entry).
+    pub fn index(self) -> u32 {
+        self.index
+    }
+
+    /// The generation the handle was minted with.
+    pub fn generation(self) -> u32 {
+        self.generation
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Slot<T> {
+    Occupied { generation: u32, value: T },
+    Vacant { generation: u32 },
+}
+
+/// A dense free-list slab with generational handles.
+///
+/// O(1) insert/remove/lookup; removed slots are recycled with a bumped
+/// generation. Iteration visits occupied slots in index order (which is
+/// *not* insertion order once slots recycle — don't depend on it for
+/// deterministic simulation state; use [`IdMap`] there).
+#[derive(Debug, Clone)]
+pub struct Slab<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Slab::new()
+    }
+}
+
+impl<T> Slab<T> {
+    /// Creates an empty slab.
+    pub fn new() -> Self {
+        Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the slab holds no live entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a value, reusing a vacant slot if one exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slab would exceed `u32::MAX` slots.
+    pub fn insert(&mut self, value: T) -> Handle {
+        self.len += 1;
+        if let Some(index) = self.free.pop() {
+            let slot = &mut self.slots[index as usize];
+            let generation = match slot {
+                Slot::Vacant { generation } => *generation,
+                Slot::Occupied { .. } => unreachable!("free list points at occupied slot"),
+            };
+            *slot = Slot::Occupied { generation, value };
+            Handle { index, generation }
+        } else {
+            let index = u32::try_from(self.slots.len()).expect("slab capacity exceeded");
+            self.slots.push(Slot::Occupied {
+                generation: 0,
+                value,
+            });
+            Handle {
+                index,
+                generation: 0,
+            }
+        }
+    }
+
+    /// Removes the entry behind `handle`, returning its value. Stale
+    /// handles (wrong generation, or already removed) return `None`.
+    pub fn remove(&mut self, handle: Handle) -> Option<T> {
+        let slot = self.slots.get_mut(handle.index as usize)?;
+        match slot {
+            Slot::Occupied { generation, .. } if *generation == handle.generation => {
+                let next_gen = generation.wrapping_add(1);
+                let old = std::mem::replace(
+                    slot,
+                    Slot::Vacant {
+                        generation: next_gen,
+                    },
+                );
+                self.free.push(handle.index);
+                self.len -= 1;
+                match old {
+                    Slot::Occupied { value, .. } => Some(value),
+                    Slot::Vacant { .. } => unreachable!("matched occupied above"),
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Shared access; `None` for stale handles.
+    pub fn get(&self, handle: Handle) -> Option<&T> {
+        match self.slots.get(handle.index as usize)? {
+            Slot::Occupied { generation, value } if *generation == handle.generation => {
+                Some(value)
+            }
+            _ => None,
+        }
+    }
+
+    /// Exclusive access; `None` for stale handles.
+    pub fn get_mut(&mut self, handle: Handle) -> Option<&mut T> {
+        match self.slots.get_mut(handle.index as usize)? {
+            Slot::Occupied { generation, value } if *generation == handle.generation => {
+                Some(value)
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether `handle` resolves to a live entry.
+    pub fn contains(&self, handle: Handle) -> bool {
+        self.get(handle).is_some()
+    }
+
+    /// Iterates live entries in slot-index order.
+    pub fn iter(&self) -> impl Iterator<Item = (Handle, &T)> {
+        self.slots.iter().enumerate().filter_map(|(i, slot)| match slot {
+            Slot::Occupied { generation, value } => Some((
+                Handle {
+                    index: i as u32,
+                    generation: *generation,
+                },
+                value,
+            )),
+            Slot::Vacant { .. } => None,
+        })
+    }
+}
+
+/// A map from a dense id ([`DenseKey`]) to a value, backed by
+/// `Vec<Option<V>>`.
+///
+/// Drop-in replacement for the controller's `BTreeMap<Id, V>` state: all
+/// ids are allocated monotonically and never reused, so the backing vector
+/// is dense and iteration in index order reproduces `BTreeMap`'s id-order
+/// iteration exactly — same visit order, same simulated outcome, O(1)
+/// per lookup instead of O(log n).
+///
+/// Iteration yields `(K, &V)` (keys by value, unlike `BTreeMap`'s `&K`) —
+/// the ids are tiny `Copy` newtypes.
+#[derive(Debug, Clone)]
+pub struct IdMap<K, V> {
+    slots: Vec<Option<V>>,
+    len: usize,
+    _key: std::marker::PhantomData<K>,
+}
+
+impl<K: DenseKey, V> Default for IdMap<K, V> {
+    fn default() -> Self {
+        IdMap::new()
+    }
+}
+
+impl<K: DenseKey, V> IdMap<K, V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        IdMap {
+            slots: Vec::new(),
+            len: 0,
+            _key: std::marker::PhantomData,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `value` under `key`, returning the previous value if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let i = key.dense_index();
+        if i >= self.slots.len() {
+            self.slots.resize_with(i + 1, || None);
+        }
+        let old = self.slots[i].replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Removes and returns the value under `key`.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let old = self.slots.get_mut(key.dense_index())?.take();
+        if old.is_some() {
+            self.len -= 1;
+        }
+        old
+    }
+
+    /// Shared lookup.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.slots.get(key.dense_index())?.as_ref()
+    }
+
+    /// Exclusive lookup.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        self.slots.get_mut(key.dense_index())?.as_mut()
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Returns the value under `key`, inserting `V::default()` first if
+    /// absent (`BTreeMap::entry(k).or_default()`).
+    pub fn or_default(&mut self, key: K) -> &mut V
+    where
+        V: Default,
+    {
+        self.or_insert(key, V::default())
+    }
+
+    /// Returns the value under `key`, inserting `value` first if absent
+    /// (`BTreeMap::entry(k).or_insert(v)`).
+    pub fn or_insert(&mut self, key: K, value: V) -> &mut V {
+        self.or_insert_with(key, || value)
+    }
+
+    /// Returns the value under `key`, inserting `make()` first if absent
+    /// (`BTreeMap::entry(k).or_insert_with(f)`).
+    pub fn or_insert_with(&mut self, key: K, make: impl FnOnce() -> V) -> &mut V {
+        let i = key.dense_index();
+        if i >= self.slots.len() {
+            self.slots.resize_with(i + 1, || None);
+        }
+        let slot = &mut self.slots[i];
+        if slot.is_none() {
+            *slot = Some(make());
+            self.len += 1;
+        }
+        slot.as_mut().expect("slot populated above")
+    }
+
+    /// Iterates entries in id order (matching `BTreeMap<Id, V>`).
+    pub fn iter(&self) -> impl Iterator<Item = (K, &V)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| Some((K::from_dense_index(i), v.as_ref()?)))
+    }
+
+    /// Iterates entries mutably in id order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (K, &mut V)> {
+        self.slots
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, v)| Some((K::from_dense_index(i), v.as_mut()?)))
+    }
+
+    /// Iterates keys in id order.
+    pub fn keys(&self) -> impl Iterator<Item = K> + '_ {
+        self.iter().map(|(k, _)| k)
+    }
+
+    /// Iterates values in id order.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.slots.iter().filter_map(|v| v.as_ref())
+    }
+
+    /// Iterates values mutably in id order.
+    pub fn values_mut(&mut self) -> impl Iterator<Item = &mut V> {
+        self.slots.iter_mut().filter_map(|v| v.as_mut())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    struct TestId(u64);
+
+    impl DenseKey for TestId {
+        fn dense_index(self) -> usize {
+            self.0 as usize
+        }
+        fn from_dense_index(index: usize) -> Self {
+            TestId(index as u64)
+        }
+    }
+
+    #[test]
+    fn slab_insert_get_remove_roundtrip() {
+        let mut s = Slab::new();
+        let a = s.insert("a");
+        let b = s.insert("b");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(a), Some(&"a"));
+        assert_eq!(s.get(b), Some(&"b"));
+        assert_eq!(s.remove(a), Some("a"));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(a), None);
+        assert!(!s.contains(a));
+        assert!(s.contains(b));
+    }
+
+    #[test]
+    fn slab_recycles_slots_with_new_generation() {
+        let mut s = Slab::new();
+        let a = s.insert(1u32);
+        s.remove(a).unwrap();
+        let b = s.insert(2u32);
+        // Slot index is reused...
+        assert_eq!(a.index(), b.index());
+        // ...but the stale handle does not alias the new occupant.
+        assert_ne!(a.generation(), b.generation());
+        assert_eq!(s.get(a), None);
+        assert_eq!(s.remove(a), None);
+        assert_eq!(s.get(b), Some(&2));
+    }
+
+    #[test]
+    fn slab_get_mut_and_iter() {
+        let mut s = Slab::new();
+        let a = s.insert(10u32);
+        let b = s.insert(20u32);
+        s.remove(a).unwrap();
+        *s.get_mut(b).unwrap() += 1;
+        let items: Vec<u32> = s.iter().map(|(_, v)| *v).collect();
+        assert_eq!(items, vec![21]);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn slab_double_remove_is_none() {
+        let mut s = Slab::new();
+        let a = s.insert(());
+        assert!(s.remove(a).is_some());
+        assert!(s.remove(a).is_none());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn idmap_behaves_like_btreemap() {
+        use std::collections::BTreeMap;
+        let mut dense: IdMap<TestId, u64> = IdMap::new();
+        let mut tree: BTreeMap<u64, u64> = BTreeMap::new();
+        // Sparse inserts, overwrites, removals.
+        for (k, v) in [(3u64, 30u64), (0, 1), (7, 70), (3, 31), (5, 50)] {
+            assert_eq!(dense.insert(TestId(k), v), tree.insert(k, v));
+        }
+        assert_eq!(dense.remove(&TestId(5)), tree.remove(&5));
+        assert_eq!(dense.remove(&TestId(9)), tree.remove(&9));
+        assert_eq!(dense.len(), tree.len());
+        assert_eq!(dense.get(&TestId(3)), tree.get(&3));
+        assert_eq!(dense.contains_key(&TestId(0)), tree.contains_key(&0));
+        let d: Vec<(u64, u64)> = dense.iter().map(|(k, v)| (k.0, *v)).collect();
+        let t: Vec<(u64, u64)> = tree.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(d, t, "iteration order must match BTreeMap id order");
+        let dk: Vec<u64> = dense.keys().map(|k| k.0).collect();
+        let tk: Vec<u64> = tree.keys().copied().collect();
+        assert_eq!(dk, tk);
+        assert_eq!(
+            dense.values().copied().collect::<Vec<_>>(),
+            tree.values().copied().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn idmap_entry_helpers() {
+        let mut m: IdMap<TestId, Vec<u32>> = IdMap::new();
+        m.or_default(TestId(2)).push(1);
+        m.or_default(TestId(2)).push(2);
+        assert_eq!(m.get(&TestId(2)), Some(&vec![1, 2]));
+        let mut c: IdMap<TestId, u32> = IdMap::new();
+        *c.or_insert(TestId(0), 5) += 1;
+        *c.or_insert(TestId(0), 99) += 1;
+        assert_eq!(c.get(&TestId(0)), Some(&7));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn idmap_iter_mut_and_values_mut() {
+        let mut m: IdMap<TestId, u32> = IdMap::new();
+        m.insert(TestId(1), 10);
+        m.insert(TestId(4), 40);
+        for (_, v) in m.iter_mut() {
+            *v += 1;
+        }
+        for v in m.values_mut() {
+            *v *= 2;
+        }
+        assert_eq!(
+            m.iter().map(|(k, v)| (k.0, *v)).collect::<Vec<_>>(),
+            vec![(1, 22), (4, 82)]
+        );
+        assert!(!m.is_empty());
+    }
+}

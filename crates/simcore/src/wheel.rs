@@ -1,0 +1,423 @@
+//! Hierarchical timing-wheel backend for [`crate::queue::EventQueue`].
+//!
+//! A binary heap pays O(log n) per push/pop with poor locality; at
+//! fleet scale (hundreds of thousands of queued events) that log factor
+//! and its cache misses dominate the simulation loop. The classic fix
+//! (Varghese & Lauck) is a hierarchical timing wheel: O(1) amortized
+//! push/pop by hashing each event's deadline into a slot of a wheel whose
+//! levels cover geometrically growing horizons.
+//!
+//! ## Layout
+//!
+//! Six levels of 64 slots over integer microseconds. A level-`k` slot
+//! spans `64^k` µs, so level `k` covers deadlines up to `64^(k+1)` µs
+//! ahead of the wheel's `current` time; the whole wheel spans `64^6` µs
+//! (~19.1 simulated hours). Deadlines beyond the span land in a sorted
+//! **overflow** map (`BTreeMap<time, Vec<(seq, event)>>`) and are only
+//! consulted through its first key — far-future events (rare: multi-hour
+//! timers) pay O(log n), everything else O(1).
+//!
+//! ## Exact FIFO semantics
+//!
+//! The queue contract is strict `(time, seq)` order — pop order must be
+//! bit-identical to the heap backend so every simulation replays
+//! unchanged. Two wheel-specific hazards are handled:
+//!
+//! - **Cascade reordering.** When `current` advances to deadline `T`, the
+//!   slot containing `T` at each upper level is drained top-down and its
+//!   entries re-hashed against the new `current`. Entries arriving in a
+//!   level-0 slot via cascade interleave arbitrarily with directly pushed
+//!   ones, so the drained instant's entries are *sorted by seq* before
+//!   being handed out.
+//! - **Same-instant pushes during a batch.** Popping at `T` stages the
+//!   merged, seq-sorted entries for `T` (level-0 slot + overflow bucket)
+//!   in a `ready` deque. Handlers reacting to those events may push *more*
+//!   events at `T`; monotonic seq allocation means appending them to the
+//!   back of `ready` preserves exact order. A level-0 slot holds exactly
+//!   one timestamp (entries enter it only when `deadline - current < 64`,
+//!   and it is fully drained before `current` passes it), so staging a
+//!   slot never mixes instants.
+//!
+//! Pushes must not be earlier than the last popped time — the same
+//! invariant [`crate::engine::Scheduler::at`] already enforces — because a
+//! wheel cannot rewind `current`.
+
+use std::collections::{BTreeMap, VecDeque};
+
+const SLOT_BITS: u32 = 6;
+const SLOTS: usize = 1 << SLOT_BITS;
+const LEVELS: usize = 6;
+/// Deadlines at least this far ahead of `current` go to the overflow map.
+const SPAN: u64 = 1 << (SLOT_BITS * LEVELS as u32);
+
+/// A hierarchical timing wheel over `(time µs, seq)`-ordered events.
+///
+/// This is the raw backend; [`crate::queue::EventQueue`] owns seq
+/// allocation and the `SimTime` API.
+#[derive(Debug, Clone)]
+pub struct TimingWheel<E> {
+    /// Time of the most recent pop (µs); never moves backwards.
+    current: u64,
+    /// `LEVELS * SLOTS` buckets, flattened; `(time, seq, event)` entries.
+    slots: Vec<Vec<(u64, u64, E)>>,
+    /// Per-slot minimum deadline, `u64::MAX` when empty.
+    slot_min: Vec<u64>,
+    /// Per-level minimum deadline (min over the level's `slot_min`).
+    level_min: [u64; LEVELS],
+    /// Far-future events, sorted by deadline; inner vecs are in seq order.
+    overflow: BTreeMap<u64, Vec<(u64, E)>>,
+    /// Seq-sorted entries staged for the instant `ready_time`.
+    ready: VecDeque<(u64, E)>,
+    ready_time: u64,
+    len: usize,
+}
+
+impl<E> Default for TimingWheel<E> {
+    fn default() -> Self {
+        TimingWheel::new()
+    }
+}
+
+impl<E> TimingWheel<E> {
+    /// Creates an empty wheel at time 0.
+    pub fn new() -> Self {
+        TimingWheel {
+            current: 0,
+            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            slot_min: vec![u64::MAX; LEVELS * SLOTS],
+            level_min: [u64::MAX; LEVELS],
+            overflow: BTreeMap::new(),
+            ready: VecDeque::new(),
+            ready_time: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of queued events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the wheel holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes all events without resetting `current`.
+    pub fn clear(&mut self) {
+        for slot in &mut self.slots {
+            slot.clear();
+        }
+        self.slot_min.fill(u64::MAX);
+        self.level_min = [u64::MAX; LEVELS];
+        self.overflow.clear();
+        self.ready.clear();
+        self.len = 0;
+    }
+
+    /// Schedules `event` at `time` with ordering ticket `seq`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than the last popped time (the wheel
+    /// cannot rewind; the engine never schedules into the past).
+    pub fn push(&mut self, time: u64, seq: u64, event: E) {
+        assert!(
+            time >= self.current,
+            "timing wheel cannot schedule into the past: t={time} < current={}",
+            self.current
+        );
+        self.len += 1;
+        // Same instant as the batch currently being popped: seqs are
+        // monotonic, so appending keeps `ready` sorted.
+        if !self.ready.is_empty() && time == self.ready_time {
+            self.ready.push_back((seq, event));
+            return;
+        }
+        self.place(time, seq, event);
+    }
+
+    /// Hashes an entry into its wheel level or the overflow map.
+    fn place(&mut self, time: u64, seq: u64, event: E) {
+        let dt = time - self.current;
+        if dt >= SPAN {
+            self.overflow.entry(time).or_default().push((seq, event));
+            return;
+        }
+        // Level k covers dt in [64^k, 64^(k+1)); dt = 0 lands in level 0.
+        let level = if dt == 0 {
+            0
+        } else {
+            ((63 - dt.leading_zeros()) / SLOT_BITS) as usize
+        };
+        let slot = Self::slot_index(level, time);
+        self.slots[slot].push((time, seq, event));
+        if time < self.slot_min[slot] {
+            self.slot_min[slot] = time;
+        }
+        if time < self.level_min[level] {
+            self.level_min[level] = time;
+        }
+    }
+
+    fn slot_index(level: usize, time: u64) -> usize {
+        level * SLOTS + ((time >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize
+    }
+
+    /// The earliest queued deadline, if any.
+    pub fn peek_time(&self) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        if !self.ready.is_empty() {
+            return Some(self.ready_time);
+        }
+        let mut min = u64::MAX;
+        for &m in &self.level_min {
+            min = min.min(m);
+        }
+        if let Some((&t, _)) = self.overflow.iter().next() {
+            min = min.min(t);
+        }
+        Some(min)
+    }
+
+    /// Pops the earliest event (FIFO on equal deadlines by seq).
+    pub fn pop(&mut self) -> Option<(u64, E)> {
+        if self.ready.is_empty() {
+            let target = self.peek_time()?;
+            self.stage(target);
+        }
+        let (_, event) = self.ready.pop_front()?;
+        self.len -= 1;
+        Some((self.ready_time, event))
+    }
+
+    /// Advances to `target` and stages its merged, seq-sorted entries in
+    /// `ready`.
+    fn stage(&mut self, target: u64) {
+        self.current = target;
+        // Cascade top-down: drain the slot containing `target` at each
+        // upper level and re-hash its entries against the advanced
+        // `current`. Every drained deadline is >= target (anything earlier
+        // would have been the pop target), and < slot_end <= target +
+        // 64^level, so each entry re-places at a strictly lower level and
+        // the loop terminates.
+        for level in (1..LEVELS).rev() {
+            if self.level_min[level] > target {
+                continue;
+            }
+            let slot = Self::slot_index(level, target);
+            if !self.slots[slot].is_empty() {
+                let entries = std::mem::take(&mut self.slots[slot]);
+                self.slot_min[slot] = u64::MAX;
+                for (time, seq, event) in entries {
+                    self.place(time, seq, event);
+                }
+            }
+            self.recompute_level_min(level);
+        }
+        // The level-0 slot for `target` now holds every wheel-resident
+        // entry at that instant (single-timestamp invariant), and the
+        // overflow bucket (if its front key is `target`) holds the rest.
+        let slot = Self::slot_index(0, target);
+        let mut staged: Vec<(u64, E)> = std::mem::take(&mut self.slots[slot])
+            .into_iter()
+            .map(|(time, seq, event)| {
+                debug_assert_eq!(time, target, "level-0 slot mixes instants");
+                (seq, event)
+            })
+            .collect();
+        self.slot_min[slot] = u64::MAX;
+        self.recompute_level_min(0);
+        if let Some(entry) = self.overflow.first_entry() {
+            if *entry.key() == target {
+                staged.extend(entry.remove());
+            }
+        }
+        // Direct pushes, cascaded entries, and overflow arrivals interleave
+        // arbitrarily; seq order restores the exact global FIFO.
+        staged.sort_unstable_by_key(|&(seq, _)| seq);
+        self.ready = staged.into();
+        self.ready_time = target;
+    }
+
+    fn recompute_level_min(&mut self, level: usize) {
+        let base = level * SLOTS;
+        let mut min = u64::MAX;
+        for &m in &self.slot_min[base..base + SLOTS] {
+            min = min.min(m);
+        }
+        self.level_min[level] = min;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(w: &mut TimingWheel<u32>) -> Vec<(u64, u32)> {
+        let mut out = Vec::new();
+        while let Some(x) = w.pop() {
+            out.push(x);
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_time_order_across_levels() {
+        let mut w = TimingWheel::new();
+        // One deadline per level, pushed out of order, plus one overflow.
+        let times = [
+            5u64,
+            70,
+            5_000,
+            300_000,
+            20_000_000,
+            1_500_000_000,
+            SPAN + 123,
+        ];
+        for (seq, &t) in times.iter().rev().enumerate() {
+            w.push(t, seq as u64, t as u32);
+        }
+        assert_eq!(w.len(), times.len());
+        let popped = drain(&mut w);
+        let sorted: Vec<u64> = {
+            let mut s = times.to_vec();
+            s.sort();
+            s
+        };
+        assert_eq!(popped.iter().map(|&(t, _)| t).collect::<Vec<_>>(), sorted);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn equal_deadlines_pop_in_seq_order() {
+        let mut w = TimingWheel::new();
+        w.push(100, 0, 0);
+        w.push(100, 1, 1);
+        w.push(40, 2, 2);
+        assert_eq!(w.pop(), Some((40, 2)));
+        w.push(100, 3, 3);
+        assert_eq!(drain(&mut w), vec![(100, 0), (100, 1), (100, 3)]);
+    }
+
+    #[test]
+    fn same_instant_push_during_batch_appends() {
+        let mut w = TimingWheel::new();
+        w.push(10, 0, 0);
+        w.push(10, 1, 1);
+        assert_eq!(w.pop(), Some((10, 0)));
+        // Handler reacting to the first pop schedules "immediately".
+        w.push(10, 2, 2);
+        assert_eq!(w.pop(), Some((10, 1)));
+        assert_eq!(w.pop(), Some((10, 2)));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn cascaded_and_direct_pushes_merge_by_seq() {
+        let mut w = TimingWheel::new();
+        // seq 0 goes to an upper level (dt = 100 -> level 1).
+        w.push(100, 0, 0);
+        // Advance near the deadline, then push the same instant directly
+        // into level 0 with a later seq.
+        w.push(60, 1, 9);
+        assert_eq!(w.pop(), Some((60, 9)));
+        w.push(100, 2, 2);
+        // The cascaded seq-0 entry must still pop before the direct seq-2.
+        assert_eq!(drain(&mut w), vec![(100, 0), (100, 2)]);
+    }
+
+    #[test]
+    fn overflow_merges_with_wheel_resident_same_instant() {
+        let mut w = TimingWheel::new();
+        let t = SPAN + 10;
+        w.push(t, 0, 0); // overflow (dt >= SPAN)
+        w.push(t - SPAN / 2, 1, 1);
+        assert_eq!(w.pop(), Some((t - SPAN / 2, 1)));
+        // Now t is within the span; this push is wheel-resident.
+        w.push(t, 2, 2);
+        assert_eq!(drain(&mut w), vec![(t, 0), (t, 2)]);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut w = TimingWheel::new();
+        assert_eq!(w.peek_time(), None);
+        w.push(42, 0, 7);
+        assert_eq!(w.peek_time(), Some(42));
+        assert_eq!(w.peek_time(), Some(42));
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.pop(), Some((42, 7)));
+        assert_eq!(w.peek_time(), None);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut w = TimingWheel::new();
+        w.push(1, 0, 0);
+        w.push(SPAN * 2, 1, 1);
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.pop(), None);
+        // Still usable after clear.
+        w.push(5, 2, 5);
+        assert_eq!(w.pop(), Some((5, 5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn rejects_push_before_last_pop() {
+        let mut w = TimingWheel::new();
+        w.push(100, 0, 0);
+        w.pop();
+        w.push(50, 1, 1);
+    }
+
+    #[test]
+    fn randomized_matches_sorted_reference() {
+        // Deterministic splitmix64 schedule with clustered instants and
+        // horizon-spanning deadlines.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut w = TimingWheel::new();
+        let mut reference: Vec<(u64, u64)> = Vec::new();
+        let mut seq = 0u64;
+        let mut last_pop = 0u64;
+        for round in 0..2_000 {
+            let r = next();
+            let dt = match r % 5 {
+                0 => 0,
+                1 => r % 64,
+                2 => r % 10_000,
+                3 => r % SPAN,
+                _ => SPAN + r % 1_000_000,
+            };
+            let t = last_pop + dt;
+            w.push(t, seq, seq as u32);
+            reference.push((t, seq));
+            seq += 1;
+            if round % 3 == 0 {
+                if let Some((t, payload)) = w.pop() {
+                    reference.sort();
+                    let (rt, rs) = reference.remove(0);
+                    assert_eq!((t, payload), (rt, rs as u32));
+                    last_pop = t;
+                }
+            }
+        }
+        while let Some((t, payload)) = w.pop() {
+            reference.sort();
+            let (rt, rs) = reference.remove(0);
+            assert_eq!((t, payload), (rt, rs as u32));
+        }
+        assert!(reference.is_empty());
+    }
+}
