@@ -691,6 +691,7 @@ impl Controller {
                 market: None,
             },
         );
+        self.note_host_slots(instance);
         if self.migrations.contains_key(&mig) {
             self.mig_transition(mig, now, |f| f.note_dest_ready());
         }

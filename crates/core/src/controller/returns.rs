@@ -140,6 +140,7 @@ impl Controller {
                 market,
             },
         );
+        self.note_host_slots(instance);
         // Live pre-copy transfer of the running VM.
         let dirty = self
             .vms

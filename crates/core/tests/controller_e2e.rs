@@ -218,6 +218,85 @@ fn sliced_host_revocation_migrates_all_residents() {
 }
 
 #[test]
+fn vm_provisioning_during_return_precopy_joins_the_return_host() {
+    // Regression test for the free-slot placement index: a return's
+    // destination host must become a first-fit candidate the moment it
+    // boots — while the live pre-copy is still in flight — exactly as the
+    // pre-index full-map scan behaved.
+    let large = {
+        let s = StepSeries::from_points(vec![
+            (SimTime::ZERO, 0.016),
+            (SimTime::from_secs(3_600), 2.0),
+            (SimTime::from_secs(7_200), 0.016),
+        ]);
+        PriceTrace::new(MarketId::new("m3.large", ZONE), 0.140, s)
+    };
+    // Medium priced high so greedy slices the large.
+    let medium = {
+        let s = StepSeries::from_points(vec![(SimTime::ZERO, 0.050)]);
+        PriceTrace::new(MarketId::new("m3.medium", ZONE), 0.070, s)
+    };
+    let cfg = SpotCheckConfig {
+        mapping: MappingPolicy::TwoML,
+        placement: PlacementPolicy::GreedyCheapest,
+        ..config()
+    };
+    let mut sim = SpotCheckSim::new(vec![medium, large], cfg);
+    let cust = sim.create_customer();
+    let a = sim.request_server(cust, WorkloadKind::TpcW);
+    sim.run_until(SimTime::from_secs(3_000));
+    assert_eq!(
+        sim.controller().vm(a).unwrap().home_market,
+        Some(MarketId::new("m3.large", ZONE))
+    );
+    // Ride the spike onto the on-demand refuge.
+    sim.run_until(SimTime::from_secs(7_200));
+
+    // Step until the return's spot destination has booted while the VM
+    // still sits on on-demand: the pre-copy window (tens of seconds for a
+    // 3 GiB image, so second-granularity stepping lands well inside it).
+    let mut dest = None;
+    for t in 7_201..9_000 {
+        sim.run_until(SimTime::from_secs(t));
+        let rec = sim.controller().vm(a).unwrap();
+        let on_od = rec
+            .host
+            .and_then(|h| sim.controller().cloud().instance(h).ok())
+            .map(|i| i.market().is_none())
+            .unwrap_or(false);
+        if !on_od {
+            continue;
+        }
+        dest = sim
+            .controller()
+            .cloud()
+            .instances()
+            .find(|i| i.market().is_some() && i.is_usable())
+            .map(|i| i.id);
+        if dest.is_some() {
+            break;
+        }
+    }
+    let dest = dest.expect("return destination must boot while the VM is still on-demand");
+
+    // A VM provisioned inside the window must reuse the return host's
+    // free slot rather than buying a fresh server.
+    let b = sim.request_server(cust, WorkloadKind::TpcW);
+    sim.run_until(SimTime::from_secs(10_800));
+    let rb = sim.controller().vm(b).unwrap();
+    assert_eq!(rb.status, VmStatus::Running);
+    assert_eq!(
+        rb.host,
+        Some(dest),
+        "B must join the mid-transfer return host"
+    );
+    // The return completes onto the same (now sliced) host.
+    let ra = sim.controller().vm(a).unwrap();
+    assert_eq!(ra.status, VmStatus::Running);
+    assert_eq!(ra.host, Some(dest));
+}
+
+#[test]
 fn xen_live_mechanism_counts_no_downtime() {
     let cfg = SpotCheckConfig {
         mechanism: MechanismKind::XenLive,
