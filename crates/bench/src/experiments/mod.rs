@@ -1,6 +1,7 @@
 //! Experiment registry: one entry per paper table/figure plus ablations.
 
 pub mod ablations;
+pub mod contention;
 pub mod fig1;
 pub mod fig6;
 pub mod fig7;
@@ -187,6 +188,11 @@ const REGISTRY: &[(&str, &str, Runner)] = &[
         "fleet",
         "Fleet: 50k-VM controller stress with a revocation storm",
         fleet::run,
+    ),
+    (
+        "contention_storm",
+        "Contention: storm size x defenses vs the 30 s guarantee",
+        contention::run,
     ),
 ];
 

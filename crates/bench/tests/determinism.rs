@@ -117,6 +117,31 @@ fn fleet_is_identical_across_threads_and_queue_backends() {
 }
 
 #[test]
+fn contention_storm_is_identical_across_threads_and_queue_backends() {
+    // The fluid-coupled fleet runs: flow completion instants emerge from
+    // the shared max-min model, and every map it iterates is ordered, so
+    // the violation table (and event counts) must be byte-identical
+    // whatever the worker count or event-queue backend.
+    let run = |args: &[&str]| {
+        let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
+            .args(["--quick", "contention_storm"])
+            .args(args)
+            .output()
+            .expect("experiments binary runs");
+        assert!(out.status.success(), "{args:?} exited nonzero");
+        mask_wall(&String::from_utf8(out.stdout).expect("utf-8 output"))
+    };
+    let baseline = run(&["--threads", "1", "--queue", "wheel"]);
+    for args in [
+        &["--threads", "4", "--queue", "wheel"][..],
+        &["--threads", "1", "--queue", "heap"][..],
+        &["--threads", "4", "--queue", "heap"][..],
+    ] {
+        assert_eq!(run(args), baseline, "contention_storm diverged under {args:?}");
+    }
+}
+
+#[test]
 fn cli_json_covers_every_registry_id() {
     let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
         .args(["--quick", "--json"])

@@ -32,6 +32,9 @@ pub struct SpotCheckConfig {
     pub bounded: BoundedTimeConfig,
     /// Retry/backoff, circuit-breaker, and re-replication behavior.
     pub resilience: ResilienceConfig,
+    /// Fleet-wide bandwidth contention model and defenses (off by default:
+    /// transfer durations stay closed-form i.i.d. draws).
+    pub contention: ContentionConfig,
     /// RNG seed.
     pub seed: u64,
 }
@@ -49,7 +52,72 @@ impl Default for SpotCheckConfig {
             backup: BackupServerConfig::default(),
             bounded: BoundedTimeConfig::default(),
             resilience: ResilienceConfig::default(),
+            contention: ContentionConfig::default(),
             seed: 0,
+        }
+    }
+}
+
+/// Fleet-wide bandwidth contention: shared-link fluid model + defenses.
+///
+/// When `enabled`, every host gets a NIC link, every backup server NIC +
+/// disk links, and the AZ an aggregate uplink; checkpoint streams, final
+/// commits, re-replications, return transfers, and lazy restores become
+/// max-min-fair flows whose completion instants emerge from progressive
+/// filling — so a revocation storm can genuinely blow the 30 s bound.
+#[derive(Debug, Clone)]
+pub struct ContentionConfig {
+    /// Model transfers as contending flows instead of i.i.d. closed-form
+    /// durations.
+    pub enabled: bool,
+    /// Per-host NIC capacity in bytes/second.
+    pub host_nic_bps: f64,
+    /// AZ aggregate uplink capacity in bytes/second.
+    pub az_uplink_bps: f64,
+    /// Defense: place re-replications off hot backup NICs (>50% loaded).
+    pub spread_by_load: bool,
+    /// Defense: stage concurrent final commits earliest-deadline-first.
+    pub admission: bool,
+    /// Maximum concurrently admitted final commits when `admission` is on.
+    pub admission_cap: usize,
+    /// Defense: fall back to Yank-style pause-and-flush (weight-boosted
+    /// flow, honest downtime accounting) when the bound provably cannot
+    /// hold.
+    pub fallback: bool,
+}
+
+impl Default for ContentionConfig {
+    fn default() -> Self {
+        ContentionConfig {
+            enabled: false,
+            host_nic_bps: 125e6,
+            az_uplink_bps: 1.25e9,
+            spread_by_load: false,
+            admission: false,
+            admission_cap: 8,
+            fallback: false,
+        }
+    }
+}
+
+impl ContentionConfig {
+    /// Enables the contention model with every defense off (the
+    /// "attack" configuration of the `contention_storm` experiment).
+    pub fn enabled_undefended() -> Self {
+        ContentionConfig {
+            enabled: true,
+            ..ContentionConfig::default()
+        }
+    }
+
+    /// Enables the contention model with every defense on.
+    pub fn enabled_defended() -> Self {
+        ContentionConfig {
+            enabled: true,
+            spread_by_load: true,
+            admission: true,
+            fallback: true,
+            ..ContentionConfig::default()
         }
     }
 }

@@ -43,6 +43,22 @@ pub(super) struct Migration {
     pub(super) commit_aborted: bool,
     pub(super) vm_obj: Option<NestedVm>,
     pub(super) degraded: SimDuration,
+    /// The platform's termination deadline (revocation migrations only) —
+    /// what the contention model's violation taxonomy and fallback defense
+    /// measure against.
+    pub(super) deadline: Option<SimTime>,
+    /// When the final commit entered the EDF admission queue, if it was
+    /// staged rather than launched (contention model only).
+    pub(super) queued_at: Option<SimTime>,
+    /// When the final commit was first requested (contention model only).
+    /// The 30 s guarantee is measured from here: queue wait counts
+    /// against the bound just like transfer time.
+    pub(super) commit_requested_at: Option<SimTime>,
+    /// How long the commit waited in the admission queue before launch
+    /// (contention model only; used to attribute bound overruns).
+    pub(super) queue_waited: Option<SimDuration>,
+    /// The fallback defense degraded this migration to pause-and-flush.
+    pub(super) fallback: bool,
 }
 
 impl Controller {
@@ -157,6 +173,11 @@ impl Controller {
 
         let dirty = workload.dirty_model();
         let pays_downtime = !live && self.cfg.mechanism.pays_cloud_op_downtime();
+        // Under the fluid contention model, interference is emergent: every
+        // closed-form baseline is computed solo (concurrency 1) and the
+        // shared links stretch it. Without it, the legacy closed-form
+        // divides bandwidth by the warning's sibling count up front.
+        let concurrent = if self.net.is_some() { 1 } else { concurrent };
         // Commit (or live-migrate) duration.
         let (commit_duration, pause) = if live {
             let pre = simulate_precopy(
@@ -223,6 +244,11 @@ impl Controller {
                 commit_aborted: false,
                 vm_obj: None,
                 degraded,
+                deadline,
+                queued_at: None,
+                commit_requested_at: None,
+                queue_waited: None,
+                fallback: false,
             },
         );
         self.restore_gates.insert(id, restore_gate);
@@ -345,6 +371,13 @@ impl Controller {
         };
         match res {
             Ok(Some((pays_downtime, pause, duration))) => {
+                if self.net.is_some() {
+                    // Fluid model: the commit becomes a flow (possibly
+                    // staged behind admission); its completion instant
+                    // emerges from the shared links.
+                    self.net_handle_commit_start(mig, now, out);
+                    return;
+                }
                 if pays_downtime && !pause.is_zero() {
                     self.schedule(
                         Subsystem::Migration,
@@ -382,16 +415,22 @@ impl Controller {
     }
 
     pub(super) fn on_pause_start(&mut self, mig: MigrationId, now: SimTime) {
-        if let Some(m) = self.migrations.get_mut(&mig) {
-            if m.pays_downtime && m.paused_at.is_none() {
+        let paused = match self.migrations.get_mut(&mig) {
+            Some(m) if m.pays_downtime && m.paused_at.is_none() => {
                 m.paused_at = Some(now);
-                self.accounting.mark_down(m.vm, now);
-                if let Some(info) = self.hosts.get_mut(&m.source) {
-                    if let Some(v) = info.hv.vm_mut(m.vm) {
-                        v.state = NestedVmState::PausedForMigration;
-                    }
+                Some((m.vm, m.source))
+            }
+            _ => None,
+        };
+        if let Some((vm, source)) = paused {
+            self.accounting.mark_down(vm, now);
+            if let Some(info) = self.hosts.get_mut(&source) {
+                if let Some(v) = info.hv.vm_mut(vm) {
+                    v.state = NestedVmState::PausedForMigration;
                 }
             }
+            // A paused VM dirties no pages: its checkpoint stream stops.
+            self.net_stop_stream(vm);
         }
     }
 
@@ -418,7 +457,7 @@ impl Controller {
     }
 
     pub(super) fn try_advance(&mut self, mig: MigrationId, now: SimTime, out: &mut Outbox) {
-        let (vm, source) = {
+        let (vm, source, newly_paused) = {
             let Some(m) = self.migrations.get_mut(&mig) else {
                 return;
             };
@@ -429,12 +468,17 @@ impl Controller {
             // it conceptually running; EC2 ops still interrupt it — the
             // paper's 22.65 s — unless the mechanism is idealized live
             // migration).
-            if m.pays_downtime && m.paused_at.is_none() {
+            let newly_paused = m.pays_downtime && m.paused_at.is_none();
+            if newly_paused {
                 m.paused_at = Some(now);
                 self.accounting.mark_down(m.vm, now);
             }
-            (m.vm, m.source)
+            (m.vm, m.source, newly_paused)
         };
+        if newly_paused {
+            // A paused VM dirties no pages: its checkpoint stream stops.
+            self.net_stop_stream(vm);
+        }
         // Detach the ENI and the volume from the source (only possible
         // while the source still exists; a force-terminated source already
         // released them).
@@ -557,13 +601,17 @@ impl Controller {
             .get(&mig)
             .copied()
             .unwrap_or(SimDuration::ZERO);
-        self.schedule(
-            Subsystem::Migration,
-            now,
-            now + gate,
-            Event::RestoreDone(mig),
-            out,
-        );
+        // Under the fluid model the restore is a read flow from the backup
+        // disk; otherwise (or for zero/backup-less gates) it is a timer.
+        if !self.net_add_restore(mig, vm, dest, gate) {
+            self.schedule(
+                Subsystem::Migration,
+                now,
+                now + gate,
+                Event::RestoreDone(mig),
+                out,
+            );
+        }
         pending += 1;
         self.mig_transition(mig, now, move |f| f.begin_attach(pending));
     }
@@ -574,6 +622,7 @@ impl Controller {
             return;
         };
         self.restore_gates.remove(&mig);
+        self.net_drop_migration(mig);
         let vm = m.vm;
         let dest = m.dest.expect("dest ready");
         self.journal
@@ -626,6 +675,8 @@ impl Controller {
                 v.state = state;
             }
         }
+        // On-demand placement carries no backup: this drops the stream.
+        self.net_refresh_stream(vm);
     }
 
     /// Aborts a migration whose VM's memory is unrecoverable: the source
@@ -642,6 +693,7 @@ impl Controller {
             return;
         };
         self.restore_gates.remove(&mig);
+        self.net_drop_migration(mig);
         self.journal
             .record(now, Subsystem::Migration, Record::MigAborted { mig, vm });
         if m.paused_at.is_none() {
@@ -654,6 +706,7 @@ impl Controller {
             r.host = None;
         }
         self.note_vm_placement(vm);
+        self.net_refresh_stream(vm);
         self.journal
             .record(now, Subsystem::Migration, Record::VmLost { vm });
         // Release the destination we acquired for a VM that will never

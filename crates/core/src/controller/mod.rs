@@ -36,6 +36,7 @@
 //! (see [`crate::journal`]) so a run's internal activity can be queried
 //! and dumped after the fact.
 
+mod contention;
 mod effects;
 mod fsm;
 mod migration;
@@ -68,6 +69,7 @@ use crate::journal::{Journal, Record, Subsystem};
 use crate::retry::MarketHealth;
 use crate::types::{Customer, CustomerId, MigrationId, VmRecord, VmStatus};
 
+use contention::FleetNet;
 use effects::OpCtx;
 use migration::Migration;
 use pools::HostInfo;
@@ -165,6 +167,9 @@ pub struct Controller {
     /// list of the same-pool spreading scan without walking every VM.
     market_backup_refs: BTreeMap<MarketId, BTreeMap<BackupServerId, u32>>,
     market_health: MarketHealth,
+    /// The fleet's shared-bandwidth fluid model (None: transfers keep
+    /// their closed-form i.i.d. durations).
+    net: Option<FleetNet>,
     accounting: Accounting,
     journal: Journal,
     next_customer: u64,
@@ -177,6 +182,10 @@ impl Controller {
     pub fn new(cloud: CloudSim, cfg: SpotCheckConfig) -> Self {
         let backups = BackupPool::new(cfg.backup.clone());
         let market_health = MarketHealth::new(cfg.resilience.health.clone());
+        let net = cfg
+            .contention
+            .enabled
+            .then(|| FleetNet::new(&cfg.contention));
         Controller {
             cfg,
             cloud,
@@ -202,6 +211,7 @@ impl Controller {
             od_hosted: BTreeSet::new(),
             market_backup_refs: BTreeMap::new(),
             market_health,
+            net,
             accounting: Accounting::new(),
             journal: Journal::new(),
             next_customer: 0,
@@ -348,6 +358,8 @@ impl Controller {
         if !self.vms.contains_key(&vm) {
             return Err(ControllerError::UnknownVm(vm));
         }
+        let mut out = Vec::new();
+        self.net_catch_up(now, &mut out);
         self.set_status(Subsystem::Controller, vm, VmStatus::Released, now);
         self.backup_refs_sub(vm);
         let host = {
@@ -360,7 +372,7 @@ impl Controller {
             host
         };
         self.note_vm_placement(vm);
-        let mut out = Vec::new();
+        self.net_refresh_stream(vm);
         if let Some(h) = host {
             if let Some(info) = self.hosts.get_mut(&h) {
                 let _ = info.hv.evict(vm);
@@ -371,6 +383,7 @@ impl Controller {
                 }
             }
         }
+        self.net_rearm(now, &mut out);
         Ok(out)
     }
 
@@ -451,6 +464,10 @@ impl Controller {
     /// The main event dispatcher.
     pub fn handle_event(&mut self, event: Event, now: SimTime) -> Outbox {
         let mut out = Vec::new();
+        // Sync the fluid network to `now` first (dispatching any flow
+        // completions as events at `now`), so every handler mutates the
+        // flow set against an up-to-date model.
+        self.net_catch_up(now, &mut out);
         match event {
             Event::PriceChange(market) => self.on_price_change(&market, now, &mut out),
             Event::CloudOp(op) => self.on_cloud_op(op, now, &mut out),
@@ -466,10 +483,16 @@ impl Controller {
             Event::ReturnTransferDone(vm) => self.on_return_transfer_done(vm, now, &mut out),
             Event::Fault(f) => self.on_fault(&f, now, &mut out),
             Event::ReplicationDone { vm, epoch } => self.on_replication_done(vm, epoch, now),
+            // Stateless alarm: the catch-up above already harvested the
+            // completions this wake was armed for.
+            Event::FlowWake => {}
             Event::RetryTerminate { instance, attempt } => {
                 self.on_retry_terminate(instance, attempt, now, &mut out)
             }
         }
+        // Re-arm the next flow-completion alarm (and check fallback
+        // deadlines) against whatever the handler changed.
+        self.net_rearm(now, &mut out);
         out
     }
 

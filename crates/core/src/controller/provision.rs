@@ -304,6 +304,9 @@ impl Controller {
                 }
             }
         }
+        // A protected spot placement starts its background checkpoint
+        // stream in the fluid model.
+        self.net_refresh_stream(vm);
     }
 
     /// A provisioning host finished booting: place its waiters.

@@ -59,6 +59,11 @@ impl Controller {
         now: SimTime,
         out: &mut Outbox,
     ) {
+        // Fluid model first: the host's NIC dies, and every commit still
+        // crossing it (or still waiting in the admission queue) is a
+        // violated guarantee — journaled by cause before the closed-form
+        // teardown below runs.
+        self.net_on_host_gone(instance, true, now, out);
         // Carry still-resident VM objects into their LIVE migrations before
         // the host record disappears: a live transfer streams memory
         // source-to-destination, so the object survives the termination.
@@ -141,6 +146,7 @@ impl Controller {
         now: SimTime,
         out: &mut Outbox,
     ) {
+        self.net_on_host_gone(instance, false, now, out);
         self.accounting.count_crash();
         self.spares.retain(|s| *s != instance);
         let (residents, was_spot) = self
@@ -276,6 +282,11 @@ impl Controller {
                 commit_aborted: false,
                 vm_obj: None,
                 degraded,
+                deadline: None,
+                queued_at: None,
+                commit_requested_at: None,
+                queue_waited: None,
+                fallback: false,
             },
         );
         self.restore_gates.insert(id, restore_gate);

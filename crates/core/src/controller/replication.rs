@@ -38,6 +38,10 @@ impl Controller {
         if self.backups.server_of(vm).is_some() {
             return false;
         }
+        // Spreading defense: also avoid backup servers whose NIC is
+        // already hot (always empty unless the contention model and
+        // `spread_by_load` are both on).
+        let hot = self.net_hot_backups();
         // Spread VMs of the same spot pool across distinct backup servers
         // (§4.2): avoid servers already protecting same-market VMs.
         // `market_backup_refs` holds the per-market refcount of every
@@ -60,7 +64,7 @@ impl Controller {
         // single-market mapping), so the round-robin scan cannot choose —
         // provision a fresh server directly, identically to `assign`.
         let provisioned_before = self.backups.provisioned_total();
-        let assigned = if avoided == self.backups.server_count() {
+        let assigned = if hot.is_empty() && avoided == self.backups.server_count() {
             self.backups.assign_fresh(vm, self.vm_spec.pages())
         } else {
             let in_refs = |id: BackupServerId| {
@@ -68,7 +72,10 @@ impl Controller {
                     .map(|&c| own != Some(id) || c > 1)
                     .unwrap_or(false)
             };
-            self.backups.assign(vm, self.vm_spec.pages(), in_refs)
+            // Avoidance stays a soft preference: with every server avoided
+            // the pool provisions a fresh one, exactly like the fast path.
+            self.backups
+                .assign(vm, self.vm_spec.pages(), |id| in_refs(id) || hot.contains(&id))
         };
         if let Ok(server) = assigned {
             if self.backups.provisioned_total() > provisioned_before {
@@ -127,6 +134,9 @@ impl Controller {
                 orphans: orphans.len() as u32,
             },
         );
+        // Fluid model: the victim's NIC and disk die; streams and pushes
+        // to it evaporate, commits crossing it lose their residue.
+        self.net_on_backup_gone(victim, now, out);
         // Re-pushing a full image takes mem / NIC bandwidth (the VM itself
         // is the data source — its host streams the checkpoint afresh).
         let push = SimDuration::from_secs_f64(
@@ -151,13 +161,17 @@ impl Controller {
                     Subsystem::Replication,
                     Record::RereplicationStarted { vm, epoch },
                 );
-                self.schedule(
-                    Subsystem::Replication,
-                    now,
-                    now + push,
-                    Event::ReplicationDone { vm, epoch },
-                    out,
-                );
+                // Fluid model: the push is a flow contending with every
+                // other recovery transfer; otherwise it is a solo timer.
+                if !self.net_add_rerepl(vm, epoch, push) {
+                    self.schedule(
+                        Subsystem::Replication,
+                        now,
+                        now + push,
+                        Event::ReplicationDone { vm, epoch },
+                        out,
+                    );
+                }
             }
         }
     }
@@ -185,6 +199,8 @@ impl Controller {
                 Subsystem::Replication,
                 Record::RereplicationDone { vm, epoch },
             );
+            // Back under protection: the background stream resumes.
+            self.net_refresh_stream(vm);
         }
     }
 }

@@ -148,13 +148,17 @@ impl Controller {
             .map(|r| r.workload.dirty_model())
             .unwrap_or_else(|| WorkloadKind::TpcW.dirty_model());
         let pre = simulate_precopy(self.vm_spec.mem_bytes, &dirty, &PreCopyConfig::default());
-        self.schedule(
-            Subsystem::Returns,
-            now,
-            now + pre.total_duration,
-            Event::ReturnTransferDone(vm),
-            out,
-        );
+        // Fluid model: the pre-copy is a flow from the on-demand refuge to
+        // the fresh spot host; otherwise it is a solo timer.
+        if !self.net_add_return(vm, instance, pre.total_duration) {
+            self.schedule(
+                Subsystem::Returns,
+                now,
+                now + pre.total_duration,
+                Event::ReturnTransferDone(vm),
+                out,
+            );
+        }
     }
 
     /// The return's spot host lost its boot race (the market moved against
@@ -283,6 +287,8 @@ impl Controller {
                 }
             }
         }
+        // Back on spot with a backup: the checkpoint stream resumes.
+        self.net_refresh_stream(vm);
     }
 
     /// One of a return's detach gates completed.

@@ -14,7 +14,7 @@ use crate::accounting::AvailabilityReport;
 use crate::config::SpotCheckConfig;
 use crate::controller::{Controller, ControllerError, CostReport};
 use crate::events::Event;
-use crate::journal::Journal;
+use crate::journal::{Journal, ViolationReport};
 use crate::types::CustomerId;
 
 /// The [`World`] adapter around the controller.
@@ -177,6 +177,12 @@ impl SpotCheckSim {
     /// The structured event journal of this run (always on).
     pub fn journal(&self) -> &Journal {
         self.sim.world().controller().journal()
+    }
+
+    /// The 30 s-guarantee violation taxonomy of this run (derived from
+    /// the journal's counters).
+    pub fn violation_report(&self) -> ViolationReport {
+        self.journal().violation_report()
     }
 }
 

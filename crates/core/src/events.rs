@@ -48,6 +48,10 @@ pub enum Event {
         /// migration that released the backup.
         epoch: u32,
     },
+    /// Fluid-model alarm: re-sync flow completions. Stateless — the
+    /// controller advances its fluid network to `now` before handling any
+    /// event, so a stale or duplicate wake is harmless.
+    FlowWake,
     /// Retry of a host termination that failed transiently.
     RetryTerminate {
         /// The instance to terminate.
@@ -73,6 +77,7 @@ impl Event {
             Event::ReturnTransferDone(_) => "return_transfer_done",
             Event::Fault(_) => "fault",
             Event::ReplicationDone { .. } => "replication_done",
+            Event::FlowWake => "flow_wake",
             Event::RetryTerminate { .. } => "retry_terminate",
         }
     }

@@ -276,6 +276,44 @@ pub enum Record {
         /// The VM.
         vm: NestedVmId,
     },
+    /// The 30 s migration guarantee was violated: the dirty residue did not
+    /// reach the backup before the platform's forced termination.
+    DeadlineViolation {
+        /// The migration whose bound broke.
+        mig: MigrationId,
+        /// The VM.
+        vm: NestedVmId,
+        /// Why: "contention" (the commit flow was still transferring),
+        /// "queue_wait" (admission staging delayed the commit past its
+        /// deadline), or "residue_lost" (the host died with the commit
+        /// still in flight).
+        cause: &'static str,
+    },
+    /// Graceful degradation: the bound provably could not hold, so the VM
+    /// fell back to Yank-style pause-and-flush (downtime charged to
+    /// availability).
+    FallbackYank {
+        /// The migration.
+        mig: MigrationId,
+        /// The VM.
+        vm: NestedVmId,
+    },
+    /// Admission control staged a final commit behind the concurrency cap.
+    CommitQueued {
+        /// The migration.
+        mig: MigrationId,
+        /// The VM.
+        vm: NestedVmId,
+    },
+    /// A staged final commit was admitted and its flow launched.
+    CommitAdmitted {
+        /// The migration.
+        mig: MigrationId,
+        /// The VM.
+        vm: NestedVmId,
+        /// Milliseconds spent waiting in the admission queue.
+        waited_ms: u64,
+    },
 }
 
 impl Record {
@@ -304,6 +342,10 @@ impl Record {
             Record::RereplicationDone { .. } => "rereplication_done",
             Record::CrashRecovery { .. } => "crash_recovery",
             Record::VmLost { .. } => "vm_lost",
+            Record::DeadlineViolation { .. } => "deadline_violation",
+            Record::FallbackYank { .. } => "fallback_yank",
+            Record::CommitQueued { .. } => "commit_queued",
+            Record::CommitAdmitted { .. } => "commit_admitted",
         }
     }
 
@@ -386,6 +428,19 @@ impl Record {
             Record::CrashRecovery { vm, mig } => {
                 let _ = write!(s, r#", "vm": {}, "mig": {}"#, vm.0, mig.0);
             }
+            Record::DeadlineViolation { mig, vm, cause } => {
+                let _ = write!(s, r#", "mig": {}, "vm": {}, "cause": "{cause}""#, mig.0, vm.0);
+            }
+            Record::FallbackYank { mig, vm } | Record::CommitQueued { mig, vm } => {
+                let _ = write!(s, r#", "mig": {}, "vm": {}"#, mig.0, vm.0);
+            }
+            Record::CommitAdmitted { mig, vm, waited_ms } => {
+                let _ = write!(
+                    s,
+                    r#", "mig": {}, "vm": {}, "waited_ms": {waited_ms}"#,
+                    mig.0, vm.0
+                );
+            }
         }
     }
 }
@@ -433,6 +488,13 @@ pub struct JournalCounters {
     pub rereplications_completed: u64,
     pub crash_recoveries: u64,
     pub vms_lost: u64,
+    pub deadline_violations: u64,
+    pub violations_contention: u64,
+    pub violations_queue_wait: u64,
+    pub violations_residue_lost: u64,
+    pub fallback_yanks: u64,
+    pub commits_queued: u64,
+    pub commit_queue_wait_ms: u64,
 }
 
 impl JournalCounters {
@@ -467,6 +529,13 @@ impl JournalCounters {
             ("rereplications_completed", self.rereplications_completed),
             ("crash_recoveries", self.crash_recoveries),
             ("vms_lost", self.vms_lost),
+            ("deadline_violations", self.deadline_violations),
+            ("violations_contention", self.violations_contention),
+            ("violations_queue_wait", self.violations_queue_wait),
+            ("violations_residue_lost", self.violations_residue_lost),
+            ("fallback_yanks", self.fallback_yanks),
+            ("commits_queued", self.commits_queued),
+            ("commit_queue_wait_ms", self.commit_queue_wait_ms),
         ]
     }
 
@@ -506,6 +575,69 @@ impl JournalCounters {
             Record::RereplicationDone { .. } => self.rereplications_completed += 1,
             Record::CrashRecovery { .. } => self.crash_recoveries += 1,
             Record::VmLost { .. } => self.vms_lost += 1,
+            Record::DeadlineViolation { cause, .. } => {
+                self.deadline_violations += 1;
+                match *cause {
+                    "contention" => self.violations_contention += 1,
+                    "queue_wait" => self.violations_queue_wait += 1,
+                    _ => self.violations_residue_lost += 1,
+                }
+            }
+            Record::FallbackYank { .. } => self.fallback_yanks += 1,
+            Record::CommitQueued { .. } => self.commits_queued += 1,
+            Record::CommitAdmitted { waited_ms, .. } => self.commit_queue_wait_ms += waited_ms,
+        }
+    }
+}
+
+/// Per-run summary of 30 s-guarantee violations, derived from the exact
+/// [`JournalCounters`] (never affected by the record cap).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ViolationReport {
+    /// Warned migrations started (the guarantee's denominator).
+    pub migrations_started: u64,
+    /// Total deadline violations.
+    pub violations: u64,
+    /// Violations where the commit flow was still transferring at the
+    /// deadline (pure bandwidth contention).
+    pub contention: u64,
+    /// Violations where admission staging delayed the commit past its
+    /// deadline.
+    pub queue_wait: u64,
+    /// Violations where the host died with the commit still in flight
+    /// (dirty residue lost; recovery falls back to the last complete
+    /// checkpoint).
+    pub residue_lost: u64,
+    /// Graceful-degradation fallbacks to Yank-style pause-and-flush.
+    pub fallback_yanks: u64,
+    /// Final commits staged behind the admission cap.
+    pub commits_queued: u64,
+    /// Total milliseconds commits spent in the admission queue.
+    pub queue_wait_ms: u64,
+}
+
+impl ViolationReport {
+    /// Builds the report from a run's counters.
+    pub fn from_counters(c: &JournalCounters) -> Self {
+        ViolationReport {
+            migrations_started: c.migrations_started,
+            violations: c.deadline_violations,
+            contention: c.violations_contention,
+            queue_wait: c.violations_queue_wait,
+            residue_lost: c.violations_residue_lost,
+            fallback_yanks: c.fallback_yanks,
+            commits_queued: c.commits_queued,
+            queue_wait_ms: c.commit_queue_wait_ms,
+        }
+    }
+
+    /// Fraction of started migrations that violated the bound (0 when no
+    /// migration started).
+    pub fn violation_rate(&self) -> f64 {
+        if self.migrations_started == 0 {
+            0.0
+        } else {
+            self.violations as f64 / self.migrations_started as f64
         }
     }
 }
@@ -584,6 +716,11 @@ impl Journal {
     /// Exact counters over every record ever journaled.
     pub fn counters(&self) -> &JournalCounters {
         &self.counters
+    }
+
+    /// Summary of 30 s-guarantee violations (exact, cap-independent).
+    pub fn violation_report(&self) -> ViolationReport {
+        ViolationReport::from_counters(&self.counters)
     }
 
     /// Stored entries produced by `subsystem`.
@@ -695,6 +832,73 @@ mod tests {
         assert!(json.contains("\"kind\": \"fault\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn violation_taxonomy_counts_by_cause() {
+        let mut j = Journal::new();
+        j.record(
+            SimTime::ZERO,
+            Subsystem::Migration,
+            Record::MigStarted {
+                mig: MigrationId(0),
+                vm: NestedVmId(0),
+                live: false,
+                proactive: false,
+            },
+        );
+        for (i, cause) in ["contention", "queue_wait", "residue_lost", "contention"]
+            .iter()
+            .enumerate()
+        {
+            j.record(
+                SimTime::from_secs(i as u64),
+                Subsystem::Migration,
+                Record::DeadlineViolation {
+                    mig: MigrationId(i as u64),
+                    vm: NestedVmId(i as u64),
+                    cause,
+                },
+            );
+        }
+        j.record(
+            SimTime::ZERO,
+            Subsystem::Migration,
+            Record::FallbackYank {
+                mig: MigrationId(9),
+                vm: NestedVmId(9),
+            },
+        );
+        j.record(
+            SimTime::ZERO,
+            Subsystem::Migration,
+            Record::CommitQueued {
+                mig: MigrationId(9),
+                vm: NestedVmId(9),
+            },
+        );
+        j.record(
+            SimTime::ZERO,
+            Subsystem::Migration,
+            Record::CommitAdmitted {
+                mig: MigrationId(9),
+                vm: NestedVmId(9),
+                waited_ms: 250,
+            },
+        );
+        let r = j.violation_report();
+        assert_eq!(r.violations, 4);
+        assert_eq!(r.contention, 2);
+        assert_eq!(r.queue_wait, 1);
+        assert_eq!(r.residue_lost, 1);
+        assert_eq!(r.fallback_yanks, 1);
+        assert_eq!(r.commits_queued, 1);
+        assert_eq!(r.queue_wait_ms, 250);
+        assert_eq!(r.violation_rate(), 4.0);
+        let json = j.to_json();
+        assert!(json.contains(r#""cause": "queue_wait""#));
+        assert!(json.contains(r#""waited_ms": 250"#));
+        assert!(json.contains(r#""deadline_violations": 4"#));
     }
 
     #[test]

@@ -34,9 +34,12 @@ fn config() -> SpotCheckConfig {
     }
 }
 
+/// A named journal predicate for [`assert_ordered_subsequence`].
+type Step = (&'static str, Box<dyn Fn(&Entry) -> bool>);
+
 /// Asserts that `entries` contains the `expected` records as an ordered
 /// subsequence (other records may be interleaved between them).
-fn assert_ordered_subsequence(entries: &[Entry], expected: &[(&str, Box<dyn Fn(&Entry) -> bool>)]) {
+fn assert_ordered_subsequence(entries: &[Entry], expected: &[Step]) {
     let mut want = expected.iter();
     let mut current = want.next();
     for e in entries {
@@ -66,7 +69,7 @@ fn revocation_migration_leaves_ordered_journal_trail() {
     // migration: provision completes, the warning lands, the migration's
     // state machine walks prep → detaching → attaching → completed, and
     // the VM is running again.
-    let steps: Vec<(&str, Box<dyn Fn(&Entry) -> bool>)> = vec![
+    let steps: Vec<Step> = vec![
         ("vm provisioning→running", Box::new(move |e: &Entry| {
             matches!(
                 e.record,
@@ -140,7 +143,7 @@ fn revocation_migration_leaves_ordered_journal_trail() {
     // accounting ledger, the counters from the journal: two independent
     // paths to the same facts).
     let report = sim.availability_report();
-    assert_eq!(u64::from(report.revocations), c.revocation_warnings);
+    assert_eq!(report.revocations, c.revocation_warnings);
     assert_eq!(report.migrations, c.migrations_completed);
 
     // The JSON dump carries every stored entry with the documented shape.

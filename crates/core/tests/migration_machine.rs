@@ -32,6 +32,7 @@ impl Rng {
 
 /// The operations a driver can attempt, with their journal/error names.
 #[derive(Debug, Clone, Copy)]
+#[allow(clippy::enum_variant_names)]
 enum Op {
     StartCommit,
     NoteCommitDone,

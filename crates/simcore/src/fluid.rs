@@ -44,13 +44,17 @@ impl Network {
 
     /// Adds a link with the given capacity in bytes/second and returns its id.
     ///
+    /// A zero capacity is legal and models a dead resource (e.g. a crashed
+    /// backup server): flows routed through it are allocated rate zero and
+    /// stall rather than panicking the engine.
+    ///
     /// # Panics
     ///
-    /// Panics if the capacity is not finite and positive.
+    /// Panics if the capacity is not finite and non-negative.
     pub fn add_link(&mut self, capacity_bps: f64) -> LinkId {
         assert!(
-            capacity_bps.is_finite() && capacity_bps > 0.0,
-            "link capacity must be finite and positive, got {capacity_bps}"
+            capacity_bps.is_finite() && capacity_bps >= 0.0,
+            "link capacity must be finite and non-negative, got {capacity_bps}"
         );
         self.links.push(Link { capacity_bps });
         LinkId(self.links.len() - 1)
@@ -65,16 +69,18 @@ impl Network {
         self.links[link.0].capacity_bps
     }
 
-    /// Updates the capacity of `link`.
+    /// Updates the capacity of `link`. Setting zero marks the resource dead
+    /// (its flows stall at rate zero) — used by fault plans that crash a
+    /// server mid-transfer.
     ///
     /// # Panics
     ///
     /// Panics if the id is unknown or the capacity is not finite and
-    /// positive.
+    /// non-negative.
     pub fn set_capacity(&mut self, link: LinkId, capacity_bps: f64) {
         assert!(
-            capacity_bps.is_finite() && capacity_bps > 0.0,
-            "link capacity must be finite and positive, got {capacity_bps}"
+            capacity_bps.is_finite() && capacity_bps >= 0.0,
+            "link capacity must be finite and non-negative, got {capacity_bps}"
         );
         self.links[link.0].capacity_bps = capacity_bps;
     }
@@ -207,13 +213,21 @@ pub fn max_min_rates(network: &Network, flows: &[FlowSpec]) -> Vec<f64> {
                 best = Some((unit, how));
             }
         }
-        let (unit, how) = best.expect("at least one active flow");
+        // No candidate can only mean the active set produced no finite or
+        // infinite unit at all (e.g. every remaining flow sits on a
+        // zero-capacity link and numerics degenerated): freeze the stragglers
+        // at rate zero rather than panicking mid-simulation.
+        let Some((unit, how)) = best else {
+            break;
+        };
 
         match how {
             Freeze::ByCap(i) => {
                 // Freeze exactly the cap-limited flow at its cap, charge its
-                // route, and continue filling the rest.
-                let cap = flows[i].rate_cap_bps.expect("cap-limited flow has cap");
+                // route, and continue filling the rest. (`ByCap` is only
+                // constructed for capped flows; rate zero is the safe
+                // fallback if that invariant ever breaks.)
+                let cap = flows[i].rate_cap_bps.unwrap_or(0.0);
                 rates[i] = cap;
                 frozen[i] = true;
                 for l in &flows[i].route {
@@ -321,6 +335,27 @@ impl FluidSim {
         &mut self.network
     }
 
+    /// Read-only access to the network (to inspect capacities).
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Changes the fair-share weight of a live flow (e.g. boosting a
+    /// deadline-critical transfer). Returns false if the flow is unknown.
+    pub fn set_weight(&mut self, id: FlowId, weight: f64) -> bool {
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "flow weight must be positive, got {weight}"
+        );
+        if let Some(st) = self.flows.get_mut(&id) {
+            st.spec.weight = weight;
+            self.rates_valid = false;
+            true
+        } else {
+            false
+        }
+    }
+
     /// Adds a flow and returns its id.
     pub fn add_flow(&mut self, spec: FlowSpec) -> FlowId {
         let id = FlowId(self.next_id);
@@ -351,6 +386,11 @@ impl FluidSim {
         self.flows.get(&id).map(|s| s.spec.remaining_bytes)
     }
 
+    /// Returns the route of a flow, if it exists.
+    pub fn route(&self, id: FlowId) -> Option<&[LinkId]> {
+        self.flows.get(&id).map(|s| s.spec.route.as_slice())
+    }
+
     /// Returns the current allocated rate of a flow in bytes/second, if it
     /// exists. Rates are only meaningful after an [`FluidSim::advance`] or
     /// [`FluidSim::recompute_rates`].
@@ -361,6 +401,22 @@ impl FluidSim {
     /// Returns the number of active flows.
     pub fn active_flows(&self) -> usize {
         self.flows.len()
+    }
+
+    /// Returns the total rate currently allocated across `link` in
+    /// bytes/second (recomputing stale rates first). Used for
+    /// contention-aware placement: a hot link carries a high load relative
+    /// to its capacity.
+    pub fn link_load(&mut self, link: LinkId) -> f64 {
+        if !self.rates_valid {
+            self.recompute_rates();
+        }
+        self.order
+            .iter()
+            .filter_map(|id| self.flows.get(id))
+            .filter(|st| st.spec.route.contains(&link))
+            .map(|st| st.rate_bps)
+            .sum()
     }
 
     /// Recomputes max-min fair rates for the current flow set.
@@ -375,10 +431,11 @@ impl FluidSim {
             .collect();
         let rates = max_min_rates(&self.network, &specs);
         for (id, rate) in self.order.iter().zip(rates) {
-            self.flows
-                .get_mut(id)
-                .expect("ordered flow exists")
-                .rate_bps = rate;
+            // `order` and `flows` are kept in lockstep; skip (rather than
+            // panic on) an id that somehow left the map.
+            if let Some(st) = self.flows.get_mut(id) {
+                st.rate_bps = rate;
+            }
         }
         self.rates_valid = true;
     }
@@ -676,6 +733,63 @@ mod tests {
                 assert!((per_vm - 125.0 * MB / vms as f64).abs() < 1.0);
             }
         }
+    }
+
+    #[test]
+    fn zero_capacity_link_stalls_flows_without_panicking() {
+        let mut net = Network::new();
+        let dead = net.add_link(0.0);
+        let rates = max_min_rates(&net, &[FlowSpec::new(vec![dead], MB)]);
+        assert_eq!(rates[0], 0.0);
+
+        let mut net = Network::new();
+        let dead = net.add_link(0.0);
+        let mut sim = FluidSim::new(net);
+        let f = sim.add_flow(FlowSpec::new(vec![dead], MB));
+        // A stalled flow makes no progress and never reports a completion.
+        assert_eq!(sim.time_to_next_completion(), None);
+        let adv = sim.advance(SimDuration::from_secs(10));
+        assert!(adv.completed.is_empty());
+        assert_eq!(sim.remaining(f), Some(MB));
+    }
+
+    #[test]
+    fn crashing_a_link_mid_transfer_stalls_then_recovers() {
+        let mut net = Network::new();
+        let l = net.add_link(10.0 * MB);
+        let mut sim = FluidSim::new(net);
+        let f = sim.add_flow(FlowSpec::new(vec![l], 10.0 * MB));
+        sim.advance(SimDuration::from_millis(500));
+        // Server dies with 5 MB outstanding.
+        sim.network_mut().set_capacity(l, 0.0);
+        let adv = sim.advance(SimDuration::from_secs(5));
+        assert!(adv.completed.is_empty());
+        assert!((sim.remaining(f).unwrap() - 5.0 * MB).abs() < 1.0);
+        // Server returns; the transfer finishes.
+        sim.network_mut().set_capacity(l, 10.0 * MB);
+        let adv = sim.advance(SimDuration::from_secs(1));
+        assert_eq!(adv.completed, vec![f]);
+    }
+
+    #[test]
+    fn link_load_tracks_allocated_rates() {
+        let mut net = Network::new();
+        let hot = net.add_link(10.0 * MB);
+        let cold = net.add_link(10.0 * MB);
+        let mut sim = FluidSim::new(net);
+        sim.add_flow(FlowSpec::new(vec![hot], f64::INFINITY).with_cap(3.0 * MB));
+        sim.add_flow(FlowSpec::new(vec![hot], f64::INFINITY).with_cap(4.0 * MB));
+        assert!((sim.link_load(hot) - 7.0 * MB).abs() < 1.0);
+        assert_eq!(sim.link_load(cold), 0.0);
+    }
+
+    #[test]
+    fn empty_flow_set_is_harmless() {
+        let mut sim = FluidSim::new(Network::new());
+        assert_eq!(sim.time_to_next_completion(), None);
+        let adv = sim.advance(SimDuration::from_secs(1));
+        assert!(adv.completed.is_empty());
+        assert_eq!(adv.now, SimTime::from_secs(1));
     }
 
     #[test]

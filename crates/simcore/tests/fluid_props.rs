@@ -1,0 +1,236 @@
+//! Seeded property tests for the fluid (flow-level) bandwidth model.
+//!
+//! Inputs are generated from seeded [`SimRng`] streams (the workspace has no
+//! external property-testing dependency), so every case is reproducible from
+//! the iteration number printed on failure. Three invariants are pinned:
+//!
+//! 1. **Per-link conservation** — the max-min allocation never oversubscribes
+//!    any link of a random multi-link topology (dead, zero-capacity links
+//!    included).
+//! 2. **Completion-time monotonicity** — adding a competing flow never makes
+//!    an existing transfer finish *earlier*.
+//! 3. **Differential** — [`FluidSim`]'s exact piecewise-constant completion
+//!    instants agree with a brute-force small-step Euler integration of the
+//!    same rate function.
+
+use spotcheck_simcore::fluid::{max_min_rates, FlowSpec, FluidSim, LinkId, Network};
+use spotcheck_simcore::rng::SimRng;
+
+const CASES: u64 = 48;
+
+fn f64_in(rng: &mut SimRng, lo: f64, hi: f64) -> f64 {
+    lo + rng.next_f64() * (hi - lo)
+}
+
+/// A random topology of 2-6 links. When `allow_dead`, roughly one link in
+/// eight has zero capacity (a crashed server).
+fn random_topology(rng: &mut SimRng, allow_dead: bool) -> (Network, Vec<LinkId>) {
+    let mut net = Network::new();
+    let n = rng.gen_range(2, 7) as usize;
+    let links: Vec<LinkId> = (0..n)
+        .map(|_| {
+            if allow_dead && rng.gen_bool(0.125) {
+                net.add_link(0.0)
+            } else {
+                net.add_link(f64_in(rng, 1e6, 1e9))
+            }
+        })
+        .collect();
+    (net, links)
+}
+
+/// A random flow crossing 1-3 distinct links of `links`.
+fn random_flow(rng: &mut SimRng, links: &[LinkId], bytes: f64) -> FlowSpec {
+    let hops = rng.gen_range(1, 4.min(links.len() as u64 + 1)) as usize;
+    let mut route = Vec::with_capacity(hops);
+    while route.len() < hops {
+        let l = links[rng.gen_range(0, links.len() as u64) as usize];
+        if !route.contains(&l) {
+            route.push(l);
+        }
+    }
+    let mut f = FlowSpec::new(route, bytes);
+    if rng.gen_bool(0.4) {
+        f = f.with_cap(f64_in(rng, 1e5, 1e8));
+    }
+    if rng.gen_bool(0.3) {
+        f = f.with_weight(f64_in(rng, 0.5, 4.0));
+    }
+    f
+}
+
+/// Sum of allocated rates on every link stays within its capacity, for
+/// random multi-link topologies that may include dead (zero-capacity) links.
+#[test]
+fn per_link_conservation() {
+    let mut rng = SimRng::seed(0xF10C0);
+    for case in 0..CASES {
+        let (net, links) = random_topology(&mut rng, true);
+        let n = rng.gen_range(1, 16) as usize;
+        let flows: Vec<FlowSpec> = (0..n)
+            .map(|_| {
+                let bytes = if rng.gen_bool(0.2) {
+                    f64::INFINITY
+                } else {
+                    f64_in(&mut rng, 1e5, 1e8)
+                };
+                random_flow(&mut rng, &links, bytes)
+            })
+            .collect();
+        let rates = max_min_rates(&net, &flows);
+        for &l in &links {
+            let load: f64 = rates
+                .iter()
+                .zip(&flows)
+                .filter(|(_, f)| f.route.contains(&l))
+                .map(|(r, _)| *r)
+                .sum();
+            let cap = net.capacity(l);
+            assert!(
+                load <= cap * (1.0 + 1e-6) + 1e-9,
+                "case {case}: link {l:?} oversubscribed: {load} > {cap}"
+            );
+        }
+        for (i, r) in rates.iter().enumerate() {
+            assert!(r.is_finite() || flows[i].route.is_empty(), "case {case}");
+            assert!(*r >= 0.0, "case {case}: negative rate {r}");
+        }
+    }
+}
+
+/// Completion instant of a fluid simulation's first flow, if it completes
+/// within the horizon.
+fn completion_of_first(net: &Network, flows: &[FlowSpec]) -> Option<f64> {
+    let mut sim = FluidSim::new(net.clone());
+    let first = sim.add_flow(flows[0].clone());
+    for f in &flows[1..] {
+        sim.add_flow(f.clone());
+    }
+    sim.drain_completions()
+        .into_iter()
+        .find(|(_, id)| *id == first)
+        .map(|(t, _)| t.as_secs_f64())
+}
+
+/// Adding one more competing flow never makes an existing transfer finish
+/// earlier.
+///
+/// Restricted to a single shared bottleneck (the backup-NIC scenario):
+/// multi-link max-min fairness is famously *non*-monotone — a new flow can
+/// throttle a competitor on one link and thereby free a different
+/// bottleneck, speeding a third flow up — so the property only holds when
+/// every flow crosses the same link.
+#[test]
+fn completion_time_monotone_under_added_load() {
+    let mut rng = SimRng::seed(0x0_11070);
+    for case in 0..CASES {
+        let mut net = Network::new();
+        let nic = net.add_link(f64_in(&mut rng, 1e6, 1e9));
+        let n = rng.gen_range(1, 10) as usize;
+        let flows: Vec<FlowSpec> = (0..n)
+            .map(|_| {
+                let bytes = f64_in(&mut rng, 1e5, 5e7);
+                let mut f = FlowSpec::new(vec![nic], bytes);
+                if rng.gen_bool(0.4) {
+                    f = f.with_cap(f64_in(&mut rng, 1e5, 1e8));
+                }
+                if rng.gen_bool(0.3) {
+                    f = f.with_weight(f64_in(&mut rng, 0.5, 4.0));
+                }
+                f
+            })
+            .collect();
+        let extra = FlowSpec::new(vec![nic], f64_in(&mut rng, 1e6, 1e8));
+        let mut with_extra = flows.clone();
+        with_extra.push(extra);
+
+        let base = completion_of_first(&net, &flows);
+        let loaded = completion_of_first(&net, &with_extra);
+        let (Some(base), Some(loaded)) = (base, loaded) else {
+            continue;
+        };
+        assert!(
+            loaded >= base - 2e-6,
+            "case {case}: added load sped a transfer up: {base} -> {loaded}"
+        );
+    }
+}
+
+/// Brute-force small-step integration of the same max-min rate function:
+/// returns each flow's completion time (seconds), `None` if it never
+/// finishes within the horizon.
+fn brute_force_completions(net: &Network, flows: &[FlowSpec], dt: f64, horizon: f64) -> Vec<Option<f64>> {
+    let mut remaining: Vec<f64> = flows.iter().map(|f| f.remaining_bytes).collect();
+    let mut done: Vec<Option<f64>> = vec![None; flows.len()];
+    let mut t = 0.0;
+    while t < horizon {
+        let active: Vec<FlowSpec> = flows
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| done[*i].is_none())
+            .map(|(i, f)| FlowSpec {
+                remaining_bytes: remaining[i],
+                ..f.clone()
+            })
+            .collect();
+        if active.is_empty() {
+            break;
+        }
+        let rates = max_min_rates(net, &active);
+        let idx: Vec<usize> = (0..flows.len()).filter(|i| done[*i].is_none()).collect();
+        t += dt;
+        for (k, &i) in idx.iter().enumerate() {
+            remaining[i] = (remaining[i] - rates[k] * dt).max(0.0);
+            if remaining[i] <= 1e-9 {
+                done[i] = Some(t);
+            }
+        }
+    }
+    done
+}
+
+/// [`FluidSim`]'s exact completion instants match brute-force small-step
+/// integration to within the integration step.
+#[test]
+fn differential_against_small_step_integration() {
+    let mut rng = SimRng::seed(0xD1FF);
+    for case in 0..16 {
+        let (net, links) = random_topology(&mut rng, false);
+        let n = rng.gen_range(2, 8) as usize;
+        // Sizes chosen so everything drains in a few simulated seconds:
+        // capacities are >= 1 MB/s and routes are short.
+        let flows: Vec<FlowSpec> = (0..n)
+            .map(|_| {
+                let bytes = f64_in(&mut rng, 1e5, 2e7);
+                random_flow(&mut rng, &links, bytes)
+            })
+            .collect();
+
+        let dt = 1e-3;
+        let horizon = 300.0;
+        let brute = brute_force_completions(&net, &flows, dt, horizon);
+
+        let mut sim = FluidSim::new(net.clone());
+        let ids: Vec<_> = flows.iter().map(|f| sim.add_flow(f.clone())).collect();
+        let drained = sim.drain_completions();
+        for (i, id) in ids.iter().enumerate() {
+            let fluid_t = drained
+                .iter()
+                .find(|(_, f)| f == id)
+                .map(|(t, _)| t.as_secs_f64());
+            match (fluid_t, brute[i]) {
+                (Some(a), Some(b)) => {
+                    // The Euler integration lags by at most one step per
+                    // completed predecessor (rate changes are detected one
+                    // step late), so allow n steps of slack plus rounding.
+                    let tol = dt * (n as f64 + 1.0) + a.max(1.0) * 1e-6;
+                    assert!(
+                        (a - b).abs() <= tol,
+                        "case {case} flow {i}: fluid={a} brute={b} tol={tol}"
+                    );
+                }
+                (a, b) => panic!("case {case} flow {i}: fluid={a:?} brute={b:?} disagree"),
+            }
+        }
+    }
+}
