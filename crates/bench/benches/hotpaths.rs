@@ -17,6 +17,8 @@
 //! - `EventQueue` steady-state churn, heap vs timing-wheel backend, under
 //!   three deadline distributions: uniform near-future, bursty same-instant
 //!   batches, and far-future pushes that land in the wheel's overflow level
+//! - the sharded engine's cross-shard channel: epoch barrier + Lamport
+//!   flush cost at rising message volume (idle barriers vs flooded ones)
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -27,6 +29,7 @@ use spotcheck_migrate::mechanisms::MechanismKind;
 use spotcheck_nestedvm::memory::{DirtyModel, MemoryImage, PAGE_SIZE};
 use spotcheck_simcore::queue::{EventQueue, QueueBackend};
 use spotcheck_simcore::rng::SimRng;
+use spotcheck_simcore::shard::{set_shard_workers, ShardCtx, ShardId, ShardWorld, ShardedSim};
 use spotcheck_simcore::time::{SimDuration, SimTime};
 use spotcheck_spotmarket::generator::TraceGenerator;
 use spotcheck_spotmarket::market::MarketId;
@@ -144,6 +147,61 @@ fn dt_far_future(rng: &mut SimRng) -> u64 {
     (1 << 36) + rng.gen_range(0, 86_400_000_000 * 6)
 }
 
+/// One shard of the cross-shard channel benchmark: every epoch it ticks
+/// once and sends `per_tick` messages round-robin across the fleet, so the
+/// barrier exchange flushes `shards x per_tick` envelopes per epoch.
+struct Flooder {
+    shards: u16,
+    per_tick: usize,
+    lookahead: SimDuration,
+    sent: u64,
+    received: u64,
+}
+
+impl ShardWorld for Flooder {
+    type Event = ();
+    type Msg = u64;
+
+    fn handle(&mut self, _e: (), ctx: &mut ShardCtx<'_, '_, (), u64>) {
+        let now = ctx.now();
+        for k in 0..self.per_tick as u64 {
+            let dst = ((self.sent + k) % self.shards as u64) as u16;
+            ctx.send(ShardId(dst), now + self.lookahead, self.sent + k);
+        }
+        self.sent += self.per_tick as u64;
+        ctx.after(self.lookahead, ());
+    }
+
+    fn on_message(&mut self, _src: ShardId, msg: u64, _ctx: &mut ShardCtx<'_, '_, (), u64>) {
+        self.received = self.received.wrapping_add(msg);
+    }
+}
+
+/// Runs `epochs` barrier rounds over `shards` shards, `per_tick` messages
+/// per shard per epoch, on one worker (so the numbers isolate the channel
+/// itself: outbox drain, Lamport sort, routed inbound merge — not thread
+/// spawn). Returns a checksum.
+fn shard_flush(shards: u16, per_tick: usize, epochs: u64) -> u64 {
+    let lookahead = SimDuration::from_secs(60);
+    set_shard_workers(1);
+    let worlds: Vec<Flooder> = (0..shards)
+        .map(|_| Flooder {
+            shards,
+            per_tick,
+            lookahead,
+            sent: 0,
+            received: 0,
+        })
+        .collect();
+    let mut sim = ShardedSim::new(worlds, lookahead);
+    for s in 0..shards as usize {
+        sim.schedule_at(s, SimTime::ZERO, ());
+    }
+    sim.run_until(SimTime::ZERO + lookahead * epochs);
+    set_shard_workers(0);
+    sim.worlds().map(|w| w.received).sum()
+}
+
 fn six_month_trace() -> PriceTrace {
     let profile = profile_for("m3.large").expect("catalog").profile;
     let mut rng = SimRng::seed(0xBEEF);
@@ -229,6 +287,21 @@ fn main() {
             reports.push(bench(name, || {
                 queue_churn(backend, pending, QUEUE_STEPS, next_dt)
             }));
+        }
+    }
+
+    // Cross-shard channel: 8 shards, 256 epoch barriers per iteration.
+    // `idle` prices the pure barrier (exchange with empty outboxes);
+    // the flooded rows add 8x64 and 8x1024 envelopes per epoch flush.
+    const SHARD_EPOCHS: u64 = 256;
+    let shard_benches: [(&'static str, usize); 3] = [
+        ("shard_flush_idle", 0),
+        ("shard_flush_64", 64),
+        ("shard_flush_1024", 1024),
+    ];
+    for (name, per_tick) in shard_benches {
+        if wanted(name) {
+            reports.push(bench(name, || shard_flush(8, per_tick, SHARD_EPOCHS)));
         }
     }
 

@@ -1,12 +1,16 @@
 //! CLI that regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments [--quick] [--list] [--json] [--out PATH] [--journal PATH] [--threads N] [--queue B] [id ...]
+//! experiments [--quick] [--list] [--json] [--out PATH] [--journal PATH] [--threads N] [--shards N] [--queue B] [id ...]
 //! ```
 //!
 //! - `--quick` shrinks horizons for smoke tests.
 //! - `--threads N` caps the worker count (0 or absent: auto-detect). The
 //!   worker count never changes any reported number, only wall-clock time.
+//! - `--shards N` caps the worker threads sharded simulations (the
+//!   `fleet_sharded` experiment) use per epoch window (0 or absent: follow
+//!   `--threads`). The logical shard topology is fixed by the scenario, so
+//!   like `--threads` this flag never changes any reported number.
 //! - `--queue heap|wheel` selects the event-queue backend (default: wheel).
 //!   Both backends pop in an identical order, so reported numbers never
 //!   change — the flag exists for differential testing and benchmarking.
@@ -30,6 +34,7 @@ struct Args {
     out: Option<String>,
     journal: Option<String>,
     threads: usize,
+    shards: usize,
     queue: Option<QueueBackend>,
     ids: Vec<String>,
 }
@@ -42,6 +47,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         out: None,
         journal: None,
         threads: 0,
+        shards: 0,
         queue: None,
         ids: Vec::new(),
     };
@@ -70,6 +76,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.threads = n
                     .parse()
                     .map_err(|e| format!("bad --threads value {n:?}: {e}"))?;
+            }
+            "--shards" => {
+                let n = it.next().ok_or("--shards requires a count")?;
+                args.shards = n
+                    .parse()
+                    .map_err(|e| format!("bad --shards value {n:?}: {e}"))?;
             }
             "--queue" => {
                 let b = it.next().ok_or("--queue requires 'heap' or 'wheel'")?;
@@ -105,6 +117,7 @@ fn main() -> ExitCode {
     }
 
     spotcheck_simcore::parallel::set_max_threads(args.threads);
+    spotcheck_simcore::shard::set_shard_workers(args.shards);
     if let Some(backend) = args.queue {
         spotcheck_simcore::queue::set_default_backend(backend);
     }
@@ -140,6 +153,8 @@ fn main() -> ExitCode {
         let report = PerfReport {
             scale: args.scale,
             threads: spotcheck_simcore::parallel::configured_threads(),
+            shards: args.shards,
+            queue: spotcheck_simcore::queue::default_backend(),
             total_wall,
             results: &results,
         };

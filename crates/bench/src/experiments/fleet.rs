@@ -191,6 +191,13 @@ pub fn run(scale: Scale) -> String {
     t.row(vec!["unavailability".into(), f(avail.unavailability, 6)]);
     t.row(vec!["degradation".into(), f(avail.degradation, 6)]);
     t.row(vec!["cost ($/VM-hr)".into(), f(cost.cost_per_vm_hr, 5)]);
+    // Surfaced so a fleet that outgrows the journal's record cap is loud:
+    // entries beyond the cap are dropped (counters stay exact), and at
+    // million-VM scale that truncation must be visible, not silent.
+    t.row(vec![
+        "journal entries dropped".into(),
+        sim.journal().dropped().to_string(),
+    ]);
     let mut out = t.render();
     out.push_str(&format!(
         "\none controller simulation at fleet scale: a {}-VM fleet rides a {:.0}-day\n\

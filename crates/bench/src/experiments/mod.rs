@@ -8,6 +8,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod fleet;
+pub mod fleet_sharded;
 pub mod policy;
 pub mod table1;
 pub mod table2;
@@ -193,6 +194,11 @@ const REGISTRY: &[(&str, &str, Runner)] = &[
         "contention_storm",
         "Contention: storm size x defenses vs the 30 s guarantee",
         contention::run,
+    ),
+    (
+        "fleet_sharded",
+        "Sharded fleet: per-AZ controller shards with cross-shard gossip",
+        fleet_sharded::run,
     ),
 ];
 

@@ -8,6 +8,8 @@
 //! subset of JSON emitted is deliberately small: objects, arrays, strings,
 //! finite numbers.
 
+use spotcheck_simcore::queue::QueueBackend;
+
 use crate::experiments::{ExperimentResult, Scale};
 
 /// A performance report over one harness invocation.
@@ -17,6 +19,10 @@ pub struct PerfReport<'a> {
     pub scale: Scale,
     /// Worker count the harness was configured with.
     pub threads: usize,
+    /// Shard-worker cap (`--shards`; 0 follows `--threads`).
+    pub shards: usize,
+    /// Event-queue backend the run used.
+    pub queue: QueueBackend,
     /// End-to-end wall-clock for the whole invocation (includes registry
     /// fan-out overlap, so it is at most the sum of per-experiment walls).
     pub total_wall: std::time::Duration,
@@ -38,6 +44,14 @@ impl PerfReport<'_> {
             }
         ));
         out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        // The run configuration, so consumers (the CI throughput guard)
+        // can refuse to compare unlike-configured runs.
+        out.push_str(&format!(
+            "  \"config\": {{\"queue\": \"{}\", \"threads\": {}, \"shards\": {}}},\n",
+            self.queue.label(),
+            self.threads,
+            self.shards
+        ));
         out.push_str(&format!(
             "  \"total_wall_secs\": {},\n",
             json_f64(self.total_wall.as_secs_f64())
@@ -137,6 +151,8 @@ mod tests {
         let report = PerfReport {
             scale: Scale::Quick,
             threads: 4,
+            shards: 8,
+            queue: QueueBackend::Wheel,
             total_wall: std::time::Duration::from_millis(12),
             results: &results,
         };
@@ -144,6 +160,7 @@ mod tests {
         assert!(json.contains("\"suite\": \"spotcheck-experiments\""));
         assert!(json.contains("\"scale\": \"quick\""));
         assert!(json.contains("\"threads\": 4"));
+        assert!(json.contains("\"config\": {\"queue\": \"wheel\", \"threads\": 4, \"shards\": 8}"));
         assert!(json.contains("\"id\": \"fig1\""));
         assert!(json.contains("\"id\": \"fig6a\""));
         assert!(json.contains("\"total_events\": 100"));

@@ -111,8 +111,41 @@ fn fleet_is_identical_across_threads_and_queue_backends() {
         &["--threads", "4", "--queue", "wheel"][..],
         &["--threads", "1", "--queue", "heap"][..],
         &["--threads", "4", "--queue", "heap"][..],
+        // --shards is a pure worker knob; a non-sharded experiment must
+        // not even notice it.
+        &["--shards", "2", "--queue", "wheel"][..],
+        &["--shards", "8", "--queue", "heap"][..],
     ] {
         assert_eq!(run(args), baseline, "fleet diverged under {args:?}");
+    }
+}
+
+#[test]
+fn fleet_sharded_is_identical_across_shards_threads_and_queue_backends() {
+    // The sharded fleet's logical shard topology is fixed by the scenario;
+    // --shards only chooses worker threads for the epoch windows, so the
+    // rendered table (counters, gossip totals, event counts) must be
+    // byte-identical across every combination of shard workers, harness
+    // threads, and queue backend.
+    let run = |args: &[&str]| {
+        let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
+            .args(["--quick", "fleet_sharded"])
+            .args(args)
+            .output()
+            .expect("experiments binary runs");
+        assert!(out.status.success(), "{args:?} exited nonzero");
+        mask_wall(&String::from_utf8(out.stdout).expect("utf-8 output"))
+    };
+    let baseline = run(&["--shards", "1", "--queue", "wheel"]);
+    for args in [
+        &["--shards", "2", "--queue", "wheel"][..],
+        &["--shards", "8", "--queue", "wheel"][..],
+        &["--shards", "1", "--queue", "heap"][..],
+        &["--shards", "2", "--queue", "heap"][..],
+        &["--shards", "8", "--queue", "heap"][..],
+        &["--shards", "8", "--threads", "4", "--queue", "wheel"][..],
+    ] {
+        assert_eq!(run(args), baseline, "fleet_sharded diverged under {args:?}");
     }
 }
 
@@ -136,6 +169,8 @@ fn contention_storm_is_identical_across_threads_and_queue_backends() {
         &["--threads", "4", "--queue", "wheel"][..],
         &["--threads", "1", "--queue", "heap"][..],
         &["--threads", "4", "--queue", "heap"][..],
+        &["--shards", "2", "--queue", "wheel"][..],
+        &["--shards", "8", "--queue", "heap"][..],
     ] {
         assert_eq!(run(args), baseline, "contention_storm diverged under {args:?}");
     }

@@ -250,6 +250,14 @@ impl Controller {
         self.spares.len()
     }
 
+    /// Hosts currently in the free-slot placement index (spot hosts with
+    /// spare nested-VM capacity). This is the per-shard aggregate the
+    /// sharded fleet gossips across shards — each shard answers the
+    /// fleet-wide free-capacity query for its own slice only.
+    pub fn free_slot_host_count(&self) -> usize {
+        self.free_slot_hosts.len()
+    }
+
     /// Bootstraps the deployment: schedules the first price-change event of
     /// every market and boots the configured hot spares.
     pub fn bootstrap(&mut self, now: SimTime) -> Outbox {

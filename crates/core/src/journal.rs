@@ -766,6 +766,79 @@ impl Journal {
         s.push_str("\n  ]\n}\n");
         s
     }
+
+    /// Serializes a fleet of per-shard journals as one JSON object with a
+    /// deterministic merge: counters and drop counts are summed across
+    /// shards, and entries are tagged `"shard": k` and ordered by
+    /// `(t, shard, per-shard index)` — the same Lamport-style key the
+    /// cross-shard message layer uses, so the merged stream is identical
+    /// at any worker count.
+    pub fn merged_json<'a>(shards: impl IntoIterator<Item = (u16, &'a Journal)>) -> String {
+        use std::fmt::Write as _;
+        let shards: Vec<(u16, &Journal)> = shards.into_iter().collect();
+        // Counters sum positionally over the stable `pairs()` order, so a
+        // future counter is merged automatically the day it is added.
+        let mut counters: Vec<(&'static str, u64)> = Vec::new();
+        let mut dropped = 0u64;
+        // (at, shard, per-shard index) is unique per entry and already the
+        // merge order; each shard's entry slice is time-sorted, so a k-way
+        // index walk would also do — a sort keeps the invariant explicit.
+        let mut order: Vec<(SimTime, u16, usize)> = Vec::new();
+        for &(id, j) in &shards {
+            let pairs = j.counters().pairs();
+            if counters.is_empty() {
+                counters = pairs;
+            } else {
+                for (sum, (_, v)) in counters.iter_mut().zip(pairs) {
+                    sum.1 += v;
+                }
+            }
+            dropped += j.dropped();
+            order.extend(j.entries().iter().enumerate().map(|(i, e)| (e.at, id, i)));
+        }
+        order.sort_unstable();
+        let mut s = String::with_capacity(64 + order.len() * 96);
+        s.push_str("{\n  \"shards\": [");
+        for (i, (id, _)) in shards.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "{id}");
+        }
+        s.push_str("],\n  \"counters\": {");
+        for (i, (k, v)) in counters.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\n    \"{k}\": {v}");
+        }
+        s.push_str("\n  },\n");
+        let _ = writeln!(s, "  \"dropped\": {dropped},");
+        s.push_str("  \"entries\": [");
+        for (i, &(_, id, idx)) in order.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let j = shards
+                .iter()
+                .find(|(sid, _)| *sid == id)
+                .expect("shard id came from this set")
+                .1;
+            let e = &j.entries()[idx];
+            let _ = write!(
+                s,
+                "\n    {{\"t\": {:.6}, \"shard\": {}, \"subsystem\": \"{}\", \"kind\": \"{}\"",
+                e.at.as_secs_f64(),
+                id,
+                e.subsystem.as_str(),
+                e.record.kind()
+            );
+            e.record.write_json_fields(&mut s);
+            s.push('}');
+        }
+        s.push_str("\n  ]\n}\n");
+        s
+    }
 }
 
 #[cfg(test)]

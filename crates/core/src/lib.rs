@@ -47,6 +47,7 @@ pub mod events;
 pub mod journal;
 pub mod policy;
 pub mod retry;
+pub mod shardsim;
 pub mod sim;
 pub mod types;
 

@@ -1,0 +1,570 @@
+//! Sharded fleet simulation: one [`Controller`] + platform per
+//! availability-zone group, running over
+//! [`spotcheck_simcore::shard::ShardedSim`] with deterministic
+//! cross-shard message passing.
+//!
+//! # Shard topology
+//!
+//! The *logical* shard set is fixed by the scenario — one shard per AZ
+//! group, each owning its own controller, cloud platform, spot markets,
+//! backup pool, and nested VMs. The `--shards` knob on the experiments
+//! CLI ([`spotcheck_simcore::shard::set_shard_workers`]) only chooses how
+//! many worker threads execute those fixed shards, so output is
+//! byte-identical at any setting.
+//!
+//! Fleet-wide aggregates (the free-slot placement index, anti-affinity
+//! pressure, migration load) are per-shard state; shards learn about the
+//! rest of the fleet only through explicit cross-shard messages
+//! ([`FleetMsg`]): periodic [`FleetMsg::StatsReport`] gossip into a
+//! coordinator shard, answered by a fleet-wide [`FleetMsg::Advisory`]
+//! broadcast. Both legs travel at the cross-shard latency (the sharded
+//! engine's lookahead), so every delivery is conservative and the whole
+//! run replays bit-for-bit.
+
+use std::collections::BTreeMap;
+
+use spotcheck_cloudsim::cloud::{CloudConfig, CloudSim};
+use spotcheck_nestedvm::vm::NestedVmId;
+use spotcheck_simcore::shard::{set_shard_workers, ShardCtx, ShardId, ShardWorld, ShardedSim};
+use spotcheck_simcore::time::{SimDuration, SimTime};
+use spotcheck_spotmarket::trace::PriceTrace;
+use spotcheck_workloads::WorkloadKind;
+
+use crate::config::SpotCheckConfig;
+use crate::controller::Controller;
+use crate::events::Event;
+use crate::journal::Journal;
+use crate::types::CustomerId;
+
+/// A shard-local event: a controller event or a step of the fleet script.
+#[derive(Debug)]
+pub enum ShardEvent {
+    /// A controller/platform event, handled by this shard's controller.
+    Core(Event),
+    /// Ramp step: admit the next customer and request its VMs.
+    RampBatch {
+        /// Index of the customer to admit (shard-local).
+        next: usize,
+    },
+    /// Churn step: release every Nth tracked VM.
+    ChurnRelease,
+    /// Churn step: request replacements for the churned VMs.
+    ChurnReplace,
+    /// Gossip step: report shard stats to the coordinator.
+    GossipTick,
+}
+
+/// Per-shard aggregate snapshot carried by the stats gossip.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Nested VMs currently running.
+    pub vms_running: u64,
+    /// Hosts in the free-slot placement index (spare spot capacity).
+    pub free_slot_hosts: u64,
+    /// In-flight migrations.
+    pub active_migrations: u64,
+    /// Idle hot spares.
+    pub idle_spares: u64,
+}
+
+impl ShardStats {
+    fn add(&mut self, o: ShardStats) {
+        self.vms_running += o.vms_running;
+        self.free_slot_hosts += o.free_slot_hosts;
+        self.active_migrations += o.active_migrations;
+        self.idle_spares += o.idle_spares;
+    }
+}
+
+/// The cross-shard message taxonomy of the sharded fleet.
+#[derive(Debug, Clone, Copy)]
+pub enum FleetMsg {
+    /// A shard's periodic aggregate report to the coordinator (shard 0) —
+    /// the explicit cross-shard query that replaces fleet-wide state.
+    StatsReport {
+        /// Gossip round the report belongs to.
+        round: u64,
+        /// The reporting shard's aggregates.
+        stats: ShardStats,
+    },
+    /// The coordinator's fleet-wide aggregate broadcast once every shard
+    /// has reported for a round.
+    Advisory {
+        /// Gossip round the advisory closes.
+        round: u64,
+        /// Fleet-wide sums over every shard's report.
+        fleet: ShardStats,
+    },
+}
+
+/// The scripted load a shard drives through its controller: ramp-up,
+/// optional churn wave, gossip cadence.
+#[derive(Debug, Clone)]
+pub struct FleetScript {
+    /// Customers this shard admits.
+    pub customers: usize,
+    /// VMs requested per customer.
+    pub vms_per_customer: usize,
+    /// Clock gap between customer admissions during ramp-up.
+    pub ramp_gap: SimDuration,
+    /// When the churn wave (release + replace) fires, if any.
+    pub churn_at: Option<SimTime>,
+    /// Every Nth tracked VM is churned (`0`/`1` churns all).
+    pub churn_every: usize,
+    /// Settle time between churn releases and replacement requests.
+    pub churn_replace_delay: SimDuration,
+    /// Workload of every requested VM.
+    pub workload: WorkloadKind,
+}
+
+impl FleetScript {
+    /// VMs this script requests during ramp-up.
+    pub fn fleet_size(&self) -> usize {
+        self.customers * self.vms_per_customer
+    }
+}
+
+/// Everything needed to build one shard: its markets, configuration,
+/// platform (with its per-shard fault plan and seed), and script.
+pub struct FleetShardSpec {
+    /// The shard's spot-market traces.
+    pub traces: Vec<PriceTrace>,
+    /// Controller configuration (per-shard seed).
+    pub config: SpotCheckConfig,
+    /// Platform configuration (per-shard seed + fault plan).
+    pub cloud: CloudConfig,
+    /// The load script this shard drives.
+    pub script: FleetScript,
+}
+
+/// One AZ-group shard: a full controller + platform plus the script and
+/// gossip state, implementing [`ShardWorld`].
+pub struct FleetShard {
+    controller: Controller,
+    script: FleetScript,
+    shard_count: u16,
+    /// Cross-shard latency; equals the sharded engine's lookahead.
+    latency: SimDuration,
+    gossip_period: SimDuration,
+    /// (customer, vm) per requested VM, in request order.
+    tracked: Vec<(CustomerId, NestedVmId)>,
+    /// Indices churned out, with their owning customer.
+    churned: Vec<(usize, CustomerId)>,
+    churn_count: usize,
+    gossip_round: u64,
+    /// Coordinator only: partial sums per open gossip round.
+    round_acc: BTreeMap<u64, (u16, ShardStats)>,
+    advisories_seen: u64,
+    last_advisory: Option<ShardStats>,
+    /// High-water mark of fleet-wide free-slot hosts seen in advisories.
+    pub_peak_fleet_free_slots: u64,
+}
+
+impl FleetShard {
+    fn stats(&self) -> ShardStats {
+        ShardStats {
+            vms_running: self
+                .controller
+                .status_counts()
+                .get("running")
+                .copied()
+                .unwrap_or(0) as u64,
+            free_slot_hosts: self.controller.free_slot_host_count() as u64,
+            active_migrations: self.controller.active_migrations() as u64,
+            idle_spares: self.controller.idle_spares() as u64,
+        }
+    }
+
+    /// Schedules a controller outbox as shard-local events.
+    fn sched_outbox(
+        out: Vec<(SimTime, Event)>,
+        ctx: &mut ShardCtx<'_, '_, ShardEvent, FleetMsg>,
+    ) {
+        for (t, e) in out {
+            ctx.at(t, ShardEvent::Core(e));
+        }
+    }
+
+    /// This shard's controller (reports, journal, diagnostics).
+    pub fn controller(&self) -> &Controller {
+        &self.controller
+    }
+
+    /// VMs requested by the script so far (including replacements).
+    pub fn tracked_vms(&self) -> usize {
+        self.tracked.len()
+    }
+
+    /// VMs churned out by the script's churn wave.
+    pub fn churned_vms(&self) -> usize {
+        self.churn_count
+    }
+
+    /// Fleet-wide advisories this shard has received.
+    pub fn advisories_seen(&self) -> u64 {
+        self.advisories_seen
+    }
+
+    /// The most recent fleet-wide advisory, if any arrived yet.
+    pub fn last_advisory(&self) -> Option<ShardStats> {
+        self.last_advisory
+    }
+
+    /// High-water mark of fleet-wide free-slot hosts across advisories.
+    pub fn peak_fleet_free_slots(&self) -> u64 {
+        self.pub_peak_fleet_free_slots
+    }
+
+    /// Gossip rounds this shard has reported.
+    pub fn gossip_rounds(&self) -> u64 {
+        self.gossip_round
+    }
+}
+
+impl ShardWorld for FleetShard {
+    type Event = ShardEvent;
+    type Msg = FleetMsg;
+
+    fn handle(
+        &mut self,
+        event: ShardEvent,
+        ctx: &mut ShardCtx<'_, '_, ShardEvent, FleetMsg>,
+    ) {
+        let now = ctx.now();
+        match event {
+            ShardEvent::Core(e) => {
+                let out = self.controller.handle_event(e, now);
+                Self::sched_outbox(out, ctx);
+            }
+            ShardEvent::RampBatch { next } => {
+                let customer = self.controller.create_customer();
+                for _ in 0..self.script.vms_per_customer {
+                    let (vm, out) = self
+                        .controller
+                        .request_server_opts(customer, self.script.workload, false, now)
+                        .expect("script customer exists");
+                    self.tracked.push((customer, vm));
+                    Self::sched_outbox(out, ctx);
+                }
+                if next + 1 < self.script.customers {
+                    ctx.at(now + self.script.ramp_gap, ShardEvent::RampBatch { next: next + 1 });
+                }
+            }
+            ShardEvent::ChurnRelease => {
+                let step = self.script.churn_every.max(1);
+                for i in (0..self.tracked.len()).step_by(step) {
+                    let (customer, vm) = self.tracked[i];
+                    let out = self
+                        .controller
+                        .release_server(vm, now)
+                        .expect("script VM is releasable");
+                    Self::sched_outbox(out, ctx);
+                    self.churned.push((i, customer));
+                }
+                self.churn_count = self.churned.len();
+                ctx.at(now + self.script.churn_replace_delay, ShardEvent::ChurnReplace);
+            }
+            ShardEvent::ChurnReplace => {
+                let churned = std::mem::take(&mut self.churned);
+                for (i, customer) in churned {
+                    let (vm, out) = self
+                        .controller
+                        .request_server_opts(customer, self.script.workload, false, now)
+                        .expect("script customer exists");
+                    self.tracked[i] = (customer, vm);
+                    Self::sched_outbox(out, ctx);
+                }
+            }
+            ShardEvent::GossipTick => {
+                let stats = self.stats();
+                let round = self.gossip_round;
+                self.gossip_round += 1;
+                ctx.send(
+                    ShardId(0),
+                    now + self.latency,
+                    FleetMsg::StatsReport { round, stats },
+                );
+                ctx.after(self.gossip_period, ShardEvent::GossipTick);
+            }
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        _src: ShardId,
+        msg: FleetMsg,
+        ctx: &mut ShardCtx<'_, '_, ShardEvent, FleetMsg>,
+    ) {
+        let now = ctx.now();
+        match msg {
+            FleetMsg::StatsReport { round, stats } => {
+                debug_assert_eq!(ctx.shard(), ShardId(0), "reports route to the coordinator");
+                let (seen, acc) = self.round_acc.entry(round).or_default();
+                *seen += 1;
+                acc.add(stats);
+                if *seen == self.shard_count {
+                    let fleet = *acc;
+                    self.round_acc.remove(&round);
+                    for dst in 0..self.shard_count {
+                        ctx.send(
+                            ShardId(dst),
+                            now + self.latency,
+                            FleetMsg::Advisory { round, fleet },
+                        );
+                    }
+                }
+            }
+            FleetMsg::Advisory { round: _, fleet } => {
+                self.advisories_seen += 1;
+                self.pub_peak_fleet_free_slots =
+                    self.pub_peak_fleet_free_slots.max(fleet.free_slot_hosts);
+                self.last_advisory = Some(fleet);
+            }
+        }
+    }
+}
+
+/// A sharded fleet deployment: per-AZ-group controllers over the
+/// deterministic sharded engine.
+///
+/// # Examples
+///
+/// ```no_run
+/// use spotcheck_core::config::SpotCheckConfig;
+/// use spotcheck_core::shardsim::{FleetScript, FleetShardSpec, ShardedFleetSim};
+/// use spotcheck_core::sim::standard_traces;
+/// use spotcheck_cloudsim::cloud::CloudConfig;
+/// use spotcheck_simcore::time::{SimDuration, SimTime};
+/// use spotcheck_workloads::WorkloadKind;
+///
+/// let specs = (0..4)
+///     .map(|s| FleetShardSpec {
+///         traces: standard_traces(&format!("us-east-1{}", (b'a' + s) as char), SimDuration::from_days(7), 42 + s as u64),
+///         config: SpotCheckConfig { seed: 42 + s as u64, ..SpotCheckConfig::default() },
+///         cloud: CloudConfig { seed: 142 + s as u64, ..CloudConfig::default() },
+///         script: FleetScript {
+///             customers: 5,
+///             vms_per_customer: 20,
+///             ramp_gap: SimDuration::from_secs(300),
+///             churn_at: None,
+///             churn_every: 20,
+///             churn_replace_delay: SimDuration::from_hours(1),
+///             workload: WorkloadKind::TpcW,
+///         },
+///     })
+///     .collect();
+/// let mut sim = ShardedFleetSim::new(specs, SimDuration::from_secs(60), SimDuration::from_hours(6));
+/// sim.run_until(SimTime::ZERO + SimDuration::from_days(7));
+/// println!("{}", sim.merged_journal_json().len());
+/// ```
+pub struct ShardedFleetSim {
+    sim: ShardedSim<FleetShard>,
+}
+
+impl ShardedFleetSim {
+    /// Builds the sharded fleet: one shard per spec, cross-shard latency
+    /// `latency` (which becomes the engine's conservative lookahead), and
+    /// the given gossip cadence. Bootstraps every controller and schedules
+    /// each shard's script at time zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs` is empty or `latency` is zero.
+    pub fn new(
+        specs: Vec<FleetShardSpec>,
+        latency: SimDuration,
+        gossip_period: SimDuration,
+    ) -> Self {
+        let shard_count = specs.len() as u16;
+        let mut boots: Vec<Vec<(SimTime, Event)>> = Vec::with_capacity(specs.len());
+        let worlds: Vec<FleetShard> = specs
+            .into_iter()
+            .map(|spec| {
+                let cloud = CloudSim::new(spec.traces, spec.cloud);
+                let mut controller = Controller::new(cloud, spec.config);
+                boots.push(controller.bootstrap(SimTime::ZERO));
+                FleetShard {
+                    controller,
+                    script: spec.script,
+                    shard_count,
+                    latency,
+                    gossip_period,
+                    tracked: Vec::new(),
+                    churned: Vec::new(),
+                    churn_count: 0,
+                    gossip_round: 0,
+                    round_acc: BTreeMap::new(),
+                    advisories_seen: 0,
+                    last_advisory: None,
+                    pub_peak_fleet_free_slots: 0,
+                }
+            })
+            .collect();
+        let mut sim = ShardedSim::new(worlds, latency);
+        for (i, boot) in boots.into_iter().enumerate() {
+            for (t, e) in boot {
+                sim.schedule_at(i, t, ShardEvent::Core(e));
+            }
+            let script = &sim.world(i).script;
+            let churn_at = script.churn_at;
+            if script.customers > 0 && script.vms_per_customer > 0 {
+                sim.schedule_at(i, SimTime::ZERO, ShardEvent::RampBatch { next: 0 });
+            }
+            if let Some(at) = churn_at {
+                sim.schedule_at(i, at, ShardEvent::ChurnRelease);
+            }
+            // First gossip report one period in, once the ramp has begun.
+            sim.schedule_at(i, SimTime::ZERO + gossip_period, ShardEvent::GossipTick);
+        }
+        ShardedFleetSim { sim }
+    }
+
+    /// Sets the worker-thread count (0 follows `--threads`); forwarded to
+    /// [`set_shard_workers`]. Output is byte-identical at any setting.
+    pub fn set_workers(n: usize) {
+        set_shard_workers(n);
+    }
+
+    /// Runs every shard up to (and including) `horizon`.
+    pub fn run_until(&mut self, horizon: SimTime) {
+        self.sim.run_until(horizon);
+    }
+
+    /// The last completed epoch boundary.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Number of logical shards.
+    pub fn shard_count(&self) -> usize {
+        self.sim.shard_count()
+    }
+
+    /// Shard `i` (panics if out of range).
+    pub fn shard(&self, i: usize) -> &FleetShard {
+        self.sim.world(i)
+    }
+
+    /// Iterates every shard in shard-id order.
+    pub fn shards(&self) -> impl Iterator<Item = &FleetShard> {
+        self.sim.worlds()
+    }
+
+    /// Cross-shard messages delivered so far.
+    pub fn messages_delivered(&self) -> u64 {
+        self.sim.messages_delivered()
+    }
+
+    /// Epoch windows completed so far.
+    pub fn epochs(&self) -> u64 {
+        self.sim.epochs()
+    }
+
+    /// Events + messages processed across every shard.
+    pub fn total_steps(&self) -> u64 {
+        self.sim.total_steps()
+    }
+
+    /// Journal records dropped to the cap, summed across shards.
+    pub fn journal_dropped(&self) -> u64 {
+        self.shards().map(|s| s.controller().journal().dropped()).sum()
+    }
+
+    /// The deterministic shard-tagged merge of every shard's journal
+    /// (entries ordered by `(t, shard, index)`, counters summed).
+    pub fn merged_journal_json(&self) -> String {
+        Journal::merged_json(
+            self.shards()
+                .enumerate()
+                .map(|(i, s)| (i as u16, s.controller().journal())),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::standard_traces;
+    use spotcheck_simcore::shard::set_shard_workers;
+
+    fn small_specs(shards: u16) -> Vec<FleetShardSpec> {
+        (0..shards)
+            .map(|s| FleetShardSpec {
+                traces: standard_traces(
+                    &format!("us-east-1{}", (b'a' + s as u8) as char),
+                    SimDuration::from_days(3),
+                    90 + s as u64,
+                ),
+                config: SpotCheckConfig {
+                    zone: format!("us-east-1{}", (b'a' + s as u8) as char),
+                    seed: 90 + s as u64,
+                    ..SpotCheckConfig::default()
+                },
+                cloud: CloudConfig {
+                    seed: 1_090 + s as u64,
+                    ..CloudConfig::default()
+                },
+                script: FleetScript {
+                    customers: 2,
+                    vms_per_customer: 5,
+                    ramp_gap: SimDuration::from_secs(300),
+                    churn_at: Some(SimTime::ZERO + SimDuration::from_days(1)),
+                    churn_every: 3,
+                    churn_replace_delay: SimDuration::from_hours(1),
+                    workload: WorkloadKind::TpcW,
+                },
+            })
+            .collect()
+    }
+
+    fn run(shards: u16, workers: usize) -> (String, u64, Vec<u64>) {
+        set_shard_workers(workers);
+        let mut sim = ShardedFleetSim::new(
+            small_specs(shards),
+            SimDuration::from_secs(60),
+            SimDuration::from_hours(6),
+        );
+        sim.run_until(SimTime::ZERO + SimDuration::from_days(3));
+        set_shard_workers(0);
+        let advisories: Vec<u64> = sim.shards().map(|s| s.advisories_seen()).collect();
+        (sim.merged_journal_json(), sim.messages_delivered(), advisories)
+    }
+
+    #[test]
+    fn gossip_reaches_every_shard() {
+        let (_, delivered, advisories) = run(3, 1);
+        assert!(delivered > 0, "cross-shard messages flowed");
+        // 3 days at a 6 h cadence (first report at 6 h, latency 60 s on
+        // each leg): every shard hears most rounds back.
+        for (i, a) in advisories.iter().enumerate() {
+            assert!(*a >= 10, "shard {i} saw only {a} advisories");
+        }
+    }
+
+    #[test]
+    fn merged_journal_is_identical_at_any_worker_count() {
+        let (baseline, delivered, _) = run(3, 1);
+        for workers in [2, 3, 8] {
+            let (json, d, _) = run(3, workers);
+            assert_eq!(json, baseline, "journal diverged at {workers} workers");
+            assert_eq!(d, delivered);
+        }
+    }
+
+    #[test]
+    fn shards_run_the_full_script() {
+        set_shard_workers(1);
+        let mut sim = ShardedFleetSim::new(
+            small_specs(2),
+            SimDuration::from_secs(60),
+            SimDuration::from_hours(6),
+        );
+        sim.run_until(SimTime::ZERO + SimDuration::from_days(3));
+        set_shard_workers(0);
+        for s in sim.shards() {
+            assert_eq!(s.tracked_vms(), 10);
+            assert!(s.churned_vms() > 0);
+            assert!(s.controller().journal().counters().vm_transitions > 0);
+        }
+    }
+}

@@ -1,24 +1,51 @@
 //! A fixed-capacity bit set.
 //!
 //! Used to track dirty/resident pages of nested-VM memory images. A 4 GiB VM
-//! has ~1M 4 KiB pages, i.e. 128 KiB of bitset — cheap enough to keep one
-//! per VM and per checkpoint.
+//! has ~1M 4 KiB pages, i.e. 128 KiB of bitset — cheap while a VM is actually
+//! migrating, but fatal as a fixed per-VM cost at million-VM fleet scale
+//! (128 KiB x 1M VMs = 128 GiB). The word array is therefore allocated
+//! lazily: an all-clear set owns no memory, and `clear_all` releases the
+//! allocation, so only VMs with page-granular state in flight pay for it.
 
 /// A fixed-capacity set of bits indexed `0..len`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Eq)]
 pub struct BitSet {
+    /// Either empty (the set is all-clear and owns no memory) or exactly
+    /// `len.div_ceil(64)` words. Readers treat empty as all-zero.
     words: Vec<u64>,
     len: usize,
     ones: usize,
 }
 
+impl PartialEq for BitSet {
+    fn eq(&self, other: &Self) -> bool {
+        if self.len != other.len || self.ones != other.ones {
+            return false;
+        }
+        // Equal `ones`: if either side is unallocated both are all-clear
+        // (ones == 0), whatever the other side's allocation state.
+        if self.words.is_empty() || other.words.is_empty() {
+            return true;
+        }
+        self.words == other.words
+    }
+}
+
 impl BitSet {
-    /// Creates a set of `len` bits, all clear.
+    /// Creates a set of `len` bits, all clear. Allocation is deferred to
+    /// the first mutation that sets a bit.
     pub fn new(len: usize) -> Self {
         BitSet {
-            words: vec![0; len.div_ceil(64)],
+            words: Vec::new(),
             len,
             ones: 0,
+        }
+    }
+
+    /// Materializes the word array (all-zero) if it is not allocated yet.
+    fn ensure_words(&mut self) {
+        if self.words.is_empty() && self.len > 0 {
+            self.words = vec![0; self.len.div_ceil(64)];
         }
     }
 
@@ -70,7 +97,9 @@ impl BitSet {
     /// Panics if `i >= len`.
     pub fn get(&self, i: usize) -> bool {
         assert!(i < self.len, "BitSet index {i} out of range {}", self.len);
-        self.words[i / 64] & (1u64 << (i % 64)) != 0
+        self.words
+            .get(i / 64)
+            .is_some_and(|w| w & (1u64 << (i % 64)) != 0)
     }
 
     /// Sets bit `i`; returns true if it was previously clear.
@@ -80,6 +109,7 @@ impl BitSet {
     /// Panics if `i >= len`.
     pub fn set(&mut self, i: usize) -> bool {
         assert!(i < self.len, "BitSet index {i} out of range {}", self.len);
+        self.ensure_words();
         let mask = 1u64 << (i % 64);
         let word = &mut self.words[i / 64];
         if *word & mask == 0 {
@@ -98,6 +128,9 @@ impl BitSet {
     /// Panics if `i >= len`.
     pub fn clear(&mut self, i: usize) -> bool {
         assert!(i < self.len, "BitSet index {i} out of range {}", self.len);
+        if self.words.is_empty() {
+            return false;
+        }
         let mask = 1u64 << (i % 64);
         let word = &mut self.words[i / 64];
         if *word & mask != 0 {
@@ -109,14 +142,15 @@ impl BitSet {
         }
     }
 
-    /// Clears every bit.
+    /// Clears every bit, releasing the backing allocation.
     pub fn clear_all(&mut self) {
-        self.words.fill(0);
+        self.words = Vec::new();
         self.ones = 0;
     }
 
     /// Sets every bit.
     pub fn set_all(&mut self) {
+        self.ensure_words();
         self.words.fill(u64::MAX);
         self.ones = self.len;
         self.mask_tail();
@@ -143,7 +177,7 @@ impl BitSet {
 
     /// Returns the index of the first set bit at or after `from`, if any.
     pub fn next_one(&self, from: usize) -> Option<usize> {
-        if from >= self.len {
+        if from >= self.len || self.words.is_empty() {
             return None;
         }
         let mut wi = from / 64;
@@ -165,6 +199,9 @@ impl BitSet {
     pub fn next_zero(&self, from: usize) -> Option<usize> {
         if from >= self.len {
             return None;
+        }
+        if self.words.is_empty() {
+            return Some(from);
         }
         let mut wi = from / 64;
         let mut w = !self.words[wi] & (u64::MAX << (from % 64));
@@ -188,6 +225,10 @@ impl BitSet {
     /// Panics if the capacities differ.
     pub fn union_with(&mut self, other: &BitSet) {
         assert_eq!(self.len, other.len, "BitSet capacity mismatch in union");
+        if other.ones == 0 {
+            return;
+        }
+        self.ensure_words();
         let mut ones = 0;
         for (a, &b) in self.words.iter_mut().zip(&other.words) {
             *a |= b;
@@ -203,6 +244,9 @@ impl BitSet {
     /// Panics if the capacities differ.
     pub fn subtract(&mut self, other: &BitSet) {
         assert_eq!(self.len, other.len, "BitSet capacity mismatch in subtract");
+        if self.ones == 0 || other.ones == 0 {
+            return;
+        }
         let mut ones = 0;
         for (a, &b) in self.words.iter_mut().zip(&other.words) {
             *a &= !b;
@@ -218,6 +262,9 @@ impl BitSet {
     /// Panics if the capacities differ.
     pub fn intersection_count(&self, other: &BitSet) -> usize {
         assert_eq!(self.len, other.len, "BitSet capacity mismatch");
+        if self.ones == 0 || other.ones == 0 {
+            return 0;
+        }
         self.words
             .iter()
             .zip(&other.words)
@@ -327,6 +374,49 @@ mod tests {
     fn out_of_range_panics() {
         let s = BitSet::new(10);
         s.get(10);
+    }
+
+    #[test]
+    fn lazy_allocation_is_invisible() {
+        // A never-touched set and a set-then-cleared set (allocated,
+        // zeroed words) are semantically equal.
+        let fresh = BitSet::new(200);
+        let mut touched = BitSet::new(200);
+        touched.set(77);
+        touched.clear(77);
+        assert_eq!(fresh, touched);
+        assert_eq!(touched, fresh);
+        // Reads on an unallocated set see all-clear.
+        assert!(!fresh.get(199));
+        assert_eq!(fresh.next_one(0), None);
+        assert_eq!(fresh.next_zero(13), Some(13));
+        assert_eq!(fresh.count_ones(), 0);
+        // clear / subtract / union with an all-clear operand never allocate
+        // or change anything.
+        let mut a = BitSet::new(200);
+        assert!(!a.clear(5));
+        a.union_with(&fresh);
+        a.subtract(&fresh);
+        assert_eq!(a.intersection_count(&fresh), 0);
+        assert_eq!(a, fresh);
+        // union into an unallocated destination materializes it.
+        a.union_with(&touched); // touched is all-clear: still no-op
+        let mut b = BitSet::new(200);
+        b.set(3);
+        a.union_with(&b);
+        assert!(a.get(3));
+    }
+
+    #[test]
+    fn clear_all_releases_and_set_reallocates() {
+        let mut s = BitSet::new(130);
+        s.set_all();
+        assert_eq!(s.count_ones(), 130);
+        s.clear_all();
+        assert_eq!(s, BitSet::new(130));
+        assert!(s.set(129));
+        assert_eq!(s.count_ones(), 1);
+        assert_eq!(s.next_one(0), Some(129));
     }
 
     #[test]

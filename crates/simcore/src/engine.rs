@@ -19,6 +19,12 @@ pub struct Scheduler<'a, E> {
 }
 
 impl<'a, E> Scheduler<'a, E> {
+    /// Builds a scheduler over an external queue (the sharded engine's
+    /// per-shard event loops construct these outside [`Simulation`]).
+    pub(crate) fn over(now: SimTime, queue: &'a mut EventQueue<E>) -> Self {
+        Scheduler { now, queue }
+    }
+
     /// Returns the current simulation time.
     pub fn now(&self) -> SimTime {
         self.now

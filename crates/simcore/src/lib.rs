@@ -27,6 +27,9 @@
 //!   (ordered collection, event-count fold-back).
 //! - [`slab`] — dense entity storage: a generational slab and the
 //!   id-indexed [`slab::IdMap`] whose iteration order matches `BTreeMap`.
+//! - [`shard`] — deterministic sharded simulation: per-shard event loops
+//!   with Lamport-ordered cross-shard messages exchanged at conservative
+//!   epoch boundaries ([`shard::ShardedSim`]).
 //!
 //! Determinism contract: given the same seeds and inputs, every simulation
 //! built on this crate replays bit-for-bit.
@@ -43,6 +46,7 @@ pub mod parallel;
 pub mod queue;
 pub mod rng;
 pub mod series;
+pub mod shard;
 pub mod slab;
 pub mod stats;
 pub mod time;

@@ -1,0 +1,737 @@
+//! Deterministic sharded simulation: per-shard event loops with
+//! Lamport-ordered cross-shard message passing at epoch boundaries.
+//!
+//! A [`ShardedSim`] partitions a model into logical shards (e.g. one per
+//! availability-zone group), each owning its own state, event queue, and
+//! clock. Shards run **barrier-free** between epoch boundaries: within an
+//! epoch window no shard can observe another, so windows execute on worker
+//! threads with no locks and no communication. Cross-shard messages are
+//! buffered in per-shard outboxes and exchanged only at the barrier.
+//!
+//! # The conservative-lookahead contract
+//!
+//! Every cross-shard message must fire at least one **lookahead** after it
+//! is sent — the minimum cross-shard latency of the model (network
+//! propagation, gossip cadence, ...). Epoch windows are at most one
+//! lookahead long, so a message sent anywhere inside a window provably
+//! fires at or after the window's end and can be exchanged at the barrier
+//! without ever arriving in a shard's past. [`ShardCtx::send`] enforces
+//! this with a panic, making a model that understates its own latency loud
+//! rather than silently nondeterministic.
+//!
+//! # Determinism
+//!
+//! Messages carry Lamport-ordered keys `(fire_at, src_shard, seq)` where
+//! `seq` is a per-source monotonic counter — globally unique, totally
+//! ordered, and independent of which worker thread ran which shard or
+//! where the barriers happened to fall. Delivery obeys one canonical rule,
+//! the same one a single merged engine would apply:
+//!
+//! > At any instant, a shard delivers pending inbound messages in key
+//! > order **before** processing local events at that instant (local
+//! > events keep their FIFO order).
+//!
+//! Because inbound messages are held in a key-sorted staging buffer rather
+//! than pushed into the local FIFO queue, the delivery order is a pure
+//! function of the keys: byte-identical output at any worker count
+//! ([`set_shard_workers`]) *and* at any epoch subdivision (pinned by the
+//! seeded property tests in `tests/shard_props.rs`).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::engine::Scheduler;
+use crate::metrics;
+use crate::parallel;
+use crate::queue::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies one logical shard of a [`ShardedSim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ShardId(pub u16);
+
+impl std::fmt::Display for ShardId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shard{}", self.0)
+    }
+}
+
+/// Lamport-ordered key of a cross-shard message: `(fire_at, src, seq)`.
+///
+/// `seq` increments per source shard and never resets, so keys are
+/// globally unique and the derived `Ord` is a total order — the delivery
+/// order is exactly the sort order of these keys, whatever the worker
+/// count or barrier placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MsgKey {
+    /// Simulated instant the message is delivered at.
+    pub fire_at: SimTime,
+    /// The sending shard.
+    pub src: ShardId,
+    /// Per-source monotonic sequence number (never reset).
+    pub seq: u64,
+}
+
+/// A routed cross-shard message.
+#[derive(Debug, Clone)]
+pub struct Envelope<M> {
+    /// Lamport delivery key.
+    pub key: MsgKey,
+    /// The destination shard.
+    pub dst: ShardId,
+    /// The payload.
+    pub msg: M,
+}
+
+/// A sharded simulation model: per-shard state plus handlers for local
+/// events and inbound cross-shard messages.
+///
+/// One value of the implementing type exists per shard; handlers receive a
+/// [`ShardCtx`] to schedule local follow-ups and send cross-shard
+/// messages.
+pub trait ShardWorld {
+    /// Shard-local event alphabet.
+    type Event;
+    /// Cross-shard message alphabet.
+    type Msg;
+
+    /// Handles one local event at its firing time.
+    fn handle(&mut self, event: Self::Event, ctx: &mut ShardCtx<'_, '_, Self::Event, Self::Msg>);
+
+    /// Delivers one inbound cross-shard message at its firing time.
+    fn on_message(
+        &mut self,
+        src: ShardId,
+        msg: Self::Msg,
+        ctx: &mut ShardCtx<'_, '_, Self::Event, Self::Msg>,
+    );
+}
+
+/// Scheduling + messaging context handed to [`ShardWorld`] handlers.
+pub struct ShardCtx<'a, 'b, E, M> {
+    sched: Scheduler<'b, E>,
+    net: &'a mut Outbox<M>,
+    shard: ShardId,
+}
+
+impl<E, M> ShardCtx<'_, '_, E, M> {
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.sched.now()
+    }
+
+    /// This shard's id.
+    pub fn shard(&self) -> ShardId {
+        self.shard
+    }
+
+    /// Schedules a local event at the absolute instant `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn at(&mut self, at: SimTime, event: E) {
+        self.sched.at(at, event);
+    }
+
+    /// Schedules a local event `delay` after the current instant.
+    pub fn after(&mut self, delay: SimDuration, event: E) {
+        self.sched.after(delay, event);
+    }
+
+    /// Sends a cross-shard message to `dst`, delivered at `fire_at`.
+    ///
+    /// Sending to the own shard is allowed (the message takes the same
+    /// Lamport-ordered path as any other).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fire_at` lands before the current epoch window's end —
+    /// that would violate the conservative-lookahead contract the barrier
+    /// exchange depends on. Keep every cross-shard latency at or above the
+    /// lookahead the [`ShardedSim`] was built with.
+    pub fn send(&mut self, dst: ShardId, fire_at: SimTime, msg: M) {
+        assert!(
+            fire_at >= self.net.guard,
+            "cross-shard message from {} fires at {fire_at}, inside the current \
+             epoch window (end {}): latency is below the configured lookahead",
+            self.shard,
+            self.net.guard,
+        );
+        let key = MsgKey {
+            fire_at,
+            src: self.shard,
+            seq: self.net.next_seq,
+        };
+        self.net.next_seq += 1;
+        self.net.out.push(Envelope { key, dst, msg });
+    }
+}
+
+/// Per-shard outbox of cross-shard messages buffered until the barrier.
+struct Outbox<M> {
+    /// End of the current epoch window (the send-time lower bound).
+    guard: SimTime,
+    /// Per-source monotonic sequence counter (never reset).
+    next_seq: u64,
+    out: Vec<Envelope<M>>,
+}
+
+/// One logical shard: world, local queue, key-sorted inbound staging,
+/// outbox, and clock.
+struct ShardCell<W: ShardWorld> {
+    world: W,
+    id: ShardId,
+    queue: EventQueue<W::Event>,
+    /// Pending inbound messages, ascending by key.
+    inbound: VecDeque<Envelope<W::Msg>>,
+    net: Outbox<W::Msg>,
+    now: SimTime,
+    steps: u64,
+}
+
+impl<W: ShardWorld> ShardCell<W> {
+    /// Processes everything strictly before `end` (and, when `inclusive`,
+    /// at `end`): inbound messages and local events interleaved in
+    /// canonical order — at equal instants, messages in key order first,
+    /// then local FIFO.
+    fn run_window(&mut self, end: SimTime, inclusive: bool) {
+        self.net.guard = end;
+        loop {
+            let next_msg = self.inbound.front().map(|e| e.key.fire_at);
+            let next_evt = self.queue.peek_time();
+            let (t, is_msg) = match (next_msg, next_evt) {
+                (None, None) => break,
+                (Some(m), None) => (m, true),
+                (None, Some(e)) => (e, false),
+                // Messages win ties: the canonical delivery rule.
+                (Some(m), Some(e)) => {
+                    if m <= e {
+                        (m, true)
+                    } else {
+                        (e, false)
+                    }
+                }
+            };
+            if t > end || (!inclusive && t == end) {
+                break;
+            }
+            self.now = t;
+            self.steps += 1;
+            if is_msg {
+                let env = self.inbound.pop_front().expect("peeked message exists");
+                metrics::add(1);
+                let mut ctx = ShardCtx {
+                    sched: Scheduler::over(t, &mut self.queue),
+                    net: &mut self.net,
+                    shard: self.id,
+                };
+                self.world.on_message(env.key.src, env.msg, &mut ctx);
+            } else {
+                let (_, event) = self.queue.pop().expect("peeked event exists");
+                let mut ctx = ShardCtx {
+                    sched: Scheduler::over(t, &mut self.queue),
+                    net: &mut self.net,
+                    shard: self.id,
+                };
+                self.world.handle(event, &mut ctx);
+            }
+            metrics::note_queue_depth((self.queue.len() + self.inbound.len()) as u64);
+        }
+    }
+
+    /// Merges a key-ascending batch of inbound messages into the staging
+    /// buffer (which is itself key-ascending), preserving the total order.
+    fn accept(&mut self, batch: Vec<Envelope<W::Msg>>) {
+        if batch.is_empty() {
+            return;
+        }
+        let batch_after_pending = match self.inbound.back() {
+            Some(last) => last.key < batch[0].key,
+            None => true,
+        };
+        if batch_after_pending {
+            // Common case: everything pending fires before the new batch.
+            self.inbound.extend(batch);
+            return;
+        }
+        let mut merged: VecDeque<Envelope<W::Msg>> =
+            VecDeque::with_capacity(self.inbound.len() + batch.len());
+        let mut new = batch.into_iter().peekable();
+        for old in self.inbound.drain(..) {
+            while new.peek().is_some_and(|n| n.key < old.key) {
+                merged.push_back(new.next().expect("peeked message exists"));
+            }
+            merged.push_back(old);
+        }
+        merged.extend(new);
+        self.inbound = merged;
+    }
+}
+
+/// Process-wide worker cap for epoch windows; 0 means "follow
+/// [`parallel::configured_threads`]".
+static SHARD_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the worker-thread count sharded simulations use for epoch windows
+/// (the experiments CLI's `--shards N`; `0` follows `--threads`).
+///
+/// Purely a performance knob: shard output is byte-identical at every
+/// setting.
+pub fn set_shard_workers(n: usize) {
+    SHARD_WORKERS.store(n, Ordering::SeqCst);
+}
+
+/// The configured shard worker count ([`set_shard_workers`], falling back
+/// to [`parallel::configured_threads`]).
+pub fn shard_workers() -> usize {
+    match SHARD_WORKERS.load(Ordering::SeqCst) {
+        0 => parallel::configured_threads(),
+        n => n,
+    }
+}
+
+/// A sharded discrete-event simulation over a set of [`ShardWorld`]s.
+///
+/// # Examples
+///
+/// ```
+/// use spotcheck_simcore::shard::{ShardCtx, ShardId, ShardWorld, ShardedSim};
+/// use spotcheck_simcore::time::{SimDuration, SimTime};
+///
+/// /// Each shard forwards a counter to the next shard once per tick.
+/// struct Ring {
+///     received: Vec<u64>,
+/// }
+///
+/// impl ShardWorld for Ring {
+///     type Event = ();
+///     type Msg = u64;
+///     fn handle(&mut self, _e: (), ctx: &mut ShardCtx<'_, '_, (), u64>) {
+///         let next = ShardId((ctx.shard().0 + 1) % 3);
+///         ctx.send(next, ctx.now() + SimDuration::from_secs(60), ctx.shard().0 as u64);
+///     }
+///     fn on_message(&mut self, _src: ShardId, msg: u64, _ctx: &mut ShardCtx<'_, '_, (), u64>) {
+///         self.received.push(msg);
+///     }
+/// }
+///
+/// let worlds = (0..3).map(|_| Ring { received: Vec::new() }).collect();
+/// let mut sim = ShardedSim::new(worlds, SimDuration::from_secs(60));
+/// for s in 0..3 {
+///     sim.schedule_at(s, SimTime::ZERO, ());
+/// }
+/// sim.run_until(SimTime::from_secs(120));
+/// assert_eq!(sim.world(1).received, vec![0]);
+/// ```
+pub struct ShardedSim<W: ShardWorld> {
+    cells: Vec<ShardCell<W>>,
+    lookahead: SimDuration,
+    epoch: SimDuration,
+    now: SimTime,
+    epochs: u64,
+    delivered: u64,
+}
+
+impl<W: ShardWorld> ShardedSim<W> {
+    /// Builds a sharded simulation at time zero, one shard per world, with
+    /// epoch windows equal to `lookahead` (the minimum cross-shard
+    /// latency).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worlds` is empty, exceeds `u16::MAX` shards, or
+    /// `lookahead` is zero.
+    pub fn new(worlds: Vec<W>, lookahead: SimDuration) -> Self {
+        Self::with_epoch(worlds, lookahead, lookahead)
+    }
+
+    /// Like [`ShardedSim::new`] with explicit barrier spacing `epoch`
+    /// (clamped contract: `0 < epoch <= lookahead`). Shorter epochs place
+    /// more barriers without changing any output — the property tests use
+    /// this to pin barrier-placement invariance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worlds` is empty or the epoch/lookahead contract is
+    /// violated.
+    pub fn with_epoch(worlds: Vec<W>, lookahead: SimDuration, epoch: SimDuration) -> Self {
+        assert!(!worlds.is_empty(), "a sharded simulation needs >= 1 shard");
+        assert!(
+            worlds.len() <= u16::MAX as usize,
+            "shard ids are u16: at most {} shards",
+            u16::MAX
+        );
+        assert!(
+            epoch > SimDuration::ZERO && epoch <= lookahead,
+            "epoch must satisfy 0 < epoch ({epoch}) <= lookahead ({lookahead})"
+        );
+        let cells = worlds
+            .into_iter()
+            .enumerate()
+            .map(|(i, world)| ShardCell {
+                world,
+                id: ShardId(i as u16),
+                queue: EventQueue::new(),
+                inbound: VecDeque::new(),
+                net: Outbox {
+                    guard: SimTime::ZERO,
+                    next_seq: 0,
+                    out: Vec::new(),
+                },
+                now: SimTime::ZERO,
+                steps: 0,
+            })
+            .collect();
+        ShardedSim {
+            cells,
+            lookahead,
+            epoch,
+            now: SimTime::ZERO,
+            epochs: 0,
+            delivered: 0,
+        }
+    }
+
+    /// Number of logical shards.
+    pub fn shard_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The last completed epoch boundary.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The configured lookahead (minimum cross-shard latency).
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
+    }
+
+    /// Epoch windows completed so far.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Cross-shard messages delivered so far.
+    pub fn messages_delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Cross-shard messages sent but not yet delivered (buffered in
+    /// outboxes or staged beyond the simulated horizon).
+    pub fn messages_pending(&self) -> u64 {
+        self.cells
+            .iter()
+            .map(|c| (c.net.out.len() + c.inbound.len()) as u64)
+            .sum()
+    }
+
+    /// Total events + messages processed across every shard.
+    pub fn total_steps(&self) -> u64 {
+        self.cells.iter().map(|c| c.steps).sum()
+    }
+
+    /// Shared access to shard `i`'s world.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn world(&self, i: usize) -> &W {
+        &self.cells[i].world
+    }
+
+    /// Exclusive access to shard `i`'s world.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn world_mut(&mut self, i: usize) -> &mut W {
+        &mut self.cells[i].world
+    }
+
+    /// Iterates every shard's world in shard-id order.
+    pub fn worlds(&self) -> impl Iterator<Item = &W> {
+        self.cells.iter().map(|c| &c.world)
+    }
+
+    /// Schedules an initial local event on shard `shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range or `at` is before the last
+    /// completed epoch boundary.
+    pub fn schedule_at(&mut self, shard: usize, at: SimTime, event: W::Event) {
+        assert!(
+            at >= self.now,
+            "cannot schedule event in the past: at={at}, boundary={}",
+            self.now
+        );
+        self.cells[shard].queue.push(at, event);
+    }
+
+    /// Collects every outbox, sorts by Lamport key, and stages messages
+    /// into their destination shards' inbound buffers.
+    fn exchange(&mut self) {
+        let mut all: Vec<Envelope<W::Msg>> = Vec::new();
+        for cell in &mut self.cells {
+            all.append(&mut cell.net.out);
+        }
+        if all.is_empty() {
+            return;
+        }
+        // Keys are globally unique, so unstable sort is deterministic.
+        all.sort_unstable_by_key(|e| e.key);
+        self.delivered += all.len() as u64;
+        let mut per_dst: Vec<Vec<Envelope<W::Msg>>> = Vec::new();
+        per_dst.resize_with(self.cells.len(), Vec::new);
+        for env in all {
+            let dst = env.dst.0 as usize;
+            assert!(
+                dst < self.cells.len(),
+                "cross-shard message addressed to unknown {}",
+                env.dst
+            );
+            per_dst[dst].push(env);
+        }
+        for (cell, batch) in self.cells.iter_mut().zip(per_dst) {
+            cell.accept(batch);
+        }
+    }
+
+    /// Runs the current window on every shard, on up to [`shard_workers`]
+    /// worker threads (inline when effectively serial).
+    fn run_windows(&mut self, end: SimTime, inclusive: bool)
+    where
+        W: Send,
+        W::Event: Send,
+        W::Msg: Send,
+    {
+        let workers = shard_workers().clamp(1, self.cells.len());
+        if workers <= 1 {
+            for cell in &mut self.cells {
+                cell.run_window(end, inclusive);
+            }
+        } else {
+            let cells = std::mem::take(&mut self.cells);
+            self.cells = parallel::parallel_map_indexed(workers, cells, |_, mut cell| {
+                cell.run_window(end, inclusive);
+                cell
+            });
+        }
+    }
+
+    /// Runs every shard up to (and including) `horizon`.
+    ///
+    /// Epoch loop: exchange pending messages, run each shard's
+    /// end-exclusive window barrier-free, repeat. Windows exclude their
+    /// end so a message firing exactly at a boundary is always delivered
+    /// at the *start* of the next window — before local events at that
+    /// instant — keeping delivery order independent of where the barriers
+    /// fall. The instant `horizon` itself is resolved in a final pass
+    /// (exchange, then one inclusive zero-length window) so events and
+    /// messages firing exactly at `horizon` are processed; messages sent
+    /// at the horizon necessarily fire after it (conservative lookahead)
+    /// and stay buffered for a later `run_until` call.
+    pub fn run_until(&mut self, horizon: SimTime)
+    where
+        W: Send,
+        W::Event: Send,
+        W::Msg: Send,
+    {
+        while self.now < horizon {
+            self.exchange();
+            let end = (self.now + self.epoch).min(horizon);
+            self.run_windows(end, false);
+            self.now = end;
+            self.epochs += 1;
+        }
+        // Resolve the horizon instant: messages staged for exactly
+        // `horizon` deliver before local events at `horizon`. Handlers at
+        // the horizon may schedule same-instant local follow-ups, and a
+        // lookahead-violating model could even send a same-instant
+        // message, so loop until the instant is quiescent — exactly what a
+        // flat single-queue engine would do.
+        loop {
+            self.exchange();
+            let due = self.cells.iter().any(|c| {
+                c.inbound
+                    .front()
+                    .is_some_and(|e| e.key.fire_at <= horizon)
+                    || c.queue.peek_time().is_some_and(|t| t <= horizon)
+            });
+            if !due {
+                break;
+            }
+            self.run_windows(horizon, true);
+        }
+        debug_assert!(
+            self.cells
+                .iter()
+                .all(|c| c.inbound.front().map_or(true, |e| e.key.fire_at > self.now)),
+            "a cross-shard message was staged into the past"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Test world: logs every delivery, periodically pings a partner.
+    struct Pinger {
+        partner: ShardId,
+        period: SimDuration,
+        latency: SimDuration,
+        log: Vec<(SimTime, ShardId, u64)>,
+        sent: u64,
+    }
+
+    impl ShardWorld for Pinger {
+        type Event = ();
+        type Msg = u64;
+
+        fn handle(&mut self, _e: (), ctx: &mut ShardCtx<'_, '_, (), u64>) {
+            ctx.send(self.partner, ctx.now() + self.latency, self.sent);
+            self.sent += 1;
+            ctx.after(self.period, ());
+        }
+
+        fn on_message(&mut self, src: ShardId, msg: u64, ctx: &mut ShardCtx<'_, '_, (), u64>) {
+            self.log.push((ctx.now(), src, msg));
+        }
+    }
+
+    fn ping_ring(n: u16, latency: SimDuration) -> Vec<Pinger> {
+        (0..n)
+            .map(|i| Pinger {
+                partner: ShardId((i + 1) % n),
+                period: SimDuration::from_secs(30),
+                latency,
+                log: Vec::new(),
+                sent: 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn messages_cross_shards_and_arrive_on_time() {
+        let lookahead = SimDuration::from_secs(60);
+        let mut sim = ShardedSim::new(ping_ring(3, lookahead), lookahead);
+        for s in 0..3 {
+            sim.schedule_at(s, SimTime::ZERO, ());
+        }
+        sim.run_until(SimTime::from_secs(300));
+        // Shard 1 hears shard 0's ping from t=0 at t=60, t=30 at 90, ...
+        let log = &sim.world(1).log;
+        assert!(!log.is_empty());
+        assert_eq!(log[0], (SimTime::from_secs(60), ShardId(0), 0));
+        assert_eq!(log[1], (SimTime::from_secs(90), ShardId(0), 1));
+        assert!(sim.messages_delivered() > 0);
+    }
+
+    #[test]
+    fn identical_logs_at_any_worker_count_and_epoch_split() {
+        let lookahead = SimDuration::from_secs(60);
+        let run = |workers: usize, epoch: SimDuration| {
+            set_shard_workers(workers);
+            let mut sim = ShardedSim::with_epoch(ping_ring(4, lookahead), lookahead, epoch);
+            for s in 0..4 {
+                sim.schedule_at(s, SimTime::ZERO, ());
+            }
+            sim.run_until(SimTime::from_secs(600));
+            set_shard_workers(0);
+            let logs: Vec<_> = sim.worlds().map(|w| w.log.clone()).collect();
+            logs
+        };
+        let baseline = run(1, lookahead);
+        for workers in [2, 4, 8] {
+            assert_eq!(run(workers, lookahead), baseline, "diverged at {workers} workers");
+        }
+        for epoch in [SimDuration::from_secs(30), SimDuration::from_secs(20)] {
+            assert_eq!(run(4, epoch), baseline, "diverged at epoch {epoch}");
+        }
+    }
+
+    #[test]
+    fn messages_deliver_before_local_events_at_the_same_instant() {
+        /// Shard 1 schedules a local marker at t=60; shard 0 sends a
+        /// message that also fires at t=60. The message must win the tie.
+        struct TieWorld {
+            order: Vec<&'static str>,
+        }
+        impl ShardWorld for TieWorld {
+            type Event = &'static str;
+            type Msg = ();
+            fn handle(&mut self, e: &'static str, ctx: &mut ShardCtx<'_, '_, &'static str, ()>) {
+                if e == "send" {
+                    ctx.send(ShardId(1), SimTime::from_secs(60), ());
+                } else {
+                    self.order.push(e);
+                }
+            }
+            fn on_message(&mut self, _s: ShardId, _m: (), _c: &mut ShardCtx<'_, '_, &'static str, ()>) {
+                self.order.push("msg");
+            }
+        }
+        let worlds = vec![TieWorld { order: vec![] }, TieWorld { order: vec![] }];
+        let mut sim = ShardedSim::new(worlds, SimDuration::from_secs(60));
+        sim.schedule_at(0, SimTime::ZERO, "send");
+        sim.schedule_at(1, SimTime::from_secs(60), "local");
+        sim.run_until(SimTime::from_secs(60));
+        assert_eq!(sim.world(1).order, vec!["msg", "local"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "below the configured lookahead")]
+    fn undershooting_the_lookahead_panics() {
+        let lookahead = SimDuration::from_secs(60);
+        let mut worlds = ping_ring(2, SimDuration::from_secs(10));
+        worlds[0].latency = SimDuration::from_secs(10); // below lookahead
+        let mut sim = ShardedSim::new(worlds, lookahead);
+        sim.schedule_at(0, SimTime::ZERO, ());
+        sim.run_until(SimTime::from_secs(120));
+    }
+
+    #[test]
+    fn final_window_is_inclusive_and_leftovers_stay_pending() {
+        let lookahead = SimDuration::from_secs(60);
+        let mut sim = ShardedSim::new(ping_ring(2, lookahead), lookahead);
+        sim.schedule_at(0, SimTime::ZERO, ());
+        // Horizon exactly on a tick: the t=120 local tick must run.
+        sim.run_until(SimTime::from_secs(120));
+        assert_eq!(sim.world(0).sent, 5); // ticks at 0,30,60,90,120
+        // The last sends fire past the horizon: pending, not lost.
+        assert!(sim.messages_pending() > 0);
+        let before = sim.world(1).log.len();
+        sim.run_until(SimTime::from_secs(200));
+        assert!(sim.world(1).log.len() > before);
+    }
+
+    #[test]
+    fn steps_count_events_and_messages() {
+        let lookahead = SimDuration::from_secs(60);
+        let mut sim = ShardedSim::new(ping_ring(2, lookahead), lookahead);
+        sim.schedule_at(0, SimTime::ZERO, ());
+        sim.run_until(SimTime::from_secs(60));
+        // Shard 0 ticked at 0,30,60; shard 1 heard the t=0 ping at 60.
+        assert_eq!(sim.total_steps(), 4);
+        assert_eq!(sim.epochs(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs >= 1 shard")]
+    fn empty_shard_set_panics() {
+        let _ = ShardedSim::<Pinger>::new(Vec::new(), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch must satisfy")]
+    fn oversized_epoch_panics() {
+        let _ = ShardedSim::with_epoch(
+            ping_ring(2, SimDuration::from_secs(60)),
+            SimDuration::from_secs(60),
+            SimDuration::from_secs(120),
+        );
+    }
+}
