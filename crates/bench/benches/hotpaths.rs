@@ -29,7 +29,9 @@ use spotcheck_migrate::mechanisms::MechanismKind;
 use spotcheck_nestedvm::memory::{DirtyModel, MemoryImage, PAGE_SIZE};
 use spotcheck_simcore::queue::{EventQueue, QueueBackend};
 use spotcheck_simcore::rng::SimRng;
-use spotcheck_simcore::shard::{set_shard_workers, ShardCtx, ShardId, ShardWorld, ShardedSim};
+use spotcheck_simcore::shard::{
+    set_pool_enabled, set_shard_workers, ShardCtx, ShardId, ShardWorld, ShardedSim,
+};
 use spotcheck_simcore::time::{SimDuration, SimTime};
 use spotcheck_spotmarket::generator::TraceGenerator;
 use spotcheck_spotmarket::market::MarketId;
@@ -182,8 +184,19 @@ impl ShardWorld for Flooder {
 /// itself: outbox drain, Lamport sort, routed inbound merge — not thread
 /// spawn). Returns a checksum.
 fn shard_flush(shards: u16, per_tick: usize, epochs: u64) -> u64 {
+    shard_flush_cfg(shards, per_tick, epochs, 1, true)
+}
+
+/// [`shard_flush`] with explicit worker count and pool selection: the
+/// `pool_window_*` rows run `workers = 4` through the persistent pool,
+/// the `spawn_window_*` rows force the legacy scoped-spawn-per-window
+/// path, so the two directly price one epoch barrier under each regime.
+/// Every shard ticks every epoch, so idle-epoch fast-forward never fires
+/// and the numbers isolate the barrier itself.
+fn shard_flush_cfg(shards: u16, per_tick: usize, epochs: u64, workers: usize, pool: bool) -> u64 {
     let lookahead = SimDuration::from_secs(60);
-    set_shard_workers(1);
+    set_shard_workers(workers);
+    set_pool_enabled(pool);
     let worlds: Vec<Flooder> = (0..shards)
         .map(|_| Flooder {
             shards,
@@ -199,6 +212,7 @@ fn shard_flush(shards: u16, per_tick: usize, epochs: u64) -> u64 {
     }
     sim.run_until(SimTime::ZERO + lookahead * epochs);
     set_shard_workers(0);
+    set_pool_enabled(true);
     sim.worlds().map(|w| w.received).sum()
 }
 
@@ -302,6 +316,27 @@ fn main() {
     for (name, per_tick) in shard_benches {
         if wanted(name) {
             reports.push(bench(name, || shard_flush(8, per_tick, SHARD_EPOCHS)));
+        }
+    }
+
+    // Same workload at 4 workers: `pool_window_*` pays one persistent-pool
+    // barrier per epoch, `spawn_window_*` pays the legacy scope-spawn (plus
+    // per-item slot allocation and result re-collection) per epoch. The
+    // delta is the pool's per-window saving; compare against the serial
+    // `shard_flush_*` rows to see the residual coordination cost.
+    let window_benches: [(&'static str, usize, bool); 6] = [
+        ("pool_window_idle", 0, true),
+        ("pool_window_64", 64, true),
+        ("pool_window_1024", 1024, true),
+        ("spawn_window_idle", 0, false),
+        ("spawn_window_64", 64, false),
+        ("spawn_window_1024", 1024, false),
+    ];
+    for (name, per_tick, pool) in window_benches {
+        if wanted(name) {
+            reports.push(bench(name, || {
+                shard_flush_cfg(8, per_tick, SHARD_EPOCHS, 4, pool)
+            }));
         }
     }
 

@@ -198,6 +198,14 @@ pub fn run(scale: Scale) -> String {
         "journal entries dropped".into(),
         sim.journal().dropped().to_string(),
     ]);
+    // The sharded sibling (`fleet_sharded`) reports epoch-window and pool
+    // accounting here; this experiment runs the flat single-queue engine,
+    // where those metrics do not exist — said explicitly so the two
+    // tables stay comparable.
+    t.row(vec![
+        "engine".into(),
+        "flat single-queue (no epochs/pool)".into(),
+    ]);
     let mut out = t.render();
     out.push_str(&format!(
         "\none controller simulation at fleet scale: a {}-VM fleet rides a {:.0}-day\n\

@@ -57,10 +57,16 @@ fn run_many_rejects_unknown_ids() {
 
 /// Masks the wall-clock field of `[id] title  (0.123s, 456 events)` header
 /// lines, keeping the event counts — those must match across worker counts.
+/// Also masks report rows marked `(run config)`: those surface execution
+/// configuration (pool worker count, fast-forward split) that legitimately
+/// varies with the knobs under test, same as wall-clock does.
 fn mask_wall(stdout: &str) -> String {
     stdout
         .lines()
         .map(|l| {
+            if l.contains("(run config)") {
+                return "(run config masked)".to_string();
+            }
             if l.starts_with('[') && l.ends_with("events)") {
                 if let Some(pos) = l.rfind("  (") {
                     if let Some(comma) = l[pos..].find(", ") {
@@ -144,6 +150,35 @@ fn fleet_sharded_is_identical_across_shards_threads_and_queue_backends() {
         &["--shards", "2", "--queue", "heap"][..],
         &["--shards", "8", "--queue", "heap"][..],
         &["--shards", "8", "--threads", "4", "--queue", "wheel"][..],
+    ] {
+        assert_eq!(run(args), baseline, "fleet_sharded diverged under {args:?}");
+    }
+}
+
+#[test]
+fn fleet_sharded_is_identical_with_pool_and_fast_forward_toggled() {
+    // The persistent worker pool and idle-epoch fast-forward are pure
+    // performance paths: pool-vs-spawn execution and fast-forward on/off
+    // must render the identical table at every shard-worker count and
+    // queue backend. (The simcore property suite additionally pins both
+    // against a flat single-queue reference engine.)
+    let run = |args: &[&str]| {
+        let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
+            .args(["--quick", "fleet_sharded"])
+            .args(args)
+            .output()
+            .expect("experiments binary runs");
+        assert!(out.status.success(), "{args:?} exited nonzero");
+        mask_wall(&String::from_utf8(out.stdout).expect("utf-8 output"))
+    };
+    let baseline = run(&["--shards", "1", "--queue", "wheel"]);
+    for args in [
+        &["--shards", "1", "--queue", "wheel", "--no-fast-forward"][..],
+        &["--shards", "2", "--queue", "wheel", "--no-pool"][..],
+        &["--shards", "2", "--queue", "heap", "--no-fast-forward"][..],
+        &["--shards", "8", "--queue", "wheel", "--no-pool", "--no-fast-forward"][..],
+        &["--shards", "8", "--queue", "heap", "--no-pool"][..],
+        &["--shards", "8", "--queue", "heap", "--no-pool", "--no-fast-forward"][..],
     ] {
         assert_eq!(run(args), baseline, "fleet_sharded diverged under {args:?}");
     }

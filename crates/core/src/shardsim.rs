@@ -455,9 +455,26 @@ impl ShardedFleetSim {
         self.sim.messages_delivered()
     }
 
-    /// Epoch windows completed so far.
+    /// Epoch windows actually executed so far.
     pub fn epochs(&self) -> u64 {
         self.sim.epochs()
+    }
+
+    /// Empty epoch windows fast-forwarded over instead of executed
+    /// (zero when fast-forward is disabled).
+    pub fn epochs_fast_forwarded(&self) -> u64 {
+        self.sim.epochs_fast_forwarded()
+    }
+
+    /// Total epoch-grid windows covered (executed + fast-forwarded) —
+    /// invariant across every execution-mode knob.
+    pub fn epoch_windows(&self) -> u64 {
+        self.sim.epoch_windows()
+    }
+
+    /// Worker threads the next run will use for epoch windows.
+    pub fn window_workers(&self) -> usize {
+        self.sim.window_workers()
     }
 
     /// Events + messages processed across every shard.

@@ -25,6 +25,9 @@
 //!   harness throughput numbers.
 //! - [`parallel`] — deterministic fork-join parallel map on std threads
 //!   (ordered collection, event-count fold-back).
+//! - [`pool`] — persistent epoch worker pool with per-slot affinity
+//!   ([`pool::with_pool`]), the low-overhead fork-join the sharded engine
+//!   uses for its per-epoch windows.
 //! - [`slab`] — dense entity storage: a generational slab and the
 //!   id-indexed [`slab::IdMap`] whose iteration order matches `BTreeMap`.
 //! - [`shard`] — deterministic sharded simulation: per-shard event loops
@@ -43,6 +46,7 @@ pub mod engine;
 pub mod fluid;
 pub mod metrics;
 pub mod parallel;
+pub mod pool;
 pub mod queue;
 pub mod rng;
 pub mod series;

@@ -61,6 +61,15 @@ pub fn reset_peak_queue_depth() {
     PEAK_QUEUE_DEPTH.with(|c| c.set(0));
 }
 
+/// Folds a joined (or barrier-synchronized) worker's counters into the
+/// current thread: `events` adds to the monotonic counter,
+/// `peak` max-folds into the depth gauge. [`crate::parallel`] calls this
+/// at join; [`crate::pool`] calls it at every epoch barrier.
+pub fn fold_worker(events: u64, peak: u64) {
+    add(events);
+    note_queue_depth(peak);
+}
+
 /// Runs `f` and returns its result along with the number of simulation
 /// events recorded while it ran (on this thread, plus any parallel workers
 /// joined inside it).

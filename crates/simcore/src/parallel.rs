@@ -15,6 +15,18 @@
 //!
 //! With `threads <= 1` (or a single item) everything runs inline on the
 //! caller's thread; output is byte-identical either way.
+//!
+//! # Why scoped spawns, not the persistent pool?
+//!
+//! [`crate::pool`] exists precisely because per-call spawning is too
+//! expensive for the sharded engine's microsecond-scale epoch windows.
+//! This module deliberately keeps scoped spawns anyway: its callers (the
+//! experiment registry, the policy grid, the trace fleet) fan out items
+//! that each run for milliseconds to minutes, so one spawn per worker per
+//! call is noise — and scoped spawns borrow the caller's stack directly,
+//! needing no `'static` bounds, no job channel, and no process-wide pool
+//! lifecycle to share between nested fan-outs. The two regimes get the
+//! two mechanisms they are each best at.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -83,57 +95,48 @@ where
             .collect();
     }
 
-    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
-    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let cursor = AtomicUsize::new(0);
-    let mut worker_events: u64 = 0;
-    let mut worker_peak: u64 = 0;
+    // One shared work queue instead of a Mutex<Option<T>> per item: a
+    // worker takes the lock only long enough to pull the next (index,
+    // item) pair, runs `f` unlocked, and keeps its results in a private
+    // Vec returned through the join handle.
+    let queue: Mutex<std::iter::Enumerate<std::vec::IntoIter<T>>> =
+        Mutex::new(items.into_iter().enumerate());
+    let mut merged: Vec<(usize, R)> = Vec::with_capacity(n);
 
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
+                    let mut out: Vec<(usize, R)> = Vec::new();
                     loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        let item = slots[i]
-                            .lock()
-                            .expect("item slot poisoned")
-                            .take()
-                            .expect("each item is claimed exactly once");
-                        let out = f(i, item);
-                        *results[i].lock().expect("result slot poisoned") = Some(out);
+                        let next = queue.lock().expect("work queue poisoned").next();
+                        let Some((i, item)) = next else { break };
+                        out.push((i, f(i, item)));
                     }
-                    (metrics::events(), metrics::peak_queue_depth())
+                    (out, metrics::events(), metrics::peak_queue_depth())
                 })
             })
             .collect();
         for handle in handles {
             match handle.join() {
-                Ok((events, peak)) => {
-                    worker_events = worker_events.wrapping_add(events);
-                    worker_peak = worker_peak.max(peak);
+                Ok((out, events, peak)) => {
+                    merged.extend(out);
+                    // Fold worker-side simulation-event counts (and the
+                    // max observed queue depth) into the caller's counters
+                    // so an enclosing metrics::measure still attributes
+                    // this region's work.
+                    metrics::fold_worker(events, peak);
                 }
                 Err(payload) => std::panic::resume_unwind(payload),
             }
         }
     });
-    // Fold worker-side simulation-event counts (and the max observed queue
-    // depth) into the caller's counters so an enclosing metrics::measure
-    // still attributes this region's work.
-    metrics::add(worker_events);
-    metrics::note_queue_depth(worker_peak);
 
-    results
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("every index produced a result")
-        })
-        .collect()
+    assert_eq!(merged.len(), n, "every index produces exactly one result");
+    // Ordered collection: indexes are unique, so the unstable sort is
+    // deterministic and restores input order exactly.
+    merged.sort_unstable_by_key(|&(i, _)| i);
+    merged.into_iter().map(|(_, r)| r).collect()
 }
 
 #[cfg(test)]

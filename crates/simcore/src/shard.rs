@@ -38,11 +38,12 @@
 //! seeded property tests in `tests/shard_props.rs`).
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use crate::engine::Scheduler;
 use crate::metrics;
 use crate::parallel;
+use crate::pool;
 use crate::queue::EventQueue;
 use crate::time::{SimDuration, SimTime};
 
@@ -242,7 +243,10 @@ impl<W: ShardWorld> ShardCell<W> {
 
     /// Merges a key-ascending batch of inbound messages into the staging
     /// buffer (which is itself key-ascending), preserving the total order.
-    fn accept(&mut self, batch: Vec<Envelope<W::Msg>>) {
+    ///
+    /// Drains `batch` in place so the caller's buffer (the exchange
+    /// scratch) keeps its capacity across barriers.
+    fn accept(&mut self, batch: &mut Vec<Envelope<W::Msg>>) {
         if batch.is_empty() {
             return;
         }
@@ -252,12 +256,12 @@ impl<W: ShardWorld> ShardCell<W> {
         };
         if batch_after_pending {
             // Common case: everything pending fires before the new batch.
-            self.inbound.extend(batch);
+            self.inbound.extend(batch.drain(..));
             return;
         }
         let mut merged: VecDeque<Envelope<W::Msg>> =
             VecDeque::with_capacity(self.inbound.len() + batch.len());
-        let mut new = batch.into_iter().peekable();
+        let mut new = batch.drain(..).peekable();
         for old in self.inbound.drain(..) {
             while new.peek().is_some_and(|n| n.key < old.key) {
                 merged.push_back(new.next().expect("peeked message exists"));
@@ -266,6 +270,17 @@ impl<W: ShardWorld> ShardCell<W> {
         }
         merged.extend(new);
         self.inbound = merged;
+    }
+
+    /// The earliest instant anything is due on this shard (staged inbound
+    /// message or local event), if any.
+    fn next_due(&self) -> Option<SimTime> {
+        let msg = self.inbound.front().map(|e| e.key.fire_at);
+        let evt = self.queue.peek_time();
+        match (msg, evt) {
+            (Some(m), Some(e)) => Some(m.min(e)),
+            (m, e) => m.or(e),
+        }
     }
 }
 
@@ -289,6 +304,49 @@ pub fn shard_workers() -> usize {
         0 => parallel::configured_threads(),
         n => n,
     }
+}
+
+/// The raw [`set_shard_workers`] value (0 = follow `--threads`), without
+/// the fallback resolution [`shard_workers`] applies. Lets sweeps save and
+/// restore the knob exactly.
+pub fn configured_shard_workers() -> usize {
+    SHARD_WORKERS.load(Ordering::SeqCst)
+}
+
+/// When set (the default is cleared), multi-worker window execution falls
+/// back to per-window scoped spawns instead of the persistent pool.
+static POOL_DISABLED: AtomicBool = AtomicBool::new(false);
+
+/// When set (the default is cleared), empty epoch windows are executed
+/// one by one instead of being fast-forwarded over.
+static FAST_FORWARD_DISABLED: AtomicBool = AtomicBool::new(false);
+
+/// Chooses the multi-worker execution path: the persistent [`crate::pool`]
+/// (default, `true`) or per-window scoped spawns (`false`). Purely a
+/// performance knob — output is byte-identical either way (the CLI's
+/// `--no-pool`, pinned by the determinism suite).
+pub fn set_pool_enabled(on: bool) {
+    POOL_DISABLED.store(!on, Ordering::SeqCst);
+}
+
+/// Whether multi-worker windows use the persistent pool.
+pub fn pool_enabled() -> bool {
+    !POOL_DISABLED.load(Ordering::SeqCst)
+}
+
+/// Enables or disables idle-epoch fast-forward (default on). Fast-forward
+/// jumps over epoch windows in which no shard has anything due, landing on
+/// the epoch-grid point at or below the earliest due instant. It is pure
+/// coarsening — the executed window sequence is the slow path's minus its
+/// empty windows — so output is byte-identical either way (the CLI's
+/// `--no-fast-forward`, pinned by the determinism suite).
+pub fn set_fast_forward(on: bool) {
+    FAST_FORWARD_DISABLED.store(!on, Ordering::SeqCst);
+}
+
+/// Whether idle-epoch fast-forward is enabled.
+pub fn fast_forward_enabled() -> bool {
+    !FAST_FORWARD_DISABLED.load(Ordering::SeqCst)
 }
 
 /// A sharded discrete-event simulation over a set of [`ShardWorld`]s.
@@ -326,11 +384,222 @@ pub fn shard_workers() -> usize {
 /// ```
 pub struct ShardedSim<W: ShardWorld> {
     cells: Vec<ShardCell<W>>,
+    state: LoopState<W::Msg>,
+}
+
+/// Everything the epoch loop needs besides the cells themselves. Split
+/// out so the loop can run while the cells are owned by a worker pool:
+/// the coordinator borrows `LoopState` mutably and reaches cells only
+/// through the active [`WindowRunner`].
+struct LoopState<M> {
+    shards: usize,
     lookahead: SimDuration,
     epoch: SimDuration,
     now: SimTime,
+    /// Epoch windows actually executed.
     epochs: u64,
+    /// Empty epoch windows fast-forwarded over instead of executed.
+    epochs_skipped: u64,
     delivered: u64,
+    /// Snapshot of [`fast_forward_enabled`] taken at `run_until` entry.
+    fast_forward: bool,
+    scratch: ExchangeScratch<M>,
+}
+
+/// Persistent exchange buffers, reused across every barrier of the
+/// simulation's lifetime (satisfying the no-per-barrier-allocation goal).
+struct ExchangeScratch<M> {
+    /// Gather/sort staging for all outboxes (drained every barrier).
+    all: Vec<Envelope<M>>,
+    /// Per-destination routing buffers (drained into cells every barrier).
+    per_dst: Vec<Vec<Envelope<M>>>,
+}
+
+/// How the epoch loop reaches its shard cells: inline (serial), scoped
+/// spawns per window (legacy path, kept selectable for benchmarking via
+/// [`set_pool_enabled`]), or the persistent worker pool. The loop itself
+/// is written once against this trait.
+trait WindowRunner<W: ShardWorld> {
+    /// Runs the window `[.., end)` (or `[.., end]` when `inclusive`) on
+    /// every cell.
+    fn run_windows(&mut self, end: SimTime, inclusive: bool);
+    /// Visits every cell in shard-id order (coordinator-only phases:
+    /// exchange, due-time scan).
+    fn for_each_cell(&mut self, f: &mut dyn FnMut(&mut ShardCell<W>));
+}
+
+/// Serial execution on the coordinator thread.
+struct InlineRunner<'a, W: ShardWorld> {
+    cells: &'a mut Vec<ShardCell<W>>,
+}
+
+impl<W: ShardWorld> WindowRunner<W> for InlineRunner<'_, W> {
+    fn run_windows(&mut self, end: SimTime, inclusive: bool) {
+        for cell in self.cells.iter_mut() {
+            cell.run_window(end, inclusive);
+        }
+    }
+
+    fn for_each_cell(&mut self, f: &mut dyn FnMut(&mut ShardCell<W>)) {
+        for cell in self.cells.iter_mut() {
+            f(cell);
+        }
+    }
+}
+
+/// Legacy multi-worker path: fresh scoped spawns every window via
+/// [`parallel::parallel_map_indexed`]. Retained so the pool's win stays
+/// measurable (`--no-pool`, the `spawn_window_*` microbenches).
+struct SpawnRunner<'a, W: ShardWorld> {
+    cells: &'a mut Vec<ShardCell<W>>,
+    workers: usize,
+}
+
+impl<W> WindowRunner<W> for SpawnRunner<'_, W>
+where
+    W: ShardWorld + Send,
+    W::Event: Send,
+    W::Msg: Send,
+{
+    fn run_windows(&mut self, end: SimTime, inclusive: bool) {
+        let cells = std::mem::take(self.cells);
+        *self.cells = parallel::parallel_map_indexed(self.workers, cells, |_, mut cell| {
+            cell.run_window(end, inclusive);
+            cell
+        });
+    }
+
+    fn for_each_cell(&mut self, f: &mut dyn FnMut(&mut ShardCell<W>)) {
+        for cell in self.cells.iter_mut() {
+            f(cell);
+        }
+    }
+}
+
+/// Persistent-pool path: cells live in the pool's slots for the whole
+/// `run_until`; windows are one barrier round each, coordinator phases
+/// lock the (uncontended) slots in place.
+struct PoolRunner<'a, 'p, W: ShardWorld> {
+    pool: &'a mut pool::Pool<'p, ShardCell<W>, (SimTime, bool)>,
+}
+
+impl<W: ShardWorld> WindowRunner<W> for PoolRunner<'_, '_, W> {
+    fn run_windows(&mut self, end: SimTime, inclusive: bool) {
+        self.pool.run_epoch((end, inclusive));
+    }
+
+    fn for_each_cell(&mut self, f: &mut dyn FnMut(&mut ShardCell<W>)) {
+        self.pool.for_each_slot(&mut |_, cell| f(cell));
+    }
+}
+
+impl<M> LoopState<M> {
+    /// Collects every outbox, sorts by Lamport key, and stages messages
+    /// into their destination shards' inbound buffers. All staging goes
+    /// through the persistent [`ExchangeScratch`]; steady state allocates
+    /// nothing.
+    fn exchange<W: ShardWorld<Msg = M>>(&mut self, runner: &mut dyn WindowRunner<W>) {
+        let scratch = &mut self.scratch;
+        runner.for_each_cell(&mut |cell| scratch.all.append(&mut cell.net.out));
+        if scratch.all.is_empty() {
+            return;
+        }
+        // Keys are globally unique, so unstable sort is deterministic.
+        scratch.all.sort_unstable_by_key(|e| e.key);
+        self.delivered += scratch.all.len() as u64;
+        let shards = self.shards;
+        for env in scratch.all.drain(..) {
+            let dst = env.dst.0 as usize;
+            assert!(
+                dst < shards,
+                "cross-shard message addressed to unknown {}",
+                env.dst
+            );
+            scratch.per_dst[dst].push(env);
+        }
+        let mut i = 0;
+        runner.for_each_cell(&mut |cell| {
+            cell.accept(&mut scratch.per_dst[i]);
+            i += 1;
+        });
+    }
+
+    /// The earliest due instant across every shard (after an exchange, so
+    /// outboxes are empty and staged inbound messages are visible).
+    fn earliest_due<W: ShardWorld<Msg = M>>(
+        &mut self,
+        runner: &mut dyn WindowRunner<W>,
+    ) -> Option<SimTime> {
+        let mut due: Option<SimTime> = None;
+        runner.for_each_cell(&mut |cell| {
+            if let Some(t) = cell.next_due() {
+                due = Some(due.map_or(t, |d| d.min(t)));
+            }
+        });
+        due
+    }
+
+    /// The shared epoch loop: exchange, (maybe) fast-forward, run one
+    /// window, repeat; then resolve the horizon instant to quiescence.
+    /// Identical across all three [`WindowRunner`]s by construction.
+    fn run_loop<W: ShardWorld<Msg = M>>(
+        &mut self,
+        runner: &mut dyn WindowRunner<W>,
+        horizon: SimTime,
+    ) {
+        while self.now < horizon {
+            self.exchange(runner);
+            let mut end = (self.now + self.epoch).min(horizon);
+            if self.fast_forward {
+                match self.earliest_due(runner) {
+                    // Window already non-empty: run it as usual.
+                    Some(t) if t < end => {}
+                    // Something is due before the horizon but past this
+                    // window: jump to the epoch-grid point at or below it.
+                    // The landing window provably contains `t`, so the
+                    // executed sequence is the slow path's minus its empty
+                    // windows (epoch-subdivision invariance gives
+                    // byte-identity).
+                    Some(t) if t < horizon => {
+                        let k = (t - self.now).as_micros() / self.epoch.as_micros();
+                        debug_assert!(k >= 1, "non-empty window misdetected as idle");
+                        self.now += self.epoch * k;
+                        self.epochs_skipped += k;
+                        end = (self.now + self.epoch).min(horizon);
+                    }
+                    // Nothing due before the horizon: skip straight to it.
+                    // The quiescence pass below handles the horizon
+                    // instant itself (inclusive), exactly as the slow path
+                    // would after grinding the remaining empty windows.
+                    _ => {
+                        let rem = (horizon - self.now).as_micros();
+                        self.epochs_skipped += rem.div_ceil(self.epoch.as_micros());
+                        self.now = horizon;
+                        break;
+                    }
+                }
+            }
+            runner.run_windows(end, false);
+            self.now = end;
+            self.epochs += 1;
+        }
+        // Resolve the horizon instant: messages staged for exactly
+        // `horizon` deliver before local events at `horizon`. Handlers at
+        // the horizon may schedule same-instant local follow-ups, and a
+        // lookahead-violating model could even send a same-instant
+        // message, so loop until the instant is quiescent — exactly what a
+        // flat single-queue engine would do.
+        loop {
+            self.exchange(runner);
+            let due = self
+                .earliest_due(runner)
+                .is_some_and(|t| t <= horizon);
+            if !due {
+                break;
+            }
+            runner.run_windows(horizon, true);
+        }
+    }
 }
 
 impl<W: ShardWorld> ShardedSim<W> {
@@ -366,7 +635,7 @@ impl<W: ShardWorld> ShardedSim<W> {
             epoch > SimDuration::ZERO && epoch <= lookahead,
             "epoch must satisfy 0 < epoch ({epoch}) <= lookahead ({lookahead})"
         );
-        let cells = worlds
+        let cells: Vec<ShardCell<W>> = worlds
             .into_iter()
             .enumerate()
             .map(|(i, world)| ShardCell {
@@ -383,13 +652,25 @@ impl<W: ShardWorld> ShardedSim<W> {
                 steps: 0,
             })
             .collect();
+        let shards = cells.len();
+        let mut per_dst = Vec::new();
+        per_dst.resize_with(shards, Vec::new);
         ShardedSim {
             cells,
-            lookahead,
-            epoch,
-            now: SimTime::ZERO,
-            epochs: 0,
-            delivered: 0,
+            state: LoopState {
+                shards,
+                lookahead,
+                epoch,
+                now: SimTime::ZERO,
+                epochs: 0,
+                epochs_skipped: 0,
+                delivered: 0,
+                fast_forward: true,
+                scratch: ExchangeScratch {
+                    all: Vec::new(),
+                    per_dst,
+                },
+            },
         }
     }
 
@@ -400,22 +681,42 @@ impl<W: ShardWorld> ShardedSim<W> {
 
     /// The last completed epoch boundary.
     pub fn now(&self) -> SimTime {
-        self.now
+        self.state.now
     }
 
     /// The configured lookahead (minimum cross-shard latency).
     pub fn lookahead(&self) -> SimDuration {
-        self.lookahead
+        self.state.lookahead
     }
 
-    /// Epoch windows completed so far.
+    /// Epoch windows actually executed so far.
     pub fn epochs(&self) -> u64 {
-        self.epochs
+        self.state.epochs
+    }
+
+    /// Empty epoch windows fast-forwarded over (zero when fast-forward is
+    /// disabled). [`Self::epochs`] plus this equals the grid total
+    /// ([`Self::epoch_windows`]) regardless of the fast-forward setting.
+    pub fn epochs_fast_forwarded(&self) -> u64 {
+        self.state.epochs_skipped
+    }
+
+    /// Total epoch-grid windows covered so far (executed +
+    /// fast-forwarded). Invariant across every execution-mode knob, so
+    /// reports can print it without breaking byte-identity.
+    pub fn epoch_windows(&self) -> u64 {
+        self.state.epochs + self.state.epochs_skipped
+    }
+
+    /// Worker threads the next `run_until` will use for epoch windows
+    /// (the configured [`shard_workers`] clamped to the shard count).
+    pub fn window_workers(&self) -> usize {
+        shard_workers().clamp(1, self.cells.len())
     }
 
     /// Cross-shard messages delivered so far.
     pub fn messages_delivered(&self) -> u64 {
-        self.delivered
+        self.state.delivered
     }
 
     /// Cross-shard messages sent but not yet delivered (buffered in
@@ -463,62 +764,11 @@ impl<W: ShardWorld> ShardedSim<W> {
     /// completed epoch boundary.
     pub fn schedule_at(&mut self, shard: usize, at: SimTime, event: W::Event) {
         assert!(
-            at >= self.now,
+            at >= self.state.now,
             "cannot schedule event in the past: at={at}, boundary={}",
-            self.now
+            self.state.now
         );
         self.cells[shard].queue.push(at, event);
-    }
-
-    /// Collects every outbox, sorts by Lamport key, and stages messages
-    /// into their destination shards' inbound buffers.
-    fn exchange(&mut self) {
-        let mut all: Vec<Envelope<W::Msg>> = Vec::new();
-        for cell in &mut self.cells {
-            all.append(&mut cell.net.out);
-        }
-        if all.is_empty() {
-            return;
-        }
-        // Keys are globally unique, so unstable sort is deterministic.
-        all.sort_unstable_by_key(|e| e.key);
-        self.delivered += all.len() as u64;
-        let mut per_dst: Vec<Vec<Envelope<W::Msg>>> = Vec::new();
-        per_dst.resize_with(self.cells.len(), Vec::new);
-        for env in all {
-            let dst = env.dst.0 as usize;
-            assert!(
-                dst < self.cells.len(),
-                "cross-shard message addressed to unknown {}",
-                env.dst
-            );
-            per_dst[dst].push(env);
-        }
-        for (cell, batch) in self.cells.iter_mut().zip(per_dst) {
-            cell.accept(batch);
-        }
-    }
-
-    /// Runs the current window on every shard, on up to [`shard_workers`]
-    /// worker threads (inline when effectively serial).
-    fn run_windows(&mut self, end: SimTime, inclusive: bool)
-    where
-        W: Send,
-        W::Event: Send,
-        W::Msg: Send,
-    {
-        let workers = shard_workers().clamp(1, self.cells.len());
-        if workers <= 1 {
-            for cell in &mut self.cells {
-                cell.run_window(end, inclusive);
-            }
-        } else {
-            let cells = std::mem::take(&mut self.cells);
-            self.cells = parallel::parallel_map_indexed(workers, cells, |_, mut cell| {
-                cell.run_window(end, inclusive);
-                cell
-            });
-        }
     }
 
     /// Runs every shard up to (and including) `horizon`.
@@ -533,42 +783,47 @@ impl<W: ShardWorld> ShardedSim<W> {
     /// messages firing exactly at `horizon` are processed; messages sent
     /// at the horizon necessarily fire after it (conservative lookahead)
     /// and stay buffered for a later `run_until` call.
+    ///
+    /// Execution mode is picked here per call: inline on the coordinator
+    /// when effectively serial, otherwise the persistent worker pool
+    /// ([`crate::pool`], the default) or legacy per-window scoped spawns
+    /// ([`set_pool_enabled`]`(false)`). Empty windows are fast-forwarded
+    /// over unless [`set_fast_forward`]`(false)`. All four combinations
+    /// produce byte-identical output.
     pub fn run_until(&mut self, horizon: SimTime)
     where
         W: Send,
         W::Event: Send,
         W::Msg: Send,
     {
-        while self.now < horizon {
-            self.exchange();
-            let end = (self.now + self.epoch).min(horizon);
-            self.run_windows(end, false);
-            self.now = end;
-            self.epochs += 1;
-        }
-        // Resolve the horizon instant: messages staged for exactly
-        // `horizon` deliver before local events at `horizon`. Handlers at
-        // the horizon may schedule same-instant local follow-ups, and a
-        // lookahead-violating model could even send a same-instant
-        // message, so loop until the instant is quiescent — exactly what a
-        // flat single-queue engine would do.
-        loop {
-            self.exchange();
-            let due = self.cells.iter().any(|c| {
-                c.inbound
-                    .front()
-                    .is_some_and(|e| e.key.fire_at <= horizon)
-                    || c.queue.peek_time().is_some_and(|t| t <= horizon)
-            });
-            if !due {
-                break;
-            }
-            self.run_windows(horizon, true);
+        self.state.fast_forward = fast_forward_enabled();
+        let workers = shard_workers().clamp(1, self.cells.len());
+        if workers <= 1 {
+            self.state
+                .run_loop(&mut InlineRunner { cells: &mut self.cells }, horizon);
+        } else if pool_enabled() {
+            let cells = std::mem::take(&mut self.cells);
+            let state = &mut self.state;
+            let (cells, ()) = pool::with_pool(
+                workers,
+                cells,
+                |_, cell, (end, inclusive): (SimTime, bool)| cell.run_window(end, inclusive),
+                |p| state.run_loop(&mut PoolRunner { pool: p }, horizon),
+            );
+            self.cells = cells;
+        } else {
+            self.state.run_loop(
+                &mut SpawnRunner {
+                    cells: &mut self.cells,
+                    workers,
+                },
+                horizon,
+            );
         }
         debug_assert!(
             self.cells
                 .iter()
-                .all(|c| c.inbound.front().map_or(true, |e| e.key.fire_at > self.now)),
+                .all(|c| c.inbound.front().map_or(true, |e| e.key.fire_at > self.state.now)),
             "a cross-shard message was staged into the past"
         );
     }
@@ -717,6 +972,90 @@ mod tests {
         // Shard 0 ticked at 0,30,60; shard 1 heard the t=0 ping at 60.
         assert_eq!(sim.total_steps(), 4);
         assert_eq!(sim.epochs(), 1);
+    }
+
+    /// Serializes tests that flip the process-wide pool/fast-forward
+    /// knobs: epoch accounting (unlike the output) legitimately depends
+    /// on the fast-forward setting, so concurrent toggling would race.
+    static KNOBS: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn fast_forward_skips_empty_windows_but_keeps_the_grid_total() {
+        let _serial = KNOBS.lock().unwrap_or_else(|e| e.into_inner());
+        // One event every hour, 60 s epochs: 59 of every 60 windows are
+        // empty. The grid total must match the slow path's epoch count
+        // and the logs must be byte-identical with fast-forward off.
+        let lookahead = SimDuration::from_secs(60);
+        let run = |ff: bool| {
+            set_fast_forward(ff);
+            let mut worlds = ping_ring(2, lookahead);
+            for w in &mut worlds {
+                w.period = SimDuration::from_secs(3600);
+            }
+            let mut sim = ShardedSim::new(worlds, lookahead);
+            sim.schedule_at(0, SimTime::ZERO, ());
+            sim.run_until(SimTime::from_secs(6 * 3600));
+            set_fast_forward(true);
+            let logs: Vec<_> = sim.worlds().map(|w| w.log.clone()).collect();
+            (logs, sim.epochs(), sim.epochs_fast_forwarded(), sim.total_steps())
+        };
+        let (logs_ff, epochs_ff, skipped_ff, steps_ff) = run(true);
+        let (logs_slow, epochs_slow, skipped_slow, steps_slow) = run(false);
+        assert_eq!(logs_ff, logs_slow);
+        assert_eq!(steps_ff, steps_slow);
+        assert_eq!(skipped_slow, 0);
+        assert_eq!(epochs_ff + skipped_ff, epochs_slow, "grid total must be invariant");
+        assert!(skipped_ff > 5 * epochs_ff, "most windows should fast-forward");
+    }
+
+    #[test]
+    fn fast_forward_with_nothing_due_jumps_to_the_horizon() {
+        let _serial = KNOBS.lock().unwrap_or_else(|e| e.into_inner());
+        let lookahead = SimDuration::from_secs(60);
+        let mut sim = ShardedSim::new(ping_ring(2, lookahead), lookahead);
+        // No initial events at all: every window is empty.
+        sim.run_until(SimTime::from_secs(3600 + 30)); // non-dividing horizon
+        assert_eq!(sim.epochs(), 0);
+        assert_eq!(sim.epochs_fast_forwarded(), 61); // ceil(3630/60)
+        assert_eq!(sim.now(), SimTime::from_secs(3630));
+    }
+
+    #[test]
+    fn pool_and_spawn_paths_match_inline_with_and_without_fast_forward() {
+        let _serial = KNOBS.lock().unwrap_or_else(|e| e.into_inner());
+        let lookahead = SimDuration::from_secs(60);
+        let run = |workers: usize, pool_on: bool, ff: bool| {
+            set_shard_workers(workers);
+            set_pool_enabled(pool_on);
+            set_fast_forward(ff);
+            let mut worlds = ping_ring(4, lookahead);
+            for (i, w) in worlds.iter_mut().enumerate() {
+                // Mixed cadence so some windows are empty, some not.
+                w.period = SimDuration::from_secs(if i % 2 == 0 { 30 } else { 900 });
+            }
+            let mut sim = ShardedSim::with_epoch(worlds, lookahead, SimDuration::from_secs(20));
+            for s in 0..4 {
+                sim.schedule_at(s, SimTime::ZERO, ());
+            }
+            sim.run_until(SimTime::from_secs(3600));
+            set_shard_workers(0);
+            set_pool_enabled(true);
+            set_fast_forward(true);
+            let logs: Vec<_> = sim.worlds().map(|w| w.log.clone()).collect();
+            (logs, sim.total_steps(), sim.messages_delivered(), sim.epoch_windows())
+        };
+        let baseline = run(1, true, false);
+        for workers in [1, 2, 4] {
+            for pool_on in [true, false] {
+                for ff in [true, false] {
+                    assert_eq!(
+                        run(workers, pool_on, ff),
+                        baseline,
+                        "diverged at workers={workers} pool={pool_on} ff={ff}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]
