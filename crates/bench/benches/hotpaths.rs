@@ -286,7 +286,8 @@ fn main() {
     // (name, backend, pending depth, deadline distribution). The `storm`
     // rows model a fleet-wide revocation: 64k events pending at once, all
     // clustered on millisecond instants.
-    let queue_benches: [(&'static str, QueueBackend, usize, fn(&mut SimRng) -> u64); 8] = [
+    type QueueBench = (&'static str, QueueBackend, usize, fn(&mut SimRng) -> u64);
+    let queue_benches: [QueueBench; 8] = [
         ("queue_uniform_heap", QueueBackend::Heap, 1024, dt_uniform),
         ("queue_uniform_wheel", QueueBackend::Wheel, 1024, dt_uniform),
         ("queue_bursty_heap", QueueBackend::Heap, 1024, dt_bursty),

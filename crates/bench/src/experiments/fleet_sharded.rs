@@ -229,8 +229,8 @@ pub fn run(scale: Scale) -> String {
         let avail = shard.controller().availability_report(horizon);
         let c = shard.controller().cost_report(horizon);
         let counters = shard.controller().journal().counters();
-        revocations += avail.revocations as u64;
-        migrations += avail.migrations as u64;
+        revocations += avail.revocations;
+        migrations += avail.migrations;
         returns += counters.returns_completed;
         rerepl += counters.rereplications_completed;
         lost += counters.vms_lost;

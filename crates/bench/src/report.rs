@@ -120,7 +120,7 @@ impl PerfReport<'_> {
 }
 
 /// Escapes a string as a JSON string literal (quotes included).
-fn json_str(s: &str) -> String {
+pub fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -139,7 +139,7 @@ fn json_str(s: &str) -> String {
 }
 
 /// Formats a finite `f64` as a JSON number (non-finite values map to 0).
-fn json_f64(x: f64) -> String {
+pub fn json_f64(x: f64) -> String {
     if x.is_finite() {
         // `{}` on f64 is shortest-roundtrip and always contains a digit;
         // values like `1e300` are valid JSON numbers too.

@@ -982,6 +982,51 @@ impl CloudSim {
     pub fn instances(&self) -> impl Iterator<Item = &Instance> {
         self.instances.values()
     }
+
+    /// A 64-bit digest of the platform's dynamic state (instances, pending
+    /// operations, attachments, fault cursor, RNG streams).
+    ///
+    /// Two platforms that processed the same call sequence digest
+    /// identically; the engine folds this into its snapshot signature so a
+    /// restore that diverged anywhere in the platform is rejected rather
+    /// than silently trusted.
+    pub fn state_digest(&self) -> u64 {
+        let mut d = spotcheck_simcore::digest::Digest64::new();
+        d.write_usize(self.instances.len());
+        for inst in self.instances.values() {
+            d.write_u64(inst.id.0);
+            d.write_str(&format!("{:?}", inst.state));
+            d.write_bool(inst.revoked);
+            d.write_u64(inst.started_at.map(|t| t.as_micros()).unwrap_or(u64::MAX));
+            d.write_u64(inst.terminated_at.map(|t| t.as_micros()).unwrap_or(u64::MAX));
+            d.write_usize(inst.enis.len());
+            d.write_usize(inst.volumes.len());
+        }
+        d.write_usize(self.running.len());
+        for (m, set) in &self.spot_running {
+            d.write_str(&m.to_string());
+            d.write_usize(set.len());
+        }
+        d.write_usize(self.volumes.len());
+        d.write_usize(self.enis.len());
+        d.write_usize(self.ops.len());
+        for (op, pending) in &self.ops {
+            d.write_u64(op.0);
+            d.write_u64(pending.ready_at.as_micros());
+        }
+        d.write_usize(self.fault_cursor);
+        for w in self.rng.state_words() {
+            d.write_u64(w);
+        }
+        for w in self.fault_rng.state_words() {
+            d.write_u64(w);
+        }
+        d.write_u64(self.next_instance);
+        d.write_u64(self.next_volume);
+        d.write_u64(self.next_eni);
+        d.write_u64(self.next_op);
+        d.finish()
+    }
 }
 
 #[cfg(test)]

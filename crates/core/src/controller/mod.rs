@@ -738,6 +738,90 @@ impl Controller {
         self.pending_rerepl.len()
     }
 
+    /// Exclusive access to the journal (for configuring a spill sink or
+    /// flushing it; recording stays internal to the subsystems).
+    pub fn journal_mut(&mut self) -> &mut Journal {
+        &mut self.journal
+    }
+
+    /// Toggles the return-to-spot allocation policy at runtime.
+    ///
+    /// The flag is only consulted at each price-change event, so flipping
+    /// it between events is deterministic: a replayed run that flips it at
+    /// the same simulation instant sees identical sweeps.
+    pub fn set_return_to_spot(&mut self, enabled: bool) {
+        self.cfg.return_to_spot = enabled;
+    }
+
+    /// A 64-bit digest enumerating the controller's dynamic state at
+    /// `now`: every VM record, host occupancy, pools, migration/return
+    /// machinery, journal counters, accounting clocks, and the platform's
+    /// own [`CloudSim::state_digest`].
+    ///
+    /// Two controllers that processed the same event sequence digest
+    /// identically, so the engine uses this as the snapshot signature that
+    /// proves a replayed cold start converged to the original state.
+    pub fn state_signature(&self, now: SimTime) -> u64 {
+        let mut d = spotcheck_simcore::digest::Digest64::new();
+        d.write_u64(now.as_micros());
+        d.write_u64(self.next_customer);
+        d.write_u64(self.next_vm);
+        d.write_u64(self.next_migration);
+        d.write_u64(u64::from(self.repl_epoch));
+        d.write_usize(self.customers.len());
+        d.write_usize(self.vms.len());
+        for r in self.vms.values() {
+            d.write_u64(r.id.0);
+            d.write_u64(r.customer.0);
+            d.write_str(r.status.as_str());
+            d.write_bool(r.stateless);
+            d.write_u64(r.host.map(|h| h.0).unwrap_or(u64::MAX));
+            d.write_u64(r.backup.map(|b| b.0).unwrap_or(u64::MAX));
+            d.write_str(r.home_market.as_ref().map(|m| m.type_name.as_str()).unwrap_or(""));
+            d.write_u64(r.first_running_at.map(|t| t.as_micros()).unwrap_or(u64::MAX));
+            d.write_u64(
+                r.checkpoint_acked_at
+                    .map(|t| t.as_micros())
+                    .unwrap_or(u64::MAX),
+            );
+        }
+        d.write_usize(self.hosts.len());
+        for (id, info) in self.hosts.iter() {
+            d.write_u64(id.0);
+            d.write_usize(info.hv.resident_count());
+            d.write_str(info.market.as_ref().map(|m| m.type_name.as_str()).unwrap_or(""));
+        }
+        d.write_usize(self.spares.len());
+        for s in &self.spares {
+            d.write_u64(s.0);
+        }
+        d.write_usize(self.backups.server_count());
+        d.write_usize(self.backups.protected_count());
+        d.write_usize(self.op_ctx.len());
+        d.write_usize(self.migrations.len());
+        d.write_usize(self.returns.len());
+        d.write_usize(self.degraded_epoch.len());
+        d.write_usize(self.pending_rerepl.len());
+        d.write_usize(self.provision_pending.len());
+        d.write_usize(self.free_slot_hosts.len());
+        d.write_usize(self.od_hosted.len());
+        for (k, v) in self.journal.counters().pairs() {
+            d.write_str(k);
+            d.write_u64(v);
+        }
+        let avail = self.accounting.report(now);
+        d.write_usize(avail.vms);
+        d.write_f64(avail.unavailability);
+        d.write_f64(avail.degradation);
+        d.write_u64(avail.total_downtime.as_micros());
+        d.write_u64(avail.total_unprotected.as_micros());
+        d.write_u64(avail.revocations);
+        d.write_u64(avail.migrations);
+        d.write_u64(avail.lost_vms);
+        d.write_u64(self.cloud.state_digest());
+        d.finish()
+    }
+
     /// The private IP of a VM (stable across migrations).
     pub fn vm_ip(&self, vm: NestedVmId) -> Option<PrivateIp> {
         self.vms.get(&vm).map(|r| r.ip)

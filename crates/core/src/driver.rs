@@ -1,11 +1,16 @@
-//! The end-to-end simulation driver: wires the [`Controller`] into the
-//! discrete-event engine and exposes a synchronous façade for examples and
-//! tests.
+//! The end-to-end simulation driver: a synchronous façade for examples and
+//! tests over the stepped [`Engine`](crate::engine::Engine).
+//!
+//! [`SpotCheckSim`] is intentionally thin: every mutation routes through
+//! [`Engine::apply_quiet`](crate::engine::Engine::apply_quiet), so batch
+//! runs exercise exactly the command path the `spotcheckd` daemon replays —
+//! without adding command records to the journal (batch journal dumps stay
+//! byte-identical to the pre-engine driver).
 
-use spotcheck_cloudsim::cloud::{CloudConfig, CloudSim};
+use spotcheck_cloudsim::cloud::CloudConfig;
 use spotcheck_cloudsim::faults::FaultPlan;
 use spotcheck_nestedvm::vm::NestedVmId;
-use spotcheck_simcore::engine::{Scheduler, Simulation, StopReason, World};
+use spotcheck_simcore::engine::StopReason;
 use spotcheck_simcore::time::SimTime;
 use spotcheck_spotmarket::trace::PriceTrace;
 use spotcheck_workloads::WorkloadKind;
@@ -13,25 +18,11 @@ use spotcheck_workloads::WorkloadKind;
 use crate::accounting::AvailabilityReport;
 use crate::config::SpotCheckConfig;
 use crate::controller::{Controller, ControllerError, CostReport};
-use crate::events::Event;
+use crate::engine::{Command, CommandOutcome, Engine};
 use crate::journal::{Journal, ViolationReport};
 use crate::types::CustomerId;
 
-/// The [`World`] adapter around the controller.
-pub struct Driver {
-    controller: Controller,
-}
-
-impl World for Driver {
-    type Event = Event;
-
-    fn handle(&mut self, event: Event, sched: &mut Scheduler<'_, Event>) {
-        let out = self.controller.handle_event(event, sched.now());
-        for (t, e) in out {
-            sched.at(t, e);
-        }
-    }
-}
+pub use crate::engine::Driver;
 
 /// A complete SpotCheck deployment simulation.
 ///
@@ -53,7 +44,7 @@ impl World for Driver {
 /// let _ = vm;
 /// ```
 pub struct SpotCheckSim {
-    sim: Simulation<Driver>,
+    engine: Engine,
 }
 
 impl SpotCheckSim {
@@ -86,29 +77,38 @@ impl SpotCheckSim {
         config: SpotCheckConfig,
         cloud_cfg: CloudConfig,
     ) -> Self {
-        let cloud = CloudSim::new(traces, cloud_cfg);
-        let mut controller = Controller::new(cloud, config);
-        let boot = controller.bootstrap(SimTime::ZERO);
-        let mut sim = Simulation::new(Driver { controller });
-        for (t, e) in boot {
-            sim.schedule_at(t, e);
+        SpotCheckSim {
+            engine: Engine::from_parts(traces, config, cloud_cfg),
         }
-        SpotCheckSim { sim }
+    }
+
+    /// The underlying stepped engine (command injection, snapshots,
+    /// signatures).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Exclusive access to the underlying engine.
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
     }
 
     /// Current simulation time.
     pub fn now(&self) -> SimTime {
-        self.sim.now()
+        self.engine.now()
     }
 
     /// Access to the controller.
     pub fn controller(&self) -> &Controller {
-        self.sim.world().controller()
+        self.engine.controller()
     }
 
     /// Registers a customer.
     pub fn create_customer(&mut self) -> CustomerId {
-        self.sim.world_mut().controller_mut().create_customer()
+        match self.engine.apply_quiet(Command::CreateCustomer) {
+            Ok(CommandOutcome::Customer(id)) => id,
+            _ => unreachable!("create_customer is infallible"),
+        }
     }
 
     /// Requests a nested VM for `customer`; provisioning proceeds as the
@@ -125,17 +125,15 @@ impl SpotCheckSim {
         workload: WorkloadKind,
         stateless: bool,
     ) -> NestedVmId {
-        let now = self.sim.now();
-        let (vm, out) = self
-            .sim
-            .world_mut()
-            .controller_mut()
-            .request_server_opts(customer, workload, stateless, now)
-            .expect("request_server: customer must exist");
-        for (t, e) in out {
-            self.sim.schedule_at(t, e);
+        match self.engine.apply_quiet(Command::Provision {
+            customer,
+            workload,
+            stateless,
+        }) {
+            Ok(CommandOutcome::Vm(vm)) => vm,
+            Ok(_) => unreachable!("provision yields a VM on success"),
+            Err(_) => panic!("request_server: customer must exist"),
         }
-        vm
     }
 
     /// Releases a nested VM.
@@ -144,56 +142,37 @@ impl SpotCheckSim {
     ///
     /// Fails if the VM is unknown.
     pub fn release_server(&mut self, vm: NestedVmId) -> Result<(), ControllerError> {
-        let now = self.sim.now();
-        let out = self
-            .sim
-            .world_mut()
-            .controller_mut()
-            .release_server(vm, now)?;
-        for (t, e) in out {
-            self.sim.schedule_at(t, e);
-        }
-        Ok(())
+        self.engine.apply_quiet(Command::Release { vm }).map(|_| ())
     }
 
     /// Runs the simulation up to `horizon`.
     pub fn run_until(&mut self, horizon: SimTime) -> StopReason {
-        self.sim.run_until(horizon)
+        self.engine.step_until(horizon)
     }
 
     /// Availability/degradation report at the current time (read-only).
     pub fn availability_report(&self) -> AvailabilityReport {
-        self.sim
-            .world()
-            .controller()
-            .availability_report(self.sim.now())
+        self.engine.availability_report()
     }
 
     /// Cost report at the current time.
     pub fn cost_report(&self) -> CostReport {
-        self.sim.world().controller().cost_report(self.sim.now())
+        self.engine.cost_report()
     }
 
     /// The structured event journal of this run (always on).
     pub fn journal(&self) -> &Journal {
-        self.sim.world().controller().journal()
+        self.engine.journal()
+    }
+
+    /// Exclusive journal access (e.g. to open a JSONL spill sink).
+    pub fn journal_mut(&mut self) -> &mut Journal {
+        self.engine.journal_mut()
     }
 
     /// The 30 s-guarantee violation taxonomy of this run (derived from
     /// the journal's counters).
     pub fn violation_report(&self) -> ViolationReport {
         self.journal().violation_report()
-    }
-}
-
-impl Driver {
-    /// Shared controller access.
-    pub fn controller(&self) -> &Controller {
-        &self.controller
-    }
-
-    /// Exclusive controller access.
-    pub fn controller_mut(&mut self) -> &mut Controller {
-        &mut self.controller
     }
 }

@@ -314,6 +314,21 @@ pub enum Record {
         /// Milliseconds spent waiting in the admission queue.
         waited_ms: u64,
     },
+    /// An external command was injected into the engine (the daemon's
+    /// socket API). These records make the journal a complete replay tail:
+    /// cold start = snapshot + re-apply every journaled command after it.
+    Command {
+        /// Dense position in the engine's command log.
+        seq: u64,
+        /// The command kind (see `crate::engine::Command::kind`).
+        cmd: &'static str,
+        /// First encoded argument.
+        a: u64,
+        /// Second encoded argument.
+        b: u64,
+        /// Third encoded argument.
+        c: u64,
+    },
 }
 
 impl Record {
@@ -346,6 +361,7 @@ impl Record {
             Record::FallbackYank { .. } => "fallback_yank",
             Record::CommitQueued { .. } => "commit_queued",
             Record::CommitAdmitted { .. } => "commit_admitted",
+            Record::Command { .. } => "command",
         }
     }
 
@@ -441,6 +457,12 @@ impl Record {
                     mig.0, vm.0
                 );
             }
+            Record::Command { seq, cmd, a, b, c } => {
+                let _ = write!(
+                    s,
+                    r#", "seq": {seq}, "cmd": "{cmd}", "a": {a}, "b": {b}, "c": {c}"#
+                );
+            }
         }
     }
 }
@@ -454,6 +476,32 @@ pub struct Entry {
     pub subsystem: Subsystem,
     /// The typed record.
     pub record: Record,
+}
+
+impl Entry {
+    /// Appends this entry as a single-line JSON object (no surrounding
+    /// whitespace, no trailing newline). With `shard`, a `"shard"` member
+    /// follows `"t"` (the sharded fleet's merged-dump format).
+    ///
+    /// This is the one rendering used everywhere an entry serializes: the
+    /// in-memory dumps ([`Journal::to_json`], [`Journal::merged_json`])
+    /// and the JSONL spill sink, so the sink's lines are always parseable
+    /// as dump entries.
+    pub fn write_json_object(&self, s: &mut String, shard: Option<u16>) {
+        use std::fmt::Write as _;
+        let _ = write!(s, "{{\"t\": {:.6}", self.at.as_secs_f64());
+        if let Some(id) = shard {
+            let _ = write!(s, ", \"shard\": {id}");
+        }
+        let _ = write!(
+            s,
+            ", \"subsystem\": \"{}\", \"kind\": \"{}\"",
+            self.subsystem.as_str(),
+            self.record.kind()
+        );
+        self.record.write_json_fields(s);
+        s.push('}');
+    }
 }
 
 /// Exact counters over every record ever journaled (never capped).
@@ -495,6 +543,7 @@ pub struct JournalCounters {
     pub fallback_yanks: u64,
     pub commits_queued: u64,
     pub commit_queue_wait_ms: u64,
+    pub commands: u64,
 }
 
 impl JournalCounters {
@@ -536,6 +585,7 @@ impl JournalCounters {
             ("fallback_yanks", self.fallback_yanks),
             ("commits_queued", self.commits_queued),
             ("commit_queue_wait_ms", self.commit_queue_wait_ms),
+            ("commands", self.commands),
         ]
     }
 
@@ -586,6 +636,7 @@ impl JournalCounters {
             Record::FallbackYank { .. } => self.fallback_yanks += 1,
             Record::CommitQueued { .. } => self.commits_queued += 1,
             Record::CommitAdmitted { waited_ms, .. } => self.commit_queue_wait_ms += waited_ms,
+            Record::Command { .. } => self.commands += 1,
         }
     }
 }
@@ -645,13 +696,70 @@ impl ViolationReport {
 /// Default cap on stored records (counters are always exact).
 pub const DEFAULT_RECORD_CAP: usize = 65_536;
 
+/// An open JSONL spill sink.
+struct JournalSink {
+    writer: std::io::BufWriter<std::fs::File>,
+    /// Failed line writes (the journal itself never errors; losses are
+    /// counted and surfaced instead).
+    errors: u64,
+}
+
+impl JournalSink {
+    fn write_entry(&mut self, entry: &Entry) -> bool {
+        use std::io::Write as _;
+        let mut line = String::with_capacity(96);
+        entry.write_json_object(&mut line, None);
+        line.push('\n');
+        match self.writer.write_all(line.as_bytes()) {
+            Ok(()) => true,
+            Err(_) => {
+                self.errors += 1;
+                false
+            }
+        }
+    }
+}
+
 /// The structured event journal.
-#[derive(Debug, Clone)]
 pub struct Journal {
     entries: Vec<Entry>,
     counters: JournalCounters,
     cap: usize,
     dropped: u64,
+    /// Records that exceeded the in-memory cap but were preserved by the
+    /// spill sink (disjoint from `dropped`: a record is either stored,
+    /// spilled, or dropped).
+    spilled: u64,
+    sink: Option<JournalSink>,
+}
+
+// The sink holds an open file handle, so `Clone` (used by differential
+// harnesses to duplicate in-memory journals) yields a sink-less copy, and
+// `Debug` elides the writer.
+impl Clone for Journal {
+    fn clone(&self) -> Self {
+        Journal {
+            entries: self.entries.clone(),
+            counters: self.counters,
+            cap: self.cap,
+            dropped: self.dropped,
+            spilled: self.spilled,
+            sink: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal")
+            .field("entries", &self.entries.len())
+            .field("counters", &self.counters)
+            .field("cap", &self.cap)
+            .field("dropped", &self.dropped)
+            .field("spilled", &self.spilled)
+            .field("sink", &self.sink.is_some())
+            .finish()
+    }
 }
 
 impl Default for Journal {
@@ -668,6 +776,8 @@ impl Journal {
             counters: JournalCounters::default(),
             cap: DEFAULT_RECORD_CAP,
             dropped: 0,
+            spilled: 0,
+            sink: None,
         }
     }
 
@@ -679,15 +789,68 @@ impl Journal {
         }
     }
 
-    /// Appends a record (counters always update; storage respects the cap).
+    /// Opens (creating or truncating) a JSONL spill sink at `path`.
+    ///
+    /// Every record from here on is appended to the file as one JSON line
+    /// — including records past the in-memory cap, which makes the on-disk
+    /// journal complete for long-running replay where the ring alone would
+    /// be lossy. Records already stored in memory are backfilled first, so
+    /// a sink opened before any record was dropped captures the entire
+    /// run from t=0.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file cannot be created. Later per-line write failures
+    /// never panic or error the simulation; they are counted in
+    /// [`Journal::sink_errors`].
+    pub fn set_sink(&mut self, path: &std::path::Path) -> std::io::Result<()> {
+        let file = std::fs::File::create(path)?;
+        let mut sink = JournalSink {
+            writer: std::io::BufWriter::new(file),
+            errors: 0,
+        };
+        for e in &self.entries {
+            sink.write_entry(e);
+        }
+        self.sink = Some(sink);
+        Ok(())
+    }
+
+    /// Flushes the spill sink, if one is open (graceful-shutdown path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the flush failure.
+    pub fn flush_sink(&mut self) -> std::io::Result<()> {
+        use std::io::Write as _;
+        match &mut self.sink {
+            Some(s) => s.writer.flush(),
+            None => Ok(()),
+        }
+    }
+
+    /// True if a spill sink is currently open.
+    pub fn has_sink(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Appends a record (counters always update; storage respects the cap;
+    /// an open sink receives every record).
     pub fn record(&mut self, at: SimTime, subsystem: Subsystem, record: Record) {
         self.counters.count(&record);
+        let entry = Entry {
+            at,
+            subsystem,
+            record,
+        };
+        let written = match &mut self.sink {
+            Some(s) => s.write_entry(&entry),
+            None => false,
+        };
         if self.entries.len() < self.cap {
-            self.entries.push(Entry {
-                at,
-                subsystem,
-                record,
-            });
+            self.entries.push(entry);
+        } else if written {
+            self.spilled += 1;
         } else {
             self.dropped += 1;
         }
@@ -711,6 +874,16 @@ impl Journal {
     /// Records counted but not stored because the cap was reached.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Records past the in-memory cap that the spill sink preserved.
+    pub fn spilled(&self) -> u64 {
+        self.spilled
+    }
+
+    /// Sink line writes that failed (those records count as dropped).
+    pub fn sink_errors(&self) -> u64 {
+        self.sink.as_ref().map_or(0, |s| s.errors)
     }
 
     /// Exact counters over every record ever journaled.
@@ -748,20 +921,14 @@ impl Journal {
         }
         s.push_str("\n  },\n");
         let _ = writeln!(s, "  \"dropped\": {},", self.dropped);
+        let _ = writeln!(s, "  \"spilled\": {},", self.spilled);
         s.push_str("  \"entries\": [");
         for (i, e) in self.entries.iter().enumerate() {
             if i > 0 {
                 s.push(',');
             }
-            let _ = write!(
-                s,
-                "\n    {{\"t\": {:.6}, \"subsystem\": \"{}\", \"kind\": \"{}\"",
-                e.at.as_secs_f64(),
-                e.subsystem.as_str(),
-                e.record.kind()
-            );
-            e.record.write_json_fields(&mut s);
-            s.push('}');
+            s.push_str("\n    ");
+            e.write_json_object(&mut s, None);
         }
         s.push_str("\n  ]\n}\n");
         s
@@ -780,6 +947,7 @@ impl Journal {
         // future counter is merged automatically the day it is added.
         let mut counters: Vec<(&'static str, u64)> = Vec::new();
         let mut dropped = 0u64;
+        let mut spilled = 0u64;
         // (at, shard, per-shard index) is unique per entry and already the
         // merge order; each shard's entry slice is time-sorted, so a k-way
         // index walk would also do — a sort keeps the invariant explicit.
@@ -794,6 +962,7 @@ impl Journal {
                 }
             }
             dropped += j.dropped();
+            spilled += j.spilled();
             order.extend(j.entries().iter().enumerate().map(|(i, e)| (e.at, id, i)));
         }
         order.sort_unstable();
@@ -814,6 +983,7 @@ impl Journal {
         }
         s.push_str("\n  },\n");
         let _ = writeln!(s, "  \"dropped\": {dropped},");
+        let _ = writeln!(s, "  \"spilled\": {spilled},");
         s.push_str("  \"entries\": [");
         for (i, &(_, id, idx)) in order.iter().enumerate() {
             if i > 0 {
@@ -825,16 +995,8 @@ impl Journal {
                 .expect("shard id came from this set")
                 .1;
             let e = &j.entries()[idx];
-            let _ = write!(
-                s,
-                "\n    {{\"t\": {:.6}, \"shard\": {}, \"subsystem\": \"{}\", \"kind\": \"{}\"",
-                e.at.as_secs_f64(),
-                id,
-                e.subsystem.as_str(),
-                e.record.kind()
-            );
-            e.record.write_json_fields(&mut s);
-            s.push('}');
+            s.push_str("\n    ");
+            e.write_json_object(&mut s, Some(id));
         }
         s.push_str("\n  ]\n}\n");
         s
@@ -995,5 +1157,75 @@ mod tests {
         assert_eq!(j.of_subsystem(Subsystem::Pools).count(), 1);
         assert_eq!(j.of_kind("mig_completed").count(), 1);
         assert_eq!(j.of_kind("nope").count(), 0);
+    }
+
+    fn sink_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("spotcheck-journal-test-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn sink_captures_every_record_past_the_cap() {
+        let path = sink_path("spill");
+        let mut j = Journal::with_cap(2);
+        j.set_sink(&path).expect("create sink");
+        for i in 0..5 {
+            j.record(
+                SimTime::from_secs(i),
+                Subsystem::Pools,
+                Record::Effect(Effect::DetachEni),
+            );
+        }
+        j.flush_sink().expect("flush");
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.spilled(), 3);
+        assert_eq!(j.dropped(), 0);
+        assert_eq!(j.sink_errors(), 0);
+        let text = std::fs::read_to_string(&path).expect("read sink");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        for (i, line) in lines.iter().enumerate() {
+            assert!(line.starts_with(&format!("{{\"t\": {i}.000000, ")));
+            assert!(line.contains("\"kind\": \"detach_eni\""));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sink_backfills_already_stored_entries() {
+        let path = sink_path("backfill");
+        let mut j = Journal::new();
+        j.record(
+            SimTime::from_secs(1),
+            Subsystem::Pools,
+            Record::Effect(Effect::DetachEni),
+        );
+        j.set_sink(&path).expect("create sink");
+        j.record(
+            SimTime::from_secs(2),
+            Subsystem::Pools,
+            Record::Effect(Effect::DetachEni),
+        );
+        j.flush_sink().expect("flush");
+        let text = std::fs::read_to_string(&path).expect("read sink");
+        assert_eq!(text.lines().count(), 2);
+        // Sink lines are exactly the dump's entry objects.
+        let dump = j.to_json();
+        for line in text.lines() {
+            assert!(dump.contains(line), "dump missing sink line: {line}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn clone_detaches_the_sink() {
+        let path = sink_path("clone");
+        let mut j = Journal::new();
+        j.set_sink(&path).expect("create sink");
+        let copy = j.clone();
+        assert!(j.has_sink());
+        assert!(!copy.has_sink());
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -12,6 +12,10 @@
 //!   provisioning, backup assignment, revocation handling with
 //!   bounded-time migration and IP/EBS transparency, hot spares, and
 //!   return-to-spot allocation dynamics;
+//! - [`engine`] + [`snapshot`] — the resumable stepped engine behind both
+//!   the batch driver and the `spotcheckd` daemon: external command
+//!   injection, deterministic command-log replay, and crash-consistent
+//!   snapshot/restore;
 //! - [`accounting`] — per-VM availability and degradation clocks;
 //! - [`analysis`] — the §4.4 closed-form cost/availability model;
 //! - [`sim`] — the trace-driven policy simulator behind Figures 10-12 and
@@ -43,12 +47,14 @@ pub mod analysis;
 pub mod config;
 pub mod controller;
 pub mod driver;
+pub mod engine;
 pub mod events;
 pub mod journal;
 pub mod policy;
 pub mod retry;
 pub mod shardsim;
 pub mod sim;
+pub mod snapshot;
 pub mod types;
 
 pub use accounting::{Accounting, AvailabilityReport};
@@ -57,7 +63,9 @@ pub use config::SpotCheckConfig;
 pub use controller::{Controller, ControllerError, CostReport};
 pub use controller::{IllegalTransition, MigPhase, MigrationFsm};
 pub use driver::SpotCheckSim;
+pub use engine::{Command, CommandOutcome, Engine, Scenario, TimedCommand};
 pub use journal::{Journal, JournalCounters};
+pub use snapshot::{RestoreError, Snapshot, SnapshotError};
 pub use policy::{BiddingPolicy, MappingPolicy, PlacementPolicy};
 pub use retry::{HealthConfig, MarketHealth, ResilienceConfig, RetryPolicy};
 pub use sim::{run_policy, standard_traces, PolicyExperiment, PolicyReport};

@@ -1,0 +1,131 @@
+//! Black-box test of the `spotcheckd` binary: spawn it on an ephemeral
+//! port, drive the wire protocol over TCP, shut it down cleanly, then
+//! cold-start it with `--resume` against the state it left behind.
+
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+struct Spawned {
+    child: Child,
+    addr: String,
+}
+
+fn spawn_daemon(dir: &Path, extra: &[&str]) -> Spawned {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_spotcheckd"));
+    cmd.args([
+        "--addr",
+        "127.0.0.1:0",
+        "--accel",
+        "1000000",
+        "--days",
+        "1",
+        "--seed",
+        "42",
+        "--snapshot-dir",
+    ])
+    .arg(dir.join("snapshots"))
+    .arg("--journal-sink")
+    .arg(dir.join("journal.jsonl"))
+    .args(extra)
+    .stdout(Stdio::piped())
+    .stderr(Stdio::inherit());
+    let mut child = cmd.spawn().expect("spawn spotcheckd");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut first = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut first)
+        .expect("read banner");
+    let addr = first
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {first:?}"))
+        .to_string();
+    Spawned { child, addr }
+}
+
+fn roundtrip(stream: &mut TcpStream, request: &str) -> String {
+    stream
+        .write_all(format!("{request}\n").as_bytes())
+        .expect("send request");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut response = String::new();
+    reader.read_line(&mut response).expect("read response");
+    assert!(response.ends_with('\n'), "unterminated response");
+    response.trim_end().to_string()
+}
+
+fn wait_success(child: &mut Child) {
+    for _ in 0..200 {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            assert!(status.success(), "spotcheckd exited with {status}");
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    child.kill().ok();
+    panic!("spotcheckd did not exit within 10 s of shutdown");
+}
+
+fn scratch_dir() -> PathBuf {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("spotcheck-daemon-socket-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+#[test]
+fn daemon_serves_protocol_and_resumes() {
+    let dir = scratch_dir();
+
+    let mut spawned = spawn_daemon(&dir, &[]);
+    let mut stream = TcpStream::connect(&spawned.addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .expect("set timeout");
+
+    let status = roundtrip(&mut stream, r#"{"op": "status"}"#);
+    assert!(status.contains("\"ok\": true"), "{status}");
+
+    let customer = roundtrip(&mut stream, r#"{"op": "create_customer"}"#);
+    assert!(customer.contains("\"customer\": 0"), "{customer}");
+
+    let vm = roundtrip(
+        &mut stream,
+        r#"{"op": "provision", "customer": 0, "workload": "tpcw"}"#,
+    );
+    assert!(vm.contains("\"vm\": 0"), "{vm}");
+
+    let metrics = roundtrip(&mut stream, "GET metrics");
+    assert!(metrics.contains("\"availability_pct\""), "{metrics}");
+    assert!(metrics.contains("\"counters\""), "{metrics}");
+
+    let snap = roundtrip(&mut stream, r#"{"op": "snapshot"}"#);
+    assert!(snap.contains("\"path\""), "{snap}");
+
+    let bye = roundtrip(&mut stream, r#"{"op": "shutdown"}"#);
+    assert!(bye.contains("\"shutting_down\": true"), "{bye}");
+    wait_success(&mut spawned.child);
+
+    // The shutdown left a final snapshot + sink behind; a --resume
+    // cold-start must come up serving the continued state.
+    let mut revived = spawn_daemon(&dir, &["--resume"]);
+    let mut stream = TcpStream::connect(&revived.addr).expect("reconnect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .expect("set timeout");
+
+    let metrics = roundtrip(&mut stream, r#"{"op": "metrics"}"#);
+    assert!(metrics.contains("\"vms\": 1"), "resumed state lost the VM: {metrics}");
+    // The command log survived the restart: customer + provision.
+    assert!(metrics.contains("\"commands\": 2"), "{metrics}");
+
+    let bye = roundtrip(&mut stream, r#"{"op": "shutdown"}"#);
+    assert!(bye.contains("\"shutting_down\": true"), "{bye}");
+    wait_success(&mut revived.child);
+
+    std::fs::remove_dir_all(&dir).ok();
+}

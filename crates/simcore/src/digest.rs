@@ -1,0 +1,144 @@
+//! Incremental 64-bit state digests.
+//!
+//! A tiny, dependency-free hasher for fingerprinting simulation state:
+//! snapshot signatures, scenario digests, and differential checks all need
+//! a stable, order-sensitive checksum over heterogeneous fields (ids,
+//! counts, floats, labels). The construction is FNV-1a over the byte
+//! stream with a splitmix64 finalizer, which is plenty for corruption
+//! detection (these digests guard against *divergence*, not adversaries).
+//!
+//! The digest is deliberately order-sensitive: hashing the same fields in
+//! a different order yields a different value, so callers must enumerate
+//! state in a deterministic order (the simulation's own determinism
+//! discipline already guarantees one).
+
+/// An incremental 64-bit digest (FNV-1a core, splitmix64 finalizer).
+#[derive(Debug, Clone)]
+pub struct Digest64 {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for Digest64 {
+    fn default() -> Self {
+        Digest64::new()
+    }
+}
+
+impl Digest64 {
+    /// Creates a digest in its initial state.
+    pub fn new() -> Self {
+        Digest64 { state: FNV_OFFSET }
+    }
+
+    /// Feeds raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Feeds a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds a `usize` (as `u64`).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Feeds a boolean (as one byte).
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_bytes(&[u8::from(v)]);
+    }
+
+    /// Feeds an `f64` by its exact bit pattern (`-0.0` and `0.0` differ;
+    /// NaNs hash by payload — simulation state never holds NaN).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Feeds a string, length-prefixed so `("ab","c")` and `("a","bc")`
+    /// digest differently.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Finishes the digest (the accumulator survives, so more fields can
+    /// still be fed and `finish` called again).
+    pub fn finish(&self) -> u64 {
+        // splitmix64 finalizer: spreads the FNV accumulator's entropy over
+        // all 64 bits so truncations of the digest stay well-mixed.
+        let mut z = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// One-shot digest of a `u64` sequence.
+pub fn digest_u64s(values: impl IntoIterator<Item = u64>) -> u64 {
+    let mut d = Digest64::new();
+    for v in values {
+        d.write_u64(v);
+    }
+    d.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_order_sensitive() {
+        let mut a = Digest64::new();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = Digest64::new();
+        b.write_u64(1);
+        b.write_u64(2);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = Digest64::new();
+        c.write_u64(2);
+        c.write_u64(1);
+        assert_ne!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn strings_are_length_prefixed() {
+        let mut a = Digest64::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = Digest64::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn float_bits_distinguish_signed_zero() {
+        let mut a = Digest64::new();
+        a.write_f64(0.0);
+        let mut b = Digest64::new();
+        b.write_f64(-0.0);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn one_shot_helper_matches_incremental() {
+        let mut d = Digest64::new();
+        d.write_u64(7);
+        d.write_u64(9);
+        assert_eq!(digest_u64s([7, 9]), d.finish());
+    }
+
+    #[test]
+    fn empty_digest_is_stable() {
+        assert_eq!(Digest64::new().finish(), Digest64::new().finish());
+    }
+}

@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod bitset;
+pub mod digest;
 pub mod dist;
 pub mod engine;
 pub mod fluid;

@@ -66,6 +66,16 @@ static DEFAULT_BACKEND: AtomicU8 = AtomicU8::new(0);
 /// exposed so the experiments CLI (`--queue`) and the differential tests
 /// can switch an entire simulation run without plumbing a parameter
 /// through every constructor.
+///
+/// # Long-running hosts
+///
+/// The default is latched by each [`EventQueue::new`] at construction
+/// time: rebinding it never reconfigures an existing queue, only queues
+/// built afterwards. A daemon hosting several engine lifetimes should
+/// treat this as a construction-time default — pin the backend explicitly
+/// per engine (via [`EventQueue::with_backend`]) so a later rebind, e.g.
+/// by a concurrently running bench harness in the same process, cannot
+/// make two engines of one deployment disagree about their configuration.
 pub fn set_default_backend(backend: QueueBackend) {
     let v = match backend {
         QueueBackend::Wheel => 0,

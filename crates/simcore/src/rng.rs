@@ -53,6 +53,13 @@ impl SimRng {
         SimRng { s }
     }
 
+    /// The generator's current internal state words (for state digests and
+    /// snapshot signatures; the state cannot be set back directly — replay
+    /// reconstructs it by re-deriving the same draw sequence).
+    pub fn state_words(&self) -> [u64; 4] {
+        self.s
+    }
+
     /// Derives an independent child stream identified by `stream`.
     ///
     /// Forking with distinct stream ids yields decorrelated generators;

@@ -389,9 +389,8 @@ mod tests {
         };
         let mut w = TimingWheel::new();
         let mut reference: Vec<(u64, u64)> = Vec::new();
-        let mut seq = 0u64;
         let mut last_pop = 0u64;
-        for round in 0..2_000 {
+        for seq in 0..2_000u64 {
             let r = next();
             let dt = match r % 5 {
                 0 => 0,
@@ -403,8 +402,7 @@ mod tests {
             let t = last_pop + dt;
             w.push(t, seq, seq as u32);
             reference.push((t, seq));
-            seq += 1;
-            if round % 3 == 0 {
+            if seq % 3 == 0 {
                 if let Some((t, payload)) = w.pop() {
                     reference.sort();
                     let (rt, rs) = reference.remove(0);

@@ -1,0 +1,72 @@
+//! A minimal `spotcheckd` client: drives the daemon's line-delimited JSON
+//! protocol over TCP with nothing but the standard library.
+//!
+//! Start the daemon in one terminal:
+//!
+//! ```text
+//! cargo run -p spotcheck-service --release --bin spotcheckd -- \
+//!     --addr 127.0.0.1:7077 --accel 10000 --days 7
+//! ```
+//!
+//! then run this client in another:
+//!
+//! ```text
+//! cargo run --release --example daemon_client                  # default addr
+//! cargo run --release --example daemon_client 127.0.0.1:7077
+//! ```
+//!
+//! The client registers a customer, provisions two nested VMs (one
+//! stateful, one stateless), polls live metrics twice a second for five
+//! seconds of wall time, and asks the daemon for a snapshot — leaving it
+//! running for other clients.
+
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn roundtrip(stream: &mut TcpStream, request: &str) -> std::io::Result<String> {
+    stream.write_all(request.as_bytes())?;
+    stream.write_all(b"\n")?;
+    let mut response = String::new();
+    BufReader::new(stream.try_clone()?).read_line(&mut response)?;
+    Ok(response.trim_end().to_string())
+}
+
+fn main() -> std::io::Result<()> {
+    let addr = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "127.0.0.1:7077".to_string());
+    let mut stream = TcpStream::connect(&addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    println!("connected to spotcheckd at {addr}");
+
+    let status = roundtrip(&mut stream, r#"{"op": "status"}"#)?;
+    println!("status     <- {status}");
+
+    let customer = roundtrip(&mut stream, r#"{"op": "create_customer"}"#)?;
+    println!("customer   <- {customer}");
+
+    // The daemon assigns customer ids densely from 0; a fresh daemon gave
+    // us customer 0. A robust client would parse the response.
+    let vm = roundtrip(
+        &mut stream,
+        r#"{"op": "provision", "customer": 0, "workload": "tpcw"}"#,
+    )?;
+    println!("vm         <- {vm}");
+    let vm = roundtrip(
+        &mut stream,
+        r#"{"op": "provision", "customer": 0, "workload": "specjbb", "stateless": true}"#,
+    )?;
+    println!("stateless  <- {vm}");
+
+    for _ in 0..10 {
+        std::thread::sleep(Duration::from_millis(500));
+        let metrics = roundtrip(&mut stream, "GET metrics")?;
+        println!("metrics    <- {metrics}");
+    }
+
+    let snap = roundtrip(&mut stream, r#"{"op": "snapshot"}"#)?;
+    println!("snapshot   <- {snap}");
+    println!("done; daemon left running");
+    Ok(())
+}
