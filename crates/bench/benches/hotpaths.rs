@@ -19,6 +19,10 @@
 //!   batches, and far-future pushes that land in the wheel's overflow level
 //! - the sharded engine's cross-shard channel: epoch barrier + Lamport
 //!   flush cost at rising message volume (idle barriers vs flooded ones)
+//! - trace-archive ingest on a million-point trace: the historical
+//!   line-at-a-time CSV parser vs the byte scanner vs the columnar `.stl`
+//!   decoder, plus `TraceCursor` vs per-lookup binary search on the
+//!   monotone price-query stream the simulation issues
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -33,6 +37,9 @@ use spotcheck_simcore::shard::{
     set_pool_enabled, set_shard_workers, ShardCtx, ShardId, ShardWorld, ShardedSim,
 };
 use spotcheck_simcore::time::{SimDuration, SimTime};
+use spotcheck_bench::experiments::trace_library::reference_from_csv;
+use spotcheck_simcore::series::StepSeries;
+use spotcheck_spotmarket::archive::{TraceCursor, TraceLibrary};
 use spotcheck_spotmarket::generator::TraceGenerator;
 use spotcheck_spotmarket::market::MarketId;
 use spotcheck_spotmarket::profiles::profile_for;
@@ -216,6 +223,22 @@ fn shard_flush_cfg(shards: u16, per_tick: usize, epochs: u64, workers: usize, po
     sim.worlds().map(|w| w.received).sum()
 }
 
+/// A synthetic million-point trace (generator profiles top out around
+/// tens of thousands of change points per market, so the archive rows
+/// build their own). Prices are quantized to 4 decimals like the
+/// generator's, so the CSV fast path is representative.
+fn million_point_trace() -> PriceTrace {
+    let mut rng = SimRng::seed(0xA2C4);
+    let mut s = StepSeries::new();
+    let mut t = 0u64;
+    for _ in 0..1_000_000 {
+        t += rng.gen_range(1_000_000, 600_000_000); // 1 s .. 10 min apart
+        let p = rng.gen_range(1, 100_000) as f64 / 10_000.0;
+        s.push(SimTime::from_micros(t), p);
+    }
+    PriceTrace::new(MarketId::new("m3.large", "us-east-1a"), 0.14, s)
+}
+
 fn six_month_trace() -> PriceTrace {
     let profile = profile_for("m3.large").expect("catalog").profile;
     let mut rng = SimRng::seed(0xBEEF);
@@ -337,6 +360,70 @@ fn main() {
         if wanted(name) {
             reports.push(bench(name, || {
                 shard_flush_cfg(8, per_tick, SHARD_EPOCHS, 4, pool)
+            }));
+        }
+    }
+
+    // Archive ingest: one million-point trace through the three loaders.
+    // The inputs are built lazily so cheap filtered runs skip the setup.
+    let archive_wanted = ["csv_parse_reference_1m", "csv_parse_scanner_1m", "stl_load_1m"]
+        .iter()
+        .any(|n| wanted(n));
+    if archive_wanted {
+        let big = million_point_trace();
+        let csv = big.to_csv();
+        let stl = TraceLibrary::new(vec![big])
+            .expect("single market")
+            .to_bytes();
+        println!(
+            "archive input: 1M points, csv {} bytes, stl {} bytes",
+            csv.len(),
+            stl.len()
+        );
+        if wanted("csv_parse_reference_1m") {
+            reports.push(bench("csv_parse_reference_1m", || {
+                reference_from_csv(&csv).expect("reference parse")
+            }));
+        }
+        if wanted("csv_parse_scanner_1m") {
+            reports.push(bench("csv_parse_scanner_1m", || {
+                PriceTrace::from_csv(&csv).expect("scanner parse")
+            }));
+        }
+        if wanted("stl_load_1m") {
+            reports.push(bench("stl_load_1m", || {
+                TraceLibrary::from_bytes(&stl).expect("stl decode")
+            }));
+        }
+    }
+
+    // Price lookups on the monotone query stream the simulation issues:
+    // the cursor's amortized-O(1) walk vs a fresh binary search per call.
+    if wanted("price_at_cursor_monotone") || wanted("price_at_bsearch_monotone") {
+        let big = million_point_trace();
+        let start = big.prices.start().expect("non-empty").as_micros();
+        let end = big.prices.end().expect("non-empty").as_micros();
+        let step = (end - start) / 200_000;
+        let queries: Vec<SimTime> = (0..200_000u64)
+            .map(|i| SimTime::from_micros(start + i * step))
+            .collect();
+        if wanted("price_at_cursor_monotone") {
+            reports.push(bench("price_at_cursor_monotone", || {
+                let cursor = TraceCursor::new();
+                let mut sum = 0.0;
+                for &t in &queries {
+                    sum += cursor.price_at(&big, t).unwrap_or(0.0);
+                }
+                sum
+            }));
+        }
+        if wanted("price_at_bsearch_monotone") {
+            reports.push(bench("price_at_bsearch_monotone", || {
+                let mut sum = 0.0;
+                for &t in &queries {
+                    sum += big.prices.value_at(t).unwrap_or(0.0);
+                }
+                sum
             }));
         }
     }

@@ -174,6 +174,10 @@ fn main() -> ExitCode {
         .scaling
         .then(|| spotcheck_bench::run_scaling(args.scale));
 
+    // Deposited by the `trace_library` experiment when it ran (its
+    // throughput is measured inside the run, like the scaling sweep's).
+    let ingest = spotcheck_bench::experiments::trace_library::last_report();
+
     if args.json {
         let report = PerfReport {
             scale: args.scale,
@@ -184,6 +188,7 @@ fn main() -> ExitCode {
             fast_forward: args.fast_forward,
             total_wall,
             scaling: scaling.as_ref(),
+            trace_library: ingest.as_ref(),
             results: &results,
         };
         let json = report.to_json();

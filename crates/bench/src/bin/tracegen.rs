@@ -5,12 +5,18 @@
 //! tracegen stats traces/m3.medium@us-east-1a.csv           # inspect one
 //! tracegen policy traces/                                  # run the Table-2
 //!                                                          # policies on CSVs
+//! tracegen pack traces/ archive.stl [--threads N]          # CSVs -> columnar
+//! tracegen unpack archive.stl traces/                      # columnar -> CSVs
+//! tracegen info archive.stl                                # index summary
 //! ```
 //!
 //! The CSV format is the library's own (`PriceTrace::to_csv`): a
 //! `# market=<type>@<zone> od=<price>` header plus `time_secs,price`
 //! lines. Real archives (e.g. scraped EC2 history) can be converted to
-//! this format and fed straight into the policy simulator.
+//! this format and fed straight into the policy simulator. `pack` bundles
+//! a CSV directory into the digest-protected `.stl` columnar format
+//! (`spotmarket::archive`), which reloads an order of magnitude faster;
+//! `unpack` reverses it byte-exactly.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -19,6 +25,7 @@ use spotcheck_core::policy::MappingPolicy;
 use spotcheck_core::sim::{run_policy, standard_traces, PolicyExperiment};
 use spotcheck_migrate::mechanisms::MechanismKind;
 use spotcheck_simcore::time::{SimDuration, SimTime};
+use spotcheck_spotmarket::archive::{read_index, TraceLibrary};
 use spotcheck_spotmarket::trace::PriceTrace;
 
 fn main() -> ExitCode {
@@ -27,11 +34,17 @@ fn main() -> ExitCode {
         Some("generate") => generate(&args[1..]),
         Some("stats") => stats(&args[1..]),
         Some("policy") => policy(&args[1..]),
+        Some("pack") => pack(&args[1..]),
+        Some("unpack") => unpack(&args[1..]),
+        Some("info") => info(&args[1..]),
         _ => {
             eprintln!(
                 "usage: tracegen generate [--days N] [--seed N] [--out DIR]\n\
                  |      tracegen stats FILE.csv\n\
-                 |      tracegen policy DIR"
+                 |      tracegen policy DIR\n\
+                 |      tracegen pack DIR OUT.stl [--threads N]\n\
+                 |      tracegen unpack IN.stl DIR\n\
+                 |      tracegen info IN.stl"
             );
             ExitCode::FAILURE
         }
@@ -165,6 +178,106 @@ fn policy(args: &[String]) -> ExitCode {
             r.avg_cost_per_vm_hr,
             r.availability_pct,
             r.revocations_per_vm
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn pack(args: &[String]) -> ExitCode {
+    let (Some(dir), Some(out)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: tracegen pack DIR OUT.stl [--threads N]");
+        return ExitCode::FAILURE;
+    };
+    if let Some(n) = flag(args, "--threads").and_then(|s| s.parse().ok()) {
+        spotcheck_simcore::parallel::set_max_threads(n);
+    }
+    let lib = match TraceLibrary::ingest_csv_dir(Path::new(dir)) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if lib.is_empty() {
+        eprintln!("no .csv traces found in {dir}");
+        return ExitCode::FAILURE;
+    }
+    let out = Path::new(out);
+    if let Err(e) = lib.write_stl(out) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    let bytes = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "packed {} markets, {} points -> {} ({} bytes)",
+        lib.len(),
+        lib.total_points(),
+        out.display(),
+        bytes
+    );
+    ExitCode::SUCCESS
+}
+
+fn unpack(args: &[String]) -> ExitCode {
+    let (Some(input), Some(dir)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: tracegen unpack IN.stl DIR");
+        return ExitCode::FAILURE;
+    };
+    let lib = match TraceLibrary::read_stl(Path::new(input)) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let dir = PathBuf::from(dir);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    for t in lib.traces() {
+        let path = dir.join(format!("{}.csv", t.market));
+        if let Err(e) = std::fs::write(&path, t.to_csv()) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    println!(
+        "unpacked {} markets, {} points -> {}",
+        lib.len(),
+        lib.total_points(),
+        dir.display()
+    );
+    ExitCode::SUCCESS
+}
+
+fn info(args: &[String]) -> ExitCode {
+    let Some(input) = args.first() else {
+        eprintln!("usage: tracegen info IN.stl");
+        return ExitCode::FAILURE;
+    };
+    // `read_index` verifies the integrity digest but decodes no blocks,
+    // so this stays fast on multi-million-point archives.
+    let summaries = match read_index(Path::new(input)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let total: usize = summaries.iter().map(|s| s.points).sum();
+    println!("{}: {} markets, {} points, digest ok", input, summaries.len(), total);
+    for s in &summaries {
+        let span = s
+            .span
+            .map(|(a, b)| format!("{} .. {}", a, b))
+            .unwrap_or_else(|| "(empty)".to_string());
+        println!(
+            "  {:<28} {:>9} points  od ${:<8} {}",
+            s.market.to_string(),
+            s.points,
+            s.on_demand_price,
+            span
         );
     }
     ExitCode::SUCCESS

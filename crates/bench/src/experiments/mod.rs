@@ -12,6 +12,7 @@ pub mod fleet_sharded;
 pub mod policy;
 pub mod table1;
 pub mod table2;
+pub mod trace_library;
 
 /// Experiment fidelity: `Full` reproduces the paper's scales (six-month
 /// traces); `Quick` shrinks horizons for smoke tests and criterion.
@@ -199,6 +200,11 @@ const REGISTRY: &[(&str, &str, Runner)] = &[
         "fleet_sharded",
         "Sharded fleet: per-AZ controller shards with cross-shard gossip",
         fleet_sharded::run,
+    ),
+    (
+        "trace_library",
+        "Trace library: columnar archive ingest vs CSV + policy grid",
+        trace_library::run,
     ),
 ];
 

@@ -11,6 +11,7 @@
 use spotcheck_simcore::queue::QueueBackend;
 
 use crate::experiments::fleet_sharded::ScalingReport;
+use crate::experiments::trace_library::IngestReport;
 use crate::experiments::{ExperimentResult, Scale};
 
 /// A performance report over one harness invocation.
@@ -35,6 +36,9 @@ pub struct PerfReport<'a> {
     pub total_wall: std::time::Duration,
     /// The measured `fleet_scaling` sweep, when `--scaling` ran one.
     pub scaling: Option<&'a ScalingReport>,
+    /// The archive-ingest measurements, when the `trace_library`
+    /// experiment ran.
+    pub trace_library: Option<&'a IngestReport>,
     /// The instrumented results, in registry order.
     pub results: &'a [ExperimentResult],
 }
@@ -94,6 +98,34 @@ impl PerfReport<'_> {
                 ));
             }
             out.push_str("    ]\n  },\n");
+        }
+        if let Some(ingest) = self.trace_library {
+            out.push_str("  \"trace_library\": {\n");
+            out.push_str(&format!("    \"markets\": {},\n", ingest.markets));
+            out.push_str(&format!("    \"points\": {},\n", ingest.points));
+            out.push_str(&format!("    \"csv_bytes\": {},\n", ingest.csv_bytes));
+            out.push_str(&format!("    \"stl_bytes\": {},\n", ingest.stl_bytes));
+            out.push_str(&format!(
+                "    \"csv_reference_secs\": {},\n",
+                json_f64(ingest.csv_reference_secs)
+            ));
+            out.push_str(&format!(
+                "    \"csv_ingest_secs\": {},\n",
+                json_f64(ingest.csv_ingest_secs)
+            ));
+            out.push_str(&format!(
+                "    \"stl_write_secs\": {},\n",
+                json_f64(ingest.stl_write_secs)
+            ));
+            out.push_str(&format!(
+                "    \"stl_load_secs\": {},\n",
+                json_f64(ingest.stl_load_secs)
+            ));
+            out.push_str(&format!(
+                "    \"stl_load_speedup\": {}\n",
+                json_f64(ingest.stl_speedup())
+            ));
+            out.push_str("  },\n");
         }
         let total_events: u64 = self.results.iter().map(|r| r.events).sum();
         out.push_str(&format!("  \"total_events\": {total_events},\n"));
@@ -196,6 +228,7 @@ mod tests {
             fast_forward: true,
             total_wall: std::time::Duration::from_millis(12),
             scaling: None,
+            trace_library: None,
             results: &results,
         };
         let json = report.to_json();
@@ -247,11 +280,23 @@ mod tests {
             fast_forward: false,
             total_wall: std::time::Duration::from_millis(12),
             scaling: Some(&scaling),
+            trace_library: Some(&IngestReport {
+                markets: 216,
+                points: 9_000_000,
+                csv_bytes: 220_000_000,
+                stl_bytes: 100_000_000,
+                csv_reference_secs: 10.0,
+                csv_ingest_secs: 1.5,
+                stl_write_secs: 0.5,
+                stl_load_secs: 0.4,
+            }),
             results: &results,
         };
         let json = report.to_json();
         assert!(json.contains("\"pool\": false, \"fast_forward\": false"));
         assert!(json.contains("\"fleet_scaling\": {"));
+        assert!(json.contains("\"trace_library\": {"));
+        assert!(json.contains("\"stl_load_speedup\": 25.0"));
         assert!(json.contains("\"host_parallelism\": 8"));
         assert!(json.contains("\"workers\": 2"));
         assert!(json.contains("\"speedup\": 1."));

@@ -1,0 +1,184 @@
+//! End-to-end `tracegen` archive round-trip: CSV traces pack into a
+//! `.stl` library and unpack back byte-identically, the packed bytes are
+//! independent of the ingest worker count, and the in-process loader
+//! agrees with the CLI point-for-point.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use spotcheck_spotmarket::archive::{read_index, TraceLibrary};
+use spotcheck_spotmarket::trace::PriceTrace;
+
+fn tracegen() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tracegen"))
+}
+
+/// A scratch directory unique to this test binary invocation.
+fn scratch(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "spotcheck-archive-roundtrip-{}-{label}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn run_ok(cmd: &mut Command) -> String {
+    let out = cmd.output().expect("spawn tracegen");
+    assert!(
+        out.status.success(),
+        "tracegen failed: {}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 stdout")
+}
+
+/// Every `*.csv` in `dir`, sorted by file name, as `(name, bytes)`.
+fn csv_files(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut out: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+        .expect("read scratch dir")
+        .flatten()
+        .filter(|e| e.path().extension().map(|x| x == "csv").unwrap_or(false))
+        .map(|e| {
+            let name = e.file_name().to_string_lossy().into_owned();
+            (name, std::fs::read(e.path()).expect("read csv"))
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn pack_unpack_roundtrips_csv_byte_identically() {
+    let root = scratch("roundtrip");
+    let src = root.join("src");
+    let back = root.join("back");
+    let stl = root.join("lib.stl");
+
+    run_ok(tracegen().args([
+        "generate",
+        "--days",
+        "3",
+        "--seed",
+        "7",
+        "--out",
+        src.to_str().unwrap(),
+    ]));
+    let packed = run_ok(tracegen().args([
+        "pack",
+        src.to_str().unwrap(),
+        stl.to_str().unwrap(),
+    ]));
+    assert!(packed.contains("packed 4 markets"), "{packed}");
+    run_ok(tracegen().args([
+        "unpack",
+        stl.to_str().unwrap(),
+        back.to_str().unwrap(),
+    ]));
+
+    let a = csv_files(&src);
+    let b = csv_files(&back);
+    assert_eq!(a.len(), 4, "expected the m3 family");
+    assert_eq!(
+        a.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+        b.iter().map(|(n, _)| n).collect::<Vec<_>>()
+    );
+    for ((name, orig), (_, rt)) in a.iter().zip(&b) {
+        assert_eq!(orig, rt, "{name} changed across pack/unpack");
+    }
+
+    // The in-process loader agrees with the CLI, point for point.
+    let lib = TraceLibrary::read_stl(&stl).expect("read_stl");
+    assert_eq!(lib.len(), 4);
+    for (name, bytes) in &a {
+        let parsed = PriceTrace::from_csv(std::str::from_utf8(bytes).unwrap()).unwrap();
+        let loaded = lib.get(&parsed.market).unwrap_or_else(|| {
+            panic!("{name}: market missing from library")
+        });
+        assert_eq!(loaded.on_demand_price.to_bits(), parsed.on_demand_price.to_bits());
+        assert_eq!(loaded.prices.points(), parsed.prices.points(), "{name}");
+    }
+
+    // `info` verifies the digest without decoding blocks.
+    let info = run_ok(tracegen().args(["info", stl.to_str().unwrap()]));
+    assert!(info.contains("4 markets"), "{info}");
+    assert!(info.contains("digest ok"), "{info}");
+    let summaries = read_index(&stl).expect("read_index");
+    assert_eq!(summaries.len(), 4);
+    assert_eq!(
+        summaries.iter().map(|s| s.points).sum::<usize>(),
+        lib.total_points()
+    );
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn pack_is_byte_identical_across_worker_counts() {
+    let root = scratch("threads");
+    let src = root.join("src");
+    run_ok(tracegen().args([
+        "generate",
+        "--days",
+        "2",
+        "--seed",
+        "11",
+        "--out",
+        src.to_str().unwrap(),
+    ]));
+    let mut archives = Vec::new();
+    for threads in ["1", "4"] {
+        let stl = root.join(format!("lib-{threads}.stl"));
+        run_ok(tracegen().args([
+            "pack",
+            src.to_str().unwrap(),
+            stl.to_str().unwrap(),
+            "--threads",
+            threads,
+        ]));
+        archives.push(std::fs::read(&stl).expect("read archive"));
+    }
+    assert_eq!(
+        archives[0], archives[1],
+        "packed archive differs between --threads 1 and --threads 4"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn corrupted_archive_is_rejected_by_the_cli() {
+    let root = scratch("corrupt");
+    let src = root.join("src");
+    let stl = root.join("lib.stl");
+    run_ok(tracegen().args([
+        "generate",
+        "--days",
+        "1",
+        "--seed",
+        "3",
+        "--out",
+        src.to_str().unwrap(),
+    ]));
+    run_ok(tracegen().args([
+        "pack",
+        src.to_str().unwrap(),
+        stl.to_str().unwrap(),
+    ]));
+    let mut bytes = std::fs::read(&stl).expect("read archive");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&stl, &bytes).expect("rewrite corrupted");
+    let out = tracegen()
+        .args(["info", stl.to_str().unwrap()])
+        .output()
+        .expect("spawn tracegen");
+    assert!(
+        !out.status.success(),
+        "tracegen info accepted a corrupted archive"
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("digest"), "unexpected error: {err}");
+    let _ = std::fs::remove_dir_all(&root);
+}

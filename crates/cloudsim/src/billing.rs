@@ -59,11 +59,15 @@ pub fn spot_cost(
             trace.mean_capped_price(bid, start, end).unwrap_or(0.0) * hours
         }
         BillingMode::HourlySpot2014 => {
+            // Hour starts advance monotonically, so a local cursor turns
+            // the per-hour binary searches into one forward walk over the
+            // billed window's change points.
+            let cursor = spotcheck_spotmarket::archive::TraceCursor::new();
             let mut cost = 0.0;
             let mut hour_start = start;
             loop {
                 let hour_end = hour_start + spotcheck_simcore::time::SimDuration::from_hours(1);
-                let price = trace.price_at(hour_start).unwrap_or(0.0).min(bid);
+                let price = cursor.price_at(trace, hour_start).unwrap_or(0.0).min(bid);
                 if hour_end <= end {
                     // Full hour used.
                     cost += price;

@@ -14,6 +14,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use spotcheck_simcore::rng::SimRng;
 use spotcheck_simcore::slab::IdMap;
 use spotcheck_simcore::time::{SimDuration, SimTime};
+use spotcheck_spotmarket::archive::TraceCursor;
 use spotcheck_spotmarket::market::{MarketId, ZoneName};
 use spotcheck_spotmarket::trace::PriceTrace;
 
@@ -165,11 +166,21 @@ struct PendingOp {
     ready_at: SimTime,
 }
 
+/// One loaded spot market: its price trace plus a [`TraceCursor`] so the
+/// hot per-market lookups (`spot_price`, price-change re-arms) walk
+/// forward with the simulation clock instead of binary-searching the
+/// whole series every call.
+#[derive(Debug)]
+struct MarketEntry {
+    trace: PriceTrace,
+    cursor: TraceCursor,
+}
+
 /// The simulated native IaaS platform.
 pub struct CloudSim {
     config: CloudConfig,
     catalog: BTreeMap<String, InstanceSpec>,
-    markets: BTreeMap<MarketId, PriceTrace>,
+    markets: BTreeMap<MarketId, MarketEntry>,
     instances: IdMap<InstanceId, Instance>,
     /// Instances currently in `Running` state, in id order. Terminated
     /// instances stay in `instances` forever (billing history), so fault
@@ -209,7 +220,18 @@ impl CloudSim {
         CloudSim {
             config,
             catalog,
-            markets: traces.into_iter().map(|t| (t.market.clone(), t)).collect(),
+            markets: traces
+                .into_iter()
+                .map(|t| {
+                    (
+                        t.market.clone(),
+                        MarketEntry {
+                            trace: t,
+                            cursor: TraceCursor::new(),
+                        },
+                    )
+                })
+                .collect(),
             instances: IdMap::new(),
             running: BTreeSet::new(),
             spot_running: BTreeMap::new(),
@@ -246,12 +268,22 @@ impl CloudSim {
 
     /// Returns the price trace of a market, if loaded.
     pub fn market_trace(&self, market: &MarketId) -> Option<&PriceTrace> {
-        self.markets.get(market)
+        self.markets.get(market).map(|e| &e.trace)
     }
 
-    /// Returns the current spot price in a market.
+    /// Returns the current spot price in a market (cursor-accelerated;
+    /// identical to `trace.price_at(now)`).
     pub fn spot_price(&self, market: &MarketId, now: SimTime) -> Option<f64> {
-        self.markets.get(market)?.price_at(now)
+        let e = self.markets.get(market)?;
+        e.cursor.price_at(&e.trace, now)
+    }
+
+    /// Returns the first price change in `market` strictly after `now`
+    /// (cursor-accelerated; identical to
+    /// `trace.prices.next_change_after(now)`).
+    pub fn next_change_after(&self, market: &MarketId, now: SimTime) -> Option<(SimTime, f64)> {
+        let e = self.markets.get(market)?;
+        e.cursor.next_change_after(&e.trace, now)
     }
 
     /// Returns the earliest price change strictly after `now` across all
@@ -259,7 +291,11 @@ impl CloudSim {
     pub fn next_price_change_after(&self, now: SimTime) -> Option<(SimTime, MarketId)> {
         self.markets
             .iter()
-            .filter_map(|(id, t)| t.prices.next_change_after(now).map(|(at, _)| (at, id.clone())))
+            .filter_map(|(id, e)| {
+                e.cursor
+                    .next_change_after(&e.trace, now)
+                    .map(|(at, _)| (at, id.clone()))
+            })
             .min_by_key(|(at, _)| *at)
     }
 
@@ -969,11 +1005,18 @@ impl CloudSim {
                 let market = inst.market().ok_or_else(|| {
                     CloudError::InvalidState(format!("spot instance {id} has no market"))
                 })?;
-                let trace = self
+                let entry = self
                     .markets
                     .get(&market)
                     .ok_or_else(|| CloudError::UnknownMarket(market.to_string()))?;
-                Ok(spot_cost(trace, start, end, bid, inst.revoked, self.config.billing))
+                Ok(spot_cost(
+                    &entry.trace,
+                    start,
+                    end,
+                    bid,
+                    inst.revoked,
+                    self.config.billing,
+                ))
             }
         }
     }

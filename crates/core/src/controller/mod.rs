@@ -264,10 +264,8 @@ impl Controller {
         let mut out = Vec::new();
         let markets: Vec<MarketId> = self.cloud.markets().cloned().collect();
         for m in markets {
-            if let Some(trace) = self.cloud.market_trace(&m) {
-                if let Some((t, _)) = trace.prices.next_change_after(now) {
-                    self.schedule(Subsystem::Controller, now, t, Event::PriceChange(m), &mut out);
-                }
+            if let Some((t, _)) = self.cloud.next_change_after(&m, now) {
+                self.schedule(Subsystem::Controller, now, t, Event::PriceChange(m), &mut out);
             }
         }
         for _ in 0..self.cfg.hot_spares {
@@ -509,17 +507,17 @@ impl Controller {
     // ------------------------------------------------------------------
 
     fn on_price_change(&mut self, market: &MarketId, now: SimTime, out: &mut Outbox) {
-        // Re-arm the next change event for this market.
-        if let Some(trace) = self.cloud.market_trace(market) {
-            if let Some((t, _)) = trace.prices.next_change_after(now) {
-                self.schedule(
-                    Subsystem::Controller,
-                    now,
-                    t,
-                    Event::PriceChange(market.clone()),
-                    out,
-                );
-            }
+        // Re-arm the next change event for this market. The cursor-backed
+        // accessor walks forward from the previous change instead of
+        // re-searching the whole series on every tick.
+        if let Some((t, _)) = self.cloud.next_change_after(market, now) {
+            self.schedule(
+                Subsystem::Controller,
+                now,
+                t,
+                Event::PriceChange(market.clone()),
+                out,
+            );
         }
         // Revocation dynamics: warnings for spot instances whose bid is now
         // under water.

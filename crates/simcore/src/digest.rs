@@ -46,6 +46,21 @@ impl Digest64 {
         self.write_bytes(&v.to_le_bytes());
     }
 
+    /// Feeds a `u64` as one whole-word FNV step (xor, then multiply).
+    ///
+    /// This is the bulk-throughput variant: one multiply per eight bytes
+    /// instead of eight, which matters when digesting multi-megabyte
+    /// archives. The absorb step is bijective in `v` (the prime is odd),
+    /// so any change to a fed word still always changes the digest. The
+    /// resulting stream is deliberately *not* compatible with feeding the
+    /// same bytes through [`write_bytes`]/[`write_u64`]; callers pick one
+    /// framing and stick to it.
+    #[inline]
+    pub fn absorb_u64(&mut self, v: u64) {
+        self.state ^= v;
+        self.state = self.state.wrapping_mul(FNV_PRIME);
+    }
+
     /// Feeds a `usize` (as `u64`).
     pub fn write_usize(&mut self, v: usize) {
         self.write_u64(v as u64);

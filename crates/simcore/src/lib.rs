@@ -30,6 +30,8 @@
 //!   uses for its per-epoch windows.
 //! - [`slab`] — dense entity storage: a generational slab and the
 //!   id-indexed [`slab::IdMap`] whose iteration order matches `BTreeMap`.
+//! - [`varint`] — LEB128 integers for the binary trace-library format.
+//! - [`digest`] — incremental 64-bit state digests ([`digest::Digest64`]).
 //! - [`shard`] — deterministic sharded simulation: per-shard event loops
 //!   with Lamport-ordered cross-shard messages exchanged at conservative
 //!   epoch boundaries ([`shard::ShardedSim`]).
@@ -55,6 +57,7 @@ pub mod shard;
 pub mod slab;
 pub mod stats;
 pub mod time;
+pub mod varint;
 pub mod wheel;
 
 pub use bitset::BitSet;

@@ -102,6 +102,23 @@ impl StepSeries {
         StepSeries { points }
     }
 
+    /// Builds a series from points the caller has already proven strictly
+    /// increasing in time and finite in value — e.g. a decoder whose wire
+    /// format makes violations unrepresentable (the trace archive's
+    /// delta encoding). Skips the two [`StepSeries::from_points`]
+    /// validation passes in release builds; debug builds still assert.
+    pub fn from_points_trusted(points: Vec<(SimTime, f64)>) -> Self {
+        debug_assert!(
+            points.windows(2).all(|w| w[0].0 < w[1].0),
+            "StepSeries change points must be strictly increasing"
+        );
+        debug_assert!(
+            points.iter().all(|(_, v)| v.is_finite()),
+            "StepSeries values must be finite"
+        );
+        StepSeries { points }
+    }
+
     /// Appends a change point at `t` with value `v`.
     ///
     /// Appending at the same instant as the last point overwrites it

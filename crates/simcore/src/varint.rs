@@ -1,0 +1,149 @@
+//! LEB128 variable-length integer encoding.
+//!
+//! The binary trace-library format (`spotmarket::archive`) stores
+//! delta-encoded microsecond timestamps, point counts, and string lengths
+//! as varints: seven payload bits per byte, least-significant group first,
+//! high bit set on every byte except the last. Small values — which
+//! dominate after delta encoding (spot-price change points arrive minutes
+//! apart, i.e. deltas of ~10^8 us fit in four bytes instead of eight) —
+//! take one to four bytes; any `u64` fits in at most ten.
+//!
+//! Decoding is strict: non-canonical encodings (a ten-byte sequence whose
+//! final byte carries bits beyond the 64th) and truncated sequences are
+//! errors, never panics, so corrupted archive bytes surface as rejected
+//! loads rather than garbage values.
+
+/// Maximum encoded length of a `u64` (ceil(64 / 7) bytes).
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// Appends the LEB128 encoding of `v` to `buf`.
+#[inline]
+pub fn put_u64(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Decodes a LEB128 `u64` from `bytes` starting at `*pos`, advancing
+/// `*pos` past the encoding.
+///
+/// # Errors
+///
+/// Returns a description when the sequence is truncated, longer than
+/// [`MAX_VARINT_LEN`], or overflows 64 bits.
+///
+/// Inlined because archive block decoding calls this once per point on
+/// multi-million-point libraries; the error paths stay out of line
+/// behind [`varint_error`].
+#[inline]
+pub fn get_u64(bytes: &[u8], pos: &mut usize) -> Result<u64, String> {
+    let mut value: u64 = 0;
+    let mut shift: u32 = 0;
+    loop {
+        let Some(&byte) = bytes.get(*pos) else {
+            return Err(varint_error("truncated varint", *pos));
+        };
+        *pos += 1;
+        let payload = u64::from(byte & 0x7f);
+        if shift == 63 && payload > 1 {
+            return Err(varint_error("varint overflows u64", *pos - 1));
+        }
+        value |= payload << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err(format!("varint longer than {MAX_VARINT_LEN} bytes"));
+        }
+    }
+}
+
+/// Cold error constructor, so the hot decode loop carries no `format!`
+/// machinery inline.
+#[cold]
+#[inline(never)]
+fn varint_error(what: &str, at: usize) -> String {
+    format!("{what} at byte {at}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_boundary_values() {
+        let cases = [
+            0u64,
+            1,
+            0x7f,
+            0x80,
+            0x3fff,
+            0x4000,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for v in cases {
+            let mut buf = Vec::new();
+            put_u64(&mut buf, v);
+            assert!(buf.len() <= MAX_VARINT_LEN);
+            let mut pos = 0;
+            assert_eq!(get_u64(&buf, &mut pos), Ok(v), "value {v}");
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn concatenated_values_decode_in_sequence() {
+        let mut buf = Vec::new();
+        for v in [5u64, 300, 0, u64::MAX] {
+            put_u64(&mut buf, v);
+        }
+        let mut pos = 0;
+        for v in [5u64, 300, 0, u64::MAX] {
+            assert_eq!(get_u64(&buf, &mut pos), Ok(v));
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn truncated_input_is_an_error() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, u64::MAX);
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert!(get_u64(&buf[..cut], &mut pos).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn overlong_and_overflowing_encodings_are_rejected()
+    {
+        // Eleven continuation bytes: longer than any canonical u64.
+        let overlong = [0x80u8; 11];
+        let mut pos = 0;
+        assert!(get_u64(&overlong, &mut pos).is_err());
+        // Ten bytes whose final byte carries bits past the 64th.
+        let overflow = [
+            0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02,
+        ];
+        let mut pos = 0;
+        assert!(get_u64(&overflow, &mut pos).is_err());
+    }
+
+    #[test]
+    fn small_deltas_stay_small() {
+        for (v, len) in [(0u64, 1usize), (127, 1), (128, 2), (16_383, 2), (1 << 28, 5)] {
+            let mut buf = Vec::new();
+            put_u64(&mut buf, v);
+            assert_eq!(buf.len(), len, "value {v}");
+        }
+    }
+}

@@ -1,0 +1,1412 @@
+//! Columnar trace store and bulk ingestion for spot-price archives.
+//!
+//! Three pieces, all serving the same goal — loading and querying
+//! hundreds of (type, zone) markets with millions of price points without
+//! the per-line, per-point overheads of the plain CSV path:
+//!
+//! - [`parse_csv_bytes`] — a single-pass byte-level scanner for the
+//!   `PriceTrace::to_csv` format. No per-line allocations: each
+//!   `time,price` pair is parsed with hand-rolled integer/decimal fast
+//!   paths (bit-exact with `f64::parse` in the ranges they accept — see
+//!   the proofs at [`parse_time_micros`] and [`parse_price`]) and falls
+//!   back to `f64::parse` for any other shape, so odd-but-valid forms
+//!   (`3e-2`, 17-digit shortest round-trips) parse identically to the old
+//!   per-line path.
+//! - [`TraceLibrary`] — an ordered set of traces with a versioned binary
+//!   on-disk format (`.stl`): per-market columnar blocks of varint
+//!   delta-encoded microsecond timestamps plus raw `f64`-bit prices, a
+//!   library-level index (market → block offset, point count, time span,
+//!   on-demand price), and a [`Digest64`] integrity footer. Writes are
+//!   atomic (tmp + rename); loads verify the digest and decode blocks in
+//!   parallel via [`parallel_map`]. Decoding is fully defensive: a
+//!   truncated or corrupted archive is an `Err`, never a panic.
+//! - [`TraceCursor`] — an amortized-O(1) cursor for the monotone lookups
+//!   the simulation actually performs (`price_at`, `next_change_after`
+//!   with mostly non-decreasing `t`), falling back to an `O(log n)`
+//!   re-seek when time regresses. Results are *identical* to the
+//!   binary-search path by construction.
+//!
+//! # `.stl` layout (version 1)
+//!
+//! ```text
+//! offset 0      b"SPOTSTL1"                      8-byte magic + version
+//!               market_count                     varint
+//! blocks        per market, in library order:
+//!                 type_name                      varint length + UTF-8
+//!                 zone                           varint length + UTF-8
+//!                 on_demand_price                8 bytes, f64 bits LE
+//!                 point_count                    varint
+//!                 time_codec                     1 byte: 1 when every
+//!                                                delta fits in a u32,
+//!                                                else 0
+//!                 timestamps                     first absolute micros as
+//!                                                varint, then deltas ≥ 1
+//!                                                — varint (codec 0) or
+//!                                                fixed u32 LE (codec 1)
+//!                 prices                         point_count × 8 bytes,
+//!                                                f64 bits LE
+//! index         per market, same order:
+//!                 type_name, zone                as above
+//!                 block_offset                   varint (from file start)
+//!                 point_count                    varint
+//!                 start_micros, end_micros       varint (0 when empty)
+//!                 on_demand_price                8 bytes, f64 bits LE
+//! footer        index_offset                     8 bytes, u64 LE
+//!               digest                           8 bytes, u64 LE —
+//!                                                Digest64 over every
+//!                                                preceding byte, absorbed
+//!                                                as LE u64 words (tail
+//!                                                bytes fed individually)
+//!               b"SPOTSEND"                      8-byte tail magic
+//! ```
+//!
+//! Delta encoding exploits the data's shape: change points arrive minutes
+//! apart, so deltas of ~10^8 µs fit in four bytes instead of eight fixed
+//! ones, and a strictly-increasing series is *encoded* as such — a delta
+//! of zero in the file is structurally invalid, so a decoded series never
+//! trips `StepSeries::from_points`'s panics. The per-block codec byte
+//! picks the cheapest faithful delta form: when every delta in a block
+//! fits in a u32 (true for almost all real blocks — a u32 holds ~71
+//! minutes of microseconds), deltas are fixed-width u32s, which decode
+//! with a couple of ALU ops per point and are no larger than the 4–5-byte
+//! varints they replace; blocks with any wider gap fall back to varints.
+//! The choice is a pure function of the data, so re-encoding a decoded
+//! library is byte-identical.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use spotcheck_simcore::digest::Digest64;
+use spotcheck_simcore::metrics;
+use spotcheck_simcore::parallel::{configured_threads, parallel_map};
+use spotcheck_simcore::series::StepSeries;
+use spotcheck_simcore::time::SimTime;
+use spotcheck_simcore::varint::{get_u64, put_u64};
+
+use crate::market::MarketId;
+use crate::trace::PriceTrace;
+
+/// Magic bytes opening a `.stl` archive; the trailing digit is the format
+/// version.
+pub const STL_MAGIC: &[u8; 8] = b"SPOTSTL1";
+/// Magic bytes closing a `.stl` archive.
+const STL_TAIL: &[u8; 8] = b"SPOTSEND";
+/// Footer length: index offset + digest + tail magic.
+const FOOTER_LEN: usize = 8 + 8 + 8;
+
+// ---------------------------------------------------------------------------
+// CSV scanning
+// ---------------------------------------------------------------------------
+
+/// Parses one trace from CSV bytes (the [`PriceTrace::to_csv`] format) in
+/// a single pass over the input.
+///
+/// Semantics match the historical per-line parser, with two deliberate
+/// hardenings: non-increasing timestamps and non-finite prices are
+/// line-numbered errors here instead of `StepSeries` panics. `\r\n` line
+/// endings are accepted, blank lines and `#` comments are skipped.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line (numbered from 1,
+/// the header being line 1).
+pub fn parse_csv_bytes(bytes: &[u8]) -> Result<PriceTrace, String> {
+    let mut rest = bytes;
+    let header = next_line(&mut rest).ok_or("empty trace file")?;
+    let header = std::str::from_utf8(header).map_err(|_| "header is not UTF-8".to_string())?;
+    let header = header
+        .strip_prefix("# ")
+        .ok_or("missing `# market=... od=...` header")?;
+    let mut market = None;
+    let mut od = None;
+    for field in header.split_whitespace() {
+        if let Some(m) = field.strip_prefix("market=") {
+            let (ty, zone) = m
+                .split_once('@')
+                .ok_or("market field must be `type@zone`")?;
+            market = Some(MarketId::new(ty, zone));
+        } else if let Some(p) = field.strip_prefix("od=") {
+            od = Some(
+                p.parse::<f64>()
+                    .map_err(|e| format!("bad on-demand price: {e}"))?,
+            );
+        }
+    }
+    let market = market.ok_or("header missing market=")?;
+    let od = od.ok_or("header missing od=")?;
+    if !(od.is_finite() && od > 0.0) {
+        return Err(format!("on-demand price must be positive, got {od}"));
+    }
+
+    // ~24 bytes per `time,price` line; one up-front reservation replaces
+    // the per-point doubling of the old push-into-StepSeries loop.
+    let mut points: Vec<(SimTime, f64)> = Vec::with_capacity(rest.len() / 20 + 1);
+    let mut prev: Option<u64> = None;
+    let mut line_no = 1usize;
+    while let Some(raw) = next_line(&mut rest) {
+        line_no += 1;
+        let line = trim_bytes(raw);
+        if line.is_empty() || line[0] == b'#' {
+            continue;
+        }
+        let comma = line
+            .iter()
+            .position(|&b| b == b',')
+            .ok_or_else(|| format!("line {line_no}: expected `time,price`"))?;
+        let (tb, pb) = (&line[..comma], &line[comma + 1..]);
+        let micros = match parse_time_micros(tb) {
+            Some(m) => m,
+            None => {
+                let t = parse_f64_fallback(tb)
+                    .map_err(|e| format!("line {line_no}: bad time: {e}"))?;
+                if !t.is_finite() || t < 0.0 {
+                    return Err(format!("line {line_no}: time must be non-negative"));
+                }
+                (t * 1e6).round() as u64
+            }
+        };
+        let price = match parse_price(pb) {
+            Some(p) => p,
+            None => parse_f64_fallback(pb)
+                .map_err(|e| format!("line {line_no}: bad price: {e}"))?,
+        };
+        if !price.is_finite() {
+            return Err(format!("line {line_no}: price must be finite"));
+        }
+        if let Some(p) = prev {
+            if micros <= p {
+                return Err(format!(
+                    "line {line_no}: timestamps must be strictly increasing \
+                     ({micros}us does not follow {p}us)"
+                ));
+            }
+        }
+        prev = Some(micros);
+        points.push((SimTime::from_micros(micros), price));
+    }
+    metrics::add(points.len() as u64);
+    Ok(PriceTrace::new(market, od, StepSeries::from_points(points)))
+}
+
+/// Splits the next line off `*rest`, advancing past the terminating `\n`
+/// and stripping one trailing `\r`. Mirrors `str::lines`.
+fn next_line<'a>(rest: &mut &'a [u8]) -> Option<&'a [u8]> {
+    if rest.is_empty() {
+        return None;
+    }
+    let (line, tail) = match rest.iter().position(|&b| b == b'\n') {
+        Some(i) => (&rest[..i], &rest[i + 1..]),
+        None => (*rest, &rest[rest.len()..]),
+    };
+    *rest = tail;
+    Some(line.strip_suffix(b"\r").unwrap_or(line))
+}
+
+/// Trims the bytes `char::is_whitespace` would trim in ASCII (the old
+/// parser called `str::trim` per line).
+fn trim_bytes(mut s: &[u8]) -> &[u8] {
+    fn is_space(b: u8) -> bool {
+        b.is_ascii_whitespace() || b == 0x0b
+    }
+    while let [b, rest @ ..] = s {
+        if !is_space(*b) {
+            break;
+        }
+        s = rest;
+    }
+    while let [rest @ .., b] = s {
+        if !is_space(*b) {
+            break;
+        }
+        s = rest;
+    }
+    s
+}
+
+/// Accumulates an unsigned decimal of the form `digits[.digits]` into a
+/// mantissa `m` and fractional-digit count `k` with value `m / 10^k`.
+/// Returns `None` for any other shape (sign, exponent, double dot,
+/// non-digit) or when more than 15 digits appear — the callers' exactness
+/// arguments need `m < 2^53`, and 10^15 − 1 < 2^53.
+fn parse_simple_decimal(s: &[u8]) -> Option<(u64, usize)> {
+    let mut m = 0u64;
+    let mut digits = 0usize;
+    let mut frac: Option<usize> = None;
+    for &b in s {
+        match b {
+            b'0'..=b'9' => {
+                digits += 1;
+                if digits > 15 {
+                    return None;
+                }
+                m = m * 10 + u64::from(b - b'0');
+                if let Some(f) = frac.as_mut() {
+                    *f += 1;
+                }
+            }
+            b'.' if frac.is_none() => frac = Some(0),
+            _ => return None,
+        }
+    }
+    if digits == 0 {
+        return None;
+    }
+    Some((m, frac.unwrap_or(0)))
+}
+
+/// Fast path for the time column: exact integer microseconds for simple
+/// decimals with ≤ 6 fractional digits.
+///
+/// Equality with the old `(f64::parse(s) * 1e6).round() as u64` path: the
+/// decimal's exact value is m/10^k with k ≤ 6, so `micros = m·10^(6−k)`
+/// is the exact microsecond count. The old path computes
+/// `round(fl(fl(m/10^6) · 10^6))`; two roundings give a relative error
+/// ≤ 2·2^−53, i.e. an absolute error < 0.26 for `micros < 2^50` — well
+/// under the 0.5 where `round` could move off the exact integer. Values
+/// at or past 2^50 µs (≈ 35 simulated years) take the fallback.
+fn parse_time_micros(s: &[u8]) -> Option<u64> {
+    const POW10: [u64; 7] = [1, 10, 100, 1_000, 10_000, 100_000, 1_000_000];
+    let (m, k) = parse_simple_decimal(s)?;
+    if k > 6 {
+        return None;
+    }
+    let micros = m.checked_mul(POW10[6 - k])?;
+    if micros >= 1 << 50 {
+        return None;
+    }
+    Some(micros)
+}
+
+/// Fast path for the price column: `m as f64 / 10^k` for simple decimals.
+///
+/// Bit-exactness with `f64::parse`: `parse_simple_decimal` guarantees
+/// `m < 2^53` and `k ≤ 15`, so both `m` and `10^k` convert to `f64`
+/// exactly, and one IEEE division yields the correctly-rounded value of
+/// the exact quotient `m / 10^k` — the same correctly-rounded result the
+/// standard parser is specified to produce.
+fn parse_price(s: &[u8]) -> Option<f64> {
+    #[rustfmt::skip]
+    const POW10: [f64; 16] = [
+        1e0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7,
+        1e8, 1e9, 1e10, 1e11, 1e12, 1e13, 1e14, 1e15,
+    ];
+    let (m, k) = parse_simple_decimal(s)?;
+    Some(m as f64 / POW10[k])
+}
+
+/// `f64::parse` on a byte slice, for the forms the fast paths decline.
+fn parse_f64_fallback(bytes: &[u8]) -> Result<f64, String> {
+    match std::str::from_utf8(bytes) {
+        Ok(s) => s.parse::<f64>().map_err(|e| e.to_string()),
+        Err(_) => Err("invalid float literal".to_string()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trace cursor
+// ---------------------------------------------------------------------------
+
+/// How many points a cursor walks forward before giving up and binary
+/// searching the remainder. Price lookups between consecutive simulation
+/// events rarely skip more than a handful of change points; a long jump
+/// (fast-forward over an idle stretch) pays one `O(log n)` seek instead
+/// of an unbounded walk.
+const CURSOR_WALK_LIMIT: usize = 32;
+
+/// An amortized-O(1) cursor over a [`PriceTrace`]'s change points.
+///
+/// The cursor caches the insertion index of the last queried instant and
+/// re-derives each answer from it: queries at non-decreasing times walk
+/// forward (the simulation's common case — billing sweeps, price-change
+/// re-arms, and placement scans all move with the clock), and a query
+/// behind the cached point re-seeks with a bounded binary search.
+///
+/// The cached index is a pure accelerator: every query returns exactly
+/// what [`StepSeries::value_at`] / [`StepSeries::next_change_after`]
+/// return for the same `(series, t)`, whatever the hint holds — so
+/// cursor-backed lookups are deterministic even when a cursor is shared
+/// across ingestion threads (the hint is a relaxed atomic; a stale or
+/// torn-off-by-a-race value only costs a re-seek, never changes a
+/// result).
+#[derive(Debug, Default)]
+pub struct TraceCursor {
+    hint: AtomicUsize,
+}
+
+impl Clone for TraceCursor {
+    fn clone(&self) -> Self {
+        TraceCursor {
+            hint: AtomicUsize::new(self.hint.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl TraceCursor {
+    /// Creates a cursor positioned before the first point.
+    pub fn new() -> Self {
+        TraceCursor::default()
+    }
+
+    /// Returns `partition_point(|(pt, _)| *pt <= t)`, amortized O(1) on
+    /// monotone query streams.
+    fn seek(&self, points: &[(SimTime, f64)], t: SimTime) -> usize {
+        let n = points.len();
+        let mut j = self.hint.load(Ordering::Relaxed).min(n);
+        if j > 0 && points[j - 1].0 > t {
+            // Time regressed behind the hint: binary re-seek in the prefix.
+            j = points[..j].partition_point(|(pt, _)| *pt <= t);
+        } else {
+            let mut steps = 0;
+            while j < n && points[j].0 <= t {
+                j += 1;
+                steps += 1;
+                if steps >= CURSOR_WALK_LIMIT {
+                    // Long jump: finish with a binary search of the tail.
+                    j += points[j..].partition_point(|(pt, _)| *pt <= t);
+                    break;
+                }
+            }
+        }
+        self.hint.store(j, Ordering::Relaxed);
+        j
+    }
+
+    /// [`PriceTrace::price_at`] through the cursor: the spot price at `t`,
+    /// or `None` before the trace starts.
+    pub fn price_at(&self, trace: &PriceTrace, t: SimTime) -> Option<f64> {
+        let points = trace.prices.points();
+        let j = self.seek(points, t);
+        if j == 0 {
+            None
+        } else {
+            Some(points[j - 1].1)
+        }
+    }
+
+    /// [`StepSeries::next_change_after`] through the cursor: the first
+    /// change point strictly after `t`.
+    pub fn next_change_after(&self, trace: &PriceTrace, t: SimTime) -> Option<(SimTime, f64)> {
+        let points = trace.prices.points();
+        let j = self.seek(points, t);
+        points.get(j).copied()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trace library
+// ---------------------------------------------------------------------------
+
+/// One index entry of an on-disk archive: everything a reader can know
+/// about a market without decoding its block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarketSummary {
+    /// The market.
+    pub market: MarketId,
+    /// Number of price change points in the block.
+    pub points: usize,
+    /// First and last change-point instants, or `None` for an empty trace.
+    pub span: Option<(SimTime, SimTime)>,
+    /// The fixed on-demand $/hr price.
+    pub on_demand_price: f64,
+    /// Byte offset of the market's columnar block within the archive.
+    pub offset: u64,
+}
+
+/// An ordered collection of price traces with unique markets, loadable
+/// from and storable to the `.stl` columnar format.
+#[derive(Debug, Clone)]
+pub struct TraceLibrary {
+    traces: Vec<PriceTrace>,
+    by_market: BTreeMap<MarketId, usize>,
+}
+
+impl TraceLibrary {
+    /// Builds a library from traces, preserving their order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming the first duplicated market.
+    pub fn new(traces: Vec<PriceTrace>) -> Result<TraceLibrary, String> {
+        let mut by_market = BTreeMap::new();
+        for (i, t) in traces.iter().enumerate() {
+            if by_market.insert(t.market.clone(), i).is_some() {
+                return Err(format!("duplicate market {}", t.market));
+            }
+        }
+        Ok(TraceLibrary { traces, by_market })
+    }
+
+    /// The traces, in library order.
+    pub fn traces(&self) -> &[PriceTrace] {
+        &self.traces
+    }
+
+    /// Consumes the library, yielding its traces in order.
+    pub fn into_traces(self) -> Vec<PriceTrace> {
+        self.traces
+    }
+
+    /// Looks up one market's trace.
+    pub fn get(&self, market: &MarketId) -> Option<&PriceTrace> {
+        self.by_market.get(market).map(|&i| &self.traces[i])
+    }
+
+    /// Number of markets.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Whether the library holds no markets.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// Total change points across all markets.
+    pub fn total_points(&self) -> usize {
+        self.traces.iter().map(|t| t.prices.len()).sum()
+    }
+
+    /// Parses every `*.csv` file in `dir` (sorted by file name for
+    /// deterministic library order), fanning the per-file scan out via
+    /// [`parallel_map`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O, parse, or duplicate-market error, prefixed
+    /// with the offending path.
+    pub fn ingest_csv_dir(dir: &Path) -> Result<TraceLibrary, String> {
+        let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        let mut files: Vec<PathBuf> = Vec::new();
+        for entry in entries {
+            let path = entry.map_err(|e| format!("{}: {e}", dir.display()))?.path();
+            if path.extension().is_some_and(|x| x == "csv") {
+                files.push(path);
+            }
+        }
+        files.sort();
+        let parsed = parallel_map(files, |_, path| {
+            std::fs::read(&path)
+                .map_err(|e| e.to_string())
+                .and_then(|bytes| parse_csv_bytes(&bytes))
+                .map_err(|e| format!("{}: {e}", path.display()))
+        });
+        let mut traces = Vec::with_capacity(parsed.len());
+        for r in parsed {
+            traces.push(r?);
+        }
+        TraceLibrary::new(traces)
+    }
+
+    /// Serializes the library to `.stl` bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf =
+            Vec::with_capacity(64 + 64 * self.traces.len() + 12 * self.total_points());
+        buf.extend_from_slice(STL_MAGIC);
+        put_u64(&mut buf, self.traces.len() as u64);
+        let mut offsets = Vec::with_capacity(self.traces.len());
+        for trace in &self.traces {
+            offsets.push(buf.len() as u64);
+            write_block(&mut buf, trace);
+        }
+        let index_offset = buf.len() as u64;
+        for (trace, &offset) in self.traces.iter().zip(&offsets) {
+            write_index_entry(&mut buf, trace, offset);
+        }
+        buf.extend_from_slice(&index_offset.to_le_bytes());
+        let digest = payload_digest(&buf);
+        buf.extend_from_slice(&digest.to_le_bytes());
+        buf.extend_from_slice(STL_TAIL);
+        buf
+    }
+
+    /// Deserializes a library from `.stl` bytes, verifying the integrity
+    /// digest and decoding the per-market blocks in parallel.
+    ///
+    /// # Errors
+    ///
+    /// Any structural defect — bad magic, truncation, digest mismatch,
+    /// malformed varints, non-increasing timestamps, non-finite prices —
+    /// is an error; this function never panics on hostile input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<TraceLibrary, String> {
+        let (entries, index_offset) = parse_index(bytes)?;
+        let extents = block_extents(&entries, index_offset)?;
+        let jobs: Vec<usize> = (0..entries.len()).collect();
+        let decoded = parallel_map(jobs, |_, i| {
+            let (start, end) = extents[i];
+            decode_block(&bytes[start..end], &entries[i])
+                .map_err(|e| format!("market {}: {e}", entries[i].market))
+        });
+        let mut traces = Vec::with_capacity(decoded.len());
+        for r in decoded {
+            traces.push(r?);
+        }
+        TraceLibrary::new(traces)
+    }
+
+    /// Writes the library to `path` atomically (tmp sibling + rename), so
+    /// a crash mid-write can never leave a torn archive under the final
+    /// name.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error, prefixed with the path.
+    pub fn write_stl(&self, path: &Path) -> Result<(), String> {
+        let bytes = self.to_bytes();
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        std::fs::write(&tmp, &bytes).map_err(|e| format!("{}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, path).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Reads a library from a `.stl` file.
+    ///
+    /// With more than one configured worker the whole file is buffered so
+    /// blocks can decode in parallel, as in [`TraceLibrary::from_bytes`].
+    /// With a single worker the archive is instead streamed block by
+    /// block through a small reused buffer: each block is digested and
+    /// decoded while its bytes are still cache-hot, and the
+    /// whole-archive allocation (plus its page faults) disappears — on
+    /// multi-hundred-megabyte archives that is the difference between a
+    /// DRAM-bound and a cache-resident decode. Both paths accept and
+    /// reject exactly the same archives.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors (path-prefixed) and every defect [`TraceLibrary::from_bytes`]
+    /// rejects.
+    pub fn read_stl(path: &Path) -> Result<TraceLibrary, String> {
+        if configured_threads() > 1 {
+            let bytes = std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
+            return TraceLibrary::from_bytes(&bytes)
+                .map_err(|e| format!("{}: {e}", path.display()));
+        }
+        read_stl_streaming(path).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+/// The streaming (single-worker) load path behind [`TraceLibrary::read_stl`].
+///
+/// Order of operations: head magic + market count, footer (tail magic,
+/// stored digest, index offset), then the index region — small reads
+/// that establish the block extents. The payload is then swept
+/// sequentially from offset zero: the header span and each block are
+/// read into a reused buffer, absorbed into the incremental digest, and
+/// decoded in place; the index bytes (already in memory) are absorbed
+/// last, completing the digest in exact payload order. A digest mismatch
+/// takes precedence over any block decode error, matching the buffered
+/// path, which verifies the digest before decoding anything.
+fn read_stl_streaming(path: &Path) -> Result<TraceLibrary, String> {
+    use std::io::{Read, Seek, SeekFrom};
+
+    let mut file = std::fs::File::open(path).map_err(|e| e.to_string())?;
+    let len = file.metadata().map_err(|e| e.to_string())?.len() as usize;
+    if len < STL_MAGIC.len() + 1 + FOOTER_LEN {
+        return Err(format!("truncated archive ({len} bytes)"));
+    }
+    // Head: the magic plus the market-count varint fit in 18 bytes, and
+    // `len` is already known to be ≥ 33. These bytes are re-read (and
+    // digested) by the sequential sweep below.
+    let mut head = [0u8; 18];
+    file.read_exact(&mut head).map_err(|e| e.to_string())?;
+    if &head[..STL_MAGIC.len()] != STL_MAGIC {
+        return Err("not a .stl trace library (bad magic)".to_string());
+    }
+    let mut pos = STL_MAGIC.len();
+    let count = get_u64(&head, &mut pos)? as usize;
+    if count > len {
+        return Err(format!("implausible market count {count}"));
+    }
+    let header_end = pos;
+
+    let mut footer = [0u8; FOOTER_LEN];
+    file.seek(SeekFrom::Start((len - FOOTER_LEN) as u64))
+        .map_err(|e| e.to_string())?;
+    file.read_exact(&mut footer).map_err(|e| e.to_string())?;
+    if &footer[FOOTER_LEN - STL_TAIL.len()..] != STL_TAIL {
+        return Err("truncated or corrupted archive (bad tail magic)".to_string());
+    }
+    let index_offset = u64::from_le_bytes(footer[..8].try_into().expect("8 bytes"));
+    let stored = u64::from_le_bytes(footer[8..16].try_into().expect("8 bytes"));
+    let index_start = index_offset as usize;
+    if index_offset < header_end as u64 || index_start > len - FOOTER_LEN {
+        return Err(format!("index offset {index_offset} out of bounds"));
+    }
+
+    // The tail region: index entries plus the footer already read. Block
+    // extents come from here; its payload bytes are digested last.
+    let mut tail = vec![0u8; len - index_start];
+    file.seek(SeekFrom::Start(index_offset))
+        .map_err(|e| e.to_string())?;
+    file.read_exact(&mut tail).map_err(|e| e.to_string())?;
+    let entries = parse_entries(&tail, 0, tail.len() - FOOTER_LEN, count, index_offset)?;
+    let extents = block_extents(&entries, index_offset)?;
+
+    // Sequential sweep: header span, then each block (extents are
+    // contiguous by construction — each block ends where the next
+    // begins, the last at the index).
+    file.seek(SeekFrom::Start(0)).map_err(|e| e.to_string())?;
+    let mut digest = PayloadDigest::new();
+    let first_block = extents.first().map_or(index_start, |&(s, _)| s);
+    let max_seg = extents
+        .iter()
+        .map(|&(s, e)| e - s)
+        .max()
+        .unwrap_or(0)
+        .max(first_block);
+    let mut buf = vec![0u8; max_seg];
+    file.read_exact(&mut buf[..first_block])
+        .map_err(|e| e.to_string())?;
+    digest.absorb(&buf[..first_block]);
+    let mut first_err: Option<String> = None;
+    let mut traces = Vec::with_capacity(entries.len());
+    for (i, &(start, end)) in extents.iter().enumerate() {
+        let n = end - start;
+        file.read_exact(&mut buf[..n]).map_err(|e| e.to_string())?;
+        digest.absorb(&buf[..n]);
+        if first_err.is_none() {
+            match decode_block(&buf[..n], &entries[i]) {
+                Ok(t) => traces.push(t),
+                Err(e) => first_err = Some(format!("market {}: {e}", entries[i].market)),
+            }
+        }
+    }
+    digest.absorb(&tail[..tail.len() - 16]);
+    if digest.finish() != stored {
+        return Err("archive digest mismatch (corrupted contents)".to_string());
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    TraceLibrary::new(traces)
+}
+
+/// Reads only the index of a `.stl` file — market names, point counts,
+/// time spans, on-demand prices, block offsets — without decoding any
+/// block. The integrity digest is still verified.
+///
+/// # Errors
+///
+/// I/O errors and structural defects, as for [`TraceLibrary::read_stl`].
+pub fn read_index(path: &Path) -> Result<Vec<MarketSummary>, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let (entries, _) = parse_index(&bytes).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(entries)
+}
+
+/// Digests the archive payload (everything before the digest field) as
+/// little-endian `u64` words over four interleaved [`Digest64`] lanes,
+/// folded into one digest at the end (tail bytes feed the fold directly).
+///
+/// Two throughput levers over naive byte feeding: word absorption runs
+/// one FNV step per eight bytes instead of eight, and the four lanes
+/// break the absorb step's serial xor-multiply dependency chain so the
+/// multiplies pipeline. Detection strength is preserved: every absorb
+/// step is bijective in its input word, and each lane's finished value is
+/// itself absorbed bijectively, so any single-byte flip anywhere in the
+/// payload still always changes the digest.
+fn payload_digest(payload: &[u8]) -> u64 {
+    let mut digest = PayloadDigest::new();
+    digest.absorb(payload);
+    digest.finish()
+}
+
+/// Incremental form of [`payload_digest`]: feeding the payload through
+/// `absorb` in arbitrary-sized pieces produces exactly the one-shot
+/// digest, so the streaming loader can verify an archive it never holds
+/// in memory at once. Partial 32-byte groups buffer in `pending` until
+/// complete; `finish` folds the lanes and the final partial group the
+/// same way the one-shot path folds its remainder.
+struct PayloadDigest {
+    lanes: [Digest64; 4],
+    pending: [u8; 32],
+    pending_len: usize,
+}
+
+impl PayloadDigest {
+    fn new() -> Self {
+        PayloadDigest {
+            lanes: [
+                Digest64::new(),
+                Digest64::new(),
+                Digest64::new(),
+                Digest64::new(),
+            ],
+            pending: [0u8; 32],
+            pending_len: 0,
+        }
+    }
+
+    fn absorb_group(&mut self, g: &[u8]) {
+        for (j, lane) in self.lanes.iter_mut().enumerate() {
+            let w = u64::from_le_bytes(g[j * 8..j * 8 + 8].try_into().expect("8-byte word"));
+            lane.absorb_u64(w);
+        }
+    }
+
+    fn absorb(&mut self, mut bytes: &[u8]) {
+        if self.pending_len > 0 {
+            let take = (32 - self.pending_len).min(bytes.len());
+            self.pending[self.pending_len..self.pending_len + take]
+                .copy_from_slice(&bytes[..take]);
+            self.pending_len += take;
+            bytes = &bytes[take..];
+            if self.pending_len < 32 {
+                return;
+            }
+            let group = self.pending;
+            self.absorb_group(&group);
+            self.pending_len = 0;
+        }
+        let mut groups = bytes.chunks_exact(32);
+        for g in &mut groups {
+            self.absorb_group(g);
+        }
+        let rem = groups.remainder();
+        self.pending[..rem.len()].copy_from_slice(rem);
+        self.pending_len = rem.len();
+    }
+
+    fn finish(&self) -> u64 {
+        let mut digest = Digest64::new();
+        for lane in &self.lanes {
+            digest.absorb_u64(lane.finish());
+        }
+        let mut words = self.pending[..self.pending_len].chunks_exact(8);
+        for w in &mut words {
+            digest.absorb_u64(u64::from_le_bytes(w.try_into().expect("8-byte word")));
+        }
+        digest.write_bytes(words.remainder());
+        digest.finish()
+    }
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u64(buf, s.len() as u64);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn get_str<'a>(bytes: &'a [u8], pos: &mut usize) -> Result<&'a str, String> {
+    let len = get_u64(bytes, pos)? as usize;
+    let end = pos
+        .checked_add(len)
+        .filter(|&e| e <= bytes.len())
+        .ok_or_else(|| format!("truncated string at byte {}", *pos))?;
+    let s = std::str::from_utf8(&bytes[*pos..end])
+        .map_err(|_| format!("non-UTF-8 string at byte {}", *pos))?;
+    *pos = end;
+    Ok(s)
+}
+
+/// Timestamp deltas as varints (any gap width).
+const TIME_CODEC_VARINT: u8 = 0;
+/// Timestamp deltas as fixed u32s (every gap < ~71.6 minutes).
+const TIME_CODEC_FIXED_U32: u8 = 1;
+
+fn write_block(buf: &mut Vec<u8>, trace: &PriceTrace) {
+    put_str(buf, trace.market.type_name.as_str());
+    put_str(buf, trace.market.zone.as_str());
+    buf.extend_from_slice(&trace.on_demand_price.to_bits().to_le_bytes());
+    let points = trace.prices.points();
+    put_u64(buf, points.len() as u64);
+    // The codec choice is a pure function of the points, so re-encoding
+    // a decoded library reproduces the archive byte for byte.
+    let fixed = points
+        .windows(2)
+        .all(|w| w[1].0.as_micros() - w[0].0.as_micros() <= u32::MAX as u64);
+    let codec = if fixed {
+        TIME_CODEC_FIXED_U32
+    } else {
+        TIME_CODEC_VARINT
+    };
+    buf.push(codec);
+    let mut prev = 0u64;
+    for (i, (t, _)) in points.iter().enumerate() {
+        let m = t.as_micros();
+        if i == 0 {
+            // The first timestamp is absolute and can exceed u32 range,
+            // so it is a varint under either codec.
+            put_u64(buf, m);
+        } else if codec == TIME_CODEC_FIXED_U32 {
+            buf.extend_from_slice(&((m - prev) as u32).to_le_bytes());
+        } else {
+            put_u64(buf, m - prev);
+        }
+        prev = m;
+    }
+    for (_, v) in points {
+        buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+fn write_index_entry(buf: &mut Vec<u8>, trace: &PriceTrace, offset: u64) {
+    put_str(buf, trace.market.type_name.as_str());
+    put_str(buf, trace.market.zone.as_str());
+    put_u64(buf, offset);
+    put_u64(buf, trace.prices.len() as u64);
+    let start = trace.prices.start().map_or(0, SimTime::as_micros);
+    let end = trace.prices.end().map_or(0, SimTime::as_micros);
+    put_u64(buf, start);
+    put_u64(buf, end);
+    buf.extend_from_slice(&trace.on_demand_price.to_bits().to_le_bytes());
+}
+
+fn get_f64_bits(bytes: &[u8], pos: &mut usize) -> Result<f64, String> {
+    let end = pos
+        .checked_add(8)
+        .filter(|&e| e <= bytes.len())
+        .ok_or_else(|| format!("truncated f64 at byte {}", *pos))?;
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(&bytes[*pos..end]);
+    *pos = end;
+    Ok(f64::from_bits(u64::from_le_bytes(raw)))
+}
+
+/// Verifies the envelope (magics, digest) and parses the index. Returns
+/// the entries plus the index offset, which bounds the block region.
+fn parse_index(bytes: &[u8]) -> Result<(Vec<MarketSummary>, u64), String> {
+    let len = bytes.len();
+    if len < STL_MAGIC.len() + 1 + FOOTER_LEN {
+        return Err(format!("truncated archive ({len} bytes)"));
+    }
+    if &bytes[..STL_MAGIC.len()] != STL_MAGIC {
+        return Err("not a .stl trace library (bad magic)".to_string());
+    }
+    if &bytes[len - STL_TAIL.len()..] != STL_TAIL {
+        return Err("truncated or corrupted archive (bad tail magic)".to_string());
+    }
+    let stored = u64::from_le_bytes(bytes[len - 16..len - 8].try_into().expect("8 bytes"));
+    if payload_digest(&bytes[..len - 16]) != stored {
+        return Err("archive digest mismatch (corrupted contents)".to_string());
+    }
+    let index_offset =
+        u64::from_le_bytes(bytes[len - 24..len - 16].try_into().expect("8 bytes"));
+    let mut pos = STL_MAGIC.len();
+    let count = get_u64(bytes, &mut pos)? as usize;
+    // Every market contributes ≥ 13 index bytes; reject absurd counts
+    // before trusting them for an allocation.
+    if count > len {
+        return Err(format!("implausible market count {count}"));
+    }
+    let index_start = index_offset as usize;
+    if index_offset < pos as u64 || index_start > len - FOOTER_LEN {
+        return Err(format!("index offset {index_offset} out of bounds"));
+    }
+    let entries = parse_entries(bytes, index_start, len - FOOTER_LEN, count, index_offset)?;
+    Ok((entries, index_offset))
+}
+
+/// Parses `count` index entries from `bytes[pos..end]`, enforcing the
+/// per-entry invariants (strictly increasing block offsets below the
+/// index, non-inverted time spans) and that the entries fill the region
+/// exactly. `index_offset` is the absolute offset the block offsets must
+/// stay below; `bytes` may be the whole archive or just its tail region,
+/// so positions in error messages are relative to it.
+fn parse_entries(
+    bytes: &[u8],
+    mut pos: usize,
+    end: usize,
+    count: usize,
+    index_offset: u64,
+) -> Result<Vec<MarketSummary>, String> {
+    let mut entries = Vec::with_capacity(count);
+    let mut prev_offset = 0u64;
+    for _ in 0..count {
+        let ty = get_str(bytes, &mut pos)?.to_string();
+        let zone = get_str(bytes, &mut pos)?.to_string();
+        let offset = get_u64(bytes, &mut pos)?;
+        let points = get_u64(bytes, &mut pos)? as usize;
+        let start = get_u64(bytes, &mut pos)?;
+        let span_end = get_u64(bytes, &mut pos)?;
+        let od = get_f64_bits(bytes, &mut pos)?;
+        if offset <= prev_offset {
+            return Err(format!("index offsets not increasing at {ty}@{zone}"));
+        }
+        if offset >= index_offset {
+            return Err(format!("block offset {offset} overlaps index"));
+        }
+        prev_offset = offset;
+        let span = if points == 0 {
+            None
+        } else if start <= span_end {
+            Some((SimTime::from_micros(start), SimTime::from_micros(span_end)))
+        } else {
+            return Err(format!("inverted time span at {ty}@{zone}"));
+        };
+        entries.push(MarketSummary {
+            market: MarketId::new(ty, zone),
+            points,
+            span,
+            on_demand_price: od,
+            offset,
+        });
+    }
+    if pos != end {
+        return Err("index has trailing bytes".to_string());
+    }
+    Ok(entries)
+}
+
+/// Block extents from the index: each block ends where the next begins;
+/// the last ends at the index.
+fn block_extents(
+    entries: &[MarketSummary],
+    index_offset: u64,
+) -> Result<Vec<(usize, usize)>, String> {
+    let mut extents = Vec::with_capacity(entries.len());
+    for (i, e) in entries.iter().enumerate() {
+        let start = e.offset;
+        let end = entries
+            .get(i + 1)
+            .map_or(index_offset, |next| next.offset);
+        if start < (STL_MAGIC.len() + 1) as u64 || start >= end || end > index_offset {
+            return Err(format!("market {}: invalid block extent", e.market));
+        }
+        extents.push((start as usize, end as usize));
+    }
+    Ok(extents)
+}
+
+/// Decodes one market's columnar block, cross-checking it against its
+/// index entry.
+fn decode_block(block: &[u8], entry: &MarketSummary) -> Result<PriceTrace, String> {
+    let mut pos = 0usize;
+    let ty = get_str(block, &mut pos)?;
+    let zone = get_str(block, &mut pos)?;
+    if ty != entry.market.type_name.as_str() || zone != entry.market.zone.as_str() {
+        return Err(format!("block names {ty}@{zone}, index disagrees"));
+    }
+    let od = get_f64_bits(block, &mut pos)?;
+    if od.to_bits() != entry.on_demand_price.to_bits() {
+        return Err("block on-demand price disagrees with index".to_string());
+    }
+    if !(od.is_finite() && od > 0.0) {
+        return Err(format!("on-demand price must be positive, got {od}"));
+    }
+    let count = get_u64(block, &mut pos)? as usize;
+    if count != entry.points {
+        return Err(format!(
+            "block holds {count} points, index says {}",
+            entry.points
+        ));
+    }
+    let codec = *block
+        .get(pos)
+        .ok_or_else(|| "truncated block (missing timestamp codec)".to_string())?;
+    pos += 1;
+    if codec > TIME_CODEC_FIXED_U32 {
+        return Err(format!("unknown timestamp codec {codec}"));
+    }
+    // Each point needs ≥ 1 timestamp byte + 8 price bytes under either
+    // codec (fixed-u32: 1 varint byte + 4(count−1) ≥ count for any
+    // count ≥ 1); bound the allocation before trusting the count.
+    let remaining = block.len() - pos;
+    let price_bytes = count
+        .checked_mul(8)
+        .ok_or_else(|| format!("implausible point count {count}"))?;
+    if price_bytes
+        .checked_add(count)
+        .map_or(true, |need| need > remaining)
+    {
+        return Err(format!("implausible point count {count}"));
+    }
+    // The price column is fixed-width, so it sits at a known tail offset;
+    // the varint timestamp column must end exactly where it starts.
+    // Slicing the timestamp region also guarantees a corrupt varint can
+    // never consume price bytes. Decoding both columns in one pass writes
+    // each point once — on multi-million-point blocks a separate fill
+    // pass would re-walk a vector far larger than cache.
+    let times_end = block.len() - price_bytes;
+    let times = &block[..times_end];
+    let data_start = pos;
+    let mut prices = block[times_end..].chunks_exact(8);
+    let mut points: Vec<(SimTime, f64)> = Vec::with_capacity(count);
+    // Validation outcomes accumulate branchlessly and are checked once
+    // after the loop; the cold rescan below reconstructs the precise
+    // error. (A defect here implies an encoder bug or a digest collision
+    // — the payload digest was already verified — so the hot loop should
+    // pay nothing for it.)
+    let mut defect = false;
+    let mut zero_delta = false;
+    let mut overflowed = false;
+    let mut bad_price = false;
+    let mut t = 0u64;
+    if codec == TIME_CODEC_FIXED_U32 {
+        // Fixed-width deltas: the whole timestamp column is the first
+        // absolute value (varint) plus exactly 4(count−1) delta bytes, so
+        // the hot loop is a u32 load, an add, and a price copy per point.
+        if count > 0 {
+            match get_u64(times, &mut pos) {
+                Ok(first) => {
+                    t = first;
+                    let raw = prices.next().expect("price column sized to count");
+                    let bits = u64::from_le_bytes(raw.try_into().expect("8-byte chunk"));
+                    bad_price |= (bits >> 52) & 0x7ff == 0x7ff;
+                    points.push((SimTime::from_micros(t), f64::from_bits(bits)));
+                    if times_end - pos == (count - 1) * 4 {
+                        for raw4 in times[pos..].chunks_exact(4) {
+                            let d =
+                                u32::from_le_bytes(raw4.try_into().expect("4-byte delta")) as u64;
+                            zero_delta |= d == 0;
+                            let (next, over) = t.overflowing_add(d);
+                            overflowed |= over;
+                            t = next;
+                            let raw = prices.next().expect("price column sized to count");
+                            let bits =
+                                u64::from_le_bytes(raw.try_into().expect("8-byte chunk"));
+                            bad_price |= (bits >> 52) & 0x7ff == 0x7ff;
+                            points.push((SimTime::from_micros(t), f64::from_bits(bits)));
+                        }
+                        pos = times_end;
+                    } else {
+                        defect = true;
+                    }
+                }
+                Err(_) => defect = true,
+            }
+        }
+    } else {
+        for i in 0..count {
+            // Branchless varint fast path: one unaligned 8-byte window,
+            // the encoding length from the first clear continuation bit,
+            // and an unconditional 7-bit-group fold masked to that
+            // length. Delta sizes vary point to point, so a per-byte (or
+            // per-length-branch) decoder mispredicts constantly; this
+            // path's only branch — "did the varint end within the
+            // window?" — is always taken for the 1..=8-byte encodings
+            // every real delta uses.
+            let v = if times_end - pos >= 8 {
+                let w =
+                    u64::from_le_bytes(times[pos..pos + 8].try_into().expect("8-byte window"));
+                let terminators = !w & 0x8080_8080_8080_8080;
+                if terminators != 0 {
+                    let nbytes = (terminators.trailing_zeros() as usize) / 8 + 1;
+                    pos += nbytes;
+                    // Strip continuation bits, zero the bytes past the
+                    // encoding, then close the 1-bit gaps between 7-bit
+                    // groups in three log-step merges (14-, 28-, then
+                    // 56-bit halves) — fewer ops than an 8-term fold.
+                    let w = w & 0x7f7f_7f7f_7f7f_7f7f & (u64::MAX >> (64 - 8 * nbytes));
+                    let w = (w & 0x007f_007f_007f_007f) | ((w & 0x7f00_7f00_7f00_7f00) >> 1);
+                    let w = (w & 0x0000_3fff_0000_3fff) | ((w & 0x3fff_0000_3fff_0000) >> 2);
+                    (w & 0x0000_0000_0fff_ffff) | ((w & 0x0fff_ffff_0000_0000) >> 4)
+                } else {
+                    // 9- and 10-byte encodings: the strict general
+                    // decoder (which also enforces the 64-bit overflow
+                    // rule).
+                    match get_u64(times, &mut pos) {
+                        Ok(v) => v,
+                        Err(_) => {
+                            defect = true;
+                            break;
+                        }
+                    }
+                }
+            } else {
+                match get_u64(times, &mut pos) {
+                    Ok(v) => v,
+                    Err(_) => {
+                        defect = true;
+                        break;
+                    }
+                }
+            };
+            if i == 0 {
+                t = v;
+            } else {
+                zero_delta |= v == 0;
+                let (next, over) = t.overflowing_add(v);
+                overflowed |= over;
+                t = next;
+            }
+            let raw = prices.next().expect("price column sized to count");
+            let bits = u64::from_le_bytes(raw.try_into().expect("8-byte chunk"));
+            // `!is_finite()` without the float compare: exponent all-ones.
+            bad_price |= (bits >> 52) & 0x7ff == 0x7ff;
+            points.push((SimTime::from_micros(t), f64::from_bits(bits)));
+        }
+    }
+    if defect || zero_delta || overflowed || bad_price || pos != times_end {
+        return Err(block_defect(codec, times, data_start, count, &block[times_end..]));
+    }
+    match (entry.span, points.first().zip(points.last())) {
+        (None, None) => {}
+        (Some((s, e)), Some((first, last))) if s == first.0 && e == last.0 => {}
+        _ => return Err("block time span disagrees with index".to_string()),
+    }
+    metrics::add(count as u64);
+    // The nonzero deltas above prove strictly-increasing times and every
+    // price was finiteness-checked, so the trusted constructor's skipped
+    // validation passes cannot hide a violation.
+    Ok(PriceTrace::new(
+        entry.market.clone(),
+        od,
+        StepSeries::from_points_trusted(points),
+    ))
+}
+
+/// Reconstructs the precise error for a block the hot decode loop
+/// flagged as defective, by re-walking the columns with the strict
+/// decoder and the original one-check-per-point order. Cold: it only
+/// runs on input that already failed, so the hot loop stays branch-lean.
+#[cold]
+#[inline(never)]
+fn block_defect(codec: u8, times: &[u8], mut pos: usize, count: usize, price_tail: &[u8]) -> String {
+    let mut t = 0u64;
+    for i in 0..count {
+        let v = if i == 0 || codec == TIME_CODEC_VARINT {
+            match get_u64(times, &mut pos) {
+                Ok(v) => v,
+                Err(e) => return e,
+            }
+        } else {
+            let Some(raw) = times.get(pos..pos + 4) else {
+                return format!("truncated timestamp delta at point {i}");
+            };
+            pos += 4;
+            u64::from(u32::from_le_bytes(raw.try_into().expect("4-byte delta")))
+        };
+        if i == 0 {
+            t = v;
+        } else {
+            if v == 0 {
+                return format!("zero timestamp delta at point {i}");
+            }
+            match t.checked_add(v) {
+                Some(next) => t = next,
+                None => return format!("timestamp overflow at point {i}"),
+            }
+        }
+        let raw = &price_tail[i * 8..i * 8 + 8];
+        let p = f64::from_bits(u64::from_le_bytes(raw.try_into().expect("8-byte chunk")));
+        if !p.is_finite() {
+            return format!("non-finite price {p}");
+        }
+    }
+    if pos != times.len() {
+        "block has trailing bytes".to_string()
+    } else {
+        // Unreachable unless the fast and strict walks disagree.
+        "malformed block".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spotcheck_simcore::rng::SimRng;
+
+    fn sample_trace(market: &str, n: usize, seed: u64) -> PriceTrace {
+        let mut rng = SimRng::seed(seed);
+        let mut t = 0u64;
+        let mut points = Vec::with_capacity(n);
+        for _ in 0..n {
+            t += 1 + rng.next_u64() % 600_000_000;
+            let p = (rng.next_u64() % 10_000) as f64 / 1e4 + 0.001;
+            points.push((SimTime::from_micros(t), p));
+        }
+        let (ty, zone) = market.split_once('@').unwrap();
+        PriceTrace::new(
+            MarketId::new(ty, zone),
+            0.07,
+            StepSeries::from_points(points),
+        )
+    }
+
+    fn sample_library() -> TraceLibrary {
+        TraceLibrary::new(vec![
+            sample_trace("m3.medium@us-east-1a", 500, 1),
+            sample_trace("m3.large@us-east-1b", 0, 2),
+            sample_trace("m3.xlarge@eu-west-1a", 137, 3),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn scanner_matches_reference_on_roundtrip_csv() {
+        let t = sample_trace("m3.medium@us-east-1a", 1000, 9);
+        let parsed = parse_csv_bytes(t.to_csv().as_bytes()).unwrap();
+        assert_eq!(parsed.market, t.market);
+        assert_eq!(parsed.on_demand_price.to_bits(), t.on_demand_price.to_bits());
+        assert_eq!(parsed.prices.points(), t.prices.points());
+    }
+
+    #[test]
+    fn scanner_fallback_forms_match_f64_parse() {
+        // Exponents, long mantissas, and padded forms all decline the fast
+        // path; the result must still equal what `f64::parse` produces.
+        let cases = [
+            "3e-2",
+            "2.5E1",
+            "0.30000000000000004",
+            "1234567890123456.5",
+            "0.000000125",
+            "00012.5000",
+            "17179869184.000001",
+        ];
+        let mut csv = String::from("# market=a@b od=0.07\n");
+        for (i, c) in cases.iter().enumerate() {
+            csv.push_str(&format!("{i}{sep}{c}\n", sep = ","));
+        }
+        let parsed = parse_csv_bytes(csv.as_bytes()).unwrap();
+        for (i, c) in cases.iter().enumerate() {
+            let want: f64 = c.parse().unwrap();
+            let got = parsed.prices.points()[i].1;
+            assert_eq!(got.to_bits(), want.to_bits(), "case {c}");
+        }
+    }
+
+    #[test]
+    fn scanner_time_fast_path_matches_float_path() {
+        // Times with ≤ 6 fractional digits must hit the exact integer fast
+        // path and agree with the old float computation.
+        let times = ["0", "0.000001", "1.5", "86400", "999999.999999", "15724800.25"];
+        let mut csv = String::from("# market=a@b od=0.07\n");
+        for t in times {
+            csv.push_str(t);
+            csv.push_str(",0.5\n");
+        }
+        let parsed = parse_csv_bytes(csv.as_bytes()).unwrap();
+        for (i, s) in times.iter().enumerate() {
+            let f: f64 = s.parse().unwrap();
+            let want = (f * 1e6).round() as u64;
+            assert_eq!(parsed.prices.points()[i].0.as_micros(), want, "time {s}");
+        }
+    }
+
+    #[test]
+    fn library_roundtrips_bit_exact() {
+        let lib = sample_library();
+        let bytes = lib.to_bytes();
+        let back = TraceLibrary::from_bytes(&bytes).unwrap();
+        assert_eq!(back.len(), lib.len());
+        for (a, b) in lib.traces().iter().zip(back.traces()) {
+            assert_eq!(a.market, b.market);
+            assert_eq!(a.on_demand_price.to_bits(), b.on_demand_price.to_bits());
+            assert_eq!(a.prices.points(), b.prices.points());
+        }
+    }
+
+    #[test]
+    fn timestamp_codec_boundary_roundtrips() {
+        // Deltas of exactly u32::MAX keep the fixed-u32 codec; one delta
+        // a single microsecond past it pushes the whole block to varint.
+        // Both encodings round-trip bit-exact and re-encode identically.
+        let mut encoded = Vec::new();
+        for bump in [0u64, 1] {
+            let mut t = 5u64;
+            let mut points = vec![(SimTime::from_micros(t), 0.25)];
+            for i in 0..10u64 {
+                t += u32::MAX as u64 + if i == 4 { bump } else { 0 };
+                points.push((SimTime::from_micros(t), 0.5));
+            }
+            let lib = TraceLibrary::new(vec![PriceTrace::new(
+                MarketId::new("m3.medium", "us-east-1a"),
+                0.07,
+                StepSeries::from_points(points),
+            )])
+            .unwrap();
+            let bytes = lib.to_bytes();
+            let back = TraceLibrary::from_bytes(&bytes).unwrap();
+            assert_eq!(
+                back.traces()[0].prices.points(),
+                lib.traces()[0].prices.points(),
+                "bump {bump}"
+            );
+            assert_eq!(back.to_bytes(), bytes, "bump {bump}: re-encode differs");
+            encoded.push(bytes);
+        }
+        // Same point count, different codecs: fixed spends 4 bytes per
+        // delta at this magnitude, varint spends 5.
+        assert!(encoded[0].len() < encoded[1].len());
+    }
+
+    #[test]
+    fn index_reads_without_decoding() {
+        let lib = sample_library();
+        let dir = std::env::temp_dir().join(format!("stl-index-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("lib.stl");
+        lib.write_stl(&path).unwrap();
+        let summaries = read_index(&path).unwrap();
+        assert_eq!(summaries.len(), 3);
+        for (s, t) in summaries.iter().zip(lib.traces()) {
+            assert_eq!(s.market, t.market);
+            assert_eq!(s.points, t.prices.len());
+            assert_eq!(
+                s.span,
+                t.prices.start().zip(t.prices.end()),
+                "span for {}",
+                s.market
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncation_and_corruption_are_errors() {
+        let bytes = sample_library().to_bytes();
+        for cut in [0, 1, 7, 8, 9, bytes.len() / 2, bytes.len() - 1] {
+            assert!(TraceLibrary::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        // Any single-byte flip lands in the digested region, the digest
+        // field, or the tail magic — all must reject.
+        for i in [0, 8, 40, bytes.len() / 2, bytes.len() - 20, bytes.len() - 1] {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x41;
+            assert!(TraceLibrary::from_bytes(&bad).is_err(), "flip at {i}");
+        }
+    }
+
+    #[test]
+    fn cursor_matches_binary_search_on_mixed_stream() {
+        let trace = sample_trace("m3.medium@us-east-1a", 400, 77);
+        let cursor = TraceCursor::new();
+        let end = trace.end().unwrap().as_micros();
+        let mut rng = SimRng::seed(5);
+        let mut t = 0u64;
+        for step in 0..5_000u64 {
+            // Mostly-forward stream with occasional long jumps and
+            // regressions (including exact change-point hits).
+            t = match step % 97 {
+                0 => rng.next_u64() % (end + 10),
+                1 => t.saturating_sub(rng.next_u64() % 1_000_000_000),
+                2 => trace.prices.points()[(rng.next_u64() % 400) as usize]
+                    .0
+                    .as_micros(),
+                _ => t + rng.next_u64() % 50_000_000,
+            };
+            let at = SimTime::from_micros(t);
+            assert_eq!(cursor.price_at(&trace, at), trace.price_at(at), "t={t}");
+            assert_eq!(
+                cursor.next_change_after(&trace, at),
+                trace.prices.next_change_after(at),
+                "t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn ingest_dir_orders_by_file_name() {
+        let dir = std::env::temp_dir().join(format!("stl-ingest-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = sample_trace("m3.medium@us-east-1a", 40, 11);
+        let b = sample_trace("m3.large@us-east-1a", 60, 12);
+        std::fs::write(dir.join("b.csv"), b.to_csv()).unwrap();
+        std::fs::write(dir.join("a.csv"), a.to_csv()).unwrap();
+        std::fs::write(dir.join("ignored.txt"), "not a trace").unwrap();
+        let lib = TraceLibrary::ingest_csv_dir(&dir).unwrap();
+        assert_eq!(lib.len(), 2);
+        assert_eq!(lib.traces()[0].market, a.market);
+        assert_eq!(lib.traces()[1].market, b.market);
+        assert_eq!(lib.get(&b.market).unwrap().prices.points(), b.prices.points());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn duplicate_markets_rejected() {
+        let t = sample_trace("m3.medium@us-east-1a", 5, 1);
+        assert!(TraceLibrary::new(vec![t.clone(), t]).is_err());
+    }
+}

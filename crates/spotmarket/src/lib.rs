@@ -13,6 +13,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod archive;
 pub mod generator;
 pub mod market;
 pub mod predictor;
@@ -20,6 +21,7 @@ pub mod profiles;
 pub mod stats;
 pub mod trace;
 
+pub use archive::{MarketSummary, TraceCursor, TraceLibrary};
 pub use generator::{generate_fleet, TraceGenerator};
 pub use market::{MarketId, TypeName, ZoneName};
 pub use predictor::{PredictorScore, TrendPredictor};

@@ -131,55 +131,18 @@ impl PriceTrace {
         out
     }
 
-    /// Parses a trace from the format produced by [`PriceTrace::to_csv`].
+    /// Parses a trace from the format produced by [`PriceTrace::to_csv`],
+    /// via the single-pass byte scanner in [`crate::archive`].
+    ///
+    /// Accepts `\r\n` line endings; rejects non-increasing timestamps and
+    /// non-finite prices with a line-numbered error (line 1 is the
+    /// header).
     ///
     /// # Errors
     ///
     /// Returns a description of the first malformed line.
     pub fn from_csv(text: &str) -> Result<PriceTrace, String> {
-        let mut lines = text.lines();
-        let header = lines.next().ok_or("empty trace file")?;
-        let header = header
-            .strip_prefix("# ")
-            .ok_or("missing `# market=... od=...` header")?;
-        let mut market = None;
-        let mut od = None;
-        for field in header.split_whitespace() {
-            if let Some(m) = field.strip_prefix("market=") {
-                let (ty, zone) = m
-                    .split_once('@')
-                    .ok_or("market field must be `type@zone`")?;
-                market = Some(MarketId::new(ty, zone));
-            } else if let Some(p) = field.strip_prefix("od=") {
-                od = Some(
-                    p.parse::<f64>()
-                        .map_err(|e| format!("bad on-demand price: {e}"))?,
-                );
-            }
-        }
-        let market = market.ok_or("header missing market=")?;
-        let od = od.ok_or("header missing od=")?;
-        let mut series = StepSeries::new();
-        for (i, line) in lines.enumerate() {
-            let line = line.trim();
-            if line.is_empty() || line.starts_with('#') {
-                continue;
-            }
-            let (t, p) = line
-                .split_once(',')
-                .ok_or_else(|| format!("line {}: expected `time,price`", i + 2))?;
-            let t: f64 = t
-                .parse()
-                .map_err(|e| format!("line {}: bad time: {e}", i + 2))?;
-            let p: f64 = p
-                .parse()
-                .map_err(|e| format!("line {}: bad price: {e}", i + 2))?;
-            if !t.is_finite() || t < 0.0 {
-                return Err(format!("line {}: time must be non-negative", i + 2));
-            }
-            series.push(SimTime::from_micros((t * 1e6).round() as u64), p);
-        }
-        Ok(PriceTrace::new(market, od, series))
+        crate::archive::parse_csv_bytes(text.as_bytes())
     }
 }
 
@@ -264,5 +227,27 @@ mod tests {
         let text = "# market=a@b od=0.07\n\n# comment\n0,0.02\n";
         let t = PriceTrace::from_csv(text).unwrap();
         assert_eq!(t.prices.len(), 1);
+    }
+
+    #[test]
+    fn csv_accepts_crlf_line_endings() {
+        let text = "# market=a@b od=0.07\r\n0,0.02\r\n100,0.50\r\n";
+        let t = PriceTrace::from_csv(text).unwrap();
+        assert_eq!(t.prices.len(), 2);
+        assert_eq!(t.prices.points()[1], (SimTime::from_micros(100_000_000), 0.50));
+    }
+
+    #[test]
+    fn csv_rejects_non_increasing_timestamps_with_line_number() {
+        // Line 4 repeats line 3's timestamp: the error must name line 4
+        // rather than panicking inside StepSeries.
+        let text = "# market=a@b od=0.07\n0,0.02\n100,0.50\n100,0.60\n";
+        let err = PriceTrace::from_csv(text).unwrap_err();
+        assert!(err.contains("line 4"), "err: {err}");
+        assert!(err.contains("strictly increasing"), "err: {err}");
+        // A regression (not just a tie) is rejected the same way.
+        let text = "# market=a@b od=0.07\n0,0.02\n100,0.50\n50,0.60\n";
+        let err = PriceTrace::from_csv(text).unwrap_err();
+        assert!(err.contains("line 4"), "err: {err}");
     }
 }
